@@ -1,0 +1,57 @@
+// Motivation reproduction (§1, §3.1.1): the dead-space problem. Axis-aligned
+// grid deployments (the Grid/kd-tree/QuadTree style of §2.3) waste sensors
+// on cells without roads or traffic; the planar sensing faces border roads
+// by construction and are almost all active.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/dead_space.h"
+#include "util/table.h"
+
+namespace innet::bench {
+namespace {
+
+void Main() {
+  core::Framework framework(DefaultWorld());
+  const core::SensorNetwork& network = framework.network();
+  std::printf("world: %zu junctions, %zu roads, %zu sensors, %zu events\n\n",
+              network.mobility().NumNodes(), network.mobility().NumEdges(),
+              network.NumSensors(), network.events().size());
+
+  util::Table table(
+      "Dead space: axis-aligned grid partitions vs planar sensing faces "
+      "(one sensor per partition)");
+  table.SetHeader({"partitioning", "sensors", "no_road", "no_traffic",
+                   "wasted"});
+
+  for (size_t n : {16, 24, 32, 48, 64}) {
+    core::DeadSpaceReport grid =
+        core::AnalyzeGridDeadSpace(network, n, n);
+    table.AddRow({"grid " + std::to_string(n) + "x" + std::to_string(n),
+                  std::to_string(grid.partitions),
+                  Percent(grid.NoRoadFraction(), 1),
+                  Percent(grid.NoTrafficFraction(), 1),
+                  Percent(grid.NoTrafficFraction(), 1)});
+  }
+  core::DeadSpaceReport sensing = core::AnalyzeSensingDeadSpace(network);
+  table.AddRow({"sensing faces (ours)", std::to_string(sensing.partitions),
+                Percent(sensing.NoRoadFraction(), 1),
+                Percent(sensing.NoTrafficFraction(), 1),
+                Percent(sensing.NoTrafficFraction(), 1)});
+  table.Print();
+
+  std::printf(
+      "reading guide: grid sensors in road-free or traffic-free cells "
+      "consume power and must still be flooded during queries (§3.1.1); "
+      "sensing faces are never road-free, and only low-traffic fringe "
+      "faces are inactive. Finer grids make the waste worse — the paper's "
+      "argument for sensor-distribution-aware partitioning.\n");
+}
+
+}  // namespace
+}  // namespace innet::bench
+
+int main() {
+  innet::bench::Main();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: the two query-dispatch strategies of §4.6 — server-direct
+// (one long-distance link per perimeter sensor) vs perimeter traversal (two
+// long-distance links plus in-mesh hops). Reports message counts and the
+// battery-energy proxy across query sizes.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/dispatch.h"
+#include "sampling/samplers.h"
+#include "util/table.h"
+
+namespace innet::bench {
+namespace {
+
+constexpr size_t kQueries = 40;
+
+void Main() {
+  core::Framework framework(DefaultWorld());
+  const core::SensorNetwork& network = framework.network();
+  std::printf("world: %zu junctions, %zu sensors\n\n",
+              network.mobility().NumNodes(), network.NumSensors());
+
+  sampling::KdTreeSampler sampler;
+  util::Rng rng(5);
+  core::Deployment deployment = framework.DeployWithSampler(
+      sampler, static_cast<size_t>(0.064 * network.NumSensors()),
+      core::DeploymentOptions{}, rng);
+
+  util::Table table(
+      "Dispatch ablation (graph 6.4%): direct vs perimeter traversal");
+  table.SetHeader({"query_size", "perimeter", "direct_msgs", "trav_msgs",
+                   "direct_energy", "trav_energy", "trav_wins"});
+
+  for (double area : QuerySizeSweep()) {
+    std::vector<core::RangeQuery> queries =
+        MakeQueries(framework, area, kQueries, 971);
+    util::Accumulator perimeter;
+    util::Accumulator direct_msgs;
+    util::Accumulator trav_msgs;
+    util::Accumulator direct_energy;
+    util::Accumulator trav_energy;
+    size_t wins = 0;
+    for (const core::RangeQuery& q : queries) {
+      std::vector<uint32_t> faces =
+          deployment.graph().UpperBoundFaces(q.junctions);
+      std::vector<graph::NodeId> sensors =
+          deployment.graph().BoundaryOfFaces(faces).sensors;
+      core::DispatchCost direct = core::SimulateDispatch(
+          network, sensors, core::DispatchMode::kServerDirect);
+      core::DispatchCost traversal = core::SimulateDispatch(
+          network, sensors, core::DispatchMode::kPerimeterTraversal);
+      perimeter.Add(static_cast<double>(sensors.size()));
+      direct_msgs.Add(static_cast<double>(direct.Messages()));
+      trav_msgs.Add(static_cast<double>(traversal.Messages()));
+      direct_energy.Add(direct.Energy());
+      trav_energy.Add(traversal.Energy());
+      if (traversal.Energy() < direct.Energy()) ++wins;
+    }
+    table.AddRow({Percent(area),
+                  util::Table::Num(perimeter.Summarize().mean, 1),
+                  util::Table::Num(direct_msgs.Summarize().mean, 1),
+                  util::Table::Num(trav_msgs.Summarize().mean, 1),
+                  util::Table::Num(direct_energy.Summarize().mean, 1),
+                  util::Table::Num(trav_energy.Summarize().mean, 1),
+                  util::Table::Num(static_cast<double>(wins) /
+                                       static_cast<double>(queries.size()),
+                                   2)});
+  }
+  table.Print();
+  std::printf(
+      "energy model: one long-distance (sensor-to-server) transmission "
+      "costs 20 mesh hops (§3.1's high-power radio remark). Traversal "
+      "trades long links for mesh hops, winning whenever perimeters exceed "
+      "a handful of sensors.\n");
+}
+
+}  // namespace
+}  // namespace innet::bench
+
+int main() {
+  innet::bench::Main();
+  return 0;
+}

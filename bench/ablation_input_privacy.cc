@@ -1,0 +1,88 @@
+// Ablation: input perturbation (local-DP-style trajectory perturbation,
+// related work [11]) vs output noise (the continual-counting DP store).
+// Input perturbation corrupts the data before ingestion — accuracy is lost
+// for every query forever; output noise preserves exact internal state and
+// spends a privacy budget per released statistic.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "forms/region_count.h"
+#include "mobility/perturbation.h"
+#include "privacy/private_store.h"
+#include "util/table.h"
+
+namespace innet::bench {
+namespace {
+
+constexpr size_t kQueries = 30;
+
+void Main() {
+  core::Framework framework(DefaultWorld());
+  const core::SensorNetwork& network = framework.network();
+  std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
+              network.mobility().NumNodes(), network.NumSensors(),
+              network.events().size());
+
+  std::vector<core::RangeQuery> queries =
+      MakeQueries(framework, 0.08, kQueries, 995);
+
+  // Input perturbation sweep: rebuild the network from perturbed trips.
+  util::Table table(
+      "Input perturbation ([11]-style) vs output DP noise: median relative "
+      "error of static counts (8% queries, unsampled graph)");
+  table.SetHeader({"mechanism", "knob", "median_err"});
+
+  for (int hops : {1, 2, 4}) {
+    mobility::PerturbationOptions options;
+    options.max_hops = hops;
+    options.alpha = 0.8;
+    util::Rng rng(1000 + hops);
+    std::vector<mobility::Trajectory> perturbed =
+        mobility::PerturbTrajectories(network.mobility(),
+                                      framework.trajectories(), options, rng);
+    core::SensorNetwork noisy(graph::PlanarGraph(network.mobility()));
+    noisy.IngestTrajectories(perturbed);
+    util::Accumulator err;
+    for (const core::RangeQuery& q : queries) {
+      double truth = network.GroundTruthStatic(q.junctions, q.t2);
+      err.Add(util::RelativeError(
+          truth, noisy.GroundTruthStatic(q.junctions, q.t2)));
+    }
+    table.AddRow({"input-perturbation", "hops=" + std::to_string(hops),
+                  util::Table::Num(err.Summarize().median, 3)});
+  }
+
+  for (double epsilon : {0.5, 2.0, 10.0}) {
+    privacy::PrivateEdgeStore store(network.reference_store(), epsilon,
+                                    framework.Horizon() * 1.5);
+    util::Accumulator err;
+    for (const core::RangeQuery& q : queries) {
+      double truth = network.GroundTruthStatic(q.junctions, q.t2);
+      std::vector<forms::BoundaryEdge> boundary =
+          network.RegionBoundaryWithVirtual(network.JunctionMask(q.junctions));
+      err.Add(util::RelativeError(
+          truth, forms::EvaluateStaticCount(store, boundary, q.t2)));
+    }
+    char knob[32];
+    std::snprintf(knob, sizeof(knob), "epsilon=%.1f", epsilon);
+    table.AddRow({"output-DP", knob,
+                  util::Table::Num(err.Summarize().median, 3)});
+  }
+  table.Print();
+  std::printf(
+      "reading guide: the two mechanisms trade different things. Input "
+      "perturbation barely moves AGGREGATE counts at small radii (errors "
+      "average out) but its per-object guarantee is only as strong as the "
+      "hop radius; output DP gives a formal event-level epsilon guarantee "
+      "whose cost scales with the number of noisy boundary lookups, so it "
+      "needs epsilon around 10 (or the shorter perimeters of a sampled "
+      "graph) to match. The in-network design composes with either.\n");
+}
+
+}  // namespace
+}  // namespace innet::bench
+
+int main() {
+  innet::bench::Main();
+  return 0;
+}

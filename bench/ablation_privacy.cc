@@ -1,0 +1,91 @@
+// Ablation: differential privacy vs accuracy (§4.1's extension via the
+// continual-counting mechanism of Ghosh et al. 2020). Sweeps the privacy
+// budget epsilon and reports the median relative error of static counts on
+// the unsampled graph and on a 12.8% sampled deployment.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "forms/region_count.h"
+#include "privacy/private_store.h"
+#include "sampling/samplers.h"
+#include "util/table.h"
+
+namespace innet::bench {
+namespace {
+
+constexpr size_t kQueries = 40;
+
+void Main() {
+  core::Framework framework(DefaultWorld());
+  const core::SensorNetwork& network = framework.network();
+  std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
+              network.mobility().NumNodes(), network.NumSensors(),
+              network.events().size());
+
+  std::vector<core::RangeQuery> queries =
+      MakeQueries(framework, 0.08, kQueries, 961);
+
+  sampling::KdTreeSampler sampler;
+  util::Rng rng(3);
+  core::Deployment deployment = framework.DeployWithSampler(
+      sampler, static_cast<size_t>(0.128 * network.NumSensors()),
+      core::DeploymentOptions{}, rng);
+
+  double tree_horizon = framework.Horizon() * 1.5;
+
+  util::Table table(
+      "DP ablation: median relative error vs privacy budget epsilon "
+      "(static counts, 8% queries; sampled graph at 12.8%)");
+  table.SetHeader({"epsilon", "unsampled+DP", "sampled", "sampled+DP",
+                   "noise/lookup"});
+
+  for (double epsilon : {0.1, 0.5, 1.0, 5.0, 20.0, 100.0}) {
+    privacy::PrivateEdgeStore private_full(network.reference_store(), epsilon,
+                                           tree_horizon);
+    privacy::PrivateEdgeStore private_sampled(deployment.store(), epsilon,
+                                              tree_horizon);
+    core::SampledQueryProcessor sampled_plain = deployment.processor();
+    core::SampledQueryProcessor sampled_private(deployment.graph(),
+                                                private_sampled);
+
+    util::Accumulator err_full;
+    util::Accumulator err_sampled;
+    util::Accumulator err_sampled_dp;
+    for (const core::RangeQuery& q : queries) {
+      double truth = network.GroundTruthStatic(q.junctions, q.t2);
+      std::vector<forms::BoundaryEdge> boundary =
+          network.RegionBoundaryWithVirtual(network.JunctionMask(q.junctions));
+      err_full.Add(util::RelativeError(
+          truth, forms::EvaluateStaticCount(private_full, boundary, q.t2)));
+      err_sampled.Add(util::RelativeError(
+          truth, sampled_plain
+                     .Answer(q, core::CountKind::kStatic,
+                             core::BoundMode::kLower)
+                     .estimate));
+      err_sampled_dp.Add(util::RelativeError(
+          truth, sampled_private
+                     .Answer(q, core::CountKind::kStatic,
+                             core::BoundMode::kLower)
+                     .estimate));
+    }
+    table.AddRow({util::Table::Num(epsilon, 1),
+                  util::Table::Num(err_full.Summarize().median, 3),
+                  util::Table::Num(err_sampled.Summarize().median, 3),
+                  util::Table::Num(err_sampled_dp.Summarize().median, 3),
+                  util::Table::Num(private_full.NoiseScale(), 2)});
+  }
+  table.Print();
+  std::printf(
+      "reading guide: sampling already perturbs counts geometrically; DP "
+      "noise dominates below epsilon ~1 and becomes negligible above ~20. "
+      "Sampled graphs need fewer noisy lookups (shorter perimeters), so "
+      "sampling + DP composes well.\n");
+}
+
+}  // namespace
+}  // namespace innet::bench
+
+int main() {
+  innet::bench::Main();
+  return 0;
+}

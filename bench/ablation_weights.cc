@@ -1,0 +1,101 @@
+// Ablation: query-adaptive sampling weights (§4.3, last paragraph). When the
+// workload concentrates in part of the domain, weighting samplers by how
+// often each sensor served past queries shifts the budget toward the hot
+// area and cuts the error there.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/adaptive_weights.h"
+#include "sampling/samplers.h"
+#include "util/table.h"
+
+namespace innet::bench {
+namespace {
+
+constexpr size_t kQueries = 40;
+constexpr size_t kReps = 3;
+
+// Localized workload: all queries inside one quadrant of the domain.
+std::vector<core::RangeQuery> HotQueries(const core::Framework& framework,
+                                         size_t count, uint64_t seed) {
+  const core::SensorNetwork& network = framework.network();
+  const geometry::Rect& world = network.DomainBounds();
+  geometry::Rect hot(world.min_x, world.min_y,
+                     world.min_x + 0.5 * world.Width(),
+                     world.min_y + 0.5 * world.Height());
+  util::Rng rng(seed);
+  std::vector<core::RangeQuery> queries;
+  while (queries.size() < count) {
+    double w = 0.2 * hot.Width();
+    double x0 = hot.min_x + rng.Uniform(0.0, hot.Width() - w);
+    double y0 = hot.min_y + rng.Uniform(0.0, hot.Height() - w);
+    core::RangeQuery q;
+    q.rect = geometry::Rect(x0, y0, x0 + w, y0 + w);
+    q.junctions = network.JunctionsInRect(q.rect);
+    if (q.junctions.empty()) continue;
+    double len = rng.Uniform(0.1, 0.4) * framework.Horizon();
+    q.t1 = rng.Uniform(0.0, framework.Horizon() - len);
+    q.t2 = q.t1 + len;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+void Main() {
+  core::Framework framework(DefaultWorld());
+  const core::SensorNetwork& network = framework.network();
+  std::printf("world: %zu junctions, %zu sensors\n\n",
+              network.mobility().NumNodes(), network.NumSensors());
+
+  std::vector<core::RangeQuery> history = HotQueries(framework, 60, 981);
+  std::vector<core::RangeQuery> eval = HotQueries(framework, kQueries, 982);
+  std::vector<double> weights =
+      core::QueryFrequencyWeights(network, history, /*base_weight=*/0.2);
+
+  util::Table table(
+      "Adaptive-weights ablation: localized workload, 12.8% budget "
+      "(median static lower-bound error)");
+  table.SetHeader({"sampler", "plain", "weighted", "improvement"});
+
+  size_t budget = static_cast<size_t>(0.128 * network.NumSensors());
+  auto evaluate = [&](const sampling::SensorSampler& sampler) {
+    util::Accumulator err;
+    for (size_t rep = 0; rep < kReps; ++rep) {
+      util::Rng rng(0xada0 + rep);
+      core::Deployment dep = framework.DeployWithSampler(
+          sampler, budget, core::DeploymentOptions{}, rng);
+      core::SampledQueryProcessor processor = dep.processor();
+      for (const core::RangeQuery& q : eval) {
+        double truth = network.GroundTruthStatic(q.junctions, q.t2);
+        err.Add(util::RelativeError(
+            truth, processor
+                       .Answer(q, core::CountKind::kStatic,
+                               core::BoundMode::kLower)
+                       .estimate));
+      }
+    }
+    return err.Summarize().median;
+  };
+
+  for (const auto& sampler : sampling::AllSamplers()) {
+    double plain = evaluate(*sampler);
+    sampler->SetWeights(weights);
+    double weighted = evaluate(*sampler);
+    double improvement = plain > 0 ? (plain - weighted) / plain : 0.0;
+    table.AddRow({std::string(sampler->Name()), util::Table::Num(plain, 3),
+                  util::Table::Num(weighted, 3), Percent(improvement, 1)});
+  }
+  table.Print();
+  std::printf(
+      "reading guide: density-following samplers (uniform) gain the most; "
+      "grid/cell samplers shift only within cells, so their gain is "
+      "smaller by construction.\n");
+}
+
+}  // namespace
+}  // namespace innet::bench
+
+int main() {
+  innet::bench::Main();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared experiment harness for the paper-reproduction benchmarks.
+//
+// Every bench binary builds the same world (synthetic road network +
+// gateway-entering trips, DESIGN.md §2), sweeps the paper's parameters, and
+// prints the corresponding figure's rows. The paper reports medians of
+// repeated runs with interquartile bands (§5.1.1); EvaluateDeployment
+// mirrors that.
+#ifndef INNET_BENCH_BENCH_COMMON_H_
+#define INNET_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/face_sampling.h"
+#include "core/framework.h"
+#include "core/workload.h"
+#include "sampling/samplers.h"
+#include "util/stats.h"
+
+namespace innet::bench {
+
+/// Default experiment scale. ~2500 junctions / ~8000 trips keeps every bench
+/// under a few minutes while leaving enough faces for percent-level region
+/// sweeps.
+core::FrameworkOptions DefaultWorld(uint64_t seed = 42);
+
+/// The paper's sampled-graph size sweep (fraction of sensors), §5.2.
+std::vector<double> GraphSizeSweep();
+
+/// Query-region size sweep (fraction of the sensing area), §5.3.
+std::vector<double> QuerySizeSweep();
+
+/// Builds `count` queries at the given area fraction.
+std::vector<core::RangeQuery> MakeQueries(const core::Framework& framework,
+                                          double area_fraction, size_t count,
+                                          uint64_t seed);
+
+/// Aggregated evaluation of one deployment on one workload.
+struct EvalResult {
+  double err_median = 0.0;  // Relative error vs. the unsampled count η.
+  double err_p25 = 0.0;
+  double err_p75 = 0.0;
+  double missed_fraction = 0.0;
+  double mean_nodes_accessed = 0.0;
+  double mean_edges_accessed = 0.0;
+  double mean_exec_micros = 0.0;
+  /// Mean simulated end-to-end time (compute + per-sensor contact cost).
+  double mean_sim_micros = 0.0;
+  /// Mean estimate / truth ratio over queries with truth > 0 (upper-bound
+  /// figures report this, Fig. 13c/d).
+  double ratio_mean = 0.0;
+};
+
+/// Runs every query against the deployment processor and aggregates.
+EvalResult EvaluateDeployment(const core::SensorNetwork& network,
+                              const core::Deployment& deployment,
+                              const std::vector<core::RangeQuery>& queries,
+                              core::CountKind kind, core::BoundMode bound);
+
+/// Same aggregation for the unsampled exact processor.
+EvalResult EvaluateUnsampled(const core::SensorNetwork& network,
+                             const std::vector<core::RangeQuery>& queries,
+                             core::CountKind kind);
+
+/// Same aggregation for the face-sampling baseline.
+EvalResult EvaluateBaseline(const core::SensorNetwork& network,
+                            const baseline::FaceSamplingBaseline& baseline,
+                            const std::vector<core::RangeQuery>& queries,
+                            core::CountKind kind);
+
+/// A named deployment strategy: the five samplers plus the submodular
+/// query-adaptive method. `history` is used by the adaptive method only.
+struct Method {
+  std::string name;
+  /// Deploys m sensors; `rep` seeds the sampler's randomness.
+  std::function<core::Deployment(const core::Framework&, size_t m,
+                                 const core::DeploymentOptions&,
+                                 uint64_t rep)>
+      deploy;
+};
+
+/// All six methods of Fig. 11/12 (uniform, systematic, stratified, kd-tree,
+/// quadtree, submodular). The submodular method deploys for the KNOWN query
+/// distribution `history` (§4.4); the benches pass the evaluation workload
+/// itself, which is what "query distribution is known a priori" means there.
+std::vector<Method> AllMethods(
+    std::shared_ptr<const std::vector<core::RangeQuery>> history);
+
+/// Median-of-reps evaluation: deploys `method` `reps` times with different
+/// seeds and pools per-query errors before summarizing.
+EvalResult EvaluateMethod(const core::Framework& framework,
+                          const Method& method, size_t m,
+                          const core::DeploymentOptions& options,
+                          const std::vector<core::RangeQuery>& queries,
+                          core::CountKind kind, core::BoundMode bound,
+                          size_t reps);
+
+/// Formats a fraction as a percent string ("6.4%").
+std::string Percent(double fraction, int precision = 1);
+
+}  // namespace innet::bench
+
+#endif  // INNET_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,87 @@
+// Reproduces Fig. 11a/11b: lower-bound relative error of TRANSIENT range
+// count queries versus sampled-graph size and versus query-region size.
+// The submodular method deploys for the known query distribution (the
+// evaluation workload), as in Fig. 12.
+#include <cstdio>
+#include <memory>
+
+#include "baseline/face_sampling.h"
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+namespace innet::bench {
+namespace {
+
+constexpr size_t kQueriesPerConfig = 40;
+constexpr size_t kReps = 3;
+
+double BaselineError(const core::Framework& framework, size_t m,
+                     const std::vector<core::RangeQuery>& queries) {
+  util::Accumulator err;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    util::Rng rng(0xba5e + rep);
+    baseline::FaceSamplingBaseline base(framework.network(),
+                                        framework.trajectories(), m, rng);
+    err.Add(EvaluateBaseline(framework.network(), base, queries,
+                             core::CountKind::kTransient)
+                .err_median);
+  }
+  return err.Summarize().median;
+}
+
+void Sweep(const core::Framework& framework, bool sweep_graph_size) {
+  const core::SensorNetwork& network = framework.network();
+  util::Table table(sweep_graph_size
+                        ? "Fig 11a: transient lower-bound relative error vs "
+                          "sampled graph size (query area 4%)"
+                        : "Fig 11b: transient lower-bound relative error vs "
+                          "query size (graph size 6.4%)");
+  std::vector<std::string> header = {sweep_graph_size ? "graph_size"
+                                                      : "query_size"};
+  for (const Method& method : AllMethods(nullptr)) {
+    header.push_back(method.name);
+  }
+  header.push_back("baseline");
+  table.SetHeader(header);
+
+  std::vector<double> sweep =
+      sweep_graph_size ? GraphSizeSweep() : QuerySizeSweep();
+  for (double x : sweep) {
+    size_t m = std::max<size_t>(
+        1, static_cast<size_t>((sweep_graph_size ? x : 0.064) *
+                               network.NumSensors()));
+    double area = sweep_graph_size ? 0.04 : x;
+    std::vector<core::RangeQuery> queries =
+        MakeQueries(framework, area, kQueriesPerConfig, 911);
+    std::vector<Method> methods = AllMethods(
+        std::make_shared<std::vector<core::RangeQuery>>(queries));
+    std::vector<std::string> row = {Percent(x)};
+    for (const Method& method : methods) {
+      EvalResult result = EvaluateMethod(
+          framework, method, m, core::DeploymentOptions{}, queries,
+          core::CountKind::kTransient, core::BoundMode::kLower, kReps);
+      row.push_back(util::Table::Num(result.err_median, 3));
+    }
+    row.push_back(util::Table::Num(BaselineError(framework, m, queries), 3));
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+void Main() {
+  core::Framework framework(DefaultWorld());
+  std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
+              framework.network().mobility().NumNodes(),
+              framework.network().NumSensors(),
+              framework.network().events().size());
+  Sweep(framework, /*sweep_graph_size=*/true);
+  Sweep(framework, /*sweep_graph_size=*/false);
+}
+
+}  // namespace
+}  // namespace innet::bench
+
+int main() {
+  innet::bench::Main();
+  return 0;
+}

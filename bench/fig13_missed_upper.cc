@@ -1,0 +1,83 @@
+// Reproduces Fig. 13: (a, b) fraction of queries missed versus sampled-graph
+// size and query size; (c, d) upper-bound approximation ratio (estimate /
+// actual, >= 1) versus the same sweeps. The submodular method deploys for
+// the known query distribution (the evaluation workload), as in Fig. 12.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+namespace innet::bench {
+namespace {
+
+constexpr size_t kQueriesPerConfig = 40;
+constexpr size_t kReps = 3;
+
+void Sweep(const core::Framework& framework, bool sweep_graph_size) {
+  const core::SensorNetwork& network = framework.network();
+  util::Table missed(sweep_graph_size
+                         ? "Fig 13a: fraction of queries missed vs graph "
+                           "size (query area 4%, lower bound)"
+                         : "Fig 13b: fraction of queries missed vs query "
+                           "size (graph size 6.4%, lower bound)");
+  util::Table upper(sweep_graph_size
+                        ? "Fig 13c: upper-bound ratio (estimate/actual) vs "
+                          "graph size (query area 4%)"
+                        : "Fig 13d: upper-bound ratio (estimate/actual) vs "
+                          "query size (graph size 6.4%)");
+  std::vector<std::string> header = {sweep_graph_size ? "graph_size"
+                                                      : "query_size"};
+  for (const Method& method : AllMethods(nullptr)) {
+    header.push_back(method.name);
+  }
+  missed.SetHeader(header);
+  upper.SetHeader(header);
+
+  std::vector<double> sweep =
+      sweep_graph_size ? GraphSizeSweep() : QuerySizeSweep();
+  for (double x : sweep) {
+    size_t m = std::max<size_t>(
+        1, static_cast<size_t>((sweep_graph_size ? x : 0.064) *
+                               network.NumSensors()));
+    double area = sweep_graph_size ? 0.04 : x;
+    std::vector<core::RangeQuery> queries =
+        MakeQueries(framework, area, kQueriesPerConfig, 931);
+    std::vector<Method> methods = AllMethods(
+        std::make_shared<std::vector<core::RangeQuery>>(queries));
+    std::vector<std::string> row_missed = {Percent(x)};
+    std::vector<std::string> row_upper = {Percent(x)};
+    for (const Method& method : methods) {
+      EvalResult lower = EvaluateMethod(
+          framework, method, m, core::DeploymentOptions{}, queries,
+          core::CountKind::kStatic, core::BoundMode::kLower, kReps);
+      EvalResult upper_result = EvaluateMethod(
+          framework, method, m, core::DeploymentOptions{}, queries,
+          core::CountKind::kStatic, core::BoundMode::kUpper, kReps);
+      row_missed.push_back(util::Table::Num(lower.missed_fraction, 3));
+      row_upper.push_back(util::Table::Num(upper_result.ratio_mean, 2));
+    }
+    missed.AddRow(row_missed);
+    upper.AddRow(row_upper);
+  }
+  missed.Print();
+  upper.Print();
+}
+
+void Main() {
+  core::Framework framework(DefaultWorld());
+  std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
+              framework.network().mobility().NumNodes(),
+              framework.network().NumSensors(),
+              framework.network().events().size());
+  Sweep(framework, /*sweep_graph_size=*/true);
+  Sweep(framework, /*sweep_graph_size=*/false);
+}
+
+}  // namespace
+}  // namespace innet::bench
+
+int main() {
+  innet::bench::Main();
+  return 0;
+}

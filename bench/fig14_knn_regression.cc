@@ -1,0 +1,155 @@
+// Reproduces Fig. 14: (a) lower-bound relative error of k-NN connectivity
+// (k = 3, 5, 8) versus triangulation, (b) boundary edges accessed for the
+// same configurations, and (c, d) the additional error introduced by each
+// regression model relative to the exact timestamp store on the same
+// sampled graph.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sampling/samplers.h"
+#include "util/table.h"
+
+namespace innet::bench {
+namespace {
+
+constexpr size_t kQueriesPerConfig = 40;
+
+void ConnectivitySweep(const core::Framework& framework) {
+  const core::SensorNetwork& network = framework.network();
+  sampling::QuadTreeSampler sampler;  // Paper: QuadTree sampling for Fig 14a.
+  size_t m = static_cast<size_t>(0.064 * network.NumSensors());
+  util::Rng rng(5);
+  std::vector<graph::NodeId> sensors =
+      sampler.Select(network.sensing(), m, rng);
+
+  struct Config {
+    std::string name;
+    core::DeploymentOptions options;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"triangulation", {}});
+  for (size_t k : {3, 5, 8}) {
+    core::DeploymentOptions options;
+    options.graph.connectivity = core::Connectivity::kKnn;
+    options.graph.knn_k = k;
+    configs.push_back({"knn_k=" + std::to_string(k), options});
+  }
+
+  std::vector<core::Deployment> deployments;
+  for (const Config& config : configs) {
+    deployments.push_back(
+        framework.DeployFromSensors(sensors, config.options));
+  }
+
+  util::Table err("Fig 14a: static lower-bound relative error, k-NN vs "
+                  "triangulation (graph size 6.4%)");
+  util::Table edges("Fig 14b: boundary edges accessed, k-NN vs "
+                    "triangulation");
+  std::vector<std::string> header = {"query_size"};
+  for (const Config& config : configs) header.push_back(config.name);
+  err.SetHeader(header);
+  edges.SetHeader(header);
+
+  for (double area : QuerySizeSweep()) {
+    std::vector<core::RangeQuery> queries =
+        MakeQueries(framework, area, kQueriesPerConfig, 941);
+    std::vector<std::string> row_err = {Percent(area)};
+    std::vector<std::string> row_edges = {Percent(area)};
+    for (const core::Deployment& dep : deployments) {
+      EvalResult result =
+          EvaluateDeployment(network, dep, queries, core::CountKind::kStatic,
+                             core::BoundMode::kLower);
+      row_err.push_back(util::Table::Num(result.err_median, 3));
+      row_edges.push_back(util::Table::Num(result.mean_edges_accessed, 1));
+    }
+    err.AddRow(row_err);
+    edges.AddRow(row_edges);
+  }
+  err.Print();
+  edges.Print();
+}
+
+// Fig 14c/d: error of the regression stores RELATIVE to the exact store on
+// the same graph (not relative to the unsampled truth).
+void RegressionSweep(const core::Framework& framework) {
+  const core::SensorNetwork& network = framework.network();
+  sampling::KdTreeSampler sampler;
+  size_t m = static_cast<size_t>(0.128 * network.NumSensors());
+  util::Rng rng(6);
+  std::vector<graph::NodeId> sensors =
+      sampler.Select(network.sensing(), m, rng);
+  core::Deployment exact_dep =
+      framework.DeployFromSensors(sensors, core::DeploymentOptions{});
+
+  struct Model {
+    const char* name;
+    learned::ModelType type;
+  };
+  std::vector<Model> models = {
+      {"linear", learned::ModelType::kLinear},
+      {"quadratic", learned::ModelType::kQuadratic},
+      {"cubic", learned::ModelType::kCubic},
+      {"pw-linear", learned::ModelType::kPiecewiseLinear},
+      {"pw-constant", learned::ModelType::kPiecewiseConstant},
+  };
+  std::vector<core::Deployment> learned_deps;
+  for (const Model& model : models) {
+    core::DeploymentOptions options;
+    options.store = core::StoreKind::kLearned;
+    options.model_type = model.type;
+    options.buffer_capacity = 16;
+    options.pla_epsilon = 8.0;
+    learned_deps.push_back(framework.DeployFromSensors(sensors, options));
+  }
+
+  util::Table table("Fig 14c/d: additional relative error of regression "
+                    "models vs the exact store (graph size 12.8%)");
+  std::vector<std::string> header = {"query_size"};
+  for (const Model& model : models) header.push_back(model.name);
+  table.SetHeader(header);
+
+  for (double area : QuerySizeSweep()) {
+    std::vector<core::RangeQuery> queries =
+        MakeQueries(framework, area, kQueriesPerConfig, 942);
+    std::vector<std::string> row = {Percent(area)};
+    core::SampledQueryProcessor exact_proc = exact_dep.processor();
+    for (size_t i = 0; i < models.size(); ++i) {
+      core::SampledQueryProcessor learned_proc = learned_deps[i].processor();
+      util::Accumulator err;
+      for (const core::RangeQuery& q : queries) {
+        core::QueryAnswer a =
+            exact_proc.Answer(q, core::CountKind::kStatic,
+                              core::BoundMode::kLower);
+        core::QueryAnswer b =
+            learned_proc.Answer(q, core::CountKind::kStatic,
+                                core::BoundMode::kLower);
+        if (a.missed) continue;
+        err.Add(util::RelativeError(a.estimate, b.estimate));
+      }
+      row.push_back(
+          util::Table::Num(err.empty() ? 0.0 : err.Summarize().median, 4));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("paper: regression models add ~2.5%% error on average\n");
+}
+
+void Main() {
+  core::Framework framework(DefaultWorld());
+  std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
+              framework.network().mobility().NumNodes(),
+              framework.network().NumSensors(),
+              framework.network().events().size());
+  ConnectivitySweep(framework);
+  RegressionSweep(framework);
+}
+
+}  // namespace
+}  // namespace innet::bench
+
+int main() {
+  innet::bench::Main();
+  return 0;
+}

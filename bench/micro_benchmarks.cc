@@ -1,0 +1,220 @@
+// Google-benchmark microbenchmarks for the framework's hot paths: crossing
+// updates, tracking-form lookups, model observe/predict, routing, and
+// sampled-graph construction.
+#include <benchmark/benchmark.h>
+
+#include "core/framework.h"
+#include "core/live_monitor.h"
+#include "core/workload.h"
+#include "forms/differential_form.h"
+#include "forms/tracking_form.h"
+#include "graph/shortest_path.h"
+#include "learned/buffered_edge_store.h"
+#include "mobility/road_network.h"
+#include "sampling/samplers.h"
+#include "util/rng.h"
+
+namespace innet {
+namespace {
+
+const core::Framework& SharedWorld() {
+  static core::Framework* framework = [] {
+    core::FrameworkOptions options;
+    options.road.num_junctions = 800;
+    options.traffic.num_trajectories = 2000;
+    options.seed = 99;
+    return new core::Framework(options);
+  }();
+  return *framework;
+}
+
+void BM_SnapshotFormUpdate(benchmark::State& state) {
+  const auto& network = SharedWorld().network();
+  forms::SnapshotForm form(network.mobility().NumEdges());
+  util::Rng rng(1);
+  size_t num_edges = network.mobility().NumEdges();
+  for (auto _ : state) {
+    form.RecordTraversal(
+        static_cast<graph::EdgeId>(rng.UniformIndex(num_edges)),
+        rng.Bernoulli(0.5));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotFormUpdate);
+
+void BM_TrackingFormLookup(benchmark::State& state) {
+  const auto& network = SharedWorld().network();
+  const forms::TrackingForm& form = network.reference_store();
+  util::Rng rng(2);
+  size_t num_edges = network.mobility().NumEdges();
+  double horizon = SharedWorld().Horizon();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(form.CountUpTo(
+        static_cast<graph::EdgeId>(rng.UniformIndex(num_edges)),
+        rng.Bernoulli(0.5), rng.Uniform(0, horizon)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrackingFormLookup);
+
+void BM_ModelObserve(benchmark::State& state) {
+  learned::ModelOptions options;
+  options.time_scale = 1e6;
+  auto type = static_cast<learned::ModelType>(state.range(0));
+  auto model = learned::CreateCountModel(type, options);
+  double t = 0.0;
+  util::Rng rng(3);
+  for (auto _ : state) {
+    t += rng.Uniform(0.0, 2.0);
+    model->Observe(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelObserve)->DenseRange(0, 4)->ArgName("model");
+
+void BM_ModelPredict(benchmark::State& state) {
+  learned::ModelOptions options;
+  options.time_scale = 1e6;
+  auto type = static_cast<learned::ModelType>(state.range(0));
+  auto model = learned::CreateCountModel(type, options);
+  util::Rng rng(4);
+  double t = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    t += rng.Uniform(0.0, 2.0);
+    model->Observe(t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Predict(rng.Uniform(0.0, t)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelPredict)->DenseRange(0, 4)->ArgName("model");
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto& network = SharedWorld().network();
+  const graph::WeightedAdjacency& adjacency = network.sensing().adjacency();
+  util::Rng rng(5);
+  std::vector<bool> blocked(network.sensing().NumNodes(), false);
+  blocked[network.sensing().ExtNode()] = true;
+  for (auto _ : state) {
+    graph::NodeId src;
+    graph::NodeId dst;
+    do {
+      src = static_cast<graph::NodeId>(rng.UniformIndex(adjacency.size()));
+      dst = static_cast<graph::NodeId>(rng.UniformIndex(adjacency.size()));
+    } while (blocked[src] || blocked[dst]);
+    benchmark::DoNotOptimize(
+        graph::ShortestPath(adjacency, src, dst, &blocked));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_SampledGraphConstruction(benchmark::State& state) {
+  const core::Framework& framework = SharedWorld();
+  sampling::KdTreeSampler sampler;
+  size_t m = framework.network().NumSensors() *
+             static_cast<size_t>(state.range(0)) / 100;
+  for (auto _ : state) {
+    util::Rng rng(6);
+    core::Deployment dep = framework.DeployWithSampler(
+        sampler, m, core::DeploymentOptions{}, rng);
+    benchmark::DoNotOptimize(dep.graph().NumFaces());
+  }
+}
+BENCHMARK(BM_SampledGraphConstruction)
+    ->Arg(5)
+    ->Arg(25)
+    ->ArgName("pct_sensors")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SampledQuery(benchmark::State& state) {
+  const core::Framework& framework = SharedWorld();
+  sampling::KdTreeSampler sampler;
+  util::Rng rng(7);
+  static core::Deployment* dep = new core::Deployment(
+      framework.DeployWithSampler(sampler,
+                                  framework.network().NumSensors() / 4,
+                                  core::DeploymentOptions{}, rng));
+  core::SampledQueryProcessor processor = dep->processor();
+  core::WorkloadOptions wo;
+  wo.area_fraction = 0.05;
+  wo.horizon = framework.Horizon();
+  util::Rng qrng(8);
+  std::vector<core::RangeQuery> queries =
+      core::GenerateWorkload(framework.network(), wo, 50, qrng);
+  size_t i = 0;
+  for (auto _ : state) {
+    const core::RangeQuery& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(processor.Answer(q, core::CountKind::kStatic,
+                                              core::BoundMode::kLower));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampledQuery);
+
+void BM_RegionResolution(benchmark::State& state) {
+  // R-tree-backed JunctionsInRect (the query-dispatch front end).
+  const auto& framework = SharedWorld();
+  const auto& network = framework.network();
+  const geometry::Rect& domain = network.DomainBounds();
+  util::Rng rng(11);
+  for (auto _ : state) {
+    double w = domain.Width() * 0.2;
+    double x0 = domain.min_x + rng.Uniform(0.0, domain.Width() - w);
+    double y0 = domain.min_y + rng.Uniform(0.0, domain.Height() - w);
+    benchmark::DoNotOptimize(
+        network.JunctionsInRect(geometry::Rect(x0, y0, x0 + w, y0 + w)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegionResolution);
+
+void BM_LiveMonitorEvent(benchmark::State& state) {
+  const auto& framework = SharedWorld();
+  const auto& network = framework.network();
+  core::WorkloadOptions wo;
+  wo.area_fraction = 0.1;
+  wo.horizon = framework.Horizon();
+  util::Rng rng(12);
+  std::vector<core::RangeQuery> queries =
+      core::GenerateWorkload(network, wo, 1, rng);
+  core::LiveRegionMonitor monitor(network, queries[0].junctions);
+  const auto& events = network.events();
+  size_t i = 0;
+  for (auto _ : state) {
+    // Cycling the stream would violate time order at the wrap; clamp the
+    // timestamp (count arithmetic is order-insensitive).
+    mobility::CrossingEvent event = events[i++ % events.size()];
+    if (event.time < monitor.LastEventTime()) {
+      event.time = monitor.LastEventTime();
+    }
+    monitor.OnEvent(event);
+  }
+  benchmark::DoNotOptimize(monitor.CurrentCount());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LiveMonitorEvent);
+
+void BM_UnsampledQuery(benchmark::State& state) {
+  const core::Framework& framework = SharedWorld();
+  core::UnsampledQueryProcessor processor(framework.network());
+  core::WorkloadOptions wo;
+  wo.area_fraction = 0.05;
+  wo.horizon = framework.Horizon();
+  util::Rng qrng(9);
+  std::vector<core::RangeQuery> queries =
+      core::GenerateWorkload(framework.network(), wo, 50, qrng);
+  size_t i = 0;
+  for (auto _ : state) {
+    const core::RangeQuery& q = queries[i++ % queries.size()];
+    benchmark::DoNotOptimize(processor.Answer(q, core::CountKind::kStatic));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnsampledQuery);
+
+}  // namespace
+}  // namespace innet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Cell-tower load monitoring (the paper's Fig. 1 scenario): track how many
+// users are inside each tower's coverage region over time, without any party
+// ever seeing a full mobility trace.
+//
+// Towers are modeled as rectangular coverage regions; each is mapped to a
+// union of sensing-graph faces, and its load is read at a sequence of
+// timestamps via static counts plus transient deltas per interval.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/live_monitor.h"
+#include "core/workload.h"
+#include "sampling/samplers.h"
+#include "util/table.h"
+
+namespace {
+
+struct Tower {
+  const char* name;
+  double cx_frac;  // Center as a fraction of the world size.
+  double cy_frac;
+  double radius_frac;
+};
+
+}  // namespace
+
+int main() {
+  using namespace innet;
+
+  core::FrameworkOptions options;
+  options.road.num_junctions = 1000;
+  options.traffic.num_trajectories = 5000;
+  options.traffic.horizon = 4.0 * 3600.0;
+  options.seed = 22;
+  core::Framework framework(options);
+  const core::SensorNetwork& network = framework.network();
+
+  // Deploy a modest in-network configuration.
+  sampling::KdTreeSampler sampler;
+  util::Rng rng = framework.ForkRng();
+  core::Deployment deployment = framework.DeployWithSampler(
+      sampler, network.NumSensors() / 5, core::DeploymentOptions{}, rng);
+  core::SampledQueryProcessor processor = deployment.processor();
+
+  // Three towers with overlapping urban coverage.
+  const geometry::Rect& world = network.DomainBounds();
+  std::vector<Tower> towers = {
+      {"tower-A", 0.35, 0.40, 0.12},
+      {"tower-B", 0.55, 0.55, 0.15},
+      {"tower-C", 0.70, 0.35, 0.10},
+  };
+
+  util::Table table("Per-tower user load over time (static count; + = net "
+                    "arrivals in the previous 30 min)");
+  std::vector<std::string> header = {"time"};
+  for (const Tower& tower : towers) {
+    header.push_back(tower.name);
+    header.push_back("truth");
+  }
+  table.SetHeader(header);
+
+  // Materialize each tower's query region once.
+  std::vector<core::RangeQuery> regions;
+  for (const Tower& tower : towers) {
+    geometry::Point center(world.min_x + tower.cx_frac * world.Width(),
+                           world.min_y + tower.cy_frac * world.Height());
+    double r = tower.radius_frac * world.Width();
+    core::RangeQuery query;
+    query.rect = geometry::Rect(center.x - r, center.y - r, center.x + r,
+                                center.y + r);
+    query.junctions = network.JunctionsInRect(query.rect);
+    regions.push_back(std::move(query));
+  }
+
+  double step = 1800.0;  // 30-minute reporting interval.
+  for (double t = step; t <= framework.Horizon(); t += step) {
+    std::vector<std::string> row = {
+        util::Table::Num(t / 3600.0, 1) + "h"};
+    for (core::RangeQuery& region : regions) {
+      region.t1 = t - step;
+      region.t2 = t;
+      core::QueryAnswer load = processor.Answer(
+          region, core::CountKind::kStatic, core::BoundMode::kLower);
+      core::QueryAnswer delta = processor.Answer(
+          region, core::CountKind::kTransient, core::BoundMode::kLower);
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.0f (%+.0f)", load.estimate,
+                    delta.estimate);
+      row.push_back(cell);
+      row.push_back(util::Table::Num(
+          network.GroundTruthStatic(region.junctions, t), 0));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf(
+      "privacy note: every number above was aggregated from boundary-edge "
+      "counters; no sensor or server ever stored a user identifier or a "
+      "full trace.\n\n");
+
+  // Continuous mode: a standing LiveRegionMonitor per tower processes the
+  // event stream with O(1) work per crossing and can alert the moment a
+  // load threshold is exceeded — no polling.
+  std::vector<core::LiveRegionMonitor> monitors;
+  for (const core::RangeQuery& region : regions) {
+    monitors.emplace_back(
+        deployment.graph(),
+        deployment.graph().LowerBoundFaces(region.junctions));
+  }
+  std::vector<int64_t> peak(monitors.size(), 0);
+  std::vector<double> peak_time(monitors.size(), 0.0);
+  for (const mobility::CrossingEvent& event : network.events()) {
+    for (size_t i = 0; i < monitors.size(); ++i) {
+      monitors[i].OnEvent(event);
+      if (monitors[i].CurrentCount() > peak[i]) {
+        peak[i] = monitors[i].CurrentCount();
+        peak_time[i] = event.time;
+      }
+    }
+  }
+  std::printf("live monitoring (streaming, O(1)/event):\n");
+  for (size_t i = 0; i < monitors.size(); ++i) {
+    std::printf(
+        "  %s: watches %zu boundary edges; peak load %lld users at %.1fh\n",
+        towers[i].name, monitors[i].WatchedEdges(),
+        static_cast<long long>(peak[i]), peak_time[i] / 3600.0);
+  }
+  return 0;
+}

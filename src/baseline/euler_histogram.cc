@@ -1,0 +1,60 @@
+#include "baseline/euler_histogram.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace innet::baseline {
+
+EulerHistogram::EulerHistogram(
+    const graph::PlanarGraph& graph,
+    const std::vector<mobility::Trajectory>& trajectories,
+    const std::vector<bool>* visible_from_start)
+    : graph_(&graph),
+      faces_(graph, trajectories, visible_from_start),
+      edges_(graph.NumEdges()) {
+  for (const mobility::CrossingEvent& event :
+       mobility::ExtractAllCrossingEvents(graph, trajectories)) {
+    edges_.RecordTraversal(event.edge, event.forward, event.time);
+  }
+}
+
+int64_t EulerHistogram::CrossingsWithin(graph::EdgeId e, double t0,
+                                        double t1) const {
+  int64_t total = 0;
+  for (bool forward : {true, false}) {
+    const std::vector<double>& seq = edges_.Sequence(e, forward);
+    auto lo = std::lower_bound(seq.begin(), seq.end(), t0);
+    auto hi = std::upper_bound(seq.begin(), seq.end(), t1);
+    total += hi - lo;
+  }
+  return total;
+}
+
+int64_t EulerHistogram::ConnectedVisits(const std::vector<bool>& in_region,
+                                        double t0, double t1) const {
+  INNET_CHECK(in_region.size() == graph_->NumNodes());
+  int64_t visits = 0;
+  for (graph::NodeId n = 0; n < graph_->NumNodes(); ++n) {
+    if (in_region[n]) visits += faces_.VisitsOverlapping(n, t0, t1);
+  }
+  int64_t interior_crossings = 0;
+  for (graph::EdgeId e = 0; e < graph_->NumEdges(); ++e) {
+    const graph::EdgeRecord& rec = graph_->Edge(e);
+    if (in_region[rec.u] && in_region[rec.v]) {
+      interior_crossings += CrossingsWithin(e, t0, t1);
+    }
+  }
+  return visits - interior_crossings;
+}
+
+int64_t EulerHistogram::OccupancyAt(const std::vector<bool>& in_region,
+                                    double t) const {
+  int64_t total = 0;
+  for (graph::NodeId n = 0; n < graph_->NumNodes(); ++n) {
+    if (in_region[n]) total += faces_.OccupancyAt(n, t);
+  }
+  return total;
+}
+
+}  // namespace innet::baseline

@@ -1,0 +1,51 @@
+// Euler histogram over the sensing graph's faces ([15, 19], §5.1.2).
+//
+// The classic trajectory Euler identity: for a region R (a union of junction
+// cells) and interval [t0, t1],
+//   connected visits = Σ_{cell in R} visits(cell) - Σ_{edge interior to R}
+//                      crossings(edge)
+// Each maximal in-region stretch of a trajectory contributes exactly one:
+// its cell visits form a path whose interior crossings cancel all but one
+// term. An object that leaves R and re-enters counts once per stretch (the
+// well-known Euler-histogram overcount for distinct objects).
+#ifndef INNET_BASELINE_EULER_HISTOGRAM_H_
+#define INNET_BASELINE_EULER_HISTOGRAM_H_
+
+#include <vector>
+
+#include "baseline/face_occupancy.h"
+#include "forms/tracking_form.h"
+#include "graph/planar_graph.h"
+#include "mobility/trajectory.h"
+
+namespace innet::baseline {
+
+/// Aggregated Euler histogram: per-face visit aggregates plus per-edge
+/// crossing sequences.
+class EulerHistogram {
+ public:
+  /// `visible_from_start` marks gateway junctions; see FaceOccupancyIndex.
+  EulerHistogram(const graph::PlanarGraph& graph,
+                 const std::vector<mobility::Trajectory>& trajectories,
+                 const std::vector<bool>* visible_from_start = nullptr);
+
+  /// Number of connected in-region visits during the closed interval
+  /// [t0, t1] for the junction-cell union flagged by `in_region`.
+  int64_t ConnectedVisits(const std::vector<bool>& in_region, double t0,
+                          double t1) const;
+
+  /// Objects present in the region at time t (sum of face occupancies).
+  int64_t OccupancyAt(const std::vector<bool>& in_region, double t) const;
+
+ private:
+  /// Crossings of edge e (both directions) within closed [t0, t1].
+  int64_t CrossingsWithin(graph::EdgeId e, double t0, double t1) const;
+
+  const graph::PlanarGraph* graph_;
+  FaceOccupancyIndex faces_;
+  forms::TrackingForm edges_;
+};
+
+}  // namespace innet::baseline
+
+#endif  // INNET_BASELINE_EULER_HISTOGRAM_H_

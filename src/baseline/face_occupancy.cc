@@ -1,0 +1,60 @@
+#include "baseline/face_occupancy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace innet::baseline {
+
+FaceOccupancyIndex::FaceOccupancyIndex(
+    const graph::PlanarGraph& graph,
+    const std::vector<mobility::Trajectory>& trajectories,
+    const std::vector<bool>* visible_from_start)
+    : arrivals_(graph.NumNodes()), departures_(graph.NumNodes()) {
+  for (const mobility::Trajectory& trajectory : trajectories) {
+    if (trajectory.nodes.empty()) continue;
+    bool gateway_start = visible_from_start != nullptr &&
+                         (*visible_from_start)[trajectory.nodes.front()];
+    size_t first = gateway_start ? 0 : 1;
+    if (trajectory.nodes.size() <= first) continue;  // Never visible.
+    // Visible cells: nodes[i] occupied during [times[i], times[i+1]); the
+    // final cell is never departed.
+    for (size_t i = first; i < trajectory.nodes.size(); ++i) {
+      arrivals_[trajectory.nodes[i]].push_back(trajectory.times[i]);
+      if (i + 1 < trajectory.nodes.size()) {
+        departures_[trajectory.nodes[i]].push_back(trajectory.times[i + 1]);
+      }
+    }
+  }
+  for (auto& seq : arrivals_) std::sort(seq.begin(), seq.end());
+  for (auto& seq : departures_) std::sort(seq.begin(), seq.end());
+}
+
+int64_t FaceOccupancyIndex::OccupancyAt(graph::NodeId junction,
+                                        double t) const {
+  const std::vector<double>& arr = arrivals_[junction];
+  const std::vector<double>& dep = departures_[junction];
+  int64_t arrived = std::upper_bound(arr.begin(), arr.end(), t) - arr.begin();
+  int64_t departed = std::upper_bound(dep.begin(), dep.end(), t) - dep.begin();
+  return arrived - departed;
+}
+
+int64_t FaceOccupancyIndex::VisitsOverlapping(graph::NodeId junction,
+                                              double t0, double t1) const {
+  const std::vector<double>& arr = arrivals_[junction];
+  const std::vector<double>& dep = departures_[junction];
+  int64_t arrived =
+      std::upper_bound(arr.begin(), arr.end(), t1) - arr.begin();
+  // Visits already over before t0: departure strictly earlier than t0.
+  int64_t gone = std::lower_bound(dep.begin(), dep.end(), t0) - dep.begin();
+  return arrived - gone;
+}
+
+size_t FaceOccupancyIndex::TotalEvents() const {
+  size_t total = 0;
+  for (const auto& seq : arrivals_) total += seq.size();
+  for (const auto& seq : departures_) total += seq.size();
+  return total;
+}
+
+}  // namespace innet::baseline

@@ -1,0 +1,51 @@
+// Per-face occupancy index: for every junction cell (face of the sensing
+// graph) the sorted arrival and departure times of visible objects. This is
+// the aggregated state the Euler-histogram baseline keeps per face.
+#ifndef INNET_BASELINE_FACE_OCCUPANCY_H_
+#define INNET_BASELINE_FACE_OCCUPANCY_H_
+
+#include <vector>
+
+#include "graph/planar_graph.h"
+#include "mobility/trajectory.h"
+
+namespace innet::baseline {
+
+/// Arrival/departure aggregates per junction cell, under the same
+/// visibility convention as the tracking forms (objects appear with their
+/// first crossing, the final cell is never departed).
+class FaceOccupancyIndex {
+ public:
+  /// `visible_from_start` marks gateway junctions (⋆v_ext entries): see
+  /// mobility::OccupancyOracle for the convention.
+  FaceOccupancyIndex(const graph::PlanarGraph& graph,
+                     const std::vector<mobility::Trajectory>& trajectories,
+                     const std::vector<bool>* visible_from_start = nullptr);
+
+  size_t num_cells() const { return arrivals_.size(); }
+
+  /// Objects present in cell `junction` at time t:
+  /// arrivals(<= t) - departures(<= t).
+  int64_t OccupancyAt(graph::NodeId junction, double t) const;
+
+  /// Visits of cell `junction` overlapping the closed interval [t0, t1]:
+  /// arrivals(<= t1) - departures(< t0).
+  int64_t VisitsOverlapping(graph::NodeId junction, double t0,
+                            double t1) const;
+
+  /// Total stored timestamps (storage accounting).
+  size_t TotalEvents() const;
+
+  /// Stored timestamps for one cell.
+  size_t EventsForCell(graph::NodeId junction) const {
+    return arrivals_[junction].size() + departures_[junction].size();
+  }
+
+ private:
+  std::vector<std::vector<double>> arrivals_;    // Sorted per junction.
+  std::vector<std::vector<double>> departures_;  // Sorted per junction.
+};
+
+}  // namespace innet::baseline
+
+#endif  // INNET_BASELINE_FACE_OCCUPANCY_H_

@@ -1,0 +1,54 @@
+// The paper's baseline (§5.1.2): Euler-histogram face counts on the
+// unsampled sensing graph G combined with uniform random face sampling
+// ([14, 29]). Sampled faces store their occupancy aggregates; a query sums
+// the responding sampled faces inside Q_R and scales by the inverse sampled
+// coverage (Horvitz-Thompson).
+#ifndef INNET_BASELINE_FACE_SAMPLING_H_
+#define INNET_BASELINE_FACE_SAMPLING_H_
+
+#include <vector>
+
+#include "baseline/face_occupancy.h"
+#include "core/query.h"
+#include "core/sensor_network.h"
+#include "mobility/trajectory.h"
+#include "util/rng.h"
+
+namespace innet::baseline {
+
+/// Face-sampling aggregate baseline.
+class FaceSamplingBaseline {
+ public:
+  /// Samples `num_sampled_faces` junction cells uniformly without
+  /// replacement and aggregates their occupancy events.
+  ///
+  /// With `horvitz_thompson` false (the paper's baseline), a query sums the
+  /// sampled faces inside Q_R only — "the area of the sampled faces
+  /// predetermines the maximum coverage" (§5.3). With true, the sum is
+  /// scaled by the inverse sampled coverage, giving an unbiased but noisier
+  /// estimator.
+  FaceSamplingBaseline(const core::SensorNetwork& network,
+                       const std::vector<mobility::Trajectory>& trajectories,
+                       size_t num_sampled_faces, util::Rng& rng,
+                       bool horvitz_thompson = false);
+
+  /// Answers a query by flooding the sampled faces inside the region.
+  core::QueryAnswer Answer(const core::RangeQuery& query,
+                           core::CountKind kind) const;
+
+  size_t NumSampledFaces() const { return sampled_count_; }
+
+  /// Bytes stored across the sampled faces.
+  size_t StorageBytes() const;
+
+ private:
+  const core::SensorNetwork* network_;
+  FaceOccupancyIndex occupancy_;
+  std::vector<bool> sampled_;
+  size_t sampled_count_ = 0;
+  bool horvitz_thompson_ = false;
+};
+
+}  // namespace innet::baseline
+
+#endif  // INNET_BASELINE_FACE_SAMPLING_H_

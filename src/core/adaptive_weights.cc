@@ -1,0 +1,28 @@
+#include "core/adaptive_weights.h"
+
+namespace innet::core {
+
+std::vector<double> QueryFrequencyWeights(const SensorNetwork& network,
+                                          const std::vector<RangeQuery>& history,
+                                          double base_weight) {
+  const graph::PlanarGraph& mobility = network.mobility();
+  size_t num_sensors = network.sensing().NumNodes();
+  std::vector<double> weights(num_sensors, base_weight);
+  // Epoch stamps avoid counting a sensor twice within one query.
+  std::vector<uint32_t> stamp(num_sensors, 0);
+  uint32_t epoch = 0;
+  for (const RangeQuery& query : history) {
+    ++epoch;
+    for (graph::NodeId junction : query.junctions) {
+      for (graph::FaceId sensor : mobility.FacesAroundNode(junction)) {
+        if (stamp[sensor] == epoch) continue;
+        stamp[sensor] = epoch;
+        weights[sensor] += 1.0;
+      }
+    }
+  }
+  weights[network.sensing().ExtNode()] = 0.0;
+  return weights;
+}
+
+}  // namespace innet::core

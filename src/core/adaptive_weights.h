@@ -1,0 +1,25 @@
+// Query-adaptive sampling weights (§4.3, last paragraph): "use the number of
+// times each node appeared in previous queries as the weight". A sensor
+// appears in a query when its face touches any junction of the query's
+// region, i.e., when it would participate in answering it.
+#ifndef INNET_CORE_ADAPTIVE_WEIGHTS_H_
+#define INNET_CORE_ADAPTIVE_WEIGHTS_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "core/sensor_network.h"
+
+namespace innet::core {
+
+/// Per-sensor (dual node) selection weights from historical queries:
+/// base_weight plus the number of historical queries each sensor appeared
+/// in. The ext node always gets weight 0. Feed the result to
+/// sampling::SensorSampler::SetWeights to make any sampler query adaptive.
+std::vector<double> QueryFrequencyWeights(const SensorNetwork& network,
+                                          const std::vector<RangeQuery>& history,
+                                          double base_weight = 1.0);
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_ADAPTIVE_WEIGHTS_H_

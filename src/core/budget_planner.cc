@@ -1,0 +1,97 @@
+#include "core/budget_planner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace innet::core {
+
+double MeasureMedianError(const Framework& framework,
+                          const sampling::SensorSampler& sampler, size_t m,
+                          const std::vector<RangeQuery>& queries,
+                          const DeploymentOptions& deployment, size_t reps) {
+  const SensorNetwork& network = framework.network();
+  util::Accumulator err;
+  for (size_t rep = 0; rep < std::max<size_t>(1, reps); ++rep) {
+    util::Rng rng(0xb0d6e7ULL * 2654435761ULL + rep);
+    Deployment dep = framework.DeployWithSampler(sampler, m, deployment, rng);
+    SampledQueryProcessor processor = dep.processor();
+    for (const RangeQuery& q : queries) {
+      double truth = network.GroundTruthStatic(q.junctions, q.t2);
+      err.Add(util::RelativeError(
+          truth,
+          processor.Answer(q, CountKind::kStatic, BoundMode::kLower)
+              .estimate));
+    }
+  }
+  return err.empty() ? 1.0 : err.Summarize().median;
+}
+
+BudgetPlan PlanBudget(const Framework& framework,
+                      const sampling::SensorSampler& sampler,
+                      const std::vector<RangeQuery>& queries,
+                      const BudgetPlanOptions& options) {
+  BudgetPlan plan;
+  INNET_CHECK(!queries.empty());
+  size_t max_budget = options.max_budget > 0
+                          ? options.max_budget
+                          : framework.network().NumSensors();
+  max_budget = std::min(max_budget, framework.network().NumSensors());
+  size_t min_budget = std::max<size_t>(1, options.min_budget);
+
+  auto probe = [&](size_t m) {
+    double error = MeasureMedianError(framework, sampler, m, queries,
+                                      options.deployment, options.reps);
+    plan.probes.emplace_back(m, error);
+    return error;
+  };
+
+  // Exponential probe upward until the target is met (or the cap reached).
+  size_t lo = min_budget;
+  size_t hi = min_budget;
+  double error_hi = probe(hi);
+  while (error_hi > options.target_error && hi < max_budget) {
+    lo = hi;
+    hi = std::min(hi * 2, max_budget);
+    error_hi = probe(hi);
+  }
+  if (error_hi > options.target_error) {
+    // Even the full budget misses the target.
+    plan.recommended_budget = 0;
+    plan.achieved_error = error_hi;
+    plan.feasible = false;
+    return plan;
+  }
+  if (plan.probes.size() == 1) {
+    // min_budget already meets the target.
+    plan.recommended_budget = hi;
+    plan.achieved_error = error_hi;
+    plan.feasible = true;
+    return plan;
+  }
+
+  // Binary search in (lo, hi]: lo misses the target, hi meets it. Sampling
+  // noise can make the measured error non-monotone between neighbouring
+  // budgets; the search still returns a budget that met the target when
+  // probed.
+  size_t best = hi;
+  double best_error = error_hi;
+  while (lo + 1 < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    double error = probe(mid);
+    if (error <= options.target_error) {
+      hi = mid;
+      best = mid;
+      best_error = error;
+    } else {
+      lo = mid;
+    }
+  }
+  plan.recommended_budget = best;
+  plan.achieved_error = best_error;
+  plan.feasible = true;
+  return plan;
+}
+
+}  // namespace innet::core

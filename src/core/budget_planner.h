@@ -1,0 +1,68 @@
+// Budget planning with accuracy targets — the paper's closing future-work
+// item ("sensor placements with guaranteed query accuracy bounds"): find the
+// smallest sensor budget whose measured median error on a representative
+// workload meets a target.
+//
+// Median lower-bound error is empirically monotone (non-increasing) in the
+// budget, so an exponential probe followed by binary search needs
+// O(log m_max) deployment evaluations.
+#ifndef INNET_CORE_BUDGET_PLANNER_H_
+#define INNET_CORE_BUDGET_PLANNER_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/query.h"
+#include "sampling/sampler.h"
+
+namespace innet::core {
+
+/// Planner knobs.
+struct BudgetPlanOptions {
+  /// Target median relative error (lower-bound static counts).
+  double target_error = 0.15;
+
+  /// Sampler seeds averaged per evaluation.
+  size_t reps = 2;
+
+  /// Smallest / largest budgets considered (0 = all sensors for max).
+  size_t min_budget = 4;
+  size_t max_budget = 0;
+
+  DeploymentOptions deployment;
+};
+
+/// Planner result.
+struct BudgetPlan {
+  /// Smallest probed budget meeting the target, or 0 when even the maximum
+  /// budget misses it.
+  size_t recommended_budget = 0;
+
+  /// Measured median error at the recommended budget (or at max_budget when
+  /// the target is unreachable).
+  double achieved_error = 1.0;
+
+  /// (budget, median error) pairs evaluated, in evaluation order.
+  std::vector<std::pair<size_t, double>> probes;
+
+  bool feasible = false;
+};
+
+/// Evaluates median lower-bound static error of `sampler` at budget m on
+/// `queries` (exposed for tests and tools).
+double MeasureMedianError(const Framework& framework,
+                          const sampling::SensorSampler& sampler, size_t m,
+                          const std::vector<RangeQuery>& queries,
+                          const DeploymentOptions& deployment, size_t reps);
+
+/// Finds the smallest budget meeting options.target_error for the given
+/// sampler and representative workload.
+BudgetPlan PlanBudget(const Framework& framework,
+                      const sampling::SensorSampler& sampler,
+                      const std::vector<RangeQuery>& queries,
+                      const BudgetPlanOptions& options);
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_BUDGET_PLANNER_H_

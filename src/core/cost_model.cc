@@ -1,0 +1,58 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+#include "graph/shortest_path.h"
+#include "util/logging.h"
+
+namespace innet::core {
+
+double PredictRegionNodes(const CostModelParams& params) {
+  return params.area_fraction * static_cast<double>(params.m) * params.k *
+         params.avg_path_hops;
+}
+
+CostModelParams EstimateParams(const SensorNetwork& network,
+                               const SampledGraphOptions& options, size_t m,
+                               double area_fraction, size_t path_samples) {
+  CostModelParams params;
+  params.area_fraction = area_fraction;
+  params.m = m;
+  if (options.connectivity == Connectivity::kTriangulation) {
+    // Euler: |Ẽ| = 3|Ñ| - 6 for a maximal planar graph, so the average
+    // degree is 2|Ẽ|/|Ñ| per endpoint; one logical edge per pair gives
+    // k = (3m - 6)/m.
+    params.k = m > 2 ? (3.0 * static_cast<double>(m) - 6.0) /
+                           static_cast<double>(m)
+                     : 1.0;
+  } else {
+    params.k = static_cast<double>(options.knn_k);
+  }
+  params.avg_path_hops = graph::EstimateAveragePathHops(
+      network.sensing().adjacency(), path_samples, /*seed=*/1234);
+  // Logical links are shared between the two endpoints, halving the
+  // per-node path footprint.
+  params.k *= 0.5;
+  return params;
+}
+
+size_t MeasureRegionNodes(const SampledGraph& sampled,
+                          const std::vector<graph::NodeId>& qr_junctions) {
+  const graph::PlanarGraph& mobility = sampled.network().mobility();
+  std::vector<bool> in_region = sampled.network().JunctionMask(qr_junctions);
+  std::vector<bool> seen(sampled.network().sensing().NumNodes(), false);
+  size_t count = 0;
+  for (graph::EdgeId e : sampled.monitored_edges()) {
+    const graph::EdgeRecord& rec = mobility.Edge(e);
+    if (!in_region[rec.u] && !in_region[rec.v]) continue;
+    for (graph::NodeId s : {rec.left, rec.right}) {
+      if (!seen[s]) {
+        seen[s] = true;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace innet::core

@@ -1,0 +1,46 @@
+// The §4.9 theoretical querying-cost model and its empirical counterpart.
+//
+// For an approximately uniform sensor distribution, the number of
+// sampled-graph nodes a query involves is predicted by
+//   |Ñ_P| = (A(Q_R) / A(T_R)) * m * k * ℓ_G
+// where m is the number of sampled sensors, k the logical connectivity
+// degree (≈ 3 - 6/m for triangulations by Euler's formula, or the chosen k
+// for k-NN), and ℓ_G the average shortest-path hop length in the sensing
+// graph (sub-linear, logarithmic for small-world graphs). MeasureRegionNodes
+// provides the measured quantity for validation benches.
+#ifndef INNET_CORE_COST_MODEL_H_
+#define INNET_CORE_COST_MODEL_H_
+
+#include "core/sampled_graph.h"
+#include "core/sensor_network.h"
+
+namespace innet::core {
+
+/// Inputs of the §4.9 prediction.
+struct CostModelParams {
+  double area_fraction = 0.0;  // A(Q_R) / A(T_R).
+  size_t m = 0;                // Sampled (communication) sensors.
+  double k = 3.0;              // Logical connectivity degree.
+  double avg_path_hops = 1.0;  // ℓ_G.
+};
+
+/// The |Ñ_P| prediction.
+double PredictRegionNodes(const CostModelParams& params);
+
+/// Estimates k and ℓ_G for a deployment: k from the connectivity choice
+/// (Euler-formula average degree for triangulation, knn_k for k-NN), ℓ_G by
+/// sampling `path_samples` random shortest paths in the sensing graph.
+CostModelParams EstimateParams(const SensorNetwork& network,
+                               const SampledGraphOptions& options, size_t m,
+                               double area_fraction,
+                               size_t path_samples = 64);
+
+/// Measured counterpart: distinct sensors participating in G̃ whose
+/// monitored edges touch the query region (both relays and communication
+/// sensors), i.e., the in-network footprint of the region.
+size_t MeasureRegionNodes(const SampledGraph& sampled,
+                          const std::vector<graph::NodeId>& qr_junctions);
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_COST_MODEL_H_

@@ -1,0 +1,107 @@
+#include "core/dead_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/segment.h"
+#include "util/logging.h"
+
+namespace innet::core {
+
+DeadSpaceReport AnalyzeGridDeadSpace(const SensorNetwork& network, size_t nx,
+                                     size_t ny) {
+  INNET_CHECK(nx >= 1 && ny >= 1);
+  const graph::PlanarGraph& mobility = network.mobility();
+  const geometry::Rect& domain = network.DomainBounds();
+  double cell_w = domain.Width() / static_cast<double>(nx);
+  double cell_h = domain.Height() / static_cast<double>(ny);
+
+  auto clamp_index = [](double f, size_t n) {
+    long idx = static_cast<long>(f);
+    return static_cast<size_t>(
+        std::clamp<long>(idx, 0, static_cast<long>(n) - 1));
+  };
+  auto cell_of = [&](const geometry::Point& p) {
+    size_t cx = clamp_index((p.x - domain.min_x) / cell_w, nx);
+    size_t cy = clamp_index((p.y - domain.min_y) / cell_h, ny);
+    return cy * nx + cx;
+  };
+
+  std::vector<bool> has_road(nx * ny, false);
+  std::vector<size_t> traffic(nx * ny, 0);
+
+  // Mark road coverage: walk each segment's cell-bbox span and test exact
+  // segment-cell intersection for the border cases.
+  for (graph::EdgeId e = 0; e < mobility.NumEdges(); ++e) {
+    const geometry::Point& a = mobility.Position(mobility.Edge(e).u);
+    const geometry::Point& b = mobility.Position(mobility.Edge(e).v);
+    geometry::Segment segment(a, b);
+    size_t cx0 = clamp_index((std::min(a.x, b.x) - domain.min_x) / cell_w, nx);
+    size_t cx1 = clamp_index((std::max(a.x, b.x) - domain.min_x) / cell_w, nx);
+    size_t cy0 = clamp_index((std::min(a.y, b.y) - domain.min_y) / cell_h, ny);
+    size_t cy1 = clamp_index((std::max(a.y, b.y) - domain.min_y) / cell_h, ny);
+    for (size_t cy = cy0; cy <= cy1; ++cy) {
+      for (size_t cx = cx0; cx <= cx1; ++cx) {
+        if (has_road[cy * nx + cx]) continue;
+        geometry::Rect cell(domain.min_x + cx * cell_w,
+                            domain.min_y + cy * cell_h,
+                            domain.min_x + (cx + 1) * cell_w,
+                            domain.min_y + (cy + 1) * cell_h);
+        // Endpoint inside, or proper crossing of any cell side.
+        bool touches = cell.Contains(a) || cell.Contains(b);
+        if (!touches) {
+          const geometry::Point corners[4] = {
+              {cell.min_x, cell.min_y},
+              {cell.max_x, cell.min_y},
+              {cell.max_x, cell.max_y},
+              {cell.min_x, cell.max_y}};
+          for (int s = 0; s < 4 && !touches; ++s) {
+            touches = geometry::SegmentsIntersect(
+                segment, geometry::Segment(corners[s], corners[(s + 1) % 4]));
+          }
+        }
+        if (touches) has_road[cy * nx + cx] = true;
+      }
+    }
+  }
+
+  // Traffic: events attributed to the cell of their road's midpoint.
+  const forms::TrackingForm& store = network.reference_store();
+  for (graph::EdgeId e = 0; e < mobility.NumEdges(); ++e) {
+    size_t events = store.EventCount(e, true) + store.EventCount(e, false);
+    if (events == 0) continue;
+    geometry::Point mid = geometry::Midpoint(
+        mobility.Position(mobility.Edge(e).u),
+        mobility.Position(mobility.Edge(e).v));
+    traffic[cell_of(mid)] += events;
+  }
+
+  DeadSpaceReport report;
+  report.partitions = nx * ny;
+  for (size_t c = 0; c < nx * ny; ++c) {
+    if (!has_road[c]) ++report.without_roads;
+    if (traffic[c] == 0) ++report.without_traffic;
+  }
+  return report;
+}
+
+DeadSpaceReport AnalyzeSensingDeadSpace(const SensorNetwork& network) {
+  const graph::PlanarGraph& mobility = network.mobility();
+  const forms::TrackingForm& store = network.reference_store();
+  std::vector<size_t> traffic(mobility.NumFaces(), 0);
+  for (graph::EdgeId e = 0; e < mobility.NumEdges(); ++e) {
+    size_t events = store.EventCount(e, true) + store.EventCount(e, false);
+    traffic[mobility.Edge(e).left] += events;
+    traffic[mobility.Edge(e).right] += events;
+  }
+  DeadSpaceReport report;
+  report.partitions = mobility.NumFaces() - 1;  // Exclude the outer face.
+  report.without_roads = 0;  // Every face is bounded by roads.
+  for (graph::FaceId f = 0; f < mobility.NumFaces(); ++f) {
+    if (f == mobility.OuterFace()) continue;
+    if (traffic[f] == 0) ++report.without_traffic;
+  }
+  return report;
+}
+
+}  // namespace innet::core

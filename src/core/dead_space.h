@@ -1,0 +1,52 @@
+// Dead-space quantification (§1, §3.1.1): axis-aligned partitions place
+// sensors where no road runs or no traffic flows; the planar sensing graph
+// assigns sensors to mobility faces, which border roads by construction.
+//
+// AnalyzeGridDeadSpace evaluates a virtual nx-by-ny grid deployment (one
+// sensor per cell, the Grid/kd/Quad style of §2.3): how many cells contain
+// no road at all, and how many see zero crossing events over the ingested
+// history. AnalyzeSensingDeadSpace reports the same activity measure for
+// the dual sensing faces.
+#ifndef INNET_CORE_DEAD_SPACE_H_
+#define INNET_CORE_DEAD_SPACE_H_
+
+#include <cstddef>
+
+#include "core/sensor_network.h"
+
+namespace innet::core {
+
+/// Dead-space statistics of one partitioning scheme.
+struct DeadSpaceReport {
+  size_t partitions = 0;      // Cells or faces (one sensor each).
+  size_t without_roads = 0;   // No road touches the partition.
+  size_t without_traffic = 0; // No crossing event over the whole history.
+
+  double NoRoadFraction() const {
+    return partitions == 0
+               ? 0.0
+               : static_cast<double>(without_roads) /
+                     static_cast<double>(partitions);
+  }
+  double NoTrafficFraction() const {
+    return partitions == 0
+               ? 0.0
+               : static_cast<double>(without_traffic) /
+                     static_cast<double>(partitions);
+  }
+};
+
+/// Virtual axis-aligned grid over the domain. A cell "has a road" when some
+/// road segment intersects it; its traffic is the number of crossing events
+/// on roads whose midpoint falls inside. Requires ingested trajectories.
+DeadSpaceReport AnalyzeGridDeadSpace(const SensorNetwork& network, size_t nx,
+                                     size_t ny);
+
+/// The planar sensing graph's partitions: one sensor per mobility face
+/// (excluding the outer face). A face's traffic is the number of crossing
+/// events on its bordering roads; no face is road-free by construction.
+DeadSpaceReport AnalyzeSensingDeadSpace(const SensorNetwork& network);
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_DEAD_SPACE_H_

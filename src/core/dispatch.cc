@@ -1,0 +1,85 @@
+#include "core/dispatch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace innet::core {
+
+const char* DispatchModeName(DispatchMode mode) {
+  return mode == DispatchMode::kServerDirect ? "server-direct"
+                                             : "perimeter-traversal";
+}
+
+namespace {
+
+// Mean sensing-graph link length, the unit for hop estimation.
+double MeanLinkLength(const SensorNetwork& network) {
+  const graph::DualGraph& dual = network.sensing();
+  double total = 0.0;
+  size_t count = 0;
+  for (graph::NodeId n = 0; n < dual.NumNodes(); ++n) {
+    for (const graph::WeightedArc& arc : dual.adjacency()[n]) {
+      total += arc.weight;
+      ++count;
+    }
+  }
+  return count == 0 ? 1.0 : total / static_cast<double>(count);
+}
+
+}  // namespace
+
+DispatchCost SimulateDispatch(const SensorNetwork& network,
+                              const std::vector<graph::NodeId>& perimeter_sensors,
+                              DispatchMode mode) {
+  DispatchCost cost;
+  cost.sensors_contacted = perimeter_sensors.size();
+  if (perimeter_sensors.empty()) return cost;
+
+  if (mode == DispatchMode::kServerDirect) {
+    cost.long_links = perimeter_sensors.size();
+    cost.mesh_hops = 0;
+    return cost;
+  }
+
+  // Perimeter traversal: enter at one sensor, walk the boundary cycle in
+  // angular order, return from the last sensor.
+  cost.long_links = 2;
+  const graph::DualGraph& dual = network.sensing();
+  geometry::Point centroid;
+  size_t physical = 0;
+  for (graph::NodeId s : perimeter_sensors) {
+    if (s == dual.ExtNode()) continue;  // The ⋆v_ext side has no position.
+    centroid = centroid + dual.Position(s);
+    ++physical;
+  }
+  if (physical < 2) {
+    cost.mesh_hops = physical > 0 ? physical - 1 : 0;
+    return cost;
+  }
+  centroid = centroid / static_cast<double>(physical);
+
+  std::vector<graph::NodeId> tour;
+  tour.reserve(physical);
+  for (graph::NodeId s : perimeter_sensors) {
+    if (s != dual.ExtNode()) tour.push_back(s);
+  }
+  std::sort(tour.begin(), tour.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              return geometry::AngleOf(centroid, dual.Position(a)) <
+                     geometry::AngleOf(centroid, dual.Position(b));
+            });
+
+  double unit = std::max(MeanLinkLength(network), 1e-9);
+  size_t hops = 0;
+  for (size_t i = 0; i + 1 < tour.size(); ++i) {
+    double d = geometry::Distance(dual.Position(tour[i]),
+                                  dual.Position(tour[i + 1]));
+    hops += std::max<size_t>(1, static_cast<size_t>(std::lround(d / unit)));
+  }
+  cost.mesh_hops = hops;
+  return cost;
+}
+
+}  // namespace innet::core

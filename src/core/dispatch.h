@@ -1,0 +1,62 @@
+// Query dispatch simulation (§4.6): once the perimeter sensors of a region
+// are known, the counts can be collected in two ways —
+//   1. kServerDirect: the remote query server contacts every perimeter
+//      sensor directly and aggregates centrally (many long-distance links,
+//      no in-network routing);
+//   2. kPerimeterTraversal: the server contacts ONE perimeter sensor; the
+//      query then travels sensor-to-sensor along the perimeter, aggregating
+//      in-network, and the final count returns to the server (two
+//      long-distance links, O(perimeter) short hops).
+// "The choice of method depends on the actual cost in the network"; this
+// simulator produces the cost terms of that comparison.
+#ifndef INNET_CORE_DISPATCH_H_
+#define INNET_CORE_DISPATCH_H_
+
+#include <vector>
+
+#include "core/sensor_network.h"
+#include "graph/planar_graph.h"
+
+namespace innet::core {
+
+/// The §4.6 communication strategies.
+enum class DispatchMode {
+  kServerDirect,
+  kPerimeterTraversal,
+};
+
+const char* DispatchModeName(DispatchMode mode);
+
+/// Cost terms of one dispatch.
+struct DispatchCost {
+  /// Distinct sensors involved.
+  size_t sensors_contacted = 0;
+  /// Sensor-to-server round trips (high-power, long-distance radio).
+  size_t long_links = 0;
+  /// Sensor-to-sensor hops traveled inside the mesh (short-range radio).
+  size_t mesh_hops = 0;
+
+  /// Total message count (each long link is a request+reply pair, each mesh
+  /// hop one forwarded message).
+  size_t Messages() const { return 2 * long_links + mesh_hops; }
+
+  /// Energy proxy: long-distance transmissions cost `long_link_cost` times
+  /// a mesh hop (battery-powered sensors, §3.1).
+  double Energy(double long_link_cost = 20.0) const {
+    return static_cast<double>(mesh_hops) +
+           long_link_cost * static_cast<double>(long_links);
+  }
+};
+
+/// Simulates collecting counts from `perimeter_sensors` (dual node ids, as
+/// produced by SampledGraph::BoundaryOfFaces). The traversal mode visits
+/// the sensors in angular order around their centroid (the perimeter is a
+/// closed boundary, so this closely tracks the physical cycle) and charges
+/// hop counts proportional to inter-sensor mesh distance.
+DispatchCost SimulateDispatch(const SensorNetwork& network,
+                              const std::vector<graph::NodeId>& perimeter_sensors,
+                              DispatchMode mode);
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_DISPATCH_H_

@@ -1,0 +1,43 @@
+#include "core/event_buffer.h"
+
+#include "util/logging.h"
+
+namespace innet::core {
+
+EventReorderBuffer::EventReorderBuffer(double max_lateness, Sink sink)
+    : max_lateness_(max_lateness), sink_(std::move(sink)) {
+  INNET_CHECK(max_lateness_ >= 0.0);
+  INNET_CHECK(sink_ != nullptr);
+}
+
+bool EventReorderBuffer::Push(const mobility::CrossingEvent& event) {
+  if (event.time < watermark_) {
+    ++dropped_;
+    return false;
+  }
+  heap_.push(event);
+  if (event.time > newest_) newest_ = event.time;
+  Release();
+  return true;
+}
+
+void EventReorderBuffer::Release() {
+  // Everything at or before newest - lateness can no longer be preceded by
+  // an unseen event.
+  double safe = newest_ - max_lateness_;
+  while (!heap_.empty() && heap_.top().time <= safe) {
+    watermark_ = heap_.top().time;
+    sink_(heap_.top());
+    heap_.pop();
+  }
+}
+
+void EventReorderBuffer::Flush() {
+  while (!heap_.empty()) {
+    watermark_ = heap_.top().time;
+    sink_(heap_.top());
+    heap_.pop();
+  }
+}
+
+}  // namespace innet::core

@@ -1,0 +1,69 @@
+// Bounded-lateness event reordering.
+//
+// Real sensor meshes deliver crossing events out of order (multi-hop
+// forwarding, per-sensor clocks). The tracking-form stores and live
+// monitors require per-edge time order, so ingestion pipelines place this
+// reorder buffer in front: events may arrive up to `max_lateness` seconds
+// late; the buffer holds a sliding window and releases events in global
+// time order once they can no longer be preceded by an unseen earlier
+// event. Events later than the watermark are reported as dropped rather
+// than corrupting downstream state.
+#ifndef INNET_CORE_EVENT_BUFFER_H_
+#define INNET_CORE_EVENT_BUFFER_H_
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "mobility/trajectory.h"
+
+namespace innet::core {
+
+/// Sliding-window reorder buffer for crossing events.
+class EventReorderBuffer {
+ public:
+  using Sink = std::function<void(const mobility::CrossingEvent&)>;
+
+  /// Events arriving more than `max_lateness` seconds behind the newest
+  /// arrival are dropped.
+  EventReorderBuffer(double max_lateness, Sink sink);
+
+  /// Offers one event. Returns false when the event violated the lateness
+  /// bound and was dropped.
+  bool Push(const mobility::CrossingEvent& event);
+
+  /// Releases every buffered event (end of stream).
+  void Flush();
+
+  /// Events currently held back.
+  size_t Pending() const { return heap_.size(); }
+
+  /// Events dropped for exceeding the lateness bound.
+  size_t Dropped() const { return dropped_; }
+
+  /// Timestamp below which all events have been released.
+  double Watermark() const { return watermark_; }
+
+ private:
+  struct Later {
+    bool operator()(const mobility::CrossingEvent& a,
+                    const mobility::CrossingEvent& b) const {
+      return a.time > b.time;
+    }
+  };
+
+  void Release();
+
+  double max_lateness_;
+  Sink sink_;
+  std::priority_queue<mobility::CrossingEvent,
+                      std::vector<mobility::CrossingEvent>, Later>
+      heap_;
+  double newest_ = -1e300;
+  double watermark_ = -1e300;
+  size_t dropped_ = 0;
+};
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_EVENT_BUFFER_H_

@@ -1,0 +1,94 @@
+#include "core/framework.h"
+
+#include "placement/query_adaptive.h"
+#include "sampling/samplers.h"
+#include "util/logging.h"
+
+namespace innet::core {
+
+Deployment::Deployment(const SensorNetwork& network, SampledGraph graph,
+                       const DeploymentOptions& options, double time_scale)
+    : graph_(std::move(graph)) {
+  size_t num_edges = network.TotalEdgeSpace();
+  if (options.store == StoreKind::kExact) {
+    exact_store_ = std::make_unique<forms::TrackingForm>(num_edges);
+    store_view_ = exact_store_.get();
+  } else {
+    learned::ModelOptions model_options;
+    model_options.time_scale = time_scale;
+    model_options.epsilon = options.pla_epsilon;
+    learned_store_ = std::make_unique<learned::BufferedEdgeStore>(
+        num_edges, options.model_type, options.buffer_capacity,
+        model_options);
+    store_view_ = learned_store_.get();
+  }
+  // Replay the event stream into the deployment's store; only monitored
+  // edges carry tracking forms.
+  for (const mobility::CrossingEvent& event : network.events()) {
+    if (!graph_.IsMonitored(event.edge)) continue;
+    if (exact_store_ != nullptr) {
+      exact_store_->RecordTraversal(event.edge, event.forward, event.time);
+    } else {
+      learned_store_->RecordTraversal(event.edge, event.forward, event.time);
+    }
+  }
+}
+
+Framework::Framework(const FrameworkOptions& options)
+    : options_(options), rng_(options.seed) {
+  util::Rng road_rng = rng_.Fork();
+  network_ = std::make_unique<SensorNetwork>(
+      mobility::GenerateRoadNetwork(options_.road, road_rng));
+  util::Rng traffic_rng = rng_.Fork();
+  trajectories_ = mobility::GenerateTrajectories(
+      network_->mobility(), options_.traffic, traffic_rng);
+  network_->IngestTrajectories(trajectories_);
+}
+
+Deployment Framework::DeployWithSampler(const sampling::SensorSampler& sampler,
+                                        size_t m,
+                                        const DeploymentOptions& options,
+                                        util::Rng& rng) const {
+  std::vector<graph::NodeId> sensors =
+      sampler.Select(network_->sensing(), m, rng);
+  return DeployFromSensors(std::move(sensors), options);
+}
+
+Deployment Framework::DeployFromSensors(std::vector<graph::NodeId> sensors,
+                                        const DeploymentOptions& options) const {
+  SampledGraph graph =
+      SampledGraph::FromSensors(*network_, std::move(sensors), options.graph);
+  return Deployment(*network_, std::move(graph), options, Horizon());
+}
+
+Deployment Framework::DeployAdaptive(const std::vector<RangeQuery>& history,
+                                     size_t m,
+                                     const DeploymentOptions& options) const {
+  // Convert the sensor budget into the equal in-network wire budget: the
+  // number of monitored edges a query-oblivious deployment of m sensors
+  // would materialize (its shortest-path relays are free, and so are the
+  // adaptive method's boundary relays — §4.5 maps region edges to network
+  // paths the same way).
+  sampling::KdTreeSampler reference_sampler;
+  util::Rng reference_rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<graph::NodeId> reference_sensors =
+      reference_sampler.Select(network_->sensing(), m, reference_rng);
+  SampledGraph reference = SampledGraph::FromSensors(
+      *network_, std::move(reference_sensors), options.graph);
+  size_t edge_budget = reference.monitored_edges().size();
+
+  std::vector<placement::QueryRegionHistory> regions;
+  regions.reserve(history.size());
+  for (const RangeQuery& query : history) {
+    regions.push_back({query.junctions});
+  }
+  std::vector<placement::Atom> atoms =
+      placement::PartitionIntoAtoms(network_->mobility(), regions);
+  placement::AdaptivePlacement placement =
+      placement::SelectAtoms(network_->sensing(), atoms, edge_budget);
+  SampledGraph graph = SampledGraph::FromMonitoredEdges(
+      *network_, placement.monitored_edges, placement.sensor_nodes);
+  return Deployment(*network_, std::move(graph), options, Horizon());
+}
+
+}  // namespace innet::core

@@ -1,0 +1,111 @@
+// Framework facade: builds the whole in-network system (domain, traffic,
+// sensing graph, event ingest) and deploys sampled configurations with
+// exact or learned stores. This is the top-level entry point used by the
+// examples and benchmark harnesses.
+#ifndef INNET_CORE_FRAMEWORK_H_
+#define INNET_CORE_FRAMEWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/query.h"
+#include "core/query_processor.h"
+#include "core/sampled_graph.h"
+#include "core/sensor_network.h"
+#include "learned/buffered_edge_store.h"
+#include "mobility/road_network.h"
+#include "mobility/trajectory.h"
+#include "mobility/trajectory_generator.h"
+#include "sampling/sampler.h"
+#include "util/rng.h"
+
+namespace innet::core {
+
+/// Which per-edge store a deployment uses (§4.7 vs §4.8).
+enum class StoreKind {
+  kExact,    // TrackingForm: full timestamp sequences.
+  kLearned,  // BufferedEdgeStore: regression models + bounded buffer.
+};
+
+/// Per-deployment knobs.
+struct DeploymentOptions {
+  SampledGraphOptions graph;
+  StoreKind store = StoreKind::kExact;
+  learned::ModelType model_type = learned::ModelType::kLinear;
+  size_t buffer_capacity = 32;
+  double pla_epsilon = 8.0;
+};
+
+/// A deployed sampled configuration: the sampled graph plus its ingested
+/// per-edge store. Monitored edges only are stored — the storage saving of
+/// sampling.
+class Deployment {
+ public:
+  Deployment(const SensorNetwork& network, SampledGraph graph,
+             const DeploymentOptions& options, double time_scale);
+
+  const SampledGraph& graph() const { return graph_; }
+  const forms::EdgeCountStore& store() const { return *store_view_; }
+
+  /// Processor bound to this deployment (cheap to construct).
+  SampledQueryProcessor processor() const {
+    return SampledQueryProcessor(graph_, *store_view_);
+  }
+
+  /// Bytes of per-edge tracking state held across all monitored edges.
+  size_t StorageBytes() const { return store_view_->StorageBytes(); }
+
+ private:
+  SampledGraph graph_;
+  std::unique_ptr<forms::TrackingForm> exact_store_;
+  std::unique_ptr<learned::BufferedEdgeStore> learned_store_;
+  const forms::EdgeCountStore* store_view_ = nullptr;
+};
+
+/// End-to-end system builder.
+struct FrameworkOptions {
+  mobility::RoadNetworkOptions road;
+  mobility::TrajectoryOptions traffic;
+  uint64_t seed = 42;
+};
+
+class Framework {
+ public:
+  explicit Framework(const FrameworkOptions& options);
+
+  const SensorNetwork& network() const { return *network_; }
+  const std::vector<mobility::Trajectory>& trajectories() const {
+    return trajectories_;
+  }
+
+  /// The configured traffic horizon (time intervals are drawn within it).
+  double Horizon() const { return options_.traffic.horizon; }
+
+  /// Fresh deterministic RNG stream derived from the framework seed.
+  util::Rng ForkRng() { return rng_.Fork(); }
+
+  /// Deploys a query-oblivious configuration with `m` sensors chosen by
+  /// `sampler` (§4.3 + §4.5).
+  Deployment DeployWithSampler(const sampling::SensorSampler& sampler,
+                               size_t m, const DeploymentOptions& options,
+                               util::Rng& rng) const;
+
+  /// Deploys with an explicit sensor set.
+  Deployment DeployFromSensors(std::vector<graph::NodeId> sensors,
+                               const DeploymentOptions& options) const;
+
+  /// Deploys the query-adaptive configuration (§4.4) from historical query
+  /// regions under a sensor budget of `m`.
+  Deployment DeployAdaptive(const std::vector<RangeQuery>& history, size_t m,
+                            const DeploymentOptions& options) const;
+
+ private:
+  FrameworkOptions options_;
+  util::Rng rng_;
+  std::unique_ptr<SensorNetwork> network_;
+  std::vector<mobility::Trajectory> trajectories_;
+};
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_FRAMEWORK_H_

@@ -1,0 +1,34 @@
+#include "core/live_monitor.h"
+
+#include "util/logging.h"
+
+namespace innet::core {
+
+LiveRegionMonitor::LiveRegionMonitor(
+    const SensorNetwork& network,
+    const std::vector<graph::NodeId>& junctions) {
+  Watch(network.RegionBoundaryWithVirtual(network.JunctionMask(junctions)));
+}
+
+LiveRegionMonitor::LiveRegionMonitor(const SampledGraph& sampled,
+                                     const std::vector<uint32_t>& faces) {
+  Watch(sampled.BoundaryOfFaces(faces).edges);
+}
+
+void LiveRegionMonitor::Watch(
+    const std::vector<forms::BoundaryEdge>& boundary) {
+  deltas_.reserve(boundary.size());
+  for (const forms::BoundaryEdge& edge : boundary) {
+    deltas_[edge.edge] = edge.inward_is_forward ? 1 : -1;
+  }
+}
+
+void LiveRegionMonitor::OnEvent(const mobility::CrossingEvent& event) {
+  INNET_DCHECK(event.time >= last_time_);
+  last_time_ = event.time;
+  auto it = deltas_.find(event.edge);
+  if (it == deltas_.end()) return;
+  count_ += event.forward ? it->second : -it->second;
+}
+
+}  // namespace innet::core

@@ -1,0 +1,72 @@
+// Query and answer types of the framework (§3.3, §4.6).
+#ifndef INNET_CORE_QUERY_H_
+#define INNET_CORE_QUERY_H_
+
+#include <vector>
+
+#include "geometry/rect.h"
+#include "graph/planar_graph.h"
+
+namespace innet::core {
+
+/// The two count semantics of §3.3.
+enum class CountKind {
+  /// Number of objects inside the region at the end of the interval
+  /// (Thm 4.2 evaluated at t2).
+  kStatic,
+  /// Net change of the region population over (t1, t2] (Thm 4.3).
+  kTransient,
+};
+
+/// Region approximation on the sampled graph (§4.6, Fig. 7).
+enum class BoundMode {
+  /// Maximal sampled region enclosed by the query region (R2).
+  kLower,
+  /// Minimal sampled region containing the query region (R1).
+  kUpper,
+};
+
+const char* CountKindName(CountKind kind);
+const char* BoundModeName(BoundMode mode);
+
+/// A materialized spatiotemporal range query: the rectangle, the junctions
+/// whose sensing cells it contains (the face-union region Q_R on G), and the
+/// time interval.
+struct RangeQuery {
+  geometry::Rect rect;
+  std::vector<graph::NodeId> junctions;
+  double t1 = 0.0;
+  double t2 = 0.0;
+};
+
+/// Per-sensor contact cost of the in-network time model. §4.9: "The
+/// communication cost dominates the querying cost" — query latency is
+/// modeled as local compute plus a fixed cost per sensor contacted.
+inline constexpr double kSensorContactMicros = 5.0;
+
+/// Result of answering one query, with the communication-cost accounting
+/// used throughout §5.
+struct QueryAnswer {
+  double estimate = 0.0;
+  /// True when no sampled face satisfied the bound mode (§5.5); the estimate
+  /// is then 0.
+  bool missed = false;
+  /// Distinct sensors contacted (perimeter sensors for the sampled graph,
+  /// flooded sensors for unsampled/baseline) — Fig. 11c.
+  size_t nodes_accessed = 0;
+  /// Boundary (monitored) edges read — Fig. 14b.
+  size_t edges_accessed = 0;
+  /// Wall-clock evaluation compute time.
+  double exec_micros = 0.0;
+
+  /// Simulated end-to-end query time (Fig. 11d): compute plus the modeled
+  /// communication cost of contacting each sensor.
+  double SimulatedMicros() const {
+    return exec_micros +
+           kSensorContactMicros * static_cast<double>(nodes_accessed);
+  }
+};
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_QUERY_H_

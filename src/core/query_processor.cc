@@ -1,0 +1,105 @@
+#include "core/query_processor.h"
+
+#include "forms/region_count.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace innet::core {
+
+QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
+                                          CountKind kind,
+                                          BoundMode bound) const {
+  util::Timer timer;
+  QueryAnswer answer;
+
+  std::vector<uint32_t> faces =
+      bound == BoundMode::kLower
+          ? sampled_->LowerBoundFaces(query.junctions)
+          : sampled_->UpperBoundFaces(query.junctions);
+  if (faces.empty()) {
+    answer.missed = true;
+    answer.exec_micros = timer.ElapsedMicros();
+    return answer;
+  }
+
+  SampledGraph::RegionBoundary boundary = sampled_->BoundaryOfFaces(faces);
+  answer.estimate =
+      kind == CountKind::kStatic
+          ? forms::EvaluateStaticCount(*store_, boundary.edges, query.t2)
+          : forms::EvaluateTransientCount(*store_, boundary.edges, query.t1,
+                                          query.t2);
+  answer.nodes_accessed = boundary.sensors.size();
+  answer.edges_accessed = boundary.edges.size();
+  answer.exec_micros = timer.ElapsedMicros();
+  return answer;
+}
+
+std::vector<double> SampledQueryProcessor::AnswerSeries(
+    const RangeQuery& query, BoundMode bound, size_t steps) const {
+  INNET_CHECK(steps >= 2);
+  INNET_CHECK(query.t2 >= query.t1);
+  std::vector<uint32_t> faces = bound == BoundMode::kLower
+                                    ? sampled_->LowerBoundFaces(query.junctions)
+                                    : sampled_->UpperBoundFaces(query.junctions);
+  if (faces.empty()) return {};
+  SampledGraph::RegionBoundary boundary = sampled_->BoundaryOfFaces(faces);
+  std::vector<double> series;
+  series.reserve(steps);
+  double span = query.t2 - query.t1;
+  for (size_t i = 0; i < steps; ++i) {
+    double t = query.t1 +
+               span * static_cast<double>(i) / static_cast<double>(steps - 1);
+    series.push_back(
+        forms::EvaluateStaticCount(*store_, boundary.edges, t));
+  }
+  return series;
+}
+
+QueryAnswer UnsampledQueryProcessor::Answer(const RangeQuery& query,
+                                            CountKind kind) const {
+  util::Timer timer;
+  QueryAnswer answer;
+  const graph::PlanarGraph& mobility = network_->mobility();
+
+  // Region-local boundary extraction: walk the in-region junctions'
+  // adjacency only (the work an in-network dispatch actually performs).
+  // Every boundary edge is found exactly once, from its inside endpoint.
+  std::vector<bool> mask = network_->JunctionMask(query.junctions);
+  std::vector<forms::BoundaryEdge> boundary;
+  for (graph::NodeId u : query.junctions) {
+    for (const graph::Neighbor& nb : mobility.NeighborsOf(u)) {
+      if (mask[nb.node]) continue;
+      boundary.push_back(
+          {nb.edge, /*inward_is_forward=*/mobility.Edge(nb.edge).v == u});
+    }
+    if (network_->gateway_mask()[u]) {
+      boundary.push_back(
+          {network_->VirtualEdgeOf(u), /*inward_is_forward=*/true});
+    }
+  }
+  answer.estimate =
+      kind == CountKind::kStatic
+          ? forms::EvaluateStaticCount(network_->reference_store(), boundary,
+                                       query.t2)
+          : forms::EvaluateTransientCount(network_->reference_store(),
+                                          boundary, query.t1, query.t2);
+  answer.edges_accessed = boundary.size();
+
+  // Flooding cost: every sensor whose face touches a junction of the region
+  // participates in the in-network aggregation.
+  std::vector<bool> sensor_seen(network_->sensing().NumNodes(), false);
+  size_t sensors = 0;
+  for (graph::NodeId n : query.junctions) {
+    for (graph::FaceId f : mobility.FacesAroundNode(n)) {
+      if (!sensor_seen[f]) {
+        sensor_seen[f] = true;
+        ++sensors;
+      }
+    }
+  }
+  answer.nodes_accessed = sensors;
+  answer.exec_micros = timer.ElapsedMicros();
+  return answer;
+}
+
+}  // namespace innet::core

@@ -1,0 +1,57 @@
+// Query processors: the sampled in-network processor (§4.6-4.8) and the
+// unsampled exact processor ([34], the paper's reference).
+#ifndef INNET_CORE_QUERY_PROCESSOR_H_
+#define INNET_CORE_QUERY_PROCESSOR_H_
+
+#include "core/query.h"
+#include "core/sampled_graph.h"
+#include "core/sensor_network.h"
+#include "forms/edge_count_store.h"
+
+namespace innet::core {
+
+/// Answers queries on a sampled graph against any edge-count store (exact
+/// tracking forms or learned models). Holds references only; the graph and
+/// store must outlive the processor.
+class SampledQueryProcessor {
+ public:
+  SampledQueryProcessor(const SampledGraph& sampled,
+                        const forms::EdgeCountStore& store)
+      : sampled_(&sampled), store_(&store) {}
+
+  /// Approximates the query under the given bound mode. A miss (no face of
+  /// G̃ satisfies the bound) reports estimate 0 with missed = true.
+  QueryAnswer Answer(const RangeQuery& query, CountKind kind,
+                     BoundMode bound) const;
+
+  /// Time-series evaluation: static counts of the query's region at
+  /// `steps` evenly spaced instants spanning [query.t1, query.t2]
+  /// (inclusive endpoints). The region is resolved and its boundary
+  /// dispatched ONCE; each instant costs one pass over the boundary
+  /// edges — the access pattern of a monitoring dashboard. Returns an
+  /// empty vector on a miss.
+  std::vector<double> AnswerSeries(const RangeQuery& query, BoundMode bound,
+                                   size_t steps) const;
+
+ private:
+  const SampledGraph* sampled_;
+  const forms::EdgeCountStore* store_;
+};
+
+/// Exact processor over the full sensing graph. Per §5.4, the unsampled
+/// system floods every sensor inside the query region, so nodes_accessed
+/// grows with the region area.
+class UnsampledQueryProcessor {
+ public:
+  explicit UnsampledQueryProcessor(const SensorNetwork& network)
+      : network_(&network) {}
+
+  QueryAnswer Answer(const RangeQuery& query, CountKind kind) const;
+
+ private:
+  const SensorNetwork* network_;
+};
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_QUERY_PROCESSOR_H_

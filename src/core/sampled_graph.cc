@@ -1,0 +1,225 @@
+#include "core/sampled_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "geometry/delaunay.h"
+#include "graph/connectivity.h"
+#include "graph/shortest_path.h"
+#include "spatial/kdtree.h"
+#include "util/logging.h"
+
+namespace innet::core {
+
+namespace {
+
+// Logical sensor-to-sensor links before path materialization.
+std::vector<std::pair<size_t, size_t>> ConnectSensors(
+    const std::vector<geometry::Point>& positions,
+    const SampledGraphOptions& options) {
+  std::vector<std::pair<size_t, size_t>> links;
+  if (positions.size() < 2) return links;
+  if (options.connectivity == Connectivity::kTriangulation &&
+      positions.size() >= 3) {
+    geometry::Triangulation tri = geometry::DelaunayTriangulate(positions);
+    for (const auto& [a, b] : tri.Edges()) links.emplace_back(a, b);
+    if (!links.empty()) return links;
+    // Fall through to k-NN for degenerate (collinear) inputs.
+  }
+  spatial::KdTree index(positions);
+  std::set<std::pair<size_t, size_t>> unique;
+  size_t k = std::max<size_t>(1, options.knn_k);
+  for (size_t i = 0; i < positions.size(); ++i) {
+    // k+1 because the query point itself is its own nearest neighbor.
+    std::vector<size_t> nearest = index.KNearest(positions[i], k + 1);
+    for (size_t j : nearest) {
+      if (j == i) continue;
+      unique.insert(std::minmax(i, j));
+    }
+  }
+  links.assign(unique.begin(), unique.end());
+  return links;
+}
+
+}  // namespace
+
+SampledGraph SampledGraph::FromSensors(const SensorNetwork& network,
+                                       std::vector<graph::NodeId> sensors,
+                                       const SampledGraphOptions& options) {
+  const graph::DualGraph& dual = network.sensing();
+  std::vector<geometry::Point> positions;
+  positions.reserve(sensors.size());
+  for (graph::NodeId s : sensors) {
+    INNET_CHECK(s < dual.NumNodes() && s != dual.ExtNode());
+    positions.push_back(dual.Position(s));
+  }
+
+  std::vector<std::pair<size_t, size_t>> links =
+      ConnectSensors(positions, options);
+
+  // Materialize each logical link as the shortest sensing-graph path
+  // between the two sensors, never routing through the ext node.
+  std::vector<bool> blocked(dual.NumNodes(), false);
+  blocked[dual.ExtNode()] = true;
+  std::vector<bool> monitored(network.mobility().NumEdges(), false);
+  for (const auto& [ai, bi] : links) {
+    std::optional<graph::Path> path = graph::ShortestPath(
+        dual.adjacency(), sensors[ai], sensors[bi], &blocked);
+    if (!path.has_value()) continue;  // Sensing graph split by blocking ext.
+    for (graph::EdgeId via : path->edges) monitored[via] = true;
+  }
+  return SampledGraph(network, std::move(sensors), std::move(monitored));
+}
+
+SampledGraph SampledGraph::FromMonitoredEdges(
+    const SensorNetwork& network, const std::vector<graph::EdgeId>& monitored,
+    std::vector<graph::NodeId> comm_sensors) {
+  std::vector<bool> mask(network.mobility().NumEdges(), false);
+  for (graph::EdgeId e : monitored) {
+    INNET_CHECK(e < mask.size());
+    mask[e] = true;
+  }
+  return SampledGraph(network, std::move(comm_sensors), std::move(mask));
+}
+
+SampledGraph::SampledGraph(const SensorNetwork& network,
+                           std::vector<graph::NodeId> comm_sensors,
+                           std::vector<bool> monitored_mask)
+    : network_(&network),
+      comm_sensors_(std::move(comm_sensors)),
+      monitored_mask_(std::move(monitored_mask)) {
+  for (graph::EdgeId e = 0; e < monitored_mask_.size(); ++e) {
+    if (monitored_mask_[e]) monitored_edges_.push_back(e);
+  }
+  ComputeFaces();
+  ComputeStats();
+}
+
+void SampledGraph::ComputeFaces() {
+  graph::ComponentLabels labels = graph::ComponentsWithRemovedEdges(
+      network_->mobility(), monitored_mask_);
+  face_of_junction_ = std::move(labels.label);
+  face_sizes_.assign(labels.count, 0);
+  for (uint32_t f : face_of_junction_) ++face_sizes_[f];
+  face_gateways_.assign(labels.count, {});
+  for (graph::NodeId g : network_->gateways()) {
+    face_gateways_[face_of_junction_[g]].push_back(g);
+  }
+  // Per-face incident monitored edges for region-local boundary extraction.
+  face_edges_.assign(labels.count, {});
+  const graph::PlanarGraph& mobility = network_->mobility();
+  for (graph::EdgeId e : monitored_edges_) {
+    uint32_t fu = face_of_junction_[mobility.Edge(e).u];
+    uint32_t fv = face_of_junction_[mobility.Edge(e).v];
+    face_edges_[fu].push_back(e);
+    if (fv != fu) face_edges_[fv].push_back(e);
+  }
+}
+
+void SampledGraph::ComputeStats() {
+  const graph::PlanarGraph& mobility = network_->mobility();
+  const graph::DualGraph& dual = network_->sensing();
+  stats_.num_comm_sensors = comm_sensors_.size();
+  stats_.num_monitored_edges = monitored_edges_.size();
+  stats_.num_faces = face_sizes_.size();
+
+  // Sensors participating in G̃: dual endpoints of monitored edges. Relays
+  // are participants that were not selected as communication sensors.
+  std::vector<bool> participant(dual.NumNodes(), false);
+  std::vector<uint32_t> degree(dual.NumNodes(), 0);
+  for (graph::EdgeId e : monitored_edges_) {
+    graph::NodeId a = mobility.Edge(e).left;
+    graph::NodeId b = mobility.Edge(e).right;
+    participant[a] = true;
+    participant[b] = true;
+    ++degree[a];
+    ++degree[b];
+  }
+  std::vector<bool> is_comm(dual.NumNodes(), false);
+  for (graph::NodeId s : comm_sensors_) is_comm[s] = true;
+  for (graph::NodeId n = 0; n < dual.NumNodes(); ++n) {
+    if (participant[n] && !is_comm[n]) ++stats_.num_relay_sensors;
+  }
+
+  // Simplified G̃ (Fig. 6c/f): contract relay chains — every participant of
+  // degree != 2 stays a node; edges equal monitored edges minus contracted
+  // interior relays.
+  size_t junction_nodes = 0;  // Degree != 2 participants.
+  size_t chain_nodes = 0;     // Degree == 2 participants (contracted).
+  for (graph::NodeId n = 0; n < dual.NumNodes(); ++n) {
+    if (!participant[n]) continue;
+    if (degree[n] == 2 && !is_comm[n]) {
+      ++chain_nodes;
+    } else {
+      ++junction_nodes;
+    }
+  }
+  stats_.simplified_nodes = junction_nodes;
+  stats_.simplified_edges =
+      monitored_edges_.size() >= chain_nodes
+          ? monitored_edges_.size() - chain_nodes
+          : 0;
+}
+
+std::vector<uint32_t> SampledGraph::LowerBoundFaces(
+    const std::vector<graph::NodeId>& qr_junctions) const {
+  std::vector<size_t> hits(face_sizes_.size(), 0);
+  for (graph::NodeId n : qr_junctions) ++hits[face_of_junction_[n]];
+  std::vector<uint32_t> faces;
+  for (uint32_t f = 0; f < face_sizes_.size(); ++f) {
+    if (hits[f] > 0 && hits[f] == face_sizes_[f]) faces.push_back(f);
+  }
+  return faces;
+}
+
+std::vector<uint32_t> SampledGraph::UpperBoundFaces(
+    const std::vector<graph::NodeId>& qr_junctions) const {
+  std::vector<bool> hit(face_sizes_.size(), false);
+  for (graph::NodeId n : qr_junctions) hit[face_of_junction_[n]] = true;
+  std::vector<uint32_t> faces;
+  for (uint32_t f = 0; f < face_sizes_.size(); ++f) {
+    if (hit[f]) faces.push_back(f);
+  }
+  return faces;
+}
+
+SampledGraph::RegionBoundary SampledGraph::BoundaryOfFaces(
+    const std::vector<uint32_t>& faces) const {
+  const graph::PlanarGraph& mobility = network_->mobility();
+  std::vector<bool> in_region(face_sizes_.size(), false);
+  for (uint32_t f : faces) in_region[f] = true;
+
+  RegionBoundary boundary;
+  bool ext_included = false;
+  for (uint32_t f : faces) {
+    // A boundary edge has exactly one side in the region, so it shows up in
+    // exactly one in-region face's incident list; interior edges show up
+    // twice and are rejected both times.
+    for (graph::EdgeId e : face_edges_[f]) {
+      const graph::EdgeRecord& rec = mobility.Edge(e);
+      bool u_in = in_region[face_of_junction_[rec.u]];
+      bool v_in = in_region[face_of_junction_[rec.v]];
+      if (u_in == v_in) continue;
+      boundary.edges.push_back({e, /*inward_is_forward=*/v_in});
+      // The sensors holding this edge's tracking forms: its dual endpoints.
+      boundary.sensors.push_back(rec.left);
+      boundary.sensors.push_back(rec.right);
+    }
+    // ⋆v_ext virtual edges of every gateway cell inside the region.
+    for (graph::NodeId g : face_gateways_[f]) {
+      boundary.edges.push_back(
+          {network_->VirtualEdgeOf(g), /*inward_is_forward=*/true});
+      if (!ext_included) {
+        ext_included = true;
+        boundary.sensors.push_back(network_->sensing().ExtNode());
+      }
+    }
+  }
+  std::sort(boundary.sensors.begin(), boundary.sensors.end());
+  boundary.sensors.erase(
+      std::unique(boundary.sensors.begin(), boundary.sensors.end()),
+      boundary.sensors.end());
+  return boundary;
+}
+
+}  // namespace innet::core

@@ -1,0 +1,145 @@
+#include "core/sensor_network.h"
+
+#include <algorithm>
+
+#include "core/query.h"
+#include "forms/region_count.h"
+#include "util/logging.h"
+
+namespace innet::core {
+
+namespace {
+const char* kKindNames[] = {"static", "transient"};
+const char* kBoundNames[] = {"lower", "upper"};
+}  // namespace
+
+SensorNetwork::SensorNetwork(graph::PlanarGraph mobility)
+    : mobility_(std::move(mobility)),
+      sensing_(mobility_),
+      gateways_(mobility::GatewayJunctions(mobility_)),
+      gateway_mask_(mobility::GatewayMask(mobility_)),
+      virtual_edge_of_(mobility_.NumNodes(), graph::kInvalidEdge),
+      reference_(mobility_.NumEdges() + gateways_.size()) {
+  for (size_t k = 0; k < gateways_.size(); ++k) {
+    virtual_edge_of_[gateways_[k]] =
+        static_cast<graph::EdgeId>(mobility_.NumEdges() + k);
+  }
+  domain_bounds_ = geometry::BoundingBox(mobility_.positions().begin(),
+                                         mobility_.positions().end());
+  // Precompute per-junction sensing-cell bounding boxes (over the incident
+  // face centroids; the ext node's far-away position makes border cells
+  // effectively unbounded, which is the intended semantics).
+  cell_bounds_.reserve(mobility_.NumNodes());
+  for (graph::NodeId n = 0; n < mobility_.NumNodes(); ++n) {
+    geometry::Rect box(mobility_.Position(n).x, mobility_.Position(n).y,
+                       mobility_.Position(n).x, mobility_.Position(n).y);
+    for (graph::FaceId f : mobility_.FacesAroundNode(n)) {
+      box.ExpandToInclude(sensing_.Position(f));
+    }
+    cell_bounds_.push_back(box);
+  }
+  cell_index_ = std::make_unique<spatial::RTree>(cell_bounds_);
+}
+
+void SensorNetwork::IngestTrajectories(
+    const std::vector<mobility::Trajectory>& trajectories) {
+  INNET_CHECK(events_.empty());
+  for (const mobility::Trajectory& trajectory : trajectories) {
+    if (trajectory.nodes.empty()) continue;
+    // ⋆v_ext entry crossing for gateway starts.
+    if (gateway_mask_[trajectory.nodes.front()]) {
+      events_.push_back({virtual_edge_of_[trajectory.nodes.front()],
+                         /*forward=*/true, trajectory.times.front()});
+    }
+    std::vector<mobility::CrossingEvent> crossings =
+        mobility::ExtractCrossingEvents(mobility_, trajectory);
+    events_.insert(events_.end(), crossings.begin(), crossings.end());
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const mobility::CrossingEvent& a,
+                      const mobility::CrossingEvent& b) {
+                     return a.time < b.time;
+                   });
+  for (const mobility::CrossingEvent& event : events_) {
+    reference_.RecordTraversal(event.edge, event.forward, event.time);
+  }
+}
+
+void SensorNetwork::AppendVirtualBoundary(
+    const std::vector<bool>& in_region,
+    std::vector<forms::BoundaryEdge>* boundary) const {
+  for (graph::NodeId g : gateways_) {
+    if (in_region[g]) {
+      boundary->push_back({virtual_edge_of_[g], /*inward_is_forward=*/true});
+    }
+  }
+}
+
+std::vector<forms::BoundaryEdge> SensorNetwork::RegionBoundaryWithVirtual(
+    const std::vector<bool>& in_region) const {
+  std::vector<forms::BoundaryEdge> boundary =
+      forms::RegionBoundary(mobility_, in_region);
+  AppendVirtualBoundary(in_region, &boundary);
+  return boundary;
+}
+
+std::vector<graph::NodeId> SensorNetwork::JunctionsInRect(
+    const geometry::Rect& rect) const {
+  std::vector<size_t> hits = cell_index_->ContainedIn(rect);
+  std::sort(hits.begin(), hits.end());
+  return std::vector<graph::NodeId>(hits.begin(), hits.end());
+}
+
+std::vector<graph::NodeId> SensorNetwork::JunctionsInPolygon(
+    const geometry::Polygon& region) const {
+  std::vector<graph::NodeId> junctions;
+  if (region.size() < 3) return junctions;
+  // Candidates from the R-tree (cells inside the polygon's bbox), then the
+  // exact concave-safe containment test.
+  std::vector<size_t> candidates = cell_index_->ContainedIn(region.Bounds());
+  std::sort(candidates.begin(), candidates.end());
+  for (size_t n : candidates) {
+    if (geometry::PolygonContainsRect(region, cell_bounds_[n])) {
+      junctions.push_back(static_cast<graph::NodeId>(n));
+    }
+  }
+  return junctions;
+}
+
+std::vector<bool> SensorNetwork::JunctionMask(
+    const std::vector<graph::NodeId>& junctions) const {
+  std::vector<bool> mask(mobility_.NumNodes(), false);
+  for (graph::NodeId n : junctions) {
+    INNET_DCHECK(n < mask.size());
+    mask[n] = true;
+  }
+  return mask;
+}
+
+double SensorNetwork::GroundTruthStatic(
+    const std::vector<graph::NodeId>& junctions, double t) const {
+  std::vector<forms::BoundaryEdge> boundary =
+      RegionBoundaryWithVirtual(JunctionMask(junctions));
+  return forms::EvaluateStaticCount(reference_, boundary, t);
+}
+
+double SensorNetwork::GroundTruthTransient(
+    const std::vector<graph::NodeId>& junctions, double t0, double t1) const {
+  std::vector<forms::BoundaryEdge> boundary =
+      RegionBoundaryWithVirtual(JunctionMask(junctions));
+  return forms::EvaluateTransientCount(reference_, boundary, t0, t1);
+}
+
+}  // namespace innet::core
+
+namespace innet::core {
+
+const char* CountKindName(CountKind kind) {
+  return kKindNames[static_cast<int>(kind)];
+}
+
+const char* BoundModeName(BoundMode mode) {
+  return kBoundNames[static_cast<int>(mode)];
+}
+
+}  // namespace innet::core

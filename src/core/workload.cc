@@ -1,0 +1,62 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace innet::core {
+
+std::optional<RangeQuery> GenerateQuery(const SensorNetwork& network,
+                                        const WorkloadOptions& options,
+                                        util::Rng& rng) {
+  INNET_CHECK(options.area_fraction > 0.0 && options.area_fraction <= 1.0);
+  const geometry::Rect& domain = network.DomainBounds();
+  double target_area = options.area_fraction * network.DomainArea();
+
+  for (int attempt = 0; attempt < options.max_tries; ++attempt) {
+    double aspect = rng.Uniform(0.6, 1.7);
+    double width = std::sqrt(target_area * aspect);
+    double height = target_area / width;
+    if (width > domain.Width()) {
+      width = domain.Width();
+      height = std::min(target_area / width, domain.Height());
+    }
+    if (height > domain.Height()) {
+      height = domain.Height();
+      width = std::min(target_area / height, domain.Width());
+    }
+    double x0 = domain.min_x + rng.Uniform(0.0, domain.Width() - width);
+    double y0 = domain.min_y + rng.Uniform(0.0, domain.Height() - height);
+    geometry::Rect rect(x0, y0, x0 + width, y0 + height);
+
+    std::vector<graph::NodeId> junctions = network.JunctionsInRect(rect);
+    if (junctions.empty()) continue;
+
+    RangeQuery query;
+    query.rect = rect;
+    query.junctions = std::move(junctions);
+    double len = rng.Uniform(options.min_duration_fraction,
+                             options.max_duration_fraction) *
+                 options.horizon;
+    double start = rng.Uniform(0.0, std::max(options.horizon - len, 1e-9));
+    query.t1 = start;
+    query.t2 = start + len;
+    return query;
+  }
+  return std::nullopt;
+}
+
+std::vector<RangeQuery> GenerateWorkload(const SensorNetwork& network,
+                                         const WorkloadOptions& options,
+                                         size_t count, util::Rng& rng) {
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::optional<RangeQuery> query = GenerateQuery(network, options, rng);
+    if (query.has_value()) queries.push_back(std::move(*query));
+  }
+  return queries;
+}
+
+}  // namespace innet::core

@@ -1,0 +1,47 @@
+// Query workload generation (§5.1.5): rectangular regions of a target area
+// fraction mapped to face unions of the sensing graph, with random time
+// intervals.
+#ifndef INNET_CORE_WORKLOAD_H_
+#define INNET_CORE_WORKLOAD_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/query.h"
+#include "core/sensor_network.h"
+#include "util/rng.h"
+
+namespace innet::core {
+
+/// Workload knobs.
+struct WorkloadOptions {
+  /// Query-region area as a fraction of the domain area.
+  double area_fraction = 0.01;
+
+  /// Time-interval length range, as fractions of the horizon.
+  double min_duration_fraction = 0.1;
+  double max_duration_fraction = 0.4;
+
+  /// Event-time horizon; intervals are drawn inside [0, horizon].
+  double horizon = 1.0;
+
+  /// Retries before giving up on finding a non-empty region.
+  int max_tries = 64;
+};
+
+/// Draws one query: a rectangle of the requested area (aspect ratio in
+/// [0.6, 1.7], fully inside the domain) that contains at least one sensing
+/// cell, plus a random time interval. Returns nullopt when max_tries
+/// rectangles were all empty.
+std::optional<RangeQuery> GenerateQuery(const SensorNetwork& network,
+                                        const WorkloadOptions& options,
+                                        util::Rng& rng);
+
+/// Draws `count` queries (skipping failed draws).
+std::vector<RangeQuery> GenerateWorkload(const SensorNetwork& network,
+                                         const WorkloadOptions& options,
+                                         size_t count, util::Rng& rng);
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_WORKLOAD_H_

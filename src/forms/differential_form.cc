@@ -1,0 +1,59 @@
+#include "forms/differential_form.h"
+
+#include "util/logging.h"
+
+namespace innet::forms {
+
+SnapshotForm::SnapshotForm(size_t num_edges)
+    : forward_(num_edges, 0), backward_(num_edges, 0) {}
+
+void SnapshotForm::RecordTraversal(graph::EdgeId road, bool forward) {
+  INNET_DCHECK(road < forward_.size());
+  if (forward) {
+    ++forward_[road];
+  } else {
+    ++backward_[road];
+  }
+}
+
+int64_t SnapshotForm::PlusInto(const graph::PlanarGraph& graph,
+                               graph::EdgeId road,
+                               graph::NodeId junction) const {
+  const graph::EdgeRecord& rec = graph.Edge(road);
+  INNET_DCHECK(junction == rec.u || junction == rec.v);
+  return junction == rec.v ? forward_[road] : backward_[road];
+}
+
+int64_t SnapshotForm::MinusOutOf(const graph::PlanarGraph& graph,
+                                 graph::EdgeId road,
+                                 graph::NodeId junction) const {
+  const graph::EdgeRecord& rec = graph.Edge(road);
+  INNET_DCHECK(junction == rec.u || junction == rec.v);
+  return junction == rec.u ? forward_[road] : backward_[road];
+}
+
+int64_t SnapshotForm::SignedToward(const graph::PlanarGraph& graph,
+                                   graph::EdgeId road,
+                                   graph::NodeId junction) const {
+  return PlusInto(graph, road, junction) - MinusOutOf(graph, road, junction);
+}
+
+int64_t SnapshotForm::CountInside(const graph::PlanarGraph& graph,
+                                  const std::vector<bool>& in_region) const {
+  INNET_CHECK(in_region.size() == graph.NumNodes());
+  int64_t total = 0;
+  for (graph::EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const graph::EdgeRecord& rec = graph.Edge(e);
+    bool u_in = in_region[rec.u];
+    bool v_in = in_region[rec.v];
+    if (u_in == v_in) continue;  // Interior or exterior edge: cancels out.
+    if (v_in) {
+      total += forward_[e] - backward_[e];  // Inflow through u -> v.
+    } else {
+      total += backward_[e] - forward_[e];  // Inflow through v -> u.
+    }
+  }
+  return total;
+}
+
+}  // namespace innet::forms

@@ -1,0 +1,67 @@
+// Discrete differential 1-forms over the sensing graph (§3.4, §4.7.1).
+//
+// Crossing semantics. Every road (primal mobility edge) e = (u, v) is dual to
+// one sensor edge separating the junction cell of u from the junction cell of
+// v. An object traversing the road u -> v crosses that sensor edge "forward";
+// v -> u is "backward". SnapshotForm stores the two directional crossing
+// totals per edge — exactly the ξ⁺/ξ⁻ pair of Eq. 7 — and exposes the signed
+// 1-form ξ(e) with ξ(-e) = -ξ(e).
+//
+// Theorem 4.1: the number of objects currently inside a union of junction
+// cells equals the sum over boundary edges of (crossings into the region -
+// crossings out of the region). See CountInside().
+#ifndef INNET_FORMS_DIFFERENTIAL_FORM_H_
+#define INNET_FORMS_DIFFERENTIAL_FORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/planar_graph.h"
+
+namespace innet::forms {
+
+/// Snapshot differential form: directional crossing counters per sensor edge
+/// (identified by the primal road's EdgeId).
+class SnapshotForm {
+ public:
+  explicit SnapshotForm(size_t num_edges);
+
+  size_t num_edges() const { return forward_.size(); }
+
+  /// Records one traversal of `road`; `forward` means from the road's
+  /// canonical u endpoint to v.
+  void RecordTraversal(graph::EdgeId road, bool forward);
+
+  /// Total crossings u -> v.
+  int64_t Forward(graph::EdgeId road) const { return forward_[road]; }
+  /// Total crossings v -> u.
+  int64_t Backward(graph::EdgeId road) const { return backward_[road]; }
+
+  /// ξ⁺ viewed from `junction`'s cell: crossings of `road` INTO the cell.
+  /// Requires `junction` to be an endpoint of `road` in `graph`.
+  int64_t PlusInto(const graph::PlanarGraph& graph, graph::EdgeId road,
+                   graph::NodeId junction) const;
+
+  /// ξ⁻ viewed from `junction`'s cell: crossings of `road` OUT of the cell.
+  int64_t MinusOutOf(const graph::PlanarGraph& graph, graph::EdgeId road,
+                     graph::NodeId junction) const;
+
+  /// Signed form value toward `junction`: PlusInto - MinusOutOf. Negating the
+  /// viewpoint (the other endpoint) negates the value: ξ(-e) = -ξ(e).
+  int64_t SignedToward(const graph::PlanarGraph& graph, graph::EdgeId road,
+                       graph::NodeId junction) const;
+
+  /// Theorem 4.1: current object count inside the union of junction cells
+  /// flagged by `in_region` (indexed by NodeId). Integrates the form along
+  /// the region boundary only.
+  int64_t CountInside(const graph::PlanarGraph& graph,
+                      const std::vector<bool>& in_region) const;
+
+ private:
+  std::vector<int64_t> forward_;
+  std::vector<int64_t> backward_;
+};
+
+}  // namespace innet::forms
+
+#endif  // INNET_FORMS_DIFFERENTIAL_FORM_H_

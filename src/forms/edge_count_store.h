@@ -1,0 +1,43 @@
+// Abstraction over "how many crossings happened on this edge, in this
+// direction, up to time t" — the count function C(γ_t(e), t) of §4.7.3.
+//
+// Two implementations exist: the exact TrackingForm (sorted timestamp
+// sequences, binary-searched) and learned::BufferedEdgeStore (constant-size
+// regression models + bounded buffer, §4.8).
+#ifndef INNET_FORMS_EDGE_COUNT_STORE_H_
+#define INNET_FORMS_EDGE_COUNT_STORE_H_
+
+#include <cstddef>
+
+#include "graph/planar_graph.h"
+
+namespace innet::forms {
+
+/// Read interface for per-edge directional event counts.
+class EdgeCountStore {
+ public:
+  virtual ~EdgeCountStore() = default;
+
+  /// Estimated number of traversals of `road` in the given direction with
+  /// timestamp <= t. Exact stores return integers; learned stores may return
+  /// fractional estimates.
+  virtual double CountUpTo(graph::EdgeId road, bool forward,
+                           double t) const = 0;
+
+  /// C(γ, t0, t1) = C(γ, t1) - C(γ, t0): traversals in (t0, t1].
+  double CountInRange(graph::EdgeId road, bool forward, double t0,
+                      double t1) const {
+    return CountUpTo(road, forward, t1) - CountUpTo(road, forward, t0);
+  }
+
+  /// Bytes needed to persist the store's per-edge state (the storage metric
+  /// of Fig. 11e).
+  virtual size_t StorageBytes() const = 0;
+
+  /// Storage attributable to one edge (both directions).
+  virtual size_t StorageBytesForEdge(graph::EdgeId road) const = 0;
+};
+
+}  // namespace innet::forms
+
+#endif  // INNET_FORMS_EDGE_COUNT_STORE_H_

@@ -1,0 +1,42 @@
+#include "forms/tracking_form.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace innet::forms {
+
+TrackingForm::TrackingForm(size_t num_edges)
+    : forward_(num_edges), backward_(num_edges) {}
+
+void TrackingForm::RecordTraversal(graph::EdgeId road, bool forward,
+                                   double t) {
+  INNET_DCHECK(road < forward_.size());
+  std::vector<double>& seq = forward ? forward_[road] : backward_[road];
+  INNET_DCHECK(seq.empty() || seq.back() <= t);
+  seq.push_back(t);
+}
+
+size_t TrackingForm::TotalEvents() const {
+  size_t total = 0;
+  for (const auto& seq : forward_) total += seq.size();
+  for (const auto& seq : backward_) total += seq.size();
+  return total;
+}
+
+double TrackingForm::CountUpTo(graph::EdgeId road, bool forward,
+                               double t) const {
+  const std::vector<double>& seq = Sequence(road, forward);
+  auto it = std::upper_bound(seq.begin(), seq.end(), t);
+  return static_cast<double>(it - seq.begin());
+}
+
+size_t TrackingForm::StorageBytes() const {
+  return TotalEvents() * sizeof(double);
+}
+
+size_t TrackingForm::StorageBytesForEdge(graph::EdgeId road) const {
+  return (forward_[road].size() + backward_[road].size()) * sizeof(double);
+}
+
+}  // namespace innet::forms

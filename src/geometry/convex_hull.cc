@@ -1,0 +1,40 @@
+#include "geometry/convex_hull.h"
+
+#include <algorithm>
+
+#include "geometry/predicates.h"
+
+namespace innet::geometry {
+
+std::vector<Point> ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  size_t n = points.size();
+  if (n < 3) return points;
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           SignedArea2(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  size_t lower = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower &&
+           SignedArea2(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return hull;
+}
+
+}  // namespace innet::geometry

@@ -1,0 +1,19 @@
+// Convex hull, used for query-region envelopes and sampler diagnostics.
+#ifndef INNET_GEOMETRY_CONVEX_HULL_H_
+#define INNET_GEOMETRY_CONVEX_HULL_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace innet::geometry {
+
+/// Convex hull of `points` (Andrew's monotone chain), returned in
+/// counter-clockwise order without the repeated closing vertex. Collinear
+/// boundary points are dropped. Handles n < 3 by returning the deduplicated
+/// input.
+std::vector<Point> ConvexHull(std::vector<Point> points);
+
+}  // namespace innet::geometry
+
+#endif  // INNET_GEOMETRY_CONVEX_HULL_H_

@@ -1,0 +1,122 @@
+#include "geometry/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "geometry/predicates.h"
+#include "geometry/rect.h"
+#include "util/logging.h"
+
+namespace innet::geometry {
+
+namespace {
+
+// Triangle with cached circumcircle for the incremental algorithm. Vertices
+// may refer to the three synthetic super-triangle points (indices >= n).
+struct WorkTriangle {
+  std::array<uint32_t, 3> v;
+  Point center;
+  double radius2;
+  bool alive = true;
+};
+
+WorkTriangle MakeWorkTriangle(const std::vector<Point>& pts, uint32_t a,
+                              uint32_t b, uint32_t c) {
+  WorkTriangle t;
+  // Enforce counter-clockwise order.
+  if (SignedArea2(pts[a], pts[b], pts[c]) < 0.0) std::swap(b, c);
+  t.v = {a, b, c};
+  t.center = Circumcenter(pts[a], pts[b], pts[c]);
+  t.radius2 = DistanceSquared(t.center, pts[a]);
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, uint32_t>> Triangulation::Edges() const {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(triangles.size() * 3);
+  for (const Triangle& t : triangles) {
+    for (int i = 0; i < 3; ++i) {
+      uint32_t a = t.v[i];
+      uint32_t b = t.v[(i + 1) % 3];
+      if (a > b) std::swap(a, b);
+      edges.emplace_back(a, b);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+Triangulation DelaunayTriangulate(const std::vector<Point>& points) {
+  Triangulation result;
+  size_t n = points.size();
+  if (n < 3) return result;
+
+  // Working copy with three super-triangle vertices appended.
+  std::vector<Point> pts = points;
+  Rect box = BoundingBox(points.begin(), points.end());
+  double span = std::max(box.Width(), box.Height());
+  if (span == 0.0) span = 1.0;
+  Point center = box.Center();
+  double m = 20.0 * span;
+  uint32_t s0 = static_cast<uint32_t>(n);
+  uint32_t s1 = static_cast<uint32_t>(n + 1);
+  uint32_t s2 = static_cast<uint32_t>(n + 2);
+  pts.push_back(Point(center.x - 2.0 * m, center.y - m));
+  pts.push_back(Point(center.x + 2.0 * m, center.y - m));
+  pts.push_back(Point(center.x, center.y + 2.0 * m));
+
+  std::vector<WorkTriangle> tris;
+  tris.push_back(MakeWorkTriangle(pts, s0, s1, s2));
+
+  // Insert points one at a time; a spatial insertion order keeps the cavity
+  // search local in practice, but the simple O(n * T) scan is robust and
+  // sufficient at our problem sizes.
+  for (uint32_t p = 0; p < n; ++p) {
+    const Point& q = pts[p];
+    // Cavity: all triangles whose circumcircle contains q.
+    std::map<std::pair<uint32_t, uint32_t>, int> edge_count;
+    for (WorkTriangle& t : tris) {
+      if (!t.alive) continue;
+      if (DistanceSquared(t.center, q) <= t.radius2) {
+        t.alive = false;
+        for (int i = 0; i < 3; ++i) {
+          uint32_t a = t.v[i];
+          uint32_t b = t.v[(i + 1) % 3];
+          if (a > b) std::swap(a, b);
+          edge_count[{a, b}]++;
+        }
+      }
+    }
+    // Boundary edges of the cavity appear exactly once; re-triangulate the
+    // cavity by fanning from q.
+    std::vector<WorkTriangle> fresh;
+    for (const auto& [edge, count] : edge_count) {
+      if (count != 1) continue;
+      fresh.push_back(MakeWorkTriangle(pts, edge.first, edge.second, p));
+    }
+    // Compact dead triangles periodically to bound the scan cost.
+    if (tris.size() > 4 * n + 16) {
+      std::vector<WorkTriangle> compacted;
+      compacted.reserve(tris.size());
+      for (const WorkTriangle& t : tris) {
+        if (t.alive) compacted.push_back(t);
+      }
+      tris = std::move(compacted);
+    }
+    tris.insert(tris.end(), fresh.begin(), fresh.end());
+  }
+
+  for (const WorkTriangle& t : tris) {
+    if (!t.alive) continue;
+    // Drop triangles touching the super-triangle.
+    if (t.v[0] >= n || t.v[1] >= n || t.v[2] >= n) continue;
+    result.triangles.push_back(Triangle{t.v});
+  }
+  return result;
+}
+
+}  // namespace innet::geometry

@@ -1,0 +1,37 @@
+// Delaunay triangulation (Bowyer-Watson). Used (a) to generate planar street
+// meshes in the synthetic mobility domain and (b) for triangulation-based
+// connectivity between sampled sensors (§4.5, Fig. 6a).
+#ifndef INNET_GEOMETRY_DELAUNAY_H_
+#define INNET_GEOMETRY_DELAUNAY_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace innet::geometry {
+
+/// A triangle of the triangulation, as indices into the input point vector,
+/// in counter-clockwise order.
+struct Triangle {
+  std::array<uint32_t, 3> v;
+};
+
+/// Result of triangulating a point set.
+struct Triangulation {
+  std::vector<Triangle> triangles;
+
+  /// Unique undirected edges (i < j), sorted lexicographically.
+  std::vector<std::pair<uint32_t, uint32_t>> Edges() const;
+};
+
+/// Computes the Delaunay triangulation of `points` via Bowyer-Watson.
+/// Duplicate points must not be present. Returns an empty triangulation for
+/// fewer than 3 points.
+Triangulation DelaunayTriangulate(const std::vector<Point>& points);
+
+}  // namespace innet::geometry
+
+#endif  // INNET_GEOMETRY_DELAUNAY_H_

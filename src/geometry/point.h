@@ -1,0 +1,69 @@
+// 2-D point/vector type used throughout the library.
+#ifndef INNET_GEOMETRY_POINT_H_
+#define INNET_GEOMETRY_POINT_H_
+
+#include <cmath>
+
+namespace innet::geometry {
+
+/// A 2-D point (or free vector) with double coordinates.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Point operator+(const Point& o) const {
+    return Point(x + o.x, y + o.y);
+  }
+  constexpr Point operator-(const Point& o) const {
+    return Point(x - o.x, y - o.y);
+  }
+  constexpr Point operator*(double s) const { return Point(x * s, y * s); }
+  constexpr Point operator/(double s) const { return Point(x / s, y / s); }
+
+  constexpr bool operator==(const Point& o) const {
+    return x == o.x && y == o.y;
+  }
+  constexpr bool operator!=(const Point& o) const { return !(*this == o); }
+};
+
+/// Dot product.
+constexpr double Dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// 2-D cross product (z-component of the 3-D cross product).
+constexpr double Cross(const Point& a, const Point& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Squared Euclidean distance between a and b.
+constexpr double DistanceSquared(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance between a and b.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+/// Euclidean norm of v.
+inline double Norm(const Point& v) { return std::sqrt(Dot(v, v)); }
+
+/// Midpoint of segment ab.
+constexpr Point Midpoint(const Point& a, const Point& b) {
+  return Point((a.x + b.x) * 0.5, (a.y + b.y) * 0.5);
+}
+
+/// Angle of the vector a->b in radians, in (-pi, pi].
+inline double AngleOf(const Point& a, const Point& b) {
+  return std::atan2(b.y - a.y, b.x - a.x);
+}
+
+}  // namespace innet::geometry
+
+#endif  // INNET_GEOMETRY_POINT_H_

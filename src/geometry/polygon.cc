@@ -1,0 +1,125 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/predicates.h"
+#include "geometry/segment.h"
+#include "util/logging.h"
+
+namespace innet::geometry {
+
+double Polygon::SignedArea() const {
+  double twice = 0.0;
+  size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    twice += Cross(a, b);
+  }
+  return 0.5 * twice;
+}
+
+double Polygon::Area() const { return std::abs(SignedArea()); }
+
+double Polygon::Perimeter() const {
+  double total = 0.0;
+  size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    total += Distance(vertices_[i], vertices_[(i + 1) % n]);
+  }
+  return total;
+}
+
+Point Polygon::Centroid() const {
+  INNET_CHECK(!vertices_.empty());
+  double twice_area = 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+  size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    double w = Cross(a, b);
+    twice_area += w;
+    cx += (a.x + b.x) * w;
+    cy += (a.y + b.y) * w;
+  }
+  if (std::abs(twice_area) < 1e-300) {
+    Point mean;
+    for (const Point& p : vertices_) mean = mean + p;
+    return mean / static_cast<double>(n);
+  }
+  double scale = 1.0 / (3.0 * twice_area);
+  return Point(cx * scale, cy * scale);
+}
+
+void Polygon::Reverse() { std::reverse(vertices_.begin(), vertices_.end()); }
+
+bool Polygon::Contains(const Point& p) const {
+  size_t n = vertices_.size();
+  if (n < 3) return false;
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    // Boundary check: point on edge counts as inside.
+    if (PointSegmentDistanceSquared(p, Segment(a, b)) < 1e-18) return true;
+    bool straddles = (a.y > p.y) != (b.y > p.y);
+    if (straddles) {
+      double x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+Rect Polygon::Bounds() const {
+  INNET_CHECK(!vertices_.empty());
+  return BoundingBox(vertices_.begin(), vertices_.end());
+}
+
+bool PolygonContainsRect(const Polygon& polygon, const Rect& rect) {
+  if (polygon.size() < 3) return false;
+  const Point corners[4] = {{rect.min_x, rect.min_y},
+                            {rect.max_x, rect.min_y},
+                            {rect.max_x, rect.max_y},
+                            {rect.min_x, rect.max_y}};
+  for (const Point& corner : corners) {
+    if (!polygon.Contains(corner)) return false;
+  }
+  // A polygon edge crossing the rectangle would leave some rectangle point
+  // outside even though all corners are inside (concave notches).
+  const Segment sides[4] = {{corners[0], corners[1]},
+                            {corners[1], corners[2]},
+                            {corners[2], corners[3]},
+                            {corners[3], corners[0]}};
+  const std::vector<Point>& ring = polygon.vertices();
+  for (size_t i = 0; i < ring.size(); ++i) {
+    Segment edge(ring[i], ring[(i + 1) % ring.size()]);
+    if (!edge.Bounds().Intersects(rect)) continue;
+    for (const Segment& side : sides) {
+      if (SegmentsIntersect(edge, side)) return false;
+    }
+    // Edge fully interior to the rectangle also breaks containment.
+    if (rect.Contains(edge.a) && rect.Contains(edge.b)) return false;
+  }
+  return true;
+}
+
+Polygon ApproximateEllipse(const Point& center, double radius_x,
+                           double radius_y, size_t segments) {
+  INNET_CHECK(segments >= 3);
+  std::vector<Point> ring;
+  ring.reserve(segments);
+  for (size_t i = 0; i < segments; ++i) {
+    double angle =
+        2.0 * 3.14159265358979323846 * static_cast<double>(i) /
+        static_cast<double>(segments);
+    ring.emplace_back(center.x + radius_x * std::cos(angle),
+                      center.y + radius_y * std::sin(angle));
+  }
+  return Polygon(std::move(ring));
+}
+
+}  // namespace innet::geometry

@@ -1,0 +1,64 @@
+// Simple polygons: face geometry of the planar graphs (§3.2) and strata for
+// stratified sampling (§4.3).
+#ifndef INNET_GEOMETRY_POLYGON_H_
+#define INNET_GEOMETRY_POLYGON_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace innet::geometry {
+
+/// A simple polygon given by its vertex ring (no repeated closing vertex).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  /// Signed area: positive for counter-clockwise winding.
+  double SignedArea() const;
+
+  /// Absolute area.
+  double Area() const;
+
+  /// Perimeter length.
+  double Perimeter() const;
+
+  /// Area centroid. For degenerate (zero-area) polygons falls back to the
+  /// vertex average.
+  Point Centroid() const;
+
+  /// True when the ring winds counter-clockwise.
+  bool IsCounterClockwise() const { return SignedArea() > 0.0; }
+
+  /// Reverses the vertex order in place (flips orientation).
+  void Reverse();
+
+  /// Even-odd point-in-polygon test; boundary points count as inside.
+  bool Contains(const Point& p) const;
+
+  /// Axis-aligned bounding box. Requires a non-empty polygon.
+  Rect Bounds() const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// True when `rect` lies entirely inside `polygon`: all four corners are
+/// inside and no polygon edge crosses the rectangle. Works for concave
+/// simple polygons.
+bool PolygonContainsRect(const Polygon& polygon, const Rect& rect);
+
+/// Regular n-gon approximation of an ellipse, counter-clockwise.
+Polygon ApproximateEllipse(const Point& center, double radius_x,
+                           double radius_y, size_t segments = 24);
+
+}  // namespace innet::geometry
+
+#endif  // INNET_GEOMETRY_POLYGON_H_

@@ -1,0 +1,46 @@
+#include "geometry/predicates.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace innet::geometry {
+
+namespace {
+// Relative tolerance for the collinearity band. The magnitude of the cross
+// product scales with the product of the edge lengths, so the band must too.
+constexpr double kEpsilon = 1e-12;
+}  // namespace
+
+Orient Orientation(const Point& a, const Point& b, const Point& c) {
+  double det = SignedArea2(a, b, c);
+  double scale = Norm(b - a) * Norm(c - a);
+  if (std::abs(det) <= kEpsilon * scale) return Orient::kCollinear;
+  return det > 0 ? Orient::kCounterClockwise : Orient::kClockwise;
+}
+
+bool InCircle(const Point& a, const Point& b, const Point& c, const Point& d) {
+  // Standard 3x3 determinant of the lifted points relative to d.
+  double adx = a.x - d.x, ady = a.y - d.y;
+  double bdx = b.x - d.x, bdy = b.y - d.y;
+  double cdx = c.x - d.x, cdy = c.y - d.y;
+  double ad = adx * adx + ady * ady;
+  double bd = bdx * bdx + bdy * bdy;
+  double cd = cdx * cdx + cdy * cdy;
+  double det = adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) +
+               ad * (bdx * cdy - bdy * cdx);
+  return det > 0;
+}
+
+Point Circumcenter(const Point& a, const Point& b, const Point& c) {
+  double d = 2.0 * SignedArea2(a, b, c);
+  INNET_CHECK(d != 0.0);
+  double a2 = Dot(a, a);
+  double b2 = Dot(b, b);
+  double c2 = Dot(c, c);
+  double ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+  double uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+  return Point(ux, uy);
+}
+
+}  // namespace innet::geometry

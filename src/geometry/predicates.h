@@ -1,0 +1,40 @@
+// Geometric predicates: orientation and in-circle tests.
+//
+// These are floating-point predicates with an epsilon collinearity band. The
+// library avoids degenerate inputs by jittering generated coordinates, so
+// exact arithmetic (as in CGAL) is not required; see DESIGN.md §2.
+#ifndef INNET_GEOMETRY_PREDICATES_H_
+#define INNET_GEOMETRY_PREDICATES_H_
+
+#include "geometry/point.h"
+
+namespace innet::geometry {
+
+/// Sign of the orientation test, see Orientation().
+enum class Orient {
+  kClockwise = -1,
+  kCollinear = 0,
+  kCounterClockwise = 1,
+};
+
+/// Twice the signed area of triangle (a, b, c); positive when the triangle
+/// winds counter-clockwise.
+constexpr double SignedArea2(const Point& a, const Point& b, const Point& c) {
+  return Cross(b - a, c - a);
+}
+
+/// Orientation of point c relative to directed line a->b, with a relative
+/// epsilon band treated as collinear.
+Orient Orientation(const Point& a, const Point& b, const Point& c);
+
+/// True if point d lies strictly inside the circumcircle of the
+/// counter-clockwise triangle (a, b, c).
+bool InCircle(const Point& a, const Point& b, const Point& c, const Point& d);
+
+/// Circumcenter of triangle (a, b, c). Requires the triangle to be
+/// non-degenerate.
+Point Circumcenter(const Point& a, const Point& b, const Point& c);
+
+}  // namespace innet::geometry
+
+#endif  // INNET_GEOMETRY_PREDICATES_H_

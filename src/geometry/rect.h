@@ -1,0 +1,75 @@
+// Axis-aligned rectangles: spatial query ranges (§4.6) and index bounds.
+#ifndef INNET_GEOMETRY_RECT_H_
+#define INNET_GEOMETRY_RECT_H_
+
+#include <algorithm>
+
+#include "geometry/point.h"
+
+namespace innet::geometry {
+
+/// Closed axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  constexpr Rect() = default;
+  constexpr Rect(double min_x_in, double min_y_in, double max_x_in,
+                 double max_y_in)
+      : min_x(min_x_in), min_y(min_y_in), max_x(max_x_in), max_y(max_y_in) {}
+
+  /// Smallest rectangle containing both corner points.
+  static constexpr Rect FromCorners(const Point& a, const Point& b) {
+    return Rect(a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+                a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y);
+  }
+
+  constexpr double Width() const { return max_x - min_x; }
+  constexpr double Height() const { return max_y - min_y; }
+  constexpr double Area() const { return Width() * Height(); }
+  constexpr Point Center() const {
+    return Point((min_x + max_x) * 0.5, (min_y + max_y) * 0.5);
+  }
+
+  constexpr bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  constexpr bool Contains(const Rect& o) const {
+    return o.min_x >= min_x && o.max_x <= max_x && o.min_y >= min_y &&
+           o.max_y <= max_y;
+  }
+
+  constexpr bool Intersects(const Rect& o) const {
+    return !(o.min_x > max_x || o.max_x < min_x || o.min_y > max_y ||
+             o.max_y < min_y);
+  }
+
+  /// Grows the rectangle to include p.
+  void ExpandToInclude(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  /// Grows each side outward by `margin`.
+  constexpr Rect Inflated(double margin) const {
+    return Rect(min_x - margin, min_y - margin, max_x + margin,
+                max_y + margin);
+  }
+};
+
+/// Bounding box of a point range. Requires non-empty input.
+template <typename Iterator>
+Rect BoundingBox(Iterator first, Iterator last) {
+  Rect box(first->x, first->y, first->x, first->y);
+  for (Iterator it = first; it != last; ++it) box.ExpandToInclude(*it);
+  return box;
+}
+
+}  // namespace innet::geometry
+
+#endif  // INNET_GEOMETRY_RECT_H_

@@ -1,0 +1,69 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+
+#include "geometry/predicates.h"
+
+namespace innet::geometry {
+
+namespace {
+
+// True if point c, known collinear with segment ab, lies on ab.
+bool OnSegment(const Point& a, const Point& b, const Point& c) {
+  return c.x >= std::min(a.x, b.x) && c.x <= std::max(a.x, b.x) &&
+         c.y >= std::min(a.y, b.y) && c.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Segment& s, const Segment& t) {
+  Orient o1 = Orientation(s.a, s.b, t.a);
+  Orient o2 = Orientation(s.a, s.b, t.b);
+  Orient o3 = Orientation(t.a, t.b, s.a);
+  Orient o4 = Orientation(t.a, t.b, s.b);
+
+  if (o1 != o2 && o3 != o4 && o1 != Orient::kCollinear &&
+      o2 != Orient::kCollinear && o3 != Orient::kCollinear &&
+      o4 != Orient::kCollinear) {
+    return true;
+  }
+  if (o1 == Orient::kCollinear && OnSegment(s.a, s.b, t.a)) return true;
+  if (o2 == Orient::kCollinear && OnSegment(s.a, s.b, t.b)) return true;
+  if (o3 == Orient::kCollinear && OnSegment(t.a, t.b, s.a)) return true;
+  if (o4 == Orient::kCollinear && OnSegment(t.a, t.b, s.b)) return true;
+  return false;
+}
+
+bool SegmentsProperlyCross(const Segment& s, const Segment& t) {
+  Orient o1 = Orientation(s.a, s.b, t.a);
+  Orient o2 = Orientation(s.a, s.b, t.b);
+  Orient o3 = Orientation(t.a, t.b, s.a);
+  Orient o4 = Orientation(t.a, t.b, s.b);
+  if (o1 == Orient::kCollinear || o2 == Orient::kCollinear ||
+      o3 == Orient::kCollinear || o4 == Orient::kCollinear) {
+    return false;
+  }
+  return o1 != o2 && o3 != o4;
+}
+
+std::optional<Point> CrossingPoint(const Segment& s, const Segment& t) {
+  if (!SegmentsProperlyCross(s, t)) return std::nullopt;
+  Point r = s.b - s.a;
+  Point q = t.b - t.a;
+  double denom = Cross(r, q);
+  if (denom == 0.0) return std::nullopt;
+  double u = Cross(t.a - s.a, q) / denom;
+  return s.a + r * u;
+}
+
+double PointSegmentDistanceSquared(const Point& p, const Segment& s) {
+  Point d = s.b - s.a;
+  double len2 = Dot(d, d);
+  if (len2 == 0.0) return DistanceSquared(p, s.a);
+  double t = Dot(p - s.a, d) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  Point proj = s.a + d * t;
+  return DistanceSquared(p, proj);
+}
+
+}  // namespace innet::geometry

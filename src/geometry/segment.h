@@ -1,0 +1,43 @@
+// Line segments and segment intersection tests, used when materializing
+// sampled-graph edges and checking planarity (§4.5).
+#ifndef INNET_GEOMETRY_SEGMENT_H_
+#define INNET_GEOMETRY_SEGMENT_H_
+
+#include <optional>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace innet::geometry {
+
+/// Closed line segment from a to b.
+struct Segment {
+  Point a;
+  Point b;
+
+  Segment() = default;
+  Segment(const Point& a_in, const Point& b_in) : a(a_in), b(b_in) {}
+
+  double Length() const { return Distance(a, b); }
+  Rect Bounds() const { return Rect::FromCorners(a, b); }
+};
+
+/// True if segments s and t intersect (including endpoint touching and
+/// collinear overlap).
+bool SegmentsIntersect(const Segment& s, const Segment& t);
+
+/// True if s and t properly cross: they intersect at a single interior point
+/// of both segments. Shared endpoints do not count.
+bool SegmentsProperlyCross(const Segment& s, const Segment& t);
+
+/// Intersection point of properly crossing segments; nullopt when the
+/// segments do not properly cross (parallel, disjoint, or touching only at
+/// endpoints).
+std::optional<Point> CrossingPoint(const Segment& s, const Segment& t);
+
+/// Squared distance from point p to segment s.
+double PointSegmentDistanceSquared(const Point& p, const Segment& s);
+
+}  // namespace innet::geometry
+
+#endif  // INNET_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,66 @@
+#include "graph/connectivity.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace innet::graph {
+
+namespace {
+constexpr uint32_t kUnlabeled = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+ComponentLabels ConnectedComponents(const WeightedAdjacency& adjacency) {
+  ComponentLabels result;
+  result.label.assign(adjacency.size(), kUnlabeled);
+  for (NodeId start = 0; start < adjacency.size(); ++start) {
+    if (result.label[start] != kUnlabeled) continue;
+    uint32_t id = result.count++;
+    std::queue<NodeId> queue;
+    result.label[start] = id;
+    queue.push(start);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop();
+      for (const WeightedArc& arc : adjacency[u]) {
+        if (result.label[arc.to] != kUnlabeled) continue;
+        result.label[arc.to] = id;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return result;
+}
+
+ComponentLabels ComponentsWithRemovedEdges(
+    const PlanarGraph& graph, const std::vector<bool>& edge_removed) {
+  INNET_CHECK(edge_removed.size() == graph.NumEdges());
+  ComponentLabels result;
+  result.label.assign(graph.NumNodes(), kUnlabeled);
+  for (NodeId start = 0; start < graph.NumNodes(); ++start) {
+    if (result.label[start] != kUnlabeled) continue;
+    uint32_t id = result.count++;
+    std::queue<NodeId> queue;
+    result.label[start] = id;
+    queue.push(start);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop();
+      for (const Neighbor& nb : graph.NeighborsOf(u)) {
+        if (edge_removed[nb.edge]) continue;
+        if (result.label[nb.node] != kUnlabeled) continue;
+        result.label[nb.node] = id;
+        queue.push(nb.node);
+      }
+    }
+  }
+  return result;
+}
+
+bool IsConnected(const WeightedAdjacency& adjacency) {
+  if (adjacency.empty()) return true;
+  return ConnectedComponents(adjacency).count == 1;
+}
+
+}  // namespace innet::graph

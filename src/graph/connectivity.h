@@ -1,0 +1,36 @@
+// Connected components and masked flood fill.
+//
+// The masked variant is the core of sampled-graph face assignment (§4.5):
+// junctions connected through roads whose dual sensor edge is NOT monitored
+// lie in the same face of the sampled graph G̃.
+#ifndef INNET_GRAPH_CONNECTIVITY_H_
+#define INNET_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/planar_graph.h"
+#include "graph/weighted_adjacency.h"
+
+namespace innet::graph {
+
+/// Per-node component labels (0..count-1) plus the component count.
+struct ComponentLabels {
+  std::vector<uint32_t> label;
+  uint32_t count = 0;
+};
+
+/// Connected components of a weighted adjacency.
+ComponentLabels ConnectedComponents(const WeightedAdjacency& adjacency);
+
+/// Connected components of `graph` using only edges NOT flagged in
+/// `edge_removed` (indexed by EdgeId).
+ComponentLabels ComponentsWithRemovedEdges(
+    const PlanarGraph& graph, const std::vector<bool>& edge_removed);
+
+/// True when the adjacency forms a single connected component (empty graphs
+/// count as connected).
+bool IsConnected(const WeightedAdjacency& adjacency);
+
+}  // namespace innet::graph
+
+#endif  // INNET_GRAPH_CONNECTIVITY_H_

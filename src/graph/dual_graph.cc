@@ -1,0 +1,41 @@
+#include "graph/dual_graph.h"
+
+#include "geometry/rect.h"
+#include "util/logging.h"
+
+namespace innet::graph {
+
+DualGraph::DualGraph(const PlanarGraph& primal) : primal_(&primal) {
+  positions_.resize(primal.NumFaces());
+  ext_node_ = primal.OuterFace();
+  for (FaceId f = 0; f < primal.NumFaces(); ++f) {
+    if (f == ext_node_) continue;
+    positions_[f] = primal.FacePolygon(f).Centroid();
+  }
+  // The ext node has no meaningful centroid; park it outside the domain so
+  // that diagnostics and plots stay readable.
+  geometry::Rect box = geometry::BoundingBox(primal.positions().begin(),
+                                             primal.positions().end());
+  positions_[ext_node_] =
+      geometry::Point(box.max_x + 0.5 * (box.Width() + 1.0), box.Center().y);
+
+  adjacency_.assign(positions_.size(), {});
+  for (EdgeId e = 0; e < primal.NumEdges(); ++e) {
+    const EdgeRecord& rec = primal.Edge(e);
+    INNET_CHECK(rec.left != kInvalidFace && rec.right != kInvalidFace);
+    if (rec.left == rec.right) continue;  // Primal bridge: dual self-loop.
+    double w = geometry::Distance(positions_[rec.left], positions_[rec.right]);
+    adjacency_[rec.left].push_back({rec.right, e, w});
+    adjacency_[rec.right].push_back({rec.left, e, w});
+  }
+}
+
+geometry::Polygon DualGraph::JunctionCell(NodeId primal_node) const {
+  std::vector<FaceId> around = primal_->FacesAroundNode(primal_node);
+  std::vector<geometry::Point> ring;
+  ring.reserve(around.size());
+  for (FaceId f : around) ring.push_back(positions_[f]);
+  return geometry::Polygon(std::move(ring));
+}
+
+}  // namespace innet::graph

@@ -1,0 +1,74 @@
+// Dual (sensing) graph of a planar mobility graph (§3.2.3).
+//
+// Dual node ids coincide with primal face ids: sensor `f` covers primal face
+// `f` and sits at its centroid. The dual node of the primal outer face is the
+// "infinity node" ⋆v_ext (Fig. 8a): the virtual source/sink for objects
+// entering or leaving the mobility domain.
+//
+// Each primal edge (road) corresponds 1:1 to a dual edge (sensor
+// communication link / sensing border): an object traversing road (A, B)
+// crosses exactly that dual edge, moving from the dual face around junction A
+// to the dual face around junction B (vertex-edge duality, §4.7.1). Dual
+// faces therefore correspond to primal junctions, and the boundary of a set
+// of dual faces is exactly the set of dual edges whose primal edge has one
+// endpoint inside the junction set — the key identity the query processor is
+// built on.
+#ifndef INNET_GRAPH_DUAL_GRAPH_H_
+#define INNET_GRAPH_DUAL_GRAPH_H_
+
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "graph/planar_graph.h"
+#include "graph/weighted_adjacency.h"
+
+namespace innet::graph {
+
+/// Dual of a PlanarGraph. Node ids are primal face ids; edge ids are primal
+/// edge ids (the duality is 1:1). Bridge edges of the primal (same face on
+/// both sides) would be dual self-loops and are omitted from adjacency.
+class DualGraph {
+ public:
+  explicit DualGraph(const PlanarGraph& primal);
+
+  const PlanarGraph& primal() const { return *primal_; }
+
+  /// Number of dual nodes (== primal faces, including the ext node).
+  size_t NumNodes() const { return positions_.size(); }
+
+  /// Dual node of the primal outer face.
+  NodeId ExtNode() const { return ext_node_; }
+
+  /// Sensor position: centroid of the primal face (for the ext node a point
+  /// outside the domain's bounding box).
+  const geometry::Point& Position(NodeId n) const { return positions_[n]; }
+  const std::vector<geometry::Point>& positions() const { return positions_; }
+
+  /// Weighted adjacency (centroid-to-centroid Euclidean weights). Arc `via`
+  /// fields are primal edge ids.
+  const WeightedAdjacency& adjacency() const { return adjacency_; }
+
+  /// The two dual endpoints of dual edge e (primal edge id): the primal
+  /// faces left/right of e.
+  NodeId EndpointA(EdgeId primal_edge) const {
+    return primal_->Edge(primal_edge).left;
+  }
+  NodeId EndpointB(EdgeId primal_edge) const {
+    return primal_->Edge(primal_edge).right;
+  }
+
+  /// The dual face around primal junction v, as a polygon through the
+  /// centroids of the faces incident to v in rotation order. This is the
+  /// sensing cell whose crossings are the crossings of roads incident to v.
+  geometry::Polygon JunctionCell(NodeId primal_node) const;
+
+ private:
+  const PlanarGraph* primal_;
+  std::vector<geometry::Point> positions_;
+  WeightedAdjacency adjacency_;
+  NodeId ext_node_ = kInvalidNode;
+};
+
+}  // namespace innet::graph
+
+#endif  // INNET_GRAPH_DUAL_GRAPH_H_

@@ -1,0 +1,40 @@
+// Planarization of geometric graphs (§4.2): real road data contains edges
+// that cross geometrically without sharing a junction (flyovers,
+// underpasses, unsplit OSM ways). "We then generate the planarized graph by
+// removing intersections from underpasses and flyovers by inserting nodes at
+// the intersections" — Planarize() does exactly that: every proper crossing
+// between two segments becomes a new junction splitting both edges.
+#ifndef INNET_GRAPH_PLANARIZE_H_
+#define INNET_GRAPH_PLANARIZE_H_
+
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+#include "graph/planar_graph.h"
+#include "util/status.h"
+
+namespace innet::graph {
+
+/// Result of planarization: the embedded graph plus bookkeeping.
+struct PlanarizeResult {
+  PlanarGraph graph;
+  /// Crossing junctions inserted (their ids start at the original node
+  /// count).
+  size_t inserted_nodes = 0;
+  /// Original edges that were split.
+  size_t split_edges = 0;
+};
+
+/// Planarizes a geometric graph given by `positions` and undirected
+/// `edges`. Requirements checked (returned as InvalidArgument): valid
+/// endpoint ids, no self loops, no duplicate edges, no duplicate positions,
+/// and a connected result. Collinear-overlap edge pairs are rejected as
+/// unplanarizable. Endpoint-touching edges are fine (shared junctions).
+util::StatusOr<PlanarizeResult> Planarize(
+    std::vector<geometry::Point> positions,
+    std::vector<std::pair<NodeId, NodeId>> edges);
+
+}  // namespace innet::graph
+
+#endif  // INNET_GRAPH_PLANARIZE_H_

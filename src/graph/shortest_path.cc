@@ -1,0 +1,128 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace innet::graph {
+
+namespace {
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+};
+
+struct DijkstraState {
+  std::vector<double> dist;
+  std::vector<NodeId> parent;
+  std::vector<EdgeId> parent_edge;
+};
+
+// Runs Dijkstra from src; stops early once `target` is settled (pass
+// kInvalidNode to settle everything).
+DijkstraState RunDijkstra(const WeightedAdjacency& adjacency, NodeId src,
+                          NodeId target, const std::vector<bool>* blocked) {
+  size_t n = adjacency.size();
+  INNET_CHECK(src < n);
+  DijkstraState state;
+  state.dist.assign(n, std::numeric_limits<double>::infinity());
+  state.parent.assign(n, kInvalidNode);
+  state.parent_edge.assign(n, kInvalidEdge);
+  if (blocked != nullptr) {
+    INNET_CHECK(blocked->size() == n);
+    INNET_CHECK(!(*blocked)[src]);
+  }
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  state.dist[src] = 0.0;
+  queue.push({0.0, src});
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > state.dist[u]) continue;
+    if (u == target) break;
+    for (const WeightedArc& arc : adjacency[u]) {
+      if (blocked != nullptr && (*blocked)[arc.to]) continue;
+      double candidate = d + arc.weight;
+      if (candidate < state.dist[arc.to]) {
+        state.dist[arc.to] = candidate;
+        state.parent[arc.to] = u;
+        state.parent_edge[arc.to] = arc.via;
+        queue.push({candidate, arc.to});
+      }
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+std::optional<Path> ShortestPath(const WeightedAdjacency& adjacency,
+                                 NodeId src, NodeId dst,
+                                 const std::vector<bool>* blocked) {
+  INNET_CHECK(dst < adjacency.size());
+  DijkstraState state = RunDijkstra(adjacency, src, dst, blocked);
+  if (!std::isfinite(state.dist[dst])) return std::nullopt;
+  Path path;
+  path.cost = state.dist[dst];
+  for (NodeId cur = dst; cur != src; cur = state.parent[cur]) {
+    path.nodes.push_back(cur);
+    path.edges.push_back(state.parent_edge[cur]);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+std::vector<double> DijkstraDistances(const WeightedAdjacency& adjacency,
+                                      NodeId src,
+                                      const std::vector<bool>* blocked) {
+  return RunDijkstra(adjacency, src, kInvalidNode, blocked).dist;
+}
+
+std::vector<uint32_t> BfsHops(const WeightedAdjacency& adjacency, NodeId src) {
+  INNET_CHECK(src < adjacency.size());
+  std::vector<uint32_t> hops(adjacency.size(),
+                             std::numeric_limits<uint32_t>::max());
+  std::queue<NodeId> queue;
+  hops[src] = 0;
+  queue.push(src);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop();
+    for (const WeightedArc& arc : adjacency[u]) {
+      if (hops[arc.to] != std::numeric_limits<uint32_t>::max()) continue;
+      hops[arc.to] = hops[u] + 1;
+      queue.push(arc.to);
+    }
+  }
+  return hops;
+}
+
+double EstimateAveragePathHops(const WeightedAdjacency& adjacency,
+                               size_t num_samples, uint64_t seed) {
+  INNET_CHECK(!adjacency.empty());
+  util::Rng rng(seed);
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < num_samples; ++i) {
+    NodeId src = static_cast<NodeId>(rng.UniformIndex(adjacency.size()));
+    std::vector<uint32_t> hops = BfsHops(adjacency, src);
+    NodeId dst = static_cast<NodeId>(rng.UniformIndex(adjacency.size()));
+    if (hops[dst] == std::numeric_limits<uint32_t>::max()) continue;
+    total += hops[dst];
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace innet::graph

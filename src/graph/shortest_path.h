@@ -1,0 +1,44 @@
+// Dijkstra / BFS routing used to materialize sampled-graph edges as shortest
+// paths in the sensing graph (§4.5) and to model in-network aggregation
+// routes (§5.4).
+#ifndef INNET_GRAPH_SHORTEST_PATH_H_
+#define INNET_GRAPH_SHORTEST_PATH_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/weighted_adjacency.h"
+
+namespace innet::graph {
+
+/// A node-and-edge path with its total weight.
+struct Path {
+  std::vector<NodeId> nodes;  // size k+1 for k edges
+  std::vector<EdgeId> edges;  // `via` ids from the adjacency
+  double cost = 0.0;
+};
+
+/// Shortest path from `src` to `dst`. Nodes flagged in `blocked` (if given)
+/// may not be visited (src/dst must not be blocked). Returns nullopt when
+/// unreachable.
+std::optional<Path> ShortestPath(const WeightedAdjacency& adjacency,
+                                 NodeId src, NodeId dst,
+                                 const std::vector<bool>* blocked = nullptr);
+
+/// Single-source shortest-path distances (infinity for unreachable nodes).
+std::vector<double> DijkstraDistances(
+    const WeightedAdjacency& adjacency, NodeId src,
+    const std::vector<bool>* blocked = nullptr);
+
+/// Single-source hop counts via BFS (UINT32_MAX for unreachable nodes).
+std::vector<uint32_t> BfsHops(const WeightedAdjacency& adjacency, NodeId src);
+
+/// Average shortest-path hop length over `num_samples` random source pairs,
+/// a proxy for the small-world factor ℓ_G of §4.9. Pairs are derived
+/// deterministically from `seed`.
+double EstimateAveragePathHops(const WeightedAdjacency& adjacency,
+                               size_t num_samples, uint64_t seed);
+
+}  // namespace innet::graph
+
+#endif  // INNET_GRAPH_SHORTEST_PATH_H_

@@ -1,0 +1,16 @@
+#include "graph/weighted_adjacency.h"
+
+namespace innet::graph {
+
+WeightedAdjacency EuclideanAdjacency(const PlanarGraph& graph) {
+  WeightedAdjacency adjacency(graph.NumNodes());
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const EdgeRecord& rec = graph.Edge(e);
+    double w = graph.EdgeLength(e);
+    adjacency[rec.u].push_back({rec.v, e, w});
+    adjacency[rec.v].push_back({rec.u, e, w});
+  }
+  return adjacency;
+}
+
+}  // namespace innet::graph

@@ -1,0 +1,29 @@
+// Weighted adjacency-list view shared by the routing algorithms.
+#ifndef INNET_GRAPH_WEIGHTED_ADJACENCY_H_
+#define INNET_GRAPH_WEIGHTED_ADJACENCY_H_
+
+#include <vector>
+
+#include "graph/planar_graph.h"
+
+namespace innet::graph {
+
+/// One outgoing arc of a weighted graph. `via` identifies the underlying
+/// undirected edge (primal edge id for dual graphs).
+struct WeightedArc {
+  NodeId to = kInvalidNode;
+  EdgeId via = kInvalidEdge;
+  double weight = 1.0;
+};
+
+/// Adjacency lists indexed by node id. Arcs appear in both directions for
+/// undirected graphs.
+using WeightedAdjacency = std::vector<std::vector<WeightedArc>>;
+
+/// Builds the weighted adjacency of a planar graph with Euclidean edge
+/// lengths as weights.
+WeightedAdjacency EuclideanAdjacency(const PlanarGraph& graph);
+
+}  // namespace innet::graph
+
+#endif  // INNET_GRAPH_WEIGHTED_ADJACENCY_H_

@@ -1,0 +1,314 @@
+#include "io/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "graph/connectivity.h"
+#include "graph/planarize.h"
+#include "graph/weighted_adjacency.h"
+
+namespace innet::io {
+
+namespace {
+
+constexpr uint64_t kGraphMagic = 0x696e6e657447521ULL;  // "innetGR" + v1.
+constexpr uint64_t kTrajMagic = 0x696e6e657454521ULL;   // "innetTR" + v1.
+
+// RAII stdio handle.
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t bytes) {
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+template <typename T>
+bool WriteValue(std::FILE* f, T value) {
+  return WriteBytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+bool ReadValue(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(T));
+}
+
+// Guards against absurd counts from corrupt headers before allocating.
+constexpr uint64_t kMaxReasonableCount = 1ull << 32;
+
+}  // namespace
+
+util::Status SaveRoadNetwork(const graph::PlanarGraph& graph,
+                             const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return util::InvalidArgumentError("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  bool ok = WriteValue(f, kGraphMagic) &&
+            WriteValue<uint64_t>(f, graph.NumNodes()) &&
+            WriteValue<uint64_t>(f, graph.NumEdges());
+  for (graph::NodeId n = 0; ok && n < graph.NumNodes(); ++n) {
+    ok = WriteValue(f, graph.Position(n).x) &&
+         WriteValue(f, graph.Position(n).y);
+  }
+  for (graph::EdgeId e = 0; ok && e < graph.NumEdges(); ++e) {
+    ok = WriteValue<uint32_t>(f, graph.Edge(e).u) &&
+         WriteValue<uint32_t>(f, graph.Edge(e).v);
+  }
+  if (!ok) return util::InternalError("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<graph::PlanarGraph> LoadRoadNetwork(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return util::NotFoundError("cannot open: " + path);
+  }
+  std::FILE* f = file.get();
+  uint64_t magic = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  if (!ReadValue(f, &magic) || magic != kGraphMagic) {
+    return util::InvalidArgumentError("not a road-network file: " + path);
+  }
+  if (!ReadValue(f, &num_nodes) || !ReadValue(f, &num_edges) ||
+      num_nodes > kMaxReasonableCount || num_edges > kMaxReasonableCount) {
+    return util::InvalidArgumentError("corrupt header: " + path);
+  }
+  std::vector<geometry::Point> positions(num_nodes);
+  for (auto& p : positions) {
+    if (!ReadValue(f, &p.x) || !ReadValue(f, &p.y)) {
+      return util::InvalidArgumentError("truncated positions: " + path);
+    }
+  }
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges(num_edges);
+  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  for (auto& [u, v] : edges) {
+    uint32_t a = 0;
+    uint32_t b = 0;
+    if (!ReadValue(f, &a) || !ReadValue(f, &b)) {
+      return util::InvalidArgumentError("truncated edges: " + path);
+    }
+    if (a >= num_nodes || b >= num_nodes || a == b) {
+      return util::InvalidArgumentError("invalid edge endpoints: " + path);
+    }
+    auto key = std::minmax(a, b);
+    if (!seen.insert({key.first, key.second}).second) {
+      return util::InvalidArgumentError("duplicate edge: " + path);
+    }
+    u = a;
+    v = b;
+  }
+  // Connectivity must hold before the PlanarGraph constructor asserts it.
+  {
+    graph::WeightedAdjacency adjacency(num_nodes);
+    for (const auto& [u, v] : edges) {
+      adjacency[u].push_back({v, 0, 1.0});
+      adjacency[v].push_back({u, 0, 1.0});
+    }
+    if (!graph::IsConnected(adjacency)) {
+      return util::InvalidArgumentError("graph is not connected: " + path);
+    }
+  }
+  return graph::PlanarGraph(std::move(positions), std::move(edges));
+}
+
+util::Status SaveTrajectories(
+    const std::vector<mobility::Trajectory>& trajectories,
+    const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return util::InvalidArgumentError("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  bool ok = WriteValue(f, kTrajMagic) &&
+            WriteValue<uint64_t>(f, trajectories.size());
+  for (const mobility::Trajectory& t : trajectories) {
+    if (!ok) break;
+    if (t.nodes.size() != t.times.size()) {
+      return util::InvalidArgumentError(
+          "trajectory nodes/times length mismatch");
+    }
+    ok = WriteValue<uint64_t>(f, t.nodes.size());
+    for (size_t i = 0; ok && i < t.nodes.size(); ++i) {
+      ok = WriteValue<uint32_t>(f, t.nodes[i]) && WriteValue(f, t.times[i]);
+    }
+  }
+  if (!ok) return util::InternalError("short write: " + path);
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::vector<mobility::Trajectory>> LoadTrajectories(
+    const std::string& path, const graph::PlanarGraph* graph) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return util::NotFoundError("cannot open: " + path);
+  }
+  std::FILE* f = file.get();
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  if (!ReadValue(f, &magic) || magic != kTrajMagic) {
+    return util::InvalidArgumentError("not a trajectory file: " + path);
+  }
+  if (!ReadValue(f, &count) || count > kMaxReasonableCount) {
+    return util::InvalidArgumentError("corrupt header: " + path);
+  }
+  std::vector<mobility::Trajectory> trajectories;
+  trajectories.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t length = 0;
+    if (!ReadValue(f, &length) || length > kMaxReasonableCount) {
+      return util::InvalidArgumentError("corrupt trajectory header: " + path);
+    }
+    mobility::Trajectory t;
+    t.nodes.resize(length);
+    t.times.resize(length);
+    for (uint64_t j = 0; j < length; ++j) {
+      uint32_t node = 0;
+      if (!ReadValue(f, &node) || !ReadValue(f, &t.times[j])) {
+        return util::InvalidArgumentError("truncated trajectory: " + path);
+      }
+      if (graph != nullptr && node >= graph->NumNodes()) {
+        return util::InvalidArgumentError("node id out of range: " + path);
+      }
+      if (j > 0 && t.times[j] <= t.times[j - 1]) {
+        return util::InvalidArgumentError("non-increasing timestamps: " +
+                                          path);
+      }
+      t.nodes[j] = node;
+    }
+    if (graph != nullptr && !t.Valid(*graph)) {
+      return util::InvalidArgumentError(
+          "trajectory hops between non-adjacent junctions: " + path);
+    }
+    trajectories.push_back(std::move(t));
+  }
+  return trajectories;
+}
+
+}  // namespace innet::io
+
+namespace innet::io {
+
+namespace {
+
+// Splits a CSV line on commas (no quoting needed for this format).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+util::StatusOr<CsvImportResult> ImportRoadNetworkCsv(
+    const std::string& path) {
+  File file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) return util::NotFoundError("cannot open: " + path);
+
+  std::vector<std::pair<uint64_t, geometry::Point>> raw_nodes;
+  std::vector<std::pair<uint64_t, uint64_t>> raw_edges;
+  char buffer[512];
+  size_t line_number = 0;
+  while (std::fgets(buffer, sizeof(buffer), file.get()) != nullptr) {
+    ++line_number;
+    std::string line(buffer);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitCsv(line);
+    auto bad = [&](const char* what) {
+      return util::InvalidArgumentError(
+          path + ":" + std::to_string(line_number) + ": " + what);
+    };
+    if (fields[0] == "node") {
+      if (fields.size() != 4) return bad("node wants id,x,y");
+      char* end = nullptr;
+      uint64_t id = std::strtoull(fields[1].c_str(), &end, 10);
+      if (*end != '\0') return bad("bad node id");
+      double x = std::strtod(fields[2].c_str(), &end);
+      if (*end != '\0') return bad("bad x");
+      double y = std::strtod(fields[3].c_str(), &end);
+      if (*end != '\0') return bad("bad y");
+      raw_nodes.emplace_back(id, geometry::Point(x, y));
+    } else if (fields[0] == "edge") {
+      if (fields.size() != 3) return bad("edge wants two node ids");
+      char* end = nullptr;
+      uint64_t u = std::strtoull(fields[1].c_str(), &end, 10);
+      if (*end != '\0') return bad("bad edge endpoint");
+      uint64_t v = std::strtoull(fields[2].c_str(), &end, 10);
+      if (*end != '\0') return bad("bad edge endpoint");
+      raw_edges.emplace_back(u, v);
+    } else {
+      return bad("unknown record type");
+    }
+  }
+
+  // Dense id check + position table.
+  std::vector<geometry::Point> positions(raw_nodes.size());
+  std::vector<bool> seen(raw_nodes.size(), false);
+  for (const auto& [id, point] : raw_nodes) {
+    if (id >= raw_nodes.size() || seen[id]) {
+      return util::InvalidArgumentError(
+          "node ids must be dense 0..n-1 without repeats: " + path);
+    }
+    seen[id] = true;
+    positions[id] = point;
+  }
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  edges.reserve(raw_edges.size());
+  for (const auto& [u, v] : raw_edges) {
+    if (u >= positions.size() || v >= positions.size()) {
+      return util::InvalidArgumentError("edge endpoint out of range: " + path);
+    }
+    edges.emplace_back(static_cast<graph::NodeId>(u),
+                       static_cast<graph::NodeId>(v));
+  }
+
+  util::StatusOr<graph::PlanarizeResult> planarized =
+      graph::Planarize(std::move(positions), std::move(edges));
+  if (!planarized.ok()) return planarized.status();
+  return CsvImportResult{std::move(planarized->graph),
+                         planarized->inserted_nodes};
+}
+
+util::Status ExportRoadNetworkCsv(const graph::PlanarGraph& graph,
+                                  const std::string& path) {
+  File file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) {
+    return util::InvalidArgumentError("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  std::fprintf(f, "# innet road network: %zu nodes, %zu edges\n",
+               graph.NumNodes(), graph.NumEdges());
+  for (graph::NodeId n = 0; n < graph.NumNodes(); ++n) {
+    std::fprintf(f, "node,%u,%.9g,%.9g\n", n, graph.Position(n).x,
+                 graph.Position(n).y);
+  }
+  for (graph::EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    std::fprintf(f, "edge,%u,%u\n", graph.Edge(e).u, graph.Edge(e).v);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace innet::io

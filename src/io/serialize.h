@@ -1,0 +1,61 @@
+// Binary persistence for the dataset artifacts: road networks and
+// trajectory sets. Errors are reported through util::Status (no exceptions,
+// no aborts on corrupt files).
+//
+// Format: little-endian host layout with a magic tag and version per file
+// type; loaders validate counts, id ranges, duplicate edges, monotone
+// timestamps, and connectivity before handing data to constructors that
+// enforce invariants with CHECKs.
+#ifndef INNET_IO_SERIALIZE_H_
+#define INNET_IO_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/planar_graph.h"
+#include "mobility/trajectory.h"
+#include "util/status.h"
+
+namespace innet::io {
+
+/// Writes the mobility graph (positions + edges) to `path`.
+util::Status SaveRoadNetwork(const graph::PlanarGraph& graph,
+                             const std::string& path);
+
+/// Reads a mobility graph. Fails with InvalidArgument on malformed content
+/// (bad magic, out-of-range ids, duplicate or self-loop edges, disconnected
+/// graphs). The file is trusted to contain a valid planar embedding; that
+/// property is re-checked structurally (Euler's formula) on construction.
+util::StatusOr<graph::PlanarGraph> LoadRoadNetwork(const std::string& path);
+
+/// Writes a trajectory set to `path`.
+util::Status SaveTrajectories(
+    const std::vector<mobility::Trajectory>& trajectories,
+    const std::string& path);
+
+/// Reads a trajectory set, validating monotone timestamps and (when
+/// `graph` is non-null) adjacency of consecutive nodes.
+util::StatusOr<std::vector<mobility::Trajectory>> LoadTrajectories(
+    const std::string& path, const graph::PlanarGraph* graph = nullptr);
+
+/// Text import for external road data (e.g., OSM extracts). Format, one
+/// record per line, comma separated, `#` comments and blank lines ignored:
+///   node,<id>,<x>,<y>
+///   edge,<node-id>,<node-id>
+/// Node ids must be dense 0..n-1 (any order). The geometry need NOT be
+/// planar: crossings are resolved via graph::Planarize (§4.2's flyover /
+/// underpass handling), and the report of inserted junctions is returned
+/// alongside the graph.
+struct CsvImportResult {
+  graph::PlanarGraph graph;
+  size_t inserted_crossings = 0;
+};
+util::StatusOr<CsvImportResult> ImportRoadNetworkCsv(const std::string& path);
+
+/// Text export matching ImportRoadNetworkCsv's format.
+util::Status ExportRoadNetworkCsv(const graph::PlanarGraph& graph,
+                                  const std::string& path);
+
+}  // namespace innet::io
+
+#endif  // INNET_IO_SERIALIZE_H_

@@ -1,0 +1,67 @@
+#include "learned/buffered_edge_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace innet::learned {
+
+BufferedEdgeStore::BufferedEdgeStore(size_t num_edges, ModelType type,
+                                     size_t buffer_capacity,
+                                     const ModelOptions& options)
+    : type_(type),
+      buffer_capacity_(std::max<size_t>(1, buffer_capacity)),
+      options_(options),
+      states_(num_edges * 2) {}
+
+void BufferedEdgeStore::RecordTraversal(graph::EdgeId road, bool forward,
+                                        double t) {
+  DirectionState& state = State(road, forward);
+  INNET_DCHECK(state.buffer.empty() || state.buffer.back() <= t);
+  state.buffer.push_back(t);
+  ++total_events_;
+  if (state.buffer.size() >= buffer_capacity_) {
+    if (state.model == nullptr) {
+      state.model = CreateCountModel(type_, options_);
+    }
+    for (double event : state.buffer) state.model->Observe(event);
+    state.buffer.clear();
+  }
+}
+
+const CountModel* BufferedEdgeStore::ModelFor(graph::EdgeId road,
+                                              bool forward) const {
+  return State(road, forward).model.get();
+}
+
+double BufferedEdgeStore::CountUpTo(graph::EdgeId road, bool forward,
+                                    double t) const {
+  const DirectionState& state = State(road, forward);
+  double modeled =
+      state.model != nullptr ? state.model->Predict(t) : 0.0;
+  auto it =
+      std::upper_bound(state.buffer.begin(), state.buffer.end(), t);
+  double buffered = static_cast<double>(it - state.buffer.begin());
+  return modeled + buffered;
+}
+
+size_t BufferedEdgeStore::DirectionBytes(const DirectionState& state) const {
+  size_t bytes = state.buffer.size() * sizeof(double);
+  if (state.model != nullptr) {
+    bytes += state.model->ParameterCount() * sizeof(double);
+  }
+  return bytes;
+}
+
+size_t BufferedEdgeStore::StorageBytes() const {
+  size_t total = 0;
+  for (const DirectionState& state : states_) total += DirectionBytes(state);
+  return total;
+}
+
+size_t BufferedEdgeStore::StorageBytesForEdge(graph::EdgeId road) const {
+  return DirectionBytes(State(road, true)) +
+         DirectionBytes(State(road, false));
+}
+
+}  // namespace innet::learned

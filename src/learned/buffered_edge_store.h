@@ -1,0 +1,67 @@
+// Learned per-edge event store: a constant-size regression model per
+// directed edge plus a bounded buffer of recent events (§4.8).
+//
+// New crossing events accumulate in a small buffer; when the buffer fills,
+// its events are folded into the model's incremental statistics and the
+// buffer is cleared. Lookups combine the model estimate (flushed history)
+// with an exact count over the buffer, so recent events are always exact and
+// the error is confined to the modeled past — mirroring the paper's
+// model-plus-buffer design.
+#ifndef INNET_LEARNED_BUFFERED_EDGE_STORE_H_
+#define INNET_LEARNED_BUFFERED_EDGE_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "forms/edge_count_store.h"
+#include "learned/count_model.h"
+
+namespace innet::learned {
+
+/// EdgeCountStore backed by regression models.
+class BufferedEdgeStore : public forms::EdgeCountStore {
+ public:
+  /// `buffer_capacity` is the event count n after which a direction's buffer
+  /// is flushed into its model.
+  BufferedEdgeStore(size_t num_edges, ModelType type, size_t buffer_capacity,
+                    const ModelOptions& options);
+
+  /// Ingests a crossing event; same contract as TrackingForm (non-decreasing
+  /// time per edge and direction).
+  void RecordTraversal(graph::EdgeId road, bool forward, double t);
+
+  /// Model backing a direction, or nullptr if no event was flushed yet.
+  const CountModel* ModelFor(graph::EdgeId road, bool forward) const;
+
+  /// Total events ingested.
+  size_t TotalEvents() const { return total_events_; }
+
+  // EdgeCountStore:
+  double CountUpTo(graph::EdgeId road, bool forward, double t) const override;
+  size_t StorageBytes() const override;
+  size_t StorageBytesForEdge(graph::EdgeId road) const override;
+
+ private:
+  struct DirectionState {
+    std::unique_ptr<CountModel> model;  // Created on first flush.
+    std::vector<double> buffer;         // Sorted (times non-decreasing).
+  };
+
+  DirectionState& State(graph::EdgeId road, bool forward) {
+    return states_[(static_cast<size_t>(road) << 1) | (forward ? 0 : 1)];
+  }
+  const DirectionState& State(graph::EdgeId road, bool forward) const {
+    return states_[(static_cast<size_t>(road) << 1) | (forward ? 0 : 1)];
+  }
+  size_t DirectionBytes(const DirectionState& state) const;
+
+  ModelType type_;
+  size_t buffer_capacity_;
+  ModelOptions options_;
+  std::vector<DirectionState> states_;
+  size_t total_events_ = 0;
+};
+
+}  // namespace innet::learned
+
+#endif  // INNET_LEARNED_BUFFERED_EDGE_STORE_H_

@@ -1,0 +1,45 @@
+#include "learned/count_model.h"
+
+#include "learned/piecewise_model.h"
+#include "learned/polynomial_model.h"
+#include "util/logging.h"
+
+namespace innet::learned {
+
+std::string_view ModelTypeName(ModelType type) {
+  switch (type) {
+    case ModelType::kLinear:
+      return "linear";
+    case ModelType::kQuadratic:
+      return "quadratic";
+    case ModelType::kCubic:
+      return "cubic";
+    case ModelType::kPiecewiseLinear:
+      return "pw-linear";
+    case ModelType::kPiecewiseConstant:
+      return "pw-constant";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<CountModel> CreateCountModel(ModelType type,
+                                             const ModelOptions& options) {
+  switch (type) {
+    case ModelType::kLinear:
+      return std::make_unique<PolynomialModel>(1, options.time_scale);
+    case ModelType::kQuadratic:
+      return std::make_unique<PolynomialModel>(2, options.time_scale);
+    case ModelType::kCubic:
+      return std::make_unique<PolynomialModel>(3, options.time_scale);
+    case ModelType::kPiecewiseLinear:
+      return std::make_unique<PiecewiseModel>(options.epsilon,
+                                              /*constant_segments=*/false);
+    case ModelType::kPiecewiseConstant:
+      return std::make_unique<PiecewiseModel>(options.epsilon,
+                                              /*constant_segments=*/true);
+  }
+  INNET_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace innet::learned

@@ -1,0 +1,80 @@
+// Constant-size regression models for the per-edge count function C(γ, t)
+// (§4.8, Fig. 9).
+//
+// Each model learns the CDF of the crossing-event timestamps on one directed
+// edge as a stream: Observe(t) feeds the next (non-decreasing) event time,
+// Predict(t) returns the estimated number of events with timestamp <= t in
+// O(1) (O(log segments) for the piecewise models). Storage is a handful of
+// parameters instead of the full timestamp sequence — the source of the
+// paper's 99.96% storage reduction.
+#ifndef INNET_LEARNED_COUNT_MODEL_H_
+#define INNET_LEARNED_COUNT_MODEL_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+namespace innet::learned {
+
+/// Available regressor families (the "popular regressors" of Fig. 9).
+enum class ModelType {
+  kLinear,
+  kQuadratic,
+  kCubic,
+  kPiecewiseLinear,
+  kPiecewiseConstant,
+};
+
+/// Short lowercase name of a model type ("linear", ...).
+std::string_view ModelTypeName(ModelType type);
+
+/// Streaming monotone-CDF regressor.
+class CountModel {
+ public:
+  virtual ~CountModel() = default;
+
+  /// Feeds the next event timestamp. Timestamps must be non-decreasing.
+  void Observe(double t) {
+    DoObserve(t, static_cast<double>(observed_ + 1));
+    ++observed_;
+    last_time_ = t;
+  }
+
+  /// Estimated number of events with timestamp <= t, clamped to
+  /// [0, ObservedCount()].
+  virtual double Predict(double t) const = 0;
+
+  /// Number of stored model parameters (the storage footprint in doubles).
+  virtual size_t ParameterCount() const = 0;
+
+  /// Events observed so far.
+  size_t ObservedCount() const { return observed_; }
+
+  virtual std::string_view Name() const = 0;
+
+ protected:
+  /// Implementation hook: event at time t brings the cumulative count to y.
+  virtual void DoObserve(double t, double y) = 0;
+
+  double last_time_ = 0.0;
+  size_t observed_ = 0;
+};
+
+/// Model tuning shared by the factory.
+struct ModelOptions {
+  /// Time normalization scale (e.g., the experiment horizon); keeps the
+  /// polynomial normal equations well conditioned.
+  double time_scale = 1.0;
+
+  /// Error tolerance (in counts) for the piecewise models; each segment
+  /// guarantees |prediction - true count| <= epsilon at its training points.
+  double epsilon = 8.0;
+};
+
+/// Creates a fresh model of the given family.
+std::unique_ptr<CountModel> CreateCountModel(ModelType type,
+                                             const ModelOptions& options);
+
+}  // namespace innet::learned
+
+#endif  // INNET_LEARNED_COUNT_MODEL_H_

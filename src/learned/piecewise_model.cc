@@ -1,0 +1,149 @@
+#include "learned/piecewise_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace innet::learned {
+
+namespace {
+constexpr double kUnbounded = 1e300;
+}  // namespace
+
+PiecewiseModel::PiecewiseModel(double epsilon, bool constant_segments)
+    : epsilon_(epsilon), constant_segments_(constant_segments) {
+  INNET_CHECK(epsilon_ >= 0.0);
+}
+
+void PiecewiseModel::CloseOpenSegment() {
+  if (!open_) return;
+  Segment seg;
+  seg.t0 = open_t0_;
+  seg.y0 = open_y0_;
+  if (constant_segments_) {
+    seg.slope = 0.0;
+  } else if (cone_hi_ >= kUnbounded || cone_lo_ <= -kUnbounded) {
+    // Cone never constrained (single point or vertical run): interpolate
+    // through the last observed point if possible.
+    double dt = open_last_t_ - open_t0_;
+    seg.slope = dt > 0.0 ? (open_last_y_ - open_y0_) / dt : 0.0;
+  } else {
+    seg.slope = 0.5 * (cone_lo_ + cone_hi_);
+  }
+  segments_.push_back(seg);
+  open_ = false;
+}
+
+void PiecewiseModel::DoObserve(double t, double y) {
+  if (!open_) {
+    open_ = true;
+    open_t0_ = t;
+    open_y0_ = y;
+    cone_lo_ = -kUnbounded;
+    cone_hi_ = kUnbounded;
+    open_last_t_ = t;
+    open_last_y_ = y;
+    return;
+  }
+  double dt = t - open_t0_;
+  if (dt <= 0.0) {
+    // Vertical run of identical timestamps: representable while the jump
+    // stays within epsilon.
+    if (std::abs(y - open_y0_) <= epsilon_) {
+      open_last_t_ = t;
+      open_last_y_ = y;
+      return;
+    }
+    CloseOpenSegment();
+    DoObserve(t, y);
+    return;
+  }
+  double lo = (y - epsilon_ - open_y0_) / dt;
+  double hi = (y + epsilon_ - open_y0_) / dt;
+  if (constant_segments_) {
+    lo = std::max(lo, 0.0);
+    hi = std::min(hi, 0.0);
+    if (lo > hi || std::abs(y - open_y0_) > epsilon_) {
+      CloseOpenSegment();
+      DoObserve(t, y);
+      return;
+    }
+    open_last_t_ = t;
+    open_last_y_ = y;
+    return;
+  }
+  double new_lo = std::max(cone_lo_, lo);
+  double new_hi = std::min(cone_hi_, hi);
+  if (new_lo > new_hi) {
+    CloseOpenSegment();
+    DoObserve(t, y);
+    return;
+  }
+  cone_lo_ = new_lo;
+  cone_hi_ = new_hi;
+  open_last_t_ = t;
+  open_last_y_ = y;
+}
+
+double PiecewiseModel::Predict(double t) const {
+  if (observed_ == 0) return 0.0;
+
+  // Effective open-segment parameters for prediction.
+  auto open_slope = [this]() {
+    if (constant_segments_) return 0.0;
+    if (cone_hi_ >= kUnbounded || cone_lo_ <= -kUnbounded) {
+      double dt = open_last_t_ - open_t0_;
+      return dt > 0.0 ? (open_last_y_ - open_y0_) / dt : 0.0;
+    }
+    return 0.5 * (cone_lo_ + cone_hi_);
+  };
+
+  double first_t0 = !segments_.empty() ? segments_.front().t0 : open_t0_;
+  if (t < first_t0) return 0.0;
+
+  // Locate the governing segment: the last origin <= t.
+  size_t idx = segments_.size();  // segments_.size() means the open segment.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](double value, const Segment& s) { return value < s.t0; });
+  if (it != segments_.begin()) {
+    idx = static_cast<size_t>(it - segments_.begin()) - 1;
+    if (open_ && t >= open_t0_) idx = segments_.size();
+  } else if (!open_ || t < open_t0_) {
+    return 0.0;
+  }
+
+  double y;
+  double upper;
+  if (idx == segments_.size()) {
+    INNET_DCHECK(open_);
+    y = open_y0_ + open_slope() * (t - open_t0_);
+    upper = static_cast<double>(observed_);
+  } else {
+    const Segment& s = segments_[idx];
+    y = s.y0 + s.slope * (t - s.t0);
+    // Do not overshoot the next segment's origin count.
+    upper = (idx + 1 < segments_.size()) ? segments_[idx + 1].y0
+            : open_                      ? open_y0_
+                                         : static_cast<double>(observed_);
+  }
+  return std::clamp(y, 0.0, upper);
+}
+
+size_t PiecewiseModel::ParameterCount() const {
+  size_t per_segment = constant_segments_ ? 2 : 3;
+  size_t total = segments_.size() * per_segment + 2;
+  if (open_) total += per_segment;
+  return total;
+}
+
+size_t PiecewiseModel::SegmentCount() const {
+  return segments_.size() + (open_ ? 1 : 0);
+}
+
+std::string_view PiecewiseModel::Name() const {
+  return constant_segments_ ? "pw-constant" : "pw-linear";
+}
+
+}  // namespace innet::learned

@@ -1,0 +1,58 @@
+// Piecewise (shrinking-cone) count models with a per-point error guarantee,
+// in the spirit of streaming PLA learned indexes (FLIRT / PGM).
+#ifndef INNET_LEARNED_PIECEWISE_MODEL_H_
+#define INNET_LEARNED_PIECEWISE_MODEL_H_
+
+#include <vector>
+
+#include "learned/count_model.h"
+
+namespace innet::learned {
+
+/// Streaming piecewise-linear CDF model. A segment stays open while some
+/// slope through its origin fits every observed point within +/- epsilon
+/// (the "shrinking cone"); otherwise the segment is closed with the cone's
+/// midpoint slope and a new one opens. Guarantees
+/// |Predict(t_i) - i| <= epsilon at training points.
+///
+/// With `constant_segments` the slope is pinned to zero, which yields the
+/// piecewise-constant ("decision tree style") regressor of Fig. 9.
+class PiecewiseModel : public CountModel {
+ public:
+  PiecewiseModel(double epsilon, bool constant_segments);
+
+  double Predict(double t) const override;
+  size_t ParameterCount() const override;
+  std::string_view Name() const override;
+
+  /// Number of closed + open segments (storage grows with this).
+  size_t SegmentCount() const;
+
+ protected:
+  void DoObserve(double t, double y) override;
+
+ private:
+  struct Segment {
+    double t0;
+    double y0;
+    double slope;
+  };
+
+  void CloseOpenSegment();
+
+  double epsilon_;
+  bool constant_segments_;
+  std::vector<Segment> segments_;
+
+  bool open_ = false;
+  double open_t0_ = 0.0;
+  double open_y0_ = 0.0;
+  double cone_lo_ = 0.0;
+  double cone_hi_ = 0.0;
+  double open_last_t_ = 0.0;
+  double open_last_y_ = 0.0;
+};
+
+}  // namespace innet::learned
+
+#endif  // INNET_LEARNED_PIECEWISE_MODEL_H_

@@ -1,0 +1,95 @@
+#include "learned/polynomial_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace innet::learned {
+
+PolynomialModel::PolynomialModel(int degree, double time_scale)
+    : degree_(degree), time_scale_(time_scale) {
+  INNET_CHECK(degree_ >= 1 && degree_ <= kMaxDegree);
+  INNET_CHECK(time_scale_ > 0.0);
+}
+
+void PolynomialModel::DoObserve(double t, double y) {
+  if (observed_ == 0) first_time_ = t;
+  double x = t / time_scale_;
+  double xk = 1.0;
+  for (int k = 0; k <= 2 * degree_; ++k) {
+    x_moments_[k] += xk;
+    if (k <= degree_) xy_moments_[k] += xk * y;
+    xk *= x;
+  }
+  dirty_ = true;
+}
+
+void PolynomialModel::Refit() const {
+  // Solve the (degree+1)^2 normal equations A c = b with a small ridge term
+  // for numerical robustness on near-degenerate inputs.
+  int n = degree_ + 1;
+  double a[kMaxDegree + 1][kMaxDegree + 2];
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a[r][c] = x_moments_[r + c];
+    a[r][r] += 1e-9 * (x_moments_[0] + 1.0);
+    a[r][n] = xy_moments_[r];
+  }
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    for (int c = 0; c <= n; ++c) std::swap(a[col][c], a[pivot][c]);
+    double diag = a[col][col];
+    if (std::abs(diag) < 1e-30) diag = 1e-30;
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double factor = a[r][col] / diag;
+      for (int c = col; c <= n; ++c) a[r][c] -= factor * a[col][c];
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    double diag = a[r][r];
+    coeffs_[r] = std::abs(diag) < 1e-30 ? 0.0 : a[r][n] / diag;
+  }
+  dirty_ = false;
+}
+
+double PolynomialModel::Predict(double t) const {
+  if (observed_ == 0) return 0.0;
+  if (observed_ == 1) {
+    return t >= first_time_ ? 1.0 : 0.0;
+  }
+  if (dirty_) Refit();
+  double x = t / time_scale_;
+  double value = 0.0;
+  double xk = 1.0;
+  for (int k = 0; k <= degree_; ++k) {
+    value += coeffs_[k] * xk;
+    xk *= x;
+  }
+  // The CDF is 0 before the first event; without this the extrapolated
+  // polynomial can report phantom events far in the past.
+  if (t < first_time_) value = 0.0;
+  return std::clamp(value, 0.0, static_cast<double>(observed_));
+}
+
+size_t PolynomialModel::ParameterCount() const {
+  // Coefficients + first_time + observed count.
+  return static_cast<size_t>(degree_ + 1) + 2;
+}
+
+std::string_view PolynomialModel::Name() const {
+  switch (degree_) {
+    case 1:
+      return "linear";
+    case 2:
+      return "quadratic";
+    default:
+      return "cubic";
+  }
+}
+
+}  // namespace innet::learned

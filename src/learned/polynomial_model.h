@@ -1,0 +1,46 @@
+// Polynomial least-squares count models (degree 1..3) with O(1) incremental
+// updates via running moments.
+#ifndef INNET_LEARNED_POLYNOMIAL_MODEL_H_
+#define INNET_LEARNED_POLYNOMIAL_MODEL_H_
+
+#include <array>
+
+#include "learned/count_model.h"
+
+namespace innet::learned {
+
+/// Least-squares polynomial fit of the event CDF. The normal equations are
+/// maintained incrementally (moments of the normalized time), so memory is
+/// O(degree) regardless of how many events stream in.
+class PolynomialModel : public CountModel {
+ public:
+  static constexpr int kMaxDegree = 3;
+
+  /// degree in [1, 3]; time_scale > 0 normalizes timestamps.
+  PolynomialModel(int degree, double time_scale);
+
+  double Predict(double t) const override;
+  size_t ParameterCount() const override;
+  std::string_view Name() const override;
+
+ protected:
+  void DoObserve(double t, double y) override;
+
+ private:
+  void Refit() const;
+
+  int degree_;
+  double time_scale_;
+  // Moments: sum of x^k for k = 0..2*degree, and sum of x^k * y for
+  // k = 0..degree, where x = t / time_scale.
+  std::array<double, 2 * kMaxDegree + 1> x_moments_{};
+  std::array<double, kMaxDegree + 1> xy_moments_{};
+  double first_time_ = 0.0;
+  // Coefficients are refit lazily on the first Predict after new data.
+  mutable std::array<double, kMaxDegree + 1> coeffs_{};
+  mutable bool dirty_ = true;
+};
+
+}  // namespace innet::learned
+
+#endif  // INNET_LEARNED_POLYNOMIAL_MODEL_H_

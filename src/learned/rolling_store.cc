@@ -1,0 +1,84 @@
+#include "learned/rolling_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace innet::learned {
+
+RollingWindowStore::RollingWindowStore(size_t num_edges,
+                                       const RollingOptions& options)
+    : options_(options), states_(num_edges * 2) {
+  INNET_CHECK(options_.window_seconds > 0.0);
+  INNET_CHECK(options_.retained_windows >= 1);
+}
+
+void RollingWindowStore::RecordTraversal(graph::EdgeId road, bool forward,
+                                         double t) {
+  DirectionState& state = State(road, forward);
+  double window_start =
+      std::floor(t / options_.window_seconds) * options_.window_seconds;
+  if (state.windows.empty() || state.windows.back().start < window_start) {
+    Window fresh;
+    fresh.start = window_start;
+    fresh.model = CreateCountModel(options_.model_type, options_.model);
+    state.windows.push_back(std::move(fresh));
+    while (state.windows.size() > options_.retained_windows) {
+      const Window& oldest = state.windows.front();
+      state.evicted_total +=
+          static_cast<double>(oldest.model->ObservedCount());
+      state.evicted_until = oldest.start + options_.window_seconds;
+      state.windows.pop_front();
+    }
+  }
+  INNET_DCHECK(t >= state.windows.back().start);
+  state.windows.back().model->Observe(t);
+}
+
+double RollingWindowStore::RetentionStart(graph::EdgeId road,
+                                          bool forward) const {
+  return State(road, forward).evicted_until;
+}
+
+size_t RollingWindowStore::WindowCount(graph::EdgeId road,
+                                       bool forward) const {
+  return State(road, forward).windows.size();
+}
+
+double RollingWindowStore::CountUpTo(graph::EdgeId road, bool forward,
+                                     double t) const {
+  const DirectionState& state = State(road, forward);
+  double total = 0.0;
+  // Evicted history: fully counted once t reaches its end; queries inside
+  // the evicted span lower-bound the truth (fidelity was dropped there).
+  if (t >= state.evicted_until) {
+    total += state.evicted_total;
+  }
+  for (const Window& window : state.windows) {
+    if (t < window.start) break;
+    total += window.model->Predict(t);
+  }
+  return total;
+}
+
+size_t RollingWindowStore::DirectionBytes(const DirectionState& state) const {
+  size_t bytes = 2 * sizeof(double);  // Evicted total + horizon.
+  for (const Window& window : state.windows) {
+    bytes += sizeof(double) + window.model->ParameterCount() * sizeof(double);
+  }
+  return bytes;
+}
+
+size_t RollingWindowStore::StorageBytes() const {
+  size_t total = 0;
+  for (const DirectionState& state : states_) total += DirectionBytes(state);
+  return total;
+}
+
+size_t RollingWindowStore::StorageBytesForEdge(graph::EdgeId road) const {
+  return DirectionBytes(State(road, true)) +
+         DirectionBytes(State(road, false));
+}
+
+}  // namespace innet::learned

@@ -1,0 +1,81 @@
+// Rolling-time-frame learned store, after FLIRT (Yang et al., EDBT 2023) —
+// the §4.8 future-work design: instead of one model over the whole history,
+// each directed edge keeps a bounded QUEUE of per-time-window models. Old
+// windows are evicted (their exact contents forgotten, only their total
+// count retained), bounding worst-case storage while keeping full fidelity
+// over the recent retention horizon — the regime rolling analytics queries
+// (e.g., "last 7 days") live in.
+#ifndef INNET_LEARNED_ROLLING_STORE_H_
+#define INNET_LEARNED_ROLLING_STORE_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "forms/edge_count_store.h"
+#include "learned/count_model.h"
+
+namespace innet::learned {
+
+/// Rolling-window options.
+struct RollingOptions {
+  /// Width of one time window in seconds.
+  double window_seconds = 600.0;
+
+  /// Number of most recent windows retained with full (modeled) fidelity.
+  /// Older windows collapse to a single evicted-total counter.
+  size_t retained_windows = 12;
+
+  /// Model family per window.
+  ModelType model_type = ModelType::kPiecewiseLinear;
+  ModelOptions model;
+};
+
+/// EdgeCountStore with per-window models and eviction.
+class RollingWindowStore : public forms::EdgeCountStore {
+ public:
+  RollingWindowStore(size_t num_edges, const RollingOptions& options);
+
+  /// Ingests a crossing event; times must be non-decreasing per direction.
+  void RecordTraversal(graph::EdgeId road, bool forward, double t);
+
+  /// Earliest time still covered with modeled fidelity for this direction
+  /// (0 when nothing was evicted yet).
+  double RetentionStart(graph::EdgeId road, bool forward) const;
+
+  /// Number of live windows for a direction.
+  size_t WindowCount(graph::EdgeId road, bool forward) const;
+
+  // EdgeCountStore. Lookups before the retention horizon lower-bound the
+  // true count (evicted windows contribute their full totals only at or
+  // after their end).
+  double CountUpTo(graph::EdgeId road, bool forward, double t) const override;
+  size_t StorageBytes() const override;
+  size_t StorageBytesForEdge(graph::EdgeId road) const override;
+
+ private:
+  struct Window {
+    double start = 0.0;
+    std::unique_ptr<CountModel> model;
+  };
+  struct DirectionState {
+    std::deque<Window> windows;
+    double evicted_total = 0.0;   // Events in evicted windows.
+    double evicted_until = 0.0;   // End time of the newest evicted window.
+  };
+
+  DirectionState& State(graph::EdgeId road, bool forward) {
+    return states_[(static_cast<size_t>(road) << 1) | (forward ? 0 : 1)];
+  }
+  const DirectionState& State(graph::EdgeId road, bool forward) const {
+    return states_[(static_cast<size_t>(road) << 1) | (forward ? 0 : 1)];
+  }
+  size_t DirectionBytes(const DirectionState& state) const;
+
+  RollingOptions options_;
+  std::vector<DirectionState> states_;
+};
+
+}  // namespace innet::learned
+
+#endif  // INNET_LEARNED_ROLLING_STORE_H_

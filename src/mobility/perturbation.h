@@ -1,0 +1,49 @@
+// Local trajectory perturbation, the input-privacy baseline of the related
+// work ([11] Cunningham et al., local differential privacy for trajectory
+// sharing): each reported anchor junction is replaced by a junction within a
+// hop radius (probability decaying geometrically with hop distance), and the
+// trajectory is re-routed through the perturbed anchors.
+//
+// Contrast with privacy::PrivateEdgeStore (output noise on aggregates): here
+// the data themselves are perturbed before ever reaching the network, so no
+// honest count exists downstream. bench/ablation_privacy compares the two
+// accuracy regimes.
+#ifndef INNET_MOBILITY_PERTURBATION_H_
+#define INNET_MOBILITY_PERTURBATION_H_
+
+#include <vector>
+
+#include "graph/planar_graph.h"
+#include "mobility/trajectory.h"
+#include "util/rng.h"
+
+namespace innet::mobility {
+
+/// Perturbation knobs.
+struct PerturbationOptions {
+  /// Maximum hop distance of a perturbed anchor from the true junction.
+  /// 0 disables perturbation.
+  int max_hops = 2;
+
+  /// P(distance = d) ∝ alpha^d for d in [0, max_hops]; smaller alpha keeps
+  /// anchors closer to the truth.
+  double alpha = 0.7;
+
+  /// Every anchor_stride-th junction of the trajectory is used as an
+  /// anchor; intermediate junctions are re-derived by shortest-path
+  /// reconnection.
+  size_t anchor_stride = 4;
+};
+
+/// Perturbs each trajectory independently. Timestamps are re-assigned along
+/// the re-routed path preserving each trip's start and end times. Returned
+/// trajectories are valid paths of `graph`; trips that collapse to a single
+/// junction are dropped.
+std::vector<Trajectory> PerturbTrajectories(
+    const graph::PlanarGraph& graph,
+    const std::vector<Trajectory>& trajectories,
+    const PerturbationOptions& options, util::Rng& rng);
+
+}  // namespace innet::mobility
+
+#endif  // INNET_MOBILITY_PERTURBATION_H_

@@ -1,0 +1,118 @@
+#include "mobility/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "geometry/delaunay.h"
+#include "geometry/point.h"
+#include "util/logging.h"
+
+namespace innet::mobility {
+
+namespace {
+
+// Union-find over node ids for spanning-tree extraction.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// Draws junction positions with density skew and a minimum separation so
+// that the Delaunay step stays well conditioned.
+std::vector<geometry::Point> DrawJunctions(const RoadNetworkOptions& options,
+                                           util::Rng& rng) {
+  double world = options.world_size;
+  std::vector<geometry::Point> centers;
+  for (size_t d = 0; d < options.num_districts; ++d) {
+    centers.emplace_back(rng.Uniform(0.15 * world, 0.85 * world),
+                         rng.Uniform(0.15 * world, 0.85 * world));
+  }
+  double sigma = options.district_sigma_fraction * world;
+  double min_sep =
+      0.35 * world / std::sqrt(static_cast<double>(options.num_junctions));
+  double min_sep2 = min_sep * min_sep;
+
+  std::vector<geometry::Point> points;
+  points.reserve(options.num_junctions);
+  size_t attempts = 0;
+  const size_t max_attempts = options.num_junctions * 200;
+  while (points.size() < options.num_junctions && attempts < max_attempts) {
+    ++attempts;
+    geometry::Point p;
+    if (!centers.empty() && rng.Bernoulli(options.district_weight)) {
+      const geometry::Point& c = centers[rng.UniformIndex(centers.size())];
+      p = geometry::Point(std::clamp(c.x + rng.Normal(0.0, sigma), 0.0, world),
+                          std::clamp(c.y + rng.Normal(0.0, sigma), 0.0, world));
+    } else {
+      p = geometry::Point(rng.Uniform(0.0, world), rng.Uniform(0.0, world));
+    }
+    bool too_close = false;
+    // Linear scan is acceptable at generation time (thousands of points).
+    for (const geometry::Point& q : points) {
+      if (geometry::DistanceSquared(p, q) < min_sep2) {
+        too_close = true;
+        break;
+      }
+    }
+    if (!too_close) points.push_back(p);
+  }
+  INNET_CHECK(points.size() >= 8);
+  return points;
+}
+
+}  // namespace
+
+graph::PlanarGraph GenerateRoadNetwork(const RoadNetworkOptions& options,
+                                       util::Rng& rng) {
+  INNET_CHECK(options.num_junctions >= 8);
+  INNET_CHECK(options.extra_edge_fraction >= 0.0 &&
+              options.extra_edge_fraction <= 1.0);
+  std::vector<geometry::Point> points = DrawJunctions(options, rng);
+  geometry::Triangulation tri = geometry::DelaunayTriangulate(points);
+  std::vector<std::pair<uint32_t, uint32_t>> candidates = tri.Edges();
+  INNET_CHECK(!candidates.empty());
+  rng.Shuffle(candidates);
+
+  // Random spanning tree keeps the network connected; a fraction of the
+  // remaining Delaunay edges provides road redundancy (rings, grids).
+  DisjointSets sets(points.size());
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> roads;
+  std::vector<std::pair<uint32_t, uint32_t>> leftovers;
+  for (const auto& [u, v] : candidates) {
+    if (sets.Union(u, v)) {
+      roads.emplace_back(u, v);
+    } else {
+      leftovers.push_back({u, v});
+    }
+  }
+  INNET_CHECK(roads.size() == points.size() - 1);  // Tree of a connected mesh.
+  size_t extra = static_cast<size_t>(
+      options.extra_edge_fraction * static_cast<double>(leftovers.size()));
+  for (size_t i = 0; i < extra; ++i) {
+    roads.emplace_back(leftovers[i].first, leftovers[i].second);
+  }
+  return graph::PlanarGraph(std::move(points), std::move(roads));
+}
+
+}  // namespace innet::mobility

@@ -1,0 +1,47 @@
+// Synthetic planar road-network generator.
+//
+// Substitution for the Beijing OSM road network of §5.1 (see DESIGN.md §2):
+// junctions are drawn from a mixture of uniform background and Gaussian
+// "district" clusters (density skew), meshed by Delaunay triangulation, and
+// thinned to road density by keeping a random spanning tree plus a fraction
+// of the remaining Delaunay edges. The result is guaranteed planar (subset
+// of a triangulation), connected, and irregular (non-axis-aligned faces) —
+// the properties that drive dead-space behaviour in the paper.
+#ifndef INNET_MOBILITY_ROAD_NETWORK_H_
+#define INNET_MOBILITY_ROAD_NETWORK_H_
+
+#include "graph/planar_graph.h"
+#include "util/rng.h"
+
+namespace innet::mobility {
+
+/// Generator knobs. Defaults produce a mid-size city-like network.
+struct RoadNetworkOptions {
+  /// Number of junctions to place.
+  size_t num_junctions = 600;
+
+  /// Side length of the square world, in meters.
+  double world_size = 10000.0;
+
+  /// Fraction of non-spanning-tree Delaunay edges kept as roads. 0 gives a
+  /// tree (maximal dead ends); 1 gives the full triangulation.
+  double extra_edge_fraction = 0.6;
+
+  /// Number of Gaussian density clusters ("districts").
+  size_t num_districts = 4;
+
+  /// Fraction of junctions drawn from districts rather than the uniform
+  /// background.
+  double district_weight = 0.45;
+
+  /// District standard deviation as a fraction of world_size.
+  double district_sigma_fraction = 0.08;
+};
+
+/// Generates the mobility graph. Requires num_junctions >= 8.
+graph::PlanarGraph GenerateRoadNetwork(const RoadNetworkOptions& options,
+                                       util::Rng& rng);
+
+}  // namespace innet::mobility
+
+#endif  // INNET_MOBILITY_ROAD_NETWORK_H_

@@ -1,0 +1,128 @@
+#include "mobility/trajectory.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace innet::mobility {
+
+bool Trajectory::Valid(const graph::PlanarGraph& graph) const {
+  if (nodes.size() != times.size()) return false;
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    if (times[i + 1] <= times[i]) return false;
+    if (graph.EdgeBetween(nodes[i], nodes[i + 1]) == graph::kInvalidEdge) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<CrossingEvent> ExtractCrossingEvents(
+    const graph::PlanarGraph& graph, const Trajectory& trajectory) {
+  std::vector<CrossingEvent> events;
+  if (trajectory.nodes.size() < 2) return events;
+  events.reserve(trajectory.nodes.size() - 1);
+  for (size_t i = 0; i + 1 < trajectory.nodes.size(); ++i) {
+    graph::NodeId a = trajectory.nodes[i];
+    graph::NodeId b = trajectory.nodes[i + 1];
+    graph::EdgeId e = graph.EdgeBetween(a, b);
+    INNET_CHECK(e != graph::kInvalidEdge);
+    // The crossing is stamped with the arrival time at the next junction.
+    events.push_back({e, graph.Edge(e).u == a, trajectory.times[i + 1]});
+  }
+  return events;
+}
+
+std::vector<CrossingEvent> ExtractAllCrossingEvents(
+    const graph::PlanarGraph& graph,
+    const std::vector<Trajectory>& trajectories) {
+  std::vector<CrossingEvent> all;
+  for (const Trajectory& trajectory : trajectories) {
+    std::vector<CrossingEvent> events =
+        ExtractCrossingEvents(graph, trajectory);
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const CrossingEvent& a, const CrossingEvent& b) {
+                     return a.time < b.time;
+                   });
+  return all;
+}
+
+std::vector<graph::NodeId> GatewayJunctions(const graph::PlanarGraph& graph) {
+  const graph::FaceRecord& outer = graph.Face(graph.OuterFace());
+  std::vector<graph::NodeId> gateways = outer.boundary_nodes;
+  std::sort(gateways.begin(), gateways.end());
+  gateways.erase(std::unique(gateways.begin(), gateways.end()),
+                 gateways.end());
+  return gateways;
+}
+
+std::vector<bool> GatewayMask(const graph::PlanarGraph& graph) {
+  std::vector<bool> mask(graph.NumNodes(), false);
+  for (graph::NodeId n : GatewayJunctions(graph)) mask[n] = true;
+  return mask;
+}
+
+OccupancyOracle::OccupancyOracle(const graph::PlanarGraph& graph,
+                                 const std::vector<Trajectory>& trajectories,
+                                 const std::vector<bool>* visible_from_start) {
+  (void)graph;
+  tracks_.reserve(trajectories.size());
+  for (const Trajectory& trajectory : trajectories) {
+    if (trajectory.nodes.empty()) continue;
+    INNET_CHECK(trajectory.nodes.size() == trajectory.times.size());
+    bool gateway_start = visible_from_start != nullptr &&
+                         (*visible_from_start)[trajectory.nodes.front()];
+    // Gateway starts are visible from nodes[0] (⋆v_ext entry); interior
+    // starts from the first crossing (nodes[1]).
+    size_t first = gateway_start ? 0 : 1;
+    if (trajectory.nodes.size() <= first) continue;  // Never visible.
+    VisibleTrack track;
+    track.cells.assign(trajectory.nodes.begin() + first,
+                       trajectory.nodes.end());
+    track.starts.assign(trajectory.times.begin() + first,
+                        trajectory.times.end());
+    tracks_.push_back(std::move(track));
+  }
+}
+
+int64_t OccupancyOracle::OccupancyAt(const std::vector<bool>& in_region,
+                                     double t) const {
+  int64_t count = 0;
+  for (const VisibleTrack& track : tracks_) {
+    if (t < track.starts.front()) continue;  // Not yet visible.
+    auto it = std::upper_bound(track.starts.begin(), track.starts.end(), t);
+    size_t idx = static_cast<size_t>(it - track.starts.begin()) - 1;
+    if (in_region[track.cells[idx]]) ++count;
+  }
+  return count;
+}
+
+int64_t OccupancyOracle::NetChange(const std::vector<bool>& in_region,
+                                   double t0, double t1) const {
+  return OccupancyAt(in_region, t1) - OccupancyAt(in_region, t0);
+}
+
+int64_t OccupancyOracle::DistinctVisitors(const std::vector<bool>& in_region,
+                                          double t0, double t1) const {
+  int64_t count = 0;
+  for (const VisibleTrack& track : tracks_) {
+    bool visited = false;
+    for (size_t i = 0; i < track.cells.size() && !visited; ++i) {
+      double start = track.starts[i];
+      double end = (i + 1 < track.starts.size())
+                       ? track.starts[i + 1]
+                       : std::numeric_limits<double>::infinity();
+      // Cell occupied during [start, end); overlap with [t0, t1]?
+      if (in_region[track.cells[i]] && start <= t1 && end > t0) {
+        visited = true;
+      }
+    }
+    if (visited) ++count;
+  }
+  return count;
+}
+
+}  // namespace innet::mobility

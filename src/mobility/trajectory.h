@@ -1,0 +1,95 @@
+// Moving-object trajectories on the mobility graph, the crossing events they
+// induce on the sensing graph, and a brute-force occupancy oracle used as
+// independent ground truth in tests.
+//
+// Visibility convention. Objects enter the domain through the infinity node
+// ⋆v_ext (Fig. 8a): a trajectory starting at a gateway junction (a junction
+// on the domain's outer boundary) is detected entering that junction's cell
+// at its start time via the virtual ⋆v_ext sensing edge, and occupies cells
+// from nodes[0] onward. A trajectory starting in the interior cannot be
+// detected appearing, so it becomes visible only with its first road
+// traversal (arriving at nodes[1]). In both cases the object remains
+// assigned to its final junction cell after the trajectory ends (it entered
+// and never left, like u_r in Fig. 2). Differential-form counts and
+// OccupancyOracle share this convention, so they agree exactly on the
+// unsampled graph whenever all trajectories start at gateways.
+#ifndef INNET_MOBILITY_TRAJECTORY_H_
+#define INNET_MOBILITY_TRAJECTORY_H_
+
+#include <vector>
+
+#include "graph/planar_graph.h"
+
+namespace innet::mobility {
+
+/// A path through the mobility graph: consecutive nodes must be adjacent in
+/// the graph, and times (arrival time at each node) strictly increase.
+struct Trajectory {
+  std::vector<graph::NodeId> nodes;
+  std::vector<double> times;
+
+  bool Valid(const graph::PlanarGraph& graph) const;
+};
+
+/// One sensor-edge crossing: a traversal of road `edge` at time `time`,
+/// `forward` meaning from the road's canonical u endpoint to v.
+struct CrossingEvent {
+  graph::EdgeId edge = graph::kInvalidEdge;
+  bool forward = true;
+  double time = 0.0;
+};
+
+/// Crossing events of one trajectory, in trajectory order.
+std::vector<CrossingEvent> ExtractCrossingEvents(
+    const graph::PlanarGraph& graph, const Trajectory& trajectory);
+
+/// Crossing events of all trajectories, merged and sorted by time (the order
+/// in which the sensor network observes them).
+std::vector<CrossingEvent> ExtractAllCrossingEvents(
+    const graph::PlanarGraph& graph,
+    const std::vector<Trajectory>& trajectories);
+
+/// Gateway junctions: the junctions on the outer face of the mobility graph,
+/// through which objects enter the domain from ⋆v_ext.
+std::vector<graph::NodeId> GatewayJunctions(const graph::PlanarGraph& graph);
+
+/// Junction mask of GatewayJunctions().
+std::vector<bool> GatewayMask(const graph::PlanarGraph& graph);
+
+/// Brute-force per-object ground truth, independent of the differential-form
+/// machinery. O(total trajectory length) per query; test/validation use only.
+class OccupancyOracle {
+ public:
+  /// `visible_from_start` (optional, indexed by NodeId) marks gateway
+  /// junctions: trajectories starting there occupy their first cell from
+  /// their start time (⋆v_ext entry); others from their first crossing.
+  OccupancyOracle(const graph::PlanarGraph& graph,
+                  const std::vector<Trajectory>& trajectories,
+                  const std::vector<bool>* visible_from_start = nullptr);
+
+  /// Number of objects whose current junction cell is flagged in `in_region`
+  /// at time t (visibility convention above).
+  int64_t OccupancyAt(const std::vector<bool>& in_region, double t) const;
+
+  /// OccupancyAt(t1) - OccupancyAt(t0): the transient count of Thm 4.3.
+  int64_t NetChange(const std::vector<bool>& in_region, double t0,
+                    double t1) const;
+
+  /// Number of distinct objects that were inside the region at any moment
+  /// during [t0, t1] (used by the Euler-histogram baseline discussion).
+  int64_t DistinctVisitors(const std::vector<bool>& in_region, double t0,
+                           double t1) const;
+
+ private:
+  // Per object: the visible cells with their occupancy start times
+  // (cells[i] occupied during [starts[i], starts[i+1]), last one to +inf).
+  struct VisibleTrack {
+    std::vector<graph::NodeId> cells;
+    std::vector<double> starts;
+  };
+  std::vector<VisibleTrack> tracks_;
+};
+
+}  // namespace innet::mobility
+
+#endif  // INNET_MOBILITY_TRAJECTORY_H_

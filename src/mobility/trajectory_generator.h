@@ -1,0 +1,55 @@
+// Synthetic moving-object workload: origin-destination trips routed over the
+// mobility graph (substitution for the T-Drive/Geolife traces, DESIGN.md §2).
+//
+// Trips start at random times over a multi-hour horizon; origins and
+// destinations are biased toward "hotspot" junctions to reproduce the
+// density skew of urban GPS data. Travel times follow per-trip speeds with
+// jitter.
+#ifndef INNET_MOBILITY_TRAJECTORY_GENERATOR_H_
+#define INNET_MOBILITY_TRAJECTORY_GENERATOR_H_
+
+#include <vector>
+
+#include "graph/planar_graph.h"
+#include "mobility/trajectory.h"
+#include "util/rng.h"
+
+namespace innet::mobility {
+
+/// Workload knobs.
+struct TrajectoryOptions {
+  /// Number of trips to generate.
+  size_t num_trajectories = 4000;
+
+  /// Time horizon in seconds; trips depart in [0, 0.8 * horizon].
+  double horizon = 6.0 * 3600.0;
+
+  /// Mean and standard deviation of per-trip speed (m/s); clamped below at
+  /// 1 m/s.
+  double speed_mean = 12.0;
+  double speed_stddev = 4.0;
+
+  /// Number of hotspot junctions and the probability that a trip endpoint is
+  /// drawn near a hotspot instead of uniformly.
+  size_t num_hotspots = 6;
+  double hotspot_bias = 0.55;
+
+  /// Endpoints "near" a hotspot are drawn from its this-many nearest
+  /// junctions.
+  size_t hotspot_spread = 25;
+
+  /// Route every object into the domain from its nearest gateway junction
+  /// (the ⋆v_ext entry of Fig. 8a) before starting its trip. Required for
+  /// exact differential-form counting; see mobility/trajectory.h.
+  bool enter_from_boundary = true;
+};
+
+/// Generates trips over `graph`. Every returned trajectory has at least two
+/// nodes (trips whose origin equals their destination are redrawn).
+std::vector<Trajectory> GenerateTrajectories(const graph::PlanarGraph& graph,
+                                             const TrajectoryOptions& options,
+                                             util::Rng& rng);
+
+}  // namespace innet::mobility
+
+#endif  // INNET_MOBILITY_TRAJECTORY_GENERATOR_H_

@@ -1,0 +1,127 @@
+#include "placement/query_adaptive.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace innet::placement {
+
+std::vector<Atom> PartitionIntoAtoms(
+    const graph::PlanarGraph& graph,
+    const std::vector<QueryRegionHistory>& history) {
+  // Signature of each junction: the sorted set of queries containing it.
+  std::vector<std::vector<uint32_t>> signature(graph.NumNodes());
+  std::vector<size_t> region_size(history.size(), 0);
+  for (uint32_t q = 0; q < history.size(); ++q) {
+    region_size[q] = history[q].junctions.size();
+    for (graph::NodeId n : history[q].junctions) {
+      INNET_CHECK(n < graph.NumNodes());
+      signature[n].push_back(q);
+    }
+  }
+  for (auto& sig : signature) {
+    std::sort(sig.begin(), sig.end());
+    sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+  }
+
+  // Atoms: connected components of equal non-empty signature.
+  std::vector<Atom> atoms;
+  std::vector<bool> visited(graph.NumNodes(), false);
+  for (graph::NodeId start = 0; start < graph.NumNodes(); ++start) {
+    if (visited[start] || signature[start].empty()) continue;
+    Atom atom;
+    atom.queries = signature[start];
+    std::queue<graph::NodeId> queue;
+    visited[start] = true;
+    queue.push(start);
+    while (!queue.empty()) {
+      graph::NodeId u = queue.front();
+      queue.pop();
+      atom.junctions.push_back(u);
+      for (const graph::Neighbor& nb : graph.NeighborsOf(u)) {
+        if (visited[nb.node]) continue;
+        if (signature[nb.node] != signature[start]) continue;
+        visited[nb.node] = true;
+        queue.push(nb.node);
+      }
+    }
+    // Boundary edges: roads leaving the atom's junction set.
+    std::vector<bool> inside(graph.NumNodes(), false);
+    for (graph::NodeId n : atom.junctions) inside[n] = true;
+    for (graph::NodeId n : atom.junctions) {
+      for (const graph::Neighbor& nb : graph.NeighborsOf(n)) {
+        if (!inside[nb.node]) atom.boundary_edges.push_back(nb.edge);
+      }
+    }
+    std::sort(atom.boundary_edges.begin(), atom.boundary_edges.end());
+    atom.boundary_edges.erase(
+        std::unique(atom.boundary_edges.begin(), atom.boundary_edges.end()),
+        atom.boundary_edges.end());
+    // Eq. 6 over the covering queries.
+    for (uint32_t q : atom.queries) {
+      atom.utility += static_cast<double>(atom.junctions.size()) /
+                      static_cast<double>(std::max<size_t>(1, region_size[q]));
+    }
+    atoms.push_back(std::move(atom));
+  }
+  return atoms;
+}
+
+AdaptivePlacement SelectAtoms(const graph::DualGraph& dual,
+                              const std::vector<Atom>& atoms,
+                              size_t edge_budget) {
+  const graph::PlanarGraph& primal = dual.primal();
+  // Cost-benefit order: utility / |∂σ| descending (Eq. 4 with the Eq. 5
+  // uniform edge cost); ties by fewer boundary edges, then index for
+  // determinism.
+  std::vector<size_t> order(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) order[i] = i;
+  auto ratio = [&atoms](size_t i) {
+    return atoms[i].utility /
+           static_cast<double>(std::max<size_t>(1, atoms[i].boundary_edges.size()));
+  };
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double ra = ratio(a);
+    double rb = ratio(b);
+    if (ra != rb) return ra > rb;
+    if (atoms[a].boundary_edges.size() != atoms[b].boundary_edges.size()) {
+      return atoms[a].boundary_edges.size() < atoms[b].boundary_edges.size();
+    }
+    return a < b;
+  });
+
+  AdaptivePlacement placement;
+  std::vector<bool> edge_monitored(primal.NumEdges(), false);
+  size_t edges_used = 0;
+  for (size_t idx : order) {
+    const Atom& atom = atoms[idx];
+    // Marginal edge cost: boundary edges not yet monitored (shared
+    // boundaries between selected atoms are free — the |∂Q3 ∩ ∂Q1| > 0
+    // observation of §4.4.2).
+    size_t new_edges = 0;
+    for (graph::EdgeId e : atom.boundary_edges) {
+      if (!edge_monitored[e]) ++new_edges;
+    }
+    if (edges_used + new_edges > edge_budget) continue;
+    placement.selected_atoms.push_back(idx);
+    placement.utility += atom.utility;
+    edges_used += new_edges;
+    for (graph::EdgeId e : atom.boundary_edges) edge_monitored[e] = true;
+  }
+
+  std::vector<bool> node_touched(dual.NumNodes(), false);
+  for (graph::EdgeId e = 0; e < primal.NumEdges(); ++e) {
+    if (!edge_monitored[e]) continue;
+    placement.monitored_edges.push_back(e);
+    node_touched[dual.EndpointA(e)] = true;
+    node_touched[dual.EndpointB(e)] = true;
+  }
+  for (graph::NodeId n = 0; n < dual.NumNodes(); ++n) {
+    if (node_touched[n]) placement.sensor_nodes.push_back(n);
+  }
+  return placement;
+}
+
+}  // namespace innet::placement

@@ -1,0 +1,63 @@
+// Query-adaptive sensor selection via submodular maximization (§4.4.2).
+//
+// Historical query regions (junction-cell unions on the sensing graph) are
+// maximally partitioned into disjoint "atoms": connected groups of junctions
+// sharing the same query-membership signature (Fig. 5b). Each atom σ has
+//   utility f(σ) = Σ_{Q ⊇ σ} ω(σ) / ω(Q)    (Eq. 6, ω = cell count)
+//   cost    c(σ) = |∂σ|                      (Eq. 5, boundary edge count)
+// Atoms are selected by the cost-benefit greedy rule (Eq. 4) until the
+// sensor-node budget m is exhausted; the monitored edge set is the union of
+// the selected atoms' boundaries.
+#ifndef INNET_PLACEMENT_QUERY_ADAPTIVE_H_
+#define INNET_PLACEMENT_QUERY_ADAPTIVE_H_
+
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "graph/planar_graph.h"
+
+namespace innet::placement {
+
+/// A historical query region: the junctions whose cells form the region.
+struct QueryRegionHistory {
+  std::vector<graph::NodeId> junctions;
+};
+
+/// One disjoint region of the maximal partition.
+struct Atom {
+  std::vector<graph::NodeId> junctions;      // Connected, same signature.
+  std::vector<graph::EdgeId> boundary_edges;  // Roads with one endpoint in.
+  std::vector<uint32_t> queries;              // Indices of covering queries.
+  double utility = 0.0;                       // Eq. 6.
+};
+
+/// Partitions the union of historical regions into atoms.
+std::vector<Atom> PartitionIntoAtoms(
+    const graph::PlanarGraph& graph,
+    const std::vector<QueryRegionHistory>& history);
+
+/// Result of the adaptive placement.
+struct AdaptivePlacement {
+  std::vector<size_t> selected_atoms;         // Indices into the atom list.
+  std::vector<graph::EdgeId> monitored_edges; // Union of atom boundaries.
+  std::vector<graph::NodeId> sensor_nodes;    // Dual nodes incident to them.
+  double utility = 0.0;
+};
+
+/// Greedily selects atoms by utility / boundary-edge-count ratio (Eq. 4 with
+/// the Eq. 5 uniform edge cost), admitting an atom only while the union of
+/// monitored edges stays within `edge_budget`. Boundary edges shared with
+/// already-selected atoms are free (the |∂Q3 ∩ ∂Q1| > 0 observation of
+/// §4.4.2). Skipped atoms do not stop the scan: smaller atoms may still fit.
+///
+/// The budget is in monitored EDGES, the in-network footprint unit that is
+/// directly comparable with the query-oblivious sampled graphs (whose
+/// shortest-path relays are free); see core::Framework::DeployAdaptive for
+/// the sensor-count-to-edge-budget conversion.
+AdaptivePlacement SelectAtoms(const graph::DualGraph& dual,
+                              const std::vector<Atom>& atoms,
+                              size_t edge_budget);
+
+}  // namespace innet::placement
+
+#endif  // INNET_PLACEMENT_QUERY_ADAPTIVE_H_

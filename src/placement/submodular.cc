@@ -1,0 +1,144 @@
+#include "placement/submodular.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace innet::placement {
+
+namespace {
+
+// Lazy-queue entry: the gain is an upper bound until `round` matches the
+// current selection size.
+struct LazyEntry {
+  double key;
+  size_t item;
+  size_t round;
+  // Ties break toward the smaller item index so lazy and plain greedy make
+  // identical selections.
+  bool operator<(const LazyEntry& o) const {
+    if (key != o.key) return key < o.key;
+    return item > o.item;
+  }
+};
+
+}  // namespace
+
+GreedyResult GreedyMaximize(SubmodularFunction& f,
+                            const std::vector<double>& costs,
+                            const GreedyOptions& options) {
+  INNET_CHECK(costs.size() == f.NumItems());
+  for (double c : costs) INNET_CHECK(c > 0.0);
+  f.Reset();
+  GreedyResult result;
+  std::vector<bool> selected(f.NumItems(), false);
+
+  auto key_of = [&](size_t item, double gain) {
+    return options.cost_benefit ? gain / costs[item] : gain;
+  };
+
+  if (!options.lazy) {
+    // Plain greedy: full re-evaluation each round (Eq. 2 / Eq. 4).
+    while (true) {
+      double best_key = 0.0;
+      size_t best_item = f.NumItems();
+      double best_gain = 0.0;
+      for (size_t i = 0; i < f.NumItems(); ++i) {
+        if (selected[i]) continue;
+        if (result.cost + costs[i] > options.budget) continue;
+        double gain = f.MarginalGain(i);
+        ++result.evaluations;
+        double key = key_of(i, gain);
+        if (best_item == f.NumItems() || key > best_key) {
+          best_key = key;
+          best_item = i;
+          best_gain = gain;
+        }
+      }
+      if (best_item == f.NumItems() || best_gain <= 0.0) break;
+      f.Commit(best_item);
+      selected[best_item] = true;
+      result.selected.push_back(best_item);
+      result.utility += best_gain;
+      result.cost += costs[best_item];
+    }
+    return result;
+  }
+
+  // CELF: keys only shrink as the selection grows, so a stale key is an
+  // upper bound; re-evaluate the top until it is fresh.
+  std::priority_queue<LazyEntry> queue;
+  for (size_t i = 0; i < f.NumItems(); ++i) {
+    double gain = f.MarginalGain(i);
+    ++result.evaluations;
+    queue.push({key_of(i, gain), i, 0});
+  }
+  size_t round = 0;
+  while (!queue.empty()) {
+    LazyEntry top = queue.top();
+    queue.pop();
+    if (selected[top.item]) continue;
+    if (result.cost + costs[top.item] > options.budget) continue;
+    if (top.round != round) {
+      double gain = f.MarginalGain(top.item);
+      ++result.evaluations;
+      queue.push({key_of(top.item, gain), top.item, round});
+      continue;
+    }
+    double gain = options.cost_benefit ? top.key * costs[top.item] : top.key;
+    if (gain <= 0.0) break;
+    f.Commit(top.item);
+    selected[top.item] = true;
+    result.selected.push_back(top.item);
+    result.utility += gain;
+    result.cost += costs[top.item];
+    ++round;
+  }
+  return result;
+}
+
+CoverageFunction::CoverageFunction(std::vector<std::vector<size_t>> covers,
+                                   std::vector<double> element_weights,
+                                   size_t universe_size)
+    : covers_(std::move(covers)),
+      weights_(std::move(element_weights)),
+      covered_(universe_size, false) {
+  if (weights_.empty()) weights_.assign(universe_size, 1.0);
+  INNET_CHECK(weights_.size() == universe_size);
+  for (const auto& cover : covers_) {
+    for (size_t e : cover) INNET_CHECK(e < universe_size);
+  }
+}
+
+double CoverageFunction::MarginalGain(size_t item) const {
+  double gain = 0.0;
+  for (size_t e : covers_[item]) {
+    if (!covered_[e]) gain += weights_[e];
+  }
+  return gain;
+}
+
+void CoverageFunction::Commit(size_t item) {
+  for (size_t e : covers_[item]) covered_[e] = true;
+}
+
+void CoverageFunction::Reset() {
+  std::fill(covered_.begin(), covered_.end(), false);
+}
+
+double CoverageFunction::Evaluate(const std::vector<size_t>& set) const {
+  std::vector<bool> covered(covered_.size(), false);
+  double total = 0.0;
+  for (size_t item : set) {
+    for (size_t e : covers_[item]) {
+      if (!covered[e]) {
+        covered[e] = true;
+        total += weights_[e];
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace innet::placement

@@ -1,0 +1,36 @@
+#include "privacy/noise.h"
+
+#include <cmath>
+
+namespace innet::privacy {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t NoiseKey(uint64_t seed, uint32_t edge, bool forward, uint32_t level,
+                  uint64_t index) {
+  uint64_t key = SplitMix64(seed ^ (static_cast<uint64_t>(edge) << 1 |
+                                    (forward ? 1u : 0u)));
+  key = SplitMix64(key ^ (static_cast<uint64_t>(level) << 48) ^ index);
+  return key;
+}
+
+double KeyedLaplace(uint64_t key, double scale) {
+  // Uniform in (0, 1) from the mixed key; inverse-CDF Laplace sampling.
+  uint64_t bits = SplitMix64(key);
+  double u = (static_cast<double>(bits >> 11) + 0.5) / 9007199254740992.0;
+  // Map u in (0,1) to signed uniform in (-0.5, 0.5).
+  double centered = u - 0.5;
+  double magnitude = std::log(1.0 - 2.0 * std::abs(centered));
+  return (centered < 0 ? scale : -scale) * magnitude;
+}
+
+}  // namespace innet::privacy

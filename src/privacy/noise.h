@@ -1,0 +1,21 @@
+// Noise primitives for differential privacy.
+#ifndef INNET_PRIVACY_NOISE_H_
+#define INNET_PRIVACY_NOISE_H_
+
+#include <cstdint>
+
+namespace innet::privacy {
+
+/// Deterministic Laplace(0, scale) deviate keyed by `key`: the same key
+/// always yields the same noise. Re-using noise across queries of the same
+/// statistic is required for differential privacy under continual
+/// observation (fresh noise per query would leak through averaging).
+double KeyedLaplace(uint64_t key, double scale);
+
+/// Stable 64-bit mix of the components identifying one noisy statistic.
+uint64_t NoiseKey(uint64_t seed, uint32_t edge, bool forward, uint32_t level,
+                  uint64_t index);
+
+}  // namespace innet::privacy
+
+#endif  // INNET_PRIVACY_NOISE_H_

@@ -1,0 +1,69 @@
+#include "privacy/private_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "privacy/noise.h"
+#include "util/logging.h"
+
+namespace innet::privacy {
+
+PrivateEdgeStore::PrivateEdgeStore(const forms::EdgeCountStore& base,
+                                   double epsilon, double horizon, int levels,
+                                   uint64_t seed)
+    : base_(&base),
+      epsilon_(epsilon),
+      horizon_(horizon),
+      levels_(levels),
+      seed_(seed) {
+  INNET_CHECK(epsilon_ > 0.0);
+  INNET_CHECK(horizon_ > 0.0);
+  INNET_CHECK(levels_ >= 1 && levels_ <= 30);
+}
+
+double PrivateEdgeStore::NoiseScale() const {
+  return static_cast<double>(levels_) / epsilon_;
+}
+
+double PrivateEdgeStore::ExactRange(graph::EdgeId road, bool forward,
+                                    uint64_t begin, uint64_t end) const {
+  double leaves = static_cast<double>(uint64_t{1} << levels_);
+  double t0 = horizon_ * static_cast<double>(begin) / leaves;
+  double t1 = horizon_ * static_cast<double>(end) / leaves;
+  return base_->CountInRange(road, forward, t0, t1);
+}
+
+double PrivateEdgeStore::CountUpTo(graph::EdgeId road, bool forward,
+                                   double t) const {
+  if (t < 0.0) return 0.0;
+  uint64_t leaves = uint64_t{1} << levels_;
+  // Leaf buckets [0, prefix) cover (0, t]; clamp beyond the horizon.
+  uint64_t prefix = t >= horizon_
+                        ? leaves
+                        : static_cast<uint64_t>(
+                              std::floor(t / horizon_ *
+                                         static_cast<double>(leaves))) +
+                              1;
+  prefix = std::min(prefix, leaves);
+
+  // Dyadic decomposition of [0, prefix): walk the binary representation,
+  // summing one noisy node per set bit.
+  double total = 0.0;
+  uint64_t covered = 0;
+  for (int level = levels_; level >= 0; --level) {
+    uint64_t span = uint64_t{1} << level;
+    if (covered + span > prefix) continue;
+    uint64_t index = covered / span;
+    double exact = ExactRange(road, forward, covered, covered + span);
+    double noise =
+        KeyedLaplace(NoiseKey(seed_, road, forward, level, index),
+                     NoiseScale());
+    total += exact + noise;
+    covered += span;
+  }
+  INNET_DCHECK(covered == prefix);
+  // Counts are non-negative; clamping only improves accuracy.
+  return std::max(total, 0.0);
+}
+
+}  // namespace innet::privacy

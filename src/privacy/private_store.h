@@ -1,0 +1,59 @@
+// Differentially private edge-count store (§4.1's extension hook, after
+// Ghosh et al., "Differentially Private Range Counting in Planar Graphs for
+// Spatial Sensing", INFOCOM 2020).
+//
+// Mechanism: the continual-counting binary tree. Time [0, horizon] is split
+// into 2^levels dyadic leaf intervals; every dyadic node (level, index)
+// carries Laplace(levels / epsilon) noise, fixed once (keyed PRNG). A
+// prefix count C(e, d, t) is answered as the sum of at most `levels` noisy
+// dyadic interval counts. One crossing event lands in exactly one node per
+// level, so its L1 sensitivity across all published statistics is `levels`,
+// giving event-level epsilon-differential privacy for the temporal stream of
+// every edge. Expected absolute error per prefix query is
+// O(levels^{3/2} / epsilon), independent of the count magnitude.
+#ifndef INNET_PRIVACY_PRIVATE_STORE_H_
+#define INNET_PRIVACY_PRIVATE_STORE_H_
+
+#include "forms/edge_count_store.h"
+
+namespace innet::privacy {
+
+/// EdgeCountStore decorator adding epsilon-DP noise to every lookup. The
+/// base store must outlive this object.
+class PrivateEdgeStore : public forms::EdgeCountStore {
+ public:
+  /// `epsilon`: privacy budget (smaller = more private = noisier).
+  /// `horizon`: the time domain covered by the dyadic tree; queries beyond
+  /// it clamp to the last leaf. `levels`: tree depth (2^levels leaves).
+  PrivateEdgeStore(const forms::EdgeCountStore& base, double epsilon,
+                   double horizon, int levels = 10, uint64_t seed = 0x9d5);
+
+  double epsilon() const { return epsilon_; }
+  int levels() const { return levels_; }
+
+  /// Noise scale of each dyadic node (levels / epsilon).
+  double NoiseScale() const;
+
+  // EdgeCountStore:
+  double CountUpTo(graph::EdgeId road, bool forward, double t) const override;
+  size_t StorageBytes() const override { return base_->StorageBytes(); }
+  size_t StorageBytesForEdge(graph::EdgeId road) const override {
+    return base_->StorageBytesForEdge(road);
+  }
+
+ private:
+  /// Exact count of events in leaf-bucket range [begin, end) via the base
+  /// store.
+  double ExactRange(graph::EdgeId road, bool forward, uint64_t begin,
+                    uint64_t end) const;
+
+  const forms::EdgeCountStore* base_;
+  double epsilon_;
+  double horizon_;
+  int levels_;
+  uint64_t seed_;
+};
+
+}  // namespace innet::privacy
+
+#endif  // INNET_PRIVACY_PRIVATE_STORE_H_

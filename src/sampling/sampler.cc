@@ -1,0 +1,39 @@
+#include "sampling/sampler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace innet::sampling {
+
+std::vector<graph::NodeId> SensorSampler::SelectableSensors(
+    const graph::DualGraph& dual) {
+  std::vector<graph::NodeId> sensors;
+  sensors.reserve(dual.NumNodes() - 1);
+  for (graph::NodeId n = 0; n < dual.NumNodes(); ++n) {
+    if (n == dual.ExtNode()) continue;
+    sensors.push_back(n);
+  }
+  return sensors;
+}
+
+void SensorSampler::TopUpUniform(const graph::DualGraph& dual, size_t m,
+                                 util::Rng& rng,
+                                 std::vector<graph::NodeId>* selected) {
+  std::vector<graph::NodeId> sensors = SelectableSensors(dual);
+  size_t target = std::min(m, sensors.size());
+  if (selected->size() >= target) return;
+  std::vector<bool> taken(dual.NumNodes(), false);
+  for (graph::NodeId n : *selected) taken[n] = true;
+  std::vector<graph::NodeId> remaining;
+  for (graph::NodeId n : sensors) {
+    if (!taken[n]) remaining.push_back(n);
+  }
+  rng.Shuffle(remaining);
+  for (graph::NodeId n : remaining) {
+    if (selected->size() >= target) break;
+    selected->push_back(n);
+  }
+}
+
+}  // namespace innet::sampling

@@ -1,0 +1,53 @@
+// Query-oblivious sensor selection (§4.3): choose m communication sensors
+// from the sensing graph's nodes when nothing is known about the query
+// distribution.
+#ifndef INNET_SAMPLING_SAMPLER_H_
+#define INNET_SAMPLING_SAMPLER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "util/rng.h"
+
+namespace innet::sampling {
+
+/// Strategy interface. Select() returns distinct sensor node ids (dual node
+/// ids; the ext node is never selected). Implementations return exactly
+/// min(m, available) sensors: cell-based samplers top up uniformly when
+/// their cells yield fewer (documented per sampler).
+class SensorSampler {
+ public:
+  virtual ~SensorSampler() = default;
+
+  virtual std::vector<graph::NodeId> Select(const graph::DualGraph& dual,
+                                            size_t m,
+                                            util::Rng& rng) const = 0;
+
+  virtual std::string_view Name() const = 0;
+
+  /// Per-sensor selection weights; empty means uniform. Used to make any
+  /// sampler query-adaptive by weighting nodes by how often they served
+  /// past queries (§4.3, last paragraph).
+  void SetWeights(std::vector<double> weights) {
+    weights_ = std::move(weights);
+  }
+  const std::vector<double>& weights() const { return weights_; }
+
+ protected:
+  /// All selectable sensors (every dual node except the ext node).
+  static std::vector<graph::NodeId> SelectableSensors(
+      const graph::DualGraph& dual);
+
+  /// Pads `selected` with uniform draws from the unselected sensors until it
+  /// reaches min(m, available).
+  static void TopUpUniform(const graph::DualGraph& dual, size_t m,
+                           util::Rng& rng,
+                           std::vector<graph::NodeId>* selected);
+
+  std::vector<double> weights_;
+};
+
+}  // namespace innet::sampling
+
+#endif  // INNET_SAMPLING_SAMPLER_H_

@@ -1,0 +1,230 @@
+#include "sampling/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/rect.h"
+#include "spatial/grid.h"
+#include "spatial/kdtree.h"
+#include "spatial/quadtree.h"
+#include "util/logging.h"
+
+namespace innet::sampling {
+
+namespace {
+
+// Positions of selectable sensors, parallel to SelectableSensors(dual).
+std::vector<geometry::Point> SensorPositions(
+    const graph::DualGraph& dual, const std::vector<graph::NodeId>& sensors) {
+  std::vector<geometry::Point> positions;
+  positions.reserve(sensors.size());
+  for (graph::NodeId n : sensors) positions.push_back(dual.Position(n));
+  return positions;
+}
+
+// Weighted draw among cell members; `weights` is indexed by dual node id
+// (empty = uniform).
+size_t DrawMember(const std::vector<size_t>& members,
+                  const std::vector<graph::NodeId>& sensors,
+                  const std::vector<double>& weights, util::Rng& rng) {
+  INNET_CHECK(!members.empty());
+  if (weights.empty()) {
+    return members[rng.UniformIndex(members.size())];
+  }
+  std::vector<double> member_weights;
+  member_weights.reserve(members.size());
+  double total = 0.0;
+  for (size_t idx : members) {
+    double w = weights[sensors[idx]];
+    member_weights.push_back(w);
+    total += w;
+  }
+  if (total <= 0.0) {
+    return members[rng.UniformIndex(members.size())];
+  }
+  return members[rng.WeightedIndex(member_weights)];
+}
+
+// Picks one representative per cell: nearest to the cell's point centroid or
+// a (possibly weighted) random member.
+graph::NodeId PickFromCell(const std::vector<size_t>& cell,
+                           const std::vector<geometry::Point>& positions,
+                           const std::vector<graph::NodeId>& sensors,
+                           const std::vector<double>& weights,
+                           bool pick_center, util::Rng& rng) {
+  INNET_CHECK(!cell.empty());
+  if (!pick_center) {
+    return sensors[DrawMember(cell, sensors, weights, rng)];
+  }
+  geometry::Point centroid;
+  for (size_t idx : cell) centroid = centroid + positions[idx];
+  centroid = centroid / static_cast<double>(cell.size());
+  size_t best = cell[0];
+  double best_d2 = geometry::DistanceSquared(positions[best], centroid);
+  for (size_t idx : cell) {
+    double d2 = geometry::DistanceSquared(positions[idx], centroid);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = idx;
+    }
+  }
+  return sensors[best];
+}
+
+}  // namespace
+
+std::vector<graph::NodeId> UniformSampler::Select(
+    const graph::DualGraph& dual, size_t m, util::Rng& rng) const {
+  std::vector<graph::NodeId> sensors = SelectableSensors(dual);
+  size_t target = std::min(m, sensors.size());
+  std::vector<graph::NodeId> selected;
+  if (weights_.empty()) {
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(sensors.size(), target);
+    selected.reserve(target);
+    for (size_t idx : picks) selected.push_back(sensors[idx]);
+    return selected;
+  }
+  // Weighted without replacement: repeated weighted draws with zeroing.
+  INNET_CHECK(weights_.size() == dual.NumNodes());
+  std::vector<double> weights;
+  weights.reserve(sensors.size());
+  for (graph::NodeId n : sensors) weights.push_back(weights_[n]);
+  for (size_t i = 0; i < target; ++i) {
+    size_t idx = rng.WeightedIndex(weights);
+    selected.push_back(sensors[idx]);
+    weights[idx] = 0.0;
+    double remaining = 0.0;
+    for (double w : weights) remaining += w;
+    if (remaining <= 0.0) break;
+  }
+  TopUpUniform(dual, m, rng, &selected);
+  return selected;
+}
+
+std::vector<graph::NodeId> SystematicSampler::Select(
+    const graph::DualGraph& dual, size_t m, util::Rng& rng) const {
+  std::vector<graph::NodeId> sensors = SelectableSensors(dual);
+  if (sensors.empty() || m == 0) return {};
+  std::vector<geometry::Point> positions = SensorPositions(dual, sensors);
+  geometry::Rect bounds =
+      geometry::BoundingBox(positions.begin(), positions.end()).Inflated(1.0);
+
+  // Grid with ~m cells matching the domain aspect ratio.
+  double aspect = bounds.Width() / bounds.Height();
+  size_t ny = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(
+             std::sqrt(static_cast<double>(m) / std::max(aspect, 1e-9)))));
+  size_t nx = std::max<size_t>(
+      1, (m + ny - 1) / ny);
+  spatial::UniformGrid grid(bounds, nx, ny, positions);
+
+  std::vector<graph::NodeId> selected;
+  for (size_t cell = 0; cell < grid.num_cells() && selected.size() < m;
+       ++cell) {
+    const std::vector<size_t>& members = grid.PointsInCell(cell);
+    if (members.empty()) continue;
+    if (pick_center_) {
+      geometry::Point center = grid.CellCenter(cell);
+      size_t best = members[0];
+      double best_d2 = geometry::DistanceSquared(positions[best], center);
+      for (size_t idx : members) {
+        double d2 = geometry::DistanceSquared(positions[idx], center);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = idx;
+        }
+      }
+      selected.push_back(sensors[best]);
+    } else {
+      selected.push_back(
+          sensors[DrawMember(members, sensors, weights_, rng)]);
+    }
+  }
+  TopUpUniform(dual, m, rng, &selected);
+  return selected;
+}
+
+std::vector<graph::NodeId> StratifiedSampler::Select(
+    const graph::DualGraph& dual, size_t m, util::Rng& rng) const {
+  std::vector<graph::NodeId> sensors = SelectableSensors(dual);
+  if (sensors.empty() || m == 0) return {};
+  std::vector<geometry::Point> positions = SensorPositions(dual, sensors);
+  geometry::Rect bounds =
+      geometry::BoundingBox(positions.begin(), positions.end()).Inflated(1.0);
+  spatial::UniformGrid strata(bounds, strata_x_, strata_y_, positions);
+
+  // Equal-area strata: the area-proportional allocation (Eq. in §4.3) is an
+  // equal share per stratum, with remainders spread over the first strata.
+  size_t num_strata = strata.num_cells();
+  size_t base = m / num_strata;
+  size_t remainder = m % num_strata;
+  std::vector<graph::NodeId> selected;
+  for (size_t s = 0; s < num_strata; ++s) {
+    size_t quota = base + (s < remainder ? 1 : 0);
+    const std::vector<size_t>& members = strata.PointsInCell(s);
+    quota = std::min(quota, members.size());
+    if (weights_.empty()) {
+      std::vector<size_t> picks =
+          rng.SampleWithoutReplacement(members.size(), quota);
+      for (size_t p : picks) selected.push_back(sensors[members[p]]);
+    } else {
+      // Weighted without replacement within the stratum.
+      std::vector<size_t> pool(members.begin(), members.end());
+      for (size_t draw = 0; draw < quota && !pool.empty(); ++draw) {
+        size_t idx = DrawMember(pool, sensors, weights_, rng);
+        selected.push_back(sensors[idx]);
+        pool.erase(std::find(pool.begin(), pool.end(), idx));
+      }
+    }
+  }
+  TopUpUniform(dual, m, rng, &selected);
+  return selected;
+}
+
+std::vector<graph::NodeId> KdTreeSampler::Select(const graph::DualGraph& dual,
+                                                 size_t m,
+                                                 util::Rng& rng) const {
+  std::vector<graph::NodeId> sensors = SelectableSensors(dual);
+  if (sensors.empty() || m == 0) return {};
+  std::vector<geometry::Point> positions = SensorPositions(dual, sensors);
+  std::vector<std::vector<size_t>> cells =
+      spatial::KdTree::PartitionIntoCells(positions, std::min(m, sensors.size()));
+  std::vector<graph::NodeId> selected;
+  for (const std::vector<size_t>& cell : cells) {
+    if (selected.size() >= m) break;
+    selected.push_back(
+        PickFromCell(cell, positions, sensors, weights_, pick_center_, rng));
+  }
+  TopUpUniform(dual, m, rng, &selected);
+  return selected;
+}
+
+std::vector<graph::NodeId> QuadTreeSampler::Select(
+    const graph::DualGraph& dual, size_t m, util::Rng& rng) const {
+  std::vector<graph::NodeId> sensors = SelectableSensors(dual);
+  if (sensors.empty() || m == 0) return {};
+  std::vector<geometry::Point> positions = SensorPositions(dual, sensors);
+  std::vector<std::vector<size_t>> cells = spatial::QuadTree::PartitionIntoCells(
+      positions, std::min(m, sensors.size()));
+  std::vector<graph::NodeId> selected;
+  for (const std::vector<size_t>& cell : cells) {
+    if (selected.size() >= m) break;
+    selected.push_back(
+        PickFromCell(cell, positions, sensors, weights_, pick_center_, rng));
+  }
+  TopUpUniform(dual, m, rng, &selected);
+  return selected;
+}
+
+std::vector<std::unique_ptr<SensorSampler>> AllSamplers() {
+  std::vector<std::unique_ptr<SensorSampler>> samplers;
+  samplers.push_back(std::make_unique<UniformSampler>());
+  samplers.push_back(std::make_unique<SystematicSampler>());
+  samplers.push_back(std::make_unique<StratifiedSampler>());
+  samplers.push_back(std::make_unique<KdTreeSampler>());
+  samplers.push_back(std::make_unique<QuadTreeSampler>());
+  return samplers;
+}
+
+}  // namespace innet::sampling

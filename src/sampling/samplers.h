@@ -1,0 +1,89 @@
+// Concrete sensor samplers (§4.3, Fig. 4a-e).
+#ifndef INNET_SAMPLING_SAMPLERS_H_
+#define INNET_SAMPLING_SAMPLERS_H_
+
+#include <memory>
+
+#include "sampling/sampler.h"
+
+namespace innet::sampling {
+
+/// Uniform random sampling: m sensors with equal probability (weighted when
+/// weights are set). Biased toward denser regions.
+class UniformSampler : public SensorSampler {
+ public:
+  std::vector<graph::NodeId> Select(const graph::DualGraph& dual, size_t m,
+                                    util::Rng& rng) const override;
+  std::string_view Name() const override { return "uniform"; }
+};
+
+/// Systematic sampling: a virtual grid of ~m cells over the domain, one
+/// sensor per non-empty cell (nearest to the cell center or random),
+/// topped up uniformly when empty cells leave a shortfall.
+class SystematicSampler : public SensorSampler {
+ public:
+  /// `pick_center`: choose the sensor nearest the cell center instead of a
+  /// random cell member.
+  explicit SystematicSampler(bool pick_center = true)
+      : pick_center_(pick_center) {}
+
+  std::vector<graph::NodeId> Select(const graph::DualGraph& dual, size_t m,
+                                    util::Rng& rng) const override;
+  std::string_view Name() const override { return "systematic"; }
+
+ private:
+  bool pick_center_;
+};
+
+/// Stratified sampling: the domain is split into `strata_x * strata_y`
+/// equal-area strata ("districts"); the per-stratum allocation is
+/// proportional to stratum area (equal here), redistributing shortfalls.
+class StratifiedSampler : public SensorSampler {
+ public:
+  StratifiedSampler(size_t strata_x = 4, size_t strata_y = 4)
+      : strata_x_(strata_x), strata_y_(strata_y) {}
+
+  std::vector<graph::NodeId> Select(const graph::DualGraph& dual, size_t m,
+                                    util::Rng& rng) const override;
+  std::string_view Name() const override { return "stratified"; }
+
+ private:
+  size_t strata_x_;
+  size_t strata_y_;
+};
+
+/// Hierarchical space-partition sampling with a kd-tree: partition sensors
+/// into m kd cells, pick one per cell.
+class KdTreeSampler : public SensorSampler {
+ public:
+  explicit KdTreeSampler(bool pick_center = false)
+      : pick_center_(pick_center) {}
+
+  std::vector<graph::NodeId> Select(const graph::DualGraph& dual, size_t m,
+                                    util::Rng& rng) const override;
+  std::string_view Name() const override { return "kd-tree"; }
+
+ private:
+  bool pick_center_;
+};
+
+/// Hierarchical space-partition sampling with a QuadTree.
+class QuadTreeSampler : public SensorSampler {
+ public:
+  explicit QuadTreeSampler(bool pick_center = false)
+      : pick_center_(pick_center) {}
+
+  std::vector<graph::NodeId> Select(const graph::DualGraph& dual, size_t m,
+                                    util::Rng& rng) const override;
+  std::string_view Name() const override { return "quadtree"; }
+
+ private:
+  bool pick_center_;
+};
+
+/// All five samplers, in the paper's presentation order.
+std::vector<std::unique_ptr<SensorSampler>> AllSamplers();
+
+}  // namespace innet::sampling
+
+#endif  // INNET_SAMPLING_SAMPLERS_H_

@@ -1,0 +1,52 @@
+#include "spatial/grid.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace innet::spatial {
+
+UniformGrid::UniformGrid(const geometry::Rect& bounds, size_t nx, size_t ny,
+                         const std::vector<geometry::Point>& points)
+    : bounds_(bounds), nx_(nx), ny_(ny) {
+  INNET_CHECK(nx_ >= 1 && ny_ >= 1);
+  INNET_CHECK(bounds_.Width() > 0.0 && bounds_.Height() > 0.0);
+  buckets_.assign(nx_ * ny_, {});
+  for (size_t i = 0; i < points.size(); ++i) {
+    buckets_[CellOf(points[i])].push_back(i);
+  }
+}
+
+size_t UniformGrid::CellOf(const geometry::Point& p) const {
+  double fx = (p.x - bounds_.min_x) / bounds_.Width();
+  double fy = (p.y - bounds_.min_y) / bounds_.Height();
+  auto clamp_index = [](double f, size_t n) {
+    long idx = static_cast<long>(f * static_cast<double>(n));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(n) - 1);
+    return static_cast<size_t>(idx);
+  };
+  return clamp_index(fy, ny_) * nx_ + clamp_index(fx, nx_);
+}
+
+geometry::Point UniformGrid::CellCenter(size_t cell) const {
+  INNET_CHECK(cell < num_cells());
+  size_t cy = cell / nx_;
+  size_t cx = cell % nx_;
+  double w = bounds_.Width() / static_cast<double>(nx_);
+  double h = bounds_.Height() / static_cast<double>(ny_);
+  return geometry::Point(bounds_.min_x + (static_cast<double>(cx) + 0.5) * w,
+                         bounds_.min_y + (static_cast<double>(cy) + 0.5) * h);
+}
+
+geometry::Rect UniformGrid::CellBounds(size_t cell) const {
+  INNET_CHECK(cell < num_cells());
+  size_t cy = cell / nx_;
+  size_t cx = cell % nx_;
+  double w = bounds_.Width() / static_cast<double>(nx_);
+  double h = bounds_.Height() / static_cast<double>(ny_);
+  double x0 = bounds_.min_x + static_cast<double>(cx) * w;
+  double y0 = bounds_.min_y + static_cast<double>(cy) * h;
+  return geometry::Rect(x0, y0, x0 + w, y0 + h);
+}
+
+}  // namespace innet::spatial

@@ -1,0 +1,49 @@
+// Uniform grid over the plane: the "virtual grid" of systematic sampling
+// (§4.3) and a bucket index for point-location acceleration.
+#ifndef INNET_SPATIAL_GRID_H_
+#define INNET_SPATIAL_GRID_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace innet::spatial {
+
+/// Uniform nx-by-ny grid over a bounding rectangle with points bucketed into
+/// cells.
+class UniformGrid {
+ public:
+  /// Covers `bounds` with nx * ny cells (nx, ny >= 1) and buckets `points`.
+  UniformGrid(const geometry::Rect& bounds, size_t nx, size_t ny,
+              const std::vector<geometry::Point>& points);
+
+  size_t num_cells() const { return nx_ * ny_; }
+  size_t nx() const { return nx_; }
+  size_t ny() const { return ny_; }
+  const geometry::Rect& bounds() const { return bounds_; }
+
+  /// Flat cell index of p (points outside bounds clamp to the border cell).
+  size_t CellOf(const geometry::Point& p) const;
+
+  /// Center point of flat cell `cell`.
+  geometry::Point CellCenter(size_t cell) const;
+
+  /// Bounds of flat cell `cell`.
+  geometry::Rect CellBounds(size_t cell) const;
+
+  /// Point indices bucketed into flat cell `cell`.
+  const std::vector<size_t>& PointsInCell(size_t cell) const {
+    return buckets_[cell];
+  }
+
+ private:
+  geometry::Rect bounds_;
+  size_t nx_;
+  size_t ny_;
+  std::vector<std::vector<size_t>> buckets_;
+};
+
+}  // namespace innet::spatial
+
+#endif  // INNET_SPATIAL_GRID_H_

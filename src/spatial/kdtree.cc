@@ -1,0 +1,209 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace innet::spatial {
+
+KdTree::KdTree(std::vector<geometry::Point> points, size_t leaf_capacity)
+    : points_(std::move(points)), leaf_capacity_(std::max<size_t>(1, leaf_capacity)) {
+  order_.resize(points_.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  if (!points_.empty()) {
+    root_ = Build(0, static_cast<uint32_t>(points_.size()));
+  }
+}
+
+int32_t KdTree::Build(uint32_t begin, uint32_t end) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  node.bounds = geometry::Rect(points_[order_[begin]].x,
+                               points_[order_[begin]].y,
+                               points_[order_[begin]].x,
+                               points_[order_[begin]].y);
+  for (uint32_t i = begin; i < end; ++i) {
+    node.bounds.ExpandToInclude(points_[order_[i]]);
+  }
+  int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  if (end - begin <= leaf_capacity_) return id;
+
+  int axis = node.bounds.Width() >= node.bounds.Height() ? 0 : 1;
+  uint32_t mid = begin + (end - begin) / 2;
+  auto cmp = [this, axis](uint32_t a, uint32_t b) {
+    return axis == 0 ? points_[a].x < points_[b].x : points_[a].y < points_[b].y;
+  };
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, cmp);
+  double split = axis == 0 ? points_[order_[mid]].x : points_[order_[mid]].y;
+
+  int32_t left = Build(begin, mid);
+  int32_t right = Build(mid, end);
+  nodes_[id].axis = axis;
+  nodes_[id].split = split;
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+std::vector<size_t> KdTree::RangeQuery(const geometry::Rect& range) const {
+  std::vector<size_t> out;
+  if (root_ >= 0) CollectRange(root_, range, &out);
+  return out;
+}
+
+void KdTree::CollectRange(int32_t node_id, const geometry::Rect& range,
+                          std::vector<size_t>* out) const {
+  const Node& node = nodes_[node_id];
+  if (!range.Intersects(node.bounds)) return;
+  if (range.Contains(node.bounds)) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      out->push_back(order_[i]);
+    }
+    return;
+  }
+  if (node.axis < 0) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      if (range.Contains(points_[order_[i]])) out->push_back(order_[i]);
+    }
+    return;
+  }
+  CollectRange(node.left, range, out);
+  CollectRange(node.right, range, out);
+}
+
+size_t KdTree::NearestNeighbor(const geometry::Point& query) const {
+  std::vector<size_t> result = KNearest(query, 1);
+  INNET_CHECK(!result.empty());
+  return result[0];
+}
+
+namespace {
+
+double RectDistanceSquared(const geometry::Rect& r,
+                           const geometry::Point& p) {
+  double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+void KdTree::SearchKnn(int32_t node_id, const geometry::Point& query,
+                       size_t k,
+                       std::vector<std::pair<double, size_t>>* heap) const {
+  const Node& node = nodes_[node_id];
+  double bound = heap->size() < k ? std::numeric_limits<double>::infinity()
+                                  : heap->front().first;
+  if (RectDistanceSquared(node.bounds, query) > bound) return;
+  if (node.axis < 0) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      double d2 = geometry::DistanceSquared(points_[order_[i]], query);
+      if (heap->size() < k) {
+        heap->emplace_back(d2, order_[i]);
+        std::push_heap(heap->begin(), heap->end());
+      } else if (d2 < heap->front().first) {
+        std::pop_heap(heap->begin(), heap->end());
+        heap->back() = {d2, order_[i]};
+        std::push_heap(heap->begin(), heap->end());
+      }
+    }
+    return;
+  }
+  // Descend into the closer child first for tighter pruning bounds.
+  double coord = node.axis == 0 ? query.x : query.y;
+  int32_t near = coord <= node.split ? node.left : node.right;
+  int32_t far = coord <= node.split ? node.right : node.left;
+  SearchKnn(near, query, k, heap);
+  SearchKnn(far, query, k, heap);
+}
+
+std::vector<size_t> KdTree::KNearest(const geometry::Point& query,
+                                     size_t k) const {
+  std::vector<std::pair<double, size_t>> heap;
+  if (root_ >= 0 && k > 0) SearchKnn(root_, query, k, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<size_t> out;
+  out.reserve(heap.size());
+  for (const auto& [d2, idx] : heap) out.push_back(idx);
+  return out;
+}
+
+std::vector<std::vector<size_t>> KdTree::LeafPartitions() const {
+  std::vector<std::vector<size_t>> cells;
+  for (const Node& node : nodes_) {
+    if (node.axis >= 0) continue;
+    std::vector<size_t> cell;
+    cell.reserve(node.end - node.begin);
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      cell.push_back(order_[i]);
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<std::vector<size_t>> KdTree::PartitionIntoCells(
+    const std::vector<geometry::Point>& points, size_t num_leaves) {
+  INNET_CHECK(num_leaves > 0);
+  // Priority splitting on cell population: repeatedly median-split the most
+  // populated cell along its wider axis until we reach num_leaves cells.
+  struct Cell {
+    std::vector<size_t> indices;
+  };
+  auto population_less = [](const Cell& a, const Cell& b) {
+    return a.indices.size() < b.indices.size();
+  };
+  std::priority_queue<Cell, std::vector<Cell>,
+                      decltype(population_less)>
+      queue(population_less);
+  Cell all;
+  all.indices.resize(points.size());
+  std::iota(all.indices.begin(), all.indices.end(), size_t{0});
+  queue.push(std::move(all));
+
+  std::vector<Cell> done;
+  while (!queue.empty() && queue.size() + done.size() < num_leaves) {
+    Cell cell = queue.top();
+    queue.pop();
+    if (cell.indices.size() <= 1) {
+      done.push_back(std::move(cell));
+      continue;
+    }
+    geometry::Rect bounds(points[cell.indices[0]].x, points[cell.indices[0]].y,
+                          points[cell.indices[0]].x,
+                          points[cell.indices[0]].y);
+    for (size_t idx : cell.indices) bounds.ExpandToInclude(points[idx]);
+    int axis = bounds.Width() >= bounds.Height() ? 0 : 1;
+    size_t mid = cell.indices.size() / 2;
+    std::nth_element(cell.indices.begin(), cell.indices.begin() + mid,
+                     cell.indices.end(), [&points, axis](size_t a, size_t b) {
+                       return axis == 0 ? points[a].x < points[b].x
+                                        : points[a].y < points[b].y;
+                     });
+    Cell left;
+    left.indices.assign(cell.indices.begin(), cell.indices.begin() + mid);
+    Cell right;
+    right.indices.assign(cell.indices.begin() + mid, cell.indices.end());
+    queue.push(std::move(left));
+    queue.push(std::move(right));
+  }
+
+  std::vector<std::vector<size_t>> cells;
+  cells.reserve(queue.size() + done.size());
+  for (Cell& cell : done) {
+    if (!cell.indices.empty()) cells.push_back(std::move(cell.indices));
+  }
+  while (!queue.empty()) {
+    if (!queue.top().indices.empty()) cells.push_back(queue.top().indices);
+    queue.pop();
+  }
+  return cells;
+}
+
+}  // namespace innet::spatial

@@ -1,0 +1,71 @@
+// kd-tree over 2-D points: range and k-nearest queries, plus leaf
+// partitioning for hierarchical space-partition sampling (§4.3).
+#ifndef INNET_SPATIAL_KDTREE_H_
+#define INNET_SPATIAL_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace innet::spatial {
+
+/// Static balanced kd-tree built by median splits.
+class KdTree {
+ public:
+  /// Builds over `points`; leaves hold at most `leaf_capacity` points
+  /// (>= 1). Indices returned by queries refer to the input vector.
+  explicit KdTree(std::vector<geometry::Point> points,
+                  size_t leaf_capacity = 8);
+
+  size_t size() const { return points_.size(); }
+
+  /// Indices of all points inside `range` (inclusive bounds).
+  std::vector<size_t> RangeQuery(const geometry::Rect& range) const;
+
+  /// Index of the point closest to `query`. Requires a non-empty tree.
+  size_t NearestNeighbor(const geometry::Point& query) const;
+
+  /// Indices of the k points closest to `query`, nearest first (fewer when
+  /// the tree holds fewer than k points).
+  std::vector<size_t> KNearest(const geometry::Point& query, size_t k) const;
+
+  /// The tree's leaf cells as groups of point indices, in left-to-right
+  /// order.
+  std::vector<std::vector<size_t>> LeafPartitions() const;
+
+  /// Partitions `points` into at least `num_leaves` kd cells (splitting the
+  /// largest cell first), used by the kd-tree sampler: one sensor is then
+  /// drawn per cell. Returns fewer cells only when there are fewer points.
+  static std::vector<std::vector<size_t>> PartitionIntoCells(
+      const std::vector<geometry::Point>& points, size_t num_leaves);
+
+ private:
+  struct Node {
+    geometry::Rect bounds;
+    // Interior: split axis/value and children. Leaf: children == -1.
+    int axis = -1;  // 0 = x, 1 = y, -1 = leaf
+    double split = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t begin = 0;  // Range into order_ for leaves.
+    uint32_t end = 0;
+  };
+
+  int32_t Build(uint32_t begin, uint32_t end);
+  void CollectRange(int32_t node, const geometry::Rect& range,
+                    std::vector<size_t>* out) const;
+  void SearchKnn(int32_t node, const geometry::Point& query, size_t k,
+                 std::vector<std::pair<double, size_t>>* heap) const;
+
+  std::vector<geometry::Point> points_;
+  std::vector<uint32_t> order_;  // Permutation of point indices.
+  std::vector<Node> nodes_;
+  size_t leaf_capacity_;
+  int32_t root_ = -1;
+};
+
+}  // namespace innet::spatial
+
+#endif  // INNET_SPATIAL_KDTREE_H_

@@ -1,0 +1,167 @@
+#include "spatial/quadtree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace innet::spatial {
+
+QuadTree::QuadTree(std::vector<geometry::Point> points, size_t leaf_capacity,
+                   int max_depth)
+    : points_(std::move(points)),
+      leaf_capacity_(std::max<size_t>(1, leaf_capacity)),
+      max_depth_(max_depth) {
+  if (points_.empty()) return;
+  geometry::Rect bounds =
+      geometry::BoundingBox(points_.begin(), points_.end()).Inflated(1e-9);
+  Node root;
+  root.bounds = bounds;
+  nodes_.push_back(root);
+  root_ = 0;
+  for (uint32_t i = 0; i < points_.size(); ++i) {
+    Insert(root_, i, 0);
+  }
+}
+
+int QuadTree::QuadrantOf(const Node& node, const geometry::Point& p) const {
+  geometry::Point c = node.bounds.Center();
+  int qx = p.x >= c.x ? 1 : 0;
+  int qy = p.y >= c.y ? 1 : 0;
+  return qy * 2 + qx;
+}
+
+void QuadTree::Split(int32_t node_id, int depth) {
+  geometry::Rect b = nodes_[node_id].bounds;
+  geometry::Point c = b.Center();
+  geometry::Rect quads[4] = {
+      geometry::Rect(b.min_x, b.min_y, c.x, c.y),
+      geometry::Rect(c.x, b.min_y, b.max_x, c.y),
+      geometry::Rect(b.min_x, c.y, c.x, b.max_y),
+      geometry::Rect(c.x, c.y, b.max_x, b.max_y),
+  };
+  for (int q = 0; q < 4; ++q) {
+    Node child;
+    child.bounds = quads[q];
+    nodes_.push_back(child);
+    nodes_[node_id].children[q] = static_cast<int32_t>(nodes_.size() - 1);
+  }
+  nodes_[node_id].is_leaf = false;
+  std::vector<uint32_t> payload = std::move(nodes_[node_id].indices);
+  nodes_[node_id].indices.clear();
+  for (uint32_t idx : payload) {
+    int q = QuadrantOf(nodes_[node_id], points_[idx]);
+    Insert(nodes_[node_id].children[q], idx, depth + 1);
+  }
+}
+
+void QuadTree::Insert(int32_t node_id, uint32_t index, int depth) {
+  if (!nodes_[node_id].is_leaf) {
+    int q = QuadrantOf(nodes_[node_id], points_[index]);
+    Insert(nodes_[node_id].children[q], index, depth + 1);
+    return;
+  }
+  nodes_[node_id].indices.push_back(index);
+  if (nodes_[node_id].indices.size() > leaf_capacity_ && depth < max_depth_) {
+    Split(node_id, depth);
+  }
+}
+
+std::vector<size_t> QuadTree::RangeQuery(const geometry::Rect& range) const {
+  std::vector<size_t> out;
+  if (root_ >= 0) CollectRange(root_, range, &out);
+  return out;
+}
+
+void QuadTree::CollectRange(int32_t node_id, const geometry::Rect& range,
+                            std::vector<size_t>* out) const {
+  const Node& node = nodes_[node_id];
+  if (!range.Intersects(node.bounds)) return;
+  if (node.is_leaf) {
+    for (uint32_t idx : node.indices) {
+      if (range.Contains(points_[idx])) out->push_back(idx);
+    }
+    return;
+  }
+  for (int q = 0; q < 4; ++q) CollectRange(node.children[q], range, out);
+}
+
+std::vector<QuadTree::LeafCell> QuadTree::LeafPartitions() const {
+  std::vector<LeafCell> cells;
+  for (const Node& node : nodes_) {
+    if (!node.is_leaf) continue;
+    LeafCell cell;
+    cell.bounds = node.bounds;
+    cell.indices.assign(node.indices.begin(), node.indices.end());
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<std::vector<size_t>> QuadTree::PartitionIntoCells(
+    const std::vector<geometry::Point>& points, size_t num_leaves) {
+  INNET_CHECK(num_leaves > 0);
+  if (points.empty()) return {};
+  struct Cell {
+    geometry::Rect bounds;
+    std::vector<size_t> indices;
+  };
+  auto population_less = [](const Cell& a, const Cell& b) {
+    return a.indices.size() < b.indices.size();
+  };
+  std::priority_queue<Cell, std::vector<Cell>, decltype(population_less)>
+      queue(population_less);
+  Cell all;
+  all.bounds =
+      geometry::BoundingBox(points.begin(), points.end()).Inflated(1e-9);
+  all.indices.resize(points.size());
+  std::iota(all.indices.begin(), all.indices.end(), size_t{0});
+  queue.push(std::move(all));
+
+  std::vector<Cell> done;
+  // Splitting a cell yields up to 4 non-empty children, so count non-empty
+  // cells only.
+  auto nonempty_count = [&]() {
+    return queue.size() + done.size();
+  };
+  while (!queue.empty() && nonempty_count() < num_leaves) {
+    Cell cell = queue.top();
+    queue.pop();
+    if (cell.indices.size() <= 1 ||
+        std::max(cell.bounds.Width(), cell.bounds.Height()) < 1e-9) {
+      done.push_back(std::move(cell));
+      continue;
+    }
+    geometry::Point c = cell.bounds.Center();
+    geometry::Rect quads[4] = {
+        geometry::Rect(cell.bounds.min_x, cell.bounds.min_y, c.x, c.y),
+        geometry::Rect(c.x, cell.bounds.min_y, cell.bounds.max_x, c.y),
+        geometry::Rect(cell.bounds.min_x, c.y, c.x, cell.bounds.max_y),
+        geometry::Rect(c.x, c.y, cell.bounds.max_x, cell.bounds.max_y),
+    };
+    Cell children[4];
+    for (int q = 0; q < 4; ++q) children[q].bounds = quads[q];
+    for (size_t idx : cell.indices) {
+      const geometry::Point& p = points[idx];
+      int qx = p.x >= c.x ? 1 : 0;
+      int qy = p.y >= c.y ? 1 : 0;
+      children[qy * 2 + qx].indices.push_back(idx);
+    }
+    for (int q = 0; q < 4; ++q) {
+      if (!children[q].indices.empty()) queue.push(std::move(children[q]));
+    }
+  }
+
+  std::vector<std::vector<size_t>> cells;
+  for (Cell& cell : done) {
+    if (!cell.indices.empty()) cells.push_back(std::move(cell.indices));
+  }
+  while (!queue.empty()) {
+    if (!queue.top().indices.empty()) cells.push_back(queue.top().indices);
+    queue.pop();
+  }
+  return cells;
+}
+
+}  // namespace innet::spatial

@@ -1,0 +1,64 @@
+// Point-region QuadTree: range queries and leaf partitioning for
+// QuadTree-based sampling (§4.3).
+#ifndef INNET_SPATIAL_QUADTREE_H_
+#define INNET_SPATIAL_QUADTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace innet::spatial {
+
+/// Point-region QuadTree with a leaf capacity. Quadrants split around the
+/// cell center; points are stored in leaves.
+class QuadTree {
+ public:
+  /// Builds over `points` with the given leaf capacity (>= 1) and a maximum
+  /// depth guard against co-located points.
+  explicit QuadTree(std::vector<geometry::Point> points,
+                    size_t leaf_capacity = 8, int max_depth = 32);
+
+  size_t size() const { return points_.size(); }
+
+  /// Indices of all points inside `range`.
+  std::vector<size_t> RangeQuery(const geometry::Rect& range) const;
+
+  /// Leaf cells as (bounds, point indices), pre-order.
+  struct LeafCell {
+    geometry::Rect bounds;
+    std::vector<size_t> indices;
+  };
+  std::vector<LeafCell> LeafPartitions() const;
+
+  /// Partitions `points` into at least `num_leaves` non-empty quad cells by
+  /// splitting the most populated cell first. Returns fewer cells only when
+  /// there are fewer points (or co-location prevents further splits).
+  static std::vector<std::vector<size_t>> PartitionIntoCells(
+      const std::vector<geometry::Point>& points, size_t num_leaves);
+
+ private:
+  struct Node {
+    geometry::Rect bounds;
+    int32_t children[4] = {-1, -1, -1, -1};  // All -1 for leaves.
+    std::vector<uint32_t> indices;           // Leaf payload.
+    bool is_leaf = true;
+  };
+
+  void Insert(int32_t node, uint32_t index, int depth);
+  void Split(int32_t node, int depth);
+  int QuadrantOf(const Node& node, const geometry::Point& p) const;
+  void CollectRange(int32_t node, const geometry::Rect& range,
+                    std::vector<size_t>* out) const;
+
+  std::vector<geometry::Point> points_;
+  std::vector<Node> nodes_;
+  size_t leaf_capacity_;
+  int max_depth_;
+  int32_t root_ = -1;
+};
+
+}  // namespace innet::spatial
+
+#endif  // INNET_SPATIAL_QUADTREE_H_

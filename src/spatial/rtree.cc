@@ -1,0 +1,126 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace innet::spatial {
+
+namespace {
+
+geometry::Point Center(const geometry::Rect& r) { return r.Center(); }
+
+}  // namespace
+
+RTree::RTree(std::vector<geometry::Rect> boxes, size_t node_capacity)
+    : boxes_(std::move(boxes)) {
+  INNET_CHECK(node_capacity >= 2);
+  if (boxes_.empty()) return;
+
+  // STR leaf packing: sort by center x, cut into vertical slices of
+  // ~sqrt(n/capacity) leaves each, sort each slice by center y, pack runs of
+  // `node_capacity` into leaves.
+  size_t n = boxes_.size();
+  slots_.resize(n);
+  std::iota(slots_.begin(), slots_.end(), 0u);
+  std::sort(slots_.begin(), slots_.end(), [this](uint32_t a, uint32_t b) {
+    return Center(boxes_[a]).x < Center(boxes_[b]).x;
+  });
+  size_t leaves = (n + node_capacity - 1) / node_capacity;
+  size_t slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaves))));
+  size_t slice_size =
+      ((leaves + slices - 1) / slices) * node_capacity;  // Boxes per slice.
+  for (size_t begin = 0; begin < n; begin += slice_size) {
+    size_t end = std::min(begin + slice_size, n);
+    std::sort(slots_.begin() + begin, slots_.begin() + end,
+              [this](uint32_t a, uint32_t b) {
+                return Center(boxes_[a]).y < Center(boxes_[b]).y;
+              });
+  }
+
+  // Build the leaf level.
+  std::vector<uint32_t> level;
+  for (size_t begin = 0; begin < n; begin += node_capacity) {
+    size_t end = std::min(begin + node_capacity, n);
+    Node node;
+    node.leaf = true;
+    node.first = static_cast<uint32_t>(begin);
+    node.count = static_cast<uint32_t>(end - begin);
+    node.bounds = boxes_[slots_[begin]];
+    for (size_t i = begin + 1; i < end; ++i) {
+      node.bounds.ExpandToInclude(
+          {boxes_[slots_[i]].min_x, boxes_[slots_[i]].min_y});
+      node.bounds.ExpandToInclude(
+          {boxes_[slots_[i]].max_x, boxes_[slots_[i]].max_y});
+    }
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(node);
+  }
+  height_ = 1;
+
+  // Build internal levels until one root remains. Children of one internal
+  // node must be contiguous; each level is appended in order, so group runs
+  // directly.
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t begin = 0; begin < level.size(); begin += node_capacity) {
+      size_t end = std::min(begin + node_capacity, level.size());
+      Node node;
+      node.leaf = false;
+      node.first = level[begin];
+      node.count = static_cast<uint32_t>(end - begin);
+      node.bounds = nodes_[level[begin]].bounds;
+      for (size_t i = begin + 1; i < end; ++i) {
+        const geometry::Rect& b = nodes_[level[i]].bounds;
+        node.bounds.ExpandToInclude({b.min_x, b.min_y});
+        node.bounds.ExpandToInclude({b.max_x, b.max_y});
+      }
+      next.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(node);
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  root_ = level[0];
+}
+
+template <bool kContained>
+void RTree::Collect(uint32_t node_id, const geometry::Rect& range,
+                    std::vector<size_t>* out) const {
+  const Node& node = nodes_[node_id];
+  if (!range.Intersects(node.bounds)) return;
+  bool subtree_inside = range.Contains(node.bounds);
+  if (node.leaf) {
+    for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+      uint32_t box = slots_[i];
+      if (subtree_inside) {
+        out->push_back(box);
+      } else if constexpr (kContained) {
+        if (range.Contains(boxes_[box])) out->push_back(box);
+      } else {
+        if (range.Intersects(boxes_[box])) out->push_back(box);
+      }
+    }
+    return;
+  }
+  for (uint32_t c = node.first; c < node.first + node.count; ++c) {
+    Collect<kContained>(c, range, out);
+  }
+}
+
+std::vector<size_t> RTree::Intersecting(const geometry::Rect& range) const {
+  std::vector<size_t> out;
+  if (!boxes_.empty()) Collect<false>(root_, range, &out);
+  return out;
+}
+
+std::vector<size_t> RTree::ContainedIn(const geometry::Rect& range) const {
+  std::vector<size_t> out;
+  if (!boxes_.empty()) Collect<true>(root_, range, &out);
+  return out;
+}
+
+}  // namespace innet::spatial

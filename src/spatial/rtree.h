@@ -1,0 +1,57 @@
+// Static R-tree over rectangles, bulk-loaded with Sort-Tile-Recursive (STR).
+//
+// Used to resolve query regions: the sensing cells fully contained in a
+// rectangle (JunctionsInRect) come from a ContainedIn() search instead of a
+// linear scan. R-trees are also the classic moving-object index the paper
+// contrasts against (§2.1), so the module doubles as a reference structure.
+#ifndef INNET_SPATIAL_RTREE_H_
+#define INNET_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace innet::spatial {
+
+/// Immutable R-tree over a set of rectangles (indices refer to the input
+/// vector).
+class RTree {
+ public:
+  /// Bulk-loads over `boxes`; internal nodes hold up to `node_capacity`
+  /// children (>= 2).
+  explicit RTree(std::vector<geometry::Rect> boxes, size_t node_capacity = 16);
+
+  size_t size() const { return boxes_.size(); }
+
+  /// Indices of boxes intersecting `range`.
+  std::vector<size_t> Intersecting(const geometry::Rect& range) const;
+
+  /// Indices of boxes fully contained in `range`.
+  std::vector<size_t> ContainedIn(const geometry::Rect& range) const;
+
+  /// Tree height (0 for an empty tree, 1 for a single leaf level).
+  size_t Height() const { return height_; }
+
+ private:
+  struct Node {
+    geometry::Rect bounds;
+    uint32_t first = 0;   // First child node (internal) or box slot (leaf).
+    uint32_t count = 0;   // Children (internal) or boxes (leaf).
+    bool leaf = true;
+  };
+
+  template <bool kContained>
+  void Collect(uint32_t node, const geometry::Rect& range,
+               std::vector<size_t>* out) const;
+
+  std::vector<geometry::Rect> boxes_;
+  std::vector<uint32_t> slots_;  // Permutation of box indices, leaf order.
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  size_t height_ = 0;
+};
+
+}  // namespace innet::spatial
+
+#endif  // INNET_SPATIAL_RTREE_H_

@@ -1,0 +1,95 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace innet::util {
+
+namespace {
+constexpr const char* kBareMarker = "\x01" "bare";
+}  // namespace
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  Parse(args);
+}
+
+FlagParser::FlagParser(const std::vector<std::string>& args) { Parse(args); }
+
+void FlagParser::Parse(const std::vector<std::string>& args) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() == 2) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another flag (then bare).
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      flags_[body] = args[i + 1];
+      ++i;
+    } else {
+      flags_[body] = kBareMarker;
+    }
+  }
+}
+
+const std::string* FlagParser::Find(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return nullptr;
+  queried_[name] = true;
+  return &it->second;
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  const std::string* value = Find(name);
+  if (value == nullptr || *value == kBareMarker) return fallback;
+  return *value;
+}
+
+double FlagParser::GetDouble(const std::string& name, double fallback) const {
+  const std::string* value = Find(name);
+  if (value == nullptr || *value == kBareMarker) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value->c_str(), &end);
+  return (end == nullptr || *end != '\0') ? fallback : parsed;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t fallback) const {
+  const std::string* value = Find(name);
+  if (value == nullptr || *value == kBareMarker) return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(value->c_str(), &end, 10);
+  return (end == nullptr || *end != '\0') ? fallback : parsed;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  const std::string* value = Find(name);
+  if (value == nullptr) return fallback;
+  if (*value == kBareMarker || *value == "true" || *value == "1" ||
+      *value == "yes") {
+    return true;
+  }
+  if (*value == "false" || *value == "0" || *value == "no") return false;
+  return fallback;
+}
+
+std::vector<std::string> FlagParser::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : flags_) {
+    if (queried_.find(name) == queried_.end()) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace innet::util

@@ -1,0 +1,52 @@
+// Minimal command-line flag parsing for the tools and benchmark binaries.
+//
+// Supported syntax: `--name=value`, `--name value`, and bare boolean
+// `--name`. Everything else is collected as positional arguments.
+#ifndef INNET_UTIL_FLAGS_H_
+#define INNET_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace innet::util {
+
+/// Parsed command line.
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+  explicit FlagParser(const std::vector<std::string>& args);
+
+  /// True when --name was given (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Numeric value of --name; `fallback` when absent or unparsable.
+  double GetDouble(const std::string& name, double fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Boolean: bare `--name` and values true/1/yes are true; false/0/no are
+  /// false; anything else returns `fallback`.
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  /// Non-flag arguments in order (argv[0] excluded).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but never queried — typo detection for tools.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  void Parse(const std::vector<std::string>& args);
+  const std::string* Find(const std::string& name) const;
+
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace innet::util
+
+#endif  // INNET_UTIL_FLAGS_H_

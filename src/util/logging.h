@@ -1,0 +1,43 @@
+// Lightweight CHECK/DCHECK macros for invariant enforcement.
+//
+// The project does not use C++ exceptions; programmer errors abort with a
+// diagnostic, recoverable errors flow through util::Status.
+#ifndef INNET_UTIL_LOGGING_H_
+#define INNET_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace innet {
+namespace internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace innet
+
+// Aborts the process when `expr` evaluates to false. Enabled in all builds:
+// violated invariants in a counting framework silently corrupt results, so
+// the cost of the branch is worth paying even in release binaries.
+#define INNET_CHECK(expr)                                             \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::innet::internal_logging::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                 \
+  } while (false)
+
+// Debug-only variant for hot paths.
+#ifdef NDEBUG
+#define INNET_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define INNET_DCHECK(expr) INNET_CHECK(expr)
+#endif
+
+#endif  // INNET_UTIL_LOGGING_H_

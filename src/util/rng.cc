@@ -1,0 +1,40 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+namespace innet::util {
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    INNET_DCHECK(w >= 0.0);
+    total += w;
+  }
+  INNET_CHECK(total > 0.0);
+  double target = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  INNET_CHECK(k <= n);
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  // Partial Fisher-Yates: the first k slots become the sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + UniformIndex(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace innet::util

@@ -1,0 +1,56 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace innet::util {
+
+double Percentile(std::vector<double> values, double q) {
+  INNET_CHECK(!values.empty());
+  INNET_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  INNET_CHECK(!values.empty());
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  auto at = [&sorted](double q) {
+    if (sorted.size() == 1) return sorted[0];
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  s.p25 = at(0.25);
+  s.median = at(0.5);
+  s.p75 = at(0.75);
+  return s;
+}
+
+double RelativeError(double actual, double approx) {
+  if (actual == 0.0) {
+    return approx == 0.0 ? 0.0 : 1.0;
+  }
+  return std::abs(actual - approx) / std::abs(actual);
+}
+
+Summary Accumulator::Summarize() const { return util::Summarize(values_); }
+
+}  // namespace innet::util

@@ -1,0 +1,50 @@
+// Summary statistics used by the benchmark harnesses: the paper reports the
+// median of 50 runs with a 25th-75th percentile band.
+#ifndef INNET_UTIL_STATS_H_
+#define INNET_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace innet::util {
+
+/// Median / inter-quartile summary of a set of observations.
+struct Summary {
+  size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Linear-interpolated percentile of `values`, q in [0, 1]. `values` need not
+/// be sorted; an internal copy is sorted. Requires non-empty input.
+double Percentile(std::vector<double> values, double q);
+
+/// Computes the full Summary for `values`. Requires non-empty input.
+Summary Summarize(const std::vector<double>& values);
+
+/// Relative error |actual - approx| / actual as used in §5.1.4. When the
+/// actual count is zero the error is defined as 0 if approx is also zero and
+/// 1 otherwise (a miss of a nonzero estimate over an empty region).
+double RelativeError(double actual, double approx);
+
+/// Accumulates observations and produces a Summary. Convenience wrapper used
+/// by the benchmark drivers.
+class Accumulator {
+ public:
+  void Add(double value) { values_.push_back(value); }
+  bool empty() const { return values_.empty(); }
+  size_t count() const { return values_.size(); }
+  Summary Summarize() const;
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace innet::util
+
+#endif  // INNET_UTIL_STATS_H_

@@ -1,0 +1,44 @@
+// Aligned table printer for benchmark output. Each bench binary prints the
+// same rows/series as the corresponding paper figure, both as an aligned
+// human-readable table and (optionally) as CSV for plotting.
+#ifndef INNET_UTIL_TABLE_H_
+#define INNET_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace innet::util {
+
+/// Column-aligned text table with a title and header row.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a pre-formatted row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals, passing strings
+  /// through unchanged.
+  static std::string Num(double value, int precision = 4);
+
+  /// Renders the aligned table (with title and separator rules).
+  std::string ToString() const;
+
+  /// Renders the table as CSV (header + rows, no title).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout followed by a blank line.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace innet::util
+
+#endif  // INNET_UTIL_TABLE_H_

@@ -1,0 +1,52 @@
+#include "viz/network_render.h"
+
+#include "viz/svg.h"
+
+namespace innet::viz {
+
+util::Status RenderNetwork(const core::SensorNetwork& network,
+                           const core::SampledGraph* sampled,
+                           const RenderOptions& options,
+                           const std::string& path) {
+  const graph::PlanarGraph& mobility = network.mobility();
+  const graph::DualGraph& dual = network.sensing();
+  SvgCanvas canvas(network.DomainBounds().Inflated(
+                       0.02 * network.DomainBounds().Width()),
+                   options.pixel_width);
+
+  if (options.draw_roads) {
+    for (graph::EdgeId e = 0; e < mobility.NumEdges(); ++e) {
+      canvas.DrawLine(mobility.Position(mobility.Edge(e).u),
+                      mobility.Position(mobility.Edge(e).v), "#bbbbbb", 1.0,
+                      0.8);
+    }
+  }
+  if (options.draw_sensors) {
+    for (graph::NodeId s = 0; s < dual.NumNodes(); ++s) {
+      if (s == dual.ExtNode()) continue;
+      canvas.DrawCircle(dual.Position(s), 1.5, "#999999", 0.6);
+    }
+  }
+  if (sampled != nullptr && options.draw_monitored_edges) {
+    // A monitored sensing edge is drawn as the link between the two sensor
+    // positions it connects (its dual endpoints).
+    for (graph::EdgeId e : sampled->monitored_edges()) {
+      graph::NodeId a = mobility.Edge(e).left;
+      graph::NodeId b = mobility.Edge(e).right;
+      if (a == dual.ExtNode() || b == dual.ExtNode()) continue;
+      canvas.DrawLine(dual.Position(a), dual.Position(b), "#3366cc", 1.4,
+                      0.9);
+    }
+  }
+  if (sampled != nullptr && options.draw_comm_sensors) {
+    for (graph::NodeId s : sampled->comm_sensors()) {
+      canvas.DrawCircle(dual.Position(s), 3.5, "#cc3333", 0.95);
+    }
+  }
+  if (options.query_rect.has_value()) {
+    canvas.DrawRect(*options.query_rect, "#22aa44", "#22aa44", 2.5, 0.12);
+  }
+  return canvas.WriteToFile(path);
+}
+
+}  // namespace innet::viz

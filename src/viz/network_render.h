@@ -1,0 +1,33 @@
+// Renders a sensor network (and optionally a sampled deployment and query
+// region) to SVG — the library's analogue of the paper's Figs. 2, 4, and 6.
+#ifndef INNET_VIZ_NETWORK_RENDER_H_
+#define INNET_VIZ_NETWORK_RENDER_H_
+
+#include <optional>
+#include <string>
+
+#include "core/sampled_graph.h"
+#include "core/sensor_network.h"
+#include "util/status.h"
+
+namespace innet::viz {
+
+/// Rendering options: layers are drawn in the listed order.
+struct RenderOptions {
+  bool draw_roads = true;            // Mobility graph ⋆G (gray).
+  bool draw_sensors = false;         // All sensor positions (light dots).
+  bool draw_monitored_edges = true;  // Sensing edges of G̃ (blue).
+  bool draw_comm_sensors = true;     // Selected communication sensors (red).
+  std::optional<geometry::Rect> query_rect;  // Query region (green).
+  double pixel_width = 1000.0;
+};
+
+/// Writes the rendering to `path` (.svg).
+util::Status RenderNetwork(const core::SensorNetwork& network,
+                           const core::SampledGraph* sampled,
+                           const RenderOptions& options,
+                           const std::string& path);
+
+}  // namespace innet::viz
+
+#endif  // INNET_VIZ_NETWORK_RENDER_H_

@@ -1,0 +1,109 @@
+#include "viz/svg.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace innet::viz {
+
+namespace {
+
+std::string Fmt(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
+}  // namespace
+
+SvgCanvas::SvgCanvas(const geometry::Rect& world, double pixel_width)
+    : world_(world), width_(pixel_width) {
+  INNET_CHECK(world_.Width() > 0.0 && world_.Height() > 0.0);
+  height_ = pixel_width * world_.Height() / world_.Width();
+}
+
+geometry::Point SvgCanvas::ToPixels(const geometry::Point& p) const {
+  double x = (p.x - world_.min_x) / world_.Width() * width_;
+  double y = height_ - (p.y - world_.min_y) / world_.Height() * height_;
+  return geometry::Point(x, y);
+}
+
+void SvgCanvas::DrawLine(const geometry::Point& a, const geometry::Point& b,
+                         const std::string& color, double stroke_width,
+                         double opacity) {
+  geometry::Point pa = ToPixels(a);
+  geometry::Point pb = ToPixels(b);
+  body_ += "<line x1=\"" + Fmt(pa.x) + "\" y1=\"" + Fmt(pa.y) + "\" x2=\"" +
+           Fmt(pb.x) + "\" y2=\"" + Fmt(pb.y) + "\" stroke=\"" + color +
+           "\" stroke-width=\"" + Fmt(stroke_width) + "\" stroke-opacity=\"" +
+           Fmt(opacity) + "\"/>\n";
+}
+
+void SvgCanvas::DrawCircle(const geometry::Point& center, double radius_px,
+                           const std::string& fill, double opacity) {
+  geometry::Point p = ToPixels(center);
+  body_ += "<circle cx=\"" + Fmt(p.x) + "\" cy=\"" + Fmt(p.y) + "\" r=\"" +
+           Fmt(radius_px) + "\" fill=\"" + fill + "\" fill-opacity=\"" +
+           Fmt(opacity) + "\"/>\n";
+}
+
+void SvgCanvas::DrawRect(const geometry::Rect& rect, const std::string& stroke,
+                         const std::string& fill, double stroke_width,
+                         double fill_opacity) {
+  geometry::Point top_left = ToPixels({rect.min_x, rect.max_y});
+  double w = rect.Width() / world_.Width() * width_;
+  double h = rect.Height() / world_.Height() * height_;
+  body_ += "<rect x=\"" + Fmt(top_left.x) + "\" y=\"" + Fmt(top_left.y) +
+           "\" width=\"" + Fmt(w) + "\" height=\"" + Fmt(h) + "\" stroke=\"" +
+           stroke + "\" stroke-width=\"" + Fmt(stroke_width) + "\" fill=\"" +
+           fill + "\" fill-opacity=\"" + Fmt(fill_opacity) + "\"/>\n";
+}
+
+void SvgCanvas::DrawPolygon(const geometry::Polygon& polygon,
+                            const std::string& stroke, const std::string& fill,
+                            double stroke_width, double fill_opacity) {
+  if (polygon.empty()) return;
+  std::string points;
+  for (const geometry::Point& v : polygon.vertices()) {
+    geometry::Point p = ToPixels(v);
+    points += Fmt(p.x) + "," + Fmt(p.y) + " ";
+  }
+  body_ += "<polygon points=\"" + points + "\" stroke=\"" + stroke +
+           "\" stroke-width=\"" + Fmt(stroke_width) + "\" fill=\"" + fill +
+           "\" fill-opacity=\"" + Fmt(fill_opacity) + "\"/>\n";
+}
+
+void SvgCanvas::DrawText(const geometry::Point& at, const std::string& text,
+                         const std::string& color, double size_px) {
+  geometry::Point p = ToPixels(at);
+  body_ += "<text x=\"" + Fmt(p.x) + "\" y=\"" + Fmt(p.y) + "\" fill=\"" +
+           color + "\" font-size=\"" + Fmt(size_px) +
+           "\" font-family=\"sans-serif\">" + text + "</text>\n";
+}
+
+std::string SvgCanvas::ToString() const {
+  std::string doc = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+                    Fmt(width_) + "\" height=\"" + Fmt(height_) +
+                    "\" viewBox=\"0 0 " + Fmt(width_) + " " + Fmt(height_) +
+                    "\">\n<rect width=\"100%\" height=\"100%\" "
+                    "fill=\"white\"/>\n";
+  doc += body_;
+  doc += "</svg>\n";
+  return doc;
+}
+
+util::Status SvgCanvas::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::InvalidArgumentError("cannot open for writing: " + path);
+  }
+  std::string doc = ToString();
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    return util::InternalError("short write: " + path);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace innet::viz

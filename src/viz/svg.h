@@ -1,0 +1,58 @@
+// Minimal SVG canvas for rendering networks, deployments, and query regions
+// (the repository's stand-in for the paper's map figures).
+#ifndef INNET_VIZ_SVG_H_
+#define INNET_VIZ_SVG_H_
+
+#include <string>
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+#include "util/status.h"
+
+namespace innet::viz {
+
+/// An SVG document mapping a world rectangle onto a pixel canvas (y axis
+/// flipped so larger world-y renders upward).
+class SvgCanvas {
+ public:
+  /// `world` is the region drawn; `pixel_width` fixes the scale (height
+  /// follows the aspect ratio).
+  SvgCanvas(const geometry::Rect& world, double pixel_width = 1000.0);
+
+  void DrawLine(const geometry::Point& a, const geometry::Point& b,
+                const std::string& color, double stroke_width = 1.0,
+                double opacity = 1.0);
+
+  void DrawCircle(const geometry::Point& center, double radius_px,
+                  const std::string& fill, double opacity = 1.0);
+
+  void DrawRect(const geometry::Rect& rect, const std::string& stroke,
+                const std::string& fill = "none", double stroke_width = 2.0,
+                double fill_opacity = 0.15);
+
+  void DrawPolygon(const geometry::Polygon& polygon, const std::string& stroke,
+                   const std::string& fill = "none", double stroke_width = 1.5,
+                   double fill_opacity = 0.2);
+
+  void DrawText(const geometry::Point& at, const std::string& text,
+                const std::string& color = "#333", double size_px = 14.0);
+
+  /// Finished document markup.
+  std::string ToString() const;
+
+  /// Writes the document to `path`.
+  util::Status WriteToFile(const std::string& path) const;
+
+ private:
+  geometry::Point ToPixels(const geometry::Point& world_point) const;
+
+  geometry::Rect world_;
+  double width_;
+  double height_;
+  std::string body_;
+};
+
+}  // namespace innet::viz
+
+#endif  // INNET_VIZ_SVG_H_

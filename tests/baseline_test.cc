@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "baseline/euler_histogram.h"
+#include "baseline/face_occupancy.h"
+#include "baseline/face_sampling.h"
+#include "core/framework.h"
+#include "core/workload.h"
+#include "mobility/trajectory.h"
+#include "util/stats.h"
+
+namespace innet::baseline {
+namespace {
+
+core::FrameworkOptions SmallOptions(uint64_t seed) {
+  core::FrameworkOptions options;
+  options.road.num_junctions = 220;
+  options.traffic.num_trajectories = 300;
+  options.seed = seed;
+  return options;
+}
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  BaselineFixture() : framework_(SmallOptions(11)) {
+    core::WorkloadOptions wo;
+    wo.area_fraction = 0.08;
+    wo.horizon = framework_.Horizon();
+    util::Rng rng = framework_.ForkRng();
+    queries_ = core::GenerateWorkload(framework_.network(), wo, 20, rng);
+  }
+  core::Framework framework_;
+  std::vector<core::RangeQuery> queries_;
+};
+
+TEST_F(BaselineFixture, FaceOccupancyMatchesOracle) {
+  const core::SensorNetwork& net = framework_.network();
+  FaceOccupancyIndex index(net.mobility(), framework_.trajectories(),
+                           &net.gateway_mask());
+  mobility::OccupancyOracle oracle(net.mobility(), framework_.trajectories(),
+                                   &net.gateway_mask());
+  util::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    graph::NodeId n = static_cast<graph::NodeId>(
+        rng.UniformIndex(net.mobility().NumNodes()));
+    std::vector<bool> cell(net.mobility().NumNodes(), false);
+    cell[n] = true;
+    for (double t : {1000.0, 5000.0, 15000.0}) {
+      EXPECT_EQ(index.OccupancyAt(n, t), oracle.OccupancyAt(cell, t));
+    }
+  }
+}
+
+TEST_F(BaselineFixture, EulerOccupancyMatchesGroundTruth) {
+  const core::SensorNetwork& net = framework_.network();
+  EulerHistogram euler(net.mobility(), framework_.trajectories(),
+                       &net.gateway_mask());
+  for (const core::RangeQuery& q : queries_) {
+    std::vector<bool> mask = net.JunctionMask(q.junctions);
+    EXPECT_DOUBLE_EQ(static_cast<double>(euler.OccupancyAt(mask, q.t2)),
+                     net.GroundTruthStatic(q.junctions, q.t2));
+  }
+}
+
+TEST_F(BaselineFixture, EulerConnectedVisitsGEDistinctVisitors) {
+  // The Euler identity counts connected visit stretches, which upper-bounds
+  // distinct visitors (the classic Euler-histogram overcount) and never
+  // undercounts them.
+  const core::SensorNetwork& net = framework_.network();
+  EulerHistogram euler(net.mobility(), framework_.trajectories(),
+                       &net.gateway_mask());
+  mobility::OccupancyOracle oracle(net.mobility(), framework_.trajectories(),
+                                   &net.gateway_mask());
+  for (const core::RangeQuery& q : queries_) {
+    std::vector<bool> mask = net.JunctionMask(q.junctions);
+    int64_t euler_count = euler.ConnectedVisits(mask, q.t1, q.t2);
+    int64_t distinct = oracle.DistinctVisitors(mask, q.t1, q.t2);
+    EXPECT_GE(euler_count, distinct);
+    // The overcount stays moderate: every re-entry adds at most one.
+    EXPECT_LE(euler_count, 3 * distinct + 5);
+  }
+}
+
+TEST(EulerHistogramTest, SingleObjectIdentityExact) {
+  // Hand-built line graph: 4 junctions in a row, object walks across.
+  std::vector<geometry::Point> positions = {{0, 0}, {1, 0.1}, {2, 0}, {3, 0.1}};
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges = {
+      {0, 1}, {1, 2}, {2, 3}};
+  graph::PlanarGraph g(std::move(positions), std::move(edges));
+  mobility::Trajectory t{{0, 1, 2, 3}, {0.0, 1.0, 2.0, 3.0}};
+  EulerHistogram euler(g, {t});
+  // Region {1, 2}: the object is one connected visit during [1, 3).
+  std::vector<bool> region = {false, true, true, false};
+  EXPECT_EQ(euler.ConnectedVisits(region, 0.0, 10.0), 1);
+  EXPECT_EQ(euler.ConnectedVisits(region, 3.5, 10.0), 0);
+  // Region {1} and {3}: disjoint visits counted separately.
+  std::vector<bool> split = {false, true, false, true};
+  EXPECT_EQ(euler.ConnectedVisits(split, 0.0, 10.0), 2);
+}
+
+TEST_F(BaselineFixture, FullySampledBaselineIsExactForStatic) {
+  const core::SensorNetwork& net = framework_.network();
+  util::Rng rng = framework_.ForkRng();
+  FaceSamplingBaseline baseline(net, framework_.trajectories(),
+                                net.mobility().NumNodes(), rng);
+  EXPECT_EQ(baseline.NumSampledFaces(), net.mobility().NumNodes());
+  for (const core::RangeQuery& q : queries_) {
+    core::QueryAnswer a = baseline.Answer(q, core::CountKind::kStatic);
+    EXPECT_FALSE(a.missed);
+    EXPECT_DOUBLE_EQ(a.estimate, net.GroundTruthStatic(q.junctions, q.t2));
+    EXPECT_EQ(a.nodes_accessed, q.junctions.size());
+  }
+}
+
+TEST_F(BaselineFixture, PartialSamplingIsUnbiasedOnAverage) {
+  const core::SensorNetwork& net = framework_.network();
+  // Average the Horvitz-Thompson estimate over many sampling draws: it
+  // should approach the truth.
+  util::Accumulator ratio;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    util::Rng rng(seed);
+    FaceSamplingBaseline baseline(net, framework_.trajectories(),
+                                  net.mobility().NumNodes() / 3, rng,
+                                  /*horvitz_thompson=*/true);
+    for (const core::RangeQuery& q : queries_) {
+      double truth = net.GroundTruthStatic(q.junctions, q.t2);
+      if (truth < 10.0) continue;  // Skip tiny counts for stability.
+      core::QueryAnswer a = baseline.Answer(q, core::CountKind::kStatic);
+      if (a.missed) continue;
+      ratio.Add(a.estimate / truth);
+    }
+  }
+  ASSERT_GT(ratio.count(), 50u);
+  EXPECT_NEAR(ratio.Summarize().mean, 1.0, 0.25);
+}
+
+TEST_F(BaselineFixture, SparseSamplingMissesSmallQueries) {
+  const core::SensorNetwork& net = framework_.network();
+  util::Rng rng = framework_.ForkRng();
+  FaceSamplingBaseline baseline(net, framework_.trajectories(), 3, rng);
+  size_t missed = 0;
+  for (const core::RangeQuery& q : queries_) {
+    if (baseline.Answer(q, core::CountKind::kStatic).missed) ++missed;
+  }
+  EXPECT_GT(missed, 0u);
+}
+
+TEST_F(BaselineFixture, StorageScalesWithSampledFaces) {
+  const core::SensorNetwork& net = framework_.network();
+  util::Rng rng1 = framework_.ForkRng();
+  util::Rng rng2 = framework_.ForkRng();
+  FaceSamplingBaseline small(net, framework_.trajectories(), 20, rng1);
+  FaceSamplingBaseline large(net, framework_.trajectories(),
+                             net.mobility().NumNodes(), rng2);
+  EXPECT_LT(small.StorageBytes(), large.StorageBytes());
+  EXPECT_GT(large.StorageBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace innet::baseline

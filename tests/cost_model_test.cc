@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cost_model.h"
+#include "core/framework.h"
+#include "core/workload.h"
+#include "sampling/samplers.h"
+#include "util/stats.h"
+
+namespace innet::core {
+namespace {
+
+FrameworkOptions MidOptions(uint64_t seed) {
+  FrameworkOptions options;
+  options.road.num_junctions = 600;
+  options.traffic.num_trajectories = 300;
+  options.seed = seed;
+  return options;
+}
+
+TEST(CostModelTest, PredictionFormula) {
+  CostModelParams params;
+  params.area_fraction = 0.1;
+  params.m = 100;
+  params.k = 2.0;
+  params.avg_path_hops = 5.0;
+  EXPECT_DOUBLE_EQ(PredictRegionNodes(params), 100.0);
+}
+
+TEST(CostModelTest, EstimateParamsReflectsConnectivity) {
+  Framework framework(MidOptions(41));
+  SampledGraphOptions tri;
+  SampledGraphOptions knn;
+  knn.connectivity = Connectivity::kKnn;
+  knn.knn_k = 8;
+  CostModelParams p_tri =
+      EstimateParams(framework.network(), tri, 100, 0.05);
+  CostModelParams p_knn =
+      EstimateParams(framework.network(), knn, 100, 0.05);
+  // Triangulation: k = (3m-6)/m / 2 ≈ 1.5; k-NN(8): 4 after halving.
+  EXPECT_NEAR(p_tri.k, 1.47, 0.05);
+  EXPECT_DOUBLE_EQ(p_knn.k, 4.0);
+  EXPECT_GT(p_tri.avg_path_hops, 1.0);
+  EXPECT_EQ(p_tri.avg_path_hops, p_knn.avg_path_hops);
+}
+
+// §4.9 validation: the prediction tracks the measured in-network footprint
+// within a constant factor, and both scale linearly with the query area.
+TEST(CostModelTest, PredictionTracksMeasurementAcrossAreas) {
+  Framework framework(MidOptions(42));
+  const SensorNetwork& network = framework.network();
+  sampling::KdTreeSampler sampler;
+  size_t m = network.NumSensors() / 8;
+  util::Rng rng(1);
+  Deployment dep =
+      framework.DeployWithSampler(sampler, m, DeploymentOptions{}, rng);
+
+  util::Rng qrng(2);
+  std::vector<double> ratios;
+  double prev_measured = 0.0;
+  for (double area : {0.04, 0.08, 0.16, 0.32}) {
+    WorkloadOptions wo;
+    wo.area_fraction = area;
+    wo.horizon = framework.Horizon();
+    std::vector<RangeQuery> queries =
+        GenerateWorkload(network, wo, 12, qrng);
+    util::Accumulator measured;
+    for (const RangeQuery& q : queries) {
+      measured.Add(static_cast<double>(
+          MeasureRegionNodes(dep.graph(), q.junctions)));
+    }
+    double mean_measured = measured.Summarize().mean;
+    CostModelParams params = EstimateParams(
+        network, SampledGraphOptions{}, m, area, /*path_samples=*/32);
+    double predicted = PredictRegionNodes(params);
+    ASSERT_GT(predicted, 0.0);
+    ratios.push_back(mean_measured / predicted);
+    // Measured footprint grows with area.
+    EXPECT_GT(mean_measured, prev_measured);
+    prev_measured = mean_measured;
+  }
+  // Constant-factor agreement: all area points share a similar ratio
+  // (within 3x of each other) and the ratio itself is O(1).
+  double lo = *std::min_element(ratios.begin(), ratios.end());
+  double hi = *std::max_element(ratios.begin(), ratios.end());
+  EXPECT_LT(hi / lo, 3.0);
+  EXPECT_GT(lo, 0.05);
+  EXPECT_LT(hi, 20.0);
+}
+
+TEST(CostModelTest, MeasureCountsOnlyTouchingSensors) {
+  Framework framework(MidOptions(43));
+  const SensorNetwork& network = framework.network();
+  sampling::UniformSampler sampler;
+  util::Rng rng(3);
+  Deployment dep = framework.DeployWithSampler(
+      sampler, network.NumSensors() / 10, DeploymentOptions{}, rng);
+  // Empty region -> zero footprint; full region -> all participants.
+  EXPECT_EQ(MeasureRegionNodes(dep.graph(), {}), 0u);
+  std::vector<graph::NodeId> all;
+  for (graph::NodeId n = 0; n < network.mobility().NumNodes(); ++n) {
+    all.push_back(n);
+  }
+  size_t everyone = MeasureRegionNodes(dep.graph(), all);
+  // Participants = relays plus the comm sensors that actually carry a
+  // monitored edge (a comm sensor whose links all failed to route is not a
+  // participant).
+  EXPECT_GE(everyone, dep.graph().stats().num_relay_sensors);
+  EXPECT_LE(everyone, dep.graph().stats().num_relay_sensors +
+                          dep.graph().stats().num_comm_sensors);
+}
+
+}  // namespace
+}  // namespace innet::core

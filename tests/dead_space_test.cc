@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/dead_space.h"
+#include "core/framework.h"
+
+namespace innet::core {
+namespace {
+
+class DeadSpaceFixture : public ::testing::Test {
+ protected:
+  DeadSpaceFixture() : framework_(Options()) {}
+  static FrameworkOptions Options() {
+    FrameworkOptions options;
+    options.road.num_junctions = 300;
+    options.traffic.num_trajectories = 500;
+    options.seed = 71;
+    return options;
+  }
+  Framework framework_;
+};
+
+TEST_F(DeadSpaceFixture, SensingFacesHaveNoRoadFreePartitions) {
+  DeadSpaceReport report = AnalyzeSensingDeadSpace(framework_.network());
+  EXPECT_EQ(report.without_roads, 0u);
+  EXPECT_EQ(report.partitions,
+            framework_.network().mobility().NumFaces() - 1);
+  // With thousands of events, nearly every face saw traffic.
+  EXPECT_LT(report.NoTrafficFraction(), 0.25);
+}
+
+TEST_F(DeadSpaceFixture, CoarseGridHasLittleDeadSpaceFineGridALot) {
+  DeadSpaceReport coarse = AnalyzeGridDeadSpace(framework_.network(), 4, 4);
+  DeadSpaceReport fine = AnalyzeGridDeadSpace(framework_.network(), 64, 64);
+  EXPECT_EQ(coarse.partitions, 16u);
+  EXPECT_EQ(fine.partitions, 64u * 64u);
+  // A 4x4 grid over a connected city has roads everywhere...
+  EXPECT_LT(coarse.NoRoadFraction(), 0.2);
+  // ...while a fine grid leaves many cells between roads empty.
+  EXPECT_GT(fine.NoRoadFraction(), coarse.NoRoadFraction());
+  EXPECT_GT(fine.NoTrafficFraction(), 0.3);
+  // Traffic-free is at least road-free.
+  EXPECT_GE(fine.without_traffic, fine.without_roads);
+  EXPECT_GE(coarse.without_traffic, coarse.without_roads);
+}
+
+TEST_F(DeadSpaceFixture, SensingBeatsComparableGrid) {
+  // Compare against a grid with roughly as many partitions as sensors.
+  size_t sensors = framework_.network().NumSensors();
+  size_t n = 1;
+  while (n * n < sensors) ++n;
+  DeadSpaceReport grid = AnalyzeGridDeadSpace(framework_.network(), n, n);
+  DeadSpaceReport sensing = AnalyzeSensingDeadSpace(framework_.network());
+  EXPECT_GT(grid.NoTrafficFraction(), sensing.NoTrafficFraction());
+}
+
+TEST_F(DeadSpaceFixture, TrafficAttributionConserved) {
+  // Total events attributed across grid cells equals total real-edge
+  // events (each event lands in exactly one midpoint cell).
+  DeadSpaceReport one = AnalyzeGridDeadSpace(framework_.network(), 1, 1);
+  EXPECT_EQ(one.partitions, 1u);
+  EXPECT_EQ(one.without_roads, 0u);
+  EXPECT_EQ(one.without_traffic, 0u);
+}
+
+}  // namespace
+}  // namespace innet::core

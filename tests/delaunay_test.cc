@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geometry/delaunay.h"
+#include "geometry/predicates.h"
+#include "util/rng.h"
+
+namespace innet::geometry {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Point> points;
+  std::set<std::pair<long, long>> seen;
+  while (points.size() < n) {
+    Point p(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+    auto key = std::make_pair(std::lround(p.x * 100), std::lround(p.y * 100));
+    if (seen.insert(key).second) points.push_back(p);
+  }
+  return points;
+}
+
+TEST(DelaunayTest, TooFewPoints) {
+  EXPECT_TRUE(DelaunayTriangulate({}).triangles.empty());
+  EXPECT_TRUE(DelaunayTriangulate({{0, 0}}).triangles.empty());
+  EXPECT_TRUE(DelaunayTriangulate({{0, 0}, {1, 1}}).triangles.empty());
+}
+
+TEST(DelaunayTest, SingleTriangle) {
+  Triangulation tri = DelaunayTriangulate({{0, 0}, {1, 0}, {0, 1}});
+  ASSERT_EQ(tri.triangles.size(), 1u);
+  EXPECT_EQ(tri.Edges().size(), 3u);
+}
+
+TEST(DelaunayTest, SquareHasTwoTriangles) {
+  Triangulation tri =
+      DelaunayTriangulate({{0, 0}, {1, 0}, {1, 1.05}, {0, 1}});
+  EXPECT_EQ(tri.triangles.size(), 2u);
+  EXPECT_EQ(tri.Edges().size(), 5u);
+}
+
+TEST(DelaunayTest, TrianglesAreCounterClockwise) {
+  std::vector<Point> points = RandomPoints(60, 3);
+  Triangulation tri = DelaunayTriangulate(points);
+  for (const Triangle& t : tri.triangles) {
+    EXPECT_GT(
+        SignedArea2(points[t.v[0]], points[t.v[1]], points[t.v[2]]), 0.0);
+  }
+}
+
+// Euler relation for triangulations of points in general position:
+// #triangles = 2n - 2 - h, #edges = 3n - 3 - h (h = hull vertices).
+TEST(DelaunayTest, EulerCounts) {
+  std::vector<Point> points = RandomPoints(120, 7);
+  Triangulation tri = DelaunayTriangulate(points);
+  size_t n = points.size();
+  size_t f = tri.triangles.size();
+  size_t e = tri.Edges().size();
+  // V - E + F = 2 with F = triangles + outer face.
+  EXPECT_EQ(n - e + (f + 1), 2u);
+}
+
+class DelaunayProperty : public ::testing::TestWithParam<int> {};
+
+// The defining property: no input point lies strictly inside any triangle's
+// circumcircle.
+TEST_P(DelaunayProperty, EmptyCircumcircle) {
+  std::vector<Point> points = RandomPoints(80, GetParam());
+  Triangulation tri = DelaunayTriangulate(points);
+  ASSERT_FALSE(tri.triangles.empty());
+  for (const Triangle& t : tri.triangles) {
+    Point center =
+        Circumcenter(points[t.v[0]], points[t.v[1]], points[t.v[2]]);
+    double r2 = DistanceSquared(center, points[t.v[0]]);
+    for (uint32_t p = 0; p < points.size(); ++p) {
+      if (p == t.v[0] || p == t.v[1] || p == t.v[2]) continue;
+      // Allow a tolerance for near-cocircular configurations.
+      EXPECT_GE(DistanceSquared(center, points[p]), r2 * (1.0 - 1e-9))
+          << "point " << p << " inside circumcircle";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelaunayProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace innet::geometry

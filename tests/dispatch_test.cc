@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/dispatch.h"
+#include "core/framework.h"
+#include "core/workload.h"
+#include "sampling/samplers.h"
+
+namespace innet::core {
+namespace {
+
+class DispatchFixture : public ::testing::Test {
+ protected:
+  DispatchFixture() : framework_(MakeOptions()) {
+    sampling::KdTreeSampler sampler;
+    util::Rng rng = framework_.ForkRng();
+    deployment_ = std::make_unique<Deployment>(framework_.DeployWithSampler(
+        sampler, framework_.network().NumSensors() / 6, DeploymentOptions{},
+        rng));
+    WorkloadOptions wo;
+    wo.area_fraction = 0.1;
+    wo.horizon = framework_.Horizon();
+    util::Rng qrng = framework_.ForkRng();
+    queries_ = GenerateWorkload(framework_.network(), wo, 10, qrng);
+  }
+
+  static FrameworkOptions MakeOptions() {
+    FrameworkOptions options;
+    options.road.num_junctions = 300;
+    options.traffic.num_trajectories = 200;
+    options.seed = 9;
+    return options;
+  }
+
+  std::vector<graph::NodeId> PerimeterOf(const RangeQuery& q) const {
+    std::vector<uint32_t> faces = deployment_->graph().UpperBoundFaces(
+        q.junctions);
+    return deployment_->graph().BoundaryOfFaces(faces).sensors;
+  }
+
+  Framework framework_;
+  std::unique_ptr<Deployment> deployment_;
+  std::vector<RangeQuery> queries_;
+};
+
+TEST_F(DispatchFixture, DirectModeOneLongLinkPerSensor) {
+  for (const RangeQuery& q : queries_) {
+    std::vector<graph::NodeId> perimeter = PerimeterOf(q);
+    DispatchCost cost = SimulateDispatch(framework_.network(), perimeter,
+                                         DispatchMode::kServerDirect);
+    EXPECT_EQ(cost.sensors_contacted, perimeter.size());
+    EXPECT_EQ(cost.long_links, perimeter.size());
+    EXPECT_EQ(cost.mesh_hops, 0u);
+    EXPECT_EQ(cost.Messages(), 2 * perimeter.size());
+  }
+}
+
+TEST_F(DispatchFixture, TraversalModeTwoLongLinks) {
+  for (const RangeQuery& q : queries_) {
+    std::vector<graph::NodeId> perimeter = PerimeterOf(q);
+    if (perimeter.size() < 3) continue;
+    DispatchCost cost = SimulateDispatch(framework_.network(), perimeter,
+                                         DispatchMode::kPerimeterTraversal);
+    EXPECT_EQ(cost.sensors_contacted, perimeter.size());
+    EXPECT_EQ(cost.long_links, 2u);
+    EXPECT_GE(cost.mesh_hops, perimeter.size() - 2);
+  }
+}
+
+TEST_F(DispatchFixture, TraversalWinsOnEnergyWhenLongLinksAreExpensive) {
+  // §3.1: long-distance radio drains batteries; with a realistic cost ratio
+  // the traversal mode should be cheaper for perimeter-sized regions.
+  size_t traversal_wins = 0;
+  size_t comparisons = 0;
+  for (const RangeQuery& q : queries_) {
+    std::vector<graph::NodeId> perimeter = PerimeterOf(q);
+    if (perimeter.size() < 5) continue;
+    DispatchCost direct = SimulateDispatch(framework_.network(), perimeter,
+                                           DispatchMode::kServerDirect);
+    DispatchCost traversal = SimulateDispatch(
+        framework_.network(), perimeter, DispatchMode::kPerimeterTraversal);
+    ++comparisons;
+    if (traversal.Energy(20.0) < direct.Energy(20.0)) ++traversal_wins;
+  }
+  ASSERT_GT(comparisons, 0u);
+  EXPECT_EQ(traversal_wins, comparisons);
+}
+
+TEST(DispatchTest, EmptyPerimeter) {
+  FrameworkOptions options;
+  options.road.num_junctions = 150;
+  options.traffic.num_trajectories = 10;
+  options.seed = 2;
+  Framework framework(options);
+  for (DispatchMode mode :
+       {DispatchMode::kServerDirect, DispatchMode::kPerimeterTraversal}) {
+    DispatchCost cost = SimulateDispatch(framework.network(), {}, mode);
+    EXPECT_EQ(cost.sensors_contacted, 0u);
+    EXPECT_EQ(cost.Messages(), 0u);
+  }
+}
+
+TEST(DispatchTest, ModeNames) {
+  EXPECT_STREQ(DispatchModeName(DispatchMode::kServerDirect),
+               "server-direct");
+  EXPECT_STREQ(DispatchModeName(DispatchMode::kPerimeterTraversal),
+               "perimeter-traversal");
+}
+
+}  // namespace
+}  // namespace innet::core

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/event_buffer.h"
+#include "core/framework.h"
+#include "core/live_monitor.h"
+#include "core/workload.h"
+#include "util/rng.h"
+
+namespace innet::core {
+namespace {
+
+using mobility::CrossingEvent;
+
+TEST(EventBufferTest, ReordersWithinLateness) {
+  std::vector<CrossingEvent> out;
+  EventReorderBuffer buffer(5.0, [&](const CrossingEvent& e) {
+    out.push_back(e);
+  });
+  // Arrival order scrambled within a 5 s window.
+  for (double t : {3.0, 1.0, 2.0, 8.0, 6.0, 7.0, 12.0, 11.0}) {
+    EXPECT_TRUE(buffer.Push({0, true, t}));
+  }
+  buffer.Flush();
+  ASSERT_EQ(out.size(), 8u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].time, out[i].time);
+  }
+  EXPECT_EQ(buffer.Dropped(), 0u);
+}
+
+TEST(EventBufferTest, HoldsBackUndecidedEvents) {
+  std::vector<CrossingEvent> out;
+  EventReorderBuffer buffer(10.0, [&](const CrossingEvent& e) {
+    out.push_back(e);
+  });
+  buffer.Push({0, true, 100.0});
+  buffer.Push({0, true, 105.0});
+  // Nothing is safe yet: newest - lateness = 95 < all held events.
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(buffer.Pending(), 2u);
+  buffer.Push({0, true, 120.0});
+  // Now events <= 110 are safe.
+  EXPECT_EQ(out.size(), 2u);
+  buffer.Flush();
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(EventBufferTest, DropsTooLateEvents) {
+  std::vector<CrossingEvent> out;
+  EventReorderBuffer buffer(2.0, [&](const CrossingEvent& e) {
+    out.push_back(e);
+  });
+  buffer.Push({0, true, 10.0});
+  buffer.Push({0, true, 20.0});  // Releases t=10, watermark=10.
+  EXPECT_DOUBLE_EQ(buffer.Watermark(), 10.0);
+  EXPECT_FALSE(buffer.Push({0, true, 5.0}));  // Behind the watermark.
+  EXPECT_EQ(buffer.Dropped(), 1u);
+  buffer.Flush();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(out[1].time, 20.0);
+}
+
+TEST(EventBufferTest, ZeroLatenessIsPassThrough) {
+  std::vector<CrossingEvent> out;
+  EventReorderBuffer buffer(0.0, [&](const CrossingEvent& e) {
+    out.push_back(e);
+  });
+  buffer.Push({0, true, 1.0});
+  buffer.Push({0, true, 2.0});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// Integration: a live monitor fed through a reorder buffer over a shuffled
+// event stream matches the batch count, as long as the shuffle respects the
+// lateness bound.
+TEST(EventBufferTest, LiveMonitorOverShuffledStream) {
+  FrameworkOptions options;
+  options.road.num_junctions = 200;
+  options.traffic.num_trajectories = 250;
+  options.seed = 17;
+  Framework framework(options);
+  const SensorNetwork& net = framework.network();
+
+  WorkloadOptions wo;
+  wo.area_fraction = 0.12;
+  wo.horizon = framework.Horizon();
+  util::Rng rng = framework.ForkRng();
+  std::vector<RangeQuery> queries = GenerateWorkload(net, wo, 3, rng);
+
+  // Perturb delivery order: each event delayed by up to 30 s.
+  struct Delayed {
+    CrossingEvent event;
+    double arrival;
+  };
+  std::vector<Delayed> deliveries;
+  deliveries.reserve(net.events().size());
+  util::Rng jitter = framework.ForkRng();
+  for (const CrossingEvent& event : net.events()) {
+    deliveries.push_back({event, event.time + jitter.Uniform(0.0, 30.0)});
+  }
+  std::sort(deliveries.begin(), deliveries.end(),
+            [](const Delayed& a, const Delayed& b) {
+              return a.arrival < b.arrival;
+            });
+
+  for (const RangeQuery& q : queries) {
+    LiveRegionMonitor monitor(net, q.junctions);
+    EventReorderBuffer buffer(
+        30.0, [&](const CrossingEvent& e) { monitor.OnEvent(e); });
+    for (const Delayed& d : deliveries) {
+      EXPECT_TRUE(buffer.Push(d.event));
+    }
+    buffer.Flush();
+    EXPECT_EQ(buffer.Dropped(), 0u);
+    EXPECT_DOUBLE_EQ(static_cast<double>(monitor.CurrentCount()),
+                     net.GroundTruthStatic(q.junctions, 1e18));
+  }
+}
+
+}  // namespace
+}  // namespace innet::core

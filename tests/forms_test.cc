@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "forms/differential_form.h"
+#include "forms/region_count.h"
+#include "forms/tracking_form.h"
+#include "mobility/road_network.h"
+#include "mobility/trajectory.h"
+#include "mobility/trajectory_generator.h"
+#include "util/rng.h"
+
+namespace innet::forms {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::PlanarGraph;
+using mobility::Trajectory;
+
+// Shared fixture: a generated network with gateway-entering trips, the
+// resulting crossing events ingested into forms, and the brute-force oracle.
+struct World {
+  explicit World(uint64_t seed, size_t junctions = 200, size_t trips = 120) {
+    util::Rng rng(seed);
+    mobility::RoadNetworkOptions road;
+    road.num_junctions = junctions;
+    graph = std::make_unique<PlanarGraph>(
+        mobility::GenerateRoadNetwork(road, rng));
+    gateway_mask = mobility::GatewayMask(*graph);
+    mobility::TrajectoryOptions traffic;
+    traffic.num_trajectories = trips;
+    trajectories = mobility::GenerateTrajectories(*graph, traffic, rng);
+    oracle = std::make_unique<mobility::OccupancyOracle>(*graph, trajectories,
+                                                         &gateway_mask);
+  }
+
+  // A region mask that avoids gateway junctions (the queryable regions).
+  std::vector<bool> RandomInteriorRegion(util::Rng& rng, double frac) const {
+    std::vector<bool> mask(graph->NumNodes(), false);
+    for (NodeId n = 0; n < graph->NumNodes(); ++n) {
+      if (!gateway_mask[n] && rng.Bernoulli(frac)) mask[n] = true;
+    }
+    return mask;
+  }
+
+  std::unique_ptr<PlanarGraph> graph;
+  std::vector<bool> gateway_mask;
+  std::vector<Trajectory> trajectories;
+  std::unique_ptr<mobility::OccupancyOracle> oracle;
+};
+
+TEST(SnapshotFormTest, SignedFormAntisymmetry) {
+  World w(1);
+  SnapshotForm form(w.graph->NumEdges());
+  util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    form.RecordTraversal(
+        static_cast<EdgeId>(rng.UniformIndex(w.graph->NumEdges())),
+        rng.Bernoulli(0.5));
+  }
+  // ξ(-e) = -ξ(e): the signed form toward one endpoint is the negation of
+  // the signed form toward the other.
+  for (EdgeId e = 0; e < w.graph->NumEdges(); ++e) {
+    const graph::EdgeRecord& rec = w.graph->Edge(e);
+    EXPECT_EQ(form.SignedToward(*w.graph, e, rec.u),
+              -form.SignedToward(*w.graph, e, rec.v));
+    EXPECT_EQ(form.PlusInto(*w.graph, e, rec.v), form.Forward(e));
+    EXPECT_EQ(form.MinusOutOf(*w.graph, e, rec.u), form.Forward(e));
+  }
+}
+
+TEST(SnapshotFormTest, SingleCrossingExample) {
+  // Reproduces the Fig. 8b proof sketch: one object moving σ -> τ.
+  World w(3);
+  EdgeId e = 0;
+  const graph::EdgeRecord& rec = w.graph->Edge(e);
+  SnapshotForm form(w.graph->NumEdges());
+  form.RecordTraversal(e, /*forward=*/true);  // u -> v.
+  std::vector<bool> cell_v(w.graph->NumNodes(), false);
+  cell_v[rec.v] = true;
+  EXPECT_EQ(form.CountInside(*w.graph, cell_v), 1);
+  std::vector<bool> cell_u(w.graph->NumNodes(), false);
+  cell_u[rec.u] = true;
+  EXPECT_EQ(form.CountInside(*w.graph, cell_u), -1);  // Left without entering.
+  // Union of both cells: the crossing is interior and cancels.
+  cell_u[rec.v] = true;
+  EXPECT_EQ(form.CountInside(*w.graph, cell_u), 0);
+}
+
+// Theorem 4.1 against the oracle: snapshot counts of arbitrary interior
+// regions match per-object ground truth at the end of time, where every
+// recorded crossing is final. (Snapshot forms have no time; we replay all
+// events and compare at t = +inf.)
+class Theorem41 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem41, SnapshotCountMatchesOracle) {
+  World w(GetParam());
+  SnapshotForm form(w.graph->NumEdges());
+  // Births at gateways are invisible to real-edge snapshot forms; replay
+  // only trajectories' real crossings and compare against the oracle with
+  // regions that exclude gateways AND trajectories that entered through
+  // them (the ⋆v_ext entries are on virtual edges, handled by the core
+  // layer; here we emulate them by also counting entries into the first
+  // cell).
+  for (const Trajectory& t : w.trajectories) {
+    for (const mobility::CrossingEvent& ev :
+         mobility::ExtractCrossingEvents(*w.graph, t)) {
+      form.RecordTraversal(ev.edge, ev.forward);
+    }
+  }
+  util::Rng rng(GetParam() + 100);
+  double t_end = 1e18;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<bool> region = w.RandomInteriorRegion(rng, 0.3);
+    int64_t expected = w.oracle->OccupancyAt(region, t_end);
+    // Correction for gateway-entered objects: entering the domain at a
+    // gateway cell is not a real-edge crossing, but gateway cells are never
+    // part of the region, so the object's subsequent move INTO the region
+    // is correctly counted. No correction needed.
+    EXPECT_EQ(form.CountInside(*w.graph, region), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem41, ::testing::Values(10, 20, 30));
+
+// Tracking form + Theorem 4.2 (static count at time t) against the oracle.
+class Theorem42 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem42, StaticCountMatchesOracleAtAnyTime) {
+  World w(GetParam());
+  TrackingForm form(w.graph->NumEdges());
+  for (const mobility::CrossingEvent& ev :
+       mobility::ExtractAllCrossingEvents(*w.graph, w.trajectories)) {
+    form.RecordTraversal(ev.edge, ev.forward, ev.time);
+  }
+  util::Rng rng(GetParam() + 200);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<bool> region = w.RandomInteriorRegion(rng, 0.25);
+    std::vector<BoundaryEdge> boundary = RegionBoundary(*w.graph, region);
+    for (double t : {500.0, 3000.0, 9000.0, 20000.0, 1e9}) {
+      double got = EvaluateStaticCount(form, boundary, t);
+      int64_t want = w.oracle->OccupancyAt(region, t);
+      EXPECT_DOUBLE_EQ(got, static_cast<double>(want))
+          << "t=" << t << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem42, ::testing::Values(11, 21, 31));
+
+// Theorem 4.3 (transient count) against the oracle.
+class Theorem43 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem43, TransientCountMatchesOracle) {
+  World w(GetParam());
+  TrackingForm form(w.graph->NumEdges());
+  for (const mobility::CrossingEvent& ev :
+       mobility::ExtractAllCrossingEvents(*w.graph, w.trajectories)) {
+    form.RecordTraversal(ev.edge, ev.forward, ev.time);
+  }
+  util::Rng rng(GetParam() + 300);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<bool> region = w.RandomInteriorRegion(rng, 0.25);
+    std::vector<BoundaryEdge> boundary = RegionBoundary(*w.graph, region);
+    double t0 = rng.Uniform(0, 15000);
+    double t1 = t0 + rng.Uniform(0, 15000);
+    double got = EvaluateTransientCount(form, boundary, t0, t1);
+    int64_t want = w.oracle->NetChange(region, t0, t1);
+    EXPECT_DOUBLE_EQ(got, static_cast<double>(want));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem43, ::testing::Values(12, 22, 32));
+
+TEST(TrackingFormTest, CountUpToBinarySearch) {
+  TrackingForm form(2);
+  for (double t : {1.0, 2.0, 2.0, 5.0}) form.RecordTraversal(0, true, t);
+  EXPECT_DOUBLE_EQ(form.CountUpTo(0, true, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(form.CountUpTo(0, true, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(form.CountUpTo(0, true, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(form.CountUpTo(0, true, 10.0), 4.0);
+  EXPECT_DOUBLE_EQ(form.CountUpTo(0, false, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(form.CountInRange(0, true, 1.0, 5.0), 3.0);
+}
+
+TEST(TrackingFormTest, StorageAccounting) {
+  TrackingForm form(3);
+  form.RecordTraversal(0, true, 1.0);
+  form.RecordTraversal(0, false, 2.0);
+  form.RecordTraversal(2, true, 3.0);
+  EXPECT_EQ(form.TotalEvents(), 3u);
+  EXPECT_EQ(form.StorageBytes(), 3 * sizeof(double));
+  EXPECT_EQ(form.StorageBytesForEdge(0), 2 * sizeof(double));
+  EXPECT_EQ(form.StorageBytesForEdge(1), 0u);
+}
+
+TEST(RegionCountTest, PaperFigure10Example) {
+  // Two trajectories moving in and out of σ at t0..t3 (Fig. 10): blue
+  // enters via b at t0 and exits via c at t3; green enters via b at t2; red
+  // enters via a at t1.
+  TrackingForm form(3);  // Edges a=0, b=1, c=2; forward = inward.
+  form.RecordTraversal(1, true, 0.0);  // Blue in via b.
+  form.RecordTraversal(0, true, 1.0);  // Red in via a.
+  form.RecordTraversal(1, true, 2.0);  // Green in via b.
+  form.RecordTraversal(2, false, 3.0); // Blue out via c.
+  std::vector<BoundaryEdge> boundary = {
+      {0, true}, {1, true}, {2, true}};
+  // Thm 4.2 at t3: 1 + 2 - 1 = 2.
+  EXPECT_DOUBLE_EQ(EvaluateStaticCount(form, boundary, 3.0), 2.0);
+  // Thm 4.3 over [t1, t3]: 0 + 1 - 1 = 0 — always two objects inside.
+  EXPECT_DOUBLE_EQ(EvaluateTransientCount(form, boundary, 1.0, 3.0), 0.0);
+}
+
+// Counts are additive over disjoint regions: count(S1 ∪ S2) = count(S1) +
+// count(S2) when S1 and S2 share no junction — the boundary edges between
+// them (if any) contribute to both with opposite signs... no: disjoint
+// junction sets may be adjacent; an edge between S1 and S2 is a boundary
+// edge of both AND of the union it is interior. Additivity still holds for
+// occupancy (each object is in exactly one cell), which is what we check.
+TEST(RegionCountTest, OccupancyAdditiveOverDisjointRegions) {
+  World w(50);
+  TrackingForm form(w.graph->NumEdges());
+  for (const mobility::CrossingEvent& ev :
+       mobility::ExtractAllCrossingEvents(*w.graph, w.trajectories)) {
+    form.RecordTraversal(ev.edge, ev.forward, ev.time);
+  }
+  util::Rng rng(51);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<bool> s1 = w.RandomInteriorRegion(rng, 0.2);
+    std::vector<bool> s2 = w.RandomInteriorRegion(rng, 0.2);
+    std::vector<bool> s2_only(s2.size());
+    std::vector<bool> s_union(s2.size());
+    for (size_t i = 0; i < s2.size(); ++i) {
+      s2_only[i] = s2[i] && !s1[i];
+      s_union[i] = s1[i] || s2[i];
+    }
+    double t = rng.Uniform(0, 20000);
+    double c1 = EvaluateStaticCount(form, RegionBoundary(*w.graph, s1), t);
+    double c2 =
+        EvaluateStaticCount(form, RegionBoundary(*w.graph, s2_only), t);
+    double cu =
+        EvaluateStaticCount(form, RegionBoundary(*w.graph, s_union), t);
+    EXPECT_DOUBLE_EQ(cu, c1 + c2);
+  }
+}
+
+TEST(RegionCountTest, CountInRangeBoundarySemantics) {
+  // CountInRange covers the half-open interval (t0, t1].
+  TrackingForm form(1);
+  form.RecordTraversal(0, true, 5.0);
+  form.RecordTraversal(0, true, 10.0);
+  EXPECT_DOUBLE_EQ(form.CountInRange(0, true, 5.0, 10.0), 1.0);  // 10 only.
+  EXPECT_DOUBLE_EQ(form.CountInRange(0, true, 4.9, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(form.CountInRange(0, true, 10.0, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(form.CountInRange(0, true, 0.0, 4.9), 0.0);
+}
+
+TEST(RegionCountTest, EmptyBoundaryYieldsZero) {
+  TrackingForm form(4);
+  form.RecordTraversal(2, true, 1.0);
+  std::vector<BoundaryEdge> empty;
+  EXPECT_DOUBLE_EQ(EvaluateStaticCount(form, empty, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateTransientCount(form, empty, 0.0, 100.0), 0.0);
+}
+
+TEST(RegionCountTest, BoundaryOrientationFlagsMatchMask) {
+  World w(40);
+  util::Rng rng(41);
+  std::vector<bool> region = w.RandomInteriorRegion(rng, 0.3);
+  std::vector<BoundaryEdge> boundary = RegionBoundary(*w.graph, region);
+  for (const BoundaryEdge& b : boundary) {
+    const graph::EdgeRecord& rec = w.graph->Edge(b.edge);
+    EXPECT_NE(region[rec.u], region[rec.v]);
+    EXPECT_EQ(b.inward_is_forward, region[rec.v]);
+  }
+  // Every mixed edge appears exactly once.
+  size_t mixed = 0;
+  for (EdgeId e = 0; e < w.graph->NumEdges(); ++e) {
+    const graph::EdgeRecord& rec = w.graph->Edge(e);
+    if (region[rec.u] != region[rec.v]) ++mixed;
+  }
+  EXPECT_EQ(boundary.size(), mixed);
+}
+
+}  // namespace
+}  // namespace innet::forms

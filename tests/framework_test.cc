@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/workload.h"
+#include "sampling/samplers.h"
+#include "util/stats.h"
+
+namespace innet::core {
+namespace {
+
+FrameworkOptions SmallOptions(uint64_t seed) {
+  FrameworkOptions options;
+  options.road.num_junctions = 300;
+  options.traffic.num_trajectories = 600;
+  options.seed = seed;
+  return options;
+}
+
+TEST(FrameworkTest, BuildsConsistentWorld) {
+  Framework fw(SmallOptions(21));
+  const SensorNetwork& net = fw.network();
+  EXPECT_GT(net.mobility().NumNodes(), 200u);
+  EXPECT_EQ(net.NumSensors(), net.mobility().NumFaces() - 1);
+  EXPECT_EQ(fw.trajectories().size(), 600u);
+  EXPECT_FALSE(net.events().empty());
+  // Events are time sorted and land in the extended edge space.
+  for (size_t i = 1; i < net.events().size(); ++i) {
+    EXPECT_LE(net.events()[i - 1].time, net.events()[i].time);
+  }
+  for (const auto& ev : net.events()) {
+    EXPECT_LT(ev.edge, net.TotalEdgeSpace());
+  }
+  // Entry events exist (every trajectory starts at a gateway).
+  size_t virtual_events = 0;
+  for (const auto& ev : net.events()) {
+    if (net.IsVirtualEdge(ev.edge)) ++virtual_events;
+  }
+  EXPECT_EQ(virtual_events, fw.trajectories().size());
+}
+
+TEST(FrameworkTest, DeterministicAcrossRuns) {
+  Framework a(SmallOptions(22));
+  Framework b(SmallOptions(22));
+  ASSERT_EQ(a.network().events().size(), b.network().events().size());
+  for (size_t i = 0; i < a.network().events().size(); i += 97) {
+    EXPECT_EQ(a.network().events()[i].edge, b.network().events()[i].edge);
+    EXPECT_EQ(a.network().events()[i].time, b.network().events()[i].time);
+  }
+}
+
+TEST(FrameworkTest, QueriesContainOnlyInteriorJunctions) {
+  Framework fw(SmallOptions(23));
+  WorkloadOptions wo;
+  wo.area_fraction = 0.1;
+  wo.horizon = fw.Horizon();
+  util::Rng rng = fw.ForkRng();
+  std::vector<RangeQuery> queries = GenerateWorkload(fw.network(), wo, 20, rng);
+  ASSERT_FALSE(queries.empty());
+  for (const RangeQuery& q : queries) {
+    EXPECT_FALSE(q.junctions.empty());
+    EXPECT_LT(q.t1, q.t2);
+    for (graph::NodeId n : q.junctions) {
+      EXPECT_FALSE(fw.network().gateway_mask()[n]);
+      EXPECT_TRUE(q.rect.Contains(fw.network().mobility().Position(n)));
+    }
+  }
+}
+
+TEST(FrameworkTest, LargerQueriesContainMoreJunctions) {
+  Framework fw(SmallOptions(24));
+  util::Rng rng = fw.ForkRng();
+  double prev_mean = 0.0;
+  for (double frac : {0.02, 0.08, 0.25}) {
+    WorkloadOptions wo;
+    wo.area_fraction = frac;
+    wo.horizon = fw.Horizon();
+    std::vector<RangeQuery> queries =
+        GenerateWorkload(fw.network(), wo, 15, rng);
+    double mean = 0.0;
+    for (const RangeQuery& q : queries) {
+      mean += static_cast<double>(q.junctions.size());
+    }
+    mean /= static_cast<double>(queries.size());
+    EXPECT_GT(mean, prev_mean);
+    prev_mean = mean;
+  }
+}
+
+// End-to-end quality trend: more sensors -> (weakly) lower median
+// lower-bound error. Uses a coarse comparison (smallest vs largest budget)
+// to stay robust.
+TEST(FrameworkTest, ErrorDecreasesWithMoreSensors) {
+  Framework fw(SmallOptions(25));
+  const SensorNetwork& net = fw.network();
+  WorkloadOptions wo;
+  wo.area_fraction = 0.08;
+  wo.horizon = fw.Horizon();
+  util::Rng qrng = fw.ForkRng();
+  std::vector<RangeQuery> queries = GenerateWorkload(net, wo, 25, qrng);
+
+  sampling::KdTreeSampler sampler;
+  auto median_error = [&](size_t m) {
+    util::Rng rng(12345);
+    Deployment dep =
+        fw.DeployWithSampler(sampler, m, DeploymentOptions{}, rng);
+    SampledQueryProcessor processor = dep.processor();
+    util::Accumulator err;
+    for (const RangeQuery& q : queries) {
+      double truth = net.GroundTruthStatic(q.junctions, q.t2);
+      QueryAnswer a = processor.Answer(q, CountKind::kStatic,
+                                       BoundMode::kLower);
+      err.Add(util::RelativeError(truth, a.estimate));
+    }
+    return err.Summarize().median;
+  };
+
+  double coarse = median_error(net.NumSensors() / 32);
+  double fine = median_error(net.NumSensors() / 2);
+  EXPECT_LE(fine, coarse + 1e-9);
+  EXPECT_LT(fine, 0.5);
+}
+
+TEST(FrameworkTest, AdaptiveBeatsObliviousOnHistoricalDistribution) {
+  Framework fw(SmallOptions(26));
+  const SensorNetwork& net = fw.network();
+  WorkloadOptions wo;
+  wo.area_fraction = 0.06;
+  wo.horizon = fw.Horizon();
+  util::Rng qrng = fw.ForkRng();
+  // History and evaluation share the same distribution; the adaptive
+  // placement monitors exactly those footprints.
+  std::vector<RangeQuery> history = GenerateWorkload(net, wo, 30, qrng);
+  size_t budget = net.NumSensors() / 3;
+
+  Deployment adaptive = fw.DeployAdaptive(history, budget, DeploymentOptions{});
+  sampling::UniformSampler uniform;
+  util::Rng srng = fw.ForkRng();
+  Deployment oblivious =
+      fw.DeployWithSampler(uniform, budget, DeploymentOptions{}, srng);
+
+  auto median_error = [&](Deployment& dep) {
+    SampledQueryProcessor processor = dep.processor();
+    util::Accumulator err;
+    for (const RangeQuery& q : history) {
+      double truth = net.GroundTruthStatic(q.junctions, q.t2);
+      QueryAnswer a =
+          processor.Answer(q, CountKind::kStatic, BoundMode::kLower);
+      err.Add(util::RelativeError(truth, a.estimate));
+    }
+    return err.Summarize().median;
+  };
+  EXPECT_LE(median_error(adaptive), median_error(oblivious) + 1e-9);
+}
+
+TEST(FrameworkTest, LearnedStorageMuchSmallerThanExact) {
+  Framework fw(SmallOptions(27));
+  sampling::KdTreeSampler sampler;
+  util::Rng rng = fw.ForkRng();
+  std::vector<graph::NodeId> sensors = sampler.Select(
+      fw.network().sensing(), fw.network().NumSensors() / 4, rng);
+  DeploymentOptions exact;
+  DeploymentOptions learned;
+  learned.store = StoreKind::kLearned;
+  learned.model_type = learned::ModelType::kLinear;
+  learned.buffer_capacity = 8;
+  Deployment de = fw.DeployFromSensors(sensors, exact);
+  Deployment dl = fw.DeployFromSensors(sensors, learned);
+  EXPECT_LT(dl.StorageBytes(), de.StorageBytes());
+}
+
+}  // namespace
+}  // namespace innet::core

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/convex_hull.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "geometry/predicates.h"
+#include "geometry/rect.h"
+#include "geometry/segment.h"
+#include "util/rng.h"
+
+namespace innet::geometry {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  Point a(1, 2);
+  Point b(3, -1);
+  EXPECT_EQ(a + b, Point(4, 1));
+  EXPECT_EQ(a - b, Point(-2, 3));
+  EXPECT_EQ(a * 2.0, Point(2, 4));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Cross(a, b), -7.0);
+  EXPECT_DOUBLE_EQ(Distance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_EQ(Midpoint(a, b), Point(2, 0.5));
+}
+
+TEST(PredicatesTest, Orientation) {
+  EXPECT_EQ(Orientation(Point(0, 0), Point(1, 0), Point(0, 1)),
+            Orient::kCounterClockwise);
+  EXPECT_EQ(Orientation(Point(0, 0), Point(1, 0), Point(0, -1)),
+            Orient::kClockwise);
+  EXPECT_EQ(Orientation(Point(0, 0), Point(1, 0), Point(2, 0)),
+            Orient::kCollinear);
+}
+
+TEST(PredicatesTest, InCircle) {
+  // Unit circle through (1,0), (0,1), (-1,0) (counter-clockwise).
+  Point a(1, 0), b(0, 1), c(-1, 0);
+  EXPECT_TRUE(InCircle(a, b, c, Point(0, 0)));
+  EXPECT_FALSE(InCircle(a, b, c, Point(2, 2)));
+  EXPECT_FALSE(InCircle(a, b, c, Point(0, -1.0001)));
+}
+
+TEST(PredicatesTest, Circumcenter) {
+  Point center = Circumcenter(Point(1, 0), Point(0, 1), Point(-1, 0));
+  EXPECT_NEAR(center.x, 0.0, 1e-12);
+  EXPECT_NEAR(center.y, 0.0, 1e-12);
+}
+
+TEST(SegmentTest, ProperCrossing) {
+  Segment s(Point(0, 0), Point(2, 2));
+  Segment t(Point(0, 2), Point(2, 0));
+  EXPECT_TRUE(SegmentsIntersect(s, t));
+  EXPECT_TRUE(SegmentsProperlyCross(s, t));
+  auto p = CrossingPoint(s, t);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 1.0, 1e-12);
+  EXPECT_NEAR(p->y, 1.0, 1e-12);
+}
+
+TEST(SegmentTest, SharedEndpointIsNotProper) {
+  Segment s(Point(0, 0), Point(1, 1));
+  Segment t(Point(1, 1), Point(2, 0));
+  EXPECT_TRUE(SegmentsIntersect(s, t));
+  EXPECT_FALSE(SegmentsProperlyCross(s, t));
+  EXPECT_FALSE(CrossingPoint(s, t).has_value());
+}
+
+TEST(SegmentTest, DisjointSegments) {
+  Segment s(Point(0, 0), Point(1, 0));
+  Segment t(Point(0, 1), Point(1, 1));
+  EXPECT_FALSE(SegmentsIntersect(s, t));
+  EXPECT_FALSE(SegmentsProperlyCross(s, t));
+}
+
+TEST(SegmentTest, CollinearOverlapIntersects) {
+  Segment s(Point(0, 0), Point(2, 0));
+  Segment t(Point(1, 0), Point(3, 0));
+  EXPECT_TRUE(SegmentsIntersect(s, t));
+  EXPECT_FALSE(SegmentsProperlyCross(s, t));
+}
+
+TEST(SegmentTest, PointDistance) {
+  Segment s(Point(0, 0), Point(10, 0));
+  EXPECT_DOUBLE_EQ(PointSegmentDistanceSquared(Point(5, 3), s), 9.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistanceSquared(Point(-3, 4), s), 25.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistanceSquared(Point(12, 0), s), 4.0);
+}
+
+// Property sweep: a segment pair built to cross at a known interior point is
+// always reported as properly crossing, and the computed point matches.
+class SegmentCrossProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentCrossProperty, RandomCrossingsRecovered) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Point x(rng.Uniform(-10, 10), rng.Uniform(-10, 10));
+    double angle1 = rng.Uniform(0, 3.141592653589793);
+    double angle2 = angle1 + rng.Uniform(0.3, 2.5);
+    Point d1(std::cos(angle1), std::sin(angle1));
+    Point d2(std::cos(angle2), std::sin(angle2));
+    double a1 = rng.Uniform(0.1, 5.0), b1 = rng.Uniform(0.1, 5.0);
+    double a2 = rng.Uniform(0.1, 5.0), b2 = rng.Uniform(0.1, 5.0);
+    Segment s(x - d1 * a1, x + d1 * b1);
+    Segment t(x - d2 * a2, x + d2 * b2);
+    ASSERT_TRUE(SegmentsProperlyCross(s, t));
+    auto p = CrossingPoint(s, t);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NEAR(p->x, x.x, 1e-6);
+    EXPECT_NEAR(p->y, x.y, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentCrossProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(PolygonTest, SquareAreaCentroid) {
+  Polygon square({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_DOUBLE_EQ(square.SignedArea(), 4.0);
+  EXPECT_TRUE(square.IsCounterClockwise());
+  EXPECT_DOUBLE_EQ(square.Perimeter(), 8.0);
+  Point c = square.Centroid();
+  EXPECT_NEAR(c.x, 1.0, 1e-12);
+  EXPECT_NEAR(c.y, 1.0, 1e-12);
+}
+
+TEST(PolygonTest, ClockwiseNegativeArea) {
+  Polygon square({{0, 0}, {0, 2}, {2, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(square.SignedArea(), -4.0);
+  square.Reverse();
+  EXPECT_DOUBLE_EQ(square.SignedArea(), 4.0);
+}
+
+TEST(PolygonTest, ContainsPoints) {
+  Polygon tri({{0, 0}, {4, 0}, {0, 4}});
+  EXPECT_TRUE(tri.Contains(Point(1, 1)));
+  EXPECT_FALSE(tri.Contains(Point(3, 3)));
+  EXPECT_TRUE(tri.Contains(Point(2, 0)));  // Boundary counts as inside.
+  EXPECT_TRUE(tri.Contains(Point(0, 0)));  // Vertex counts as inside.
+}
+
+TEST(PolygonTest, NonConvexContains) {
+  // L-shape.
+  Polygon ell({{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}});
+  EXPECT_TRUE(ell.Contains(Point(0.5, 2.5)));
+  EXPECT_TRUE(ell.Contains(Point(2.5, 0.5)));
+  EXPECT_FALSE(ell.Contains(Point(2.0, 2.0)));
+}
+
+TEST(PolygonTest, Bounds) {
+  Polygon tri({{0, -1}, {4, 0}, {0, 4}});
+  Rect b = tri.Bounds();
+  EXPECT_DOUBLE_EQ(b.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(b.min_y, -1.0);
+  EXPECT_DOUBLE_EQ(b.max_x, 4.0);
+  EXPECT_DOUBLE_EQ(b.max_y, 4.0);
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  Rect r(0, 0, 10, 5);
+  EXPECT_TRUE(r.Contains(Point(5, 2)));
+  EXPECT_TRUE(r.Contains(Point(0, 0)));
+  EXPECT_FALSE(r.Contains(Point(11, 2)));
+  EXPECT_TRUE(r.Intersects(Rect(9, 4, 12, 8)));
+  EXPECT_FALSE(r.Intersects(Rect(11, 0, 12, 1)));
+  EXPECT_TRUE(r.Contains(Rect(1, 1, 2, 2)));
+  EXPECT_FALSE(r.Contains(Rect(1, 1, 11, 2)));
+  EXPECT_DOUBLE_EQ(r.Area(), 50.0);
+}
+
+TEST(RectTest, FromCornersNormalizes) {
+  Rect r = Rect::FromCorners(Point(5, 1), Point(2, 7));
+  EXPECT_DOUBLE_EQ(r.min_x, 2.0);
+  EXPECT_DOUBLE_EQ(r.max_x, 5.0);
+  EXPECT_DOUBLE_EQ(r.min_y, 1.0);
+  EXPECT_DOUBLE_EQ(r.max_y, 7.0);
+}
+
+TEST(ConvexHullTest, Square) {
+  std::vector<Point> points = {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  std::vector<Point> hull = ConvexHull(points);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_GT(Polygon(hull).SignedArea(), 0.0);  // CCW.
+}
+
+TEST(ConvexHullTest, SmallInputs) {
+  EXPECT_TRUE(ConvexHull({}).empty());
+  EXPECT_EQ(ConvexHull({{1, 1}}).size(), 1u);
+  EXPECT_EQ(ConvexHull({{1, 1}, {2, 2}}).size(), 2u);
+  EXPECT_EQ(ConvexHull({{1, 1}, {1, 1}, {1, 1}}).size(), 1u);
+}
+
+TEST(PointTest, AngleOf) {
+  EXPECT_NEAR(AngleOf(Point(0, 0), Point(1, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(AngleOf(Point(0, 0), Point(0, 1)), 1.5707963267948966, 1e-12);
+  EXPECT_NEAR(AngleOf(Point(0, 0), Point(-1, 0)), 3.141592653589793, 1e-12);
+  EXPECT_NEAR(AngleOf(Point(1, 1), Point(2, 2)), 0.7853981633974483, 1e-12);
+}
+
+TEST(PointTest, NormAndDistanceConsistency) {
+  Point v(3, 4);
+  EXPECT_DOUBLE_EQ(Norm(v), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared(Point(0, 0), v), 25.0);
+}
+
+TEST(RectTest, InflatedAndExpand) {
+  Rect r(1, 1, 2, 2);
+  Rect big = r.Inflated(0.5);
+  EXPECT_DOUBLE_EQ(big.min_x, 0.5);
+  EXPECT_DOUBLE_EQ(big.max_y, 2.5);
+  r.ExpandToInclude(Point(5, -1));
+  EXPECT_DOUBLE_EQ(r.max_x, 5.0);
+  EXPECT_DOUBLE_EQ(r.min_y, -1.0);
+  EXPECT_TRUE(r.Contains(Point(5, -1)));
+}
+
+TEST(RectTest, BoundingBoxOfRange) {
+  std::vector<Point> points = {{1, 5}, {-2, 3}, {4, -1}};
+  Rect box = BoundingBox(points.begin(), points.end());
+  EXPECT_DOUBLE_EQ(box.min_x, -2.0);
+  EXPECT_DOUBLE_EQ(box.min_y, -1.0);
+  EXPECT_DOUBLE_EQ(box.max_x, 4.0);
+  EXPECT_DOUBLE_EQ(box.max_y, 5.0);
+}
+
+TEST(PolygonTest, DegenerateSizes) {
+  Polygon empty;
+  EXPECT_TRUE(empty.empty());
+  Polygon line({{0, 0}, {2, 0}});
+  EXPECT_DOUBLE_EQ(line.Area(), 0.0);
+  EXPECT_FALSE(line.Contains(Point(1, 0)));  // < 3 vertices: never inside.
+  EXPECT_FALSE(PolygonContainsRect(line, Rect(0, 0, 1, 1)));
+}
+
+TEST(PredicatesTest, NearCollinearBand) {
+  // Points nearly on a line: the relative-epsilon band calls it collinear.
+  Point a(0, 0), b(1000, 0);
+  EXPECT_EQ(Orientation(a, b, Point(500, 1e-11)), Orient::kCollinear);
+  EXPECT_EQ(Orientation(a, b, Point(500, 1e-3)), Orient::kCounterClockwise);
+}
+
+TEST(ConvexHullTest, AllPointsInsideHullProperty) {
+  util::Rng rng(21);
+  std::vector<Point> points;
+  for (int i = 0; i < 300; ++i) {
+    points.emplace_back(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+  }
+  std::vector<Point> hull = ConvexHull(points);
+  Polygon hull_poly(hull);
+  ASSERT_GE(hull.size(), 3u);
+  for (const Point& p : points) {
+    EXPECT_TRUE(hull_poly.Contains(p));
+  }
+  // Hull is convex: every consecutive triple turns left.
+  for (size_t i = 0; i < hull.size(); ++i) {
+    const Point& a = hull[i];
+    const Point& b = hull[(i + 1) % hull.size()];
+    const Point& c = hull[(i + 2) % hull.size()];
+    EXPECT_GT(SignedArea2(a, b, c), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace innet::geometry

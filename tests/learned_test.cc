@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "learned/buffered_edge_store.h"
+#include "learned/count_model.h"
+#include "learned/piecewise_model.h"
+#include "learned/polynomial_model.h"
+#include "util/rng.h"
+
+namespace innet::learned {
+namespace {
+
+std::vector<double> SortedTimes(size_t n, uint64_t seed, double scale) {
+  util::Rng rng(seed);
+  std::vector<double> times;
+  times.reserve(n);
+  for (size_t i = 0; i < n; ++i) times.push_back(rng.Uniform(0.0, scale));
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+double TrueCount(const std::vector<double>& times, double t) {
+  return static_cast<double>(
+      std::upper_bound(times.begin(), times.end(), t) - times.begin());
+}
+
+TEST(CountModelTest, EmptyModelPredictsZero) {
+  ModelOptions options;
+  for (ModelType type :
+       {ModelType::kLinear, ModelType::kQuadratic, ModelType::kCubic,
+        ModelType::kPiecewiseLinear, ModelType::kPiecewiseConstant}) {
+    auto model = CreateCountModel(type, options);
+    EXPECT_DOUBLE_EQ(model->Predict(123.0), 0.0) << ModelTypeName(type);
+    EXPECT_EQ(model->ObservedCount(), 0u);
+  }
+}
+
+TEST(CountModelTest, SingleEventStep) {
+  ModelOptions options;
+  for (ModelType type :
+       {ModelType::kLinear, ModelType::kPiecewiseLinear,
+        ModelType::kPiecewiseConstant}) {
+    auto model = CreateCountModel(type, options);
+    model->Observe(10.0);
+    EXPECT_DOUBLE_EQ(model->Predict(5.0), 0.0) << ModelTypeName(type);
+    EXPECT_GE(model->Predict(10.0), 0.0);
+    EXPECT_LE(model->Predict(1e9), 1.0);
+  }
+}
+
+TEST(LinearModelTest, ExactOnUniformArrivals) {
+  // Perfectly linear CDF: events at 1, 2, ..., 100.
+  PolynomialModel model(1, /*time_scale=*/100.0);
+  for (int i = 1; i <= 100; ++i) model.Observe(static_cast<double>(i));
+  for (double t : {10.0, 25.0, 50.0, 99.0}) {
+    EXPECT_NEAR(model.Predict(t), t, 1.0);
+  }
+  // Clamped outside the observed range.
+  EXPECT_DOUBLE_EQ(model.Predict(-50.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Predict(1e6), 100.0);
+}
+
+TEST(PolynomialModelTest, QuadraticFitsQuadraticCdf) {
+  // Events with arrival density growing linearly: t_i = sqrt(i) * 10.
+  PolynomialModel model(2, /*time_scale=*/100.0);
+  std::vector<double> times;
+  for (int i = 1; i <= 100; ++i) times.push_back(std::sqrt(i) * 10.0);
+  for (double t : times) model.Observe(t);
+  // True count at time t is (t/10)^2.
+  for (double t : {30.0, 50.0, 80.0}) {
+    EXPECT_NEAR(model.Predict(t), (t / 10.0) * (t / 10.0), 3.0);
+  }
+}
+
+TEST(PolynomialModelTest, ParameterCountConstantInEvents) {
+  PolynomialModel model(3, 100.0);
+  size_t before = model.ParameterCount();
+  for (int i = 0; i < 10000; ++i) model.Observe(i * 0.01);
+  EXPECT_EQ(model.ParameterCount(), before);
+}
+
+TEST(PiecewiseModelTest, EpsilonGuaranteeAtTrainingPoints) {
+  double epsilon = 4.0;
+  PiecewiseModel model(epsilon, /*constant_segments=*/false);
+  std::vector<double> times = SortedTimes(2000, 77, 1000.0);
+  for (double t : times) model.Observe(t);
+  for (size_t i = 0; i < times.size(); ++i) {
+    double want = TrueCount(times, times[i]);
+    // Duplicate timestamps collapse: prediction must be within epsilon of
+    // the final count at that timestamp.
+    EXPECT_NEAR(model.Predict(times[i]), want, epsilon + 1e-6)
+        << "at event " << i;
+  }
+}
+
+TEST(PiecewiseConstantModelTest, EpsilonGuarantee) {
+  double epsilon = 6.0;
+  PiecewiseModel model(epsilon, /*constant_segments=*/true);
+  std::vector<double> times = SortedTimes(1500, 78, 1000.0);
+  for (double t : times) model.Observe(t);
+  for (size_t i = 0; i < times.size(); i += 7) {
+    double want = TrueCount(times, times[i]);
+    EXPECT_NEAR(model.Predict(times[i]), want, epsilon + 1e-6);
+  }
+}
+
+TEST(PiecewiseModelTest, FewerSegmentsWithLargerEpsilon) {
+  std::vector<double> times = SortedTimes(3000, 79, 1000.0);
+  PiecewiseModel tight(1.0, false);
+  PiecewiseModel loose(16.0, false);
+  for (double t : times) {
+    tight.Observe(t);
+    loose.Observe(t);
+  }
+  EXPECT_GT(tight.SegmentCount(), loose.SegmentCount());
+  EXPECT_LT(loose.SegmentCount(), 40u);  // Compresses well.
+}
+
+TEST(PiecewiseModelTest, MonotoneWithinClampBounds) {
+  PiecewiseModel model(4.0, false);
+  std::vector<double> times = SortedTimes(500, 80, 100.0);
+  for (double t : times) model.Observe(t);
+  double prev = -1.0;
+  bool monotone = true;
+  for (double t = -10.0; t < 120.0; t += 0.5) {
+    double p = model.Predict(t);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 500.0);
+    if (p + 1e-9 < prev - 4.0) monotone = false;  // Allow epsilon wiggle.
+    prev = std::max(prev, p);
+  }
+  EXPECT_TRUE(monotone);
+}
+
+// Accuracy sweep across every model family on heterogeneous arrival
+// processes: the learned count must track the true CDF within a small
+// fraction of the total event count.
+class ModelAccuracy : public ::testing::TestWithParam<ModelType> {};
+
+TEST_P(ModelAccuracy, TracksCdfWithinFivePercent) {
+  ModelOptions options;
+  options.time_scale = 1000.0;
+  options.epsilon = 8.0;
+  // Mixture arrival process: bursty + uniform.
+  util::Rng rng(91);
+  std::vector<double> times;
+  for (int i = 0; i < 1200; ++i) times.push_back(rng.Uniform(0, 1000));
+  for (int i = 0; i < 800; ++i) times.push_back(300 + rng.Normal(0, 40));
+  std::sort(times.begin(), times.end());
+
+  auto model = CreateCountModel(GetParam(), options);
+  for (double t : times) model->Observe(t);
+  double max_err = 0.0;
+  for (double t = 0; t <= 1000; t += 10) {
+    max_err = std::max(max_err,
+                       std::abs(model->Predict(t) - TrueCount(times, t)));
+  }
+  bool global_polynomial = GetParam() == ModelType::kLinear ||
+                           GetParam() == ModelType::kQuadratic ||
+                           GetParam() == ModelType::kCubic;
+  // Global polynomials fit the burst loosely; piecewise models are tight.
+  double budget = global_polynomial ? 0.25 : 0.05;
+  EXPECT_LT(max_err, budget * static_cast<double>(times.size()))
+      << ModelTypeName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelAccuracy,
+    ::testing::Values(ModelType::kLinear, ModelType::kQuadratic,
+                      ModelType::kCubic, ModelType::kPiecewiseLinear,
+                      ModelType::kPiecewiseConstant),
+    [](const ::testing::TestParamInfo<ModelType>& info) {
+      std::string name(ModelTypeName(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(PiecewiseModelTest, HeavyDuplicateTimestamps) {
+  // Bursts of identical timestamps: representable while each vertical run
+  // stays within epsilon; otherwise segments split.
+  PiecewiseModel model(3.0, /*constant_segments=*/false);
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 8; ++i) {
+      model.Observe(static_cast<double>(burst) * 10.0);
+    }
+  }
+  EXPECT_EQ(model.ObservedCount(), 80u);
+  // Prediction at each burst time lands within epsilon + the vertical-run
+  // ambiguity (8 events share one timestamp).
+  for (int burst = 0; burst < 10; ++burst) {
+    double want = (burst + 1) * 8.0;
+    EXPECT_NEAR(model.Predict(burst * 10.0), want, 8.0 + 3.0);
+  }
+  EXPECT_DOUBLE_EQ(model.Predict(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Predict(1e9), 80.0);
+}
+
+TEST(CountModelTest, FactoryNamesMatchTypes) {
+  ModelOptions options;
+  EXPECT_EQ(CreateCountModel(ModelType::kLinear, options)->Name(), "linear");
+  EXPECT_EQ(CreateCountModel(ModelType::kQuadratic, options)->Name(),
+            "quadratic");
+  EXPECT_EQ(CreateCountModel(ModelType::kCubic, options)->Name(), "cubic");
+  EXPECT_EQ(CreateCountModel(ModelType::kPiecewiseLinear, options)->Name(),
+            "pw-linear");
+  EXPECT_EQ(CreateCountModel(ModelType::kPiecewiseConstant, options)->Name(),
+            "pw-constant");
+  for (ModelType type :
+       {ModelType::kLinear, ModelType::kQuadratic, ModelType::kCubic,
+        ModelType::kPiecewiseLinear, ModelType::kPiecewiseConstant}) {
+    EXPECT_EQ(ModelTypeName(type), CreateCountModel(type, options)->Name());
+  }
+}
+
+TEST(LinearModelTest, PredictionClampedToObservedCount) {
+  // A steeply rising then flat CDF: the linear fit overshoots at the end
+  // but the clamp caps it at the observed count.
+  PolynomialModel model(1, 100.0);
+  for (int i = 0; i < 50; ++i) model.Observe(i * 0.1);  // Burst at start.
+  for (double t = 0; t <= 200; t += 5) {
+    EXPECT_LE(model.Predict(t), 50.0);
+    EXPECT_GE(model.Predict(t), 0.0);
+  }
+}
+
+TEST(BufferedEdgeStoreTest, BufferIsExactUntilFlush) {
+  ModelOptions options;
+  options.time_scale = 100.0;
+  BufferedEdgeStore store(4, ModelType::kLinear, /*buffer_capacity=*/10,
+                          options);
+  for (double t : {1.0, 2.0, 3.0}) store.RecordTraversal(2, true, t);
+  // Below capacity: everything still buffered, counts exact.
+  EXPECT_EQ(store.ModelFor(2, true), nullptr);
+  EXPECT_DOUBLE_EQ(store.CountUpTo(2, true, 2.5), 2.0);
+  EXPECT_DOUBLE_EQ(store.CountUpTo(2, true, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(store.CountUpTo(2, false, 10.0), 0.0);
+}
+
+TEST(BufferedEdgeStoreTest, FlushMovesEventsToModel) {
+  ModelOptions options;
+  options.time_scale = 100.0;
+  BufferedEdgeStore store(2, ModelType::kPiecewiseLinear,
+                          /*buffer_capacity=*/8, options);
+  for (int i = 1; i <= 8; ++i) {
+    store.RecordTraversal(0, true, static_cast<double>(i));
+  }
+  const CountModel* model = store.ModelFor(0, true);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->ObservedCount(), 8u);
+  EXPECT_EQ(store.TotalEvents(), 8u);
+  // Model + empty buffer still answers.
+  EXPECT_NEAR(store.CountUpTo(0, true, 8.0), 8.0, 8.0 /*pla epsilon*/);
+}
+
+TEST(BufferedEdgeStoreTest, CloseToExactAcrossManyEvents) {
+  ModelOptions options;
+  options.time_scale = 1000.0;
+  options.epsilon = 4.0;
+  BufferedEdgeStore store(1, ModelType::kPiecewiseLinear, 32, options);
+  std::vector<double> times = SortedTimes(5000, 92, 1000.0);
+  for (double t : times) store.RecordTraversal(0, true, t);
+  for (double t = 0; t <= 1000; t += 25) {
+    EXPECT_NEAR(store.CountUpTo(0, true, t), TrueCount(times, t), 8.0);
+  }
+}
+
+TEST(BufferedEdgeStoreTest, StorageMuchSmallerThanExact) {
+  ModelOptions options;
+  options.time_scale = 1000.0;
+  BufferedEdgeStore store(1, ModelType::kLinear, 32, options);
+  std::vector<double> times = SortedTimes(20000, 93, 1000.0);
+  for (double t : times) store.RecordTraversal(0, true, t);
+  size_t exact_bytes = times.size() * sizeof(double);
+  EXPECT_LT(store.StorageBytes(), exact_bytes / 50);
+  EXPECT_EQ(store.StorageBytesForEdge(0), store.StorageBytes());
+}
+
+TEST(BufferedEdgeStoreTest, DirectionsIndependent) {
+  ModelOptions options;
+  BufferedEdgeStore store(1, ModelType::kLinear, 4, options);
+  store.RecordTraversal(0, true, 1.0);
+  store.RecordTraversal(0, false, 2.0);
+  EXPECT_DOUBLE_EQ(store.CountUpTo(0, true, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(store.CountUpTo(0, false, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(store.CountUpTo(0, false, 1.5), 0.0);
+}
+
+}  // namespace
+}  // namespace innet::learned

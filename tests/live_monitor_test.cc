@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/live_monitor.h"
+#include "core/workload.h"
+#include "sampling/samplers.h"
+
+namespace innet::core {
+namespace {
+
+FrameworkOptions SmallOptions(uint64_t seed) {
+  FrameworkOptions options;
+  options.road.num_junctions = 250;
+  options.traffic.num_trajectories = 400;
+  options.seed = seed;
+  return options;
+}
+
+class LiveMonitorFixture : public ::testing::Test {
+ protected:
+  LiveMonitorFixture() : framework_(SmallOptions(31)) {
+    WorkloadOptions wo;
+    wo.area_fraction = 0.1;
+    wo.horizon = framework_.Horizon();
+    util::Rng rng = framework_.ForkRng();
+    queries_ = GenerateWorkload(framework_.network(), wo, 8, rng);
+  }
+  Framework framework_;
+  std::vector<RangeQuery> queries_;
+};
+
+// Streaming counts match the batch evaluation at every event prefix.
+TEST_F(LiveMonitorFixture, ExactMonitorTracksBatchCounts) {
+  const SensorNetwork& net = framework_.network();
+  for (const RangeQuery& q : queries_) {
+    LiveRegionMonitor monitor(net, q.junctions);
+    EXPECT_GT(monitor.WatchedEdges(), 0u);
+    size_t checkpoint = net.events().size() / 5;
+    size_t i = 0;
+    for (const mobility::CrossingEvent& event : net.events()) {
+      monitor.OnEvent(event);
+      ++i;
+      if (i % checkpoint == 0) {
+        double batch = net.GroundTruthStatic(q.junctions, event.time);
+        EXPECT_DOUBLE_EQ(static_cast<double>(monitor.CurrentCount()), batch)
+            << "after " << i << " events";
+      }
+    }
+    // Final count matches the end-of-time batch count.
+    EXPECT_DOUBLE_EQ(static_cast<double>(monitor.CurrentCount()),
+                     net.GroundTruthStatic(q.junctions, 1e18));
+  }
+}
+
+TEST_F(LiveMonitorFixture, SampledMonitorTracksDeploymentAnswers) {
+  const SensorNetwork& net = framework_.network();
+  sampling::KdTreeSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  Deployment dep = framework_.DeployWithSampler(
+      sampler, net.NumSensors() / 4, DeploymentOptions{}, rng);
+  SampledQueryProcessor processor = dep.processor();
+  for (const RangeQuery& q : queries_) {
+    std::vector<uint32_t> faces = dep.graph().LowerBoundFaces(q.junctions);
+    if (faces.empty()) continue;
+    LiveRegionMonitor monitor(dep.graph(), faces);
+    for (const mobility::CrossingEvent& event : net.events()) {
+      monitor.OnEvent(event);
+    }
+    RangeQuery probe = q;
+    probe.t2 = 1e18;
+    QueryAnswer batch =
+        processor.Answer(probe, CountKind::kStatic, BoundMode::kLower);
+    EXPECT_DOUBLE_EQ(static_cast<double>(monitor.CurrentCount()),
+                     batch.estimate);
+  }
+}
+
+TEST_F(LiveMonitorFixture, NonBoundaryEventsIgnored) {
+  const SensorNetwork& net = framework_.network();
+  const RangeQuery& q = queries_.front();
+  LiveRegionMonitor monitor(net, q.junctions);
+  // Find an edge fully outside the region.
+  std::vector<bool> mask = net.JunctionMask(q.junctions);
+  graph::EdgeId outside = graph::kInvalidEdge;
+  for (graph::EdgeId e = 0; e < net.mobility().NumEdges(); ++e) {
+    if (!mask[net.mobility().Edge(e).u] && !mask[net.mobility().Edge(e).v]) {
+      outside = e;
+      break;
+    }
+  }
+  ASSERT_NE(outside, graph::kInvalidEdge);
+  monitor.OnEvent({outside, true, 1.0});
+  monitor.OnEvent({outside, false, 2.0});
+  EXPECT_EQ(monitor.CurrentCount(), 0);
+  EXPECT_DOUBLE_EQ(monitor.LastEventTime(), 2.0);
+}
+
+TEST(LiveMonitorTest, CountNeverGoesNegativeOnRealStream) {
+  Framework framework(SmallOptions(32));
+  const SensorNetwork& net = framework.network();
+  WorkloadOptions wo;
+  wo.area_fraction = 0.15;
+  wo.horizon = framework.Horizon();
+  util::Rng rng = framework.ForkRng();
+  std::vector<RangeQuery> queries = GenerateWorkload(net, wo, 5, rng);
+  for (const RangeQuery& q : queries) {
+    LiveRegionMonitor monitor(net, q.junctions);
+    for (const mobility::CrossingEvent& event : net.events()) {
+      monitor.OnEvent(event);
+      ASSERT_GE(monitor.CurrentCount(), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace innet::core

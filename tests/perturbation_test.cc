@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sensor_network.h"
+#include "core/workload.h"
+#include "mobility/perturbation.h"
+#include "mobility/road_network.h"
+#include "mobility/trajectory_generator.h"
+#include "util/stats.h"
+
+namespace innet::mobility {
+namespace {
+
+struct World {
+  World() : rng(51) {
+    RoadNetworkOptions road;
+    road.num_junctions = 250;
+    graph = std::make_unique<graph::PlanarGraph>(
+        GenerateRoadNetwork(road, rng));
+    TrajectoryOptions traffic;
+    traffic.num_trajectories = 150;
+    trajectories = GenerateTrajectories(*graph, traffic, rng);
+  }
+  util::Rng rng;
+  std::unique_ptr<graph::PlanarGraph> graph;
+  std::vector<Trajectory> trajectories;
+};
+
+TEST(PerturbationTest, ZeroHopsPreservesAnchorsAndValidity) {
+  World w;
+  PerturbationOptions options;
+  options.max_hops = 0;
+  options.anchor_stride = 1;  // Every junction is an anchor.
+  std::vector<Trajectory> out =
+      PerturbTrajectories(*w.graph, w.trajectories, options, w.rng);
+  ASSERT_EQ(out.size(), w.trajectories.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(out[i].Valid(*w.graph));
+    EXPECT_EQ(out[i].nodes.front(), w.trajectories[i].nodes.front());
+    EXPECT_EQ(out[i].nodes.back(), w.trajectories[i].nodes.back());
+    // Shortest-path reconnection of adjacent anchors returns the same path.
+    EXPECT_EQ(out[i].nodes, w.trajectories[i].nodes);
+  }
+}
+
+TEST(PerturbationTest, OutputAlwaysValidAndTimePreserving) {
+  World w;
+  PerturbationOptions options;
+  options.max_hops = 3;
+  std::vector<Trajectory> out =
+      PerturbTrajectories(*w.graph, w.trajectories, options, w.rng);
+  EXPECT_GT(out.size(), w.trajectories.size() * 9 / 10);
+  // Dropped (collapsed) trips shift indices, so match start times by set
+  // membership instead of position.
+  std::multiset<double> input_starts;
+  for (const Trajectory& t : w.trajectories) {
+    input_starts.insert(t.times.front());
+  }
+  for (const Trajectory& t : out) {
+    EXPECT_TRUE(t.Valid(*w.graph));
+    auto it = input_starts.find(t.times.front());
+    EXPECT_NE(it, input_starts.end()) << "start time not preserved";
+    if (it != input_starts.end()) input_starts.erase(it);
+  }
+}
+
+TEST(PerturbationTest, PerturbationActuallyMovesAnchors) {
+  World w;
+  PerturbationOptions options;
+  options.max_hops = 3;
+  options.alpha = 0.9;  // Heavy perturbation.
+  std::vector<Trajectory> out =
+      PerturbTrajectories(*w.graph, w.trajectories, options, w.rng);
+  size_t moved_endpoints = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i].nodes.back() != w.trajectories[i].nodes.back()) {
+      ++moved_endpoints;
+    }
+  }
+  EXPECT_GT(moved_endpoints, out.size() / 4);
+}
+
+TEST(PerturbationTest, CountAccuracyDegradesGracefullyWithRadius) {
+  World w;
+  // Build reference network with the TRUE trajectories.
+  core::SensorNetwork truth_net(graph::PlanarGraph(*w.graph));
+  truth_net.IngestTrajectories(w.trajectories);
+
+  core::WorkloadOptions wo;
+  wo.area_fraction = 0.15;
+  wo.horizon = 6.0 * 3600.0;
+  util::Rng qrng(9);
+  std::vector<core::RangeQuery> queries =
+      core::GenerateWorkload(truth_net, wo, 10, qrng);
+
+  double previous_error = -1.0;
+  for (int hops : {0, 4}) {
+    PerturbationOptions options;
+    options.max_hops = hops;
+    options.alpha = 0.9;
+    util::Rng prng(77);
+    std::vector<Trajectory> perturbed =
+        PerturbTrajectories(*w.graph, w.trajectories, options, prng);
+    core::SensorNetwork noisy_net(graph::PlanarGraph(*w.graph));
+    noisy_net.IngestTrajectories(perturbed);
+
+    util::Accumulator err;
+    for (const core::RangeQuery& q : queries) {
+      double truth = truth_net.GroundTruthStatic(q.junctions, q.t2);
+      double noisy = noisy_net.GroundTruthStatic(q.junctions, q.t2);
+      err.Add(util::RelativeError(truth, noisy));
+    }
+    double median = err.Summarize().median;
+    if (hops == 0) {
+      // Re-anchored but unperturbed trips keep counts close (route changes
+      // only between anchors).
+      EXPECT_LT(median, 0.25);
+    } else {
+      EXPECT_GE(median, previous_error);
+    }
+    previous_error = median;
+  }
+}
+
+}  // namespace
+}  // namespace innet::mobility

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/planar_graph.h"
+#include "mobility/road_network.h"
+#include "util/rng.h"
+
+namespace innet::graph {
+namespace {
+
+// 2x2 grid of unit squares (9 nodes, 12 edges, 4 interior faces + outer).
+PlanarGraph MakeGrid3x3() {
+  std::vector<geometry::Point> positions;
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      positions.emplace_back(x, y);
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  auto id = [](int x, int y) { return static_cast<NodeId>(y * 3 + x); };
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      if (x + 1 < 3) edges.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < 3) edges.emplace_back(id(x, y), id(x, y + 1));
+    }
+  }
+  return PlanarGraph(std::move(positions), std::move(edges));
+}
+
+TEST(PlanarGraphTest, GridFaceCount) {
+  PlanarGraph g = MakeGrid3x3();
+  EXPECT_EQ(g.NumNodes(), 9u);
+  EXPECT_EQ(g.NumEdges(), 12u);
+  EXPECT_EQ(g.NumFaces(), 5u);  // 4 squares + outer.
+  EXPECT_EQ(g.NumNodes() - g.NumEdges() + g.NumFaces(), 2u);
+}
+
+TEST(PlanarGraphTest, OuterFaceIsUniqueAndNegative) {
+  PlanarGraph g = MakeGrid3x3();
+  size_t negative = 0;
+  for (FaceId f = 0; f < g.NumFaces(); ++f) {
+    if (g.Face(f).signed_area < 0) {
+      ++negative;
+      EXPECT_EQ(f, g.OuterFace());
+      EXPECT_TRUE(g.Face(f).is_outer);
+    } else {
+      EXPECT_FALSE(g.Face(f).is_outer);
+    }
+  }
+  EXPECT_EQ(negative, 1u);
+  EXPECT_DOUBLE_EQ(g.Face(g.OuterFace()).signed_area, -4.0);
+}
+
+TEST(PlanarGraphTest, InteriorFacesAreUnitSquares) {
+  PlanarGraph g = MakeGrid3x3();
+  for (FaceId f = 0; f < g.NumFaces(); ++f) {
+    if (f == g.OuterFace()) continue;
+    EXPECT_NEAR(g.Face(f).signed_area, 1.0, 1e-12);
+    EXPECT_EQ(g.Face(f).boundary_edges.size(), 4u);
+  }
+}
+
+TEST(PlanarGraphTest, EdgeFacesConsistent) {
+  PlanarGraph g = MakeGrid3x3();
+  // Every edge has two distinct incident faces (no bridges in a grid), and
+  // each face's area sums correctly.
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const EdgeRecord& rec = g.Edge(e);
+    EXPECT_NE(rec.left, kInvalidFace);
+    EXPECT_NE(rec.right, kInvalidFace);
+    EXPECT_NE(rec.left, rec.right);
+  }
+  double total = 0.0;
+  for (FaceId f = 0; f < g.NumFaces(); ++f) total += g.Face(f).signed_area;
+  EXPECT_NEAR(total, 0.0, 1e-9);  // Interior areas cancel the outer walk.
+}
+
+TEST(PlanarGraphTest, EdgeBetween) {
+  PlanarGraph g = MakeGrid3x3();
+  EXPECT_NE(g.EdgeBetween(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.EdgeBetween(0, 8), kInvalidEdge);
+  EdgeId e = g.EdgeBetween(4, 5);
+  ASSERT_NE(e, kInvalidEdge);
+  EXPECT_EQ(g.Edge(e).Other(4), 5u);
+  EXPECT_EQ(g.Edge(e).Other(5), 4u);
+}
+
+TEST(PlanarGraphTest, FacesAroundNode) {
+  PlanarGraph g = MakeGrid3x3();
+  // Center node (4) touches all four interior squares.
+  std::vector<FaceId> around = g.FacesAroundNode(4);
+  EXPECT_EQ(around.size(), 4u);
+  std::set<FaceId> unique(around.begin(), around.end());
+  EXPECT_EQ(unique.size(), 4u);
+  EXPECT_EQ(unique.count(g.OuterFace()), 0u);
+  // Corner node (0) touches one square and the outer face twice is not
+  // possible: degree 2 -> two incident faces.
+  std::vector<FaceId> corner = g.FacesAroundNode(0);
+  EXPECT_EQ(corner.size(), 2u);
+  EXPECT_TRUE(corner[0] == g.OuterFace() || corner[1] == g.OuterFace());
+}
+
+TEST(PlanarGraphTest, TriangleWithDangling) {
+  // A triangle with a dangling edge (bridge): still one face + outer.
+  std::vector<geometry::Point> positions = {
+      {0, 0}, {2, 0}, {1, 2}, {3, 2}};
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 2}, {2, 0}, {1, 3}};
+  PlanarGraph g(std::move(positions), std::move(edges));
+  EXPECT_EQ(g.NumFaces(), 2u);  // V-E+F = 4-4+2 = 2.
+  // The bridge edge has the same face on both sides.
+  EdgeId bridge = g.EdgeBetween(1, 3);
+  EXPECT_EQ(g.Edge(bridge).left, g.Edge(bridge).right);
+}
+
+TEST(PlanarGraphTest, HalfEdgeEndpoints) {
+  PlanarGraph g = MakeGrid3x3();
+  EdgeId e = g.EdgeBetween(0, 1);
+  uint32_t h = e << 1;
+  EXPECT_EQ(g.HalfEdgeSource(h), g.Edge(e).u);
+  EXPECT_EQ(g.HalfEdgeTarget(h), g.Edge(e).v);
+  EXPECT_EQ(g.HalfEdgeSource(h | 1), g.Edge(e).v);
+  EXPECT_EQ(g.HalfEdgeTarget(h | 1), g.Edge(e).u);
+  // The two half-edges see the two sides.
+  EXPECT_EQ(g.FaceOfHalfEdge(h), g.Edge(e).left);
+  EXPECT_EQ(g.FaceOfHalfEdge(h | 1), g.Edge(e).right);
+}
+
+// Property sweep over generated road networks: Euler's formula, unique outer
+// face, boundary-walk closure.
+class PlanarGraphProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanarGraphProperty, GeneratedNetworksAreConsistent) {
+  util::Rng rng(GetParam());
+  mobility::RoadNetworkOptions options;
+  options.num_junctions = 150;
+  PlanarGraph g = mobility::GenerateRoadNetwork(options, rng);
+  EXPECT_EQ(g.NumNodes() - g.NumEdges() + g.NumFaces(), 2u);
+  size_t negative = 0;
+  double total = 0.0;
+  for (FaceId f = 0; f < g.NumFaces(); ++f) {
+    if (g.Face(f).signed_area < 0) ++negative;
+    total += g.Face(f).signed_area;
+    // Boundary arrays are parallel and closed.
+    EXPECT_EQ(g.Face(f).boundary_nodes.size(),
+              g.Face(f).boundary_edges.size());
+  }
+  EXPECT_EQ(negative, 1u);
+  EXPECT_NEAR(total, 0.0, 1e-6);
+  // Every half-edge belongs to exactly one face: edge face ids valid.
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_NE(g.Edge(e).left, kInvalidFace);
+    EXPECT_NE(g.Edge(e).right, kInvalidFace);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanarGraphProperty,
+                         ::testing::Values(101, 202, 303, 404));
+
+// Algebraic-topology sanity: every half-edge belongs to exactly one face
+// walk, so for ANY antisymmetric 1-form (ξ(-e) = -ξ(e)) the total
+// circulation over all face boundaries vanishes — each edge contributes +ξ
+// to one face and -ξ to the other (Stokes on a closed surface).
+TEST_P(PlanarGraphProperty, FaceCirculationsSumToZero) {
+  util::Rng rng(GetParam() + 5000);
+  mobility::RoadNetworkOptions options;
+  options.num_junctions = 120;
+  PlanarGraph g = mobility::GenerateRoadNetwork(options, rng);
+
+  std::vector<double> form(g.NumEdges());
+  for (double& x : form) x = rng.Uniform(-10.0, 10.0);
+
+  double total = 0.0;
+  size_t half_edges_walked = 0;
+  for (FaceId f = 0; f < g.NumFaces(); ++f) {
+    const FaceRecord& face = g.Face(f);
+    double circulation = 0.0;
+    for (size_t i = 0; i < face.boundary_edges.size(); ++i) {
+      EdgeId e = face.boundary_edges[i];
+      // Orientation within the walk: source of this step.
+      bool forward = g.Edge(e).u == face.boundary_nodes[i];
+      circulation += forward ? form[e] : -form[e];
+      ++half_edges_walked;
+    }
+    total += circulation;
+  }
+  EXPECT_NEAR(total, 0.0, 1e-6);
+  EXPECT_EQ(half_edges_walked, 2 * g.NumEdges());
+}
+
+}  // namespace
+}  // namespace innet::graph

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/planarize.h"
+#include "io/serialize.h"
+#include "mobility/road_network.h"
+#include "util/rng.h"
+
+namespace innet::graph {
+namespace {
+
+using geometry::Point;
+
+TEST(PlanarizeTest, SimpleCrossBecomesFiveNodes) {
+  // Two diagonals of a square crossing in the middle, plus the square's
+  // sides for connectivity.
+  std::vector<Point> positions = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0},  // Square.
+      {0, 2}, {1, 3},                  // Crossing diagonals (flyover).
+  };
+  auto result = Planarize(std::move(positions), std::move(edges));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->inserted_nodes, 1u);
+  EXPECT_EQ(result->split_edges, 2u);
+  EXPECT_EQ(result->graph.NumNodes(), 5u);
+  EXPECT_EQ(result->graph.NumEdges(), 8u);  // 4 sides + 4 half diagonals.
+  // The new node sits at the center.
+  EXPECT_NEAR(result->graph.Position(4).x, 1.0, 1e-9);
+  EXPECT_NEAR(result->graph.Position(4).y, 1.0, 1e-9);
+  // Euler holds (checked internally, but assert the face count: 4 triangles
+  // + outer).
+  EXPECT_EQ(result->graph.NumFaces(), 5u);
+}
+
+TEST(PlanarizeTest, AlreadyPlanarPassesThrough) {
+  util::Rng rng(3);
+  mobility::RoadNetworkOptions options;
+  options.num_junctions = 120;
+  PlanarGraph g = mobility::GenerateRoadNetwork(options, rng);
+  std::vector<Point> positions(g.positions());
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    edges.emplace_back(g.Edge(e).u, g.Edge(e).v);
+  }
+  auto result = Planarize(std::move(positions), std::move(edges));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->inserted_nodes, 0u);
+  EXPECT_EQ(result->graph.NumNodes(), g.NumNodes());
+  EXPECT_EQ(result->graph.NumEdges(), g.NumEdges());
+}
+
+TEST(PlanarizeTest, MultiWayCrossingSharedNode) {
+  // Three concurrent segments through the origin: one crossing node only.
+  std::vector<Point> positions = {{-2, 0},      {2, 0},  {0, -2}, {0, 2},
+                                  {-1.5, -1.7}, {1.5, 1.7}};
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {2, 3}, {4, 5},
+      // Connect endpoints so the result is connected.
+      {0, 2}, {2, 1}, {1, 3}, {3, 0}, {4, 0}, {5, 1}};
+  auto result = Planarize(std::move(positions), std::move(edges));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The three main segments pairwise cross near the origin. They are not
+  // exactly concurrent (the diagonal passes through (0,0) too), so at least
+  // one and at most three crossing nodes appear there, plus crossings of
+  // the diagonal with the frame edges are absent by construction.
+  EXPECT_GE(result->inserted_nodes, 1u);
+  EXPECT_LE(result->inserted_nodes, 3u);
+}
+
+TEST(PlanarizeTest, TJunctionReusesEndpoint) {
+  // Edge (2,3) ends exactly on edge (0,1)'s interior.
+  std::vector<Point> positions = {{0, 0}, {4, 0}, {2, 0}, {2, 3}};
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {2, 3}, {3, 0}};  // Third edge for connectivity.
+  auto result = Planarize(std::move(positions), std::move(edges));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->inserted_nodes, 0u);  // Reuses node 2.
+  EXPECT_EQ(result->graph.NumNodes(), 4u);
+  // Edge (0,1) split into (0,2) and (2,1).
+  EXPECT_NE(result->graph.EdgeBetween(0, 2), kInvalidEdge);
+  EXPECT_NE(result->graph.EdgeBetween(2, 1), kInvalidEdge);
+  EXPECT_EQ(result->graph.EdgeBetween(0, 1), kInvalidEdge);
+}
+
+TEST(PlanarizeTest, CollinearOverlapMergesIntoPath) {
+  // Segment (2,3) lies inside segment (0,1) on the x axis: the overlap
+  // merges into the path 0-2-3-1 (unsplit OSM ways overlapping a detailed
+  // segment).
+  auto result = Planarize({{0, 0}, {4, 0}, {1, 0}, {3, 0}},
+                          {{0, 1}, {2, 3}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->inserted_nodes, 0u);
+  EXPECT_EQ(result->graph.NumEdges(), 3u);
+  EXPECT_NE(result->graph.EdgeBetween(0, 2), kInvalidEdge);
+  EXPECT_NE(result->graph.EdgeBetween(2, 3), kInvalidEdge);
+  EXPECT_NE(result->graph.EdgeBetween(3, 1), kInvalidEdge);
+}
+
+TEST(PlanarizeTest, RejectsBadInput) {
+  EXPECT_FALSE(Planarize({{0, 0}, {1, 1}}, {{0, 0}}).ok());  // Self loop.
+  EXPECT_FALSE(Planarize({{0, 0}, {1, 1}}, {{0, 2}}).ok());  // Bad id.
+  EXPECT_FALSE(
+      Planarize({{0, 0}, {1, 1}}, {{0, 1}, {1, 0}}).ok());  // Duplicate.
+  EXPECT_FALSE(Planarize({{0, 0}, {0, 0}, {1, 1}},
+                         {{0, 2}, {1, 2}})
+                   .ok());  // Duplicate position.
+  // Disconnected.
+  EXPECT_FALSE(Planarize({{0, 0}, {1, 0}, {5, 5}, {6, 5}},
+                         {{0, 1}, {2, 3}})
+                   .ok());
+}
+
+TEST(CsvImportTest, RoundTripWithCrossings) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "innet_roads.csv").string();
+  {
+    std::ofstream out(path);
+    out << "# tiny city with a flyover\n";
+    out << "node,0,0,0\nnode,1,2,0\nnode,2,2,2\nnode,3,0,2\n";
+    out << "edge,0,1\nedge,1,2\nedge,2,3\nedge,3,0\n";
+    out << "edge,0,2\nedge,1,3\n";
+  }
+  auto imported = io::ImportRoadNetworkCsv(path);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(imported->inserted_crossings, 1u);
+  EXPECT_EQ(imported->graph.NumNodes(), 5u);
+
+  // Export and re-import: stable.
+  std::string path2 =
+      (std::filesystem::temp_directory_path() / "innet_roads2.csv").string();
+  ASSERT_TRUE(io::ExportRoadNetworkCsv(imported->graph, path2).ok());
+  auto again = io::ImportRoadNetworkCsv(path2);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->inserted_crossings, 0u);  // Already planar.
+  EXPECT_EQ(again->graph.NumNodes(), imported->graph.NumNodes());
+  EXPECT_EQ(again->graph.NumEdges(), imported->graph.NumEdges());
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(CsvImportTest, RejectsMalformedFiles) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "innet_bad.csv").string();
+  auto write_and_check = [&](const std::string& content) {
+    {
+      std::ofstream out(path);
+      out << content;
+    }
+    auto imported = io::ImportRoadNetworkCsv(path);
+    EXPECT_FALSE(imported.ok()) << content;
+  };
+  write_and_check("garbage,1,2\n");
+  write_and_check("node,0,0\n");                   // Missing y.
+  write_and_check("node,0,0,0\nnode,0,1,1\n");     // Repeated id.
+  write_and_check("node,0,0,0\nnode,2,1,1\n");     // Sparse ids.
+  write_and_check("node,0,0,0\nnode,1,1,1\nedge,0,5\n");  // Bad endpoint.
+  write_and_check("node,0,0,0\nnode,1,1,1\nedge,0,x\n");  // Bad number.
+  std::remove(path.c_str());
+  EXPECT_FALSE(io::ImportRoadNetworkCsv("/nope/missing.csv").ok());
+}
+
+}  // namespace
+}  // namespace innet::graph

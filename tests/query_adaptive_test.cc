@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/dual_graph.h"
+#include "mobility/road_network.h"
+#include "placement/query_adaptive.h"
+#include "util/rng.h"
+
+namespace innet::placement {
+namespace {
+
+struct World {
+  explicit World(uint64_t seed) {
+    util::Rng rng(seed);
+    mobility::RoadNetworkOptions options;
+    options.num_junctions = 200;
+    primal = std::make_unique<graph::PlanarGraph>(
+        mobility::GenerateRoadNetwork(options, rng));
+    dual = std::make_unique<graph::DualGraph>(*primal);
+  }
+
+  // A connected ball of junctions around a center (BFS by hops).
+  std::vector<graph::NodeId> Ball(graph::NodeId center, int hops) const {
+    std::vector<graph::NodeId> out = {center};
+    std::set<graph::NodeId> seen = {center};
+    std::vector<graph::NodeId> frontier = {center};
+    for (int h = 0; h < hops; ++h) {
+      std::vector<graph::NodeId> next;
+      for (graph::NodeId u : frontier) {
+        for (const graph::Neighbor& nb : primal->NeighborsOf(u)) {
+          if (seen.insert(nb.node).second) {
+            next.push_back(nb.node);
+            out.push_back(nb.node);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    return out;
+  }
+
+  std::unique_ptr<graph::PlanarGraph> primal;
+  std::unique_ptr<graph::DualGraph> dual;
+};
+
+TEST(AtomPartitionTest, DisjointAndSignatureConsistent) {
+  World w(1);
+  std::vector<QueryRegionHistory> history = {
+      {w.Ball(10, 3)}, {w.Ball(15, 3)}, {w.Ball(120, 2)}};
+  std::vector<Atom> atoms = PartitionIntoAtoms(*w.primal, history);
+  ASSERT_FALSE(atoms.empty());
+
+  // Atoms are disjoint and cover exactly the union of the query regions.
+  std::set<graph::NodeId> covered;
+  for (const Atom& atom : atoms) {
+    for (graph::NodeId n : atom.junctions) {
+      EXPECT_TRUE(covered.insert(n).second) << "node in two atoms";
+    }
+  }
+  std::set<graph::NodeId> region_union;
+  for (const auto& q : history) {
+    region_union.insert(q.junctions.begin(), q.junctions.end());
+  }
+  EXPECT_EQ(covered, region_union);
+
+  // Every atom's junctions share its signature: contained in each covering
+  // query, and boundary edges leave the atom.
+  for (const Atom& atom : atoms) {
+    std::set<graph::NodeId> members(atom.junctions.begin(),
+                                    atom.junctions.end());
+    for (uint32_t q : atom.queries) {
+      std::set<graph::NodeId> qset(history[q].junctions.begin(),
+                                   history[q].junctions.end());
+      for (graph::NodeId n : atom.junctions) {
+        EXPECT_EQ(qset.count(n), 1u);
+      }
+    }
+    for (graph::EdgeId e : atom.boundary_edges) {
+      const graph::EdgeRecord& rec = w.primal->Edge(e);
+      EXPECT_NE(members.count(rec.u) > 0, members.count(rec.v) > 0);
+    }
+  }
+}
+
+TEST(AtomPartitionTest, OverlapCreatesThreeAtomKinds) {
+  // Two overlapping balls (Fig. 5): expect atoms labeled {0}, {1}, {0,1}.
+  World w(2);
+  // Find a pair of centers whose 3-balls overlap partially.
+  std::vector<graph::NodeId> a = w.Ball(50, 3);
+  graph::NodeId other = a[a.size() / 2];
+  std::vector<QueryRegionHistory> history = {{a}, {w.Ball(other, 3)}};
+  std::vector<Atom> atoms = PartitionIntoAtoms(*w.primal, history);
+  std::set<std::vector<uint32_t>> signatures;
+  for (const Atom& atom : atoms) signatures.insert(atom.queries);
+  EXPECT_TRUE(signatures.count({0}) > 0);
+  EXPECT_TRUE(signatures.count({1}) > 0);
+  EXPECT_TRUE(signatures.count({0, 1}) > 0);
+}
+
+TEST(AtomPartitionTest, UtilityMatchesEquationSix) {
+  World w(3);
+  std::vector<graph::NodeId> region = w.Ball(30, 2);
+  std::vector<QueryRegionHistory> history = {{region}};
+  std::vector<Atom> atoms = PartitionIntoAtoms(*w.primal, history);
+  ASSERT_EQ(atoms.size(), 1u);  // Single region, one signature, connected.
+  EXPECT_DOUBLE_EQ(atoms[0].utility, 1.0);  // ω(σ)/ω(Q) = 1.
+  EXPECT_EQ(atoms[0].junctions.size(), region.size());
+}
+
+TEST(SelectAtomsTest, RespectsSensorBudget) {
+  World w(4);
+  std::vector<QueryRegionHistory> history;
+  util::Rng rng(5);
+  for (int i = 0; i < 8; ++i) {
+    history.push_back(
+        {w.Ball(static_cast<graph::NodeId>(rng.UniformIndex(
+                    w.primal->NumNodes())),
+                2)});
+  }
+  std::vector<Atom> atoms = PartitionIntoAtoms(*w.primal, history);
+  for (size_t budget : {size_t{5}, size_t{20}, size_t{60}}) {
+    AdaptivePlacement placement = SelectAtoms(*w.dual, atoms, budget);
+    EXPECT_LE(placement.sensor_nodes.size(), budget);
+    // Monitored edges are exactly the union of selected atom boundaries.
+    std::set<graph::EdgeId> expected;
+    for (size_t idx : placement.selected_atoms) {
+      expected.insert(atoms[idx].boundary_edges.begin(),
+                      atoms[idx].boundary_edges.end());
+    }
+    std::set<graph::EdgeId> got(placement.monitored_edges.begin(),
+                                placement.monitored_edges.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(SelectAtomsTest, LargerBudgetNeverWorse) {
+  World w(6);
+  std::vector<QueryRegionHistory> history;
+  util::Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    history.push_back(
+        {w.Ball(static_cast<graph::NodeId>(rng.UniformIndex(
+                    w.primal->NumNodes())),
+                2)});
+  }
+  std::vector<Atom> atoms = PartitionIntoAtoms(*w.primal, history);
+  double prev_utility = -1.0;
+  for (size_t budget : {size_t{10}, size_t{30}, size_t{80}, size_t{200}}) {
+    AdaptivePlacement placement = SelectAtoms(*w.dual, atoms, budget);
+    EXPECT_GE(placement.utility, prev_utility);
+    prev_utility = placement.utility;
+  }
+}
+
+TEST(SelectAtomsTest, ZeroBudgetSelectsNothing) {
+  World w(8);
+  std::vector<QueryRegionHistory> history = {{w.Ball(20, 2)}};
+  std::vector<Atom> atoms = PartitionIntoAtoms(*w.primal, history);
+  AdaptivePlacement placement = SelectAtoms(*w.dual, atoms, 0);
+  EXPECT_TRUE(placement.selected_atoms.empty());
+  EXPECT_TRUE(placement.monitored_edges.empty());
+}
+
+}  // namespace
+}  // namespace innet::placement

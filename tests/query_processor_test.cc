@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/workload.h"
+#include "mobility/trajectory.h"
+#include "sampling/samplers.h"
+#include "util/stats.h"
+
+namespace innet::core {
+namespace {
+
+FrameworkOptions SmallOptions(uint64_t seed) {
+  FrameworkOptions options;
+  options.road.num_junctions = 250;
+  options.traffic.num_trajectories = 400;
+  options.seed = seed;
+  return options;
+}
+
+class QueryProcessorFixture : public ::testing::Test {
+ protected:
+  QueryProcessorFixture() : framework_(SmallOptions(3)) {
+    WorkloadOptions wo;
+    wo.area_fraction = 0.06;
+    wo.horizon = framework_.Horizon();
+    util::Rng rng = framework_.ForkRng();
+    queries_ = GenerateWorkload(framework_.network(), wo, 25, rng);
+  }
+  Framework framework_;
+  std::vector<RangeQuery> queries_;
+};
+
+TEST_F(QueryProcessorFixture, UnsampledMatchesGroundTruthAndOracle) {
+  const SensorNetwork& net = framework_.network();
+  UnsampledQueryProcessor processor(net);
+  mobility::OccupancyOracle oracle(net.mobility(), framework_.trajectories(),
+                                   &net.gateway_mask());
+  ASSERT_FALSE(queries_.empty());
+  for (const RangeQuery& q : queries_) {
+    QueryAnswer st = processor.Answer(q, CountKind::kStatic);
+    double truth = net.GroundTruthStatic(q.junctions, q.t2);
+    EXPECT_DOUBLE_EQ(st.estimate, truth);
+    // And both equal the per-object oracle.
+    std::vector<bool> mask = net.JunctionMask(q.junctions);
+    EXPECT_DOUBLE_EQ(truth,
+                     static_cast<double>(oracle.OccupancyAt(mask, q.t2)));
+
+    QueryAnswer tr = processor.Answer(q, CountKind::kTransient);
+    EXPECT_DOUBLE_EQ(tr.estimate,
+                     static_cast<double>(oracle.NetChange(mask, q.t1, q.t2)));
+    EXPECT_FALSE(st.missed);
+    EXPECT_GT(st.nodes_accessed, 0u);
+    EXPECT_GT(st.edges_accessed, 0u);
+  }
+}
+
+TEST_F(QueryProcessorFixture, FullyMonitoredSampledGraphIsExact) {
+  // Monitoring every edge makes the sampled processor exact: each junction
+  // is its own face, so lower and upper regions coincide with Q_R.
+  const SensorNetwork& net = framework_.network();
+  std::vector<graph::EdgeId> all;
+  for (graph::EdgeId e = 0; e < net.mobility().NumEdges(); ++e) {
+    all.push_back(e);
+  }
+  SampledGraph graph = SampledGraph::FromMonitoredEdges(net, all, {});
+  Deployment dep(net, std::move(graph), DeploymentOptions{},
+                 framework_.Horizon());
+  SampledQueryProcessor processor = dep.processor();
+  for (const RangeQuery& q : queries_) {
+    double truth = net.GroundTruthStatic(q.junctions, q.t2);
+    QueryAnswer lower = processor.Answer(q, CountKind::kStatic,
+                                         BoundMode::kLower);
+    QueryAnswer upper = processor.Answer(q, CountKind::kStatic,
+                                         BoundMode::kUpper);
+    EXPECT_DOUBLE_EQ(lower.estimate, truth);
+    EXPECT_DOUBLE_EQ(upper.estimate, truth);
+  }
+}
+
+TEST_F(QueryProcessorFixture, BoundsBracketTruthForStaticCounts) {
+  const SensorNetwork& net = framework_.network();
+  sampling::QuadTreeSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  Deployment dep = framework_.DeployWithSampler(
+      sampler, net.NumSensors() / 4, DeploymentOptions{}, rng);
+  SampledQueryProcessor processor = dep.processor();
+  for (const RangeQuery& q : queries_) {
+    double truth = net.GroundTruthStatic(q.junctions, q.t2);
+    QueryAnswer lower =
+        processor.Answer(q, CountKind::kStatic, BoundMode::kLower);
+    QueryAnswer upper =
+        processor.Answer(q, CountKind::kStatic, BoundMode::kUpper);
+    EXPECT_LE(lower.estimate, truth + 1e-9);
+    EXPECT_GE(upper.estimate, truth - 1e-9);
+    EXPECT_FALSE(upper.missed);  // Upper bound always finds a face.
+  }
+}
+
+TEST_F(QueryProcessorFixture, MissReportsZeroEstimate) {
+  // A tiny sensor budget produces giant faces; small queries then miss.
+  sampling::UniformSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  Deployment dep =
+      framework_.DeployWithSampler(sampler, 2, DeploymentOptions{}, rng);
+  SampledQueryProcessor processor = dep.processor();
+  size_t missed = 0;
+  for (const RangeQuery& q : queries_) {
+    QueryAnswer lower =
+        processor.Answer(q, CountKind::kStatic, BoundMode::kLower);
+    if (lower.missed) {
+      ++missed;
+      EXPECT_DOUBLE_EQ(lower.estimate, 0.0);
+      EXPECT_EQ(lower.nodes_accessed, 0u);
+    }
+  }
+  EXPECT_GT(missed, queries_.size() / 2);
+}
+
+TEST_F(QueryProcessorFixture, SampledAccessesFewerNodesThanUnsampled) {
+  const SensorNetwork& net = framework_.network();
+  UnsampledQueryProcessor unsampled(net);
+  sampling::KdTreeSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  Deployment dep = framework_.DeployWithSampler(
+      sampler, net.NumSensors() / 6, DeploymentOptions{}, rng);
+  SampledQueryProcessor processor = dep.processor();
+  size_t total_sampled = 0;
+  size_t total_unsampled = 0;
+  for (const RangeQuery& q : queries_) {
+    total_sampled +=
+        processor.Answer(q, CountKind::kStatic, BoundMode::kLower)
+            .nodes_accessed;
+    total_unsampled +=
+        unsampled.Answer(q, CountKind::kStatic).nodes_accessed;
+  }
+  EXPECT_LT(total_sampled, total_unsampled);
+}
+
+TEST_F(QueryProcessorFixture, LearnedStoreApproximatesExactStore) {
+  const SensorNetwork& net = framework_.network();
+  sampling::KdTreeSampler sampler;
+  util::Rng rng1 = framework_.ForkRng();
+  std::vector<graph::NodeId> sensors =
+      sampler.Select(net.sensing(), net.NumSensors() / 4, rng1);
+
+  DeploymentOptions exact_options;
+  Deployment exact = framework_.DeployFromSensors(sensors, exact_options);
+
+  DeploymentOptions learned_options;
+  learned_options.store = StoreKind::kLearned;
+  learned_options.model_type = learned::ModelType::kPiecewiseLinear;
+  learned_options.pla_epsilon = 2.0;
+  learned_options.buffer_capacity = 16;
+  Deployment learned = framework_.DeployFromSensors(sensors, learned_options);
+
+  // Same graph structure, smaller storage, close answers.
+  EXPECT_EQ(exact.graph().monitored_edges().size(),
+            learned.graph().monitored_edges().size());
+  SampledQueryProcessor pe = exact.processor();
+  SampledQueryProcessor pl = learned.processor();
+  for (const RangeQuery& q : queries_) {
+    QueryAnswer a = pe.Answer(q, CountKind::kStatic, BoundMode::kLower);
+    QueryAnswer b = pl.Answer(q, CountKind::kStatic, BoundMode::kLower);
+    EXPECT_EQ(a.missed, b.missed);
+    if (!a.missed) {
+      // Per-edge error is bounded by epsilon; boundary sizes are modest.
+      double slack =
+          2.0 * learned_options.pla_epsilon *
+              static_cast<double>(a.edges_accessed) +
+          1e-6;
+      EXPECT_NEAR(b.estimate, a.estimate, slack);
+    }
+  }
+}
+
+TEST_F(QueryProcessorFixture, TimeSeriesMatchesPointQueries) {
+  const SensorNetwork& net = framework_.network();
+  sampling::KdTreeSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  Deployment dep = framework_.DeployWithSampler(
+      sampler, net.NumSensors() / 4, DeploymentOptions{}, rng);
+  SampledQueryProcessor processor = dep.processor();
+  for (const RangeQuery& q : queries_) {
+    constexpr size_t kSteps = 7;
+    std::vector<double> series =
+        processor.AnswerSeries(q, BoundMode::kLower, kSteps);
+    QueryAnswer at_t2 = processor.Answer(q, CountKind::kStatic,
+                                         BoundMode::kLower);
+    if (at_t2.missed) {
+      EXPECT_TRUE(series.empty());
+      continue;
+    }
+    ASSERT_EQ(series.size(), kSteps);
+    // The last instant is exactly the static answer at t2; intermediate
+    // instants match individual static queries at the same times.
+    EXPECT_DOUBLE_EQ(series.back(), at_t2.estimate);
+    for (size_t i = 0; i < kSteps; ++i) {
+      RangeQuery probe = q;
+      probe.t2 = q.t1 + (q.t2 - q.t1) * static_cast<double>(i) /
+                            static_cast<double>(kSteps - 1);
+      EXPECT_DOUBLE_EQ(series[i],
+                       processor
+                           .Answer(probe, CountKind::kStatic,
+                                   BoundMode::kLower)
+                           .estimate)
+          << "step " << i;
+    }
+  }
+}
+
+TEST_F(QueryProcessorFixture, AdaptiveDeploymentAnswersHistoricalQueries) {
+  const SensorNetwork& net = framework_.network();
+  // Use half the workload as history, deploy adaptively, and check that
+  // historical query regions are answered exactly (their atoms' boundaries
+  // are monitored when the budget allows).
+  std::vector<RangeQuery> history(queries_.begin(),
+                                  queries_.begin() + queries_.size() / 2);
+  Deployment dep =
+      framework_.DeployAdaptive(history, net.NumSensors(), DeploymentOptions{});
+  SampledQueryProcessor processor = dep.processor();
+  for (const RangeQuery& q : history) {
+    double truth = net.GroundTruthStatic(q.junctions, q.t2);
+    QueryAnswer lower =
+        processor.Answer(q, CountKind::kStatic, BoundMode::kLower);
+    EXPECT_LE(lower.estimate, truth + 1e-9);
+    // With an unconstrained budget every atom is selected, so historical
+    // regions are exactly representable.
+    EXPECT_DOUBLE_EQ(lower.estimate, truth);
+  }
+}
+
+}  // namespace
+}  // namespace innet::core

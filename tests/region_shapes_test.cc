@@ -1,0 +1,185 @@
+// Arbitrary-shape query regions (§4.6) and query-adaptive sampling weights
+// (§4.3, last paragraph).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/adaptive_weights.h"
+#include "core/framework.h"
+#include "core/workload.h"
+#include "geometry/polygon.h"
+#include "sampling/samplers.h"
+
+namespace innet::core {
+namespace {
+
+FrameworkOptions SmallOptions(uint64_t seed) {
+  FrameworkOptions options;
+  options.road.num_junctions = 300;
+  options.traffic.num_trajectories = 400;
+  options.seed = seed;
+  return options;
+}
+
+TEST(PolygonRegionTest, PolygonContainsRectBasics) {
+  geometry::Polygon triangle({{0, 0}, {10, 0}, {0, 10}});
+  EXPECT_TRUE(geometry::PolygonContainsRect(triangle,
+                                            geometry::Rect(1, 1, 3, 3)));
+  EXPECT_FALSE(geometry::PolygonContainsRect(triangle,
+                                             geometry::Rect(6, 6, 8, 8)));
+  // Straddling the hypotenuse: corners 3/4 inside.
+  EXPECT_FALSE(geometry::PolygonContainsRect(triangle,
+                                             geometry::Rect(3, 3, 8, 8)));
+}
+
+TEST(PolygonRegionTest, ConcaveNotchDetected) {
+  // U-shape: rect spanning the notch has all corners inside but a polygon
+  // edge crossing it.
+  geometry::Polygon u_shape({{0, 0},
+                             {10, 0},
+                             {10, 10},
+                             {7, 10},
+                             {7, 3},
+                             {3, 3},
+                             {3, 10},
+                             {0, 10}});
+  EXPECT_TRUE(geometry::PolygonContainsRect(u_shape,
+                                            geometry::Rect(1, 1, 9, 2)));
+  // Below the notch floor (y = 3) the bar still fits...
+  EXPECT_TRUE(geometry::PolygonContainsRect(
+      u_shape, geometry::Rect(1, 1, 9, 2.9)));
+  // ...but crossing it puts the notch inside the rect: all four corners in
+  // the arms, yet not contained.
+  EXPECT_FALSE(geometry::PolygonContainsRect(u_shape,
+                                             geometry::Rect(1, 1, 9, 3.5)));
+  EXPECT_FALSE(geometry::PolygonContainsRect(u_shape,
+                                             geometry::Rect(2, 1, 8, 5)));
+}
+
+TEST(PolygonRegionTest, EllipseApproximation) {
+  geometry::Polygon ellipse =
+      geometry::ApproximateEllipse({5, 5}, 3.0, 2.0, 32);
+  EXPECT_EQ(ellipse.size(), 32u);
+  EXPECT_TRUE(ellipse.IsCounterClockwise());
+  EXPECT_NEAR(ellipse.Area(), 3.14159265 * 3.0 * 2.0, 0.3);
+  EXPECT_TRUE(ellipse.Contains({5, 5}));
+  EXPECT_FALSE(ellipse.Contains({8.5, 5}));
+}
+
+TEST(PolygonRegionTest, EllipticalQueryMatchesRectSemantics) {
+  Framework framework(SmallOptions(4));
+  const SensorNetwork& network = framework.network();
+  const geometry::Rect& world = network.DomainBounds();
+  geometry::Point center = world.Center();
+  double r = 0.25 * world.Width();
+
+  // The circle inscribed in a square: circle junctions are a subset of the
+  // square's junctions.
+  geometry::Polygon circle = geometry::ApproximateEllipse(center, r, r, 48);
+  geometry::Rect square(center.x - r, center.y - r, center.x + r,
+                        center.y + r);
+  std::vector<graph::NodeId> in_circle = network.JunctionsInPolygon(circle);
+  std::vector<graph::NodeId> in_square = network.JunctionsInRect(square);
+  ASSERT_FALSE(in_circle.empty());
+  std::set<graph::NodeId> square_set(in_square.begin(), in_square.end());
+  for (graph::NodeId n : in_circle) {
+    EXPECT_EQ(square_set.count(n), 1u);
+    EXPECT_TRUE(circle.Contains(network.mobility().Position(n)));
+  }
+  EXPECT_LT(in_circle.size(), in_square.size());
+}
+
+TEST(PolygonRegionTest, PolygonRegionQueriesAreExactOnUnsampledGraph) {
+  Framework framework(SmallOptions(5));
+  const SensorNetwork& network = framework.network();
+  const geometry::Rect& world = network.DomainBounds();
+  geometry::Polygon region = geometry::ApproximateEllipse(
+      world.Center(), 0.3 * world.Width(), 0.2 * world.Height(), 40);
+
+  RangeQuery query;
+  query.rect = region.Bounds();
+  query.junctions = network.JunctionsInPolygon(region);
+  ASSERT_FALSE(query.junctions.empty());
+  query.t1 = 0.25 * framework.Horizon();
+  query.t2 = 0.75 * framework.Horizon();
+
+  UnsampledQueryProcessor processor(network);
+  mobility::OccupancyOracle oracle(network.mobility(),
+                                   framework.trajectories(),
+                                   &network.gateway_mask());
+  QueryAnswer answer = processor.Answer(query, CountKind::kStatic);
+  std::vector<bool> mask = network.JunctionMask(query.junctions);
+  EXPECT_DOUBLE_EQ(answer.estimate,
+                   static_cast<double>(oracle.OccupancyAt(mask, query.t2)));
+}
+
+TEST(AdaptiveWeightsTest, HotRegionsGetHigherWeights) {
+  Framework framework(SmallOptions(6));
+  const SensorNetwork& network = framework.network();
+  // History: repeated queries in one corner of the domain.
+  const geometry::Rect& world = network.DomainBounds();
+  geometry::Rect hot(world.min_x + 0.1 * world.Width(),
+                     world.min_y + 0.1 * world.Height(),
+                     world.min_x + 0.45 * world.Width(),
+                     world.min_y + 0.45 * world.Height());
+  RangeQuery hot_query;
+  hot_query.rect = hot;
+  hot_query.junctions = network.JunctionsInRect(hot);
+  ASSERT_FALSE(hot_query.junctions.empty());
+  std::vector<RangeQuery> history(10, hot_query);
+
+  std::vector<double> weights = QueryFrequencyWeights(network, history, 1.0);
+  EXPECT_EQ(weights[network.sensing().ExtNode()], 0.0);
+
+  // Sensors whose face touches the hot junctions got +10; others stay at 1.
+  double hot_weight_total = 0.0;
+  size_t hot_sensors = 0;
+  for (graph::NodeId j : hot_query.junctions) {
+    for (graph::FaceId f : network.mobility().FacesAroundNode(j)) {
+      hot_weight_total += weights[f];
+      ++hot_sensors;
+    }
+  }
+  EXPECT_GT(hot_weight_total / static_cast<double>(hot_sensors), 10.0);
+}
+
+TEST(AdaptiveWeightsTest, WeightedSamplersConcentrateOnHotRegion) {
+  Framework framework(SmallOptions(7));
+  const SensorNetwork& network = framework.network();
+  const geometry::Rect& world = network.DomainBounds();
+  geometry::Rect hot(world.min_x, world.min_y,
+                     world.min_x + 0.4 * world.Width(),
+                     world.min_y + 0.4 * world.Height());
+  RangeQuery hot_query;
+  hot_query.rect = hot;
+  hot_query.junctions = network.JunctionsInRect(hot);
+  std::vector<RangeQuery> history(20, hot_query);
+  std::vector<double> weights = QueryFrequencyWeights(network, history, 0.05);
+
+  auto hot_fraction = [&](sampling::SensorSampler& sampler) {
+    util::Rng rng(11);
+    std::vector<graph::NodeId> selected =
+        sampler.Select(network.sensing(), 60, rng);
+    size_t in_hot = 0;
+    for (graph::NodeId s : selected) {
+      if (hot.Contains(network.sensing().Position(s))) ++in_hot;
+    }
+    return static_cast<double>(in_hot) /
+           static_cast<double>(selected.size());
+  };
+
+  sampling::UniformSampler plain;
+  sampling::UniformSampler adaptive;
+  adaptive.SetWeights(weights);
+  EXPECT_GT(hot_fraction(adaptive), hot_fraction(plain) + 0.15);
+
+  sampling::KdTreeSampler kd_plain;
+  sampling::KdTreeSampler kd_adaptive;
+  kd_adaptive.SetWeights(weights);
+  // Cell-based samplers keep one pick per cell, so the shift is bounded but
+  // must not hurt: within-cell picks lean toward the hot side.
+  EXPECT_GE(hot_fraction(kd_adaptive) + 0.05, hot_fraction(kd_plain));
+}
+
+}  // namespace
+}  // namespace innet::core

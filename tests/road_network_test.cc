@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/weighted_adjacency.h"
+#include "mobility/road_network.h"
+#include "mobility/trajectory.h"
+#include "util/rng.h"
+
+namespace innet::mobility {
+namespace {
+
+class RoadNetworkProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoadNetworkProperty, ConnectedPlanarAndSized) {
+  util::Rng rng(GetParam());
+  RoadNetworkOptions options;
+  options.num_junctions = 300;
+  graph::PlanarGraph g = GenerateRoadNetwork(options, rng);
+  // Size: the separation rejection may drop a few junctions.
+  EXPECT_GE(g.NumNodes(), 250u);
+  EXPECT_LE(g.NumNodes(), 300u);
+  // Connected (spanning tree is always kept).
+  EXPECT_TRUE(graph::IsConnected(graph::EuclideanAdjacency(g)));
+  // Euler's formula holds (checked internally too, but assert the numbers).
+  EXPECT_EQ(g.NumNodes() - g.NumEdges() + g.NumFaces(), 2u);
+  // Thinned triangulation: between tree and full Delaunay density.
+  EXPECT_GE(g.NumEdges(), g.NumNodes() - 1);
+  EXPECT_LE(g.NumEdges(), 3 * g.NumNodes());
+}
+
+TEST_P(RoadNetworkProperty, GatewaysOnOuterFace) {
+  util::Rng rng(GetParam() + 77);
+  RoadNetworkOptions options;
+  options.num_junctions = 200;
+  graph::PlanarGraph g = GenerateRoadNetwork(options, rng);
+  std::vector<graph::NodeId> gateways = GatewayJunctions(g);
+  EXPECT_GE(gateways.size(), 3u);
+  EXPECT_LT(gateways.size(), g.NumNodes() / 2);
+  std::vector<bool> mask = GatewayMask(g);
+  size_t count = 0;
+  for (bool b : mask) count += b ? 1 : 0;
+  EXPECT_EQ(count, gateways.size());
+  // Gateways are exactly the outer-face boundary junctions.
+  for (graph::NodeId gnode : gateways) {
+    bool touches_outer = false;
+    for (graph::FaceId f : g.FacesAroundNode(gnode)) {
+      if (f == g.OuterFace()) touches_outer = true;
+    }
+    EXPECT_TRUE(touches_outer);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoadNetworkProperty,
+                         ::testing::Values(1, 12, 123));
+
+TEST(RoadNetworkTest, ExtraEdgeFractionControlsDensity) {
+  RoadNetworkOptions sparse;
+  sparse.num_junctions = 250;
+  sparse.extra_edge_fraction = 0.0;
+  RoadNetworkOptions dense = sparse;
+  dense.extra_edge_fraction = 1.0;
+  util::Rng rng1(42);
+  util::Rng rng2(42);
+  graph::PlanarGraph g_sparse = GenerateRoadNetwork(sparse, rng1);
+  graph::PlanarGraph g_dense = GenerateRoadNetwork(dense, rng2);
+  EXPECT_EQ(g_sparse.NumEdges(), g_sparse.NumNodes() - 1);  // Pure tree.
+  EXPECT_GT(g_dense.NumEdges(), g_sparse.NumEdges());
+}
+
+TEST(RoadNetworkTest, DeterministicGivenSeed) {
+  RoadNetworkOptions options;
+  options.num_junctions = 150;
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  graph::PlanarGraph a = GenerateRoadNetwork(options, rng1);
+  graph::PlanarGraph b = GenerateRoadNetwork(options, rng2);
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (graph::NodeId n = 0; n < a.NumNodes(); ++n) {
+    EXPECT_EQ(a.Position(n).x, b.Position(n).x);
+    EXPECT_EQ(a.Position(n).y, b.Position(n).y);
+  }
+}
+
+}  // namespace
+}  // namespace innet::mobility

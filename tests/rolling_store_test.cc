@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "forms/tracking_form.h"
+#include "learned/rolling_store.h"
+#include "util/rng.h"
+
+namespace innet::learned {
+namespace {
+
+RollingOptions TightOptions() {
+  RollingOptions options;
+  options.window_seconds = 100.0;
+  options.retained_windows = 5;
+  options.model_type = ModelType::kPiecewiseLinear;
+  options.model.epsilon = 1.0;
+  options.model.time_scale = 1000.0;
+  return options;
+}
+
+TEST(RollingStoreTest, ExactWithinRetention) {
+  RollingWindowStore store(2, TightOptions());
+  forms::TrackingForm exact(2);
+  util::Rng rng(1);
+  double t = 0.0;
+  // 400 events over 4 windows: everything retained (5-window capacity).
+  for (int i = 0; i < 400; ++i) {
+    t += rng.Uniform(0.5, 1.5);
+    store.RecordTraversal(0, true, t);
+    exact.RecordTraversal(0, true, t);
+  }
+  EXPECT_DOUBLE_EQ(store.RetentionStart(0, true), 0.0);
+  for (double q = 0.0; q <= t; q += 13.0) {
+    // PLA guarantees +/- epsilon at training points; between events the
+    // interpolated value can deviate by up to one extra count.
+    EXPECT_NEAR(store.CountUpTo(0, true, q), exact.CountUpTo(0, true, q),
+                2.0 + 1e-9);
+  }
+}
+
+TEST(RollingStoreTest, EvictsOldWindows) {
+  RollingOptions options = TightOptions();
+  RollingWindowStore store(1, options);
+  // 20 windows of 10 events each: only the last 5 stay modeled.
+  for (int w = 0; w < 20; ++w) {
+    for (int i = 0; i < 10; ++i) {
+      store.RecordTraversal(0, true, w * 100.0 + i * 9.0);
+    }
+  }
+  EXPECT_EQ(store.WindowCount(0, true), 5u);
+  EXPECT_DOUBLE_EQ(store.RetentionStart(0, true), 15.0 * 100.0);
+  // Total at the end accounts for evicted events exactly.
+  EXPECT_NEAR(store.CountUpTo(0, true, 1e9), 200.0, 5.0);
+}
+
+TEST(RollingStoreTest, RecentRangeCountsAccurateAfterEviction) {
+  RollingOptions options = TightOptions();
+  RollingWindowStore store(1, options);
+  forms::TrackingForm exact(1);
+  util::Rng rng(2);
+  double t = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    t += rng.Uniform(0.2, 0.8);
+    store.RecordTraversal(0, true, t);
+    exact.RecordTraversal(0, true, t);
+  }
+  double retention = store.RetentionStart(0, true);
+  ASSERT_GT(retention, 0.0);  // Eviction happened.
+  // Range queries fully inside the retained horizon stay tight.
+  for (double a = retention + 10.0; a + 50.0 < t; a += 60.0) {
+    double got = store.CountUpTo(0, true, a + 50.0) -
+                 store.CountUpTo(0, true, a);
+    double want = exact.CountInRange(0, true, a, a + 50.0);
+    EXPECT_NEAR(got, want, 2.5);
+  }
+}
+
+TEST(RollingStoreTest, OldQueriesLowerBoundTruth) {
+  RollingWindowStore store(1, TightOptions());
+  forms::TrackingForm exact(1);
+  for (int i = 0; i < 2000; ++i) {
+    double t = i * 0.7;
+    store.RecordTraversal(0, true, t);
+    exact.RecordTraversal(0, true, t);
+  }
+  double retention = store.RetentionStart(0, true);
+  ASSERT_GT(retention, 0.0);
+  for (double q = 0.0; q < retention; q += retention / 7.0) {
+    EXPECT_LE(store.CountUpTo(0, true, q),
+              exact.CountUpTo(0, true, q) + 1.0);
+  }
+}
+
+TEST(RollingStoreTest, StorageBoundedRegardlessOfStreamLength) {
+  RollingOptions options = TightOptions();
+  RollingWindowStore store(1, options);
+  size_t bytes_at_10k = 0;
+  for (int i = 0; i < 100000; ++i) {
+    // Uniform arrivals compress to few PLA segments per window.
+    store.RecordTraversal(0, true, i * 0.31);
+    if (i == 9999) bytes_at_10k = store.StorageBytes();
+  }
+  // Bounded: within 2x of the 10k-event snapshot despite 10x more data.
+  EXPECT_LE(store.StorageBytes(), 2 * bytes_at_10k);
+  // And far below exact storage.
+  EXPECT_LT(store.StorageBytes(), 100000 * sizeof(double) / 50);
+}
+
+TEST(RollingStoreTest, DirectionsIndependent) {
+  RollingWindowStore store(1, TightOptions());
+  store.RecordTraversal(0, true, 5.0);
+  store.RecordTraversal(0, false, 7.0);
+  EXPECT_DOUBLE_EQ(store.CountUpTo(0, true, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(store.CountUpTo(0, false, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(store.CountUpTo(0, false, 6.0), 0.0);
+  EXPECT_EQ(store.WindowCount(0, true), 1u);
+  EXPECT_EQ(store.WindowCount(0, false), 1u);
+}
+
+TEST(RollingStoreTest, EmptyStoreAnswersZero) {
+  RollingWindowStore store(3, TightOptions());
+  EXPECT_DOUBLE_EQ(store.CountUpTo(1, true, 100.0), 0.0);
+  EXPECT_EQ(store.WindowCount(1, true), 0u);
+  EXPECT_DOUBLE_EQ(store.RetentionStart(1, true), 0.0);
+}
+
+}  // namespace
+}  // namespace innet::learned

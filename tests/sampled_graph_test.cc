@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/framework.h"
+#include "core/workload.h"
+#include "sampling/samplers.h"
+
+namespace innet::core {
+namespace {
+
+core::FrameworkOptions SmallOptions(uint64_t seed) {
+  FrameworkOptions options;
+  options.road.num_junctions = 250;
+  options.traffic.num_trajectories = 300;
+  options.seed = seed;
+  return options;
+}
+
+class SampledGraphFixture : public ::testing::Test {
+ protected:
+  SampledGraphFixture() : framework_(SmallOptions(1)) {}
+  Framework framework_;
+};
+
+TEST_F(SampledGraphFixture, FacesPartitionJunctions) {
+  sampling::KdTreeSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  Deployment dep = framework_.DeployWithSampler(
+      sampler, framework_.network().NumSensors() / 5, DeploymentOptions{},
+      rng);
+  const SampledGraph& g = dep.graph();
+  std::vector<size_t> sizes(g.NumFaces(), 0);
+  for (graph::NodeId n = 0; n < framework_.network().mobility().NumNodes();
+       ++n) {
+    uint32_t f = g.FaceOfJunction(n);
+    ASSERT_LT(f, g.NumFaces());
+    ++sizes[f];
+  }
+  size_t total = 0;
+  for (uint32_t f = 0; f < g.NumFaces(); ++f) {
+    EXPECT_EQ(sizes[f], g.FaceSize(f));
+    total += sizes[f];
+  }
+  EXPECT_EQ(total, framework_.network().mobility().NumNodes());
+}
+
+TEST_F(SampledGraphFixture, MonitoredEdgesSeparateFaces) {
+  sampling::UniformSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  Deployment dep = framework_.DeployWithSampler(
+      sampler, framework_.network().NumSensors() / 4, DeploymentOptions{},
+      rng);
+  const SampledGraph& g = dep.graph();
+  const graph::PlanarGraph& mobility = framework_.network().mobility();
+  // Unmonitored edges never separate faces.
+  for (graph::EdgeId e = 0; e < mobility.NumEdges(); ++e) {
+    const graph::EdgeRecord& rec = mobility.Edge(e);
+    if (!g.IsMonitored(e)) {
+      EXPECT_EQ(g.FaceOfJunction(rec.u), g.FaceOfJunction(rec.v));
+    }
+  }
+  // Virtual edges are always monitored.
+  EXPECT_TRUE(g.IsMonitored(
+      static_cast<graph::EdgeId>(mobility.NumEdges())));
+}
+
+TEST_F(SampledGraphFixture, LowerFacesAreSubsetOfUpperFaces) {
+  sampling::QuadTreeSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  Deployment dep = framework_.DeployWithSampler(
+      sampler, framework_.network().NumSensors() / 4, DeploymentOptions{},
+      rng);
+  WorkloadOptions wo;
+  wo.area_fraction = 0.08;
+  wo.horizon = framework_.Horizon();
+  util::Rng qrng = framework_.ForkRng();
+  std::vector<RangeQuery> queries =
+      GenerateWorkload(framework_.network(), wo, 15, qrng);
+  for (const RangeQuery& q : queries) {
+    std::vector<uint32_t> lower = dep.graph().LowerBoundFaces(q.junctions);
+    std::vector<uint32_t> upper = dep.graph().UpperBoundFaces(q.junctions);
+    std::set<uint32_t> upper_set(upper.begin(), upper.end());
+    for (uint32_t f : lower) EXPECT_EQ(upper_set.count(f), 1u);
+    // Lower faces fully inside; upper faces intersect.
+    std::set<graph::NodeId> qset(q.junctions.begin(), q.junctions.end());
+    for (uint32_t f : lower) {
+      for (graph::NodeId n = 0;
+           n < framework_.network().mobility().NumNodes(); ++n) {
+        if (dep.graph().FaceOfJunction(n) == f) {
+          EXPECT_EQ(qset.count(n), 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SampledGraphFixture, BoundaryEdgesAreMonitoredAndSeparating) {
+  sampling::SystematicSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  Deployment dep = framework_.DeployWithSampler(
+      sampler, framework_.network().NumSensors() / 4, DeploymentOptions{},
+      rng);
+  WorkloadOptions wo;
+  wo.area_fraction = 0.1;
+  wo.horizon = framework_.Horizon();
+  util::Rng qrng = framework_.ForkRng();
+  std::vector<RangeQuery> queries =
+      GenerateWorkload(framework_.network(), wo, 10, qrng);
+  const graph::PlanarGraph& mobility = framework_.network().mobility();
+  for (const RangeQuery& q : queries) {
+    std::vector<uint32_t> faces = dep.graph().UpperBoundFaces(q.junctions);
+    SampledGraph::RegionBoundary boundary =
+        dep.graph().BoundaryOfFaces(faces);
+    std::set<uint32_t> region(faces.begin(), faces.end());
+    for (const forms::BoundaryEdge& b : boundary.edges) {
+      EXPECT_TRUE(dep.graph().IsMonitored(b.edge));
+      if (b.edge < mobility.NumEdges()) {
+        const graph::EdgeRecord& rec = mobility.Edge(b.edge);
+        bool u_in = region.count(dep.graph().FaceOfJunction(rec.u)) > 0;
+        bool v_in = region.count(dep.graph().FaceOfJunction(rec.v)) > 0;
+        EXPECT_NE(u_in, v_in);
+        EXPECT_EQ(b.inward_is_forward, v_in);
+      }
+    }
+    if (!boundary.edges.empty()) {
+      EXPECT_FALSE(boundary.sensors.empty());
+    }
+  }
+}
+
+TEST_F(SampledGraphFixture, StatsAreConsistent) {
+  sampling::KdTreeSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  size_t m = framework_.network().NumSensors() / 4;
+  Deployment dep =
+      framework_.DeployWithSampler(sampler, m, DeploymentOptions{}, rng);
+  const SampledGraphStats& stats = dep.graph().stats();
+  EXPECT_EQ(stats.num_comm_sensors, m);
+  EXPECT_EQ(stats.num_monitored_edges, dep.graph().monitored_edges().size());
+  EXPECT_EQ(stats.num_faces, dep.graph().NumFaces());
+  EXPECT_GT(stats.num_faces, 1u);
+  EXPECT_LE(stats.simplified_edges, stats.num_monitored_edges);
+  EXPECT_GT(stats.simplified_nodes, 0u);
+}
+
+TEST_F(SampledGraphFixture, KnnProducesMoreFacesThanSparseTriangulation) {
+  // §4.5/Fig. 14: k-NN with larger k yields more, smaller faces.
+  util::Rng rng1 = framework_.ForkRng();
+  sampling::KdTreeSampler sampler;
+  size_t m = framework_.network().NumSensors() / 4;
+  std::vector<graph::NodeId> sensors =
+      sampler.Select(framework_.network().sensing(), m, rng1);
+
+  DeploymentOptions knn3;
+  knn3.graph.connectivity = Connectivity::kKnn;
+  knn3.graph.knn_k = 3;
+  DeploymentOptions knn8 = knn3;
+  knn8.graph.knn_k = 8;
+  Deployment d3 = framework_.DeployFromSensors(sensors, knn3);
+  Deployment d8 = framework_.DeployFromSensors(sensors, knn8);
+  EXPECT_GE(d8.graph().NumFaces(), d3.graph().NumFaces());
+  EXPECT_GE(d8.graph().monitored_edges().size(),
+            d3.graph().monitored_edges().size());
+}
+
+TEST_F(SampledGraphFixture, FromMonitoredEdgesAllEdges) {
+  // Monitoring every edge: each junction becomes its own face.
+  const graph::PlanarGraph& mobility = framework_.network().mobility();
+  std::vector<graph::EdgeId> all;
+  for (graph::EdgeId e = 0; e < mobility.NumEdges(); ++e) all.push_back(e);
+  SampledGraph g =
+      SampledGraph::FromMonitoredEdges(framework_.network(), all, {});
+  EXPECT_EQ(g.NumFaces(), mobility.NumNodes());
+}
+
+TEST_F(SampledGraphFixture, MoreSensorsMeansMoreFaces) {
+  sampling::UniformSampler sampler;
+  size_t prev_faces = 0;
+  for (size_t m : {10, 40, 120}) {
+    util::Rng rng(7);  // Same stream for nested-ish samples.
+    Deployment dep =
+        framework_.DeployWithSampler(sampler, m, DeploymentOptions{}, rng);
+    EXPECT_GE(dep.graph().NumFaces(), prev_faces);
+    prev_faces = dep.graph().NumFaces();
+  }
+}
+
+}  // namespace
+}  // namespace innet::core

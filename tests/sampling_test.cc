@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "graph/dual_graph.h"
+#include "mobility/road_network.h"
+#include "sampling/samplers.h"
+#include "util/rng.h"
+
+namespace innet::sampling {
+namespace {
+
+struct World {
+  explicit World(uint64_t seed) {
+    util::Rng rng(seed);
+    mobility::RoadNetworkOptions options;
+    options.num_junctions = 250;
+    primal = std::make_unique<graph::PlanarGraph>(
+        mobility::GenerateRoadNetwork(options, rng));
+    dual = std::make_unique<graph::DualGraph>(*primal);
+  }
+  std::unique_ptr<graph::PlanarGraph> primal;
+  std::unique_ptr<graph::DualGraph> dual;
+};
+
+// Sampler-generic contract tests.
+class SamplerContract : public ::testing::TestWithParam<size_t> {
+ protected:
+  static std::vector<std::unique_ptr<SensorSampler>> MakeAll() {
+    return AllSamplers();
+  }
+};
+
+TEST_P(SamplerContract, SelectsExactCountDistinctNonExt) {
+  World w(7);
+  size_t m = GetParam();
+  for (const auto& sampler : MakeAll()) {
+    util::Rng rng(99);
+    std::vector<graph::NodeId> selected = sampler->Select(*w.dual, m, rng);
+    size_t available = w.dual->NumNodes() - 1;
+    EXPECT_EQ(selected.size(), std::min(m, available)) << sampler->Name();
+    std::set<graph::NodeId> unique(selected.begin(), selected.end());
+    EXPECT_EQ(unique.size(), selected.size()) << sampler->Name();
+    for (graph::NodeId n : selected) {
+      EXPECT_NE(n, w.dual->ExtNode()) << sampler->Name();
+      EXPECT_LT(n, w.dual->NumNodes()) << sampler->Name();
+    }
+  }
+}
+
+TEST_P(SamplerContract, DeterministicGivenSeed) {
+  World w(8);
+  size_t m = GetParam();
+  for (const auto& sampler : MakeAll()) {
+    util::Rng rng1(5);
+    util::Rng rng2(5);
+    EXPECT_EQ(sampler->Select(*w.dual, m, rng1),
+              sampler->Select(*w.dual, m, rng2))
+        << sampler->Name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SamplerContract,
+                         ::testing::Values(1, 10, 60, 100000));
+
+TEST(SamplerTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto& sampler : AllSamplers()) {
+    EXPECT_TRUE(names.insert(std::string(sampler->Name())).second);
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+// Spatial spread: systematic and kd/quad samplers should cover the domain
+// more evenly than uniform sampling. Measure with the max over a coarse
+// grid of (cell count / expected).
+double SpreadImbalance(const graph::DualGraph& dual,
+                       const std::vector<graph::NodeId>& selected) {
+  geometry::Rect bounds(1e18, 1e18, -1e18, -1e18);
+  for (graph::NodeId n = 0; n < dual.NumNodes(); ++n) {
+    if (n == dual.ExtNode()) continue;
+    bounds.ExpandToInclude(dual.Position(n));
+  }
+  constexpr int kGrid = 4;
+  std::vector<int> counts(kGrid * kGrid, 0);
+  for (graph::NodeId n : selected) {
+    const geometry::Point& p = dual.Position(n);
+    int cx = std::min<int>(kGrid - 1, static_cast<int>((p.x - bounds.min_x) /
+                                                       bounds.Width() * kGrid));
+    int cy = std::min<int>(kGrid - 1, static_cast<int>((p.y - bounds.min_y) /
+                                                       bounds.Height() * kGrid));
+    ++counts[cy * kGrid + cx];
+  }
+  int max_count = 0;
+  for (int c : counts) max_count = std::max(max_count, c);
+  double expected = static_cast<double>(selected.size()) / (kGrid * kGrid);
+  return static_cast<double>(max_count) / expected;
+}
+
+TEST(SamplerTest, SystematicSpreadsMoreEvenlyThanUniform) {
+  World w(9);
+  size_t m = 64;
+  double uniform_imbalance = 0.0;
+  double systematic_imbalance = 0.0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    util::Rng rng1(seed);
+    util::Rng rng2(seed);
+    UniformSampler uniform;
+    SystematicSampler systematic;
+    uniform_imbalance +=
+        SpreadImbalance(*w.dual, uniform.Select(*w.dual, m, rng1));
+    systematic_imbalance +=
+        SpreadImbalance(*w.dual, systematic.Select(*w.dual, m, rng2));
+  }
+  EXPECT_LE(systematic_imbalance, uniform_imbalance);
+}
+
+TEST(SamplerTest, WeightedUniformFavorsHeavyNodes) {
+  World w(10);
+  UniformSampler sampler;
+  std::vector<double> weights(w.dual->NumNodes(), 0.0);
+  // Give all weight to nodes 1, 2, 3.
+  std::vector<graph::NodeId> heavy;
+  for (graph::NodeId n = 0; n < w.dual->NumNodes() && heavy.size() < 3; ++n) {
+    if (n == w.dual->ExtNode()) continue;
+    weights[n] = 1.0;
+    heavy.push_back(n);
+  }
+  sampler.SetWeights(weights);
+  util::Rng rng(3);
+  std::vector<graph::NodeId> selected = sampler.Select(*w.dual, 3, rng);
+  std::set<graph::NodeId> got(selected.begin(), selected.end());
+  for (graph::NodeId n : heavy) EXPECT_EQ(got.count(n), 1u);
+}
+
+TEST(SamplerTest, StratifiedQuotasRoughlyEqualAcrossStrata) {
+  World w(11);
+  StratifiedSampler sampler(2, 2);
+  util::Rng rng(4);
+  std::vector<graph::NodeId> selected = sampler.Select(*w.dual, 80, rng);
+  EXPECT_EQ(selected.size(), 80u);
+  EXPECT_LE(SpreadImbalance(*w.dual, selected), 3.0);
+}
+
+TEST(SamplerTest, PickCenterVariantsDeterministicPlacement) {
+  World w(12);
+  SystematicSampler center(true);
+  util::Rng rng1(1);
+  util::Rng rng2(2);  // Different seeds...
+  std::vector<graph::NodeId> a = center.Select(*w.dual, 40, rng1);
+  std::vector<graph::NodeId> b = center.Select(*w.dual, 40, rng2);
+  // ...but center-picking makes the grid portion seed-independent; allow
+  // top-up randomness by comparing intersection size.
+  std::set<graph::NodeId> sa(a.begin(), a.end());
+  size_t common = 0;
+  for (graph::NodeId n : b) common += sa.count(n);
+  EXPECT_GE(common, 30u);
+}
+
+}  // namespace
+}  // namespace innet::sampling

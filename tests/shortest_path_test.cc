@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/connectivity.h"
+#include "graph/shortest_path.h"
+#include "mobility/road_network.h"
+#include "util/rng.h"
+
+namespace innet::graph {
+namespace {
+
+WeightedAdjacency MakeWeighted(
+    size_t n, const std::vector<std::tuple<NodeId, NodeId, double>>& edges) {
+  WeightedAdjacency adj(n);
+  for (EdgeId e = 0; e < edges.size(); ++e) {
+    auto [u, v, w] = edges[e];
+    adj[u].push_back({v, e, w});
+    adj[v].push_back({u, e, w});
+  }
+  return adj;
+}
+
+TEST(ShortestPathTest, SimpleChain) {
+  WeightedAdjacency adj = MakeWeighted(4, {{0, 1, 1.0}, {1, 2, 2.0},
+                                           {2, 3, 3.0}});
+  auto path = ShortestPath(adj, 0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->cost, 6.0);
+  EXPECT_EQ(path->nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(path->edges.size(), 3u);
+}
+
+TEST(ShortestPathTest, PrefersCheaperDetour) {
+  // Direct edge costs 10, detour 0-1-2 costs 3.
+  WeightedAdjacency adj =
+      MakeWeighted(3, {{0, 2, 10.0}, {0, 1, 1.0}, {1, 2, 2.0}});
+  auto path = ShortestPath(adj, 0, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->cost, 3.0);
+  EXPECT_EQ(path->nodes.size(), 3u);
+}
+
+TEST(ShortestPathTest, Unreachable) {
+  WeightedAdjacency adj = MakeWeighted(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  EXPECT_FALSE(ShortestPath(adj, 0, 3).has_value());
+}
+
+TEST(ShortestPathTest, SourceEqualsTarget) {
+  WeightedAdjacency adj = MakeWeighted(2, {{0, 1, 1.0}});
+  auto path = ShortestPath(adj, 0, 0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->cost, 0.0);
+  EXPECT_EQ(path->nodes, (std::vector<NodeId>{0}));
+  EXPECT_TRUE(path->edges.empty());
+}
+
+TEST(ShortestPathTest, BlockedNodeForcesDetour) {
+  //   0 - 1 - 4
+  //    \ 2  /
+  //     \| /
+  //      3
+  WeightedAdjacency adj = MakeWeighted(
+      5, {{0, 1, 1.0}, {1, 4, 1.0}, {0, 3, 1.0}, {3, 4, 1.0}, {2, 3, 1.0}});
+  std::vector<bool> blocked(5, false);
+  blocked[1] = true;
+  auto path = ShortestPath(adj, 0, 4, &blocked);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes, (std::vector<NodeId>{0, 3, 4}));
+}
+
+TEST(ShortestPathTest, DistancesMatchPathCosts) {
+  util::Rng rng(17);
+  mobility::RoadNetworkOptions options;
+  options.num_junctions = 120;
+  PlanarGraph g = mobility::GenerateRoadNetwork(options, rng);
+  WeightedAdjacency adj = EuclideanAdjacency(g);
+  std::vector<double> dist = DijkstraDistances(adj, 0);
+  for (NodeId target : {NodeId{5}, NodeId{50}, NodeId{100}}) {
+    auto path = ShortestPath(adj, 0, target);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_NEAR(path->cost, dist[target], 1e-9);
+    // Path cost equals the sum of its edge lengths.
+    double total = 0.0;
+    for (EdgeId e : path->edges) total += g.EdgeLength(e);
+    EXPECT_NEAR(total, path->cost, 1e-9);
+    // Consecutive path nodes are adjacent.
+    for (size_t i = 0; i + 1 < path->nodes.size(); ++i) {
+      EXPECT_NE(g.EdgeBetween(path->nodes[i], path->nodes[i + 1]),
+                kInvalidEdge);
+    }
+  }
+}
+
+TEST(ShortestPathTest, TriangleInequalityProperty) {
+  util::Rng rng(18);
+  mobility::RoadNetworkOptions options;
+  options.num_junctions = 100;
+  PlanarGraph g = mobility::GenerateRoadNetwork(options, rng);
+  WeightedAdjacency adj = EuclideanAdjacency(g);
+  std::vector<double> from0 = DijkstraDistances(adj, 0);
+  std::vector<double> from7 = DijkstraDistances(adj, 7);
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_LE(from0[n], from0[7] + from7[n] + 1e-9);
+  }
+}
+
+TEST(BfsTest, HopsOnChain) {
+  WeightedAdjacency adj =
+      MakeWeighted(4, {{0, 1, 5.0}, {1, 2, 5.0}, {2, 3, 5.0}});
+  std::vector<uint32_t> hops = BfsHops(adj, 0);
+  EXPECT_EQ(hops[0], 0u);
+  EXPECT_EQ(hops[3], 3u);
+}
+
+TEST(BfsTest, UnreachableIsMax) {
+  WeightedAdjacency adj = MakeWeighted(3, {{0, 1, 1.0}});
+  std::vector<uint32_t> hops = BfsHops(adj, 0);
+  EXPECT_EQ(hops[2], std::numeric_limits<uint32_t>::max());
+}
+
+TEST(ConnectivityTest, Components) {
+  WeightedAdjacency adj = MakeWeighted(5, {{0, 1, 1.0}, {2, 3, 1.0}});
+  ComponentLabels labels = ConnectedComponents(adj);
+  EXPECT_EQ(labels.count, 3u);
+  EXPECT_EQ(labels.label[0], labels.label[1]);
+  EXPECT_EQ(labels.label[2], labels.label[3]);
+  EXPECT_NE(labels.label[0], labels.label[2]);
+  EXPECT_NE(labels.label[4], labels.label[0]);
+  EXPECT_FALSE(IsConnected(adj));
+}
+
+TEST(ConnectivityTest, RemovedEdgesSplitGraph) {
+  // Path 0-1-2: removing the middle edge splits into {0,1} and {2}.
+  std::vector<geometry::Point> positions = {{0, 0}, {1, 0}, {2, 0.1}};
+  std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {1, 2}};
+  // PlanarGraph requires connectivity; this path is connected.
+  PlanarGraph g(std::move(positions), std::move(edges));
+  std::vector<bool> removed = {false, true};
+  ComponentLabels labels = ComponentsWithRemovedEdges(g, removed);
+  EXPECT_EQ(labels.count, 2u);
+  EXPECT_EQ(labels.label[0], labels.label[1]);
+  EXPECT_NE(labels.label[1], labels.label[2]);
+}
+
+TEST(ShortestPathTest, AveragePathHopsPositive) {
+  util::Rng rng(19);
+  mobility::RoadNetworkOptions options;
+  options.num_junctions = 100;
+  PlanarGraph g = mobility::GenerateRoadNetwork(options, rng);
+  WeightedAdjacency adj = EuclideanAdjacency(g);
+  double avg = EstimateAveragePathHops(adj, 20, 99);
+  EXPECT_GT(avg, 1.0);
+  EXPECT_LT(avg, static_cast<double>(g.NumNodes()));
+}
+
+}  // namespace
+}  // namespace innet::graph

@@ -1,0 +1,155 @@
+// Randomized end-to-end invariant sweeps: for many seeds, build a small
+// world and check every cross-module contract at once. These are the
+// "nothing drifted" tests that catch interaction bugs the per-module suites
+// miss.
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/live_monitor.h"
+#include "core/workload.h"
+#include "learned/rolling_store.h"
+#include "mobility/trajectory.h"
+#include "sampling/samplers.h"
+#include "util/stats.h"
+
+namespace innet {
+namespace {
+
+core::FrameworkOptions WorldOptions(uint64_t seed) {
+  core::FrameworkOptions options;
+  options.road.num_junctions = 180 + (seed % 5) * 40;
+  options.road.extra_edge_fraction = 0.35 + 0.1 * (seed % 4);
+  options.traffic.num_trajectories = 250;
+  options.traffic.num_hotspots = 2 + seed % 4;
+  options.seed = seed;
+  return options;
+}
+
+class EndToEndStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EndToEndStress, AllInvariantsHold) {
+  core::Framework framework(WorldOptions(GetParam()));
+  const core::SensorNetwork& net = framework.network();
+  mobility::OccupancyOracle oracle(net.mobility(), framework.trajectories(),
+                                   &net.gateway_mask());
+
+  core::WorkloadOptions wo;
+  wo.area_fraction = 0.08;
+  wo.horizon = framework.Horizon();
+  util::Rng qrng = framework.ForkRng();
+  std::vector<core::RangeQuery> queries =
+      core::GenerateWorkload(net, wo, 10, qrng);
+  ASSERT_FALSE(queries.empty());
+
+  // 1. Exact layer: forms == per-object oracle, static and transient.
+  core::UnsampledQueryProcessor exact(net);
+  for (const core::RangeQuery& q : queries) {
+    std::vector<bool> mask = net.JunctionMask(q.junctions);
+    EXPECT_DOUBLE_EQ(
+        exact.Answer(q, core::CountKind::kStatic).estimate,
+        static_cast<double>(oracle.OccupancyAt(mask, q.t2)));
+    EXPECT_DOUBLE_EQ(
+        exact.Answer(q, core::CountKind::kTransient).estimate,
+        static_cast<double>(oracle.NetChange(mask, q.t1, q.t2)));
+  }
+
+  // 2. Every sampler, one deployment each: bracketing + structure.
+  for (const auto& sampler : sampling::AllSamplers()) {
+    util::Rng rng(GetParam() * 7 + 1);
+    core::Deployment dep = framework.DeployWithSampler(
+        *sampler, net.NumSensors() / 5, core::DeploymentOptions{}, rng);
+    core::SampledQueryProcessor processor = dep.processor();
+    for (const core::RangeQuery& q : queries) {
+      double truth = net.GroundTruthStatic(q.junctions, q.t2);
+      core::QueryAnswer lower = processor.Answer(
+          q, core::CountKind::kStatic, core::BoundMode::kLower);
+      core::QueryAnswer upper = processor.Answer(
+          q, core::CountKind::kStatic, core::BoundMode::kUpper);
+      EXPECT_LE(lower.estimate, truth + 1e-9) << sampler->Name();
+      EXPECT_GE(upper.estimate, truth - 1e-9) << sampler->Name();
+      EXPECT_GE(lower.estimate, 0.0) << sampler->Name();
+      if (!lower.missed) {
+        EXPECT_GT(lower.nodes_accessed, 0u);
+        EXPECT_GE(lower.edges_accessed, lower.nodes_accessed / 4);
+      }
+    }
+  }
+
+  // 3. Learned deployment: miss pattern identical to exact, estimates
+  // within the per-edge model tolerance.
+  sampling::QuadTreeSampler qt;
+  util::Rng rng1(GetParam() * 7 + 2);
+  std::vector<graph::NodeId> sensors =
+      qt.Select(net.sensing(), net.NumSensors() / 5, rng1);
+  core::Deployment exact_dep =
+      framework.DeployFromSensors(sensors, core::DeploymentOptions{});
+  core::DeploymentOptions learned_options;
+  learned_options.store = core::StoreKind::kLearned;
+  learned_options.model_type = learned::ModelType::kPiecewiseLinear;
+  learned_options.pla_epsilon = 2.0;
+  core::Deployment learned_dep =
+      framework.DeployFromSensors(sensors, learned_options);
+  EXPECT_LT(learned_dep.StorageBytes(), exact_dep.StorageBytes());
+  core::SampledQueryProcessor pe = exact_dep.processor();
+  core::SampledQueryProcessor pl = learned_dep.processor();
+  for (const core::RangeQuery& q : queries) {
+    core::QueryAnswer a =
+        pe.Answer(q, core::CountKind::kStatic, core::BoundMode::kUpper);
+    core::QueryAnswer b =
+        pl.Answer(q, core::CountKind::kStatic, core::BoundMode::kUpper);
+    EXPECT_EQ(a.missed, b.missed);
+    double slack = (2.0 * learned_options.pla_epsilon + 1.0) *
+                       static_cast<double>(a.edges_accessed) +
+                   1e-6;
+    EXPECT_NEAR(b.estimate, a.estimate, slack);
+  }
+
+  // 4. Live monitors replayed over the event stream agree with the batch
+  // evaluation at the end of time.
+  {
+    const core::RangeQuery& q = queries.front();
+    core::LiveRegionMonitor exact_monitor(net, q.junctions);
+    core::LiveRegionMonitor sampled_monitor(
+        exact_dep.graph(), exact_dep.graph().UpperBoundFaces(q.junctions));
+    for (const mobility::CrossingEvent& event : net.events()) {
+      exact_monitor.OnEvent(event);
+      sampled_monitor.OnEvent(event);
+    }
+    EXPECT_DOUBLE_EQ(static_cast<double>(exact_monitor.CurrentCount()),
+                     net.GroundTruthStatic(q.junctions, 1e18));
+    core::RangeQuery probe = q;
+    probe.t2 = 1e18;
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(sampled_monitor.CurrentCount()),
+        pe.Answer(probe, core::CountKind::kStatic, core::BoundMode::kUpper)
+            .estimate);
+  }
+
+  // 5. Determinism: rebuilding the same deployment yields identical
+  // answers.
+  {
+    util::Rng ra(GetParam() * 7 + 3);
+    util::Rng rb(GetParam() * 7 + 3);
+    sampling::KdTreeSampler kd;
+    core::Deployment da = framework.DeployWithSampler(
+        kd, net.NumSensors() / 6, core::DeploymentOptions{}, ra);
+    core::Deployment db = framework.DeployWithSampler(
+        kd, net.NumSensors() / 6, core::DeploymentOptions{}, rb);
+    core::SampledQueryProcessor pa = da.processor();
+    core::SampledQueryProcessor pb = db.processor();
+    for (const core::RangeQuery& q : queries) {
+      EXPECT_EQ(pa.Answer(q, core::CountKind::kTransient,
+                          core::BoundMode::kLower)
+                    .estimate,
+                pb.Answer(q, core::CountKind::kTransient,
+                          core::BoundMode::kLower)
+                    .estimate);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndStress,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace innet

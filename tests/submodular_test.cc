@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "placement/submodular.h"
+#include "util/rng.h"
+
+namespace innet::placement {
+namespace {
+
+// Random coverage instance: `items` sets over a `universe`.
+CoverageFunction RandomCoverage(size_t items, size_t universe, double density,
+                                uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<size_t>> covers(items);
+  for (size_t i = 0; i < items; ++i) {
+    for (size_t e = 0; e < universe; ++e) {
+      if (rng.Bernoulli(density)) covers[i].push_back(e);
+    }
+  }
+  return CoverageFunction(std::move(covers), {}, universe);
+}
+
+// Exhaustive optimum over all subsets of size <= k (small instances only).
+double BruteForceOptimum(const CoverageFunction& f, size_t items, size_t k) {
+  double best = 0.0;
+  std::vector<size_t> subset;
+  // Enumerate bitmasks.
+  for (uint32_t mask = 0; mask < (1u << items); ++mask) {
+    if (static_cast<size_t>(__builtin_popcount(mask)) > k) continue;
+    subset.clear();
+    for (size_t i = 0; i < items; ++i) {
+      if (mask & (1u << i)) subset.push_back(i);
+    }
+    best = std::max(best, f.Evaluate(subset));
+  }
+  return best;
+}
+
+TEST(CoverageFunctionTest, MarginalGainShrinks) {
+  CoverageFunction f({{0, 1, 2}, {2, 3}, {0, 1}}, {}, 4);
+  EXPECT_DOUBLE_EQ(f.MarginalGain(0), 3.0);
+  f.Commit(0);
+  EXPECT_DOUBLE_EQ(f.MarginalGain(1), 1.0);  // Only element 3 is new.
+  EXPECT_DOUBLE_EQ(f.MarginalGain(2), 0.0);
+  f.Reset();
+  EXPECT_DOUBLE_EQ(f.MarginalGain(2), 2.0);
+}
+
+TEST(CoverageFunctionTest, WeightedElements) {
+  CoverageFunction f({{0}, {1}}, {10.0, 1.0}, 2);
+  EXPECT_DOUBLE_EQ(f.MarginalGain(0), 10.0);
+  EXPECT_DOUBLE_EQ(f.MarginalGain(1), 1.0);
+}
+
+TEST(GreedyTest, PicksObviousBest) {
+  CoverageFunction f({{0}, {0, 1, 2, 3}, {1}}, {}, 4);
+  std::vector<double> costs(3, 1.0);
+  GreedyOptions options;
+  options.budget = 1.0;
+  GreedyResult result = GreedyMaximize(f, costs, options);
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0], 1u);
+  EXPECT_DOUBLE_EQ(result.utility, 4.0);
+}
+
+TEST(GreedyTest, RespectsBudget) {
+  CoverageFunction f = RandomCoverage(12, 40, 0.2, 3);
+  std::vector<double> costs = {1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3};
+  GreedyOptions options;
+  options.budget = 5.0;
+  options.cost_benefit = true;
+  GreedyResult result = GreedyMaximize(f, costs, options);
+  EXPECT_LE(result.cost, 5.0 + 1e-9);
+  EXPECT_GT(result.utility, 0.0);
+}
+
+TEST(GreedyTest, StopsWhenNoGain) {
+  CoverageFunction f({{0}, {0}, {0}}, {}, 1);
+  std::vector<double> costs(3, 1.0);
+  GreedyOptions options;
+  options.budget = 3.0;
+  GreedyResult result = GreedyMaximize(f, costs, options);
+  EXPECT_EQ(result.selected.size(), 1u);  // Others add nothing.
+}
+
+// (1 - 1/e) guarantee for cardinality-constrained greedy, against brute
+// force on small random instances.
+class GreedyGuarantee : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyGuarantee, WithinClassicBoundOfOptimum) {
+  CoverageFunction f = RandomCoverage(14, 30, 0.18, GetParam());
+  std::vector<double> costs(14, 1.0);
+  size_t k = 4;
+  GreedyOptions options;
+  options.budget = static_cast<double>(k);
+  GreedyResult greedy = GreedyMaximize(f, costs, options);
+  double optimum = BruteForceOptimum(f, 14, k);
+  ASSERT_GT(optimum, 0.0);
+  EXPECT_GE(greedy.utility, (1.0 - 1.0 / std::exp(1.0)) * optimum - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyGuarantee,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// CELF must select exactly the same set as plain greedy, with fewer
+// marginal-gain evaluations on larger instances.
+class LazyEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(LazyEquivalence, SameSelectionFewerEvaluations) {
+  CoverageFunction f1 = RandomCoverage(60, 200, 0.08, GetParam());
+  CoverageFunction f2 = RandomCoverage(60, 200, 0.08, GetParam());
+  std::vector<double> costs(60, 1.0);
+  GreedyOptions plain;
+  plain.budget = 10.0;
+  GreedyOptions lazy = plain;
+  lazy.lazy = true;
+  GreedyResult a = GreedyMaximize(f1, costs, plain);
+  GreedyResult b = GreedyMaximize(f2, costs, lazy);
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_DOUBLE_EQ(a.utility, b.utility);
+  EXPECT_LT(b.evaluations, a.evaluations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyEquivalence,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(GreedyTest, CostBenefitPrefersCheapCoverage) {
+  // Item 0 covers 4 elements at cost 8 (ratio 0.5); item 1 covers 3 at
+  // cost 1 (ratio 3).
+  CoverageFunction f({{0, 1, 2, 3}, {4, 5, 6}}, {}, 7);
+  std::vector<double> costs = {8.0, 1.0};
+  GreedyOptions options;
+  options.budget = 8.0;
+  options.cost_benefit = true;
+  GreedyResult result = GreedyMaximize(f, costs, options);
+  ASSERT_FALSE(result.selected.empty());
+  EXPECT_EQ(result.selected[0], 1u);
+}
+
+TEST(GreedyTest, LazyCostBenefitMatchesPlain) {
+  CoverageFunction f1 = RandomCoverage(40, 120, 0.1, 5);
+  CoverageFunction f2 = RandomCoverage(40, 120, 0.1, 5);
+  util::Rng rng(6);
+  std::vector<double> costs;
+  for (int i = 0; i < 40; ++i) costs.push_back(rng.Uniform(0.5, 4.0));
+  GreedyOptions plain;
+  plain.budget = 12.0;
+  plain.cost_benefit = true;
+  GreedyOptions lazy = plain;
+  lazy.lazy = true;
+  GreedyResult a = GreedyMaximize(f1, costs, plain);
+  GreedyResult b = GreedyMaximize(f2, costs, lazy);
+  EXPECT_EQ(a.selected, b.selected);
+}
+
+}  // namespace
+}  // namespace innet::placement

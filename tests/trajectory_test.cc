@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "mobility/road_network.h"
+#include "mobility/trajectory.h"
+#include "mobility/trajectory_generator.h"
+#include "util/rng.h"
+
+namespace innet::mobility {
+namespace {
+
+graph::PlanarGraph SmallNetwork(uint64_t seed) {
+  util::Rng rng(seed);
+  RoadNetworkOptions options;
+  options.num_junctions = 150;
+  return GenerateRoadNetwork(options, rng);
+}
+
+TEST(TrajectoryTest, ValidChecksAdjacencyAndTimes) {
+  graph::PlanarGraph g = SmallNetwork(1);
+  // Walk two hops from node 0.
+  graph::NodeId a = 0;
+  graph::NodeId b = g.NeighborsOf(a)[0].node;
+  graph::NodeId c = g.NeighborsOf(b)[0].node;
+  Trajectory ok{{a, b, c}, {0.0, 1.0, 2.0}};
+  EXPECT_TRUE(ok.Valid(g));
+  Trajectory bad_time{{a, b}, {1.0, 1.0}};
+  EXPECT_FALSE(bad_time.Valid(g));
+  Trajectory mismatched{{a, b}, {0.0}};
+  EXPECT_FALSE(mismatched.Valid(g));
+}
+
+TEST(TrajectoryTest, CrossingEventsFollowPath) {
+  graph::PlanarGraph g = SmallNetwork(2);
+  graph::NodeId a = 5;
+  graph::NodeId b = g.NeighborsOf(a)[0].node;
+  graph::NodeId c = g.NeighborsOf(b).back().node;
+  Trajectory t{{a, b, c}, {0.0, 2.0, 5.0}};
+  ASSERT_TRUE(t.Valid(g));
+  std::vector<CrossingEvent> events = ExtractCrossingEvents(g, t);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].edge, g.EdgeBetween(a, b));
+  EXPECT_DOUBLE_EQ(events[0].time, 2.0);
+  EXPECT_EQ(events[0].forward, g.Edge(events[0].edge).u == a);
+  EXPECT_EQ(events[1].edge, g.EdgeBetween(b, c));
+  EXPECT_DOUBLE_EQ(events[1].time, 5.0);
+}
+
+TEST(TrajectoryTest, AllEventsSortedByTime) {
+  graph::PlanarGraph g = SmallNetwork(3);
+  util::Rng rng(3);
+  TrajectoryOptions options;
+  options.num_trajectories = 50;
+  std::vector<Trajectory> trajectories = GenerateTrajectories(g, options, rng);
+  std::vector<CrossingEvent> events = ExtractAllCrossingEvents(g, trajectories);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+}
+
+class GeneratorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorProperty, TrajectoriesValidAndGatewayStarted) {
+  graph::PlanarGraph g = SmallNetwork(GetParam());
+  util::Rng rng(GetParam() + 500);
+  TrajectoryOptions options;
+  options.num_trajectories = 80;
+  std::vector<Trajectory> trajectories = GenerateTrajectories(g, options, rng);
+  EXPECT_EQ(trajectories.size(), 80u);
+  std::vector<bool> gateway = GatewayMask(g);
+  for (const Trajectory& t : trajectories) {
+    EXPECT_TRUE(t.Valid(g));
+    EXPECT_GE(t.nodes.size(), 2u);
+    EXPECT_TRUE(gateway[t.nodes.front()])
+        << "trajectory must enter via a gateway";
+    EXPECT_GE(t.times.front(), 0.0);
+  }
+}
+
+TEST_P(GeneratorProperty, InteriorStartsWhenDisabled) {
+  graph::PlanarGraph g = SmallNetwork(GetParam());
+  util::Rng rng(GetParam() + 900);
+  TrajectoryOptions options;
+  options.num_trajectories = 60;
+  options.enter_from_boundary = false;
+  std::vector<Trajectory> trajectories = GenerateTrajectories(g, options, rng);
+  std::vector<bool> gateway = GatewayMask(g);
+  size_t interior_starts = 0;
+  for (const Trajectory& t : trajectories) {
+    EXPECT_TRUE(t.Valid(g));
+    if (!gateway[t.nodes.front()]) ++interior_starts;
+  }
+  EXPECT_GT(interior_starts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty, ::testing::Values(4, 5));
+
+TEST(OracleTest, TracksOccupancyThroughCells) {
+  graph::PlanarGraph g = SmallNetwork(6);
+  graph::NodeId a = 3;
+  graph::NodeId b = g.NeighborsOf(a)[0].node;
+  graph::NodeId c = g.NeighborsOf(b).back().node;
+  ASSERT_NE(a, c);
+  Trajectory t{{a, b, c}, {1.0, 2.0, 3.0}};
+  ASSERT_TRUE(t.Valid(g));
+  OccupancyOracle oracle(g, {t});
+
+  std::vector<bool> cell_b(g.NumNodes(), false);
+  cell_b[b] = true;
+  // Interior start: visible from arrival at b (t=2), leaves at t=3.
+  EXPECT_EQ(oracle.OccupancyAt(cell_b, 1.5), 0);
+  EXPECT_EQ(oracle.OccupancyAt(cell_b, 2.0), 1);
+  EXPECT_EQ(oracle.OccupancyAt(cell_b, 2.9), 1);
+  EXPECT_EQ(oracle.OccupancyAt(cell_b, 3.0), 0);
+
+  std::vector<bool> cell_c(g.NumNodes(), false);
+  cell_c[c] = true;
+  // Final cell is occupied forever.
+  EXPECT_EQ(oracle.OccupancyAt(cell_c, 3.0), 1);
+  EXPECT_EQ(oracle.OccupancyAt(cell_c, 1e9), 1);
+  EXPECT_EQ(oracle.NetChange(cell_c, 0.0, 10.0), 1);
+  EXPECT_EQ(oracle.NetChange(cell_b, 2.5, 10.0), -1);
+}
+
+TEST(OracleTest, GatewayStartVisibleFromStart) {
+  graph::PlanarGraph g = SmallNetwork(7);
+  std::vector<graph::NodeId> gateways = GatewayJunctions(g);
+  graph::NodeId a = gateways[0];
+  graph::NodeId b = g.NeighborsOf(a)[0].node;
+  Trajectory t{{a, b}, {1.0, 2.0}};
+  std::vector<bool> mask = GatewayMask(g);
+  OccupancyOracle oracle(g, {t}, &mask);
+  std::vector<bool> cell_a(g.NumNodes(), false);
+  cell_a[a] = true;
+  EXPECT_EQ(oracle.OccupancyAt(cell_a, 0.5), 0);  // Before entry.
+  EXPECT_EQ(oracle.OccupancyAt(cell_a, 1.0), 1);  // Entered via ⋆v_ext.
+  EXPECT_EQ(oracle.OccupancyAt(cell_a, 2.0), 0);  // Moved on to b.
+}
+
+TEST(OracleTest, DistinctVisitors) {
+  graph::PlanarGraph g = SmallNetwork(8);
+  graph::NodeId a = 10;
+  graph::NodeId b = g.NeighborsOf(a)[0].node;
+  graph::NodeId c = g.NeighborsOf(b).back().node;
+  ASSERT_NE(a, c);
+  // Object visits b during [2, 3).
+  Trajectory t{{a, b, c}, {1.0, 2.0, 3.0}};
+  OccupancyOracle oracle(g, {t});
+  std::vector<bool> cell_b(g.NumNodes(), false);
+  cell_b[b] = true;
+  EXPECT_EQ(oracle.DistinctVisitors(cell_b, 0.0, 1.5), 0);
+  EXPECT_EQ(oracle.DistinctVisitors(cell_b, 0.0, 2.0), 1);
+  EXPECT_EQ(oracle.DistinctVisitors(cell_b, 2.5, 2.7), 1);
+  EXPECT_EQ(oracle.DistinctVisitors(cell_b, 3.5, 9.0), 0);
+}
+
+}  // namespace
+}  // namespace innet::mobility

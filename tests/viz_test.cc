@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/framework.h"
+#include "sampling/samplers.h"
+#include "viz/network_render.h"
+#include "viz/svg.h"
+
+namespace innet::viz {
+namespace {
+
+TEST(SvgCanvasTest, DocumentStructure) {
+  SvgCanvas canvas(geometry::Rect(0, 0, 100, 50), 400.0);
+  canvas.DrawLine({0, 0}, {100, 50}, "#ff0000", 2.0);
+  canvas.DrawCircle({50, 25}, 5.0, "#00ff00");
+  canvas.DrawRect(geometry::Rect(10, 10, 30, 20), "#0000ff");
+  canvas.DrawPolygon(geometry::Polygon({{1, 1}, {5, 1}, {3, 4}}), "#333");
+  canvas.DrawText({50, 25}, "label");
+  std::string doc = canvas.ToString();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("<line"), std::string::npos);
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("<rect"), std::string::npos);
+  EXPECT_NE(doc.find("<polygon"), std::string::npos);
+  EXPECT_NE(doc.find("label"), std::string::npos);
+  // Aspect ratio preserved: 400 x 200 canvas.
+  EXPECT_NE(doc.find("height=\"200.0\""), std::string::npos);
+}
+
+TEST(SvgCanvasTest, CoordinateMapping) {
+  SvgCanvas canvas(geometry::Rect(0, 0, 10, 10), 100.0);
+  // World (0, 0) is the bottom-left -> pixel (0, 100); world (10, 10) is
+  // top-right -> pixel (100, 0).
+  canvas.DrawCircle({0, 0}, 1.0, "#000");
+  canvas.DrawCircle({10, 10}, 1.0, "#000");
+  std::string doc = canvas.ToString();
+  EXPECT_NE(doc.find("cx=\"0.0\" cy=\"100.0\""), std::string::npos);
+  EXPECT_NE(doc.find("cx=\"100.0\" cy=\"0.0\""), std::string::npos);
+}
+
+TEST(SvgCanvasTest, WriteToFile) {
+  SvgCanvas canvas(geometry::Rect(0, 0, 10, 10), 100.0);
+  canvas.DrawCircle({5, 5}, 2.0, "#123456");
+  std::string path =
+      (std::filesystem::temp_directory_path() / "innet_viz_test.svg").string();
+  ASSERT_TRUE(canvas.WriteToFile(path).ok());
+  EXPECT_GT(std::filesystem::file_size(path), 100u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(canvas.WriteToFile("/nonexistent_dir_xyz/out.svg").ok());
+}
+
+TEST(NetworkRenderTest, RendersDeployment) {
+  core::FrameworkOptions options;
+  options.road.num_junctions = 200;
+  options.traffic.num_trajectories = 50;
+  options.seed = 12;
+  core::Framework framework(options);
+  sampling::KdTreeSampler sampler;
+  util::Rng rng = framework.ForkRng();
+  core::Deployment deployment = framework.DeployWithSampler(
+      sampler, 30, core::DeploymentOptions{}, rng);
+
+  RenderOptions render;
+  render.draw_sensors = true;
+  render.query_rect = geometry::Rect(2000, 2000, 6000, 6000);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "innet_render_test.svg")
+          .string();
+  ASSERT_TRUE(RenderNetwork(framework.network(), &deployment.graph(), render,
+                            path)
+                  .ok());
+  // The file should contain roads, monitored edges, comm sensors, and the
+  // query rect: i.e., plenty of elements.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  EXPECT_GT(size, 10000);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace innet::viz

@@ -1,0 +1,214 @@
+// innet_dataset — dataset tooling for the innet library.
+//
+// Subcommands:
+//   generate   build a synthetic world and save it
+//     --junctions N --world-size M --trips N --horizon SECONDS --seed S
+//     --graph-out PATH --trips-out PATH
+//   describe   print statistics of saved artifacts
+//     --graph PATH [--trips PATH]
+//   import     read a CSV road network (planarizing flyover crossings)
+//     --csv PATH --graph-out PATH
+//   export-csv write a saved network as CSV
+//     --graph PATH --out PATH
+//   render     draw a saved network (optionally with a deployment) to SVG
+//     --graph PATH --out PATH [--sample-fraction F] [--sampler NAME]
+//
+// Examples:
+//   innet_dataset generate --junctions 1000 --trips 3000 
+//       --graph-out city.bin --trips-out trips.bin
+//   innet_dataset describe --graph city.bin --trips trips.bin
+//   innet_dataset render --graph city.bin --out city.svg 
+//       --sample-fraction 0.1 --sampler quadtree
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/sensor_network.h"
+#include "core/sampled_graph.h"
+#include "graph/shortest_path.h"
+#include "io/serialize.h"
+#include "mobility/road_network.h"
+#include "mobility/trajectory_generator.h"
+#include "sampling/samplers.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "viz/network_render.h"
+
+namespace innet {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Generate(const util::FlagParser& flags) {
+  mobility::RoadNetworkOptions road;
+  road.num_junctions =
+      static_cast<size_t>(flags.GetInt("junctions", 800));
+  road.world_size = flags.GetDouble("world-size", 15000.0);
+  mobility::TrajectoryOptions traffic;
+  traffic.num_trajectories = static_cast<size_t>(flags.GetInt("trips", 2000));
+  traffic.horizon = flags.GetDouble("horizon", 6.0 * 3600.0);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::string graph_out = flags.GetString("graph-out", "network.bin");
+  std::string trips_out = flags.GetString("trips-out", "trips.bin");
+
+  util::Rng rng(seed);
+  graph::PlanarGraph graph = mobility::GenerateRoadNetwork(road, rng);
+  std::vector<mobility::Trajectory> trips =
+      mobility::GenerateTrajectories(graph, traffic, rng);
+  std::printf("generated %zu junctions, %zu roads, %zu trips\n",
+              graph.NumNodes(), graph.NumEdges(), trips.size());
+
+  util::Status status = io::SaveRoadNetwork(graph, graph_out);
+  if (!status.ok()) return Fail(status.ToString());
+  status = io::SaveTrajectories(trips, trips_out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %s and %s\n", graph_out.c_str(), trips_out.c_str());
+  return 0;
+}
+
+int Describe(const util::FlagParser& flags) {
+  std::string graph_path = flags.GetString("graph");
+  if (graph_path.empty()) return Fail("describe requires --graph");
+  util::StatusOr<graph::PlanarGraph> graph = io::LoadRoadNetwork(graph_path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+
+  core::SensorNetwork network(std::move(*graph));
+  std::printf("network %s:\n", graph_path.c_str());
+  std::printf("  junctions: %zu\n", network.mobility().NumNodes());
+  std::printf("  roads:     %zu\n", network.mobility().NumEdges());
+  std::printf("  sensors:   %zu\n", network.NumSensors());
+  std::printf("  gateways:  %zu\n", network.gateways().size());
+  std::printf("  domain:    %.0f x %.0f\n", network.DomainBounds().Width(),
+              network.DomainBounds().Height());
+  double hops = graph::EstimateAveragePathHops(
+      network.sensing().adjacency(), 32, 7);
+  std::printf("  avg sensing-graph path: %.1f hops\n", hops);
+
+  std::string trips_path = flags.GetString("trips");
+  if (!trips_path.empty()) {
+    auto trips = io::LoadTrajectories(trips_path, &network.mobility());
+    if (!trips.ok()) return Fail(trips.status().ToString());
+    network.IngestTrajectories(*trips);
+    size_t hops_total = 0;
+    double t_max = 0.0;
+    for (const mobility::Trajectory& t : *trips) {
+      hops_total += t.nodes.size() - 1;
+      t_max = std::max(t_max, t.times.back());
+    }
+    std::printf("trips %s:\n", trips_path.c_str());
+    std::printf("  count:     %zu\n", trips->size());
+    std::printf("  crossings: %zu (incl. %zu v_ext entries)\n",
+                network.events().size(),
+                network.events().size() - hops_total);
+    std::printf("  time span: %.1f h\n", t_max / 3600.0);
+    std::printf("  exact-store size: %zu bytes\n",
+                network.reference_store().StorageBytes());
+  }
+  return 0;
+}
+
+int Render(const util::FlagParser& flags) {
+  std::string graph_path = flags.GetString("graph");
+  std::string out = flags.GetString("out", "network.svg");
+  if (graph_path.empty()) return Fail("render requires --graph");
+  util::StatusOr<graph::PlanarGraph> graph = io::LoadRoadNetwork(graph_path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  core::SensorNetwork network(std::move(*graph));
+
+  double fraction = flags.GetDouble("sample-fraction", 0.0);
+  std::unique_ptr<core::SampledGraph> sampled;
+  if (fraction > 0.0) {
+    std::string name = flags.GetString("sampler", "kd-tree");
+    std::unique_ptr<sampling::SensorSampler> sampler;
+    for (auto& candidate : sampling::AllSamplers()) {
+      if (candidate->Name() == name) sampler = std::move(candidate);
+    }
+    if (sampler == nullptr) {
+      return Fail("unknown sampler: " + name +
+                  " (uniform|systematic|stratified|kd-tree|quadtree)");
+    }
+    util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+    size_t m = static_cast<size_t>(fraction *
+                                   static_cast<double>(network.NumSensors()));
+    std::vector<graph::NodeId> sensors =
+        sampler->Select(network.sensing(), m, rng);
+    sampled = std::make_unique<core::SampledGraph>(
+        core::SampledGraph::FromSensors(network, std::move(sensors), {}));
+    std::printf("deployment: %zu comm sensors, %zu monitored edges, %u "
+                "faces\n",
+                sampled->comm_sensors().size(),
+                sampled->monitored_edges().size(), sampled->NumFaces());
+  }
+  viz::RenderOptions render;
+  render.draw_sensors = sampled == nullptr;
+  util::Status status =
+      viz::RenderNetwork(network, sampled.get(), render, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int Import(const util::FlagParser& flags) {
+  std::string csv = flags.GetString("csv");
+  std::string out = flags.GetString("graph-out", "network.bin");
+  if (csv.empty()) return Fail("import requires --csv");
+  util::StatusOr<io::CsvImportResult> imported = io::ImportRoadNetworkCsv(csv);
+  if (!imported.ok()) return Fail(imported.status().ToString());
+  std::printf(
+      "imported %zu junctions, %zu roads (%zu crossings planarized)\n",
+      imported->graph.NumNodes(), imported->graph.NumEdges(),
+      imported->inserted_crossings);
+  util::Status status = io::SaveRoadNetwork(imported->graph, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int ExportCsv(const util::FlagParser& flags) {
+  std::string graph_path = flags.GetString("graph");
+  std::string out = flags.GetString("out", "network.csv");
+  if (graph_path.empty()) return Fail("export-csv requires --graph");
+  util::StatusOr<graph::PlanarGraph> graph = io::LoadRoadNetwork(graph_path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  util::Status status = io::ExportRoadNetworkCsv(*graph, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: innet_dataset <generate|describe|render|import|export-csv> [flags]\n"
+                 "see the header of tools/innet_dataset.cc for flags\n");
+    return 2;
+  }
+  const std::string& command = flags.positional()[0];
+  int result;
+  if (command == "generate") {
+    result = Generate(flags);
+  } else if (command == "describe") {
+    result = Describe(flags);
+  } else if (command == "render") {
+    result = Render(flags);
+  } else if (command == "import") {
+    result = Import(flags);
+  } else if (command == "export-csv") {
+    result = ExportCsv(flags);
+  } else {
+    return Fail("unknown command: " + command);
+  }
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", unused.c_str());
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace innet
+
+int main(int argc, char** argv) { return innet::Main(argc, argv); }
