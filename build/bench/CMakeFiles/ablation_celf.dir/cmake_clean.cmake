@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_celf.dir/ablation_celf.cc.o"
+  "CMakeFiles/ablation_celf.dir/ablation_celf.cc.o.d"
+  "ablation_celf"
+  "ablation_celf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_celf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deadspace.dir/ablation_deadspace.cc.o"
+  "CMakeFiles/ablation_deadspace.dir/ablation_deadspace.cc.o.d"
+  "ablation_deadspace"
+  "ablation_deadspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

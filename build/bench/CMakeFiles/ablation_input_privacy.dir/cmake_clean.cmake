@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_input_privacy.dir/ablation_input_privacy.cc.o"
+  "CMakeFiles/ablation_input_privacy.dir/ablation_input_privacy.cc.o.d"
+  "ablation_input_privacy"
+  "ablation_input_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_input_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_privacy.dir/ablation_privacy.cc.o"
+  "CMakeFiles/ablation_privacy.dir/ablation_privacy.cc.o.d"
+  "ablation_privacy"
+  "ablation_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

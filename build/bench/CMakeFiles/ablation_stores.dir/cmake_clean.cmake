@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stores.dir/ablation_stores.cc.o"
+  "CMakeFiles/ablation_stores.dir/ablation_stores.cc.o.d"
+  "ablation_stores"
+  "ablation_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_storage.dir/fig11_storage.cc.o"
+  "CMakeFiles/fig11_storage.dir/fig11_storage.cc.o.d"
+  "fig11_storage"
+  "fig11_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

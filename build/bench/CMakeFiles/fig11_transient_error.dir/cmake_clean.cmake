@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_transient_error.dir/fig11_transient_error.cc.o"
+  "CMakeFiles/fig11_transient_error.dir/fig11_transient_error.cc.o.d"
+  "fig11_transient_error"
+  "fig11_transient_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_transient_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

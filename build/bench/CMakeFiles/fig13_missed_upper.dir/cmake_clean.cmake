@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_missed_upper.dir/fig13_missed_upper.cc.o"
+  "CMakeFiles/fig13_missed_upper.dir/fig13_missed_upper.cc.o.d"
+  "fig13_missed_upper"
+  "fig13_missed_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_missed_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_knn_regression.dir/fig14_knn_regression.cc.o"
+  "CMakeFiles/fig14_knn_regression.dir/fig14_knn_regression.cc.o.d"
+  "fig14_knn_regression"
+  "fig14_knn_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_knn_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_samplers.dir/fig4_samplers.cc.o"
+  "CMakeFiles/fig4_samplers.dir/fig4_samplers.cc.o.d"
+  "fig4_samplers"
+  "fig4_samplers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_samplers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/innet_bench_common.dir/bench_common.cc.o.d"
+  "libinnet_bench_common.a"
+  "libinnet_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_tower_monitoring.dir/cell_tower_monitoring.cpp.o"
+  "CMakeFiles/cell_tower_monitoring.dir/cell_tower_monitoring.cpp.o.d"
+  "cell_tower_monitoring"
+  "cell_tower_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_tower_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gps_ingestion.dir/gps_ingestion.cpp.o"
+  "CMakeFiles/gps_ingestion.dir/gps_ingestion.cpp.o.d"
+  "gps_ingestion"
+  "gps_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_placement_planning.dir/sensor_placement_planning.cpp.o"
+  "CMakeFiles/sensor_placement_planning.dir/sensor_placement_planning.cpp.o.d"
+  "sensor_placement_planning"
+  "sensor_placement_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_placement_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_flow_estimation.dir/traffic_flow_estimation.cpp.o"
+  "CMakeFiles/traffic_flow_estimation.dir/traffic_flow_estimation.cpp.o.d"
+  "traffic_flow_estimation"
+  "traffic_flow_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_flow_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geometry")
+subdirs("graph")
+subdirs("spatial")
+subdirs("mobility")
+subdirs("forms")
+subdirs("learned")
+subdirs("sampling")
+subdirs("placement")
+subdirs("privacy")
+subdirs("io")
+subdirs("baseline")
+subdirs("core")
+subdirs("viz")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_baseline.dir/euler_histogram.cc.o"
+  "CMakeFiles/innet_baseline.dir/euler_histogram.cc.o.d"
+  "CMakeFiles/innet_baseline.dir/face_occupancy.cc.o"
+  "CMakeFiles/innet_baseline.dir/face_occupancy.cc.o.d"
+  "CMakeFiles/innet_baseline.dir/face_sampling.cc.o"
+  "CMakeFiles/innet_baseline.dir/face_sampling.cc.o.d"
+  "libinnet_baseline.a"
+  "libinnet_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

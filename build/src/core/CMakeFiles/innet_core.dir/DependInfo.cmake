@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_weights.cc" "src/core/CMakeFiles/innet_core.dir/adaptive_weights.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/adaptive_weights.cc.o.d"
+  "/root/repo/src/core/budget_planner.cc" "src/core/CMakeFiles/innet_core.dir/budget_planner.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/budget_planner.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/innet_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/dead_space.cc" "src/core/CMakeFiles/innet_core.dir/dead_space.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/dead_space.cc.o.d"
+  "/root/repo/src/core/dispatch.cc" "src/core/CMakeFiles/innet_core.dir/dispatch.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/dispatch.cc.o.d"
+  "/root/repo/src/core/event_buffer.cc" "src/core/CMakeFiles/innet_core.dir/event_buffer.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/event_buffer.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/core/CMakeFiles/innet_core.dir/framework.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/framework.cc.o.d"
+  "/root/repo/src/core/live_monitor.cc" "src/core/CMakeFiles/innet_core.dir/live_monitor.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/live_monitor.cc.o.d"
+  "/root/repo/src/core/query_processor.cc" "src/core/CMakeFiles/innet_core.dir/query_processor.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/query_processor.cc.o.d"
+  "/root/repo/src/core/sampled_graph.cc" "src/core/CMakeFiles/innet_core.dir/sampled_graph.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/sampled_graph.cc.o.d"
+  "/root/repo/src/core/sensor_network.cc" "src/core/CMakeFiles/innet_core.dir/sensor_network.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/sensor_network.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/innet_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/innet_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/forms/CMakeFiles/innet_forms.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/innet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/innet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/innet_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/innet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/learned/CMakeFiles/innet_learned.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/innet_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/innet_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/innet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_core.dir/adaptive_weights.cc.o"
+  "CMakeFiles/innet_core.dir/adaptive_weights.cc.o.d"
+  "CMakeFiles/innet_core.dir/budget_planner.cc.o"
+  "CMakeFiles/innet_core.dir/budget_planner.cc.o.d"
+  "CMakeFiles/innet_core.dir/cost_model.cc.o"
+  "CMakeFiles/innet_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/innet_core.dir/dead_space.cc.o"
+  "CMakeFiles/innet_core.dir/dead_space.cc.o.d"
+  "CMakeFiles/innet_core.dir/dispatch.cc.o"
+  "CMakeFiles/innet_core.dir/dispatch.cc.o.d"
+  "CMakeFiles/innet_core.dir/event_buffer.cc.o"
+  "CMakeFiles/innet_core.dir/event_buffer.cc.o.d"
+  "CMakeFiles/innet_core.dir/framework.cc.o"
+  "CMakeFiles/innet_core.dir/framework.cc.o.d"
+  "CMakeFiles/innet_core.dir/live_monitor.cc.o"
+  "CMakeFiles/innet_core.dir/live_monitor.cc.o.d"
+  "CMakeFiles/innet_core.dir/query_processor.cc.o"
+  "CMakeFiles/innet_core.dir/query_processor.cc.o.d"
+  "CMakeFiles/innet_core.dir/sampled_graph.cc.o"
+  "CMakeFiles/innet_core.dir/sampled_graph.cc.o.d"
+  "CMakeFiles/innet_core.dir/sensor_network.cc.o"
+  "CMakeFiles/innet_core.dir/sensor_network.cc.o.d"
+  "CMakeFiles/innet_core.dir/workload.cc.o"
+  "CMakeFiles/innet_core.dir/workload.cc.o.d"
+  "libinnet_core.a"
+  "libinnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

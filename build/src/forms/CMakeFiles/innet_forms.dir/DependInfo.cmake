@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forms/differential_form.cc" "src/forms/CMakeFiles/innet_forms.dir/differential_form.cc.o" "gcc" "src/forms/CMakeFiles/innet_forms.dir/differential_form.cc.o.d"
+  "/root/repo/src/forms/region_count.cc" "src/forms/CMakeFiles/innet_forms.dir/region_count.cc.o" "gcc" "src/forms/CMakeFiles/innet_forms.dir/region_count.cc.o.d"
+  "/root/repo/src/forms/tracking_form.cc" "src/forms/CMakeFiles/innet_forms.dir/tracking_form.cc.o" "gcc" "src/forms/CMakeFiles/innet_forms.dir/tracking_form.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/innet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/innet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/innet_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

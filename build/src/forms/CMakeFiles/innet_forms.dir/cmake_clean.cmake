@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_forms.dir/differential_form.cc.o"
+  "CMakeFiles/innet_forms.dir/differential_form.cc.o.d"
+  "CMakeFiles/innet_forms.dir/region_count.cc.o"
+  "CMakeFiles/innet_forms.dir/region_count.cc.o.d"
+  "CMakeFiles/innet_forms.dir/tracking_form.cc.o"
+  "CMakeFiles/innet_forms.dir/tracking_form.cc.o.d"
+  "libinnet_forms.a"
+  "libinnet_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

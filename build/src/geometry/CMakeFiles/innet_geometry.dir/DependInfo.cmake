@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/convex_hull.cc" "src/geometry/CMakeFiles/innet_geometry.dir/convex_hull.cc.o" "gcc" "src/geometry/CMakeFiles/innet_geometry.dir/convex_hull.cc.o.d"
+  "/root/repo/src/geometry/delaunay.cc" "src/geometry/CMakeFiles/innet_geometry.dir/delaunay.cc.o" "gcc" "src/geometry/CMakeFiles/innet_geometry.dir/delaunay.cc.o.d"
+  "/root/repo/src/geometry/polygon.cc" "src/geometry/CMakeFiles/innet_geometry.dir/polygon.cc.o" "gcc" "src/geometry/CMakeFiles/innet_geometry.dir/polygon.cc.o.d"
+  "/root/repo/src/geometry/predicates.cc" "src/geometry/CMakeFiles/innet_geometry.dir/predicates.cc.o" "gcc" "src/geometry/CMakeFiles/innet_geometry.dir/predicates.cc.o.d"
+  "/root/repo/src/geometry/segment.cc" "src/geometry/CMakeFiles/innet_geometry.dir/segment.cc.o" "gcc" "src/geometry/CMakeFiles/innet_geometry.dir/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/innet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_geometry.dir/convex_hull.cc.o"
+  "CMakeFiles/innet_geometry.dir/convex_hull.cc.o.d"
+  "CMakeFiles/innet_geometry.dir/delaunay.cc.o"
+  "CMakeFiles/innet_geometry.dir/delaunay.cc.o.d"
+  "CMakeFiles/innet_geometry.dir/polygon.cc.o"
+  "CMakeFiles/innet_geometry.dir/polygon.cc.o.d"
+  "CMakeFiles/innet_geometry.dir/predicates.cc.o"
+  "CMakeFiles/innet_geometry.dir/predicates.cc.o.d"
+  "CMakeFiles/innet_geometry.dir/segment.cc.o"
+  "CMakeFiles/innet_geometry.dir/segment.cc.o.d"
+  "libinnet_geometry.a"
+  "libinnet_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

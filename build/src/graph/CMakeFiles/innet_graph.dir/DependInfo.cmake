@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/connectivity.cc" "src/graph/CMakeFiles/innet_graph.dir/connectivity.cc.o" "gcc" "src/graph/CMakeFiles/innet_graph.dir/connectivity.cc.o.d"
+  "/root/repo/src/graph/dual_graph.cc" "src/graph/CMakeFiles/innet_graph.dir/dual_graph.cc.o" "gcc" "src/graph/CMakeFiles/innet_graph.dir/dual_graph.cc.o.d"
+  "/root/repo/src/graph/planar_graph.cc" "src/graph/CMakeFiles/innet_graph.dir/planar_graph.cc.o" "gcc" "src/graph/CMakeFiles/innet_graph.dir/planar_graph.cc.o.d"
+  "/root/repo/src/graph/planarize.cc" "src/graph/CMakeFiles/innet_graph.dir/planarize.cc.o" "gcc" "src/graph/CMakeFiles/innet_graph.dir/planarize.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "src/graph/CMakeFiles/innet_graph.dir/shortest_path.cc.o" "gcc" "src/graph/CMakeFiles/innet_graph.dir/shortest_path.cc.o.d"
+  "/root/repo/src/graph/weighted_adjacency.cc" "src/graph/CMakeFiles/innet_graph.dir/weighted_adjacency.cc.o" "gcc" "src/graph/CMakeFiles/innet_graph.dir/weighted_adjacency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/innet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/innet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

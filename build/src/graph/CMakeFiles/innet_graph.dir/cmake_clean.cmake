@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_graph.dir/connectivity.cc.o"
+  "CMakeFiles/innet_graph.dir/connectivity.cc.o.d"
+  "CMakeFiles/innet_graph.dir/dual_graph.cc.o"
+  "CMakeFiles/innet_graph.dir/dual_graph.cc.o.d"
+  "CMakeFiles/innet_graph.dir/planar_graph.cc.o"
+  "CMakeFiles/innet_graph.dir/planar_graph.cc.o.d"
+  "CMakeFiles/innet_graph.dir/planarize.cc.o"
+  "CMakeFiles/innet_graph.dir/planarize.cc.o.d"
+  "CMakeFiles/innet_graph.dir/shortest_path.cc.o"
+  "CMakeFiles/innet_graph.dir/shortest_path.cc.o.d"
+  "CMakeFiles/innet_graph.dir/weighted_adjacency.cc.o"
+  "CMakeFiles/innet_graph.dir/weighted_adjacency.cc.o.d"
+  "libinnet_graph.a"
+  "libinnet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

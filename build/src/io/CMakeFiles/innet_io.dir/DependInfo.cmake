@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/serialize.cc" "src/io/CMakeFiles/innet_io.dir/serialize.cc.o" "gcc" "src/io/CMakeFiles/innet_io.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/innet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/innet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/innet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/innet_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/innet_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_io.dir/serialize.cc.o"
+  "CMakeFiles/innet_io.dir/serialize.cc.o.d"
+  "libinnet_io.a"
+  "libinnet_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

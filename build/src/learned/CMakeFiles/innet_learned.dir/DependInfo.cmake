@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learned/buffered_edge_store.cc" "src/learned/CMakeFiles/innet_learned.dir/buffered_edge_store.cc.o" "gcc" "src/learned/CMakeFiles/innet_learned.dir/buffered_edge_store.cc.o.d"
+  "/root/repo/src/learned/count_model.cc" "src/learned/CMakeFiles/innet_learned.dir/count_model.cc.o" "gcc" "src/learned/CMakeFiles/innet_learned.dir/count_model.cc.o.d"
+  "/root/repo/src/learned/piecewise_model.cc" "src/learned/CMakeFiles/innet_learned.dir/piecewise_model.cc.o" "gcc" "src/learned/CMakeFiles/innet_learned.dir/piecewise_model.cc.o.d"
+  "/root/repo/src/learned/polynomial_model.cc" "src/learned/CMakeFiles/innet_learned.dir/polynomial_model.cc.o" "gcc" "src/learned/CMakeFiles/innet_learned.dir/polynomial_model.cc.o.d"
+  "/root/repo/src/learned/rolling_store.cc" "src/learned/CMakeFiles/innet_learned.dir/rolling_store.cc.o" "gcc" "src/learned/CMakeFiles/innet_learned.dir/rolling_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/forms/CMakeFiles/innet_forms.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/innet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/innet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/innet_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_learned.dir/buffered_edge_store.cc.o"
+  "CMakeFiles/innet_learned.dir/buffered_edge_store.cc.o.d"
+  "CMakeFiles/innet_learned.dir/count_model.cc.o"
+  "CMakeFiles/innet_learned.dir/count_model.cc.o.d"
+  "CMakeFiles/innet_learned.dir/piecewise_model.cc.o"
+  "CMakeFiles/innet_learned.dir/piecewise_model.cc.o.d"
+  "CMakeFiles/innet_learned.dir/polynomial_model.cc.o"
+  "CMakeFiles/innet_learned.dir/polynomial_model.cc.o.d"
+  "CMakeFiles/innet_learned.dir/rolling_store.cc.o"
+  "CMakeFiles/innet_learned.dir/rolling_store.cc.o.d"
+  "libinnet_learned.a"
+  "libinnet_learned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/map_matching.cc" "src/mobility/CMakeFiles/innet_mobility.dir/map_matching.cc.o" "gcc" "src/mobility/CMakeFiles/innet_mobility.dir/map_matching.cc.o.d"
+  "/root/repo/src/mobility/perturbation.cc" "src/mobility/CMakeFiles/innet_mobility.dir/perturbation.cc.o" "gcc" "src/mobility/CMakeFiles/innet_mobility.dir/perturbation.cc.o.d"
+  "/root/repo/src/mobility/road_network.cc" "src/mobility/CMakeFiles/innet_mobility.dir/road_network.cc.o" "gcc" "src/mobility/CMakeFiles/innet_mobility.dir/road_network.cc.o.d"
+  "/root/repo/src/mobility/trajectory.cc" "src/mobility/CMakeFiles/innet_mobility.dir/trajectory.cc.o" "gcc" "src/mobility/CMakeFiles/innet_mobility.dir/trajectory.cc.o.d"
+  "/root/repo/src/mobility/trajectory_generator.cc" "src/mobility/CMakeFiles/innet_mobility.dir/trajectory_generator.cc.o" "gcc" "src/mobility/CMakeFiles/innet_mobility.dir/trajectory_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/innet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/innet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/innet_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/innet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_mobility.dir/map_matching.cc.o"
+  "CMakeFiles/innet_mobility.dir/map_matching.cc.o.d"
+  "CMakeFiles/innet_mobility.dir/perturbation.cc.o"
+  "CMakeFiles/innet_mobility.dir/perturbation.cc.o.d"
+  "CMakeFiles/innet_mobility.dir/road_network.cc.o"
+  "CMakeFiles/innet_mobility.dir/road_network.cc.o.d"
+  "CMakeFiles/innet_mobility.dir/trajectory.cc.o"
+  "CMakeFiles/innet_mobility.dir/trajectory.cc.o.d"
+  "CMakeFiles/innet_mobility.dir/trajectory_generator.cc.o"
+  "CMakeFiles/innet_mobility.dir/trajectory_generator.cc.o.d"
+  "libinnet_mobility.a"
+  "libinnet_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/query_adaptive.cc" "src/placement/CMakeFiles/innet_placement.dir/query_adaptive.cc.o" "gcc" "src/placement/CMakeFiles/innet_placement.dir/query_adaptive.cc.o.d"
+  "/root/repo/src/placement/submodular.cc" "src/placement/CMakeFiles/innet_placement.dir/submodular.cc.o" "gcc" "src/placement/CMakeFiles/innet_placement.dir/submodular.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/innet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/innet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/innet_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

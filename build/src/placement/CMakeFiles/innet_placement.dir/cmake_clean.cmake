@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_placement.dir/query_adaptive.cc.o"
+  "CMakeFiles/innet_placement.dir/query_adaptive.cc.o.d"
+  "CMakeFiles/innet_placement.dir/submodular.cc.o"
+  "CMakeFiles/innet_placement.dir/submodular.cc.o.d"
+  "libinnet_placement.a"
+  "libinnet_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

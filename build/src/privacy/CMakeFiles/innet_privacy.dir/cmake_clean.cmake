@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_privacy.dir/noise.cc.o"
+  "CMakeFiles/innet_privacy.dir/noise.cc.o.d"
+  "CMakeFiles/innet_privacy.dir/private_store.cc.o"
+  "CMakeFiles/innet_privacy.dir/private_store.cc.o.d"
+  "libinnet_privacy.a"
+  "libinnet_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

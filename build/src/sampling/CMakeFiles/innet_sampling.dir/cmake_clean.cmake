@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_sampling.dir/sampler.cc.o"
+  "CMakeFiles/innet_sampling.dir/sampler.cc.o.d"
+  "CMakeFiles/innet_sampling.dir/samplers.cc.o"
+  "CMakeFiles/innet_sampling.dir/samplers.cc.o.d"
+  "libinnet_sampling.a"
+  "libinnet_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_spatial.dir/grid.cc.o"
+  "CMakeFiles/innet_spatial.dir/grid.cc.o.d"
+  "CMakeFiles/innet_spatial.dir/kdtree.cc.o"
+  "CMakeFiles/innet_spatial.dir/kdtree.cc.o.d"
+  "CMakeFiles/innet_spatial.dir/quadtree.cc.o"
+  "CMakeFiles/innet_spatial.dir/quadtree.cc.o.d"
+  "CMakeFiles/innet_spatial.dir/rtree.cc.o"
+  "CMakeFiles/innet_spatial.dir/rtree.cc.o.d"
+  "libinnet_spatial.a"
+  "libinnet_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_util.dir/flags.cc.o"
+  "CMakeFiles/innet_util.dir/flags.cc.o.d"
+  "CMakeFiles/innet_util.dir/rng.cc.o"
+  "CMakeFiles/innet_util.dir/rng.cc.o.d"
+  "CMakeFiles/innet_util.dir/stats.cc.o"
+  "CMakeFiles/innet_util.dir/stats.cc.o.d"
+  "CMakeFiles/innet_util.dir/status.cc.o"
+  "CMakeFiles/innet_util.dir/status.cc.o.d"
+  "CMakeFiles/innet_util.dir/table.cc.o"
+  "CMakeFiles/innet_util.dir/table.cc.o.d"
+  "libinnet_util.a"
+  "libinnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_viz.dir/network_render.cc.o"
+  "CMakeFiles/innet_viz.dir/network_render.cc.o.d"
+  "CMakeFiles/innet_viz.dir/svg.cc.o"
+  "CMakeFiles/innet_viz.dir/svg.cc.o.d"
+  "libinnet_viz.a"
+  "libinnet_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dead_space_test.dir/dead_space_test.cc.o"
+  "CMakeFiles/dead_space_test.dir/dead_space_test.cc.o.d"
+  "dead_space_test"
+  "dead_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dead_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_graph_test.dir/dual_graph_test.cc.o"
+  "CMakeFiles/dual_graph_test.dir/dual_graph_test.cc.o.d"
+  "dual_graph_test"
+  "dual_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

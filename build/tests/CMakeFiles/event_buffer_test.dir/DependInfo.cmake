@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/event_buffer_test.cc" "tests/CMakeFiles/event_buffer_test.dir/event_buffer_test.cc.o" "gcc" "tests/CMakeFiles/event_buffer_test.dir/event_buffer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/innet_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/innet_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/innet_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/innet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/innet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/innet_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/innet_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/learned/CMakeFiles/innet_learned.dir/DependInfo.cmake"
+  "/root/repo/build/src/forms/CMakeFiles/innet_forms.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/innet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/innet_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/innet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/innet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/innet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forms_test.dir/forms_test.cc.o"
+  "CMakeFiles/forms_test.dir/forms_test.cc.o.d"
+  "forms_test"
+  "forms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_monitor_test.dir/live_monitor_test.cc.o"
+  "CMakeFiles/live_monitor_test.dir/live_monitor_test.cc.o.d"
+  "live_monitor_test"
+  "live_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

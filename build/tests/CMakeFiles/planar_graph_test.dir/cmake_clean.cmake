@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planar_graph_test.dir/planar_graph_test.cc.o"
+  "CMakeFiles/planar_graph_test.dir/planar_graph_test.cc.o.d"
+  "planar_graph_test"
+  "planar_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planar_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

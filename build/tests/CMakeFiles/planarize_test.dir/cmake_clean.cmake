@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planarize_test.dir/planarize_test.cc.o"
+  "CMakeFiles/planarize_test.dir/planarize_test.cc.o.d"
+  "planarize_test"
+  "planarize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planarize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_adaptive_test.dir/query_adaptive_test.cc.o"
+  "CMakeFiles/query_adaptive_test.dir/query_adaptive_test.cc.o.d"
+  "query_adaptive_test"
+  "query_adaptive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_shapes_test.dir/region_shapes_test.cc.o"
+  "CMakeFiles/region_shapes_test.dir/region_shapes_test.cc.o.d"
+  "region_shapes_test"
+  "region_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolling_store_test.dir/rolling_store_test.cc.o"
+  "CMakeFiles/rolling_store_test.dir/rolling_store_test.cc.o.d"
+  "rolling_store_test"
+  "rolling_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolling_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampled_graph_test.dir/sampled_graph_test.cc.o"
+  "CMakeFiles/sampled_graph_test.dir/sampled_graph_test.cc.o.d"
+  "sampled_graph_test"
+  "sampled_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampled_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_dataset.dir/innet_dataset.cc.o"
+  "CMakeFiles/innet_dataset.dir/innet_dataset.cc.o.d"
+  "innet_dataset"
+  "innet_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_query.dir/innet_query.cc.o"
+  "CMakeFiles/innet_query.dir/innet_query.cc.o.d"
+  "innet_query"
+  "innet_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
