@@ -5,12 +5,15 @@
 //   - ~99.96% storage reduction from constant-size regression models.
 // Absolute values depend on the substrate scale; see EXPERIMENTS.md for the
 // paper-vs-measured record.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "runtime/batch_query_engine.h"
 #include "sampling/samplers.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace innet::bench {
 namespace {
@@ -118,6 +121,42 @@ void Main() {
       "-> %.4f%% reduction\n",
       kBusyEvents * sizeof(double), busy.StorageBytes(),
       busy_reduction * 100.0);
+
+  // --- Batch serving: the BatchQueryEngine on the same workload, repeated
+  // as a polling dashboard would. The boundary cache amortizes face
+  // resolution across repetitions; see bench/throughput_scaling for the
+  // thread sweep. ---
+  std::vector<core::RangeQuery> batch;
+  constexpr size_t kBatchRepeats = 16;
+  batch.reserve(queries.size() * kBatchRepeats);
+  for (size_t r = 0; r < kBatchRepeats; ++r) {
+    batch.insert(batch.end(), queries.begin(), queries.end());
+  }
+  core::SampledQueryProcessor serial = dep.processor();
+  util::Timer serial_timer;
+  for (const core::RangeQuery& q : batch) {
+    serial.Answer(q, core::CountKind::kStatic, core::BoundMode::kLower);
+  }
+  double serial_seconds = serial_timer.ElapsedSeconds();
+
+  runtime::BatchEngineOptions engine_options;
+  engine_options.num_threads = 8;
+  runtime::BatchQueryEngine engine(dep.graph(), dep.store(), engine_options);
+  engine.AnswerBatch(batch, core::CountKind::kStatic, core::BoundMode::kLower);
+  util::Timer warm_timer;
+  engine.AnswerBatch(batch, core::CountKind::kStatic, core::BoundMode::kLower);
+  double warm_seconds = warm_timer.ElapsedSeconds();
+  runtime::BatchEngineSnapshot snap = engine.Snapshot();
+  std::printf(
+      "\nbatch serving (%zu queries, 8 workers): serial %.0f q/s -> "
+      "cache-warm %.0f q/s | cache hits %llu / misses %llu | "
+      "p50=%.1fus p95=%.1fus\n",
+      batch.size(),
+      static_cast<double>(batch.size()) / std::max(serial_seconds, 1e-9),
+      static_cast<double>(batch.size()) / std::max(warm_seconds, 1e-9),
+      static_cast<unsigned long long>(snap.cache_hits),
+      static_cast<unsigned long long>(snap.cache_misses),
+      snap.latency_p50_micros, snap.latency_p95_micros);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "core/event_buffer.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace innet::core {
@@ -38,6 +40,14 @@ void EventReorderBuffer::Flush() {
     sink_(heap_.top());
     heap_.pop();
   }
+  // Close the stream epoch: everything at or before the newest admitted
+  // event has been released, so advance the watermark to it even when the
+  // heap drained early (or was already empty). A buffer reused after Flush
+  // then rejects events behind the released history instead of re-admitting
+  // them and corrupting downstream per-edge time order.
+  double close = std::max(newest_, watermark_);
+  newest_ = close;
+  watermark_ = close;
 }
 
 }  // namespace innet::core

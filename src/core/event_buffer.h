@@ -32,7 +32,10 @@ class EventReorderBuffer {
   /// bound and was dropped.
   bool Push(const mobility::CrossingEvent& event);
 
-  /// Releases every buffered event (end of stream).
+  /// Releases every buffered event (end of stream) and advances the
+  /// watermark to the newest admitted event. The buffer stays usable for a
+  /// subsequent stream segment: events at or after the flushed watermark
+  /// flow normally, older ones are dropped.
   void Flush();
 
   /// Events currently held back.

@@ -36,8 +36,8 @@ QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
 
 std::vector<double> SampledQueryProcessor::AnswerSeries(
     const RangeQuery& query, BoundMode bound, size_t steps) const {
-  INNET_CHECK(steps >= 2);
   INNET_CHECK(query.t2 >= query.t1);
+  if (steps == 0) return {};
   std::vector<uint32_t> faces = bound == BoundMode::kLower
                                     ? sampled_->LowerBoundFaces(query.junctions)
                                     : sampled_->UpperBoundFaces(query.junctions);
@@ -45,6 +45,12 @@ std::vector<double> SampledQueryProcessor::AnswerSeries(
   SampledGraph::RegionBoundary boundary = sampled_->BoundaryOfFaces(faces);
   std::vector<double> series;
   series.reserve(steps);
+  if (steps == 1) {
+    // A single instant degenerates to the interval start.
+    series.push_back(forms::EvaluateStaticCount(*store_, boundary.edges,
+                                                query.t1));
+    return series;
+  }
   double span = query.t2 - query.t1;
   for (size_t i = 0; i < steps; ++i) {
     double t = query.t1 +

@@ -26,10 +26,11 @@ class SampledQueryProcessor {
 
   /// Time-series evaluation: static counts of the query's region at
   /// `steps` evenly spaced instants spanning [query.t1, query.t2]
-  /// (inclusive endpoints). The region is resolved and its boundary
-  /// dispatched ONCE; each instant costs one pass over the boundary
-  /// edges — the access pattern of a monitoring dashboard. Returns an
-  /// empty vector on a miss.
+  /// (inclusive endpoints). Any step count is accepted: `steps == 1`
+  /// returns the single instant at t1 and `steps == 0` an empty vector.
+  /// The region is resolved and its boundary dispatched ONCE; each
+  /// instant costs one pass over the boundary edges — the access pattern
+  /// of a monitoring dashboard. Returns an empty vector on a miss.
   std::vector<double> AnswerSeries(const RangeQuery& query, BoundMode bound,
                                    size_t steps) const;
 

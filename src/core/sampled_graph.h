@@ -47,7 +47,9 @@ struct SampledGraphStats {
   size_t simplified_edges = 0;     // G̃ edges after degree-2 contraction.
 };
 
-/// Immutable sampled graph over a SensorNetwork.
+/// Immutable sampled graph over a SensorNetwork. Every face/boundary table
+/// is precomputed at construction and all query methods are pure const
+/// reads, so a frozen SampledGraph is safe to share across query threads.
 class SampledGraph {
  public:
   /// Query-oblivious construction from selected sensors (§4.3 + §4.5).

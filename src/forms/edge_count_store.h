@@ -14,6 +14,14 @@
 namespace innet::forms {
 
 /// Read interface for per-edge directional event counts.
+///
+/// Thread safety: every implementation in this repo keeps CountUpTo (and
+/// the StorageBytes accessors) a PURE const read — no lazily-mutated
+/// caches, no mutable members touched on lookup. Once ingestion has
+/// stopped, any number of threads may query one store concurrently
+/// (runtime::BatchQueryEngine relies on this). Mutating calls
+/// (RecordTraversal on the concrete types) require external
+/// synchronization and must not overlap reads.
 class EdgeCountStore {
  public:
   virtual ~EdgeCountStore() = default;

@@ -11,7 +11,9 @@
 namespace innet::forms {
 
 /// Exact temporal tracking form: sorted timestamp sequences per edge and
-/// direction, with binary-search count lookups.
+/// direction, with binary-search count lookups. Lookups are pure const
+/// reads (read-safe across threads once ingestion stops); RecordTraversal
+/// needs external synchronization.
 class TrackingForm : public EdgeCountStore {
  public:
   explicit TrackingForm(size_t num_edges);

@@ -18,6 +18,7 @@
 #include "util/stats.h"       // IWYU pragma: export
 #include "util/status.h"      // IWYU pragma: export
 #include "util/table.h"       // IWYU pragma: export
+#include "util/thread_pool.h" // IWYU pragma: export
 #include "util/timer.h"       // IWYU pragma: export
 
 // Geometry and spatial indexes.
@@ -77,6 +78,10 @@
 #include "core/sampled_graph.h"    // IWYU pragma: export
 #include "core/sensor_network.h"   // IWYU pragma: export
 #include "core/workload.h"         // IWYU pragma: export
+
+// Serving runtime.
+#include "runtime/batch_query_engine.h" // IWYU pragma: export
+#include "runtime/boundary_cache.h"     // IWYU pragma: export
 
 // Baselines, persistence, rendering.
 #include "baseline/euler_histogram.h" // IWYU pragma: export

@@ -18,7 +18,10 @@
 
 namespace innet::learned {
 
-/// EdgeCountStore backed by regression models.
+/// EdgeCountStore backed by regression models. CountUpTo is a pure const
+/// read (model predictions never mutate state), so a fully ingested store
+/// is read-safe across threads; RecordTraversal needs external
+/// synchronization.
 class BufferedEdgeStore : public forms::EdgeCountStore {
  public:
   /// `buffer_capacity` is the event count n after which a direction's buffer

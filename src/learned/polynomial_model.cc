@@ -22,10 +22,12 @@ void PolynomialModel::DoObserve(double t, double y) {
     if (k <= degree_) xy_moments_[k] += xk * y;
     xk *= x;
   }
-  dirty_ = true;
+  // Eager refit keeps Predict a pure const read (thread safety of the
+  // batch-query read path); the solve is O(degree^3) with degree <= 3.
+  Refit();
 }
 
-void PolynomialModel::Refit() const {
+void PolynomialModel::Refit() {
   // Solve the (degree+1)^2 normal equations A c = b with a small ridge term
   // for numerical robustness on near-degenerate inputs.
   int n = degree_ + 1;
@@ -54,7 +56,6 @@ void PolynomialModel::Refit() const {
     double diag = a[r][r];
     coeffs_[r] = std::abs(diag) < 1e-30 ? 0.0 : a[r][n] / diag;
   }
-  dirty_ = false;
 }
 
 double PolynomialModel::Predict(double t) const {
@@ -62,7 +63,6 @@ double PolynomialModel::Predict(double t) const {
   if (observed_ == 1) {
     return t >= first_time_ ? 1.0 : 0.0;
   }
-  if (dirty_) Refit();
   double x = t / time_scale_;
   double value = 0.0;
   double xk = 1.0;

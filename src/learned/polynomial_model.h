@@ -12,6 +12,10 @@ namespace innet::learned {
 /// Least-squares polynomial fit of the event CDF. The normal equations are
 /// maintained incrementally (moments of the normalized time), so memory is
 /// O(degree) regardless of how many events stream in.
+///
+/// Coefficients are refit eagerly on every Observe (a <= 4x4 solve, cheap
+/// next to the moment update), so Predict is a pure const read — safe to
+/// call concurrently from any number of threads once ingestion stops.
 class PolynomialModel : public CountModel {
  public:
   static constexpr int kMaxDegree = 3;
@@ -27,7 +31,7 @@ class PolynomialModel : public CountModel {
   void DoObserve(double t, double y) override;
 
  private:
-  void Refit() const;
+  void Refit();
 
   int degree_;
   double time_scale_;
@@ -36,9 +40,7 @@ class PolynomialModel : public CountModel {
   std::array<double, 2 * kMaxDegree + 1> x_moments_{};
   std::array<double, kMaxDegree + 1> xy_moments_{};
   double first_time_ = 0.0;
-  // Coefficients are refit lazily on the first Predict after new data.
-  mutable std::array<double, kMaxDegree + 1> coeffs_{};
-  mutable bool dirty_ = true;
+  std::array<double, kMaxDegree + 1> coeffs_{};
 };
 
 }  // namespace innet::learned

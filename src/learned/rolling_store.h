@@ -31,7 +31,9 @@ struct RollingOptions {
   ModelOptions model;
 };
 
-/// EdgeCountStore with per-window models and eviction.
+/// EdgeCountStore with per-window models and eviction. CountUpTo is a pure
+/// const read, so a quiesced store is read-safe across threads;
+/// RecordTraversal needs external synchronization.
 class RollingWindowStore : public forms::EdgeCountStore {
  public:
   RollingWindowStore(size_t num_edges, const RollingOptions& options);

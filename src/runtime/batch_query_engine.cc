@@ -1,0 +1,115 @@
+#include "runtime/batch_query_engine.h"
+
+#include <utility>
+
+#include "forms/region_count.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace innet::runtime {
+
+BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
+                                   const forms::EdgeCountStore& store,
+                                   const BatchEngineOptions& options)
+    : sampled_(&sampled),
+      store_(&store),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(options.num_threads) {}
+
+std::shared_ptr<const ResolvedBoundary> BatchQueryEngine::Resolve(
+    const core::RangeQuery& query, core::BoundMode bound) {
+  RegionSignature key = SignRegion(query.junctions, bound);
+  if (std::shared_ptr<const ResolvedBoundary> hit = cache_.Lookup(key)) {
+    return hit;
+  }
+  auto resolved = std::make_shared<ResolvedBoundary>();
+  std::vector<uint32_t> faces =
+      bound == core::BoundMode::kLower
+          ? sampled_->LowerBoundFaces(query.junctions)
+          : sampled_->UpperBoundFaces(query.junctions);
+  if (faces.empty()) {
+    resolved->missed = true;
+  } else {
+    resolved->boundary = sampled_->BoundaryOfFaces(faces);
+  }
+  cache_.Insert(key, resolved);
+  return resolved;
+}
+
+core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
+                                              core::CountKind kind,
+                                              core::BoundMode bound) {
+  util::Timer timer;
+  core::QueryAnswer answer;
+  std::shared_ptr<const ResolvedBoundary> resolved = Resolve(query, bound);
+  if (resolved->missed) {
+    answer.missed = true;
+    (bound == core::BoundMode::kLower ? missed_lower_ : missed_upper_)
+        .fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const core::SampledGraph::RegionBoundary& boundary = resolved->boundary;
+    answer.estimate =
+        kind == core::CountKind::kStatic
+            ? forms::EvaluateStaticCount(*store_, boundary.edges, query.t2)
+            : forms::EvaluateTransientCount(*store_, boundary.edges, query.t1,
+                                            query.t2);
+    answer.nodes_accessed = boundary.sensors.size();
+    answer.edges_accessed = boundary.edges.size();
+  }
+  answer.exec_micros = timer.ElapsedMicros();
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  return answer;
+}
+
+std::vector<core::QueryAnswer> BatchQueryEngine::AnswerBatch(
+    const std::vector<core::RangeQuery>& queries, core::CountKind kind,
+    core::BoundMode bound) {
+  std::vector<core::QueryAnswer> answers(queries.size());
+  pool_.ParallelFor(queries.size(), [&](size_t i) {
+    answers[i] = AnswerOne(queries[i], kind, bound);
+  });
+  // Latency samples are merged once per batch, off the hot path.
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    latency_micros_.reserve(latency_micros_.size() + answers.size());
+    for (const core::QueryAnswer& a : answers) {
+      latency_micros_.push_back(a.exec_micros);
+    }
+  }
+  return answers;
+}
+
+core::QueryAnswer BatchQueryEngine::Answer(const core::RangeQuery& query,
+                                           core::CountKind kind,
+                                           core::BoundMode bound) {
+  core::QueryAnswer answer = AnswerOne(query, kind, bound);
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_micros_.push_back(answer.exec_micros);
+  return answer;
+}
+
+BatchEngineSnapshot BatchQueryEngine::Snapshot() const {
+  BatchEngineSnapshot snap;
+  snap.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_.Hits();
+  snap.cache_misses = cache_.Misses();
+  snap.missed_lower = missed_lower_.load(std::memory_order_relaxed);
+  snap.missed_upper = missed_upper_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  if (!latency_micros_.empty()) {
+    snap.latency_p50_micros = util::Percentile(latency_micros_, 0.50);
+    snap.latency_p95_micros = util::Percentile(latency_micros_, 0.95);
+  }
+  return snap;
+}
+
+void BatchQueryEngine::ResetStats() {
+  queries_answered_.store(0, std::memory_order_relaxed);
+  missed_lower_.store(0, std::memory_order_relaxed);
+  missed_upper_.store(0, std::memory_order_relaxed);
+  cache_.ResetCounters();
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_micros_.clear();
+}
+
+}  // namespace innet::runtime

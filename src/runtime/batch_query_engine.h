@@ -1,0 +1,115 @@
+// Parallel batch query engine.
+//
+// Serving layer over a frozen deployment: a fixed worker pool answers
+// batches of range queries concurrently against one shared SampledGraph and
+// EdgeCountStore, with a sharded LRU cache of resolved region boundaries so
+// repeated/overlapping queries skip face resolution entirely.
+//
+// Safety contract (see docs/API.md §"Thread safety"): the graph and store
+// must be FROZEN — fully constructed and fully ingested — before the first
+// AnswerBatch call. Every store shipped in this repo (TrackingForm,
+// learned::BufferedEdgeStore, learned::RollingWindowStore,
+// privacy::PrivateEdgeStore) has a pure const read path, so concurrent
+// reads are race-free; concurrent mutation is not.
+//
+// Determinism: for a given batch, estimates and access counts are
+// byte-identical whether the batch runs serially, on 8 workers, cache-cold
+// or cache-warm — a cached boundary is the same edge sequence a fresh
+// resolution produces, and each answer is computed independently from it.
+// Only the wall-clock fields differ.
+#ifndef INNET_RUNTIME_BATCH_QUERY_ENGINE_H_
+#define INNET_RUNTIME_BATCH_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/query.h"
+#include "core/sampled_graph.h"
+#include "forms/edge_count_store.h"
+#include "runtime/boundary_cache.h"
+#include "util/thread_pool.h"
+
+namespace innet::runtime {
+
+/// Engine construction knobs.
+struct BatchEngineOptions {
+  /// Worker threads; 0 means serial execution on the calling thread.
+  size_t num_threads = 0;
+
+  /// Total boundary-cache entries across all shards; 0 disables caching.
+  size_t cache_capacity = 4096;
+
+  /// Lock shards of the boundary cache.
+  size_t cache_shards = 16;
+};
+
+/// Point-in-time engine counters. Latency percentiles cover the queries
+/// answered since construction (or the last ResetStats).
+struct BatchEngineSnapshot {
+  uint64_t queries_answered = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Queries that found no satisfying face, per bound mode (§5.5 misses).
+  uint64_t missed_lower = 0;
+  uint64_t missed_upper = 0;
+  double latency_p50_micros = 0.0;
+  double latency_p95_micros = 0.0;
+};
+
+/// Answers query batches concurrently over one frozen deployment. One
+/// engine owns one pool + one cache; AnswerBatch parallelizes WITHIN a
+/// batch and must not itself be called concurrently on the same engine.
+class BatchQueryEngine {
+ public:
+  /// Holds references only; `sampled` and `store` must outlive the engine.
+  BatchQueryEngine(const core::SampledGraph& sampled,
+                   const forms::EdgeCountStore& store,
+                   const BatchEngineOptions& options);
+
+  /// Answers every query under one (kind, bound) configuration. The result
+  /// vector is index-aligned with `queries`.
+  std::vector<core::QueryAnswer> AnswerBatch(
+      const std::vector<core::RangeQuery>& queries, core::CountKind kind,
+      core::BoundMode bound);
+
+  /// Single-query convenience going through the same cache + counters.
+  core::QueryAnswer Answer(const core::RangeQuery& query, core::CountKind kind,
+                           core::BoundMode bound);
+
+  BatchEngineSnapshot Snapshot() const;
+
+  /// Drops every cached boundary (counters are kept).
+  void ClearCache() { cache_.Clear(); }
+
+  /// Zeroes counters and latency samples (the cache is kept).
+  void ResetStats();
+
+  size_t NumThreads() const { return pool_.NumThreads(); }
+  size_t CacheSize() const { return cache_.Size(); }
+
+ private:
+  /// Cache-through resolution of one query region under `bound`.
+  std::shared_ptr<const ResolvedBoundary> Resolve(
+      const core::RangeQuery& query, core::BoundMode bound);
+
+  core::QueryAnswer AnswerOne(const core::RangeQuery& query,
+                              core::CountKind kind, core::BoundMode bound);
+
+  const core::SampledGraph* sampled_;
+  const forms::EdgeCountStore* store_;
+  BoundaryCache cache_;
+  util::ThreadPool pool_;
+
+  std::atomic<uint64_t> queries_answered_{0};
+  std::atomic<uint64_t> missed_lower_{0};
+  std::atomic<uint64_t> missed_upper_{0};
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latency_micros_;
+};
+
+}  // namespace innet::runtime
+
+#endif  // INNET_RUNTIME_BATCH_QUERY_ENGINE_H_

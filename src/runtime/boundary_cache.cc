@@ -1,0 +1,110 @@
+#include "runtime/boundary_cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace innet::runtime {
+
+namespace {
+
+// FNV-1a over the junction words, with the bound mode folded into the
+// offset basis so the same region under lower vs upper bounds never
+// aliases.
+uint64_t Fnv1a(const std::vector<graph::NodeId>& junctions, uint64_t basis) {
+  uint64_t h = basis;
+  for (graph::NodeId n : junctions) {
+    h ^= static_cast<uint64_t>(n);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RegionSignature SignRegion(const std::vector<graph::NodeId>& junctions,
+                           core::BoundMode bound) {
+  uint64_t salt = bound == core::BoundMode::kLower ? 0xcbf29ce484222325ULL
+                                                   : 0x84222325cbf29ce4ULL;
+  RegionSignature sig;
+  sig.lo = Fnv1a(junctions, salt);
+  // Second, independent stream: splitmix-scrambled words seeded with the
+  // length so permutations and prefixes separate.
+  uint64_t h = SplitMix64(salt ^ junctions.size());
+  for (graph::NodeId n : junctions) {
+    h = SplitMix64(h ^ (static_cast<uint64_t>(n) + 0x9e3779b97f4a7c15ULL));
+  }
+  sig.hi = h;
+  return sig;
+}
+
+BoundaryCache::BoundaryCache(size_t capacity, size_t shards)
+    : per_shard_capacity_(0), shards_(std::max<size_t>(1, shards)) {
+  if (capacity > 0) {
+    per_shard_capacity_ = (capacity + shards_.size() - 1) / shards_.size();
+  }
+}
+
+std::shared_ptr<const ResolvedBoundary> BoundaryCache::Lookup(
+    const RegionSignature& key) {
+  if (per_shard_capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+void BoundaryCache::Insert(const RegionSignature& key,
+                           std::shared_ptr<const ResolvedBoundary> value) {
+  if (per_shard_capacity_ == 0) return;
+  INNET_CHECK(value != nullptr);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front({key, std::move(value)});
+  shard.index[key] = shard.lru.begin();
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+}
+
+void BoundaryCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+size_t BoundaryCache::Size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace innet::runtime

@@ -1,0 +1,116 @@
+// Sharded LRU cache of resolved region boundaries.
+//
+// Resolving a query against the sampled graph (LowerBoundFaces /
+// UpperBoundFaces + BoundaryOfFaces) costs O(#faces + |Q_R| + boundary) per
+// query and is identical for every repetition of the same region — the
+// dominant redundant work of dashboard/monitoring traffic where many
+// clients poll overlapping regions. This cache memoizes the resolved
+// boundary keyed by (region signature, bound mode) so repeated queries skip
+// resolution entirely and go straight to count evaluation.
+//
+// Values are shared_ptr<const ...>: a hit hands out a reference to the
+// immutable resolved boundary, so eviction never invalidates an in-flight
+// evaluation. Sharding keeps lock contention bounded under a worker pool.
+#ifndef INNET_RUNTIME_BOUNDARY_CACHE_H_
+#define INNET_RUNTIME_BOUNDARY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+#include "core/sampled_graph.h"
+
+namespace innet::runtime {
+
+/// A resolved region: the face-union boundary, or a recorded miss (no face
+/// of G̃ satisfied the bound). Immutable once published to the cache.
+struct ResolvedBoundary {
+  bool missed = false;
+  core::SampledGraph::RegionBoundary boundary;
+};
+
+/// 128-bit signature of a query region under one bound mode. Two
+/// independent 64-bit hashes over the junction sequence make accidental
+/// collisions negligible (~2^-64 per pair) without retaining the junction
+/// vector itself.
+struct RegionSignature {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const RegionSignature& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// Signature of `junctions` under `bound`. The junction sequence produced
+/// by SensorNetwork::JunctionsInRect is deterministic for a given rect, so
+/// equal rects map to equal signatures.
+RegionSignature SignRegion(const std::vector<graph::NodeId>& junctions,
+                           core::BoundMode bound);
+
+/// Sharded LRU map from RegionSignature to ResolvedBoundary.
+class BoundaryCache {
+ public:
+  /// `capacity` entries total across `shards` shards (each shard holds
+  /// ceil(capacity / shards)). `capacity == 0` disables the cache: Lookup
+  /// always misses and Insert is a no-op.
+  BoundaryCache(size_t capacity, size_t shards);
+
+  /// Returns the cached boundary and refreshes its recency, or nullptr.
+  std::shared_ptr<const ResolvedBoundary> Lookup(const RegionSignature& key);
+
+  /// Publishes a resolved boundary, evicting the shard's least recently
+  /// used entry when full. Racing inserts of the same key are benign (last
+  /// write wins; both values are identical by construction).
+  void Insert(const RegionSignature& key,
+              std::shared_ptr<const ResolvedBoundary> value);
+
+  void Clear();
+
+  /// Zeroes the hit/miss counters (entries are kept).
+  void ResetCounters() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+  size_t Size() const;
+  uint64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t Misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    RegionSignature key;
+    std::shared_ptr<const ResolvedBoundary> value;
+  };
+  struct SignatureHash {
+    size_t operator()(const RegionSignature& s) const {
+      return static_cast<size_t>(s.lo ^ (s.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    // Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<RegionSignature, std::list<Entry>::iterator,
+                       SignatureHash>
+        index;
+  };
+
+  Shard& ShardFor(const RegionSignature& key) {
+    return shards_[key.hi % shards_.size()];
+  }
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace innet::runtime
+
+#endif  // INNET_RUNTIME_BOUNDARY_CACHE_H_

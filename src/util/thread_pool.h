@@ -1,0 +1,65 @@
+// Fixed-size worker pool over a shared work queue.
+//
+// The pool exists for CPU-bound fan-out of independent read-only work
+// (batches of range queries against a frozen deployment). Tasks are plain
+// std::function<void()>; exceptions are not used in this codebase, so a
+// task that fails aborts via INNET_CHECK like everything else.
+#ifndef INNET_UTIL_THREAD_POOL_H_
+#define INNET_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace innet::util {
+
+/// Fixed-size thread pool. Threads are spawned in the constructor and
+/// joined in the destructor; Submit() enqueues a task, Wait() blocks until
+/// every submitted task has finished.
+///
+/// With `num_threads == 0` the pool is SERIAL: Submit() runs the task
+/// inline on the caller's thread. This gives callers a single code path
+/// whose serial execution is byte-for-byte the sequential algorithm — the
+/// property the batch-engine determinism tests rely on.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task (runs it inline when the pool is serial).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  /// Worker threads owned by the pool (0 = serial inline execution).
+  size_t NumThreads() const { return threads_.size(); }
+
+  /// Splits [0, count) across the pool: each worker repeatedly claims the
+  /// next unprocessed index until the range is exhausted, then Wait()s.
+  /// `fn(i)` must be safe to invoke concurrently for distinct i. On a
+  /// serial pool the indices run 0..count-1 in order on the caller.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // Queued + currently executing tasks.
+  bool stopping_ = false;
+};
+
+}  // namespace innet::util
+
+#endif  // INNET_UTIL_THREAD_POOL_H_

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/workload.h"
+#include "runtime/batch_query_engine.h"
+#include "runtime/boundary_cache.h"
+#include "sampling/samplers.h"
+#include "util/thread_pool.h"
+
+namespace innet::runtime {
+namespace {
+
+using core::BoundMode;
+using core::CountKind;
+using core::QueryAnswer;
+using core::RangeQuery;
+
+core::FrameworkOptions SmallOptions(uint64_t seed) {
+  core::FrameworkOptions options;
+  options.road.num_junctions = 250;
+  options.traffic.num_trajectories = 400;
+  options.seed = seed;
+  return options;
+}
+
+// Everything except wall-clock time must match exactly.
+void ExpectIdentical(const std::vector<QueryAnswer>& a,
+                     const std::vector<QueryAnswer>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].estimate, b[i].estimate) << "query " << i;
+    EXPECT_EQ(a[i].missed, b[i].missed) << "query " << i;
+    EXPECT_EQ(a[i].nodes_accessed, b[i].nodes_accessed) << "query " << i;
+    EXPECT_EQ(a[i].edges_accessed, b[i].edges_accessed) << "query " << i;
+  }
+}
+
+class BatchEngineFixture : public ::testing::Test {
+ protected:
+  BatchEngineFixture() : framework_(SmallOptions(11)) {
+    core::WorkloadOptions wo;
+    wo.area_fraction = 0.08;
+    wo.horizon = framework_.Horizon();
+    util::Rng rng = framework_.ForkRng();
+    queries_ = GenerateWorkload(framework_.network(), wo, 40, rng);
+    // Repeat the workload to give the boundary cache something to hit, the
+    // access pattern of polling dashboards.
+    std::vector<RangeQuery> repeated = queries_;
+    for (int rep = 0; rep < 3; ++rep) {
+      repeated.insert(repeated.end(), queries_.begin(), queries_.end());
+    }
+    queries_ = std::move(repeated);
+
+    sampling::KdTreeSampler sampler;
+    util::Rng drng = framework_.ForkRng();
+    deployment_ = std::make_unique<core::Deployment>(
+        framework_.DeployWithSampler(sampler,
+                                     framework_.network().NumSensors() / 4,
+                                     core::DeploymentOptions{}, drng));
+  }
+
+  std::vector<QueryAnswer> SerialReference(CountKind kind,
+                                           BoundMode bound) const {
+    core::SampledQueryProcessor processor = deployment_->processor();
+    std::vector<QueryAnswer> answers;
+    answers.reserve(queries_.size());
+    for (const RangeQuery& q : queries_) {
+      answers.push_back(processor.Answer(q, kind, bound));
+    }
+    return answers;
+  }
+
+  core::Framework framework_;
+  std::vector<RangeQuery> queries_;
+  std::unique_ptr<core::Deployment> deployment_;
+};
+
+TEST_F(BatchEngineFixture, MatchesSerialProcessorColdAndWarm) {
+  for (BoundMode bound : {BoundMode::kLower, BoundMode::kUpper}) {
+    for (CountKind kind : {CountKind::kStatic, CountKind::kTransient}) {
+      std::vector<QueryAnswer> reference = SerialReference(kind, bound);
+
+      BatchEngineOptions options;
+      options.num_threads = 8;
+      BatchQueryEngine engine(deployment_->graph(), deployment_->store(),
+                              options);
+      // Cache-cold pass.
+      ExpectIdentical(engine.AnswerBatch(queries_, kind, bound), reference);
+      // Cache-warm pass must reproduce the same answers from cached
+      // boundaries.
+      ExpectIdentical(engine.AnswerBatch(queries_, kind, bound), reference);
+    }
+  }
+}
+
+TEST_F(BatchEngineFixture, EightWorkersMatchSerialEngine) {
+  // The ISSUE's stress shape: the same batch answered serially and with 8
+  // workers must be identical, cache-cold and cache-warm.
+  BatchEngineOptions serial_options;
+  serial_options.num_threads = 0;
+  BatchEngineOptions parallel_options;
+  parallel_options.num_threads = 8;
+  BatchQueryEngine serial(deployment_->graph(), deployment_->store(),
+                          serial_options);
+  BatchQueryEngine parallel(deployment_->graph(), deployment_->store(),
+                            parallel_options);
+  for (int pass = 0; pass < 2; ++pass) {  // Pass 0 cold, pass 1 warm.
+    std::vector<QueryAnswer> s =
+        serial.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
+    std::vector<QueryAnswer> p =
+        parallel.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
+    ExpectIdentical(s, p);
+  }
+}
+
+TEST_F(BatchEngineFixture, LearnedStoreReadsAreRaceFreeUnderWorkers) {
+  // Learned deployment exercised concurrently — the TSan CI job runs this
+  // to prove model Predict paths are pure reads (the polynomial models used
+  // to refit lazily under const).
+  core::DeploymentOptions learned_options;
+  learned_options.store = core::StoreKind::kLearned;
+  learned_options.model_type = learned::ModelType::kCubic;
+  learned_options.buffer_capacity = 16;
+  sampling::KdTreeSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  core::Deployment learned = framework_.DeployWithSampler(
+      sampler, framework_.network().NumSensors() / 4, learned_options, rng);
+
+  BatchEngineOptions options;
+  options.num_threads = 8;
+  BatchQueryEngine engine(learned.graph(), learned.store(), options);
+  core::SampledQueryProcessor processor = learned.processor();
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<QueryAnswer> batch =
+        engine.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kUpper);
+    ASSERT_EQ(batch.size(), queries_.size());
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      QueryAnswer expect =
+          processor.Answer(queries_[i], CountKind::kStatic, BoundMode::kUpper);
+      EXPECT_DOUBLE_EQ(batch[i].estimate, expect.estimate);
+    }
+  }
+}
+
+TEST_F(BatchEngineFixture, SnapshotCountsCacheTraffic) {
+  BatchEngineOptions options;
+  options.num_threads = 4;
+  options.cache_capacity = 4096;
+  BatchQueryEngine engine(deployment_->graph(), deployment_->store(),
+                          options);
+  engine.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
+  BatchEngineSnapshot cold = engine.Snapshot();
+  EXPECT_EQ(cold.queries_answered, queries_.size());
+  EXPECT_GT(cold.cache_misses, 0u);
+  // The workload repeats each distinct region 4x, so the cold pass already
+  // hits on repetitions.
+  EXPECT_GT(cold.cache_hits, 0u);
+  EXPECT_GE(cold.latency_p95_micros, cold.latency_p50_micros);
+
+  engine.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
+  BatchEngineSnapshot warm = engine.Snapshot();
+  EXPECT_EQ(warm.queries_answered, 2 * queries_.size());
+  // Second pass is all hits: misses stay where the cold pass left them.
+  EXPECT_EQ(warm.cache_misses, cold.cache_misses);
+  EXPECT_GT(warm.cache_hits, cold.cache_hits);
+}
+
+TEST_F(BatchEngineFixture, DisabledCacheStillAnswersCorrectly) {
+  BatchEngineOptions options;
+  options.num_threads = 3;
+  options.cache_capacity = 0;
+  BatchQueryEngine engine(deployment_->graph(), deployment_->store(),
+                          options);
+  ExpectIdentical(
+      engine.AnswerBatch(queries_, CountKind::kTransient, BoundMode::kLower),
+      SerialReference(CountKind::kTransient, BoundMode::kLower));
+  EXPECT_EQ(engine.Snapshot().cache_hits, 0u);
+  EXPECT_EQ(engine.CacheSize(), 0u);
+}
+
+TEST_F(BatchEngineFixture, TinyCacheEvictsButStaysCorrect) {
+  BatchEngineOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 4;  // Far fewer entries than distinct regions.
+  options.cache_shards = 2;
+  BatchQueryEngine engine(deployment_->graph(), deployment_->store(),
+                          options);
+  ExpectIdentical(
+      engine.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower),
+      SerialReference(CountKind::kStatic, BoundMode::kLower));
+  EXPECT_LE(engine.CacheSize(), 4u);
+}
+
+TEST(RegionSignatureTest, DistinguishesRegionsAndBounds) {
+  std::vector<graph::NodeId> a = {1, 2, 3};
+  std::vector<graph::NodeId> b = {1, 2, 4};
+  std::vector<graph::NodeId> prefix = {1, 2};
+  EXPECT_TRUE(SignRegion(a, BoundMode::kLower) ==
+              SignRegion(a, BoundMode::kLower));
+  EXPECT_FALSE(SignRegion(a, BoundMode::kLower) ==
+               SignRegion(b, BoundMode::kLower));
+  EXPECT_FALSE(SignRegion(a, BoundMode::kLower) ==
+               SignRegion(prefix, BoundMode::kLower));
+  EXPECT_FALSE(SignRegion(a, BoundMode::kLower) ==
+               SignRegion(a, BoundMode::kUpper));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{4}}) {
+    util::ThreadPool pool(threads);
+    constexpr size_t kCount = 997;
+    std::vector<std::atomic<int>> touched(kCount);
+    pool.ParallelFor(kCount, [&](size_t i) {
+      touched[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(touched[i].load(), 1) << "index " << i << " threads "
+                                      << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, WaitDrainsSubmittedTasks) {
+  util::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace innet::runtime

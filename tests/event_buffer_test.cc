@@ -61,6 +61,42 @@ TEST(EventBufferTest, DropsTooLateEvents) {
   EXPECT_DOUBLE_EQ(out[1].time, 20.0);
 }
 
+TEST(EventBufferTest, ReuseAfterFlushKeepsReleasedHistorySealed) {
+  // Regression: Flush() drained the heap without closing the stream epoch,
+  // so a reused buffer could accept events behind the released history.
+  // After Flush the watermark must sit at the newest admitted event and
+  // anything older must be rejected.
+  std::vector<CrossingEvent> out;
+  EventReorderBuffer buffer(5.0, [&](const CrossingEvent& e) {
+    out.push_back(e);
+  });
+  for (double t : {10.0, 30.0, 20.0}) {
+    EXPECT_TRUE(buffer.Push({0, true, t}));
+  }
+  buffer.Flush();
+  EXPECT_EQ(buffer.Pending(), 0u);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(buffer.Watermark(), 30.0);
+
+  // Stale events from before the flushed epoch are dropped...
+  EXPECT_FALSE(buffer.Push({0, true, 25.0}));
+  EXPECT_EQ(buffer.Dropped(), 1u);
+  // ...while a later segment flows in order across the flush boundary.
+  EXPECT_TRUE(buffer.Push({0, true, 40.0}));
+  EXPECT_TRUE(buffer.Push({0, true, 35.0}));
+  buffer.Flush();
+  ASSERT_EQ(out.size(), 5u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].time, out[i].time);
+  }
+  EXPECT_DOUBLE_EQ(buffer.Watermark(), 40.0);
+
+  // A flush on an idle (already drained) buffer is a no-op.
+  buffer.Flush();
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(buffer.Watermark(), 40.0);
+}
+
 TEST(EventBufferTest, ZeroLatenessIsPassThrough) {
   std::vector<CrossingEvent> out;
   EventReorderBuffer buffer(0.0, [&](const CrossingEvent& e) {

@@ -208,6 +208,35 @@ TEST_F(QueryProcessorFixture, TimeSeriesMatchesPointQueries) {
   }
 }
 
+TEST_F(QueryProcessorFixture, TimeSeriesDegenerateStepCounts) {
+  // Regression: steps == 1 used to abort via INNET_CHECK(steps >= 2) even
+  // though the API documents any instant count. One step is the single
+  // instant at t1; zero steps is an empty series.
+  const SensorNetwork& net = framework_.network();
+  sampling::KdTreeSampler sampler;
+  util::Rng rng = framework_.ForkRng();
+  Deployment dep = framework_.DeployWithSampler(
+      sampler, net.NumSensors() / 4, DeploymentOptions{}, rng);
+  SampledQueryProcessor processor = dep.processor();
+  size_t answered = 0;
+  for (const RangeQuery& q : queries_) {
+    EXPECT_TRUE(processor.AnswerSeries(q, BoundMode::kLower, 0).empty());
+    std::vector<double> one = processor.AnswerSeries(q, BoundMode::kLower, 1);
+    RangeQuery at_t1 = q;
+    at_t1.t2 = q.t1;
+    QueryAnswer reference =
+        processor.Answer(at_t1, CountKind::kStatic, BoundMode::kLower);
+    if (reference.missed) {
+      EXPECT_TRUE(one.empty());
+      continue;
+    }
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_DOUBLE_EQ(one[0], reference.estimate);
+    ++answered;
+  }
+  EXPECT_GT(answered, 0u);
+}
+
 TEST_F(QueryProcessorFixture, AdaptiveDeploymentAnswersHistoricalQueries) {
   const SensorNetwork& net = framework_.network();
   // Use half the workload as history, deploy adaptively, and check that

@@ -1,15 +1,24 @@
 // innet_query — ad-hoc spatiotemporal range count queries over saved
 // datasets.
 //
-//   innet_query --graph city.bin --trips trips.bin 
-//       --rect 2000,2000,8000,8000 --t1 0 --t2 3600 
+//   innet_query --graph city.bin --trips trips.bin
+//       --rect 2000,2000,8000,8000 --t1 0 --t2 3600
 //       [--kind static|transient] [--sample-fraction 0.1]
 //       [--sampler kd-tree] [--bound lower|upper] [--store exact|learned]
 //
 // Without --sample-fraction the query runs exactly on the unsampled graph.
+//
+// Batch mode: --batch FILE answers many queries through the parallel
+// BatchQueryEngine instead of --rect. Each line of FILE is
+// "x0,y0,x1,y1,t1,t2" (blank lines and #-comments skipped); --threads
+// sets the worker count and --cache the boundary-cache capacity.
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "innet.h"
 
@@ -34,70 +43,20 @@ bool ParseRect(const std::string& text, geometry::Rect* rect) {
   return true;
 }
 
-int Main(int argc, char** argv) {
-  util::FlagParser flags(argc, argv);
-  std::string graph_path = flags.GetString("graph");
-  std::string trips_path = flags.GetString("trips");
-  std::string rect_text = flags.GetString("rect");
-  if (graph_path.empty() || trips_path.empty() || rect_text.empty()) {
-    std::fprintf(stderr,
-                 "usage: innet_query --graph G --trips T --rect x0,y0,x1,y1 "
-                 "[--t1 S] [--t2 S] [--kind static|transient] "
-                 "[--sample-fraction F] [--sampler NAME] "
-                 "[--bound lower|upper] [--store exact|learned]\n");
-    return 2;
-  }
-  geometry::Rect rect;
-  if (!ParseRect(rect_text, &rect)) {
-    return Fail("cannot parse --rect (want x0,y0,x1,y1)");
-  }
-
-  auto graph = io::LoadRoadNetwork(graph_path);
-  if (!graph.ok()) return Fail(graph.status().ToString());
-  core::SensorNetwork network(std::move(*graph));
-  auto trips = io::LoadTrajectories(trips_path, &network.mobility());
-  if (!trips.ok()) return Fail(trips.status().ToString());
-  network.IngestTrajectories(*trips);
-
-  core::RangeQuery query;
-  query.rect = rect;
-  query.junctions = network.JunctionsInRect(rect);
-  if (query.junctions.empty()) {
-    return Fail("query rectangle contains no sensing cell");
-  }
-  double t_end = network.events().empty() ? 0.0
-                                          : network.events().back().time;
-  query.t1 = flags.GetDouble("t1", 0.0);
-  query.t2 = flags.GetDouble("t2", t_end);
-
-  std::string kind_name = flags.GetString("kind", "static");
-  core::CountKind kind = kind_name == "transient"
-                             ? core::CountKind::kTransient
-                             : core::CountKind::kStatic;
-
-  std::printf("region: %zu sensing cells in [%.0f,%.0f]x[%.0f,%.0f], "
-              "t in [%.0f, %.0f]\n",
-              query.junctions.size(), rect.min_x, rect.max_x, rect.min_y,
-              rect.max_y, query.t1, query.t2);
-
-  double fraction = flags.GetDouble("sample-fraction", 0.0);
-  if (fraction <= 0.0) {
-    core::UnsampledQueryProcessor processor(network);
-    core::QueryAnswer answer = processor.Answer(query, kind);
-    std::printf("%s count (exact): %.0f  [sensors=%zu edges=%zu %.1fus]\n",
-                kind_name.c_str(), answer.estimate, answer.nodes_accessed,
-                answer.edges_accessed, answer.exec_micros);
-    return 0;
-  }
-
-  // Sampled path: pick a sampler, deploy, answer with both bounds.
+// Builds the sampled deployment shared by the single-query and batch paths:
+// sampler selection, sensor draw, graph construction, event ingestion.
+std::optional<core::Deployment> BuildSampledDeployment(
+    util::FlagParser& flags, const core::SensorNetwork& network,
+    double fraction, double time_scale, std::string* error) {
   std::string sampler_name = flags.GetString("sampler", "kd-tree");
   std::unique_ptr<sampling::SensorSampler> sampler;
   for (auto& candidate : sampling::AllSamplers()) {
     if (candidate->Name() == sampler_name) sampler = std::move(candidate);
   }
-  if (sampler == nullptr) return Fail("unknown sampler: " + sampler_name);
-
+  if (sampler == nullptr) {
+    *error = "unknown sampler: " + sampler_name;
+    return std::nullopt;
+  }
   core::DeploymentOptions deployment_options;
   if (flags.GetString("store", "exact") == "learned") {
     deployment_options.store = core::StoreKind::kLearned;
@@ -110,9 +69,192 @@ int Main(int argc, char** argv) {
       sampler->Select(network.sensing(), m, rng);
   core::SampledGraph sampled =
       core::SampledGraph::FromSensors(network, std::move(sensors), {});
-  core::Deployment deployment(network, std::move(sampled),
-                              deployment_options, query.t2 + 1.0);
-  core::SampledQueryProcessor processor = deployment.processor();
+  return core::Deployment(network, std::move(sampled), deployment_options,
+                          time_scale);
+}
+
+// Parses one batch-file line "x0,y0,x1,y1,t1,t2" into a materialized query.
+bool ParseQueryLine(const std::string& line,
+                    const core::SensorNetwork& network,
+                    core::RangeQuery* query) {
+  double v[6];
+  int consumed = 0;
+  if (std::sscanf(line.c_str(), "%lf,%lf,%lf,%lf,%lf,%lf%n", &v[0], &v[1],
+                  &v[2], &v[3], &v[4], &v[5], &consumed) != 6 ||
+      consumed != static_cast<int>(line.size())) {
+    return false;
+  }
+  query->rect = geometry::Rect::FromCorners({v[0], v[1]}, {v[2], v[3]});
+  query->junctions = network.JunctionsInRect(query->rect);
+  query->t1 = v[4];
+  query->t2 = v[5];
+  return true;
+}
+
+// Batch mode: answers a query file through the BatchQueryEngine.
+int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
+              double t_end, core::CountKind kind,
+              const std::string& kind_name, double fraction,
+              const std::string& batch_path) {
+  if (fraction <= 0.0) {
+    return Fail("--batch requires --sample-fraction > 0 (the batch engine "
+                "serves sampled deployments)");
+  }
+  std::ifstream in(batch_path);
+  if (!in) return Fail("cannot open batch file: " + batch_path);
+  std::vector<core::RangeQuery> queries;
+  double max_t2 = t_end;
+  std::string line;
+  size_t lineno = 0;
+  size_t skipped_empty = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    core::RangeQuery query;
+    if (!ParseQueryLine(line, network, &query)) {
+      std::fprintf(stderr, "error: %s:%zu: want x0,y0,x1,y1,t1,t2\n",
+                   batch_path.c_str(), lineno);
+      return 1;
+    }
+    if (query.junctions.empty()) {
+      ++skipped_empty;
+      continue;
+    }
+    max_t2 = std::max(max_t2, query.t2);
+    queries.push_back(std::move(query));
+  }
+  if (queries.empty()) return Fail("batch file holds no non-empty query");
+  if (skipped_empty > 0) {
+    std::fprintf(stderr, "warning: skipped %zu queries with no sensing cell\n",
+                 skipped_empty);
+  }
+
+  std::string error;
+  std::optional<core::Deployment> deployment =
+      BuildSampledDeployment(flags, network, fraction, max_t2 + 1.0, &error);
+  if (!deployment.has_value()) return Fail(error);
+
+  runtime::BatchEngineOptions engine_options;
+  engine_options.num_threads =
+      static_cast<size_t>(flags.GetInt("threads", 0));
+  engine_options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache", 4096));
+  runtime::BatchQueryEngine engine(deployment->graph(), deployment->store(),
+                                   engine_options);
+
+  std::string bound_name = flags.GetString("bound", "");
+  util::Timer timer;
+  for (core::BoundMode bound :
+       {core::BoundMode::kLower, core::BoundMode::kUpper}) {
+    if (!bound_name.empty() && bound_name != core::BoundModeName(bound)) {
+      continue;
+    }
+    std::vector<core::QueryAnswer> answers =
+        engine.AnswerBatch(queries, kind, bound);
+    for (size_t i = 0; i < answers.size(); ++i) {
+      const core::QueryAnswer& a = answers[i];
+      std::printf("%zu %s %s %.0f%s [sensors=%zu edges=%zu]\n", i,
+                  kind_name.c_str(), core::BoundModeName(bound), a.estimate,
+                  a.missed ? " MISSED" : "", a.nodes_accessed,
+                  a.edges_accessed);
+    }
+  }
+  double wall_seconds = timer.ElapsedSeconds();
+
+  runtime::BatchEngineSnapshot snap = engine.Snapshot();
+  std::fprintf(stderr,
+               "batch: %llu queries in %.3fs (%.0f q/s, %zu threads) | "
+               "cache %llu hits / %llu misses | missed lower=%llu "
+               "upper=%llu | latency p50=%.1fus p95=%.1fus\n",
+               static_cast<unsigned long long>(snap.queries_answered),
+               wall_seconds,
+               static_cast<double>(snap.queries_answered) /
+                   std::max(wall_seconds, 1e-9),
+               engine.NumThreads(),
+               static_cast<unsigned long long>(snap.cache_hits),
+               static_cast<unsigned long long>(snap.cache_misses),
+               static_cast<unsigned long long>(snap.missed_lower),
+               static_cast<unsigned long long>(snap.missed_upper),
+               snap.latency_p50_micros, snap.latency_p95_micros);
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", unused.c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  std::string graph_path = flags.GetString("graph");
+  std::string trips_path = flags.GetString("trips");
+  std::string rect_text = flags.GetString("rect");
+  std::string batch_path = flags.GetString("batch");
+  if (graph_path.empty() || trips_path.empty() ||
+      (rect_text.empty() && batch_path.empty())) {
+    std::fprintf(stderr,
+                 "usage: innet_query --graph G --trips T --rect x0,y0,x1,y1 "
+                 "[--t1 S] [--t2 S] [--kind static|transient] "
+                 "[--sample-fraction F] [--sampler NAME] "
+                 "[--bound lower|upper] [--store exact|learned]\n"
+                 "   or: innet_query --graph G --trips T --batch FILE "
+                 "--sample-fraction F [--threads N] [--cache N] [--kind K] "
+                 "[--bound B] [--sampler NAME] [--store exact|learned]\n");
+    return 2;
+  }
+
+  auto graph = io::LoadRoadNetwork(graph_path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  core::SensorNetwork network(std::move(*graph));
+  auto trips = io::LoadTrajectories(trips_path, &network.mobility());
+  if (!trips.ok()) return Fail(trips.status().ToString());
+  network.IngestTrajectories(*trips);
+  double t_end = network.events().empty() ? 0.0
+                                          : network.events().back().time;
+
+  std::string kind_name = flags.GetString("kind", "static");
+  core::CountKind kind = kind_name == "transient"
+                             ? core::CountKind::kTransient
+                             : core::CountKind::kStatic;
+  double fraction = flags.GetDouble("sample-fraction", 0.0);
+
+  if (!batch_path.empty()) {
+    return BatchMain(flags, network, t_end, kind, kind_name, fraction,
+                     batch_path);
+  }
+
+  geometry::Rect rect;
+  if (!ParseRect(rect_text, &rect)) {
+    return Fail("cannot parse --rect (want x0,y0,x1,y1)");
+  }
+  core::RangeQuery query;
+  query.rect = rect;
+  query.junctions = network.JunctionsInRect(rect);
+  if (query.junctions.empty()) {
+    return Fail("query rectangle contains no sensing cell");
+  }
+  query.t1 = flags.GetDouble("t1", 0.0);
+  query.t2 = flags.GetDouble("t2", t_end);
+
+  std::printf("region: %zu sensing cells in [%.0f,%.0f]x[%.0f,%.0f], "
+              "t in [%.0f, %.0f]\n",
+              query.junctions.size(), rect.min_x, rect.max_x, rect.min_y,
+              rect.max_y, query.t1, query.t2);
+
+  if (fraction <= 0.0) {
+    core::UnsampledQueryProcessor processor(network);
+    core::QueryAnswer answer = processor.Answer(query, kind);
+    std::printf("%s count (exact): %.0f  [sensors=%zu edges=%zu %.1fus]\n",
+                kind_name.c_str(), answer.estimate, answer.nodes_accessed,
+                answer.edges_accessed, answer.exec_micros);
+    return 0;
+  }
+
+  // Sampled path: pick a sampler, deploy, answer with both bounds.
+  std::string sampler_name = flags.GetString("sampler", "kd-tree");
+  std::string error;
+  std::optional<core::Deployment> deployment = BuildSampledDeployment(
+      flags, network, fraction, query.t2 + 1.0, &error);
+  if (!deployment.has_value()) return Fail(error);
+  core::SampledQueryProcessor processor = deployment->processor();
 
   std::string bound_name = flags.GetString("bound", "");
   for (core::BoundMode bound :
