@@ -1,0 +1,201 @@
+// Fault-tolerance sweep (docs/FAULTS.md): query error versus sensor failure
+// rate and message loss, and the cost of the lossy-channel retransmission
+// model.
+//
+// Grid: dead-sensor fraction x drop probability. For every cell the
+// fault-free event stream is corrupted by a seeded FaultModel, re-ingested
+// through the reorder buffer into a fresh exact store, and the workload is
+// answered twice over that corrupted store:
+//   - naive: the ordinary engine, trusting every boundary edge (what a
+//     deployment unaware of failures reports);
+//   - degraded: the health-aware engine, rerouting boundaries around dead
+//     sensors and returning count intervals.
+// Both are scored against the fault-free deployment's answers: the naive
+// point estimate drifts with the failure rate, while the degraded interval
+// should keep containing the truth (>= 95% at the pinned 10%/5% cell — the
+// same criterion tests/faults_test.cc enforces).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/dispatch.h"
+#include "core/event_buffer.h"
+#include "faults/fault_model.h"
+#include "forms/tracking_form.h"
+#include "runtime/batch_query_engine.h"
+#include "util/table.h"
+
+namespace innet::bench {
+namespace {
+
+constexpr size_t kQueries = 40;
+constexpr uint64_t kFaultSeed = 2024;
+
+forms::TrackingForm IngestCorrupted(const core::SensorNetwork& network,
+                                    const core::SampledGraph& sampled,
+                                    const faults::CorruptedStream& corrupted) {
+  forms::TrackingForm store(network.TotalEdgeSpace());
+  core::EventReorderBuffer buffer(
+      1.0, [&](const mobility::CrossingEvent& event) {
+        if (!sampled.IsMonitored(event.edge)) return;
+        store.RecordTraversal(event.edge, event.forward, event.time);
+      });
+  for (const mobility::CrossingEvent& event : corrupted.events) {
+    buffer.Push(event);
+  }
+  buffer.Flush();
+  return store;
+}
+
+void Main() {
+  core::Framework framework(DefaultWorld());
+  const core::SensorNetwork& network = framework.network();
+
+  sampling::KdTreeSampler sampler;
+  util::Rng rng(9);
+  size_t m = static_cast<size_t>(0.256 * network.NumSensors());
+  core::Deployment deployment = framework.DeployWithSampler(
+      sampler, m, core::DeploymentOptions{}, rng);
+  std::vector<core::RangeQuery> queries =
+      MakeQueries(framework, 0.08, kQueries, 951);
+
+  // Fault-free reference answers (one per query and bound).
+  core::SampledQueryProcessor reference = deployment.processor();
+  std::vector<std::vector<core::QueryAnswer>> truth;
+  for (core::BoundMode bound :
+       {core::BoundMode::kLower, core::BoundMode::kUpper}) {
+    std::vector<core::QueryAnswer> answers;
+    answers.reserve(queries.size());
+    for (const core::RangeQuery& q : queries) {
+      answers.push_back(reference.Answer(q, core::CountKind::kStatic, bound));
+    }
+    truth.push_back(std::move(answers));
+  }
+
+  util::Table table("Degraded-mode error vs failure rate (static counts)");
+  table.SetHeader({"dead%", "drop%", "suppressed%", "degraded%", "contain%",
+                   "naive_err", "width", "rerouted"});
+  for (double dead : {0.0, 0.05, 0.10, 0.20}) {
+    for (double drop : {0.0, 0.05, 0.10}) {
+      faults::FaultOptions fault_options;
+      fault_options.seed = kFaultSeed;
+      fault_options.dead_sensor_fraction = dead;
+      fault_options.drop_probability = drop;
+      fault_options.horizon = framework.Horizon();
+      faults::FaultModel model(network, fault_options);
+      faults::CorruptedStream corrupted =
+          model.ApplyToStream(network.events());
+      forms::TrackingForm store =
+          IngestCorrupted(network, deployment.graph(), corrupted);
+
+      runtime::BatchEngineOptions degraded_options;
+      degraded_options.health = &model;
+      degraded_options.degraded = model.MakeDegradedOptions();
+      runtime::BatchQueryEngine degraded_engine(deployment.graph(), store,
+                                                degraded_options);
+      runtime::BatchQueryEngine naive_engine(deployment.graph(), store, {});
+
+      size_t answered = 0;
+      size_t contained = 0;
+      size_t degraded_count = 0;
+      double rerouted = 0.0;
+      double width_sum = 0.0;
+      std::vector<double> naive_errors;
+      for (size_t b = 0; b < truth.size(); ++b) {
+        core::BoundMode bound =
+            b == 0 ? core::BoundMode::kLower : core::BoundMode::kUpper;
+        std::vector<core::QueryAnswer> degraded_answers =
+            degraded_engine.AnswerBatch(queries, core::CountKind::kStatic,
+                                        bound);
+        std::vector<core::QueryAnswer> naive_answers =
+            naive_engine.AnswerBatch(queries, core::CountKind::kStatic,
+                                     bound);
+        for (size_t i = 0; i < queries.size(); ++i) {
+          if (truth[b][i].missed || degraded_answers[i].missed) continue;
+          ++answered;
+          double expect = truth[b][i].estimate;
+          if (degraded_answers[i].interval.Contains(expect)) ++contained;
+          if (degraded_answers[i].degraded) {
+            ++degraded_count;
+            rerouted +=
+                static_cast<double>(degraded_answers[i].rerouted_faces);
+          }
+          width_sum += degraded_answers[i].interval.Width();
+          double denom = expect > 1.0 ? expect : 1.0;
+          naive_errors.push_back(
+              std::abs(naive_answers[i].estimate - expect) / denom);
+        }
+      }
+      double total_events = static_cast<double>(network.events().size());
+      table.AddRow(
+          {Percent(dead, 0), Percent(drop, 0),
+           Percent(static_cast<double>(corrupted.suppressed) / total_events,
+                   1),
+           Percent(static_cast<double>(degraded_count) /
+                       static_cast<double>(answered),
+                   1),
+           Percent(static_cast<double>(contained) /
+                       static_cast<double>(answered),
+                   1),
+           util::Table::Num(util::Percentile(naive_errors, 0.5), 4),
+           util::Table::Num(width_sum / static_cast<double>(answered), 1),
+           util::Table::Num(
+               degraded_count == 0
+                   ? 0.0
+                   : rerouted / static_cast<double>(degraded_count),
+               1)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "contain%% = fault-free answer inside the degraded interval; naive_err "
+      "= median relative error of the point estimate that ignores failures; "
+      "width = mean interval width; rerouted = mean faces deformed per "
+      "degraded answer.\n\n");
+
+  // Retransmission overhead of the lossy dispatch channel on a
+  // representative perimeter.
+  core::RangeQuery probe = queries.front();
+  for (const core::RangeQuery& q : queries) {
+    if (q.junctions.size() > probe.junctions.size()) probe = q;
+  }
+  std::vector<uint32_t> faces =
+      deployment.graph().UpperBoundFaces(probe.junctions);
+  std::vector<graph::NodeId> perimeter =
+      deployment.graph().BoundaryOfFaces(faces).sensors;
+
+  util::Table retry("Retry overhead vs loss rate (perimeter dispatch)");
+  retry.SetHeader({"loss%", "mode", "messages", "retrans", "deliver%",
+                   "latency_ms", "energy_x"});
+  for (double loss : {0.0, 0.02, 0.05, 0.10}) {
+    core::ChannelModel channel;
+    channel.loss_rate = loss;
+    for (core::DispatchMode mode : {core::DispatchMode::kServerDirect,
+                                    core::DispatchMode::kPerimeterTraversal}) {
+      core::DispatchCost ideal =
+          core::SimulateDispatch(network, perimeter, mode);
+      core::DispatchCost cost =
+          core::SimulateDispatch(network, perimeter, mode, channel);
+      retry.AddRow({Percent(loss, 0), core::DispatchModeName(mode),
+                    std::to_string(cost.Messages()),
+                    util::Table::Num(cost.expected_retransmissions, 1),
+                    Percent(cost.delivery_probability, 2),
+                    util::Table::Num(cost.expected_latency_ms, 1),
+                    util::Table::Num(cost.Energy() / ideal.Energy(), 3)});
+    }
+  }
+  retry.Print();
+  std::printf(
+      "%zu perimeter sensors; energy_x = lossy-channel energy relative to "
+      "the ideal channel (retransmissions charged pro rata).\n",
+      perimeter.size());
+}
+
+}  // namespace
+}  // namespace innet::bench
+
+int main() {
+  innet::bench::Main();
+  return 0;
+}

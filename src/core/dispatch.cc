@@ -15,6 +15,34 @@ const char* DispatchModeName(DispatchMode mode) {
 namespace {
 
 // Mean sensing-graph link length, the unit for hop estimation.
+// Expected attempts per message on a channel with per-transmission loss p
+// and up to R retransmissions: sum_{k=0..R} p^k (attempt k+1 happens iff
+// the first k all failed), truncated — undelivered messages stop retrying.
+double ExpectedAttempts(double p, size_t retries) {
+  double attempts = 0.0;
+  double fail_all = 1.0;
+  for (size_t k = 0; k <= retries; ++k) {
+    attempts += fail_all;
+    fail_all *= p;
+  }
+  return attempts;
+}
+
+// Expected backoff wait accumulated by one message: after attempt k fails
+// (probability p^k of reaching that state), the sender waits
+// min(base * 2^(k-1), cap) before retrying.
+double ExpectedBackoffMs(const ChannelModel& channel) {
+  double wait = 0.0;
+  double fail_all = channel.loss_rate;
+  double backoff = channel.backoff_base_ms;
+  for (size_t k = 1; k <= channel.max_retries; ++k) {
+    wait += fail_all * std::min(backoff, channel.backoff_cap_ms);
+    fail_all *= channel.loss_rate;
+    backoff *= 2.0;
+  }
+  return wait;
+}
+
 double MeanLinkLength(const SensorNetwork& network) {
   const graph::DualGraph& dual = network.sensing();
   double total = 0.0;
@@ -79,6 +107,40 @@ DispatchCost SimulateDispatch(const SensorNetwork& network,
     hops += std::max<size_t>(1, static_cast<size_t>(std::lround(d / unit)));
   }
   cost.mesh_hops = hops;
+  return cost;
+}
+
+DispatchCost SimulateDispatch(const SensorNetwork& network,
+                              const std::vector<graph::NodeId>& perimeter_sensors,
+                              DispatchMode mode, const ChannelModel& channel) {
+  INNET_CHECK(channel.loss_rate >= 0.0 && channel.loss_rate < 1.0);
+  DispatchCost cost = SimulateDispatch(network, perimeter_sensors, mode);
+  if (cost.Messages() == 0) return cost;
+
+  double p = channel.loss_rate;
+  double attempts = ExpectedAttempts(p, channel.max_retries);
+  double delivered =
+      1.0 - std::pow(p, static_cast<double>(channel.max_retries + 1));
+  double backoff = ExpectedBackoffMs(channel);
+
+  cost.expected_retransmissions =
+      static_cast<double>(cost.Messages()) * (attempts - 1.0);
+  cost.delivery_probability =
+      std::pow(delivered, static_cast<double>(cost.Messages()));
+
+  // Per-message expected time: every attempt pays the transmit time, every
+  // failed attempt the backoff wait before the next one.
+  double long_ms = channel.long_link_ms * attempts + backoff;
+  double hop_ms = channel.mesh_hop_ms * attempts + backoff;
+  if (mode == DispatchMode::kServerDirect) {
+    // All sensors are contacted in parallel; each contact is a sequential
+    // request + reply over the long link.
+    cost.expected_latency_ms = 2.0 * long_ms;
+  } else {
+    // Enter, walk the perimeter hop by hop, return.
+    cost.expected_latency_ms =
+        2.0 * long_ms + static_cast<double>(cost.mesh_hops) * hop_ms;
+  }
   return cost;
 }
 

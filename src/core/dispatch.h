@@ -27,6 +27,27 @@ enum class DispatchMode {
 
 const char* DispatchModeName(DispatchMode mode);
 
+/// Lossy-channel model: per-transmission loss, per-hop timeout, and capped
+/// exponential-backoff retransmission (docs/FAULTS.md). A message is
+/// attempted up to `1 + max_retries` times; attempt k (k >= 1) that fails
+/// waits min(backoff_base_ms * 2^(k-1), backoff_cap_ms) before the next
+/// try. The timeout IS the wait that precedes a retransmission, so it is
+/// folded into the backoff schedule rather than modeled separately.
+struct ChannelModel {
+  /// Probability that any single transmission (mesh hop or long link) is
+  /// lost. 0 reproduces the ideal-channel behavior exactly.
+  double loss_rate = 0.0;
+  /// Retransmissions allowed per message beyond the first attempt.
+  size_t max_retries = 5;
+  /// One short-range mesh-hop transmission time.
+  double mesh_hop_ms = 2.0;
+  /// One long-distance sensor-to-server transmission time.
+  double long_link_ms = 20.0;
+  /// First retransmission backoff (doubles per retry, capped below).
+  double backoff_base_ms = 4.0;
+  double backoff_cap_ms = 64.0;
+};
+
 /// Cost terms of one dispatch.
 struct DispatchCost {
   /// Distinct sensors involved.
@@ -36,15 +57,36 @@ struct DispatchCost {
   /// Sensor-to-sensor hops traveled inside the mesh (short-range radio).
   size_t mesh_hops = 0;
 
-  /// Total message count (each long link is a request+reply pair, each mesh
-  /// hop one forwarded message).
+  /// Expected retransmissions beyond the first attempt of each message,
+  /// across the whole dispatch (0 on an ideal channel).
+  double expected_retransmissions = 0.0;
+  /// Probability that EVERY message of the dispatch is delivered within its
+  /// retry budget (1 on an ideal channel).
+  double delivery_probability = 1.0;
+  /// Expected end-to-end latency, including backoff waits. Long links are
+  /// contacted in parallel under kServerDirect; the perimeter traversal is
+  /// sequential hop by hop.
+  double expected_latency_ms = 0.0;
+
+  /// Total first-attempt message count (each long link is a request+reply
+  /// pair, each mesh hop one forwarded message).
   size_t Messages() const { return 2 * long_links + mesh_hops; }
 
+  /// Expected transmissions including retransmissions.
+  double ExpectedTransmissions() const {
+    return static_cast<double>(Messages()) + expected_retransmissions;
+  }
+
   /// Energy proxy: long-distance transmissions cost `long_link_cost` times
-  /// a mesh hop (battery-powered sensors, §3.1).
+  /// a mesh hop (battery-powered sensors, §3.1). Retransmissions are
+  /// charged at the blended per-message rate.
   double Energy(double long_link_cost = 20.0) const {
-    return static_cast<double>(mesh_hops) +
-           long_link_cost * static_cast<double>(long_links);
+    double base = static_cast<double>(mesh_hops) +
+                  long_link_cost * static_cast<double>(long_links);
+    size_t messages = Messages();
+    if (messages == 0 || expected_retransmissions <= 0.0) return base;
+    return base * (1.0 + expected_retransmissions /
+                             static_cast<double>(messages));
   }
 };
 
@@ -56,6 +98,14 @@ struct DispatchCost {
 DispatchCost SimulateDispatch(const SensorNetwork& network,
                               const std::vector<graph::NodeId>& perimeter_sensors,
                               DispatchMode mode);
+
+/// Same dispatch over a lossy channel: the retry/latency fields are filled
+/// from the analytic expectation of the truncated-geometric retransmission
+/// process (deterministic — no sampling). With channel.loss_rate == 0 the
+/// result equals the ideal-channel overload plus pure transmit latency.
+DispatchCost SimulateDispatch(const SensorNetwork& network,
+                              const std::vector<graph::NodeId>& perimeter_sensors,
+                              DispatchMode mode, const ChannelModel& channel);
 
 }  // namespace innet::core
 

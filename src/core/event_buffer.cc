@@ -17,6 +17,14 @@ bool EventReorderBuffer::Push(const mobility::CrossingEvent& event) {
     ++dropped_;
     return false;
   }
+  EventKey key = EventKey::Of(event);
+  // A key present in the map is either still buffered (value 1) or was
+  // released at exactly the current watermark (value 0); both cases make
+  // `event` an exact duplicate delivery.
+  if (!pending_keys_.emplace(key, size_t{1}).second) {
+    ++duplicates_;
+    return false;
+  }
   heap_.push(event);
   if (event.time > newest_) newest_ = event.time;
   Release();
@@ -28,17 +36,29 @@ void EventReorderBuffer::Release() {
   // an unseen event.
   double safe = newest_ - max_lateness_;
   while (!heap_.empty() && heap_.top().time <= safe) {
-    watermark_ = heap_.top().time;
-    sink_(heap_.top());
-    heap_.pop();
+    ReleaseTop();
   }
+}
+
+void EventReorderBuffer::ReleaseTop() {
+  const mobility::CrossingEvent& event = heap_.top();
+  if (event.time != watermark_) {
+    // The watermark moves: duplicates of events released at the old
+    // watermark are now caught by the `time < watermark_` gate instead.
+    for (const EventKey& k : released_at_watermark_) pending_keys_.erase(k);
+    released_at_watermark_.clear();
+    watermark_ = event.time;
+  }
+  EventKey key = EventKey::Of(event);
+  pending_keys_[key] = 0;
+  released_at_watermark_.push_back(key);
+  sink_(event);
+  heap_.pop();
 }
 
 void EventReorderBuffer::Flush() {
   while (!heap_.empty()) {
-    watermark_ = heap_.top().time;
-    sink_(heap_.top());
-    heap_.pop();
+    ReleaseTop();
   }
   // Close the stream epoch: everything at or before the newest admitted
   // event has been released, so advance the watermark to it even when the
@@ -46,6 +66,10 @@ void EventReorderBuffer::Flush() {
   // then rejects events behind the released history instead of re-admitting
   // them and corrupting downstream per-edge time order.
   double close = std::max(newest_, watermark_);
+  if (close > watermark_) {
+    for (const EventKey& k : released_at_watermark_) pending_keys_.erase(k);
+    released_at_watermark_.clear();
+  }
   newest_ = close;
   watermark_ = close;
 }

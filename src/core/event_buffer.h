@@ -11,8 +11,10 @@
 #ifndef INNET_CORE_EVENT_BUFFER_H_
 #define INNET_CORE_EVENT_BUFFER_H_
 
+#include <cstring>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "mobility/trajectory.h"
@@ -29,7 +31,10 @@ class EventReorderBuffer {
   EventReorderBuffer(double max_lateness, Sink sink);
 
   /// Offers one event. Returns false when the event violated the lateness
-  /// bound and was dropped.
+  /// bound and was dropped, or when it exactly duplicated an event (same
+  /// edge, direction, and timestamp) still inside the reorder window —
+  /// duplicate deliveries from retransmitting meshes would otherwise
+  /// double-count downstream.
   bool Push(const mobility::CrossingEvent& event);
 
   /// Releases every buffered event (end of stream) and advances the
@@ -44,6 +49,9 @@ class EventReorderBuffer {
   /// Events dropped for exceeding the lateness bound.
   size_t Dropped() const { return dropped_; }
 
+  /// Exact duplicates suppressed within the reorder window.
+  size_t Duplicates() const { return duplicates_; }
+
   /// Timestamp below which all events have been released.
   double Watermark() const { return watermark_; }
 
@@ -56,15 +64,51 @@ class EventReorderBuffer {
   };
 
   void Release();
+  void ReleaseTop();
+
+  // Dedup key: (edge, direction, exact timestamp bits).
+  struct EventKey {
+    graph::EdgeId edge;
+    bool forward;
+    uint64_t time_bits;
+
+    static EventKey Of(const mobility::CrossingEvent& e) {
+      uint64_t bits;
+      std::memcpy(&bits, &e.time, sizeof(bits));
+      return {e.edge, e.forward, bits};
+    }
+    bool operator==(const EventKey& o) const {
+      return edge == o.edge && forward == o.forward &&
+             time_bits == o.time_bits;
+    }
+  };
+  struct EventKeyHash {
+    size_t operator()(const EventKey& k) const {
+      uint64_t h = k.time_bits ^ (static_cast<uint64_t>(k.edge) << 1) ^
+                   static_cast<uint64_t>(k.forward);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
 
   double max_lateness_;
   Sink sink_;
   std::priority_queue<mobility::CrossingEvent,
                       std::vector<mobility::CrossingEvent>, Later>
       heap_;
+  // Multiplicity of each distinct event currently buffered, plus (at count
+  // 0) events already released at exactly the watermark timestamp — a late
+  // duplicate of those still passes the `time < watermark_` gate.
+  std::unordered_map<EventKey, size_t, EventKeyHash> pending_keys_;
+  // Keys released at exactly the current watermark (map value 0); cleared
+  // whenever the watermark advances.
+  std::vector<EventKey> released_at_watermark_;
   double newest_ = -1e300;
   double watermark_ = -1e300;
   size_t dropped_ = 0;
+  size_t duplicates_ = 0;
 };
 
 }  // namespace innet::core

@@ -1,0 +1,68 @@
+// Sensor-health abstraction consumed by the degraded-mode query path.
+//
+// The sensing layer (src/faults) decides WHICH sensors are trustworthy —
+// from injected fault schedules or from observed-vs-expected crossing
+// rates — while the query layer only needs a yes/no answer per sensor plus
+// a change counter to invalidate cached boundaries. This interface keeps
+// that dependency one-directional: core never links against faults.
+#ifndef INNET_CORE_HEALTH_H_
+#define INNET_CORE_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/planar_graph.h"
+
+namespace innet::core {
+
+/// Read-only view of per-sensor health. Implemented by
+/// faults::SensorHealthMonitor (rate-based detection) and by
+/// faults::FaultModel (oracle view of the injected schedule, for benches).
+class SensorHealthView {
+ public:
+  virtual ~SensorHealthView() = default;
+
+  /// True when the sensor's tracking forms must not be trusted (dead or
+  /// silent). Sensor ids are dual node ids; the ext node is never failed.
+  virtual bool IsFailed(graph::NodeId sensor) const = 0;
+
+  /// Monotone counter bumped on every health-state transition. Consumers
+  /// (boundary caches) drop derived state when the generation moves.
+  virtual uint64_t Generation() const = 0;
+};
+
+/// A view with no failures: degraded answering under it reduces to the
+/// fault-free path (useful as a default and in tests).
+class AllHealthyView final : public SensorHealthView {
+ public:
+  bool IsFailed(graph::NodeId) const override { return false; }
+  uint64_t Generation() const override { return 0; }
+};
+
+/// Knobs of degraded-mode answering: how much slack the reported interval
+/// carries beyond the region deformation itself (docs/FAULTS.md).
+struct DegradedOptions {
+  /// Upper bound on the per-event delivery loss probability of HEALTHY
+  /// sensors (message loss). Widens intervals by the expected number of
+  /// missed boundary crossings, p/(1-p) per observed crossing.
+  double drop_rate_bound = 0.0;
+
+  /// Bound on per-sensor clock skew (seconds). Crossings within the skew
+  /// window of a query endpoint may land on the wrong side of it; the
+  /// interval widens by their count.
+  double clock_skew_bound = 0.0;
+
+  /// Expected crossings/second per dead boundary edge, used to widen
+  /// TRANSIENT intervals for traffic the dead sensors never reported
+  /// (typically the health monitor's calibrated mean rate). Static
+  /// intervals do not need it — deformation already brackets them.
+  double dead_edge_rate_bound = 0.0;
+
+  /// Safety cap on boundary-rerouting steps (faces absorbed or shed per
+  /// direction). 0 means no cap beyond the face count.
+  size_t max_deformation_faces = 0;
+};
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_HEALTH_H_

@@ -1,5 +1,7 @@
 #include "core/live_monitor.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace innet::core {
@@ -29,6 +31,16 @@ void LiveRegionMonitor::OnEvent(const mobility::CrossingEvent& event) {
   auto it = deltas_.find(event.edge);
   if (it == deltas_.end()) return;
   count_ += event.forward ? it->second : -it->second;
+  ++boundary_events_;
+}
+
+forms::CountInterval LiveRegionMonitor::CurrentInterval(
+    double drop_rate_bound) const {
+  double value = static_cast<double>(count_);
+  if (drop_rate_bound <= 0.0) return forms::CountInterval::Point(value);
+  double p = std::min(drop_rate_bound, 0.999);
+  double slack = static_cast<double>(boundary_events_) * p / (1.0 - p);
+  return {value - slack, value + slack};
 }
 
 }  // namespace innet::core

@@ -38,6 +38,17 @@ class LiveRegionMonitor {
   /// Current number of objects inside the region.
   int64_t CurrentCount() const { return count_; }
 
+  /// Boundary events applied so far (inward plus outward).
+  size_t BoundaryEventsSeen() const { return boundary_events_; }
+
+  /// Honest count bounds when each delivery may have been lost with
+  /// probability up to `drop_rate_bound` (docs/FAULTS.md): every lost
+  /// boundary crossing shifts the running count by ±1, and with A observed
+  /// events the expected number lost is A * p / (1 - p). The interval is
+  /// the count widened by that bound (floored at 0 below since static
+  /// occupancy is nonnegative).
+  forms::CountInterval CurrentInterval(double drop_rate_bound) const;
+
   /// Timestamp of the last event fed (0 before the first).
   double LastEventTime() const { return last_time_; }
 
@@ -51,6 +62,7 @@ class LiveRegionMonitor {
   // direction (+1 inward, -1 outward).
   std::unordered_map<graph::EdgeId, int8_t> deltas_;
   int64_t count_ = 0;
+  size_t boundary_events_ = 0;
   double last_time_ = 0.0;
 };
 

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "forms/region_count.h"
 #include "geometry/rect.h"
 #include "graph/planar_graph.h"
 
@@ -58,6 +59,20 @@ struct QueryAnswer {
   size_t edges_accessed = 0;
   /// Wall-clock evaluation compute time.
   double exec_micros = 0.0;
+
+  /// True when the answer was produced in degraded mode: the resolved
+  /// boundary touched edges owned by failed sensors and was rerouted
+  /// through healthy dual edges (docs/FAULTS.md). The estimate is then the
+  /// interval midpoint and `interval` carries the honest bounds.
+  bool degraded = false;
+  /// Bounds claimed to contain the fault-free count. Fault-free answers
+  /// carry the degenerate interval [estimate, estimate].
+  forms::CountInterval interval;
+  /// Original boundary edges whose owning sensor had failed.
+  size_t dead_boundary_edges = 0;
+  /// G̃ faces absorbed (outward) plus shed (inward) while rerouting the
+  /// boundary around dead sensors.
+  size_t rerouted_faces = 0;
 
   /// Simulated end-to-end query time (Fig. 11d): compute plus the modeled
   /// communication cost of contacting each sensor.

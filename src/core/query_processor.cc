@@ -1,5 +1,6 @@
 #include "core/query_processor.h"
 
+#include "core/degraded.h"
 #include "forms/region_count.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -28,8 +29,25 @@ QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
           ? forms::EvaluateStaticCount(*store_, boundary.edges, query.t2)
           : forms::EvaluateTransientCount(*store_, boundary.edges, query.t1,
                                           query.t2);
+  answer.interval = forms::CountInterval::Point(answer.estimate);
   answer.nodes_accessed = boundary.sensors.size();
   answer.edges_accessed = boundary.edges.size();
+  answer.exec_micros = timer.ElapsedMicros();
+  return answer;
+}
+
+QueryAnswer SampledQueryProcessor::AnswerDegraded(
+    const RangeQuery& query, CountKind kind, BoundMode bound,
+    const SensorHealthView& health, const DegradedOptions& options) const {
+  util::Timer timer;
+  std::vector<uint32_t> faces =
+      bound == BoundMode::kLower
+          ? sampled_->LowerBoundFaces(query.junctions)
+          : sampled_->UpperBoundFaces(query.junctions);
+  DegradedBoundary resolved =
+      ResolveDegradedBoundary(*sampled_, faces, health, options);
+  QueryAnswer answer =
+      AnswerFromDegradedBoundary(*store_, resolved, query, kind, options);
   answer.exec_micros = timer.ElapsedMicros();
   return answer;
 }
@@ -89,6 +107,7 @@ QueryAnswer UnsampledQueryProcessor::Answer(const RangeQuery& query,
                                        query.t2)
           : forms::EvaluateTransientCount(network_->reference_store(),
                                           boundary, query.t1, query.t2);
+  answer.interval = forms::CountInterval::Point(answer.estimate);
   answer.edges_accessed = boundary.size();
 
   // Flooding cost: every sensor whose face touches a junction of the region

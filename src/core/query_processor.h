@@ -3,6 +3,7 @@
 #ifndef INNET_CORE_QUERY_PROCESSOR_H_
 #define INNET_CORE_QUERY_PROCESSOR_H_
 
+#include "core/health.h"
 #include "core/query.h"
 #include "core/sampled_graph.h"
 #include "core/sensor_network.h"
@@ -23,6 +24,17 @@ class SampledQueryProcessor {
   /// G̃ satisfies the bound) reports estimate 0 with missed = true.
   QueryAnswer Answer(const RangeQuery& query, CountKind kind,
                      BoundMode bound) const;
+
+  /// Fault-tolerant answering (docs/FAULTS.md): when the resolved region's
+  /// boundary touches edges owned by sensors `health` reports failed, the
+  /// boundary is rerouted through healthy dual edges (homologous
+  /// deformation across the dead faces) and the answer carries a count
+  /// interval widened by the missed-crossing bound instead of a silently
+  /// wrong point estimate. With no failed owner on the boundary this
+  /// matches Answer() exactly (with a degenerate interval).
+  QueryAnswer AnswerDegraded(const RangeQuery& query, CountKind kind,
+                             BoundMode bound, const SensorHealthView& health,
+                             const DegradedOptions& options) const;
 
   /// Time-series evaluation: static counts of the query's region at
   /// `steps` evenly spaced instants spanning [query.t1, query.t2]

@@ -62,6 +62,17 @@ class SensorNetwork {
     return virtual_edge_of_[junction];
   }
 
+  /// The single physical sensor holding edge `e`'s tracking form: the dual
+  /// node on its left side, falling back to the right side when the left is
+  /// the ext node. Virtual ⋆v_ext edges are server-side bookkeeping with no
+  /// owning sensor — they return kInvalidNode and never fail. The fault
+  /// layer (src/faults) and degraded-mode answering share this mapping.
+  graph::NodeId EdgeOwner(graph::EdgeId e) const {
+    if (IsVirtualEdge(e)) return graph::kInvalidNode;
+    graph::FaceId left = mobility_.Edge(e).left;
+    return left != sensing_.ExtNode() ? left : mobility_.Edge(e).right;
+  }
+
   /// Appends the ⋆v_ext virtual boundary edges of every in-region gateway
   /// (inward = forward by convention) to `boundary`.
   void AppendVirtualBoundary(const std::vector<bool>& in_region,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "util/logging.h"
 
@@ -45,6 +46,34 @@ std::optional<RangeQuery> GenerateQuery(const SensorNetwork& network,
     return query;
   }
   return std::nullopt;
+}
+
+bool ParseBatchQueryLine(const std::string& line, const SensorNetwork& network,
+                         RangeQuery* query, std::string* error) {
+  double v[6];
+  int consumed = 0;
+  if (std::sscanf(line.c_str(), " %lf , %lf , %lf , %lf , %lf , %lf %n",
+                  &v[0], &v[1], &v[2], &v[3], &v[4], &v[5],
+                  &consumed) != 6 ||
+      consumed != static_cast<int>(line.size())) {
+    *error = "want x0,y0,x1,y1,t1,t2";
+    return false;
+  }
+  for (double value : v) {
+    if (!std::isfinite(value)) {
+      *error = "non-finite value";
+      return false;
+    }
+  }
+  if (v[5] < v[4]) {
+    *error = "t2 < t1";
+    return false;
+  }
+  query->rect = geometry::Rect::FromCorners({v[0], v[1]}, {v[2], v[3]});
+  query->junctions = network.JunctionsInRect(query->rect);
+  query->t1 = v[4];
+  query->t2 = v[5];
+  return true;
 }
 
 std::vector<RangeQuery> GenerateWorkload(const SensorNetwork& network,

@@ -5,6 +5,7 @@
 #define INNET_CORE_WORKLOAD_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/query.h"
@@ -41,6 +42,14 @@ std::optional<RangeQuery> GenerateQuery(const SensorNetwork& network,
 std::vector<RangeQuery> GenerateWorkload(const SensorNetwork& network,
                                          const WorkloadOptions& options,
                                          size_t count, util::Rng& rng);
+
+/// Parses one batch-file query line "x0,y0,x1,y1,t1,t2" and resolves its
+/// junction set against `network`. Returns false and fills *error on
+/// malformed input: wrong field count, trailing garbage, non-finite
+/// values, or t2 < t1. An EMPTY junction set is not an error — callers
+/// decide whether such queries are skipped or reported.
+bool ParseBatchQueryLine(const std::string& line, const SensorNetwork& network,
+                         RangeQuery* query, std::string* error);
 
 }  // namespace innet::core
 

@@ -1,0 +1,165 @@
+#include "faults/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace innet::faults {
+
+namespace {
+
+constexpr uint64_t kDropSalt = 0x64726f70ULL;
+constexpr uint64_t kDupSalt = 0x64757031ULL;
+constexpr uint64_t kSkewSalt = 0x736b6577ULL;
+
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const core::SensorNetwork& network,
+                       const FaultOptions& options)
+    : network_(network), options_(options) {
+  INNET_CHECK(options.dead_sensor_fraction >= 0.0 &&
+              options.dead_sensor_fraction <= 1.0);
+  INNET_CHECK(options.drop_probability >= 0.0 &&
+              options.drop_probability < 1.0);
+  INNET_CHECK(options.duplicate_probability >= 0.0 &&
+              options.duplicate_probability <= 1.0);
+  INNET_CHECK(options.clock_skew_bound >= 0.0);
+
+  const graph::DualGraph& dual = network.sensing();
+  size_t num_sensors = dual.NumNodes();
+  is_dead_.assign(num_sensors, 0);
+  schedules_.resize(num_sensors);
+
+  // Physical sensors only: the ⋆v_ext side has no device to fail.
+  std::vector<graph::NodeId> physical;
+  physical.reserve(num_sensors);
+  for (graph::NodeId s = 0; s < num_sensors; ++s) {
+    if (s != dual.ExtNode()) physical.push_back(s);
+  }
+
+  util::Rng rng(options.seed);
+  constexpr double kForever = std::numeric_limits<double>::infinity();
+
+  size_t num_dead = static_cast<size_t>(
+      std::floor(options.dead_sensor_fraction *
+                 static_cast<double>(physical.size())));
+  std::vector<size_t> picks =
+      rng.SampleWithoutReplacement(physical.size(), num_dead);
+  std::sort(picks.begin(), picks.end());
+  for (size_t pick : picks) {
+    graph::NodeId s = physical[pick];
+    double death = options.death_time_max > options.death_time_min
+                       ? rng.Uniform(options.death_time_min,
+                                     options.death_time_max)
+                       : options.death_time_min;
+    dead_.push_back(s);
+    is_dead_[s] = 1;
+    schedules_[s].push_back({death, kForever});
+  }
+
+  if (options.transient_outage_fraction > 0.0 &&
+      options.outage_duration > 0.0) {
+    std::vector<graph::NodeId> alive;
+    for (graph::NodeId s : physical) {
+      if (!is_dead_[s]) alive.push_back(s);
+    }
+    size_t num_out = static_cast<size_t>(
+        std::floor(options.transient_outage_fraction *
+                   static_cast<double>(alive.size())));
+    std::vector<size_t> outs =
+        rng.SampleWithoutReplacement(alive.size(), num_out);
+    std::sort(outs.begin(), outs.end());
+    double latest =
+        std::max(options.horizon - options.outage_duration, 0.0);
+    for (size_t pick : outs) {
+      graph::NodeId s = alive[pick];
+      double start = rng.Uniform(0.0, std::max(latest, 1e-12));
+      schedules_[s].push_back({start, start + options.outage_duration});
+    }
+  }
+}
+
+bool FaultModel::IsFailed(graph::NodeId sensor) const {
+  return sensor < is_dead_.size() && is_dead_[sensor] != 0;
+}
+
+bool FaultModel::IsDeadAt(graph::NodeId sensor, double time) const {
+  if (sensor >= schedules_.size()) return false;
+  for (const Outage& outage : schedules_[sensor]) {
+    if (time >= outage.start && time < outage.end) return true;
+  }
+  return false;
+}
+
+double FaultModel::UnitHash(graph::EdgeId edge, bool forward, double time,
+                            uint64_t salt) const {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(time));
+  std::memcpy(&bits, &time, sizeof(bits));
+  uint64_t x = Mix(options_.seed ^ salt);
+  x = Mix(x ^ static_cast<uint64_t>(edge));
+  x = Mix(x ^ (forward ? 0x5555555555555555ULL : 0xaaaaaaaaaaaaaaaaULL));
+  x = Mix(x ^ bits);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+CorruptedStream FaultModel::ApplyToStream(
+    const std::vector<mobility::CrossingEvent>& events) const {
+  CorruptedStream out;
+  out.events.reserve(events.size());
+  for (const mobility::CrossingEvent& event : events) {
+    graph::NodeId owner = network_.EdgeOwner(event.edge);
+    if (owner != graph::kInvalidNode && IsDeadAt(owner, event.time)) {
+      ++out.suppressed;
+      continue;
+    }
+    if (options_.drop_probability > 0.0 &&
+        UnitHash(event.edge, event.forward, event.time, kDropSalt) <
+            options_.drop_probability) {
+      ++out.dropped;
+      continue;
+    }
+    mobility::CrossingEvent delivered = event;
+    if (options_.clock_skew_bound > 0.0) {
+      double u = UnitHash(event.edge, event.forward, event.time, kSkewSalt);
+      delivered.time =
+          std::max(0.0, event.time + (2.0 * u - 1.0) * options_.clock_skew_bound);
+      if (delivered.time != event.time) ++out.skewed;
+    }
+    out.events.push_back(delivered);
+    if (options_.duplicate_probability > 0.0 &&
+        UnitHash(event.edge, event.forward, event.time, kDupSalt) <
+            options_.duplicate_probability) {
+      // Exact duplicate: same perceived timestamp, as produced by a
+      // retransmission whose ack was lost.
+      out.events.push_back(delivered);
+      ++out.duplicated;
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const mobility::CrossingEvent& a,
+                      const mobility::CrossingEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+core::DegradedOptions FaultModel::MakeDegradedOptions() const {
+  core::DegradedOptions degraded;
+  degraded.drop_rate_bound = options_.drop_probability;
+  degraded.clock_skew_bound = options_.clock_skew_bound;
+  return degraded;
+}
+
+}  // namespace innet::faults

@@ -1,0 +1,111 @@
+// Deterministic fault injection for the sensing layer (docs/FAULTS.md).
+//
+// A FaultModel corrupts a crossing-event stream the way a real deployment
+// would: sensors die (permanently or for bounded outages) and silently stop
+// reporting crossings on the edges they own; individual deliveries are
+// dropped, duplicated, or timestamped with bounded clock skew. All decisions
+// are derived by hashing (seed, edge, direction, time), so the same seed
+// reproduces the same corruption regardless of stream order or chunking.
+#ifndef INNET_FAULTS_FAULT_MODEL_H_
+#define INNET_FAULTS_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/health.h"
+#include "core/sensor_network.h"
+#include "mobility/trajectory.h"
+
+namespace innet::faults {
+
+/// Fault-injection knobs. All probabilities are per-delivery.
+struct FaultOptions {
+  uint64_t seed = 1;
+
+  /// Fraction of physical sensors that die permanently. Death times are
+  /// drawn uniformly in [death_time_min, death_time_max]; the defaults kill
+  /// the chosen sensors for the whole horizon.
+  double dead_sensor_fraction = 0.0;
+  double death_time_min = 0.0;
+  double death_time_max = 0.0;
+
+  /// Fraction of (remaining) sensors that suffer one transient outage of
+  /// `outage_duration`, starting uniformly in [0, horizon - duration].
+  double transient_outage_fraction = 0.0;
+  double outage_duration = 0.0;
+
+  /// Event-time horizon used to place transient outages.
+  double horizon = 1.0;
+
+  /// Probability that a surviving delivery is lost on the edge→sink link.
+  double drop_probability = 0.0;
+
+  /// Probability that a surviving delivery arrives twice (exact duplicate).
+  double duplicate_probability = 0.0;
+
+  /// Per-event clock skew is uniform in [-clock_skew_bound, +bound].
+  double clock_skew_bound = 0.0;
+};
+
+/// Result of passing a stream through the model, sorted by perceived time.
+struct CorruptedStream {
+  std::vector<mobility::CrossingEvent> events;
+  size_t suppressed = 0;   ///< Events swallowed by dead sensors.
+  size_t dropped = 0;      ///< Events lost in transit.
+  size_t duplicated = 0;   ///< Extra copies delivered.
+  size_t skewed = 0;       ///< Events whose timestamp was perturbed.
+};
+
+/// Seedable failure schedule plus delivery corruption. Also usable as the
+/// ground-truth SensorHealthView ("oracle"): IsFailed reports exactly the
+/// permanently dead sensors, which is what a perfect health monitor would
+/// converge to.
+class FaultModel : public core::SensorHealthView {
+ public:
+  FaultModel(const core::SensorNetwork& network, const FaultOptions& options);
+
+  /// True for permanently dead sensors (the oracle health view). Transient
+  /// outages do not count: they end, so rerouting around them forever would
+  /// be over-conservative.
+  bool IsFailed(graph::NodeId sensor) const override;
+
+  /// The schedule is fixed at construction; the oracle never changes.
+  uint64_t Generation() const override { return 0; }
+
+  /// True when `sensor` is inside a dead interval (permanent or transient)
+  /// at `time`.
+  bool IsDeadAt(graph::NodeId sensor, double time) const;
+
+  /// Permanently dead sensors, in id order.
+  const std::vector<graph::NodeId>& DeadSensors() const { return dead_; }
+
+  /// Applies the full model to a fault-free stream: suppression by dead
+  /// sensors, drops, duplicates, skew. Input must be time-sorted; output is
+  /// sorted by perceived time (ties broken stably).
+  CorruptedStream ApplyToStream(
+      const std::vector<mobility::CrossingEvent>& events) const;
+
+  /// Degraded-answering knobs consistent with this model's parameters.
+  core::DegradedOptions MakeDegradedOptions() const;
+
+ private:
+  struct Outage {
+    double start = 0.0;
+    double end = 0.0;  // Permanent deaths use +infinity.
+  };
+
+  // Uniform [0, 1) deviate determined by (seed, edge, direction, time
+  // bits, salt) — order-independent and reproducible.
+  double UnitHash(graph::EdgeId edge, bool forward, double time,
+                  uint64_t salt) const;
+
+  const core::SensorNetwork& network_;
+  FaultOptions options_;
+  std::vector<graph::NodeId> dead_;
+  std::vector<uint8_t> is_dead_;                 // Indexed by sensor id.
+  std::vector<std::vector<Outage>> schedules_;   // Indexed by sensor id.
+};
+
+}  // namespace innet::faults
+
+#endif  // INNET_FAULTS_FAULT_MODEL_H_

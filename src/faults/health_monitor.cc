@@ -1,0 +1,118 @@
+#include "faults/health_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace innet::faults {
+
+const char* SensorStatusName(SensorStatus status) {
+  switch (status) {
+    case SensorStatus::kHealthy:
+      return "healthy";
+    case SensorStatus::kDegraded:
+      return "degraded";
+    case SensorStatus::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+SensorHealthMonitor::SensorHealthMonitor(const core::SensorNetwork& network,
+                                         const HealthMonitorOptions& options)
+    : network_(network), options_(options) {
+  INNET_CHECK(options.window > 0.0);
+  INNET_CHECK(options.dead_threshold >= 0.0 &&
+              options.dead_threshold <= options.degraded_threshold);
+  INNET_CHECK(options.dead_after_windows >= 1);
+  size_t num_sensors = network.sensing().NumNodes();
+  observed_.assign(num_sensors, 0);
+  silent_streak_.assign(num_sensors, 0);
+  status_.assign(num_sensors, SensorStatus::kHealthy);
+}
+
+void SensorHealthMonitor::Calibrate(
+    const std::vector<mobility::CrossingEvent>& reference, double horizon) {
+  INNET_CHECK(horizon > 0.0);
+  size_t num_windows =
+      static_cast<size_t>(std::ceil(horizon / options_.window));
+  profile_.assign(num_windows, std::vector<double>(observed_.size(), 0.0));
+  for (const mobility::CrossingEvent& event : reference) {
+    graph::NodeId owner = network_.EdgeOwner(event.edge);
+    if (owner == graph::kInvalidNode) continue;
+    size_t w = static_cast<size_t>(
+        std::floor(std::max(event.time, 0.0) / options_.window));
+    if (w >= num_windows) w = num_windows - 1;
+    profile_[w][owner] += 1.0;
+  }
+  calibrated_ = true;
+}
+
+void SensorHealthMonitor::OnEvent(const mobility::CrossingEvent& event) {
+  AdvanceTo(event.time);
+  graph::NodeId owner = network_.EdgeOwner(event.edge);
+  if (owner == graph::kInvalidNode) return;
+  ++observed_[owner];
+}
+
+void SensorHealthMonitor::AdvanceTo(double time) {
+  while (time >= window_start_ + options_.window) CloseWindow();
+}
+
+void SensorHealthMonitor::CloseWindow() {
+  INNET_CHECK(calibrated_);
+  // Windows beyond the calibrated profile have no expectation to judge
+  // against; close them silently.
+  if (windows_closed_ >= profile_.size()) {
+    std::fill(observed_.begin(), observed_.end(), 0);
+    window_start_ += options_.window;
+    ++windows_closed_;
+    return;
+  }
+  const std::vector<double>& expected_now = profile_[windows_closed_];
+  bool changed = false;
+  for (graph::NodeId s = 0; s < status_.size(); ++s) {
+    double expected = expected_now[s];
+    if (expected < options_.min_expected_events) continue;
+    double ratio = static_cast<double>(observed_[s]) / expected;
+
+    SensorStatus next = status_[s];
+    if (ratio <= options_.dead_threshold) {
+      ++silent_streak_[s];
+      next = silent_streak_[s] >= options_.dead_after_windows
+                 ? SensorStatus::kDead
+                 : SensorStatus::kDegraded;
+    } else {
+      silent_streak_[s] = 0;
+      next = ratio < options_.degraded_threshold ? SensorStatus::kDegraded
+                                                 : SensorStatus::kHealthy;
+    }
+    if (next != status_[s]) {
+      status_[s] = next;
+      changed = true;
+    }
+  }
+  std::fill(observed_.begin(), observed_.end(), 0);
+  window_start_ += options_.window;
+  ++windows_closed_;
+  if (changed) {
+    num_dead_ = 0;
+    num_degraded_ = 0;
+    for (SensorStatus s : status_) {
+      if (s == SensorStatus::kDead) ++num_dead_;
+      if (s == SensorStatus::kDegraded) ++num_degraded_;
+    }
+    ++generation_;
+  }
+}
+
+SensorStatus SensorHealthMonitor::Status(graph::NodeId sensor) const {
+  return sensor < status_.size() ? status_[sensor] : SensorStatus::kHealthy;
+}
+
+bool SensorHealthMonitor::IsFailed(graph::NodeId sensor) const {
+  return Status(sensor) == SensorStatus::kDead;
+}
+
+}  // namespace innet::faults

@@ -1,0 +1,106 @@
+// Sensor health tracking from observed crossing rates (docs/FAULTS.md).
+//
+// A dead sensor fails SILENTLY: it reports nothing, so absence of events is
+// the only signal. The monitor calibrates a per-window expected crossing
+// profile from a reference (fault-free or historical) stream — traffic is
+// temporally non-uniform, so each window carries its own expectation — then
+// compares it against the observed count as windows close. Sensors whose
+// observed rate collapses are flagged degraded, then dead after consecutive
+// silent windows; windows with too few expected events (or beyond the
+// calibrated range) are never judged. Any status transition bumps
+// Generation(), which downstream caches (runtime::BatchQueryEngine) use to
+// invalidate resolved boundaries.
+#ifndef INNET_FAULTS_HEALTH_MONITOR_H_
+#define INNET_FAULTS_HEALTH_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/health.h"
+#include "core/sensor_network.h"
+#include "mobility/trajectory.h"
+
+namespace innet::faults {
+
+/// Health-tracking knobs.
+struct HealthMonitorOptions {
+  /// Observation window length (event-time units). Statuses update at
+  /// window boundaries as AdvanceTo / Finish close them.
+  double window = 0.1;
+
+  /// Observed/expected ratio at or below which a window counts as silent.
+  double dead_threshold = 0.05;
+
+  /// Observed/expected ratio below which a window counts as degraded.
+  double degraded_threshold = 0.5;
+
+  /// A (sensor, window) pair expecting fewer events than this is never
+  /// judged — too quiet to distinguish "dead" from "unlucky".
+  double min_expected_events = 4.0;
+
+  /// Consecutive silent windows before a sensor is declared dead.
+  size_t dead_after_windows = 2;
+};
+
+enum class SensorStatus : uint8_t { kHealthy = 0, kDegraded = 1, kDead = 2 };
+
+const char* SensorStatusName(SensorStatus status);
+
+/// Streaming expected-vs-observed health tracker.
+class SensorHealthMonitor : public core::SensorHealthView {
+ public:
+  SensorHealthMonitor(const core::SensorNetwork& network,
+                      const HealthMonitorOptions& options);
+
+  /// Learns the per-window expected crossing profile from a reference
+  /// stream spanning [0, horizon]. Call once before feeding observations.
+  void Calibrate(const std::vector<mobility::CrossingEvent>& reference,
+                 double horizon);
+
+  /// Feeds one observed (possibly corrupted) event. Closes any windows the
+  /// event time has moved past. Events must arrive in non-decreasing
+  /// perceived-time order.
+  void OnEvent(const mobility::CrossingEvent& event);
+
+  /// Closes all windows ending at or before `time` (use to flush silence:
+  /// a dead sensor produces no events, so time must be advanced for its
+  /// windows to close).
+  void AdvanceTo(double time);
+
+  /// Current status of a sensor.
+  SensorStatus Status(graph::NodeId sensor) const;
+
+  /// SensorHealthView: dead sensors are failed; degraded ones still report
+  /// (partially) and keep their edges usable.
+  bool IsFailed(graph::NodeId sensor) const override;
+
+  /// Bumped on every batch of status transitions.
+  uint64_t Generation() const override { return generation_; }
+
+  size_t NumDead() const { return num_dead_; }
+  size_t NumDegraded() const { return num_degraded_; }
+  size_t WindowsClosed() const { return windows_closed_; }
+
+ private:
+  void CloseWindow();
+
+  const core::SensorNetwork& network_;
+  HealthMonitorOptions options_;
+
+  // profile_[w][s]: reference events owned by sensor s inside window w.
+  std::vector<std::vector<double>> profile_;
+  std::vector<size_t> observed_;             // Counts in the open window.
+  std::vector<size_t> silent_streak_;        // Consecutive silent windows.
+  std::vector<SensorStatus> status_;
+
+  double window_start_ = 0.0;
+  uint64_t generation_ = 0;
+  size_t num_dead_ = 0;
+  size_t num_degraded_ = 0;
+  size_t windows_closed_ = 0;
+  bool calibrated_ = false;
+};
+
+}  // namespace innet::faults
+
+#endif  // INNET_FAULTS_HEALTH_MONITOR_H_

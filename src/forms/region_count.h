@@ -22,6 +22,31 @@ struct BoundaryEdge {
   bool inward_is_forward = true;
 };
 
+/// Closed interval of count values. Degraded-mode answers (docs/FAULTS.md)
+/// report one of these instead of a point estimate: the true count is
+/// claimed to lie in [lo, hi]. Fault-free answers carry the degenerate
+/// interval [estimate, estimate].
+struct CountInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  static CountInterval Point(double value) { return {value, value}; }
+
+  bool Contains(double value) const { return lo <= value && value <= hi; }
+  double Width() const { return hi - lo; }
+  double Mid() const { return 0.5 * (lo + hi); }
+
+  /// Symmetric widening by `slack >= 0` on each side.
+  CountInterval Widened(double slack) const {
+    return {lo - slack, hi + slack};
+  }
+
+  /// Clamps the lower end at `floor` (static occupancy counts are >= 0).
+  CountInterval ClampedBelow(double floor) const {
+    return {lo < floor ? floor : lo, hi < floor ? floor : hi};
+  }
+};
+
 /// Builds the boundary-edge list of the junction-cell union flagged by
 /// `in_region` (indexed by NodeId).
 std::vector<BoundaryEdge> RegionBoundary(const graph::PlanarGraph& graph,

@@ -69,15 +69,21 @@
 #include "core/budget_planner.h"   // IWYU pragma: export
 #include "core/cost_model.h"       // IWYU pragma: export
 #include "core/dead_space.h"       // IWYU pragma: export
+#include "core/degraded.h"         // IWYU pragma: export
 #include "core/dispatch.h"         // IWYU pragma: export
 #include "core/event_buffer.h"     // IWYU pragma: export
 #include "core/framework.h"        // IWYU pragma: export
+#include "core/health.h"           // IWYU pragma: export
 #include "core/live_monitor.h"     // IWYU pragma: export
 #include "core/query.h"            // IWYU pragma: export
 #include "core/query_processor.h"  // IWYU pragma: export
 #include "core/sampled_graph.h"    // IWYU pragma: export
 #include "core/sensor_network.h"   // IWYU pragma: export
 #include "core/workload.h"         // IWYU pragma: export
+
+// Fault injection and health tracking.
+#include "faults/fault_model.h"    // IWYU pragma: export
+#include "faults/health_monitor.h" // IWYU pragma: export
 
 // Serving runtime.
 #include "runtime/batch_query_engine.h" // IWYU pragma: export

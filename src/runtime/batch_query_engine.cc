@@ -13,8 +13,15 @@ BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
                                    const BatchEngineOptions& options)
     : sampled_(&sampled),
       store_(&store),
+      health_(options.health),
+      degraded_options_(options.degraded),
       cache_(options.cache_capacity, options.cache_shards),
-      pool_(options.num_threads) {}
+      pool_(options.num_threads) {
+  if (health_ != nullptr) {
+    last_health_generation_.store(health_->Generation(),
+                                  std::memory_order_relaxed);
+  }
+}
 
 std::shared_ptr<const ResolvedBoundary> BatchQueryEngine::Resolve(
     const core::RangeQuery& query, core::BoundMode bound) {
@@ -29,11 +36,28 @@ std::shared_ptr<const ResolvedBoundary> BatchQueryEngine::Resolve(
           : sampled_->UpperBoundFaces(query.junctions);
   if (faces.empty()) {
     resolved->missed = true;
+  } else if (health_ != nullptr) {
+    auto degraded = std::make_shared<core::DegradedBoundary>(
+        core::ResolveDegradedBoundary(*sampled_, faces, *health_,
+                                      degraded_options_));
+    resolved->boundary = degraded->boundary;
+    resolved->degraded = std::move(degraded);
   } else {
     resolved->boundary = sampled_->BoundaryOfFaces(faces);
   }
   cache_.Insert(key, resolved);
   return resolved;
+}
+
+void BatchQueryEngine::SyncHealthGeneration() {
+  if (health_ == nullptr) return;
+  uint64_t generation = health_->Generation();
+  uint64_t previous = last_health_generation_.exchange(
+      generation, std::memory_order_relaxed);
+  if (previous != generation) {
+    cache_.Clear();
+    health_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
@@ -46,6 +70,12 @@ core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
     answer.missed = true;
     (bound == core::BoundMode::kLower ? missed_lower_ : missed_upper_)
         .fetch_add(1, std::memory_order_relaxed);
+  } else if (resolved->degraded != nullptr) {
+    answer = core::AnswerFromDegradedBoundary(*store_, *resolved->degraded,
+                                              query, kind, degraded_options_);
+    if (answer.degraded) {
+      degraded_answers_.fetch_add(1, std::memory_order_relaxed);
+    }
   } else {
     const core::SampledGraph::RegionBoundary& boundary = resolved->boundary;
     answer.estimate =
@@ -53,6 +83,7 @@ core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
             ? forms::EvaluateStaticCount(*store_, boundary.edges, query.t2)
             : forms::EvaluateTransientCount(*store_, boundary.edges, query.t1,
                                             query.t2);
+    answer.interval = forms::CountInterval::Point(answer.estimate);
     answer.nodes_accessed = boundary.sensors.size();
     answer.edges_accessed = boundary.edges.size();
   }
@@ -64,6 +95,7 @@ core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
 std::vector<core::QueryAnswer> BatchQueryEngine::AnswerBatch(
     const std::vector<core::RangeQuery>& queries, core::CountKind kind,
     core::BoundMode bound) {
+  SyncHealthGeneration();
   std::vector<core::QueryAnswer> answers(queries.size());
   pool_.ParallelFor(queries.size(), [&](size_t i) {
     answers[i] = AnswerOne(queries[i], kind, bound);
@@ -82,6 +114,7 @@ std::vector<core::QueryAnswer> BatchQueryEngine::AnswerBatch(
 core::QueryAnswer BatchQueryEngine::Answer(const core::RangeQuery& query,
                                            core::CountKind kind,
                                            core::BoundMode bound) {
+  SyncHealthGeneration();
   core::QueryAnswer answer = AnswerOne(query, kind, bound);
   std::lock_guard<std::mutex> lock(latency_mutex_);
   latency_micros_.push_back(answer.exec_micros);
@@ -95,6 +128,9 @@ BatchEngineSnapshot BatchQueryEngine::Snapshot() const {
   snap.cache_misses = cache_.Misses();
   snap.missed_lower = missed_lower_.load(std::memory_order_relaxed);
   snap.missed_upper = missed_upper_.load(std::memory_order_relaxed);
+  snap.degraded_answers = degraded_answers_.load(std::memory_order_relaxed);
+  snap.health_invalidations =
+      health_invalidations_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(latency_mutex_);
   if (!latency_micros_.empty()) {
     snap.latency_p50_micros = util::Percentile(latency_micros_, 0.50);
@@ -107,6 +143,8 @@ void BatchQueryEngine::ResetStats() {
   queries_answered_.store(0, std::memory_order_relaxed);
   missed_lower_.store(0, std::memory_order_relaxed);
   missed_upper_.store(0, std::memory_order_relaxed);
+  degraded_answers_.store(0, std::memory_order_relaxed);
+  health_invalidations_.store(0, std::memory_order_relaxed);
   cache_.ResetCounters();
   std::lock_guard<std::mutex> lock(latency_mutex_);
   latency_micros_.clear();

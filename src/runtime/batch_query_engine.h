@@ -26,6 +26,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/health.h"
 #include "core/query.h"
 #include "core/sampled_graph.h"
 #include "forms/edge_count_store.h"
@@ -44,6 +45,17 @@ struct BatchEngineOptions {
 
   /// Lock shards of the boundary cache.
   size_t cache_shards = 16;
+
+  /// Optional health view (docs/FAULTS.md). When set, queries whose
+  /// boundary touches edges owned by failed sensors are answered in
+  /// degraded mode — rerouted around the dead faces with an interval
+  /// result — and the boundary cache is invalidated whenever the view's
+  /// Generation() changes. Must outlive the engine. The view may be
+  /// updated between AnswerBatch calls, but not during one.
+  const core::SensorHealthView* health = nullptr;
+
+  /// Slack knobs for degraded answers (ignored without `health`).
+  core::DegradedOptions degraded;
 };
 
 /// Point-in-time engine counters. Latency percentiles cover the queries
@@ -55,6 +67,10 @@ struct BatchEngineSnapshot {
   /// Queries that found no satisfying face, per bound mode (§5.5 misses).
   uint64_t missed_lower = 0;
   uint64_t missed_upper = 0;
+  /// Queries answered in degraded mode (boundary rerouted around faults).
+  uint64_t degraded_answers = 0;
+  /// Cache flushes triggered by health-generation changes.
+  uint64_t health_invalidations = 0;
   double latency_p50_micros = 0.0;
   double latency_p95_micros = 0.0;
 };
@@ -98,14 +114,24 @@ class BatchQueryEngine {
   core::QueryAnswer AnswerOne(const core::RangeQuery& query,
                               core::CountKind kind, core::BoundMode bound);
 
+  /// Flushes cached boundaries when the health view's generation moved
+  /// since the last call. Invoked once per AnswerBatch/Answer, outside the
+  /// worker fan-out.
+  void SyncHealthGeneration();
+
   const core::SampledGraph* sampled_;
   const forms::EdgeCountStore* store_;
+  const core::SensorHealthView* health_;
+  core::DegradedOptions degraded_options_;
   BoundaryCache cache_;
   util::ThreadPool pool_;
 
   std::atomic<uint64_t> queries_answered_{0};
   std::atomic<uint64_t> missed_lower_{0};
   std::atomic<uint64_t> missed_upper_{0};
+  std::atomic<uint64_t> degraded_answers_{0};
+  std::atomic<uint64_t> health_invalidations_{0};
+  std::atomic<uint64_t> last_health_generation_{0};
   mutable std::mutex latency_mutex_;
   std::vector<double> latency_micros_;
 };

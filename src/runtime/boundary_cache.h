@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/degraded.h"
 #include "core/query.h"
 #include "core/sampled_graph.h"
 
@@ -32,6 +33,11 @@ namespace innet::runtime {
 struct ResolvedBoundary {
   bool missed = false;
   core::SampledGraph::RegionBoundary boundary;
+
+  /// Populated only by health-aware engines: the degraded resolution under
+  /// the health generation the entry was built for. Entries never outlive a
+  /// generation change — BatchQueryEngine clears the cache on transitions.
+  std::shared_ptr<const core::DegradedBoundary> degraded;
 };
 
 /// 128-bit signature of a query region under one bound mode. Two

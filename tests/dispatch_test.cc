@@ -99,6 +99,69 @@ TEST(DispatchTest, EmptyPerimeter) {
   }
 }
 
+TEST_F(DispatchFixture, LossFreeChannelMatchesIdealDispatch) {
+  ChannelModel channel;
+  channel.loss_rate = 0.0;
+  for (const RangeQuery& q : queries_) {
+    std::vector<graph::NodeId> perimeter = PerimeterOf(q);
+    DispatchCost ideal = SimulateDispatch(framework_.network(), perimeter,
+                                          DispatchMode::kServerDirect);
+    DispatchCost lossy = SimulateDispatch(framework_.network(), perimeter,
+                                          DispatchMode::kServerDirect,
+                                          channel);
+    EXPECT_EQ(lossy.Messages(), ideal.Messages());
+    EXPECT_DOUBLE_EQ(lossy.expected_retransmissions, 0.0);
+    EXPECT_DOUBLE_EQ(lossy.delivery_probability, 1.0);
+    EXPECT_DOUBLE_EQ(lossy.Energy(20.0), ideal.Energy(20.0));
+  }
+}
+
+TEST_F(DispatchFixture, RetransmissionsGrowWithLossRate) {
+  const RangeQuery& q = queries_.front();
+  std::vector<graph::NodeId> perimeter = PerimeterOf(q);
+  ASSERT_FALSE(perimeter.empty());
+  double last_retrans = -1.0;
+  double last_latency = 0.0;
+  for (double loss : {0.0, 0.05, 0.1, 0.2}) {
+    ChannelModel channel;
+    channel.loss_rate = loss;
+    DispatchCost cost = SimulateDispatch(
+        framework_.network(), perimeter, DispatchMode::kPerimeterTraversal,
+        channel);
+    EXPECT_GT(cost.expected_retransmissions, last_retrans);
+    EXPECT_GE(cost.expected_latency_ms, last_latency);
+    EXPECT_LE(cost.delivery_probability, 1.0);
+    EXPECT_GT(cost.delivery_probability, 0.0);
+    last_retrans = cost.expected_retransmissions;
+    last_latency = cost.expected_latency_ms;
+  }
+}
+
+TEST_F(DispatchFixture, BoundedRetriesCapDeliveryProbability) {
+  const RangeQuery& q = queries_.front();
+  std::vector<graph::NodeId> perimeter = PerimeterOf(q);
+  ASSERT_FALSE(perimeter.empty());
+  ChannelModel few;
+  few.loss_rate = 0.3;
+  few.max_retries = 1;
+  ChannelModel many = few;
+  many.max_retries = 8;
+  DispatchCost cost_few = SimulateDispatch(
+      framework_.network(), perimeter, DispatchMode::kServerDirect, few);
+  DispatchCost cost_many = SimulateDispatch(
+      framework_.network(), perimeter, DispatchMode::kServerDirect, many);
+  // More retries buy delivery probability at the price of retransmissions
+  // and backoff latency.
+  EXPECT_GT(cost_many.delivery_probability, cost_few.delivery_probability);
+  EXPECT_GT(cost_many.expected_retransmissions,
+            cost_few.expected_retransmissions);
+  EXPECT_GT(cost_many.expected_latency_ms, cost_few.expected_latency_ms);
+  // Retransmissions inflate energy proportionally.
+  DispatchCost ideal = SimulateDispatch(framework_.network(), perimeter,
+                                        DispatchMode::kServerDirect);
+  EXPECT_GT(cost_few.Energy(20.0), ideal.Energy(20.0));
+}
+
 TEST(DispatchTest, ModeNames) {
   EXPECT_STREQ(DispatchModeName(DispatchMode::kServerDirect),
                "server-direct");

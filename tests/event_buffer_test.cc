@@ -97,6 +97,52 @@ TEST(EventBufferTest, ReuseAfterFlushKeepsReleasedHistorySealed) {
   EXPECT_DOUBLE_EQ(buffer.Watermark(), 40.0);
 }
 
+TEST(EventBufferTest, SuppressesExactDuplicatesWithinWindow) {
+  // Regression: retransmitting meshes deliver the same crossing twice; the
+  // buffer must release it once and count the copy in Duplicates().
+  std::vector<CrossingEvent> out;
+  EventReorderBuffer buffer(5.0, [&](const CrossingEvent& e) {
+    out.push_back(e);
+  });
+  EXPECT_TRUE(buffer.Push({0, true, 1.0}));
+  EXPECT_FALSE(buffer.Push({0, true, 1.0}));  // Exact duplicate, buffered.
+  // Same timestamp but different edge/direction is NOT a duplicate.
+  EXPECT_TRUE(buffer.Push({1, true, 1.0}));
+  EXPECT_TRUE(buffer.Push({0, false, 1.0}));
+  EXPECT_EQ(buffer.Duplicates(), 1u);
+  EXPECT_EQ(buffer.Dropped(), 0u);
+
+  buffer.Push({0, true, 10.0});  // Advances the watermark past t=1.
+  buffer.Push({0, true, 20.0});  // Releases t=10.
+  buffer.Flush();
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(buffer.Duplicates(), 1u);
+
+  // ...and a duplicate arriving exactly at the post-flush watermark is
+  // rejected as a duplicate, not replayed.
+  EXPECT_FALSE(buffer.Push({0, true, 20.0}));
+  EXPECT_EQ(buffer.Duplicates(), 2u);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(EventBufferTest, DuplicateOfReleasedWatermarkEventSuppressed) {
+  std::vector<CrossingEvent> out;
+  EventReorderBuffer buffer(2.0, [&](const CrossingEvent& e) {
+    out.push_back(e);
+  });
+  buffer.Push({0, true, 10.0});
+  buffer.Push({0, true, 12.0});  // Releases t=10; watermark = 10.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(buffer.Watermark(), 10.0);
+  // A duplicate of the released t=10 event passes the lateness gate (time
+  // == watermark) but must be recognized as already delivered.
+  EXPECT_FALSE(buffer.Push({0, true, 10.0}));
+  EXPECT_EQ(buffer.Duplicates(), 1u);
+  buffer.Flush();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[1].time, 12.0);
+}
+
 TEST(EventBufferTest, ZeroLatenessIsPassThrough) {
   std::vector<CrossingEvent> out;
   EventReorderBuffer buffer(0.0, [&](const CrossingEvent& e) {

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "core/event_buffer.h"
 #include "core/framework.h"
 #include "core/live_monitor.h"
 #include "core/workload.h"
+#include "faults/fault_model.h"
 #include "sampling/samplers.h"
 
 namespace innet::core {
@@ -93,6 +95,46 @@ TEST_F(LiveMonitorFixture, NonBoundaryEventsIgnored) {
   monitor.OnEvent({outside, false, 2.0});
   EXPECT_EQ(monitor.CurrentCount(), 0);
   EXPECT_DOUBLE_EQ(monitor.LastEventTime(), 2.0);
+}
+
+// Satellite: a monitor fed a fault-injected stream (drops, bounded skew,
+// duplicates) through the reorder buffer still brackets the true count with
+// its drop-slack interval, and duplicates never double-count.
+TEST_F(LiveMonitorFixture, IntervalBracketsTruthUnderFaultInjection) {
+  const SensorNetwork& net = framework_.network();
+  faults::FaultOptions fault_options;
+  fault_options.seed = 77;
+  fault_options.drop_probability = 0.05;
+  fault_options.duplicate_probability = 0.05;
+  fault_options.clock_skew_bound = 2.0;
+  fault_options.horizon = framework_.Horizon();
+  faults::FaultModel model(net, fault_options);
+  faults::CorruptedStream corrupted = model.ApplyToStream(net.events());
+  ASSERT_GT(corrupted.dropped, 0u);
+  ASSERT_GT(corrupted.duplicated, 0u);
+
+  for (const RangeQuery& q : queries_) {
+    LiveRegionMonitor monitor(net, q.junctions);
+    EventReorderBuffer buffer(
+        2.0 * fault_options.clock_skew_bound + 1.0,
+        [&](const mobility::CrossingEvent& e) { monitor.OnEvent(e); });
+    for (const mobility::CrossingEvent& event : corrupted.events) {
+      buffer.Push(event);
+    }
+    buffer.Flush();
+    // Duplicates were suppressed upstream of the monitor.
+    EXPECT_EQ(buffer.Duplicates(), corrupted.duplicated);
+
+    double truth = net.GroundTruthStatic(q.junctions, 1e18);
+    forms::CountInterval interval =
+        monitor.CurrentInterval(fault_options.drop_probability);
+    EXPECT_TRUE(interval.Contains(truth))
+        << "truth " << truth << " outside [" << interval.lo << ", "
+        << interval.hi << "]";
+    // A fault-free stream yields the degenerate interval.
+    forms::CountInterval exact = monitor.CurrentInterval(0.0);
+    EXPECT_DOUBLE_EQ(exact.lo, exact.hi);
+  }
 }
 
 TEST(LiveMonitorTest, CountNeverGoesNegativeOnRealStream) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/framework.h"
 #include "core/workload.h"
 #include "mobility/trajectory.h"
@@ -256,6 +259,54 @@ TEST_F(QueryProcessorFixture, AdaptiveDeploymentAnswersHistoricalQueries) {
     // regions are exactly representable.
     EXPECT_DOUBLE_EQ(lower.estimate, truth);
   }
+}
+
+TEST(ParseBatchQueryLineTest, AcceptsWellFormedAndRejectsMalformed) {
+  FrameworkOptions options;
+  options.road.num_junctions = 150;
+  options.traffic.num_trajectories = 10;
+  options.seed = 6;
+  Framework framework(options);
+  const SensorNetwork& net = framework.network();
+  const geometry::Rect& domain = net.DomainBounds();
+
+  RangeQuery query;
+  std::string error;
+  char good[128];
+  std::snprintf(good, sizeof(good), "%f,%f,%f,%f,0,100", domain.min_x,
+                domain.min_y, domain.max_x, domain.max_y);
+  ASSERT_TRUE(ParseBatchQueryLine(good, net, &query, &error)) << error;
+  EXPECT_FALSE(query.junctions.empty());
+  EXPECT_DOUBLE_EQ(query.t1, 0.0);
+  EXPECT_DOUBLE_EQ(query.t2, 100.0);
+
+  // Whitespace around fields is tolerated.
+  EXPECT_TRUE(ParseBatchQueryLine(" 0 , 0 , 10 , 10 , 1 , 2 ", net, &query,
+                                  &error));
+
+  for (const char* bad : {
+           "",                        // Empty.
+           "1,2,3,4,5",               // Too few fields.
+           "1,2,3,4,5,6,7",           // Too many fields.
+           "1,2,3,4,5,six",           // Non-numeric.
+           "1,2,3,4,5,6 trailing",    // Trailing garbage.
+           "1,2,3,4,nan,6",           // Non-finite.
+           "1,2,3,4,5,inf",           // Non-finite.
+       }) {
+    error.clear();
+    EXPECT_FALSE(ParseBatchQueryLine(bad, net, &query, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+
+  // Inverted time interval is rejected with a distinct message.
+  EXPECT_FALSE(ParseBatchQueryLine("1,2,3,4,9,6", net, &query, &error));
+  EXPECT_EQ(error, "t2 < t1");
+
+  // A region outside the domain parses fine but resolves no junctions —
+  // the caller decides whether that is an error.
+  EXPECT_TRUE(ParseBatchQueryLine("-1e7,-1e7,-9e6,-9e6,0,1", net, &query,
+                                  &error));
+  EXPECT_TRUE(query.junctions.empty());
 }
 
 }  // namespace

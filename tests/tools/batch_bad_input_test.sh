@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Fixture test: innet_query --batch must reject a malformed query file with
+# a line-numbered error on stderr and a nonzero exit, and must keep
+# answering well-formed files.
+set -u
+
+dataset_bin=$1
+query_bin=$2
+fixture=$3
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$dataset_bin" generate --junctions 120 --trips 40 --horizon 600 --seed 3 \
+  --graph-out "$tmp/g.bin" --trips-out "$tmp/t.bin" >/dev/null || {
+  echo "dataset generation failed" >&2
+  exit 1
+}
+
+if "$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+  --batch "$fixture" --sample-fraction 0.3 >/dev/null 2>"$tmp/err.txt"; then
+  echo "expected nonzero exit for malformed batch file" >&2
+  cat "$tmp/err.txt" >&2
+  exit 1
+fi
+
+grep -q ":4:" "$tmp/err.txt" || {
+  echo "error message lacks the offending line number:" >&2
+  cat "$tmp/err.txt" >&2
+  exit 1
+}
+
+printf '# comment\n0,0,15000,15000,0,600\n' >"$tmp/ok.txt"
+"$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+  --batch "$tmp/ok.txt" --sample-fraction 0.3 >/dev/null || {
+  echo "well-formed batch file should succeed" >&2
+  exit 1
+}

@@ -73,24 +73,6 @@ std::optional<core::Deployment> BuildSampledDeployment(
                           time_scale);
 }
 
-// Parses one batch-file line "x0,y0,x1,y1,t1,t2" into a materialized query.
-bool ParseQueryLine(const std::string& line,
-                    const core::SensorNetwork& network,
-                    core::RangeQuery* query) {
-  double v[6];
-  int consumed = 0;
-  if (std::sscanf(line.c_str(), "%lf,%lf,%lf,%lf,%lf,%lf%n", &v[0], &v[1],
-                  &v[2], &v[3], &v[4], &v[5], &consumed) != 6 ||
-      consumed != static_cast<int>(line.size())) {
-    return false;
-  }
-  query->rect = geometry::Rect::FromCorners({v[0], v[1]}, {v[2], v[3]});
-  query->junctions = network.JunctionsInRect(query->rect);
-  query->t1 = v[4];
-  query->t2 = v[5];
-  return true;
-}
-
 // Batch mode: answers a query file through the BatchQueryEngine.
 int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
               double t_end, core::CountKind kind,
@@ -111,9 +93,10 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
     core::RangeQuery query;
-    if (!ParseQueryLine(line, network, &query)) {
-      std::fprintf(stderr, "error: %s:%zu: want x0,y0,x1,y1,t1,t2\n",
-                   batch_path.c_str(), lineno);
+    std::string parse_error;
+    if (!core::ParseBatchQueryLine(line, network, &query, &parse_error)) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", batch_path.c_str(), lineno,
+                   parse_error.c_str());
       return 1;
     }
     if (query.junctions.empty()) {
