@@ -1,8 +1,12 @@
 #include "bench/bench_common.h"
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <utility>
 
+#include "obs/export.h"
 #include "util/logging.h"
 
 namespace innet::bench {
@@ -179,6 +183,83 @@ std::string Percent(double fraction, int precision) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
   return buf;
+}
+
+JsonReport::JsonReport(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void JsonReport::Upsert(
+    std::vector<std::pair<std::string, std::string>>* entries,
+    const std::string& key, std::string value) {
+  for (auto& [existing, stored] : *entries) {
+    if (existing == key) {
+      stored = std::move(value);
+      return;
+    }
+  }
+  entries->emplace_back(key, std::move(value));
+}
+
+void JsonReport::Note(const std::string& key, const std::string& value) {
+  Upsert(&notes_, key, "\"" + obs::JsonEscape(value) + "\"");
+}
+
+void JsonReport::Metric(const std::string& key, double value) {
+  std::string rendered;
+  if (std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    rendered = buf;
+  } else {
+    rendered = "null";
+  }
+  Upsert(&metrics_, key, std::move(rendered));
+}
+
+void JsonReport::MetricResult(const std::string& prefix,
+                              const EvalResult& result) {
+  Metric(prefix + "_err_median", result.err_median);
+  Metric(prefix + "_err_p25", result.err_p25);
+  Metric(prefix + "_err_p75", result.err_p75);
+  Metric(prefix + "_missed_fraction", result.missed_fraction);
+  Metric(prefix + "_mean_nodes_accessed", result.mean_nodes_accessed);
+  Metric(prefix + "_mean_edges_accessed", result.mean_edges_accessed);
+  Metric(prefix + "_mean_exec_micros", result.mean_exec_micros);
+  Metric(prefix + "_mean_sim_micros", result.mean_sim_micros);
+  Metric(prefix + "_ratio_mean", result.ratio_mean);
+}
+
+std::string JsonReport::ToJson() const {
+  std::string out = "{\"bench\":\"" + obs::JsonEscape(name_) + "\"";
+  auto append_section =
+      [&out](const char* section,
+             const std::vector<std::pair<std::string, std::string>>& entries) {
+        out += ",\"";
+        out += section;
+        out += "\":{";
+        bool first = true;
+        for (const auto& [key, value] : entries) {
+          if (!first) out += ",";
+          first = false;
+          out += "\"" + obs::JsonEscape(key) + "\":" + value;
+        }
+        out += "}";
+      };
+  append_section("notes", notes_);
+  append_section("metrics", metrics_);
+  out += "}\n";
+  return out;
+}
+
+bool JsonReport::WriteTo(const std::string& path) const {
+  if (path.empty()) return true;
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    INNET_LOG(ERROR) << "cannot write " << path;
+    return false;
+  }
+  out << ToJson();
+  return static_cast<bool>(out);
 }
 
 }  // namespace innet::bench

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/face_sampling.h"
@@ -99,6 +100,44 @@ EvalResult EvaluateMethod(const core::Framework& framework,
 
 /// Formats a fraction as a percent string ("6.4%").
 std::string Percent(double fraction, int precision = 1);
+
+/// Machine-readable benchmark output (the benches' --json=PATH flag).
+/// Collects flat key -> number metrics plus string notes while the bench
+/// prints its human tables, then writes ONE JSON object:
+///
+///   {"bench":"headline","notes":{"world":"tiny"},
+///    "metrics":{"kd-tree_err_median":0.12,...}}
+///
+/// Keys keep insertion order; re-adding a key overwrites its value. CI's
+/// bench-smoke job parses BENCH_headline.json produced this way to track
+/// the perf trajectory across commits.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  void Note(const std::string& key, const std::string& value);
+  void Metric(const std::string& key, double value);
+
+  /// Records an EvalResult's standard fields as "<prefix>_err_median",
+  /// "<prefix>_missed_fraction", "<prefix>_mean_exec_micros", ...
+  void MetricResult(const std::string& prefix, const EvalResult& result);
+
+  /// Serializes the report (one object, trailing newline).
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; false (with a log line) on I/O failure.
+  /// An empty path is a silent no-op returning true, so call sites can pass
+  /// the flag value through unconditionally.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  void Upsert(std::vector<std::pair<std::string, std::string>>* entries,
+              const std::string& key, std::string value);
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<std::pair<std::string, std::string>> metrics_;  // Pre-rendered.
+};
 
 }  // namespace innet::bench
 

@@ -16,6 +16,7 @@
 // same criterion tests/faults_test.cc enforces).
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -24,6 +25,7 @@
 #include "faults/fault_model.h"
 #include "forms/tracking_form.h"
 #include "runtime/batch_query_engine.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 namespace innet::bench {
@@ -48,7 +50,8 @@ forms::TrackingForm IngestCorrupted(const core::SensorNetwork& network,
   return store;
 }
 
-void Main() {
+int Main(const util::FlagParser& flags) {
+  JsonReport report("fault_sweep");
   core::Framework framework(DefaultWorld());
   const core::SensorNetwork& network = framework.network();
 
@@ -128,6 +131,20 @@ void Main() {
         }
       }
       double total_events = static_cast<double>(network.events().size());
+      {
+        char cell[48];
+        std::snprintf(cell, sizeof(cell), "dead%.0f_drop%.0f", dead * 100.0,
+                      drop * 100.0);
+        std::string prefix = cell;
+        report.Metric(prefix + "_contain_fraction",
+                      static_cast<double>(contained) /
+                          static_cast<double>(answered));
+        report.Metric(prefix + "_naive_err_median",
+                      util::Percentile(naive_errors, 0.5));
+        report.Metric(prefix + "_degraded_fraction",
+                      static_cast<double>(degraded_count) /
+                          static_cast<double>(answered));
+      }
       table.AddRow(
           {Percent(dead, 0), Percent(drop, 0),
            Percent(static_cast<double>(corrupted.suppressed) / total_events,
@@ -190,12 +207,17 @@ void Main() {
       "%zu perimeter sensors; energy_x = lossy-channel energy relative to "
       "the ideal channel (retransmissions charged pro rata).\n",
       perimeter.size());
+  std::string json_path = flags.GetString("json");
+  if (flags.Has("json") && json_path.empty()) {
+    json_path = "BENCH_fault_sweep.json";
+  }
+  return report.WriteTo(json_path) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

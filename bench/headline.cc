@@ -5,33 +5,61 @@
 //   - ~99.96% storage reduction from constant-size regression models.
 // Absolute values depend on the substrate scale; see EXPERIMENTS.md for the
 // paper-vs-measured record.
+//
+// Flags:
+//   --tiny             small world (~120 junctions) for CI smoke runs
+//   --json[=PATH]      machine-readable report (default BENCH_headline.json)
+//   --metrics-out=PATH dump the process metrics registry on exit
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "runtime/batch_query_engine.h"
 #include "sampling/samplers.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 namespace innet::bench {
 namespace {
 
-constexpr size_t kQueries = 60;
+int Main(const util::FlagParser& flags) {
+  bool tiny = flags.GetBool("tiny");
+  core::FrameworkOptions world = DefaultWorld();
+  size_t num_queries = 60;
+  size_t busy_events = 1'000'000;
+  if (tiny) {
+    world.road.num_junctions = 120;
+    world.road.world_size = 8000.0;
+    world.traffic.num_trajectories = 300;
+    world.traffic.horizon = 1800.0;
+    num_queries = 20;
+    busy_events = 100'000;
+  }
+  JsonReport report("headline");
+  report.Note("world", tiny ? "tiny" : "default");
 
-void Main() {
-  core::Framework framework(DefaultWorld());
+  core::Framework framework(world);
   const core::SensorNetwork& network = framework.network();
   std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
               network.mobility().NumNodes(), network.NumSensors(),
               network.events().size());
+  report.Metric("junctions",
+                static_cast<double>(network.mobility().NumNodes()));
+  report.Metric("sensors", static_cast<double>(network.NumSensors()));
+  report.Metric("events", static_cast<double>(network.events().size()));
 
-  size_t m = static_cast<size_t>(0.256 * network.NumSensors());
+  size_t m = std::max<size_t>(
+      1, static_cast<size_t>(0.256 * network.NumSensors()));
   // Evaluation workload: 8% regions. The adaptive method deploys for the
   // known query distribution — the workload itself (§4.4).
   std::vector<core::RangeQuery> queries =
-      MakeQueries(framework, 0.08, kQueries, 951);
+      MakeQueries(framework, 0.08, num_queries, 951);
   auto history = std::make_shared<std::vector<core::RangeQuery>>(queries);
 
   // --- Relative error at 25.6% of sensors, all methods. ---
@@ -48,6 +76,8 @@ void Main() {
                 util::Table::Num(result.err_p25, 3),
                 util::Table::Num(result.err_p75, 3),
                 util::Table::Num(result.missed_fraction, 3)});
+    report.Metric(method.name + "_err_median", result.err_median);
+    report.Metric(method.name + "_missed_fraction", result.missed_fraction);
   }
   err.Print();
 
@@ -55,21 +85,24 @@ void Main() {
   // measured at the paper's median 6.4% graph size (as in Fig. 11c/d). ---
   sampling::KdTreeSampler sampler;
   util::Rng rng(9);
-  size_t m_gain = static_cast<size_t>(0.064 * network.NumSensors());
+  size_t m_gain = std::max<size_t>(
+      1, static_cast<size_t>(0.064 * network.NumSensors()));
   core::Deployment dep = framework.DeployWithSampler(
       sampler, m_gain, core::DeploymentOptions{}, rng);
   EvalResult sampled = EvaluateDeployment(
       network, dep, queries, core::CountKind::kStatic, core::BoundMode::kLower);
   EvalResult unsampled =
       EvaluateUnsampled(network, queries, core::CountKind::kStatic);
+  report.MetricResult("sampled_6p4", sampled);
+  report.MetricResult("unsampled", unsampled);
 
   util::Table sys(
       "Headline: system gains at 6.4% sensors (kd-tree sampler)");
   sys.SetHeader({"metric", "sampled", "unsampled", "gain"});
+  double speedup_x =
+      unsampled.mean_sim_micros / std::max(sampled.mean_sim_micros, 1e-9);
   char speedup[32];
-  std::snprintf(speedup, sizeof(speedup), "%.2fx",
-                unsampled.mean_sim_micros /
-                    std::max(sampled.mean_sim_micros, 1e-9));
+  std::snprintf(speedup, sizeof(speedup), "%.2fx", speedup_x);
   sys.AddRow({"sim query time (us)",
               util::Table::Num(sampled.mean_sim_micros, 2),
               util::Table::Num(unsampled.mean_sim_micros, 2), speedup});
@@ -81,6 +114,8 @@ void Main() {
               Percent(node_reduction, 2) + " fewer"});
   sys.Print();
   std::printf("paper: 3.5x speedup, 69.81%% fewer sensors accessed\n\n");
+  report.Metric("speedup_x", speedup_x);
+  report.Metric("node_reduction", node_reduction);
 
   // --- Storage reduction from regression models on the same deployment. ---
   util::Rng rng2(9);
@@ -102,25 +137,26 @@ void Main() {
       "is O(1) per edge)\n",
       exact_dep.StorageBytes(), learned_dep.StorageBytes(),
       reduction * 100.0);
+  report.Metric("storage_reduction", reduction);
 
   // Asymptotic storage behaviour at the paper's per-edge stream lengths: a
-  // single busy edge observing one million crossings.
+  // single busy edge observing ~a million crossings.
   learned::ModelOptions model_options;
-  model_options.time_scale = 1e6;
+  model_options.time_scale = static_cast<double>(busy_events);
   learned::BufferedEdgeStore busy(1, learned::ModelType::kLinear, 8,
                                   model_options);
-  constexpr size_t kBusyEvents = 1'000'000;
-  for (size_t i = 0; i < kBusyEvents; ++i) {
+  for (size_t i = 0; i < busy_events; ++i) {
     busy.RecordTraversal(0, true, static_cast<double>(i));
   }
   double busy_reduction =
       1.0 - static_cast<double>(busy.StorageBytes()) /
-                static_cast<double>(kBusyEvents * sizeof(double));
+                static_cast<double>(busy_events * sizeof(double));
   std::printf(
-      "storage asymptote: 1M-event edge, exact=%zu bytes vs model=%zu bytes "
+      "storage asymptote: %zu-event edge, exact=%zu bytes vs model=%zu bytes "
       "-> %.4f%% reduction\n",
-      kBusyEvents * sizeof(double), busy.StorageBytes(),
+      busy_events, busy_events * sizeof(double), busy.StorageBytes(),
       busy_reduction * 100.0);
+  report.Metric("storage_reduction_asymptote", busy_reduction);
 
   // --- Batch serving: the BatchQueryEngine on the same workload, repeated
   // as a polling dashboard would. The boundary cache amortizes face
@@ -139,30 +175,55 @@ void Main() {
   }
   double serial_seconds = serial_timer.ElapsedSeconds();
 
+  // The engine publishes into the process registry so --metrics-out dumps
+  // its counters alongside everything else.
   runtime::BatchEngineOptions engine_options;
   engine_options.num_threads = 8;
+  engine_options.registry = &obs::MetricsRegistry::Global();
   runtime::BatchQueryEngine engine(dep.graph(), dep.store(), engine_options);
   engine.AnswerBatch(batch, core::CountKind::kStatic, core::BoundMode::kLower);
   util::Timer warm_timer;
   engine.AnswerBatch(batch, core::CountKind::kStatic, core::BoundMode::kLower);
   double warm_seconds = warm_timer.ElapsedSeconds();
   runtime::BatchEngineSnapshot snap = engine.Snapshot();
+  double serial_qps =
+      static_cast<double>(batch.size()) / std::max(serial_seconds, 1e-9);
+  double warm_qps =
+      static_cast<double>(batch.size()) / std::max(warm_seconds, 1e-9);
   std::printf(
       "\nbatch serving (%zu queries, 8 workers): serial %.0f q/s -> "
       "cache-warm %.0f q/s | cache hits %llu / misses %llu | "
       "p50=%.1fus p95=%.1fus\n",
-      batch.size(),
-      static_cast<double>(batch.size()) / std::max(serial_seconds, 1e-9),
-      static_cast<double>(batch.size()) / std::max(warm_seconds, 1e-9),
+      batch.size(), serial_qps, warm_qps,
       static_cast<unsigned long long>(snap.cache_hits),
       static_cast<unsigned long long>(snap.cache_misses),
       snap.latency_p50_micros, snap.latency_p95_micros);
+  report.Metric("batch_serial_qps", serial_qps);
+  report.Metric("batch_warm_qps", warm_qps);
+  report.Metric("batch_cache_hits", static_cast<double>(snap.cache_hits));
+  report.Metric("batch_cache_misses",
+                static_cast<double>(snap.cache_misses));
+  report.Metric("batch_latency_p50_micros", snap.latency_p50_micros);
+  report.Metric("batch_latency_p95_micros", snap.latency_p95_micros);
+
+  std::string json_path = flags.GetString("json");
+  if (flags.Has("json") && json_path.empty()) {
+    json_path = "BENCH_headline.json";
+  }
+  if (!report.WriteTo(json_path)) return 1;
+  std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty() &&
+      !obs::ExportMetricsToFile(obs::MetricsRegistry::Global(),
+                                metrics_out)) {
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

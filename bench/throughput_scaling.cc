@@ -18,6 +18,7 @@
 
 #include "bench/bench_common.h"
 #include "runtime/batch_query_engine.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -41,7 +42,8 @@ bool Identical(const std::vector<core::QueryAnswer>& a,
   return true;
 }
 
-void Main() {
+int Main(const util::FlagParser& flags) {
+  JsonReport report("throughput_scaling");
   core::Framework framework(DefaultWorld());
   const core::SensorNetwork& network = framework.network();
 
@@ -76,6 +78,8 @@ void Main() {
   double serial_qps = static_cast<double>(batch.size()) / serial_seconds;
   std::printf("serial processor: %.0f q/s (%.3fs)\n\n", serial_qps,
               serial_seconds);
+  report.Metric("queries", static_cast<double>(batch.size()));
+  report.Metric("serial_qps", serial_qps);
 
   util::Table table("Batch engine throughput vs serial processor");
   table.SetHeader({"threads", "cold_qps", "cold_x", "warm_qps", "warm_x",
@@ -109,6 +113,10 @@ void Main() {
     table.AddRow({std::to_string(threads), util::Table::Num(cold_qps, 0),
                   cold_x, util::Table::Num(warm_qps, 0), warm_x,
                   identical ? "yes" : "NO", Percent(hit_rate, 1)});
+    std::string prefix = "threads_" + std::to_string(threads);
+    report.Metric(prefix + "_cold_qps", cold_qps);
+    report.Metric(prefix + "_warm_qps", warm_qps);
+    report.Metric(prefix + "_cache_hit_rate", hit_rate);
     if (!identical) {
       std::fprintf(stderr,
                    "FATAL: %zu-thread batch answers diverge from serial\n",
@@ -121,12 +129,17 @@ void Main() {
       "cold = first pass (cache filling), warm = second pass (boundary "
       "resolution fully cached). Thread speedups require physical cores; "
       "warm-vs-serial also holds on one core.\n");
+  std::string json_path = flags.GetString("json");
+  if (flags.Has("json") && json_path.empty()) {
+    json_path = "BENCH_throughput_scaling.json";
+  }
+  return report.WriteTo(json_path) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

@@ -3,9 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace innet::core {
+
+namespace {
+
+// Retransmission analytics exported for every lossy dispatch
+// (docs/OBSERVABILITY.md): how many dispatches ran, the expected retry
+// overhead, and the expected end-to-end latency distribution.
+struct DispatchMetrics {
+  obs::Counter& dispatches;
+  obs::Counter& messages;
+  obs::Histogram& expected_retransmissions;
+  obs::Histogram& expected_latency_ms;
+
+  static DispatchMetrics& Get() {
+    static DispatchMetrics metrics{
+        obs::MetricsRegistry::Global().GetCounter(
+            "innet_dispatches", "Lossy-channel dispatch simulations"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "innet_dispatch_messages",
+            "First-attempt messages across all lossy dispatches"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "innet_dispatch_retransmissions",
+            obs::Histogram::ExponentialBounds(0.25, 2.0, 16),
+            "Expected retransmissions per lossy dispatch"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "innet_dispatch_latency_ms",
+            obs::Histogram::ExponentialBounds(1.0, 2.0, 16),
+            "Expected end-to-end dispatch latency (ms, incl. backoff)")};
+    return metrics;
+  }
+};
+
+}  // namespace
 
 const char* DispatchModeName(DispatchMode mode) {
   return mode == DispatchMode::kServerDirect ? "server-direct"
@@ -141,6 +174,12 @@ DispatchCost SimulateDispatch(const SensorNetwork& network,
     cost.expected_latency_ms =
         2.0 * long_ms + static_cast<double>(cost.mesh_hops) * hop_ms;
   }
+
+  DispatchMetrics& metrics = DispatchMetrics::Get();
+  metrics.dispatches.Increment();
+  metrics.messages.Increment(cost.Messages());
+  metrics.expected_retransmissions.Observe(cost.expected_retransmissions);
+  metrics.expected_latency_ms.Observe(cost.expected_latency_ms);
   return cost;
 }
 

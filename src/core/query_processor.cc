@@ -2,52 +2,109 @@
 
 #include "core/degraded.h"
 #include "forms/region_count.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace innet::core {
 
+namespace {
+
+// Processor-level metrics live in the global registry; the reference is
+// resolved once (thread-safe local static) and incremented lock-free.
+obs::Counter& ProcessorQueries() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "innet_processor_queries",
+      "Queries answered by SampledQueryProcessor");
+  return counter;
+}
+
+obs::Counter& ProcessorMissed() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "innet_processor_missed",
+      "SampledQueryProcessor queries with no satisfying sampled face");
+  return counter;
+}
+
+obs::Counter& ProcessorDegraded() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "innet_processor_degraded_answers",
+      "SampledQueryProcessor queries answered in degraded mode");
+  return counter;
+}
+
+obs::Counter& UnsampledQueries() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "innet_unsampled_queries",
+      "Queries answered by UnsampledQueryProcessor");
+  return counter;
+}
+
+}  // namespace
+
 QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
-                                          CountKind kind,
-                                          BoundMode bound) const {
+                                          CountKind kind, BoundMode bound,
+                                          obs::QueryTrace* trace) const {
   util::Timer timer;
   QueryAnswer answer;
+  ProcessorQueries().Increment();
 
-  std::vector<uint32_t> faces =
-      bound == BoundMode::kLower
-          ? sampled_->LowerBoundFaces(query.junctions)
-          : sampled_->UpperBoundFaces(query.junctions);
-  if (faces.empty()) {
-    answer.missed = true;
-    answer.exec_micros = timer.ElapsedMicros();
-    return answer;
+  SampledGraph::RegionBoundary boundary;
+  {
+    obs::Span span(trace, "boundary_resolution");
+    std::vector<uint32_t> faces =
+        bound == BoundMode::kLower
+            ? sampled_->LowerBoundFaces(query.junctions)
+            : sampled_->UpperBoundFaces(query.junctions);
+    if (faces.empty()) {
+      answer.missed = true;
+      answer.exec_micros = timer.ElapsedMicros();
+      ProcessorMissed().Increment();
+      if (trace != nullptr) trace->Annotate("missed", 1.0);
+      return answer;
+    }
+    boundary = sampled_->BoundaryOfFaces(faces);
   }
 
-  SampledGraph::RegionBoundary boundary = sampled_->BoundaryOfFaces(faces);
-  answer.estimate =
-      kind == CountKind::kStatic
-          ? forms::EvaluateStaticCount(*store_, boundary.edges, query.t2)
-          : forms::EvaluateTransientCount(*store_, boundary.edges, query.t1,
-                                          query.t2);
+  {
+    obs::Span span(trace, "form_integration");
+    answer.estimate =
+        kind == CountKind::kStatic
+            ? forms::EvaluateStaticCount(*store_, boundary.edges, query.t2)
+            : forms::EvaluateTransientCount(*store_, boundary.edges,
+                                            query.t1, query.t2);
+  }
   answer.interval = forms::CountInterval::Point(answer.estimate);
   answer.nodes_accessed = boundary.sensors.size();
   answer.edges_accessed = boundary.edges.size();
   answer.exec_micros = timer.ElapsedMicros();
+  if (trace != nullptr) trace->Annotate("estimate", answer.estimate);
   return answer;
 }
 
 QueryAnswer SampledQueryProcessor::AnswerDegraded(
     const RangeQuery& query, CountKind kind, BoundMode bound,
-    const SensorHealthView& health, const DegradedOptions& options) const {
+    const SensorHealthView& health, const DegradedOptions& options,
+    obs::QueryTrace* trace) const {
   util::Timer timer;
-  std::vector<uint32_t> faces =
-      bound == BoundMode::kLower
-          ? sampled_->LowerBoundFaces(query.junctions)
-          : sampled_->UpperBoundFaces(query.junctions);
-  DegradedBoundary resolved =
-      ResolveDegradedBoundary(*sampled_, faces, health, options);
-  QueryAnswer answer =
-      AnswerFromDegradedBoundary(*store_, resolved, query, kind, options);
+  ProcessorQueries().Increment();
+  DegradedBoundary resolved;
+  {
+    obs::Span span(trace, "degraded_reroute");
+    std::vector<uint32_t> faces =
+        bound == BoundMode::kLower
+            ? sampled_->LowerBoundFaces(query.junctions)
+            : sampled_->UpperBoundFaces(query.junctions);
+    resolved = ResolveDegradedBoundary(*sampled_, faces, health, options);
+  }
+  QueryAnswer answer;
+  {
+    obs::Span span(trace, "degraded_answer");
+    answer =
+        AnswerFromDegradedBoundary(*store_, resolved, query, kind, options);
+  }
+  if (answer.missed) ProcessorMissed().Increment();
+  if (answer.degraded) ProcessorDegraded().Increment();
   answer.exec_micros = timer.ElapsedMicros();
   return answer;
 }
@@ -83,6 +140,7 @@ QueryAnswer UnsampledQueryProcessor::Answer(const RangeQuery& query,
                                             CountKind kind) const {
   util::Timer timer;
   QueryAnswer answer;
+  UnsampledQueries().Increment();
   const graph::PlanarGraph& mobility = network_->mobility();
 
   // Region-local boundary extraction: walk the in-region junctions'

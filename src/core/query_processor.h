@@ -8,6 +8,7 @@
 #include "core/sampled_graph.h"
 #include "core/sensor_network.h"
 #include "forms/edge_count_store.h"
+#include "obs/trace.h"
 
 namespace innet::core {
 
@@ -22,8 +23,14 @@ class SampledQueryProcessor {
 
   /// Approximates the query under the given bound mode. A miss (no face of
   /// G̃ satisfies the bound) reports estimate 0 with missed = true.
+  ///
+  /// `trace` (optional) records the boundary-resolution and
+  /// form-integration stage spans of this query (docs/OBSERVABILITY.md).
+  /// Every call also feeds the `innet_processor_*` metrics of the global
+  /// registry.
   QueryAnswer Answer(const RangeQuery& query, CountKind kind,
-                     BoundMode bound) const;
+                     BoundMode bound,
+                     obs::QueryTrace* trace = nullptr) const;
 
   /// Fault-tolerant answering (docs/FAULTS.md): when the resolved region's
   /// boundary touches edges owned by sensors `health` reports failed, the
@@ -34,7 +41,8 @@ class SampledQueryProcessor {
   /// matches Answer() exactly (with a degenerate interval).
   QueryAnswer AnswerDegraded(const RangeQuery& query, CountKind kind,
                              BoundMode bound, const SensorHealthView& health,
-                             const DegradedOptions& options) const;
+                             const DegradedOptions& options,
+                             obs::QueryTrace* trace = nullptr) const;
 
   /// Time-series evaluation: static counts of the query's region at
   /// `steps` evenly spaced instants spanning [query.t1, query.t2]

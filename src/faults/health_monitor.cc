@@ -22,6 +22,19 @@ const char* SensorStatusName(SensorStatus status) {
 SensorHealthMonitor::SensorHealthMonitor(const core::SensorNetwork& network,
                                          const HealthMonitorOptions& options)
     : network_(network), options_(options) {
+  obs::MetricsRegistry& registry = options.registry != nullptr
+                                       ? *options.registry
+                                       : obs::MetricsRegistry::Global();
+  transitions_metric_ = &registry.GetCounter(
+      "innet_health_transitions",
+      "Per-sensor health status transitions observed by the monitor");
+  windows_metric_ = &registry.GetCounter(
+      "innet_health_windows_closed",
+      "Observation windows closed by the health monitor");
+  dead_metric_ = &registry.GetGauge("innet_sensors_dead",
+                                    "Sensors currently declared dead");
+  degraded_metric_ = &registry.GetGauge(
+      "innet_sensors_degraded", "Sensors currently declared degraded");
   INNET_CHECK(options.window > 0.0);
   INNET_CHECK(options.dead_threshold >= 0.0 &&
               options.dead_threshold <= options.degraded_threshold);
@@ -68,10 +81,12 @@ void SensorHealthMonitor::CloseWindow() {
     std::fill(observed_.begin(), observed_.end(), 0);
     window_start_ += options_.window;
     ++windows_closed_;
+    windows_metric_->Increment();
     return;
   }
   const std::vector<double>& expected_now = profile_[windows_closed_];
   bool changed = false;
+  uint64_t transitions = 0;
   for (graph::NodeId s = 0; s < status_.size(); ++s) {
     double expected = expected_now[s];
     if (expected < options_.min_expected_events) continue;
@@ -91,11 +106,13 @@ void SensorHealthMonitor::CloseWindow() {
     if (next != status_[s]) {
       status_[s] = next;
       changed = true;
+      ++transitions;
     }
   }
   std::fill(observed_.begin(), observed_.end(), 0);
   window_start_ += options_.window;
   ++windows_closed_;
+  windows_metric_->Increment();
   if (changed) {
     num_dead_ = 0;
     num_degraded_ = 0;
@@ -104,6 +121,9 @@ void SensorHealthMonitor::CloseWindow() {
       if (s == SensorStatus::kDegraded) ++num_degraded_;
     }
     ++generation_;
+    transitions_metric_->Increment(transitions);
+    dead_metric_->Set(static_cast<double>(num_dead_));
+    degraded_metric_->Set(static_cast<double>(num_degraded_));
   }
 }
 

@@ -19,6 +19,7 @@
 #include "core/health.h"
 #include "core/sensor_network.h"
 #include "mobility/trajectory.h"
+#include "obs/metrics.h"
 
 namespace innet::faults {
 
@@ -40,6 +41,11 @@ struct HealthMonitorOptions {
 
   /// Consecutive silent windows before a sensor is declared dead.
   size_t dead_after_windows = 2;
+
+  /// Registry receiving the monitor's health metrics
+  /// (`innet_health_transitions`, `innet_sensors_dead`, ...); nullptr
+  /// means obs::MetricsRegistry::Global(). Must outlive the monitor.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 enum class SensorStatus : uint8_t { kHealthy = 0, kDegraded = 1, kDead = 2 };
@@ -99,6 +105,13 @@ class SensorHealthMonitor : public core::SensorHealthView {
   size_t num_degraded_ = 0;
   size_t windows_closed_ = 0;
   bool calibrated_ = false;
+
+  // Exported health metrics (docs/OBSERVABILITY.md): per-sensor status
+  // transitions, closed windows, and current dead/degraded populations.
+  obs::Counter* transitions_metric_;
+  obs::Counter* windows_metric_;
+  obs::Gauge* dead_metric_;
+  obs::Gauge* degraded_metric_;
 };
 
 }  // namespace innet::faults

@@ -1,0 +1,228 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace innet::obs {
+
+namespace {
+
+// JSON has no literal for non-finite numbers; emit null so consumers see
+// an explicit hole instead of a parse error.
+void AppendJsonNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+std::string PrometheusNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void WriteHeader(std::ostream& out, const std::string& name,
+                 const std::string& help, const char* type) {
+  if (!help.empty()) {
+    out << "# HELP " << name << " " << help << "\n";
+  }
+  out << "# TYPE " << name << " " << type << "\n";
+}
+
+bool OpenForWrite(const std::string& path, std::ofstream* out) {
+  out->open(path, std::ios::out | std::ios::trunc);
+  if (!*out) {
+    INNET_LOG(ERROR) << "cannot write " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WritePrometheus(const MetricsRegistry& registry, std::ostream& out) {
+  for (const Counter* counter : registry.Counters()) {
+    WriteHeader(out, counter->name(), counter->help(), "counter");
+    out << counter->name() << " " << counter->Value() << "\n";
+  }
+  for (const Gauge* gauge : registry.Gauges()) {
+    WriteHeader(out, gauge->name(), gauge->help(), "gauge");
+    out << gauge->name() << " " << PrometheusNumber(gauge->Value()) << "\n";
+  }
+  for (const Histogram* histogram : registry.Histograms()) {
+    WriteHeader(out, histogram->name(), histogram->help(), "histogram");
+    std::vector<uint64_t> counts = histogram->BucketCounts();
+    const std::vector<double>& bounds = histogram->UpperBounds();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out << histogram->name() << "_bucket{le=\""
+          << PrometheusNumber(bounds[i]) << "\"} " << cumulative << "\n";
+    }
+    cumulative += counts.back();
+    out << histogram->name() << "_bucket{le=\"+Inf\"} " << cumulative
+        << "\n";
+    out << histogram->name() << "_sum "
+        << PrometheusNumber(histogram->Sum()) << "\n";
+    out << histogram->name() << "_count " << cumulative << "\n";
+  }
+}
+
+void WriteMetricsJsonLines(const MetricsRegistry& registry,
+                           std::ostream& out) {
+  std::string line;
+  for (const Counter* counter : registry.Counters()) {
+    line.clear();
+    line += "{\"type\":\"counter\",\"name\":\"";
+    line += JsonEscape(counter->name());
+    line += "\",\"value\":";
+    line += std::to_string(counter->Value());
+    line += "}";
+    out << line << "\n";
+  }
+  for (const Gauge* gauge : registry.Gauges()) {
+    line.clear();
+    line += "{\"type\":\"gauge\",\"name\":\"";
+    line += JsonEscape(gauge->name());
+    line += "\",\"value\":";
+    AppendJsonNumber(&line, gauge->Value());
+    line += "}";
+    out << line << "\n";
+  }
+  for (const Histogram* histogram : registry.Histograms()) {
+    std::vector<uint64_t> counts = histogram->BucketCounts();
+    const std::vector<double>& bounds = histogram->UpperBounds();
+    line.clear();
+    line += "{\"type\":\"histogram\",\"name\":\"";
+    line += JsonEscape(histogram->name());
+    line += "\",\"count\":";
+    line += std::to_string(histogram->Count());
+    line += ",\"sum\":";
+    AppendJsonNumber(&line, histogram->Sum());
+    line += ",\"p50\":";
+    AppendJsonNumber(&line, histogram->Percentile(0.50));
+    line += ",\"p95\":";
+    AppendJsonNumber(&line, histogram->Percentile(0.95));
+    line += ",\"buckets\":[";
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) line += ",";
+      line += "{\"le\":";
+      if (i < bounds.size()) {
+        AppendJsonNumber(&line, bounds[i]);
+      } else {
+        line += "null";
+      }
+      line += ",\"count\":";
+      line += std::to_string(counts[i]);
+      line += "}";
+    }
+    line += "]}";
+    out << line << "\n";
+  }
+}
+
+void WriteTracesJsonLines(
+    const std::vector<std::unique_ptr<QueryTrace>>& traces,
+    std::ostream& out) {
+  std::string line;
+  for (const std::unique_ptr<QueryTrace>& trace : traces) {
+    if (trace == nullptr) continue;
+    line.clear();
+    line += "{\"query\":";
+    line += std::to_string(trace->id());
+    line += ",\"total_micros\":";
+    AppendJsonNumber(&line, trace->TotalMicros());
+    line += ",\"stages\":[";
+    bool first = true;
+    for (const TraceStage& stage : trace->stages()) {
+      if (!first) line += ",";
+      first = false;
+      line += "{\"name\":\"";
+      line += JsonEscape(stage.name);
+      line += "\",\"start_micros\":";
+      AppendJsonNumber(&line, stage.start_micros);
+      line += ",\"micros\":";
+      AppendJsonNumber(&line, stage.elapsed_micros);
+      line += ",\"depth\":";
+      line += std::to_string(stage.depth);
+      line += "}";
+    }
+    line += "]";
+    for (const auto& [key, value] : trace->annotations()) {
+      line += ",\"";
+      line += JsonEscape(key);
+      line += "\":";
+      AppendJsonNumber(&line, value);
+    }
+    line += "}";
+    out << line << "\n";
+  }
+}
+
+bool ExportMetricsToFile(const MetricsRegistry& registry,
+                         const std::string& path) {
+  std::ofstream out;
+  if (!OpenForWrite(path, &out)) return false;
+  bool json = path.size() >= 5 && (path.rfind(".json") == path.size() - 5 ||
+                                   path.rfind(".jsonl") == path.size() - 6);
+  if (json) {
+    WriteMetricsJsonLines(registry, out);
+  } else {
+    WritePrometheus(registry, out);
+  }
+  return static_cast<bool>(out);
+}
+
+bool ExportTracesToFile(
+    const std::vector<std::unique_ptr<QueryTrace>>& traces,
+    const std::string& path) {
+  std::ofstream out;
+  if (!OpenForWrite(path, &out)) return false;
+  WriteTracesJsonLines(traces, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace innet::obs

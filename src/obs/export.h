@@ -1,0 +1,58 @@
+// Metric and trace exporters (docs/OBSERVABILITY.md).
+//
+// Two metric formats:
+//   - Prometheus text exposition format: `# HELP` / `# TYPE` comments,
+//     `name value` samples, histogram `_bucket{le="..."}` / `_sum` /
+//     `_count` series — scrapeable by any Prometheus-compatible collector.
+//   - JSON lines: one self-describing JSON object per metric, for ad-hoc
+//     jq/pandas consumption.
+// Traces export as JSON lines: one object per sampled query carrying its
+// stage breakdown and annotations.
+#ifndef INNET_OBS_EXPORT_H_
+#define INNET_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace innet::obs {
+
+/// Prometheus text exposition format, metrics in name order.
+void WritePrometheus(const MetricsRegistry& registry, std::ostream& out);
+
+/// One JSON object per metric per line, e.g.
+///   {"type":"counter","name":"innet_cache_hits","value":42}
+void WriteMetricsJsonLines(const MetricsRegistry& registry,
+                           std::ostream& out);
+
+/// One JSON object per trace per line:
+///   {"query":3,"total_micros":12.5,
+///    "stages":[{"name":"boundary_resolution","start_micros":0.1,
+///               "micros":7.9,"depth":0},...],
+///    "cache_hit":1,...}
+void WriteTracesJsonLines(
+    const std::vector<std::unique_ptr<QueryTrace>>& traces,
+    std::ostream& out);
+
+/// Writes `registry` to `path`; a ".json"/".jsonl" extension selects JSON
+/// lines, anything else the Prometheus text format. Returns false (and
+/// logs) when the file cannot be written.
+bool ExportMetricsToFile(const MetricsRegistry& registry,
+                         const std::string& path);
+
+/// Writes traces as JSON lines to `path`. Returns false (and logs) on
+/// failure.
+bool ExportTracesToFile(
+    const std::vector<std::unique_ptr<QueryTrace>>& traces,
+    const std::string& path);
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace innet::obs
+
+#endif  // INNET_OBS_EXPORT_H_

@@ -1,0 +1,177 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket
+// histograms behind a MetricsRegistry (docs/OBSERVABILITY.md).
+//
+// Hot-path increments must not contend: every Counter and Histogram is
+// sharded into cache-line-aligned per-thread cells (a thread hashes to one
+// cell and only ever touches that cache line), merged on read. Reads are
+// therefore O(cells) and slightly racy against in-flight increments —
+// exact once writers quiesce, which is the contract every exporter and
+// Snapshot() consumer in this repo relies on.
+//
+// Registration is cheap but locked; callers resolve a metric ONCE (at
+// construction / first use) and hold the pointer. Registered metrics are
+// never deleted, so pointers stay valid for the registry's lifetime.
+#ifndef INNET_OBS_METRICS_H_
+#define INNET_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace innet::obs {
+
+namespace internal {
+
+/// Stable small index for the calling thread, used to pick a metric cell.
+size_t ThreadCellIndex();
+
+/// Cells per sharded metric. Power of two; distinct threads beyond this
+/// count share cells (correctness is unaffected, only contention).
+inline constexpr size_t kMetricCells = 16;
+
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonic counter. Increment is one relaxed fetch_add on the calling
+/// thread's cell; Value() merges all cells.
+class Counter {
+ public:
+  explicit Counter(std::string name, std::string help = "");
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    cells_[internal::ThreadCellIndex() & (internal::kMetricCells - 1)]
+        .value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const;
+
+  /// Zeroes every cell. Not atomic with respect to concurrent increments;
+  /// callers reset only while writers are quiescent (ResetStats contract).
+  void Reset();
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::array<internal::CounterCell, internal::kMetricCells> cells_;
+};
+
+/// Last-write-wins instantaneous value (e.g. sensors currently dead).
+class Gauge {
+ public:
+  explicit Gauge(std::string name, std::string help = "");
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
+/// an implicit +inf bucket catches the overflow. Observe() touches only the
+/// calling thread's cell. Percentile() interpolates linearly inside the
+/// selected bucket, so its error is at most one bucket width.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds,
+            std::string help = "");
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  /// Per-bucket (non-cumulative) counts; last entry is the +inf bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  const std::vector<double>& UpperBounds() const { return bounds_; }
+
+  /// Bucket-interpolated quantile, q in [0, 1]. Returns 0 when empty;
+  /// observations in the +inf bucket report the largest finite bound.
+  double Percentile(double q) const;
+
+  void Reset();
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  /// `count` ascending bounds: start, start*factor, start*factor^2, ...
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               size_t count);
+  /// Default micros buckets for query latencies: 1us .. ~1s, doubling.
+  static std::vector<double> LatencyBoundsMicros() {
+    return ExponentialBounds(1.0, 2.0, 21);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    explicit Cell(size_t buckets) : counts(buckets) {}
+    std::vector<std::atomic<uint64_t>> counts;  // bounds + 1 (inf).
+    std::atomic<double> sum{0.0};
+  };
+
+  std::string name_;
+  std::string help_;
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+/// Named metric registry. One process-wide instance (Global()) serves the
+/// library; tests construct private registries for isolation. Get* returns
+/// the existing metric when the name is already registered (the kind must
+/// match — a name registered as a counter stays a counter) and never
+/// invalidates previously returned pointers.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds,
+                          const std::string& help = "");
+
+  /// Registered metrics in name order (the export order).
+  std::vector<const Counter*> Counters() const;
+  std::vector<const Gauge*> Gauges() const;
+  std::vector<const Histogram*> Histograms() const;
+
+  /// Zeroes every registered metric (names stay registered).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace innet::obs
+
+#endif  // INNET_OBS_METRICS_H_

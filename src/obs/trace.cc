@@ -1,0 +1,59 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace innet::obs {
+
+Span::Span(QueryTrace* trace, const char* stage) : trace_(trace) {
+  if (trace_ == nullptr) return;
+  index_ = trace_->stages_.size();
+  TraceStage record;
+  record.name = stage;
+  record.start_micros = trace_->timer_.ElapsedMicros();
+  record.depth = trace_->depth_++;
+  trace_->stages_.push_back(std::move(record));
+}
+
+Span::~Span() {
+  if (trace_ == nullptr) return;
+  // Start and end both read the trace's clock, so sibling/parent spans
+  // nest consistently: a child's [start, start+elapsed] lies inside its
+  // parent's.
+  double now = trace_->timer_.ElapsedMicros();
+  TraceStage& record = trace_->stages_[index_];
+  record.elapsed_micros = now - record.start_micros;
+  --trace_->depth_;
+  trace_->total_micros_ = std::max(trace_->total_micros_, now);
+}
+
+Tracer::Tracer(const TracerOptions& options) : options_(options) {}
+
+std::unique_ptr<QueryTrace> Tracer::StartQuery() {
+  uint64_t seq = started_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.sample_every == 0 || options_.ring_capacity == 0 ||
+      seq % options_.sample_every != 0) {
+    return nullptr;
+  }
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<QueryTrace>(seq);
+}
+
+void Tracer::Finish(std::unique_ptr<QueryTrace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+}
+
+std::vector<std::unique_ptr<QueryTrace>> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::unique_ptr<QueryTrace>> out;
+  out.reserve(ring_.size());
+  for (std::unique_ptr<QueryTrace>& trace : ring_) {
+    out.push_back(std::move(trace));
+  }
+  ring_.clear();
+  return out;
+}
+
+}  // namespace innet::obs

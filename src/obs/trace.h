@@ -1,0 +1,128 @@
+// Scoped per-query trace spans (docs/OBSERVABILITY.md).
+//
+// A QueryTrace records the stage breakdown of one query — boundary
+// resolution, cache lookup, form integration, degraded rerouting, dispatch
+// — as (name, start offset, duration, nesting depth) records plus numeric
+// annotations (estimate, cache_hit, ...). Traces are sampled: the Tracer
+// hands out a trace for 1 of every `sample_every` queries and keeps the
+// most recent `ring_capacity` finished traces in a ring buffer.
+//
+// Recording is single-threaded per trace: each query owns its trace for
+// the duration of its evaluation (worker threads never share one), so
+// Span/Annotate need no synchronization. Only Finish() and Drain() touch
+// the shared ring and are locked.
+#ifndef INNET_OBS_TRACE_H_
+#define INNET_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace innet::obs {
+
+/// One completed (or in-flight) span inside a query trace.
+struct TraceStage {
+  std::string name;
+  /// Offset of the span start from the trace start.
+  double start_micros = 0.0;
+  double elapsed_micros = 0.0;
+  /// 0 for top-level spans, +1 per enclosing live span.
+  int depth = 0;
+};
+
+/// Stage record of one sampled query. Created by Tracer::StartQuery.
+class QueryTrace {
+ public:
+  explicit QueryTrace(uint64_t id) : id_(id) {}
+
+  uint64_t id() const { return id_; }
+  const std::vector<TraceStage>& stages() const { return stages_; }
+  const std::vector<std::pair<std::string, double>>& annotations() const {
+    return annotations_;
+  }
+
+  /// Attaches a numeric fact to the trace (estimate, cache_hit, ...).
+  void Annotate(const std::string& key, double value) {
+    annotations_.emplace_back(key, value);
+  }
+
+  /// Total time from StartQuery to the last finished span.
+  double TotalMicros() const { return total_micros_; }
+
+ private:
+  friend class Span;
+  friend class Tracer;
+
+  uint64_t id_;
+  util::Timer timer_;
+  int depth_ = 0;
+  double total_micros_ = 0.0;
+  std::vector<TraceStage> stages_;
+  std::vector<std::pair<std::string, double>> annotations_;
+};
+
+/// RAII stage span. A null trace makes every operation a no-op, so call
+/// sites stay unconditional:
+///
+///   obs::Span span(trace, "boundary_resolution");   // trace may be null
+class Span {
+ public:
+  Span(QueryTrace* trace, const char* stage);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  QueryTrace* trace_;
+  size_t index_ = 0;
+};
+
+/// Trace sampling and retention knobs.
+struct TracerOptions {
+  /// Finished traces retained (oldest evicted first).
+  size_t ring_capacity = 256;
+  /// Sample 1 of every N queries; 0 disables tracing entirely.
+  uint64_t sample_every = 1;
+};
+
+/// Hands out sampled QueryTraces and retains finished ones.
+class Tracer {
+ public:
+  explicit Tracer(const TracerOptions& options);
+
+  /// Returns a trace for sampled queries, nullptr otherwise. Thread-safe.
+  std::unique_ptr<QueryTrace> StartQuery();
+
+  /// Publishes a finished trace into the ring. Null traces are ignored, so
+  /// `tracer.Finish(std::move(trace))` is safe on the unsampled path.
+  void Finish(std::unique_ptr<QueryTrace> trace);
+
+  /// Removes and returns every retained trace, oldest first.
+  std::vector<std::unique_ptr<QueryTrace>> Drain();
+
+  uint64_t Started() const {
+    return started_.load(std::memory_order_relaxed);
+  }
+  uint64_t Sampled() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TracerOptions options_;
+  std::atomic<uint64_t> started_{0};
+  std::atomic<uint64_t> sampled_{0};
+  std::mutex mutex_;
+  std::deque<std::unique_ptr<QueryTrace>> ring_;
+};
+
+}  // namespace innet::obs
+
+#endif  // INNET_OBS_TRACE_H_

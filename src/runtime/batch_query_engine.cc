@@ -3,7 +3,6 @@
 #include <utility>
 
 #include "forms/region_count.h"
-#include "util/stats.h"
 #include "util/timer.h"
 
 namespace innet::runtime {
@@ -15,7 +14,37 @@ BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
       store_(&store),
       health_(options.health),
       degraded_options_(options.degraded),
-      cache_(options.cache_capacity, options.cache_shards),
+      tracer_(options.tracer),
+      owned_registry_(options.registry != nullptr
+                          ? nullptr
+                          : std::make_unique<obs::MetricsRegistry>()),
+      registry_(options.registry != nullptr ? options.registry
+                                            : owned_registry_.get()),
+      queries_answered_(&registry_->GetCounter(
+          "innet_queries_answered",
+          "Queries answered by the batch engine")),
+      missed_lower_(&registry_->GetCounter(
+          "innet_missed_lower",
+          "Lower-bound queries with no satisfying sampled face")),
+      missed_upper_(&registry_->GetCounter(
+          "innet_missed_upper",
+          "Upper-bound queries with no satisfying sampled face")),
+      degraded_answers_(&registry_->GetCounter(
+          "innet_degraded_answers",
+          "Queries answered in degraded mode (boundary rerouted around "
+          "faults)")),
+      health_invalidations_(&registry_->GetCounter(
+          "innet_health_invalidations",
+          "Boundary-cache flushes triggered by health-generation changes")),
+      latency_micros_(&registry_->GetHistogram(
+          "innet_query_latency_micros",
+          obs::Histogram::LatencyBoundsMicros(),
+          "Per-query evaluation latency in microseconds")),
+      cache_(options.cache_capacity, options.cache_shards,
+             &registry_->GetCounter("innet_cache_hits",
+                                    "Boundary-cache lookup hits"),
+             &registry_->GetCounter("innet_cache_misses",
+                                    "Boundary-cache lookup misses")),
       pool_(options.num_threads) {
   if (health_ != nullptr) {
     last_health_generation_.store(health_->Generation(),
@@ -24,11 +53,18 @@ BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
 }
 
 std::shared_ptr<const ResolvedBoundary> BatchQueryEngine::Resolve(
-    const core::RangeQuery& query, core::BoundMode bound) {
+    const core::RangeQuery& query, core::BoundMode bound,
+    obs::QueryTrace* trace) {
   RegionSignature key = SignRegion(query.junctions, bound);
-  if (std::shared_ptr<const ResolvedBoundary> hit = cache_.Lookup(key)) {
-    return hit;
+  {
+    obs::Span span(trace, "cache_lookup");
+    if (std::shared_ptr<const ResolvedBoundary> hit = cache_.Lookup(key)) {
+      if (trace != nullptr) trace->Annotate("cache_hit", 1.0);
+      return hit;
+    }
   }
+  if (trace != nullptr) trace->Annotate("cache_hit", 0.0);
+  obs::Span span(trace, "boundary_resolution");
   auto resolved = std::make_shared<ResolvedBoundary>();
   std::vector<uint32_t> faces =
       bound == core::BoundMode::kLower
@@ -37,6 +73,7 @@ std::shared_ptr<const ResolvedBoundary> BatchQueryEngine::Resolve(
   if (faces.empty()) {
     resolved->missed = true;
   } else if (health_ != nullptr) {
+    obs::Span reroute(trace, "degraded_reroute");
     auto degraded = std::make_shared<core::DegradedBoundary>(
         core::ResolveDegradedBoundary(*sampled_, faces, *health_,
                                       degraded_options_));
@@ -56,27 +93,30 @@ void BatchQueryEngine::SyncHealthGeneration() {
       generation, std::memory_order_relaxed);
   if (previous != generation) {
     cache_.Clear();
-    health_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    health_invalidations_->Increment();
   }
 }
 
 core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
                                               core::CountKind kind,
                                               core::BoundMode bound) {
+  std::unique_ptr<obs::QueryTrace> trace =
+      tracer_ != nullptr ? tracer_->StartQuery() : nullptr;
   util::Timer timer;
   core::QueryAnswer answer;
-  std::shared_ptr<const ResolvedBoundary> resolved = Resolve(query, bound);
+  std::shared_ptr<const ResolvedBoundary> resolved =
+      Resolve(query, bound, trace.get());
   if (resolved->missed) {
     answer.missed = true;
     (bound == core::BoundMode::kLower ? missed_lower_ : missed_upper_)
-        .fetch_add(1, std::memory_order_relaxed);
+        ->Increment();
   } else if (resolved->degraded != nullptr) {
+    obs::Span span(trace.get(), "degraded_answer");
     answer = core::AnswerFromDegradedBoundary(*store_, *resolved->degraded,
                                               query, kind, degraded_options_);
-    if (answer.degraded) {
-      degraded_answers_.fetch_add(1, std::memory_order_relaxed);
-    }
+    if (answer.degraded) degraded_answers_->Increment();
   } else {
+    obs::Span span(trace.get(), "form_integration");
     const core::SampledGraph::RegionBoundary& boundary = resolved->boundary;
     answer.estimate =
         kind == core::CountKind::kStatic
@@ -88,7 +128,15 @@ core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
     answer.edges_accessed = boundary.edges.size();
   }
   answer.exec_micros = timer.ElapsedMicros();
-  queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  queries_answered_->Increment();
+  latency_micros_->Observe(answer.exec_micros);
+  if (trace != nullptr) {
+    trace->Annotate("estimate", answer.estimate);
+    trace->Annotate("missed", answer.missed ? 1.0 : 0.0);
+    trace->Annotate("degraded", answer.degraded ? 1.0 : 0.0);
+    trace->Annotate("exec_micros", answer.exec_micros);
+    tracer_->Finish(std::move(trace));
+  }
   return answer;
 }
 
@@ -100,14 +148,6 @@ std::vector<core::QueryAnswer> BatchQueryEngine::AnswerBatch(
   pool_.ParallelFor(queries.size(), [&](size_t i) {
     answers[i] = AnswerOne(queries[i], kind, bound);
   });
-  // Latency samples are merged once per batch, off the hot path.
-  {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    latency_micros_.reserve(latency_micros_.size() + answers.size());
-    for (const core::QueryAnswer& a : answers) {
-      latency_micros_.push_back(a.exec_micros);
-    }
-  }
   return answers;
 }
 
@@ -115,39 +155,33 @@ core::QueryAnswer BatchQueryEngine::Answer(const core::RangeQuery& query,
                                            core::CountKind kind,
                                            core::BoundMode bound) {
   SyncHealthGeneration();
-  core::QueryAnswer answer = AnswerOne(query, kind, bound);
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  latency_micros_.push_back(answer.exec_micros);
-  return answer;
+  return AnswerOne(query, kind, bound);
 }
 
 BatchEngineSnapshot BatchQueryEngine::Snapshot() const {
   BatchEngineSnapshot snap;
-  snap.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+  snap.queries_answered = queries_answered_->Value();
   snap.cache_hits = cache_.Hits();
   snap.cache_misses = cache_.Misses();
-  snap.missed_lower = missed_lower_.load(std::memory_order_relaxed);
-  snap.missed_upper = missed_upper_.load(std::memory_order_relaxed);
-  snap.degraded_answers = degraded_answers_.load(std::memory_order_relaxed);
-  snap.health_invalidations =
-      health_invalidations_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  if (!latency_micros_.empty()) {
-    snap.latency_p50_micros = util::Percentile(latency_micros_, 0.50);
-    snap.latency_p95_micros = util::Percentile(latency_micros_, 0.95);
+  snap.missed_lower = missed_lower_->Value();
+  snap.missed_upper = missed_upper_->Value();
+  snap.degraded_answers = degraded_answers_->Value();
+  snap.health_invalidations = health_invalidations_->Value();
+  if (latency_micros_->Count() > 0) {
+    snap.latency_p50_micros = latency_micros_->Percentile(0.50);
+    snap.latency_p95_micros = latency_micros_->Percentile(0.95);
   }
   return snap;
 }
 
 void BatchQueryEngine::ResetStats() {
-  queries_answered_.store(0, std::memory_order_relaxed);
-  missed_lower_.store(0, std::memory_order_relaxed);
-  missed_upper_.store(0, std::memory_order_relaxed);
-  degraded_answers_.store(0, std::memory_order_relaxed);
-  health_invalidations_.store(0, std::memory_order_relaxed);
+  queries_answered_->Reset();
+  missed_lower_->Reset();
+  missed_upper_->Reset();
+  degraded_answers_->Reset();
+  health_invalidations_->Reset();
+  latency_micros_->Reset();
   cache_.ResetCounters();
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  latency_micros_.clear();
 }
 
 }  // namespace innet::runtime

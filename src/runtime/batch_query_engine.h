@@ -23,13 +23,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/health.h"
 #include "core/query.h"
 #include "core/sampled_graph.h"
 #include "forms/edge_count_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/boundary_cache.h"
 #include "util/thread_pool.h"
 
@@ -56,10 +57,32 @@ struct BatchEngineOptions {
 
   /// Slack knobs for degraded answers (ignored without `health`).
   core::DegradedOptions degraded;
+
+  /// Metrics registry backing the engine's counters and latency histogram
+  /// (docs/OBSERVABILITY.md). nullptr (default) gives the engine a PRIVATE
+  /// registry, keeping Snapshot() strictly per-engine; serving binaries
+  /// pass &obs::MetricsRegistry::Global() (as tools/innet_query does) so
+  /// the engine's metrics export alongside the rest of the process.
+  /// Engines sharing one registry share metric storage — exported values
+  /// then aggregate across engines while Snapshot() reads that same
+  /// storage, so single-engine processes see identical numbers in both
+  /// views. Must outlive the engine when provided.
+  obs::MetricsRegistry* registry = nullptr;
+
+  /// Optional per-query stage tracer. When set, every AnswerOne consults
+  /// the tracer's sampling knob and sampled queries record their stage
+  /// breakdown (cache lookup, boundary resolution, degraded reroute, form
+  /// integration). Must outlive the engine.
+  obs::Tracer* tracer = nullptr;
 };
 
-/// Point-in-time engine counters. Latency percentiles cover the queries
-/// answered since construction (or the last ResetStats).
+/// Point-in-time engine counters — a compatibility view over the
+/// registry-backed metrics (the engine's counters ARE the exported
+/// `innet_*` metrics; Snapshot reads the same storage the exporters
+/// serialize, so the two agree exactly). Latency percentiles come from the
+/// `innet_query_latency_micros` histogram and cover the queries answered
+/// since construction (or the last ResetStats); as bucket-interpolated
+/// quantiles their error is at most one bucket width.
 struct BatchEngineSnapshot {
   uint64_t queries_answered = 0;
   uint64_t cache_hits = 0;
@@ -107,9 +130,11 @@ class BatchQueryEngine {
   size_t CacheSize() const { return cache_.Size(); }
 
  private:
-  /// Cache-through resolution of one query region under `bound`.
+  /// Cache-through resolution of one query region under `bound`. `trace`
+  /// may be null; sampled queries record lookup/resolution spans into it.
   std::shared_ptr<const ResolvedBoundary> Resolve(
-      const core::RangeQuery& query, core::BoundMode bound);
+      const core::RangeQuery& query, core::BoundMode bound,
+      obs::QueryTrace* trace);
 
   core::QueryAnswer AnswerOne(const core::RangeQuery& query,
                               core::CountKind kind, core::BoundMode bound);
@@ -123,17 +148,26 @@ class BatchQueryEngine {
   const forms::EdgeCountStore* store_;
   const core::SensorHealthView* health_;
   core::DegradedOptions degraded_options_;
+  obs::Tracer* tracer_;
+
+  // Private registry when the options carried none; registry_ points at
+  // whichever backs this engine.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+
+  // Registry-backed metrics (see docs/OBSERVABILITY.md for the naming
+  // scheme). Resolved once at construction; increments are per-thread
+  // sharded and contention-free.
+  obs::Counter* queries_answered_;
+  obs::Counter* missed_lower_;
+  obs::Counter* missed_upper_;
+  obs::Counter* degraded_answers_;
+  obs::Counter* health_invalidations_;
+  obs::Histogram* latency_micros_;
+
   BoundaryCache cache_;
   util::ThreadPool pool_;
-
-  std::atomic<uint64_t> queries_answered_{0};
-  std::atomic<uint64_t> missed_lower_{0};
-  std::atomic<uint64_t> missed_upper_{0};
-  std::atomic<uint64_t> degraded_answers_{0};
-  std::atomic<uint64_t> health_invalidations_{0};
   std::atomic<uint64_t> last_health_generation_{0};
-  mutable std::mutex latency_mutex_;
-  std::vector<double> latency_micros_;
 };
 
 }  // namespace innet::runtime

@@ -45,28 +45,40 @@ RegionSignature SignRegion(const std::vector<graph::NodeId>& junctions,
   return sig;
 }
 
-BoundaryCache::BoundaryCache(size_t capacity, size_t shards)
-    : per_shard_capacity_(0), shards_(std::max<size_t>(1, shards)) {
+BoundaryCache::BoundaryCache(size_t capacity, size_t shards,
+                             obs::Counter* hits, obs::Counter* misses)
+    : per_shard_capacity_(0),
+      shards_(std::max<size_t>(1, shards)),
+      hits_(hits),
+      misses_(misses) {
   if (capacity > 0) {
     per_shard_capacity_ = (capacity + shards_.size() - 1) / shards_.size();
+  }
+  if (hits_ == nullptr) {
+    owned_hits_ = std::make_unique<obs::Counter>("cache_hits");
+    hits_ = owned_hits_.get();
+  }
+  if (misses_ == nullptr) {
+    owned_misses_ = std::make_unique<obs::Counter>("cache_misses");
+    misses_ = owned_misses_.get();
   }
 }
 
 std::shared_ptr<const ResolvedBoundary> BoundaryCache::Lookup(
     const RegionSignature& key) {
   if (per_shard_capacity_ == 0) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->Increment();
     return nullptr;
   }
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->Increment();
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_->Increment();
   return it->second->value;
 }
 

@@ -14,7 +14,6 @@
 #ifndef INNET_RUNTIME_BOUNDARY_CACHE_H_
 #define INNET_RUNTIME_BOUNDARY_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -25,6 +24,7 @@
 #include "core/degraded.h"
 #include "core/query.h"
 #include "core/sampled_graph.h"
+#include "obs/metrics.h"
 
 namespace innet::runtime {
 
@@ -65,7 +65,13 @@ class BoundaryCache {
   /// `capacity` entries total across `shards` shards (each shard holds
   /// ceil(capacity / shards)). `capacity == 0` disables the cache: Lookup
   /// always misses and Insert is a no-op.
-  BoundaryCache(size_t capacity, size_t shards);
+  ///
+  /// `hits`/`misses` are the counters the cache increments — typically
+  /// registry-backed (`innet_cache_hits`/`innet_cache_misses`) so hit
+  /// rates export without extra plumbing. When null the cache owns
+  /// private, unexported counters. Must outlive the cache when provided.
+  BoundaryCache(size_t capacity, size_t shards,
+                obs::Counter* hits = nullptr, obs::Counter* misses = nullptr);
 
   /// Returns the cached boundary and refreshes its recency, or nullptr.
   std::shared_ptr<const ResolvedBoundary> Lookup(const RegionSignature& key);
@@ -78,15 +84,17 @@ class BoundaryCache {
 
   void Clear();
 
-  /// Zeroes the hit/miss counters (entries are kept).
+  /// Zeroes the hit/miss counters (entries are kept). When the counters
+  /// are registry-backed this resets the exported metrics too — the
+  /// snapshot and the export stay one source of truth.
   void ResetCounters() {
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
+    hits_->Reset();
+    misses_->Reset();
   }
 
   size_t Size() const;
-  uint64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t Misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t Hits() const { return hits_->Value(); }
+  uint64_t Misses() const { return misses_->Value(); }
 
  private:
   struct Entry {
@@ -113,8 +121,11 @@ class BoundaryCache {
 
   size_t per_shard_capacity_;
   std::vector<Shard> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  // Fallbacks owned when the caller supplies no registry counters.
+  std::unique_ptr<obs::Counter> owned_hits_;
+  std::unique_ptr<obs::Counter> owned_misses_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
 };
 
 }  // namespace innet::runtime

@@ -1,0 +1,94 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace innet {
+
+namespace {
+
+void StderrSink(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  // Basename only: full build paths add noise without aiding grep.
+  const char* base = std::strrchr(file, '/');
+  base = base == nullptr ? file : base + 1;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LogLevelName(level), base, line,
+               message.c_str());
+}
+
+LogLevel InitialLevelFromEnv() {
+  const char* env = std::getenv("INNET_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr) ParseLogLevel(env, &level);
+  return level;
+}
+
+std::atomic<int>& MinLevelStorage() {
+  static std::atomic<int> level{static_cast<int>(InitialLevelFromEnv())};
+  return level;
+}
+
+std::atomic<LogSink>& SinkStorage() {
+  static std::atomic<LogSink> sink{&StderrSink};
+  return sink;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "LOG";
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  if (text == "info") {
+    *level = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *level = LogLevel::kWarn;
+  } else if (text == "error") {
+    *level = LogLevel::kError;
+  } else if (text == "off") {
+    *level = static_cast<LogLevel>(static_cast<int>(LogLevel::kError) + 1);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelStorage().store(static_cast<int>(level),
+                          std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      MinLevelStorage().load(std::memory_order_relaxed));
+}
+
+bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         MinLevelStorage().load(std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  SinkStorage().store(sink == nullptr ? &StderrSink : sink,
+                      std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::~LogMessage() {
+  SinkStorage().load(std::memory_order_relaxed)(level_, file_, line_,
+                                                stream_.str());
+}
+
+}  // namespace internal_logging
+
+}  // namespace innet

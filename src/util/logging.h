@@ -1,14 +1,49 @@
-// Lightweight CHECK/DCHECK macros for invariant enforcement.
+// Lightweight CHECK/DCHECK macros for invariant enforcement, plus leveled
+// diagnostic logging (INNET_LOG).
 //
 // The project does not use C++ exceptions; programmer errors abort with a
-// diagnostic, recoverable errors flow through util::Status.
+// diagnostic, recoverable errors flow through util::Status. Operational
+// diagnostics go through INNET_LOG(INFO/WARN/ERROR):
+//
+//   INNET_LOG(WARN) << "skipped " << n << " queries";
+//
+// Verbosity is controlled by SetMinLogLevel (tools expose --log-level) or
+// the INNET_LOG_LEVEL environment variable (info|warn|error|off; the env
+// sets the initial level only). The sink is pluggable via SetLogSink; the
+// default writes "[LEVEL file:line] message" to stderr.
 #ifndef INNET_UTIL_LOGGING_H_
 #define INNET_UTIL_LOGGING_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
 
 namespace innet {
+
+enum class LogLevel : int { kInfo = 0, kWarn = 1, kError = 2 };
+
+const char* LogLevelName(LogLevel level);
+
+/// Messages below `level` are dropped at the call site.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+/// True when a message at `level` would be emitted.
+bool LogLevelEnabled(LogLevel level);
+
+/// Parses "info" | "warn" | "error" | "off" (the spellings INNET_LOG_LEVEL
+/// and the tools' --log-level accept). Returns false on anything else;
+/// "off" yields a level above kError that disables every message.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+/// Receives every emitted message. `message` is the formatted payload
+/// without the level/location prefix. Passing nullptr restores the default
+/// stderr sink.
+using LogSink = void (*)(LogLevel level, const char* file, int line,
+                         const std::string& message);
+void SetLogSink(LogSink sink);
+
 namespace internal_logging {
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,
@@ -18,8 +53,50 @@ namespace internal_logging {
   std::abort();
 }
 
+/// Accumulates one log statement and dispatches it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Lets the disabled branch of INNET_LOG have type void. `&` binds looser
+/// than `<<`, so the whole streamed expression is swallowed.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+// Severity spellings used by the INNET_LOG(severity) macro.
+inline constexpr LogLevel kSeverityINFO = LogLevel::kInfo;
+inline constexpr LogLevel kSeverityWARN = LogLevel::kWarn;
+inline constexpr LogLevel kSeverityERROR = LogLevel::kError;
+
 }  // namespace internal_logging
 }  // namespace innet
+
+// Leveled logging with lazy argument evaluation: the streamed operands are
+// not evaluated when the level is disabled.
+#define INNET_LOG(severity)                                               \
+  !::innet::LogLevelEnabled(                                              \
+      ::innet::internal_logging::kSeverity##severity)                     \
+      ? (void)0                                                           \
+      : ::innet::internal_logging::Voidify() &                            \
+            ::innet::internal_logging::LogMessage(                        \
+                ::innet::internal_logging::kSeverity##severity, __FILE__, \
+                __LINE__)                                                 \
+                .stream()
 
 // Aborts the process when `expr` evaluates to false. Enabled in all builds:
 // violated invariants in a counting framework silently corrupt results, so

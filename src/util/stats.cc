@@ -8,16 +8,33 @@
 
 namespace innet::util {
 
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  INNET_CHECK(!sorted.empty());
+  INNET_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 double Percentile(std::vector<double> values, double q) {
   INNET_CHECK(!values.empty());
   INNET_CHECK(q >= 0.0 && q <= 1.0);
-  std::sort(values.begin(), values.end());
   if (values.size() == 1) return values[0];
   double pos = q * static_cast<double>(values.size() - 1);
   size_t lo = static_cast<size_t>(pos);
-  size_t hi = std::min(lo + 1, values.size() - 1);
   double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(lo),
+                   values.end());
+  double v_lo = values[lo];
+  if (frac == 0.0) return v_lo;
+  // The interpolation partner is the minimum of the (unordered) suffix.
+  double v_hi = *std::min_element(
+      values.begin() + static_cast<ptrdiff_t>(lo) + 1, values.end());
+  return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 Summary Summarize(const std::vector<double>& values) {
@@ -30,17 +47,9 @@ Summary Summarize(const std::vector<double>& values) {
   s.max = sorted.back();
   s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
            static_cast<double>(sorted.size());
-  auto at = [&sorted](double q) {
-    if (sorted.size() == 1) return sorted[0];
-    double pos = q * static_cast<double>(sorted.size() - 1);
-    size_t lo = static_cast<size_t>(pos);
-    size_t hi = std::min(lo + 1, sorted.size() - 1);
-    double frac = pos - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-  };
-  s.p25 = at(0.25);
-  s.median = at(0.5);
-  s.p75 = at(0.75);
+  s.p25 = PercentileSorted(sorted, 0.25);
+  s.median = PercentileSorted(sorted, 0.5);
+  s.p75 = PercentileSorted(sorted, 0.75);
   return s;
 }
 

@@ -19,8 +19,16 @@ struct Summary {
   double mean = 0.0;
 };
 
-/// Linear-interpolated percentile of `values`, q in [0, 1]. `values` need not
-/// be sorted; an internal copy is sorted. Requires non-empty input.
+/// Linear-interpolated percentile of an ascending-sorted `sorted`, q in
+/// [0, 1]. Requires non-empty input. The single shared quantile kernel:
+/// Percentile and Summarize both delegate here.
+double PercentileSorted(const std::vector<double>& sorted, double q);
+
+/// Linear-interpolated percentile of `values`, q in [0, 1]. `values` need
+/// not be sorted; the copy is partially ordered with std::nth_element (a
+/// single quantile does not pay for a full sort). Requires non-empty
+/// input. Callers needing several quantiles should sort once and use
+/// PercentileSorted.
 double Percentile(std::vector<double> values, double q);
 
 /// Computes the full Summary for `values`. Requires non-empty input.

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
 
 #include "core/framework.h"
 #include "core/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/batch_query_engine.h"
 #include "runtime/boundary_cache.h"
 #include "sampling/samplers.h"
@@ -167,6 +170,76 @@ TEST_F(BatchEngineFixture, SnapshotCountsCacheTraffic) {
   // Second pass is all hits: misses stay where the cold pass left them.
   EXPECT_EQ(warm.cache_misses, cold.cache_misses);
   EXPECT_GT(warm.cache_hits, cold.cache_hits);
+}
+
+TEST_F(BatchEngineFixture, SnapshotAgreesWithRegistryBitForBit) {
+  // The snapshot is a compatibility view over the registry-backed metrics:
+  // both read the SAME storage, so on a quiescent engine every exported
+  // value must equal its snapshot counterpart exactly.
+  obs::MetricsRegistry registry;
+  BatchEngineOptions options;
+  options.num_threads = 4;
+  options.registry = &registry;
+  BatchQueryEngine engine(deployment_->graph(), deployment_->store(),
+                          options);
+  engine.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
+  engine.AnswerBatch(queries_, CountKind::kTransient, BoundMode::kUpper);
+
+  BatchEngineSnapshot snap = engine.Snapshot();
+  auto counter = [&](const char* name) {
+    return registry.GetCounter(name).Value();
+  };
+  EXPECT_EQ(snap.queries_answered, counter("innet_queries_answered"));
+  EXPECT_EQ(snap.cache_hits, counter("innet_cache_hits"));
+  EXPECT_EQ(snap.cache_misses, counter("innet_cache_misses"));
+  EXPECT_EQ(snap.missed_lower, counter("innet_missed_lower"));
+  EXPECT_EQ(snap.missed_upper, counter("innet_missed_upper"));
+  EXPECT_EQ(snap.degraded_answers, counter("innet_degraded_answers"));
+  EXPECT_EQ(snap.health_invalidations, counter("innet_health_invalidations"));
+  obs::Histogram& latency = registry.GetHistogram(
+      "innet_query_latency_micros", obs::Histogram::LatencyBoundsMicros());
+  EXPECT_EQ(latency.Count(), 2 * queries_.size());
+  EXPECT_EQ(snap.latency_p50_micros, latency.Percentile(0.50));
+  EXPECT_EQ(snap.latency_p95_micros, latency.Percentile(0.95));
+
+  // ResetStats zeroes the shared storage, so both views drop together.
+  engine.ResetStats();
+  EXPECT_EQ(engine.Snapshot().queries_answered, 0u);
+  EXPECT_EQ(counter("innet_queries_answered"), 0u);
+  EXPECT_EQ(counter("innet_cache_hits"), 0u);
+}
+
+TEST_F(BatchEngineFixture, TracerRecordsSampledStageBreakdowns) {
+  obs::TracerOptions tracer_options;
+  tracer_options.ring_capacity = 64;
+  tracer_options.sample_every = 10;
+  obs::Tracer tracer(tracer_options);
+  BatchEngineOptions options;
+  options.num_threads = 4;
+  options.tracer = &tracer;
+  BatchQueryEngine engine(deployment_->graph(), deployment_->store(),
+                          options);
+  engine.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
+  EXPECT_EQ(tracer.Started(), queries_.size());
+  EXPECT_EQ(tracer.Sampled(), (queries_.size() + 9) / 10);
+
+  std::vector<std::unique_ptr<obs::QueryTrace>> traces = tracer.Drain();
+  EXPECT_EQ(traces.size(),
+            std::min<size_t>(tracer.Sampled(), tracer_options.ring_capacity));
+  for (const auto& trace : traces) {
+    ASSERT_FALSE(trace->stages().empty());
+    // Every sampled query starts with a cache lookup; non-missed ones then
+    // either resolve the boundary (miss) or integrate straight away (hit).
+    EXPECT_EQ(trace->stages().front().name, "cache_lookup");
+    bool has_estimate = false;
+    for (const auto& [key, value] : trace->annotations()) {
+      if (key == "estimate") has_estimate = true;
+    }
+    EXPECT_TRUE(has_estimate);
+    EXPECT_GE(trace->TotalMicros(), 0.0);
+  }
+  // Drain empties the ring.
+  EXPECT_TRUE(tracer.Drain().empty());
 }
 
 TEST_F(BatchEngineFixture, DisabledCacheStillAnswersCorrectly) {

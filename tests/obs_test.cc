@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace innet::obs {
+namespace {
+
+// The TSan CI job runs this binary: 8 writer threads hammer one counter
+// through the sharded cells and the merged value must be exact once they
+// join.
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter("test_counter");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment(7);
+  EXPECT_EQ(counter.Value(), 7u);
+}
+
+TEST(GaugeTest, ConcurrentAddsSumExactly) {
+  Gauge gauge("test_gauge");
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.5);
+  gauge.Reset();
+
+  // Integer-valued adds are exactly representable, so the CAS loop must
+  // lose no update.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(gauge.Value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, ConcurrentObservationsCountExactly) {
+  Histogram histogram("test_latency", Histogram::LatencyBoundsMicros());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe(static_cast<double>(t * kPerThread + i) * 0.01);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, PercentileErrorWithinOneBucketWidth) {
+  // Linear buckets of width 10 over [0, 100]; observations 0.5, 1.5, ...
+  // 999.5 scaled into [0, 100) uniformly. The interpolated quantile must
+  // land within one bucket width of the exact empirical quantile.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 10; ++i) bounds.push_back(10.0 * i);
+  constexpr double kBucketWidth = 10.0;
+  Histogram histogram("test_uniform", bounds);
+  constexpr int kSamples = 1000;
+  std::vector<double> values;
+  values.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    double v = (i + 0.5) * 100.0 / kSamples;
+    values.push_back(v);
+    histogram.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    double exact = values[static_cast<size_t>(q * (kSamples - 1))];
+    double approx = histogram.Percentile(q);
+    EXPECT_NEAR(approx, exact, kBucketWidth)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+  double expected_sum = 0.0;
+  for (double v : values) expected_sum += v;
+  EXPECT_NEAR(histogram.Sum(), expected_sum, 1e-6);
+}
+
+TEST(HistogramTest, OverflowLandsInInfBucket) {
+  Histogram histogram("test_inf", {1.0, 2.0});
+  histogram.Observe(0.5);
+  histogram.Observe(1.5);
+  histogram.Observe(100.0);  // Beyond the last finite bound.
+  std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  // +inf observations report the largest finite bound rather than inf.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 2.0);
+  EXPECT_EQ(Histogram("empty", {1.0}).Percentile(0.5), 0.0);
+}
+
+TEST(RegistryTest, DedupsByNameAndListsInOrder) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("zeta", "last");
+  Counter& b = registry.GetCounter("alpha", "first");
+  Counter& a_again = registry.GetCounter("zeta");
+  EXPECT_EQ(&a, &a_again);
+  a.Increment(3);
+  b.Increment(1);
+
+  std::vector<const Counter*> counters = registry.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0]->name(), "alpha");
+  EXPECT_EQ(counters[1]->name(), "zeta");
+
+  registry.GetGauge("g").Set(4.0);
+  registry.GetHistogram("h", {1.0, 2.0}).Observe(1.5);
+  registry.ResetAll();
+  EXPECT_EQ(a.Value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g").Value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("h", {1.0, 2.0}).Count(), 0u);
+}
+
+TEST(TraceTest, NestedAndOverlappingSpansRecordDepth) {
+  QueryTrace trace(42);
+  {
+    Span outer(&trace, "outer");
+    { Span inner(&trace, "inner"); }
+    { Span inner2(&trace, "inner2"); }
+  }
+  { Span after(&trace, "after"); }
+  trace.Annotate("estimate", 12.5);
+
+  const std::vector<TraceStage>& stages = trace.stages();
+  ASSERT_EQ(stages.size(), 4u);
+  EXPECT_EQ(stages[0].name, "outer");
+  EXPECT_EQ(stages[0].depth, 0);
+  EXPECT_EQ(stages[1].name, "inner");
+  EXPECT_EQ(stages[1].depth, 1);
+  EXPECT_EQ(stages[2].name, "inner2");
+  EXPECT_EQ(stages[2].depth, 1);
+  EXPECT_EQ(stages[3].name, "after");
+  EXPECT_EQ(stages[3].depth, 0);
+
+  // Children start no earlier than the parent and end within it (span
+  // bookkeeping, not wall-clock flakiness: these are offsets of the same
+  // monotonic clock).
+  double outer_end = stages[0].start_micros + stages[0].elapsed_micros;
+  for (size_t i = 1; i <= 2; ++i) {
+    EXPECT_GE(stages[i].start_micros, stages[0].start_micros);
+    EXPECT_LE(stages[i].start_micros + stages[i].elapsed_micros,
+              outer_end + 1e-9);
+  }
+  EXPECT_GE(stages[3].start_micros, outer_end - 1e-9);
+  EXPECT_GE(trace.TotalMicros(),
+            stages[3].start_micros + stages[3].elapsed_micros - 1e-9);
+
+  ASSERT_EQ(trace.annotations().size(), 1u);
+  EXPECT_EQ(trace.annotations()[0].first, "estimate");
+
+  // Null-trace spans are no-ops.
+  Span null_span(nullptr, "ignored");
+}
+
+TEST(TracerTest, SamplingKnobAndRingEviction) {
+  TracerOptions options;
+  options.sample_every = 3;
+  options.ring_capacity = 2;
+  Tracer tracer(options);
+  std::vector<uint64_t> sampled_ids;
+  for (int i = 0; i < 10; ++i) {
+    std::unique_ptr<QueryTrace> trace = tracer.StartQuery();
+    if (trace != nullptr) sampled_ids.push_back(trace->id());
+    tracer.Finish(std::move(trace));  // Null-safe.
+  }
+  EXPECT_EQ(tracer.Started(), 10u);
+  EXPECT_EQ(tracer.Sampled(), 4u);  // Queries 0, 3, 6, 9.
+  ASSERT_EQ(sampled_ids.size(), 4u);
+
+  // The ring keeps only the newest two finished traces.
+  std::vector<std::unique_ptr<QueryTrace>> drained = tracer.Drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0]->id(), sampled_ids[2]);
+  EXPECT_EQ(drained[1]->id(), sampled_ids[3]);
+  EXPECT_TRUE(tracer.Drain().empty());
+
+  // sample_every = 0 disables tracing entirely.
+  TracerOptions off;
+  off.sample_every = 0;
+  Tracer disabled(off);
+  EXPECT_EQ(disabled.StartQuery(), nullptr);
+  EXPECT_EQ(disabled.Sampled(), 0u);
+}
+
+TEST(ExportTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", "Total requests").Increment(42);
+  registry.GetGauge("sensors_dead").Set(3.0);
+  Histogram& histogram = registry.GetHistogram("lat", {1.0, 2.0});
+  histogram.Observe(0.5);
+  histogram.Observe(1.5);
+  histogram.Observe(9.0);
+
+  std::ostringstream out;
+  WritePrometheus(registry, out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("# HELP requests_total Total requests\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sensors_dead gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("sensors_dead 3\n"), std::string::npos);
+  // Histogram buckets are cumulative and close with +Inf == _count.
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 11\n"), std::string::npos);
+}
+
+TEST(ExportTest, MetricsAndTracesJsonLines) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment(5);
+  registry.GetHistogram("h", {1.0}).Observe(0.5);
+  std::ostringstream metrics_out;
+  WriteMetricsJsonLines(registry, metrics_out);
+  std::istringstream metrics_in(metrics_out.str());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(metrics_in, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(metrics_out.str().find(
+                "{\"type\":\"counter\",\"name\":\"c\",\"value\":5}"),
+            std::string::npos);
+
+  std::vector<std::unique_ptr<QueryTrace>> traces;
+  traces.push_back(std::make_unique<QueryTrace>(7));
+  { Span span(traces.back().get(), "stage_a"); }
+  traces.back()->Annotate("cache_hit", 1.0);
+  std::ostringstream traces_out;
+  WriteTracesJsonLines(traces, traces_out);
+  std::string trace_line = traces_out.str();
+  EXPECT_NE(trace_line.find("{\"query\":7,\"total_micros\":"),
+            std::string::npos);
+  EXPECT_NE(trace_line.find("\"name\":\"stage_a\""), std::string::npos);
+  EXPECT_NE(trace_line.find("\"cache_hit\":1"), std::string::npos);
+}
+
+TEST(ExportTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// Captures emitted log records for assertions.
+struct CapturedLog {
+  static std::vector<std::string>& Lines() {
+    static std::vector<std::string> lines;
+    return lines;
+  }
+  static void Sink(LogLevel level, const char* /*file*/, int /*line*/,
+                   const std::string& message) {
+    Lines().push_back(std::string(LogLevelName(level)) + ":" + message);
+  }
+};
+
+TEST(LoggingTest, LevelsFilterAndSinkReceivesPayload) {
+  CapturedLog::Lines().clear();
+  SetLogSink(&CapturedLog::Sink);
+  LogLevel saved = MinLogLevel();
+
+  SetMinLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kError));
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  INNET_LOG(INFO) << "dropped " << touch();
+  INNET_LOG(WARN) << "kept " << touch();
+  INNET_LOG(ERROR) << "error " << 42;
+
+  // Disabled levels must not evaluate their streamed operands.
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(CapturedLog::Lines().size(), 2u);
+  EXPECT_EQ(CapturedLog::Lines()[0], "WARN:kept x");
+  EXPECT_EQ(CapturedLog::Lines()[1], "ERROR:error 42");
+
+  SetMinLogLevel(saved);
+  SetLogSink(nullptr);
+}
+
+}  // namespace
+}  // namespace innet::obs

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Fixture test: innet_query --metrics-out must dump the process metrics
+# registry in Prometheus text format, with counter values consistent with
+# the engine snapshot the tool prints on stderr, and --trace-out must write
+# one JSON object per sampled query with a stage breakdown.
+set -u
+
+dataset_bin=$1
+query_bin=$2
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$dataset_bin" generate --junctions 120 --trips 40 --horizon 600 --seed 3 \
+  --graph-out "$tmp/g.bin" --trips-out "$tmp/t.bin" >/dev/null || {
+  echo "dataset generation failed" >&2
+  exit 1
+}
+
+cat >"$tmp/batch.txt" <<'EOF'
+# three regions, the first repeated so the boundary cache gets hits
+0,0,15000,15000,0,600
+0,0,15000,15000,0,600
+0,0,8000,8000,0,300
+2000,2000,12000,12000,100,500
+0,0,15000,15000,0,600
+EOF
+
+"$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+  --batch "$tmp/batch.txt" --sample-fraction 0.3 --threads 2 \
+  --metrics-out "$tmp/metrics.prom" --trace-out "$tmp/traces.jsonl" \
+  >/dev/null 2>"$tmp/err.txt" || {
+  echo "batch query run failed:" >&2
+  cat "$tmp/err.txt" >&2
+  exit 1
+}
+
+# The engine answers each query under both bounds; stderr reports the
+# snapshot as "batch: N queries ... | cache H hits / M misses | ...".
+snapshot_hits=$(sed -n 's/.*cache \([0-9]*\) hits.*/\1/p' "$tmp/err.txt")
+snapshot_misses=$(sed -n 's/.*hits \/ \([0-9]*\) misses.*/\1/p' "$tmp/err.txt")
+[ -n "$snapshot_hits" ] && [ -n "$snapshot_misses" ] || {
+  echo "stderr snapshot line missing cache counters:" >&2
+  cat "$tmp/err.txt" >&2
+  exit 1
+}
+
+prom_value() {
+  sed -n "s/^$1 \([0-9.]*\)\$/\1/p" "$tmp/metrics.prom"
+}
+
+exported_hits=$(prom_value innet_cache_hits)
+exported_misses=$(prom_value innet_cache_misses)
+[ "$exported_hits" = "$snapshot_hits" ] || {
+  echo "innet_cache_hits=$exported_hits != snapshot hits=$snapshot_hits" >&2
+  cat "$tmp/metrics.prom" >&2
+  exit 1
+}
+[ "$exported_misses" = "$snapshot_misses" ] || {
+  echo "innet_cache_misses=$exported_misses != snapshot misses=$snapshot_misses" >&2
+  exit 1
+}
+
+# The repeated region must actually hit the cache.
+[ "$exported_hits" -gt 0 ] || {
+  echo "expected nonzero cache hits for the repeated region" >&2
+  exit 1
+}
+
+# Registered engine metrics are exported even while zero.
+grep -q '^innet_degraded_answers ' "$tmp/metrics.prom" || {
+  echo "innet_degraded_answers missing from metrics dump" >&2
+  cat "$tmp/metrics.prom" >&2
+  exit 1
+}
+grep -q '^# TYPE innet_query_latency_micros histogram$' "$tmp/metrics.prom" || {
+  echo "latency histogram missing from metrics dump" >&2
+  exit 1
+}
+
+# Traces: 5 queries x 2 bounds = 10 sampled lines, each valid JSON with a
+# stage breakdown starting at the cache lookup.
+python3 - "$tmp/traces.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 10, f"expected 10 traces, got {len(lines)}"
+for line in lines:
+    trace = json.loads(line)
+    assert "total_micros" in trace, trace
+    stages = [s["name"] for s in trace["stages"]]
+    assert stages and stages[0] == "cache_lookup", stages
+    assert "estimate" in trace, trace
+EOF

@@ -12,6 +12,13 @@
 // BatchQueryEngine instead of --rect. Each line of FILE is
 // "x0,y0,x1,y1,t1,t2" (blank lines and #-comments skipped); --threads
 // sets the worker count and --cache the boundary-cache capacity.
+//
+// Observability (docs/OBSERVABILITY.md): --metrics-out=PATH dumps the
+// process metrics registry on exit (Prometheus text format, or JSON lines
+// when PATH ends in .json/.jsonl); --trace-out=PATH writes one JSON object
+// per sampled query with its stage breakdown, --trace-sample N sampling
+// 1-in-N (batch mode); --log-level info|warn|error|off sets diagnostic
+// verbosity.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -26,8 +33,22 @@ namespace innet {
 namespace {
 
 int Fail(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
+  INNET_LOG(ERROR) << message;
   return 1;
+}
+
+// Shared exit path: dump the process registry when --metrics-out was given
+// and warn about unrecognized flags.
+int Finish(util::FlagParser& flags, const std::string& metrics_out) {
+  if (!metrics_out.empty() &&
+      !obs::ExportMetricsToFile(obs::MetricsRegistry::Global(),
+                                metrics_out)) {
+    return 1;
+  }
+  for (const std::string& unused : flags.UnusedFlags()) {
+    INNET_LOG(WARN) << "unused flag --" << unused;
+  }
+  return 0;
 }
 
 // Parses "x0,y0,x1,y1".
@@ -95,9 +116,8 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
     core::RangeQuery query;
     std::string parse_error;
     if (!core::ParseBatchQueryLine(line, network, &query, &parse_error)) {
-      std::fprintf(stderr, "error: %s:%zu: %s\n", batch_path.c_str(), lineno,
-                   parse_error.c_str());
-      return 1;
+      return Fail(batch_path + ":" + std::to_string(lineno) + ": " +
+                  parse_error);
     }
     if (query.junctions.empty()) {
       ++skipped_empty;
@@ -108,8 +128,8 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
   }
   if (queries.empty()) return Fail("batch file holds no non-empty query");
   if (skipped_empty > 0) {
-    std::fprintf(stderr, "warning: skipped %zu queries with no sensing cell\n",
-                 skipped_empty);
+    INNET_LOG(WARN) << "skipped " << skipped_empty
+                    << " queries with no sensing cell";
   }
 
   std::string error;
@@ -117,11 +137,23 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
       BuildSampledDeployment(flags, network, fraction, max_t2 + 1.0, &error);
   if (!deployment.has_value()) return Fail(error);
 
+  // The serving process exports through the global registry, so the
+  // engine's counters and the --metrics-out dump are the same storage.
   runtime::BatchEngineOptions engine_options;
   engine_options.num_threads =
       static_cast<size_t>(flags.GetInt("threads", 0));
   engine_options.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache", 4096));
+  engine_options.registry = &obs::MetricsRegistry::Global();
+
+  std::string trace_out = flags.GetString("trace-out");
+  obs::TracerOptions tracer_options;
+  tracer_options.sample_every =
+      static_cast<uint64_t>(flags.GetInt("trace-sample", 1));
+  tracer_options.ring_capacity = 4096;
+  obs::Tracer tracer(tracer_options);
+  if (!trace_out.empty()) engine_options.tracer = &tracer;
+
   runtime::BatchQueryEngine engine(deployment->graph(), deployment->store(),
                                    engine_options);
 
@@ -159,14 +191,24 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
                static_cast<unsigned long long>(snap.missed_lower),
                static_cast<unsigned long long>(snap.missed_upper),
                snap.latency_p50_micros, snap.latency_p95_micros);
-  for (const std::string& unused : flags.UnusedFlags()) {
-    std::fprintf(stderr, "warning: unused flag --%s\n", unused.c_str());
+  if (!trace_out.empty() &&
+      !obs::ExportTracesToFile(tracer.Drain(), trace_out)) {
+    return 1;
   }
-  return 0;
+  return Finish(flags, flags.GetString("metrics-out"));
 }
 
 int Main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
+  std::string log_level_name = flags.GetString("log-level");
+  if (!log_level_name.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level_name, &level)) {
+      return Fail("unknown --log-level (want info|warn|error|off): " +
+                  log_level_name);
+    }
+    SetMinLogLevel(level);
+  }
   std::string graph_path = flags.GetString("graph");
   std::string trips_path = flags.GetString("trips");
   std::string rect_text = flags.GetString("rect");
@@ -180,7 +222,9 @@ int Main(int argc, char** argv) {
                  "[--bound lower|upper] [--store exact|learned]\n"
                  "   or: innet_query --graph G --trips T --batch FILE "
                  "--sample-fraction F [--threads N] [--cache N] [--kind K] "
-                 "[--bound B] [--sampler NAME] [--store exact|learned]\n");
+                 "[--bound B] [--sampler NAME] [--store exact|learned]\n"
+                 "observability: [--metrics-out PATH] [--trace-out PATH] "
+                 "[--trace-sample N] [--log-level info|warn|error|off]\n");
     return 2;
   }
 
@@ -228,7 +272,7 @@ int Main(int argc, char** argv) {
     std::printf("%s count (exact): %.0f  [sensors=%zu edges=%zu %.1fus]\n",
                 kind_name.c_str(), answer.estimate, answer.nodes_accessed,
                 answer.edges_accessed, answer.exec_micros);
-    return 0;
+    return Finish(flags, flags.GetString("metrics-out"));
   }
 
   // Sampled path: pick a sampler, deploy, answer with both bounds.
@@ -253,10 +297,7 @@ int Main(int argc, char** argv) {
         fraction * 100.0, answer.estimate, answer.missed ? " (MISSED)" : "",
         answer.nodes_accessed, answer.edges_accessed, answer.exec_micros);
   }
-  for (const std::string& unused : flags.UnusedFlags()) {
-    std::fprintf(stderr, "warning: unused flag --%s\n", unused.c_str());
-  }
-  return 0;
+  return Finish(flags, flags.GetString("metrics-out"));
 }
 
 }  // namespace
