@@ -3,6 +3,7 @@
 // re-evaluations. Reported on synthetic coverage instances of growing size.
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "placement/submodular.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -23,10 +24,12 @@ placement::CoverageFunction RandomCoverage(size_t items, size_t universe,
   return placement::CoverageFunction(std::move(covers), {}, universe);
 }
 
-void Main() {
+int Main(const util::FlagParser& flags) {
+  JsonReport report("ablation_celf");
   util::Table table("Ablation: plain greedy vs lazy greedy (CELF)");
   table.SetHeader({"items", "budget", "plain_evals", "lazy_evals",
                    "eval_ratio", "plain_ms", "lazy_ms", "same_selection"});
+  bool all_same = true;
 
   for (size_t items : {200, 800, 2000}) {
     size_t universe = items * 4;
@@ -56,14 +59,22 @@ void Main() {
                                    1),
                   util::Table::Num(plain_ms, 2), util::Table::Num(lazy_ms, 2),
                   a.selected == b.selected ? "yes" : "NO"});
+    all_same = all_same && a.selected == b.selected;
+    std::string at = "_at_" + std::to_string(items);
+    report.Metric("plain_evals" + at, static_cast<double>(a.evaluations));
+    report.Metric("lazy_evals" + at, static_cast<double>(b.evaluations));
+    report.Metric("eval_ratio" + at, static_cast<double>(a.evaluations) /
+                                         static_cast<double>(b.evaluations));
   }
   table.Print();
+  report.Metric("same_selection", all_same ? 1.0 : 0.0);
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

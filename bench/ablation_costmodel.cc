@@ -14,11 +14,12 @@ namespace {
 
 constexpr size_t kQueries = 30;
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   const core::SensorNetwork& network = framework.network();
   std::printf("world: %zu junctions, %zu sensors\n\n",
               network.mobility().NumNodes(), network.NumSensors());
+  JsonReport report("ablation_costmodel");
 
   struct Config {
     const char* name;
@@ -59,6 +60,12 @@ void Main() {
       table.AddRow({Percent(area), util::Table::Num(predicted, 1),
                     util::Table::Num(mean_measured, 1),
                     util::Table::Num(mean_measured / predicted, 2)});
+      std::string at = "_at_" + Percent(area);
+      report.Metric(std::string(config.name) + "_predicted" + at, predicted);
+      report.Metric(std::string(config.name) + "_measured" + at,
+                    mean_measured);
+      report.Metric(std::string(config.name) + "_ratio" + at,
+                    mean_measured / predicted);
     }
     table.Print();
   }
@@ -67,12 +74,13 @@ void Main() {
       "with slope m*k*l_G; a stable measured/predicted ratio across rows "
       "validates the scaling law (the constant absorbs the non-uniformity "
       "of sensor density).\n");
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

@@ -14,11 +14,12 @@ namespace {
 
 constexpr size_t kQueries = 40;
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   const core::SensorNetwork& network = framework.network();
   std::printf("world: %zu junctions, %zu sensors\n\n",
               network.mobility().NumNodes(), network.NumSensors());
+  JsonReport report("ablation_dispatch");
 
   sampling::KdTreeSampler sampler;
   util::Rng rng(5);
@@ -65,6 +66,15 @@ void Main() {
                   util::Table::Num(static_cast<double>(wins) /
                                        static_cast<double>(queries.size()),
                                    2)});
+    std::string at = "_at_" + Percent(area);
+    report.Metric("perimeter_sensors" + at, perimeter.Summarize().mean);
+    report.Metric("direct_messages" + at, direct_msgs.Summarize().mean);
+    report.Metric("traversal_messages" + at, trav_msgs.Summarize().mean);
+    report.Metric("direct_energy" + at, direct_energy.Summarize().mean);
+    report.Metric("traversal_energy" + at, trav_energy.Summarize().mean);
+    report.Metric("traversal_win_fraction" + at,
+                  static_cast<double>(wins) /
+                      static_cast<double>(queries.size()));
   }
   table.Print();
   std::printf(
@@ -72,12 +82,13 @@ void Main() {
       "costs 20 mesh hops (§3.1's high-power radio remark). Traversal "
       "trades long links for mesh hops, winning whenever perimeters exceed "
       "a handful of sensors.\n");
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

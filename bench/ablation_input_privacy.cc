@@ -16,12 +16,13 @@ namespace {
 
 constexpr size_t kQueries = 30;
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   const core::SensorNetwork& network = framework.network();
   std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
               network.mobility().NumNodes(), network.NumSensors(),
               network.events().size());
+  JsonReport report("ablation_input_privacy");
 
   std::vector<core::RangeQuery> queries =
       MakeQueries(framework, 0.08, kQueries, 995);
@@ -50,6 +51,8 @@ void Main() {
     }
     table.AddRow({"input-perturbation", "hops=" + std::to_string(hops),
                   util::Table::Num(err.Summarize().median, 3)});
+    report.Metric("input_perturbation_err_hops_" + std::to_string(hops),
+                  err.Summarize().median);
   }
 
   for (double epsilon : {0.5, 2.0, 10.0}) {
@@ -67,6 +70,9 @@ void Main() {
     std::snprintf(knob, sizeof(knob), "epsilon=%.1f", epsilon);
     table.AddRow({"output-DP", knob,
                   util::Table::Num(err.Summarize().median, 3)});
+    char key[48];
+    std::snprintf(key, sizeof(key), "output_dp_err_epsilon_%.1f", epsilon);
+    report.Metric(key, err.Summarize().median);
   }
   table.Print();
   std::printf(
@@ -77,12 +83,13 @@ void Main() {
       "whose cost scales with the number of noisy boundary lookups, so it "
       "needs epsilon around 10 (or the shorter perimeters of a sampled "
       "graph) to match. The in-network design composes with either.\n");
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

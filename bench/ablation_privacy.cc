@@ -15,12 +15,13 @@ namespace {
 
 constexpr size_t kQueries = 40;
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   const core::SensorNetwork& network = framework.network();
   std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
               network.mobility().NumNodes(), network.NumSensors(),
               network.events().size());
+  JsonReport report("ablation_privacy");
 
   std::vector<core::RangeQuery> queries =
       MakeQueries(framework, 0.08, kQueries, 961);
@@ -73,6 +74,14 @@ void Main() {
                   util::Table::Num(err_sampled.Summarize().median, 3),
                   util::Table::Num(err_sampled_dp.Summarize().median, 3),
                   util::Table::Num(private_full.NoiseScale(), 2)});
+    char at[32];
+    std::snprintf(at, sizeof(at), "_at_epsilon_%.1f", epsilon);
+    report.Metric(std::string("unsampled_dp_err") + at,
+                  err_full.Summarize().median);
+    report.Metric(std::string("sampled_err") + at,
+                  err_sampled.Summarize().median);
+    report.Metric(std::string("sampled_dp_err") + at,
+                  err_sampled_dp.Summarize().median);
   }
   table.Print();
   std::printf(
@@ -80,12 +89,13 @@ void Main() {
       "noise dominates below epsilon ~1 and becomes negligible above ~20. "
       "Sampled graphs need fewer noisy lookups (shorter perimeters), so "
       "sampling + DP composes well.\n");
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "forms/tracking_form.h"
 #include "learned/buffered_edge_store.h"
 #include "learned/rolling_store.h"
@@ -17,7 +18,8 @@
 namespace innet::bench {
 namespace {
 
-void Main() {
+int Main(const util::FlagParser& flags) {
+  JsonReport report("ablation_stores");
   util::Table table(
       "Store ablation: one edge, growing event stream (bytes | median abs "
       "count error over the retained horizon)");
@@ -72,6 +74,16 @@ void Main() {
          util::Table::Num(buffered_err.Summarize().median, 1),
          util::Table::Num(
              rolling_err.empty() ? 0.0 : rolling_err.Summarize().median, 1)});
+    std::string at = "_at_" + std::to_string(events);
+    report.Metric("exact_bytes" + at,
+                  static_cast<double>(exact.StorageBytes()));
+    report.Metric("buffered_bytes" + at,
+                  static_cast<double>(buffered.StorageBytes()));
+    report.Metric("rolling_bytes" + at,
+                  static_cast<double>(rolling.StorageBytes()));
+    report.Metric("buffered_err" + at, buffered_err.Summarize().median);
+    report.Metric("rolling_err" + at,
+                  rolling_err.empty() ? 0.0 : rolling_err.Summarize().median);
   }
   table.Print();
   std::printf(
@@ -79,12 +91,13 @@ void Main() {
       "segments (sublinear, distribution-dependent); rolling is O(retained "
       "windows) — truly bounded — at the price of answering only over its "
       "retention horizon.\n");
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

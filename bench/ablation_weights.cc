@@ -41,11 +41,12 @@ std::vector<core::RangeQuery> HotQueries(const core::Framework& framework,
   return queries;
 }
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   const core::SensorNetwork& network = framework.network();
   std::printf("world: %zu junctions, %zu sensors\n\n",
               network.mobility().NumNodes(), network.NumSensors());
+  JsonReport report("ablation_weights");
 
   std::vector<core::RangeQuery> history = HotQueries(framework, 60, 981);
   std::vector<core::RangeQuery> eval = HotQueries(framework, kQueries, 982);
@@ -84,18 +85,23 @@ void Main() {
     double improvement = plain > 0 ? (plain - weighted) / plain : 0.0;
     table.AddRow({std::string(sampler->Name()), util::Table::Num(plain, 3),
                   util::Table::Num(weighted, 3), Percent(improvement, 1)});
+    std::string name(sampler->Name());
+    report.Metric(name + "_plain_err", plain);
+    report.Metric(name + "_weighted_err", weighted);
+    report.Metric(name + "_improvement", improvement);
   }
   table.Print();
   std::printf(
       "reading guide: density-following samplers (uniform) gain the most; "
       "grid/cell samplers shift only within cells, so their gain is "
       "smaller by construction.\n");
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

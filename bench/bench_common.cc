@@ -262,4 +262,12 @@ bool JsonReport::WriteTo(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+bool JsonReport::WriteFlagged(const util::FlagParser& flags) const {
+  std::string json_path = flags.GetString("json");
+  if (flags.Has("json") && json_path.empty()) {
+    json_path = "BENCH_" + name_ + ".json";
+  }
+  return WriteTo(json_path);
+}
+
 }  // namespace innet::bench

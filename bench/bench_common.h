@@ -18,6 +18,7 @@
 #include "core/framework.h"
 #include "core/workload.h"
 #include "sampling/samplers.h"
+#include "util/flags.h"
 #include "util/stats.h"
 
 namespace innet::bench {
@@ -129,6 +130,11 @@ class JsonReport {
   /// An empty path is a silent no-op returning true, so call sites can pass
   /// the flag value through unconditionally.
   bool WriteTo(const std::string& path) const;
+
+  /// Handles the shared --json[=PATH] flag: absent is a no-op, bare
+  /// `--json` defaults to BENCH_<bench_name>.json, `--json=PATH` writes to
+  /// PATH. Returns false on I/O failure — every bench's exit code.
+  bool WriteFlagged(const util::FlagParser& flags) const;
 
  private:
   void Upsert(std::vector<std::pair<std::string, std::string>>* entries,

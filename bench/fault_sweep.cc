@@ -207,11 +207,7 @@ int Main(const util::FlagParser& flags) {
       "%zu perimeter sensors; energy_x = lossy-channel energy relative to "
       "the ideal channel (retransmissions charged pro rata).\n",
       perimeter.size());
-  std::string json_path = flags.GetString("json");
-  if (flags.Has("json") && json_path.empty()) {
-    json_path = "BENCH_fault_sweep.json";
-  }
-  return report.WriteTo(json_path) ? 0 : 1;
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace

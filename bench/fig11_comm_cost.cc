@@ -17,12 +17,13 @@ namespace {
 
 constexpr size_t kQueriesPerConfig = 50;
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   const core::SensorNetwork& network = framework.network();
   std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
               network.mobility().NumNodes(), network.NumSensors(),
               network.events().size());
+  JsonReport report("fig11_comm_cost");
 
   sampling::KdTreeSampler sampler;
   size_t m_small = static_cast<size_t>(0.064 * network.NumSensors());
@@ -67,6 +68,15 @@ void Main() {
     time.AddRow({Percent(area), util::Table::Num(r_small.mean_sim_micros, 2),
                  util::Table::Num(r_large.mean_sim_micros, 2),
                  util::Table::Num(r_full.mean_sim_micros, 2)});
+
+    std::string at = "_at_" + Percent(area);
+    report.Metric("nodes_sampled_6.4" + at, r_small.mean_nodes_accessed);
+    report.Metric("nodes_sampled_51.2" + at, r_large.mean_nodes_accessed);
+    report.Metric("nodes_unsampled" + at, r_full.mean_nodes_accessed);
+    report.Metric("nodes_baseline_6.4" + at, r_base.mean_nodes_accessed);
+    report.Metric("sim_micros_sampled_6.4" + at, r_small.mean_sim_micros);
+    report.Metric("sim_micros_sampled_51.2" + at, r_large.mean_sim_micros);
+    report.Metric("sim_micros_unsampled" + at, r_full.mean_sim_micros);
   }
   nodes.Print();
   time.Print();
@@ -85,12 +95,14 @@ void Main() {
       "sensors-accessed reduction at 6.4%% graph, 8%% queries: %.2f%% "
       "(paper reports 69.81%%)\n",
       reduction * 100.0);
+  report.Metric("sensors_accessed_reduction", reduction);
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

@@ -27,12 +27,13 @@ double CdfAt(const std::vector<size_t>& sorted, size_t threshold) {
          static_cast<double>(std::max<size_t>(1, sorted.size()));
 }
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   const core::SensorNetwork& network = framework.network();
   std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
               network.mobility().NumNodes(), network.NumSensors(),
               network.events().size());
+  JsonReport report("fig11_storage");
 
   sampling::KdTreeSampler sampler;
   size_t m = static_cast<size_t>(0.256 * network.NumSensors());
@@ -90,22 +91,27 @@ void Main() {
   totals.SetHeader({"store", "bytes", "reduction"});
   size_t exact_total = exact_dep.StorageBytes();
   totals.AddRow({"exact", std::to_string(exact_total), "-"});
+  report.Metric("exact_bytes", static_cast<double>(exact_total));
   for (size_t i = 0; i < models.size(); ++i) {
     size_t bytes = learned_deps[i].StorageBytes();
     double reduction =
         1.0 - static_cast<double>(bytes) / static_cast<double>(exact_total);
     totals.AddRow({models[i].name, std::to_string(bytes),
                    Percent(reduction, 2)});
+    std::string name = models[i].name;
+    report.Metric(name + "_bytes", static_cast<double>(bytes));
+    report.Metric(name + "_reduction", reduction);
   }
   totals.Print();
   std::printf("paper headline: 99.96%% storage reduction with constant-size "
               "models\n");
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

@@ -29,8 +29,10 @@ double BaselineError(const core::Framework& framework, size_t m,
   return err.Summarize().median;
 }
 
-void Sweep(const core::Framework& framework, bool sweep_graph_size) {
+void Sweep(const core::Framework& framework, bool sweep_graph_size,
+           JsonReport* report) {
   const core::SensorNetwork& network = framework.network();
+  const char* axis = sweep_graph_size ? "graph" : "query";
   util::Table table(sweep_graph_size
                         ? "Fig 11a: transient lower-bound relative error vs "
                           "sampled graph size (query area 4%)"
@@ -56,32 +58,39 @@ void Sweep(const core::Framework& framework, bool sweep_graph_size) {
     std::vector<Method> methods = AllMethods(
         std::make_shared<std::vector<core::RangeQuery>>(queries));
     std::vector<std::string> row = {Percent(x)};
+    std::string at = "_at_" + Percent(x);
     for (const Method& method : methods) {
       EvalResult result = EvaluateMethod(
           framework, method, m, core::DeploymentOptions{}, queries,
           core::CountKind::kTransient, core::BoundMode::kLower, kReps);
       row.push_back(util::Table::Num(result.err_median, 3));
+      report->Metric(std::string(axis) + "_" + method.name + at,
+                     result.err_median);
     }
-    row.push_back(util::Table::Num(BaselineError(framework, m, queries), 3));
+    double baseline_err = BaselineError(framework, m, queries);
+    row.push_back(util::Table::Num(baseline_err, 3));
+    report->Metric(std::string(axis) + "_baseline" + at, baseline_err);
     table.AddRow(row);
   }
   table.Print();
 }
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
               framework.network().mobility().NumNodes(),
               framework.network().NumSensors(),
               framework.network().events().size());
-  Sweep(framework, /*sweep_graph_size=*/true);
-  Sweep(framework, /*sweep_graph_size=*/false);
+  JsonReport report("fig11_transient_error");
+  Sweep(framework, /*sweep_graph_size=*/true, &report);
+  Sweep(framework, /*sweep_graph_size=*/false, &report);
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

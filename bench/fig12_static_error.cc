@@ -33,7 +33,7 @@ double BaselineError(const core::Framework& framework, size_t m,
   return err.Summarize().median;
 }
 
-void RunGraphSizeSweep(const core::Framework& framework) {
+void RunGraphSizeSweep(const core::Framework& framework, JsonReport* report) {
   const core::SensorNetwork& network = framework.network();
   // Fixed query size (paper: 1.08% of the sensing area; 4% at our smaller
   // scale — see EXPERIMENTS.md).
@@ -54,19 +54,23 @@ void RunGraphSizeSweep(const core::Framework& framework) {
     size_t m = std::max<size_t>(
         1, static_cast<size_t>(frac * network.NumSensors()));
     std::vector<std::string> row = {Percent(frac)};
+    std::string at = "_at_" + Percent(frac);
     for (const Method& method : methods) {
       EvalResult result = EvaluateMethod(
           framework, method, m, core::DeploymentOptions{}, queries,
           core::CountKind::kStatic, core::BoundMode::kLower, kReps);
       row.push_back(util::Table::Num(result.err_median, 3));
+      report->Metric("graph_" + method.name + at, result.err_median);
     }
-    row.push_back(util::Table::Num(BaselineError(framework, m, queries), 3));
+    double baseline_err = BaselineError(framework, m, queries);
+    row.push_back(util::Table::Num(baseline_err, 3));
+    report->Metric("graph_baseline" + at, baseline_err);
     table.AddRow(row);
   }
   table.Print();
 }
 
-void RunQuerySizeSweep(const core::Framework& framework) {
+void RunQuerySizeSweep(const core::Framework& framework, JsonReport* report) {
   const core::SensorNetwork& network = framework.network();
   // Fixed sampled-graph size: the paper's median 6%.
   size_t m = static_cast<size_t>(0.064 * network.NumSensors());
@@ -87,33 +91,39 @@ void RunQuerySizeSweep(const core::Framework& framework) {
     std::vector<Method> methods = AllMethods(
         std::make_shared<std::vector<core::RangeQuery>>(queries));
     std::vector<std::string> row = {Percent(area)};
+    std::string at = "_at_" + Percent(area);
     for (const Method& method : methods) {
       EvalResult result = EvaluateMethod(
           framework, method, m, core::DeploymentOptions{}, queries,
           core::CountKind::kStatic, core::BoundMode::kLower, kReps);
       row.push_back(util::Table::Num(result.err_median, 3));
+      report->Metric("query_" + method.name + at, result.err_median);
     }
-    row.push_back(util::Table::Num(BaselineError(framework, m, queries), 3));
+    double baseline_err = BaselineError(framework, m, queries);
+    row.push_back(util::Table::Num(baseline_err, 3));
+    report->Metric("query_baseline" + at, baseline_err);
     table.AddRow(row);
   }
   table.Print();
 }
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   std::printf("world: %zu junctions, %zu roads, %zu sensors, %zu events\n\n",
               framework.network().mobility().NumNodes(),
               framework.network().mobility().NumEdges(),
               framework.network().NumSensors(),
               framework.network().events().size());
-  RunGraphSizeSweep(framework);
-  RunQuerySizeSweep(framework);
+  JsonReport report("fig12_static_error");
+  RunGraphSizeSweep(framework, &report);
+  RunQuerySizeSweep(framework, &report);
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

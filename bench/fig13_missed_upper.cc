@@ -14,8 +14,10 @@ namespace {
 constexpr size_t kQueriesPerConfig = 40;
 constexpr size_t kReps = 3;
 
-void Sweep(const core::Framework& framework, bool sweep_graph_size) {
+void Sweep(const core::Framework& framework, bool sweep_graph_size,
+           JsonReport* report) {
   const core::SensorNetwork& network = framework.network();
+  const char* axis = sweep_graph_size ? "graph" : "query";
   util::Table missed(sweep_graph_size
                          ? "Fig 13a: fraction of queries missed vs graph "
                            "size (query area 4%, lower bound)"
@@ -47,6 +49,7 @@ void Sweep(const core::Framework& framework, bool sweep_graph_size) {
         std::make_shared<std::vector<core::RangeQuery>>(queries));
     std::vector<std::string> row_missed = {Percent(x)};
     std::vector<std::string> row_upper = {Percent(x)};
+    std::string at = "_at_" + Percent(x);
     for (const Method& method : methods) {
       EvalResult lower = EvaluateMethod(
           framework, method, m, core::DeploymentOptions{}, queries,
@@ -56,6 +59,10 @@ void Sweep(const core::Framework& framework, bool sweep_graph_size) {
           core::CountKind::kStatic, core::BoundMode::kUpper, kReps);
       row_missed.push_back(util::Table::Num(lower.missed_fraction, 3));
       row_upper.push_back(util::Table::Num(upper_result.ratio_mean, 2));
+      report->Metric(std::string(axis) + "_missed_" + method.name + at,
+                     lower.missed_fraction);
+      report->Metric(std::string(axis) + "_upper_ratio_" + method.name + at,
+                     upper_result.ratio_mean);
     }
     missed.AddRow(row_missed);
     upper.AddRow(row_upper);
@@ -64,20 +71,22 @@ void Sweep(const core::Framework& framework, bool sweep_graph_size) {
   upper.Print();
 }
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
               framework.network().mobility().NumNodes(),
               framework.network().NumSensors(),
               framework.network().events().size());
-  Sweep(framework, /*sweep_graph_size=*/true);
-  Sweep(framework, /*sweep_graph_size=*/false);
+  JsonReport report("fig13_missed_upper");
+  Sweep(framework, /*sweep_graph_size=*/true, &report);
+  Sweep(framework, /*sweep_graph_size=*/false, &report);
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

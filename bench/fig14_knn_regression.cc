@@ -15,7 +15,7 @@ namespace {
 
 constexpr size_t kQueriesPerConfig = 40;
 
-void ConnectivitySweep(const core::Framework& framework) {
+void ConnectivitySweep(const core::Framework& framework, JsonReport* report) {
   const core::SensorNetwork& network = framework.network();
   sampling::QuadTreeSampler sampler;  // Paper: QuadTree sampling for Fig 14a.
   size_t m = static_cast<size_t>(0.064 * network.NumSensors());
@@ -56,12 +56,16 @@ void ConnectivitySweep(const core::Framework& framework) {
         MakeQueries(framework, area, kQueriesPerConfig, 941);
     std::vector<std::string> row_err = {Percent(area)};
     std::vector<std::string> row_edges = {Percent(area)};
-    for (const core::Deployment& dep : deployments) {
-      EvalResult result =
-          EvaluateDeployment(network, dep, queries, core::CountKind::kStatic,
-                             core::BoundMode::kLower);
+    std::string at = "_at_" + Percent(area);
+    for (size_t i = 0; i < deployments.size(); ++i) {
+      EvalResult result = EvaluateDeployment(network, deployments[i], queries,
+                                             core::CountKind::kStatic,
+                                             core::BoundMode::kLower);
       row_err.push_back(util::Table::Num(result.err_median, 3));
       row_edges.push_back(util::Table::Num(result.mean_edges_accessed, 1));
+      report->Metric("err_" + configs[i].name + at, result.err_median);
+      report->Metric("edges_" + configs[i].name + at,
+                     result.mean_edges_accessed);
     }
     err.AddRow(row_err);
     edges.AddRow(row_edges);
@@ -72,7 +76,7 @@ void ConnectivitySweep(const core::Framework& framework) {
 
 // Fig 14c/d: error of the regression stores RELATIVE to the exact store on
 // the same graph (not relative to the unsampled truth).
-void RegressionSweep(const core::Framework& framework) {
+void RegressionSweep(const core::Framework& framework, JsonReport* report) {
   const core::SensorNetwork& network = framework.network();
   sampling::KdTreeSampler sampler;
   size_t m = static_cast<size_t>(0.128 * network.NumSensors());
@@ -113,6 +117,7 @@ void RegressionSweep(const core::Framework& framework) {
     std::vector<core::RangeQuery> queries =
         MakeQueries(framework, area, kQueriesPerConfig, 942);
     std::vector<std::string> row = {Percent(area)};
+    std::string at = "_at_" + Percent(area);
     core::SampledQueryProcessor exact_proc = exact_dep.processor();
     for (size_t i = 0; i < models.size(); ++i) {
       core::SampledQueryProcessor learned_proc = learned_deps[i].processor();
@@ -127,8 +132,9 @@ void RegressionSweep(const core::Framework& framework) {
         if (a.missed) continue;
         err.Add(util::RelativeError(a.estimate, b.estimate));
       }
-      row.push_back(
-          util::Table::Num(err.empty() ? 0.0 : err.Summarize().median, 4));
+      double median = err.empty() ? 0.0 : err.Summarize().median;
+      row.push_back(util::Table::Num(median, 4));
+      report->Metric(std::string("model_err_") + models[i].name + at, median);
     }
     table.AddRow(row);
   }
@@ -136,20 +142,22 @@ void RegressionSweep(const core::Framework& framework) {
   std::printf("paper: regression models add ~2.5%% error on average\n");
 }
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   std::printf("world: %zu junctions, %zu sensors, %zu events\n\n",
               framework.network().mobility().NumNodes(),
               framework.network().NumSensors(),
               framework.network().events().size());
-  ConnectivitySweep(framework);
-  RegressionSweep(framework);
+  JsonReport report("fig14_knn_regression");
+  ConnectivitySweep(framework, &report);
+  RegressionSweep(framework, &report);
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

@@ -53,12 +53,15 @@ PlacementStats Analyze(const core::SensorNetwork& network,
   return stats;
 }
 
-void Main() {
+int Main(const util::FlagParser& flags) {
   core::Framework framework(DefaultWorld());
   const core::SensorNetwork& network = framework.network();
   std::printf("world: %zu junctions, %zu sensors\n\n",
               network.mobility().NumNodes(), network.NumSensors());
   size_t m = static_cast<size_t>(0.1 * network.NumSensors());
+  JsonReport report("fig4_samplers");
+  report.Metric("sensors", static_cast<double>(network.NumSensors()));
+  report.Metric("m", static_cast<double>(m));
 
   util::Table table(
       "Fig 4: sensor placement character per sampler (m = 10% of sensors)");
@@ -77,6 +80,10 @@ void Main() {
                   std::to_string(stats.quadrant[3]),
                   util::Table::Num(stats.mean_nn_distance, 0),
                   util::Table::Num(stats.cv_nn_distance, 2)});
+    std::string name(sampler->Name());
+    report.Metric(name + "_selected", static_cast<double>(stats.count));
+    report.Metric(name + "_mean_nn_distance", stats.mean_nn_distance);
+    report.Metric(name + "_nn_distance_cv", stats.cv_nn_distance);
   }
 
   // Submodular placement (Fig. 4f): regions selected from 100 historical
@@ -103,12 +110,17 @@ void Main() {
       "(regular spread); uniform follows sensor density; submodular clusters "
       "on historical query boundaries (%zu atoms from %zu queries).\n",
       atoms.size(), history.size());
+  report.Metric("submodular_selected", static_cast<double>(stats.count));
+  report.Metric("submodular_mean_nn_distance", stats.mean_nn_distance);
+  report.Metric("submodular_nn_distance_cv", stats.cv_nn_distance);
+  report.Metric("submodular_atoms", static_cast<double>(atoms.size()));
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace innet::bench
 
-int main() {
-  innet::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  innet::util::FlagParser flags(argc, argv);
+  return innet::bench::Main(flags);
 }

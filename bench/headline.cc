@@ -206,11 +206,59 @@ int Main(const util::FlagParser& flags) {
   report.Metric("batch_latency_p50_micros", snap.latency_p50_micros);
   report.Metric("batch_latency_p95_micros", snap.latency_p95_micros);
 
-  std::string json_path = flags.GetString("json");
-  if (flags.Has("json") && json_path.empty()) {
-    json_path = "BENCH_headline.json";
+  // --- Online accuracy: shadow execution at 1-in-8 must stay (nearly)
+  // free on the hot path, since shadow checks run off-peak on their own
+  // thread. Both engines are cache-warm; best-of-5 damps scheduler noise.
+  // The measured error doubles as the bench's accuracy section. ---
+  obs::AccuracyMonitorOptions accuracy_options;
+  accuracy_options.shadow_every = 8;
+  accuracy_options.total_cells = network.mobility().NumNodes();
+  accuracy_options.registry = &obs::MetricsRegistry::Global();
+  obs::AccuracyMonitor accuracy(accuracy_options);
+  runtime::BatchEngineOptions shadow_options = engine_options;
+  shadow_options.accuracy = &accuracy;
+  runtime::BatchQueryEngine shadow_engine(dep.graph(), dep.store(),
+                                          shadow_options);
+  shadow_engine.AnswerBatch(batch, core::CountKind::kStatic,
+                            core::BoundMode::kLower);
+  constexpr int kOverheadReps = 5;
+  double base_best = 0.0;
+  double shadow_best = 0.0;
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    util::Timer base_timer;
+    engine.AnswerBatch(batch, core::CountKind::kStatic,
+                       core::BoundMode::kLower);
+    double base = base_timer.ElapsedSeconds();
+    if (rep == 0 || base < base_best) base_best = base;
+    util::Timer shadow_timer;
+    shadow_engine.AnswerBatch(batch, core::CountKind::kStatic,
+                              core::BoundMode::kLower);
+    double shadowed = shadow_timer.ElapsedSeconds();
+    if (rep == 0 || shadowed < shadow_best) shadow_best = shadowed;
   }
-  if (!report.WriteTo(json_path)) return 1;
+  shadow_engine.FlushShadow();
+  double shadow_overhead =
+      (shadow_best - base_best) / std::max(base_best, 1e-9);
+  std::printf(
+      "\nshadow accuracy (1-in-8): %llu checks | mean |rel err|=%.4f "
+      "signed=%.4f | hot-path overhead %.1f%%\n",
+      static_cast<unsigned long long>(accuracy.Comparisons()),
+      accuracy.MeanAbsRelError(), accuracy.MeanSignedRelError(),
+      shadow_overhead * 100.0);
+  report.Metric("shadow_checks", static_cast<double>(accuracy.Comparisons()));
+  report.Metric("shadow_mean_abs_rel_error", accuracy.MeanAbsRelError());
+  report.Metric("shadow_mean_signed_rel_error",
+                accuracy.MeanSignedRelError());
+  report.Metric("shadow_overhead_fraction", shadow_overhead);
+  if (tiny && shadow_overhead >= 0.15) {
+    std::fprintf(stderr,
+                 "FAIL: shadow execution cost %.1f%% of headline throughput "
+                 "(budget: <15%%)\n",
+                 shadow_overhead * 100.0);
+    return 1;
+  }
+
+  if (!report.WriteFlagged(flags)) return 1;
   std::string metrics_out = flags.GetString("metrics-out");
   if (!metrics_out.empty() &&
       !obs::ExportMetricsToFile(obs::MetricsRegistry::Global(),

@@ -129,11 +129,7 @@ int Main(const util::FlagParser& flags) {
       "cold = first pass (cache filling), warm = second pass (boundary "
       "resolution fully cached). Thread speedups require physical cores; "
       "warm-vs-serial also holds on one core.\n");
-  std::string json_path = flags.GetString("json");
-  if (flags.Has("json") && json_path.empty()) {
-    json_path = "BENCH_throughput_scaling.json";
-  }
-  return report.WriteTo(json_path) ? 0 : 1;
+  return report.WriteFlagged(flags) ? 0 : 1;
 }
 
 }  // namespace

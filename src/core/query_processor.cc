@@ -1,5 +1,8 @@
 #include "core/query_processor.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/degraded.h"
 #include "forms/region_count.h"
 #include "obs/metrics.h"
@@ -42,9 +45,54 @@ obs::Counter& UnsampledQueries() {
 
 }  // namespace
 
+void FillExplainResolution(const SampledGraph& sampled,
+                           const RangeQuery& query, CountKind kind,
+                           BoundMode bound,
+                           const std::vector<uint32_t>& faces,
+                           const forms::EdgeCountStore& store,
+                           obs::ExplainRecord* explain) {
+  explain->kind = CountKindName(kind);
+  explain->bound = BoundModeName(bound);
+  explain->path = "sampled";
+  explain->faces = faces;
+  std::sort(explain->faces.begin(), explain->faces.end());
+  explain->region_cells = query.junctions.size();
+  explain->resolved_cells = 0;
+  for (uint32_t face : faces) {
+    explain->resolved_cells += sampled.FaceSize(face);
+  }
+  // Lower bounds cover a subset of Q_R's cells, upper bounds a superset;
+  // either way the symmetric difference is |resolved - region|.
+  explain->deadspace_fraction =
+      explain->region_cells == 0
+          ? 0.0
+          : std::abs(static_cast<double>(explain->resolved_cells) -
+                     static_cast<double>(explain->region_cells)) /
+                static_cast<double>(explain->region_cells);
+  forms::StoreProvenance provenance = store.Provenance();
+  explain->store = provenance.kind;
+  explain->store_modeled_events = provenance.modeled_events;
+  explain->store_raw_events = provenance.raw_events;
+}
+
+void FillExplainAnswer(const QueryAnswer& answer,
+                       obs::ExplainRecord* explain) {
+  explain->missed = answer.missed;
+  explain->degraded = answer.degraded;
+  explain->answer = answer.estimate;
+  explain->interval_lo = answer.interval.lo;
+  explain->interval_hi = answer.interval.hi;
+  explain->interval_width = answer.interval.Width();
+  explain->boundary_edges = answer.edges_accessed;
+  explain->boundary_sensors = answer.nodes_accessed;
+  explain->dead_boundary_edges = answer.dead_boundary_edges;
+  explain->rerouted_faces = answer.rerouted_faces;
+}
+
 QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
                                           CountKind kind, BoundMode bound,
-                                          obs::QueryTrace* trace) const {
+                                          obs::QueryTrace* trace,
+                                          obs::ExplainRecord* explain) const {
   util::Timer timer;
   QueryAnswer answer;
   ProcessorQueries().Increment();
@@ -56,11 +104,16 @@ QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
         bound == BoundMode::kLower
             ? sampled_->LowerBoundFaces(query.junctions)
             : sampled_->UpperBoundFaces(query.junctions);
+    if (explain != nullptr) {
+      FillExplainResolution(*sampled_, query, kind, bound, faces, *store_,
+                            explain);
+    }
     if (faces.empty()) {
       answer.missed = true;
       answer.exec_micros = timer.ElapsedMicros();
       ProcessorMissed().Increment();
       if (trace != nullptr) trace->Annotate("missed", 1.0);
+      if (explain != nullptr) FillExplainAnswer(answer, explain);
       return answer;
     }
     boundary = sampled_->BoundaryOfFaces(faces);
@@ -79,13 +132,14 @@ QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
   answer.edges_accessed = boundary.edges.size();
   answer.exec_micros = timer.ElapsedMicros();
   if (trace != nullptr) trace->Annotate("estimate", answer.estimate);
+  if (explain != nullptr) FillExplainAnswer(answer, explain);
   return answer;
 }
 
 QueryAnswer SampledQueryProcessor::AnswerDegraded(
     const RangeQuery& query, CountKind kind, BoundMode bound,
     const SensorHealthView& health, const DegradedOptions& options,
-    obs::QueryTrace* trace) const {
+    obs::QueryTrace* trace, obs::ExplainRecord* explain) const {
   util::Timer timer;
   ProcessorQueries().Increment();
   DegradedBoundary resolved;
@@ -95,6 +149,10 @@ QueryAnswer SampledQueryProcessor::AnswerDegraded(
         bound == BoundMode::kLower
             ? sampled_->LowerBoundFaces(query.junctions)
             : sampled_->UpperBoundFaces(query.junctions);
+    if (explain != nullptr) {
+      FillExplainResolution(*sampled_, query, kind, bound, faces, *store_,
+                            explain);
+    }
     resolved = ResolveDegradedBoundary(*sampled_, faces, health, options);
   }
   QueryAnswer answer;
@@ -106,6 +164,10 @@ QueryAnswer SampledQueryProcessor::AnswerDegraded(
   if (answer.missed) ProcessorMissed().Increment();
   if (answer.degraded) ProcessorDegraded().Increment();
   answer.exec_micros = timer.ElapsedMicros();
+  if (explain != nullptr) {
+    FillExplainAnswer(answer, explain);
+    if (answer.degraded) explain->path = "degraded";
+  }
   return answer;
 }
 
@@ -137,7 +199,8 @@ std::vector<double> SampledQueryProcessor::AnswerSeries(
 }
 
 QueryAnswer UnsampledQueryProcessor::Answer(const RangeQuery& query,
-                                            CountKind kind) const {
+                                            CountKind kind,
+                                            obs::ExplainRecord* explain) const {
   util::Timer timer;
   QueryAnswer answer;
   UnsampledQueries().Increment();
@@ -182,6 +245,20 @@ QueryAnswer UnsampledQueryProcessor::Answer(const RangeQuery& query,
   }
   answer.nodes_accessed = sensors;
   answer.exec_micros = timer.ElapsedMicros();
+  if (explain != nullptr) {
+    explain->kind = CountKindName(kind);
+    explain->bound = "exact";
+    explain->path = "unsampled";
+    explain->region_cells = query.junctions.size();
+    explain->resolved_cells = query.junctions.size();
+    explain->deadspace_fraction = 0.0;
+    forms::StoreProvenance provenance =
+        network_->reference_store().Provenance();
+    explain->store = provenance.kind;
+    explain->store_modeled_events = provenance.modeled_events;
+    explain->store_raw_events = provenance.raw_events;
+    FillExplainAnswer(answer, explain);
+  }
   return answer;
 }
 

@@ -8,6 +8,7 @@
 #include "core/sampled_graph.h"
 #include "core/sensor_network.h"
 #include "forms/edge_count_store.h"
+#include "obs/explain.h"
 #include "obs/trace.h"
 
 namespace innet::core {
@@ -27,10 +28,12 @@ class SampledQueryProcessor {
   /// `trace` (optional) records the boundary-resolution and
   /// form-integration stage spans of this query (docs/OBSERVABILITY.md).
   /// Every call also feeds the `innet_processor_*` metrics of the global
-  /// registry.
+  /// registry. `explain` (optional) receives the answer's provenance —
+  /// resolved faces, dead-space fraction, boundary size, store family —
+  /// which is deterministic for a given deployment and query.
   QueryAnswer Answer(const RangeQuery& query, CountKind kind,
-                     BoundMode bound,
-                     obs::QueryTrace* trace = nullptr) const;
+                     BoundMode bound, obs::QueryTrace* trace = nullptr,
+                     obs::ExplainRecord* explain = nullptr) const;
 
   /// Fault-tolerant answering (docs/FAULTS.md): when the resolved region's
   /// boundary touches edges owned by sensors `health` reports failed, the
@@ -42,7 +45,8 @@ class SampledQueryProcessor {
   QueryAnswer AnswerDegraded(const RangeQuery& query, CountKind kind,
                              BoundMode bound, const SensorHealthView& health,
                              const DegradedOptions& options,
-                             obs::QueryTrace* trace = nullptr) const;
+                             obs::QueryTrace* trace = nullptr,
+                             obs::ExplainRecord* explain = nullptr) const;
 
   /// Time-series evaluation: static counts of the query's region at
   /// `steps` evenly spaced instants spanning [query.t1, query.t2]
@@ -59,6 +63,23 @@ class SampledQueryProcessor {
   const forms::EdgeCountStore* store_;
 };
 
+/// Fills the resolution-side provenance fields of `explain` (kind, bound,
+/// faces sorted ascending, region/resolved cell counts, dead-space
+/// fraction, store provenance). Shared by SampledQueryProcessor and
+/// runtime::BatchQueryEngine so cached and fresh resolutions explain
+/// identically. `explain` must be non-null.
+void FillExplainResolution(const SampledGraph& sampled,
+                           const RangeQuery& query, CountKind kind,
+                           BoundMode bound,
+                           const std::vector<uint32_t>& faces,
+                           const forms::EdgeCountStore& store,
+                           obs::ExplainRecord* explain);
+
+/// Mirrors the answer-side fields of `answer` into `explain` (estimate,
+/// interval, miss/degraded flags, reroute counts). Timing fields are
+/// deliberately NOT copied — explain output stays deterministic.
+void FillExplainAnswer(const QueryAnswer& answer, obs::ExplainRecord* explain);
+
 /// Exact processor over the full sensing graph. Per §5.4, the unsampled
 /// system floods every sensor inside the query region, so nodes_accessed
 /// grows with the region area.
@@ -67,7 +88,10 @@ class UnsampledQueryProcessor {
   explicit UnsampledQueryProcessor(const SensorNetwork& network)
       : network_(&network) {}
 
-  QueryAnswer Answer(const RangeQuery& query, CountKind kind) const;
+  /// `explain` (optional) receives provenance; the exact path has no
+  /// sampled faces and no dead space, so those fields stay empty/zero.
+  QueryAnswer Answer(const RangeQuery& query, CountKind kind,
+                     obs::ExplainRecord* explain = nullptr) const;
 
  private:
   const SensorNetwork* network_;

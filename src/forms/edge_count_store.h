@@ -22,9 +22,22 @@ namespace innet::forms {
 /// (runtime::BatchQueryEngine relies on this). Mutating calls
 /// (RecordTraversal on the concrete types) require external
 /// synchronization and must not overlap reads.
+/// How a store derives its counts, for answer provenance (obs/explain.h):
+/// the store family plus the split between events folded into constant-size
+/// count models and events still held raw (exact sequences or buffers).
+struct StoreProvenance {
+  const char* kind = "exact";
+  size_t modeled_events = 0;
+  size_t raw_events = 0;
+};
+
 class EdgeCountStore {
  public:
   virtual ~EdgeCountStore() = default;
+
+  /// Provenance of this store's counts. The default describes a fully
+  /// exact store with an unknown event total; concrete stores override.
+  virtual StoreProvenance Provenance() const { return {}; }
 
   /// Estimated number of traversals of `road` in the given direction with
   /// timestamp <= t. Exact stores return integers; learned stores may return

@@ -38,6 +38,9 @@ class TrackingForm : public EdgeCountStore {
   size_t TotalEvents() const;
 
   // EdgeCountStore:
+  StoreProvenance Provenance() const override {
+    return {"exact", 0, TotalEvents()};
+  }
   double CountUpTo(graph::EdgeId road, bool forward, double t) const override;
   size_t StorageBytes() const override;
   size_t StorageBytesForEdge(graph::EdgeId road) const override;

@@ -59,10 +59,12 @@
 #include "learned/rolling_store.h"       // IWYU pragma: export
 #include "privacy/private_store.h"       // IWYU pragma: export
 
-// Observability: metrics, tracing, exporters.
-#include "obs/export.h"  // IWYU pragma: export
-#include "obs/metrics.h" // IWYU pragma: export
-#include "obs/trace.h"   // IWYU pragma: export
+// Observability: metrics, tracing, exporters, accuracy, provenance.
+#include "obs/accuracy.h" // IWYU pragma: export
+#include "obs/explain.h"  // IWYU pragma: export
+#include "obs/export.h"   // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
 
 // Sensor selection.
 #include "placement/query_adaptive.h" // IWYU pragma: export

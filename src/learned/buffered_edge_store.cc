@@ -34,6 +34,12 @@ const CountModel* BufferedEdgeStore::ModelFor(graph::EdgeId road,
   return State(road, forward).model.get();
 }
 
+size_t BufferedEdgeStore::BufferedEvents() const {
+  size_t buffered = 0;
+  for (const DirectionState& state : states_) buffered += state.buffer.size();
+  return buffered;
+}
+
 double BufferedEdgeStore::CountUpTo(graph::EdgeId road, bool forward,
                                     double t) const {
   const DirectionState& state = State(road, forward);

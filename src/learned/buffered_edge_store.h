@@ -39,7 +39,15 @@ class BufferedEdgeStore : public forms::EdgeCountStore {
   /// Total events ingested.
   size_t TotalEvents() const { return total_events_; }
 
+  /// Events currently held raw in direction buffers (not yet folded into a
+  /// model); TotalEvents() - BufferedEvents() have been modeled.
+  size_t BufferedEvents() const;
+
   // EdgeCountStore:
+  forms::StoreProvenance Provenance() const override {
+    size_t raw = BufferedEvents();
+    return {"learned", total_events_ - raw, raw};
+  }
   double CountUpTo(graph::EdgeId road, bool forward, double t) const override;
   size_t StorageBytes() const override;
   size_t StorageBytesForEdge(graph::EdgeId road) const override;

@@ -1,0 +1,142 @@
+#include "obs/accuracy.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+
+namespace innet::obs {
+
+namespace {
+
+// Signed relative error buckets: symmetric around 0, finer near the small
+// errors the paper's headline claims live in (|err| <= ~14%).
+std::vector<double> RelErrorBounds() {
+  return {-1.0,  -0.5,  -0.25, -0.1, -0.05, -0.02, -0.01, -0.005, 0.0,
+          0.005, 0.01,  0.02,  0.05, 0.1,   0.25,  0.5,   1.0};
+}
+
+// Dead space is a fraction of the query region; overshoot (upper bounds)
+// can exceed 1 on tiny regions, caught by the +inf bucket.
+std::vector<double> DeadSpaceBounds() {
+  return {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+MetricsRegistry& Resolve(MetricsRegistry* registry) {
+  return registry != nullptr ? *registry : MetricsRegistry::Global();
+}
+
+}  // namespace
+
+AccuracyMonitor::AccuracyMonitor(const AccuracyMonitorOptions& options)
+    : options_(options) {
+  INNET_CHECK(options_.shadow_every >= 1);
+  MetricsRegistry& registry = Resolve(options_.registry);
+  comparisons_ = &registry.GetCounter(
+      "innet_shadow_checks",
+      "Sampled answers shadow-executed against the exact unsampled path");
+  rel_error_ = &registry.GetHistogram(
+      "innet_accuracy_rel_error", RelErrorBounds(),
+      "Signed relative error of sampled answers vs the exact count");
+  for (size_t d = 0; d < kDeciles; ++d) {
+    rel_error_by_decile_[d] = &registry.GetHistogram(
+        "innet_accuracy_rel_error_decile_" + std::to_string(d),
+        RelErrorBounds(),
+        "Signed relative error, region-size decile " + std::to_string(d));
+  }
+  deadspace_ = &registry.GetHistogram(
+      "innet_deadspace_fraction", DeadSpaceBounds(),
+      "Dead-space area of resolved regions as a fraction of the query "
+      "region");
+  interval_width_ = &registry.GetHistogram(
+      "innet_interval_width", Histogram::ExponentialBounds(1.0, 2.0, 14),
+      "Width of degraded-mode count intervals (0 excluded; point answers "
+      "observe nothing)");
+}
+
+double AccuracyMonitor::SignedRelativeError(double exact, double approx) {
+  if (exact == 0.0) {
+    if (approx == 0.0) return 0.0;
+    return approx > 0.0 ? 1.0 : -1.0;
+  }
+  return (approx - exact) / std::abs(exact);
+}
+
+void AccuracyMonitor::RecordComparison(double approx, double exact,
+                                       size_t region_cells,
+                                       double deadspace_fraction,
+                                       double interval_width) {
+  double signed_error = SignedRelativeError(exact, approx);
+  comparisons_->Increment();
+  rel_error_->Observe(signed_error);
+  size_t decile = 0;
+  if (options_.total_cells > 0) {
+    decile = region_cells * kDeciles / options_.total_cells;
+    if (decile >= kDeciles) decile = kDeciles - 1;
+  }
+  rel_error_by_decile_[decile]->Observe(signed_error);
+  deadspace_->Observe(deadspace_fraction);
+  if (interval_width > 0.0) interval_width_->Observe(interval_width);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+  abs_error_sum_ += std::abs(signed_error);
+  signed_error_sum_ += signed_error;
+}
+
+uint64_t AccuracyMonitor::Comparisons() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double AccuracyMonitor::MeanAbsRelError() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : abs_error_sum_ / static_cast<double>(count_);
+}
+
+double AccuracyMonitor::MeanSignedRelError() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : signed_error_sum_ / static_cast<double>(count_);
+}
+
+DriftDetector::DriftDetector(const DriftDetectorOptions& options)
+    : options_(options) {
+  INNET_CHECK(options_.window >= 1);
+  INNET_CHECK(options_.min_observations >= 1);
+  MetricsRegistry& registry = Resolve(options_.registry);
+  alarm_ = &registry.GetGauge(
+      "innet_model_drift_alarm",
+      "1 while a learned count model's rolling residual exceeds the pinned "
+      "drift threshold");
+  residual_ = &registry.GetGauge(
+      "innet_model_drift_residual",
+      "Rolling mean relative residual of learned count-model predictions");
+}
+
+void DriftDetector::Observe(double predicted, double observed) {
+  double denom = std::abs(observed) > 1.0 ? std::abs(observed) : 1.0;
+  double residual = std::abs(predicted - observed) / denom;
+  window_.push_back(residual);
+  window_sum_ += residual;
+  if (window_.size() > options_.window) {
+    window_sum_ -= window_.front();
+    window_.pop_front();
+  }
+  ++observations_;
+
+  double rolling = RollingResidual();
+  residual_->Set(rolling);
+  bool over = observations_ >= options_.min_observations &&
+              window_.size() >= options_.min_observations &&
+              rolling > options_.threshold;
+  if (over && !alarmed_) fired_ = true;
+  alarmed_ = over;
+  alarm_->Set(alarmed_ ? 1.0 : 0.0);
+}
+
+double DriftDetector::RollingResidual() const {
+  if (window_.empty()) return 0.0;
+  return window_sum_ / static_cast<double>(window_.size());
+}
+
+}  // namespace innet::obs

@@ -1,0 +1,163 @@
+// Online accuracy monitoring (docs/OBSERVABILITY.md §"Accuracy & EXPLAIN").
+//
+// Two instruments turn the serving stack from "fast" into "fast and
+// self-aware":
+//
+//   - AccuracyMonitor aggregates shadow checks: a configurable 1-in-N
+//     fraction of sampled answers is re-executed against the exact
+//     unsampled path (by runtime::BatchQueryEngine, off the hot path) and
+//     the SIGNED relative error is fed into registry histograms —
+//     `innet_accuracy_rel_error` overall plus one histogram per
+//     region-size decile — together with `innet_deadspace_fraction` and
+//     `innet_interval_width`.
+//   - DriftDetector tracks rolling residuals of learned::CountModel
+//     predictions against observed crossing counts and flips the
+//     `innet_model_drift_alarm` gauge once the rolling mean relative
+//     residual crosses a pinned threshold.
+//
+// Both are layer-free (registry + plain numbers in), so the obs library
+// stays below core; the shadow executor lives in runtime.
+#ifndef INNET_OBS_ACCURACY_H_
+#define INNET_OBS_ACCURACY_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace innet::obs {
+
+/// AccuracyMonitor construction knobs.
+struct AccuracyMonitorOptions {
+  /// Shadow 1 of every N answered queries; must be >= 1 (a zero or
+  /// negative value is a caller bug — tools validate their flags before
+  /// building one of these).
+  uint64_t shadow_every = 8;
+
+  /// Total junction cells of the deployment's sensing domain; region-size
+  /// deciles are `region_cells * 10 / total_cells`, clamped to [0, 9].
+  /// 0 puts every observation into decile 0.
+  size_t total_cells = 0;
+
+  /// Registry backing the accuracy metrics; nullptr selects the process
+  /// global registry. Must outlive the monitor when provided.
+  MetricsRegistry* registry = nullptr;
+};
+
+/// Aggregates shadow-execution comparisons between approximate (sampled)
+/// and exact (unsampled) answers. Thread-safe: ShouldShadow is a single
+/// atomic increment and RecordComparison takes one short lock (it runs on
+/// the shadow thread, never on the query hot path).
+class AccuracyMonitor {
+ public:
+  explicit AccuracyMonitor(const AccuracyMonitorOptions& options);
+  AccuracyMonitor(const AccuracyMonitor&) = delete;
+  AccuracyMonitor& operator=(const AccuracyMonitor&) = delete;
+
+  /// True for 1 of every `shadow_every` calls (the 1st, N+1st, ...).
+  bool ShouldShadow() {
+    return scheduled_.fetch_add(1, std::memory_order_relaxed) %
+               options_.shadow_every ==
+           0;
+  }
+
+  /// Feeds one shadow comparison. `approx` is the sampled answer, `exact`
+  /// the unsampled reference; the recorded signed relative error is
+  /// (approx - exact) / |exact| (0 when both are 0, +/-1 when only the
+  /// exact count is 0 — matching util::RelativeError in magnitude).
+  void RecordComparison(double approx, double exact, size_t region_cells,
+                        double deadspace_fraction, double interval_width);
+
+  uint64_t Comparisons() const;
+  /// Exact running means over every recorded comparison (not
+  /// bucket-interpolated), for tests and report lines.
+  double MeanAbsRelError() const;
+  double MeanSignedRelError() const;
+
+  const AccuracyMonitorOptions& options() const { return options_; }
+
+  /// Signed relative error of one comparison (the exact formula
+  /// RecordComparison feeds the histograms).
+  static double SignedRelativeError(double exact, double approx);
+
+ private:
+  static constexpr size_t kDeciles = 10;
+
+  AccuracyMonitorOptions options_;
+  std::atomic<uint64_t> scheduled_{0};
+
+  Counter* comparisons_;
+  Histogram* rel_error_;
+  std::array<Histogram*, kDeciles> rel_error_by_decile_;
+  Histogram* deadspace_;
+  Histogram* interval_width_;
+
+  mutable std::mutex mutex_;
+  uint64_t count_ = 0;
+  double abs_error_sum_ = 0.0;
+  double signed_error_sum_ = 0.0;
+};
+
+/// DriftDetector construction knobs. The defaults are the pinned serving
+/// configuration; tests that need a different trip point build their own.
+struct DriftDetectorOptions {
+  /// Rolling residual window (observations).
+  size_t window = 64;
+  /// Observations required before the alarm may fire at all.
+  size_t min_observations = 32;
+  /// Pinned alarm threshold on the rolling mean relative residual.
+  double threshold = 0.1;
+  /// Registry for `innet_model_drift_alarm` / `innet_model_drift_residual`;
+  /// nullptr selects the global registry.
+  MetricsRegistry* registry = nullptr;
+};
+
+/// Tracks rolling residuals of a learned count model against observed
+/// crossing counts. On each new event, Observe() is called with the model's
+/// prediction for the event's time BEFORE the event is folded into the
+/// model, audited against the cumulative count of PRIOR events (the
+/// arriving event is information the model cannot have had — comparing
+/// against it would bake a 1/n floor into the residual); the relative
+/// residual |predicted - observed| / max(1, |observed|) enters a rolling
+/// window. Once the window holds
+/// `min_observations` samples and its mean exceeds `threshold`, the
+/// `innet_model_drift_alarm` gauge flips to 1 (and back to 0 if the model
+/// re-converges); Fired() stays latched.
+///
+/// Not thread-safe: one detector audits one model's ingestion stream,
+/// which is single-threaded by the store contract.
+class DriftDetector {
+ public:
+  explicit DriftDetector(const DriftDetectorOptions& options);
+  DriftDetector(const DriftDetector&) = delete;
+  DriftDetector& operator=(const DriftDetector&) = delete;
+
+  void Observe(double predicted, double observed);
+
+  /// Rolling mean relative residual over the current window (0 if empty).
+  double RollingResidual() const;
+  /// Alarm currently raised.
+  bool Alarmed() const { return alarmed_; }
+  /// Alarm raised at least once since construction.
+  bool Fired() const { return fired_; }
+  uint64_t Observations() const { return observations_; }
+
+ private:
+  DriftDetectorOptions options_;
+  Gauge* alarm_;
+  Gauge* residual_;
+
+  std::deque<double> window_;
+  double window_sum_ = 0.0;
+  uint64_t observations_ = 0;
+  bool alarmed_ = false;
+  bool fired_ = false;
+};
+
+}  // namespace innet::obs
+
+#endif  // INNET_OBS_ACCURACY_H_

@@ -1,0 +1,90 @@
+// Per-query answer provenance (docs/OBSERVABILITY.md §"Accuracy & EXPLAIN").
+//
+// An ExplainRecord captures HOW one range query was answered: which sampled
+// faces were unioned into the resolved region, how many boundary sensor
+// edges were integrated, the dead-space gap between the query region and
+// the face union, which store family produced the counts (exact tracking
+// forms vs learned count models and their raw-buffer split), whether the
+// boundary cache served the resolution, and the degraded-mode interval
+// when faults widened the answer.
+//
+// The record is plain data with deterministic serialization: every field is
+// derived from the frozen deployment and the query alone (no wall-clock
+// members), so two runs — serial or 8-worker, cache-cold or cache-warm —
+// produce byte-identical JSON for the same query. The assembling layers
+// live above obs (core::SampledQueryProcessor / UnsampledQueryProcessor
+// fill the resolution fields, runtime::BatchQueryEngine the cache fields),
+// keeping obs dependency-free below util.
+#ifndef INNET_OBS_EXPLAIN_H_
+#define INNET_OBS_EXPLAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace innet::obs {
+
+/// Provenance of one answered range query. Fields default to the empty /
+/// zero state so partially assembled records (e.g. a missed query) still
+/// serialize cleanly.
+struct ExplainRecord {
+  /// Count semantics ("static" / "transient") and region approximation
+  /// ("lower" / "upper"; "exact" on the unsampled path).
+  std::string kind;
+  std::string bound;
+  /// Which processor produced the answer: "sampled", "unsampled", or
+  /// "degraded" (fault-rerouted sampled path).
+  std::string path;
+
+  /// Resolved G̃ faces unioned into the answer region, ascending. Empty for
+  /// a miss and for the unsampled path (which has no sampled faces).
+  std::vector<uint32_t> faces;
+
+  /// Junction cells inside the query region Q_R, and covered by the
+  /// resolved face union. Lower-bound regions satisfy resolved <= region,
+  /// upper-bound regions resolved >= region.
+  size_t region_cells = 0;
+  size_t resolved_cells = 0;
+  /// |resolved_cells - region_cells| / region_cells: the dead-space area
+  /// the approximation introduces, as a fraction of the query region
+  /// (uncovered cells for lower bounds, overshoot for upper bounds).
+  double deadspace_fraction = 0.0;
+
+  /// Boundary sensor edges integrated and distinct sensors contacted.
+  size_t boundary_edges = 0;
+  size_t boundary_sensors = 0;
+
+  /// Store provenance: "exact" (tracking forms) or "learned" (count
+  /// models), with the event split between modeled history and raw
+  /// buffered events at answer time.
+  std::string store;
+  size_t store_modeled_events = 0;
+  size_t store_raw_events = 0;
+
+  /// Boundary-cache path (assembled by the batch engine; single-shot
+  /// processors leave cache_used false).
+  bool cache_used = false;
+  bool cache_hit = false;
+
+  /// Answer fields mirrored from QueryAnswer (timings excluded by design).
+  bool missed = false;
+  bool degraded = false;
+  double answer = 0.0;
+  double interval_lo = 0.0;
+  double interval_hi = 0.0;
+  /// Degraded-interval width from the faults layer; 0 for point answers.
+  double interval_width = 0.0;
+  size_t dead_boundary_edges = 0;
+  size_t rerouted_faces = 0;
+
+  /// One deterministic JSON object (no trailing newline). Keys are emitted
+  /// in a fixed order; the CI explain-schema check relies on `faces`,
+  /// `boundary_edges`, `deadspace_fraction`, `answer`, and `interval`
+  /// (serialized as the two-element array [lo, hi]) being present.
+  std::string ToJson() const;
+};
+
+}  // namespace innet::obs
+
+#endif  // INNET_OBS_EXPLAIN_H_

@@ -34,7 +34,7 @@ std::string PrometheusNumber(double value) {
 void WriteHeader(std::ostream& out, const std::string& name,
                  const std::string& help, const char* type) {
   if (!help.empty()) {
-    out << "# HELP " << name << " " << help << "\n";
+    out << "# HELP " << name << " " << PrometheusEscapeHelp(help) << "\n";
   }
   out << "# TYPE " << name << " " << type << "\n";
 }
@@ -83,31 +83,86 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
+std::string PrometheusSanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 void WritePrometheus(const MetricsRegistry& registry, std::ostream& out) {
   for (const Counter* counter : registry.Counters()) {
-    WriteHeader(out, counter->name(), counter->help(), "counter");
-    out << counter->name() << " " << counter->Value() << "\n";
+    std::string name = PrometheusSanitizeName(counter->name());
+    WriteHeader(out, name, counter->help(), "counter");
+    out << name << " " << counter->Value() << "\n";
   }
   for (const Gauge* gauge : registry.Gauges()) {
-    WriteHeader(out, gauge->name(), gauge->help(), "gauge");
-    out << gauge->name() << " " << PrometheusNumber(gauge->Value()) << "\n";
+    std::string name = PrometheusSanitizeName(gauge->name());
+    WriteHeader(out, name, gauge->help(), "gauge");
+    out << name << " " << PrometheusNumber(gauge->Value()) << "\n";
   }
   for (const Histogram* histogram : registry.Histograms()) {
-    WriteHeader(out, histogram->name(), histogram->help(), "histogram");
+    std::string name = PrometheusSanitizeName(histogram->name());
+    WriteHeader(out, name, histogram->help(), "histogram");
     std::vector<uint64_t> counts = histogram->BucketCounts();
     const std::vector<double>& bounds = histogram->UpperBounds();
     uint64_t cumulative = 0;
     for (size_t i = 0; i < bounds.size(); ++i) {
       cumulative += counts[i];
-      out << histogram->name() << "_bucket{le=\""
-          << PrometheusNumber(bounds[i]) << "\"} " << cumulative << "\n";
+      out << name << "_bucket{le=\""
+          << PrometheusEscapeLabel(PrometheusNumber(bounds[i])) << "\"} "
+          << cumulative << "\n";
     }
     cumulative += counts.back();
-    out << histogram->name() << "_bucket{le=\"+Inf\"} " << cumulative
-        << "\n";
-    out << histogram->name() << "_sum "
-        << PrometheusNumber(histogram->Sum()) << "\n";
-    out << histogram->name() << "_count " << cumulative << "\n";
+    out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    out << name << "_sum " << PrometheusNumber(histogram->Sum()) << "\n";
+    out << name << "_count " << cumulative << "\n";
   }
 }
 

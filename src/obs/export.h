@@ -53,6 +53,22 @@ bool ExportTracesToFile(
 /// Escapes a string for embedding inside a JSON string literal.
 std::string JsonEscape(const std::string& text);
 
+/// Maps an arbitrary metric name onto the Prometheus name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every invalid character becomes `_`, and a
+/// leading digit gains a `_` prefix. The exporters apply this at write
+/// time so registry names with reserved characters still produce a valid
+/// exposition.
+std::string PrometheusSanitizeName(const std::string& name);
+
+/// Escapes a label VALUE for the exposition format: backslash, double
+/// quote, and newline are escaped per the Prometheus text-format spec.
+std::string PrometheusEscapeLabel(const std::string& value);
+
+/// Escapes HELP text: backslash and newline (HELP lines are
+/// newline-terminated, so a raw newline would truncate the help and
+/// corrupt the next sample).
+std::string PrometheusEscapeHelp(const std::string& help);
+
 }  // namespace innet::obs
 
 #endif  // INNET_OBS_EXPORT_H_

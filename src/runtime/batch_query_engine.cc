@@ -1,5 +1,6 @@
 #include "runtime/batch_query_engine.h"
 
+#include <cmath>
 #include <utility>
 
 #include "forms/region_count.h"
@@ -15,6 +16,7 @@ BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
       health_(options.health),
       degraded_options_(options.degraded),
       tracer_(options.tracer),
+      cache_enabled_(options.cache_capacity > 0),
       owned_registry_(options.registry != nullptr
                           ? nullptr
                           : std::make_unique<obs::MetricsRegistry>()),
@@ -50,16 +52,39 @@ BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
     last_health_generation_.store(health_->Generation(),
                                   std::memory_order_relaxed);
   }
+  accuracy_ = options.accuracy;
+  shadow_queue_limit_ = options.shadow_queue_limit;
+  shadow_dropped_ = &registry_->GetCounter(
+      "innet_shadow_dropped",
+      "Shadow checks dropped because the shadow queue was at its budget");
+  if (accuracy_ != nullptr) {
+    shadow_processor_ = std::make_unique<core::UnsampledQueryProcessor>(
+        sampled_->network());
+    shadow_thread_ = std::thread([this] { ShadowLoop(); });
+  }
+}
+
+BatchQueryEngine::~BatchQueryEngine() {
+  if (shadow_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(shadow_mutex_);
+      shadow_stop_ = true;
+    }
+    shadow_cv_.notify_all();
+    shadow_thread_.join();
+  }
 }
 
 std::shared_ptr<const ResolvedBoundary> BatchQueryEngine::Resolve(
     const core::RangeQuery& query, core::BoundMode bound,
-    obs::QueryTrace* trace) {
+    obs::QueryTrace* trace, bool* was_cache_hit) {
+  if (was_cache_hit != nullptr) *was_cache_hit = false;
   RegionSignature key = SignRegion(query.junctions, bound);
   {
     obs::Span span(trace, "cache_lookup");
     if (std::shared_ptr<const ResolvedBoundary> hit = cache_.Lookup(key)) {
       if (trace != nullptr) trace->Annotate("cache_hit", 1.0);
+      if (was_cache_hit != nullptr) *was_cache_hit = true;
       return hit;
     }
   }
@@ -82,6 +107,7 @@ std::shared_ptr<const ResolvedBoundary> BatchQueryEngine::Resolve(
   } else {
     resolved->boundary = sampled_->BoundaryOfFaces(faces);
   }
+  resolved->faces = std::move(faces);
   cache_.Insert(key, resolved);
   return resolved;
 }
@@ -99,13 +125,21 @@ void BatchQueryEngine::SyncHealthGeneration() {
 
 core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
                                               core::CountKind kind,
-                                              core::BoundMode bound) {
+                                              core::BoundMode bound,
+                                              obs::ExplainRecord* explain) {
   std::unique_ptr<obs::QueryTrace> trace =
       tracer_ != nullptr ? tracer_->StartQuery() : nullptr;
   util::Timer timer;
   core::QueryAnswer answer;
+  bool cache_hit = false;
   std::shared_ptr<const ResolvedBoundary> resolved =
-      Resolve(query, bound, trace.get());
+      Resolve(query, bound, trace.get(), &cache_hit);
+  if (explain != nullptr) {
+    core::FillExplainResolution(*sampled_, query, kind, bound, resolved->faces,
+                                *store_, explain);
+    explain->cache_used = cache_enabled_;
+    explain->cache_hit = cache_hit;
+  }
   if (resolved->missed) {
     answer.missed = true;
     (bound == core::BoundMode::kLower ? missed_lower_ : missed_upper_)
@@ -130,6 +164,13 @@ core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
   answer.exec_micros = timer.ElapsedMicros();
   queries_answered_->Increment();
   latency_micros_->Observe(answer.exec_micros);
+  if (explain != nullptr) {
+    core::FillExplainAnswer(answer, explain);
+    if (answer.degraded) explain->path = "degraded";
+  }
+  if (accuracy_ != nullptr) {
+    MaybeEnqueueShadow(query, answer, kind, bound, resolved);
+  }
   if (trace != nullptr) {
     trace->Annotate("estimate", answer.estimate);
     trace->Annotate("missed", answer.missed ? 1.0 : 0.0);
@@ -140,22 +181,129 @@ core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
   return answer;
 }
 
+void BatchQueryEngine::MaybeEnqueueShadow(
+    const core::RangeQuery& query, const core::QueryAnswer& answer,
+    core::CountKind kind, core::BoundMode bound,
+    std::shared_ptr<const ResolvedBoundary> resolved) {
+  if (!accuracy_->ShouldShadow()) return;
+  ShadowTask task;
+  task.query = query;
+  task.approx = answer.estimate;
+  task.interval_width = answer.interval.Width();
+  task.kind = kind;
+  task.bound = bound;
+  task.resolved = std::move(resolved);
+  bool enqueued = false;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mutex_);
+    if (shadow_queue_.size() < shadow_queue_limit_) {
+      shadow_queue_.push_back(std::move(task));
+      ++shadow_inflight_;
+      enqueued = true;
+    }
+  }
+  if (enqueued) {
+    shadow_cv_.notify_one();
+  } else {
+    shadow_dropped_->Increment();
+  }
+}
+
+void BatchQueryEngine::ShadowLoop() {
+  std::unique_lock<std::mutex> lock(shadow_mutex_);
+  for (;;) {
+    shadow_cv_.wait(lock, [this] {
+      return shadow_stop_ || (!shadow_queue_.empty() && !batch_active_);
+    });
+    if (shadow_stop_) return;
+    ShadowTask task = std::move(shadow_queue_.front());
+    shadow_queue_.pop_front();
+    lock.unlock();
+    RunShadowTask(task);
+    lock.lock();
+    --shadow_inflight_;
+    if (shadow_inflight_ == 0) shadow_drained_cv_.notify_all();
+  }
+}
+
+void BatchQueryEngine::RunShadowTask(const ShadowTask& task) {
+  core::QueryAnswer exact =
+      shadow_processor_->Answer(task.query, task.kind);
+  size_t region_cells = task.query.junctions.size();
+  size_t resolved_cells = 0;
+  if (task.resolved != nullptr) {
+    for (uint32_t face : task.resolved->faces) {
+      resolved_cells += sampled_->FaceSize(face);
+    }
+  }
+  double deadspace =
+      region_cells == 0
+          ? 0.0
+          : std::abs(static_cast<double>(resolved_cells) -
+                     static_cast<double>(region_cells)) /
+                static_cast<double>(region_cells);
+  accuracy_->RecordComparison(task.approx, exact.estimate, region_cells,
+                              deadspace, task.interval_width);
+}
+
+void BatchQueryEngine::BeginBatch() {
+  if (accuracy_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(shadow_mutex_);
+  batch_active_ = true;
+}
+
+void BatchQueryEngine::EndBatch() {
+  if (accuracy_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mutex_);
+    batch_active_ = false;
+  }
+  shadow_cv_.notify_one();
+}
+
+void BatchQueryEngine::FlushShadow() {
+  if (accuracy_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(shadow_mutex_);
+  shadow_cv_.notify_one();
+  shadow_drained_cv_.wait(lock, [this] { return shadow_inflight_ == 0; });
+}
+
 std::vector<core::QueryAnswer> BatchQueryEngine::AnswerBatch(
     const std::vector<core::RangeQuery>& queries, core::CountKind kind,
     core::BoundMode bound) {
   SyncHealthGeneration();
+  BeginBatch();
   std::vector<core::QueryAnswer> answers(queries.size());
   pool_.ParallelFor(queries.size(), [&](size_t i) {
     answers[i] = AnswerOne(queries[i], kind, bound);
   });
+  EndBatch();
+  return answers;
+}
+
+std::vector<core::QueryAnswer> BatchQueryEngine::AnswerBatchExplained(
+    const std::vector<core::RangeQuery>& queries, core::CountKind kind,
+    core::BoundMode bound, std::vector<obs::ExplainRecord>* explains) {
+  SyncHealthGeneration();
+  BeginBatch();
+  explains->assign(queries.size(), obs::ExplainRecord{});
+  std::vector<core::QueryAnswer> answers(queries.size());
+  pool_.ParallelFor(queries.size(), [&](size_t i) {
+    answers[i] = AnswerOne(queries[i], kind, bound, &(*explains)[i]);
+  });
+  EndBatch();
   return answers;
 }
 
 core::QueryAnswer BatchQueryEngine::Answer(const core::RangeQuery& query,
                                            core::CountKind kind,
-                                           core::BoundMode bound) {
+                                           core::BoundMode bound,
+                                           obs::ExplainRecord* explain) {
   SyncHealthGeneration();
-  return AnswerOne(query, kind, bound);
+  BeginBatch();
+  core::QueryAnswer answer = AnswerOne(query, kind, bound, explain);
+  EndBatch();
+  return answer;
 }
 
 BatchEngineSnapshot BatchQueryEngine::Snapshot() const {

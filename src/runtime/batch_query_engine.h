@@ -21,14 +21,21 @@
 #define INNET_RUNTIME_BATCH_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/health.h"
 #include "core/query.h"
+#include "core/query_processor.h"
 #include "core/sampled_graph.h"
 #include "forms/edge_count_store.h"
+#include "obs/accuracy.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/boundary_cache.h"
@@ -74,6 +81,21 @@ struct BatchEngineOptions {
   /// breakdown (cache lookup, boundary resolution, degraded reroute, form
   /// integration). Must outlive the engine.
   obs::Tracer* tracer = nullptr;
+
+  /// Optional online accuracy monitor (docs/OBSERVABILITY.md §"Accuracy &
+  /// EXPLAIN"). When set, the monitor's 1-in-N knob selects answered
+  /// queries for SHADOW EXECUTION: the same query is re-answered on the
+  /// exact unsampled path and the signed relative error lands in the
+  /// monitor's histograms. Shadow work runs on a dedicated background
+  /// thread that only proceeds while no batch is in flight, so the hot
+  /// path pays one queue append per shadowed query and nothing more. Must
+  /// outlive the engine.
+  obs::AccuracyMonitor* accuracy = nullptr;
+
+  /// Shadow-queue budget: pending shadow checks beyond this are dropped
+  /// (counted by `innet_shadow_dropped`) instead of growing without bound
+  /// when queries outpace the off-peak shadow capacity.
+  size_t shadow_queue_limit = 4096;
 };
 
 /// Point-in-time engine counters — a compatibility view over the
@@ -107,6 +129,7 @@ class BatchQueryEngine {
   BatchQueryEngine(const core::SampledGraph& sampled,
                    const forms::EdgeCountStore& store,
                    const BatchEngineOptions& options);
+  ~BatchQueryEngine();
 
   /// Answers every query under one (kind, bound) configuration. The result
   /// vector is index-aligned with `queries`.
@@ -114,9 +137,24 @@ class BatchQueryEngine {
       const std::vector<core::RangeQuery>& queries, core::CountKind kind,
       core::BoundMode bound);
 
+  /// AnswerBatch plus per-query provenance: `explains` (non-null) is
+  /// resized and filled index-aligned with `queries`. Explain records are
+  /// deterministic — identical serially or on 8 workers, cache-cold or
+  /// cache-warm.
+  std::vector<core::QueryAnswer> AnswerBatchExplained(
+      const std::vector<core::RangeQuery>& queries, core::CountKind kind,
+      core::BoundMode bound, std::vector<obs::ExplainRecord>* explains);
+
   /// Single-query convenience going through the same cache + counters.
+  /// `explain` (optional) receives the answer's provenance.
   core::QueryAnswer Answer(const core::RangeQuery& query, core::CountKind kind,
-                           core::BoundMode bound);
+                           core::BoundMode bound,
+                           obs::ExplainRecord* explain = nullptr);
+
+  /// Blocks until every enqueued shadow check has executed (no-op without
+  /// an accuracy monitor). Call between batches or before reading the
+  /// monitor; never needed for correctness of the answers themselves.
+  void FlushShadow();
 
   BatchEngineSnapshot Snapshot() const;
 
@@ -130,14 +168,46 @@ class BatchQueryEngine {
   size_t CacheSize() const { return cache_.Size(); }
 
  private:
+  /// One deferred shadow check: the query, the approximate answer it got,
+  /// and the configuration to re-execute exactly.
+  struct ShadowTask {
+    core::RangeQuery query;
+    double approx = 0.0;
+    double interval_width = 0.0;
+    core::CountKind kind = core::CountKind::kStatic;
+    core::BoundMode bound = core::BoundMode::kLower;
+    /// The resolution the approximate answer used — the shadow thread
+    /// derives region size and dead space from it without re-resolving on
+    /// the hot path.
+    std::shared_ptr<const ResolvedBoundary> resolved;
+  };
+
   /// Cache-through resolution of one query region under `bound`. `trace`
   /// may be null; sampled queries record lookup/resolution spans into it.
+  /// `was_cache_hit` (optional) reports whether the lookup hit.
   std::shared_ptr<const ResolvedBoundary> Resolve(
       const core::RangeQuery& query, core::BoundMode bound,
-      obs::QueryTrace* trace);
+      obs::QueryTrace* trace, bool* was_cache_hit = nullptr);
 
   core::QueryAnswer AnswerOne(const core::RangeQuery& query,
-                              core::CountKind kind, core::BoundMode bound);
+                              core::CountKind kind, core::BoundMode bound,
+                              obs::ExplainRecord* explain = nullptr);
+
+  /// Enqueues a shadow check for an answered query (drops when the queue
+  /// is at its budget).
+  void MaybeEnqueueShadow(const core::RangeQuery& query,
+                          const core::QueryAnswer& answer,
+                          core::CountKind kind, core::BoundMode bound,
+                          std::shared_ptr<const ResolvedBoundary> resolved);
+
+  /// Background shadow loop: executes queued checks while no batch is in
+  /// flight.
+  void ShadowLoop();
+  void RunShadowTask(const ShadowTask& task);
+
+  /// Marks a batch in flight (shadow thread pauses) / done (it resumes).
+  void BeginBatch();
+  void EndBatch();
 
   /// Flushes cached boundaries when the health view's generation moved
   /// since the last call. Invoked once per AnswerBatch/Answer, outside the
@@ -149,6 +219,7 @@ class BatchQueryEngine {
   const core::SensorHealthView* health_;
   core::DegradedOptions degraded_options_;
   obs::Tracer* tracer_;
+  bool cache_enabled_ = false;
 
   // Private registry when the options carried none; registry_ points at
   // whichever backs this engine.
@@ -168,6 +239,23 @@ class BatchQueryEngine {
   BoundaryCache cache_;
   util::ThreadPool pool_;
   std::atomic<uint64_t> last_health_generation_{0};
+
+  // Shadow execution (only active with options.accuracy). The exact
+  // processor re-answers selected queries off-peak; shadow_inflight_
+  // counts queued + currently executing tasks so FlushShadow can wait for
+  // full drain.
+  obs::AccuracyMonitor* accuracy_ = nullptr;
+  size_t shadow_queue_limit_ = 0;
+  obs::Counter* shadow_dropped_ = nullptr;
+  std::unique_ptr<core::UnsampledQueryProcessor> shadow_processor_;
+  std::mutex shadow_mutex_;
+  std::condition_variable shadow_cv_;
+  std::condition_variable shadow_drained_cv_;
+  std::deque<ShadowTask> shadow_queue_;
+  size_t shadow_inflight_ = 0;
+  bool shadow_stop_ = false;
+  bool batch_active_ = false;
+  std::thread shadow_thread_;
 };
 
 }  // namespace innet::runtime

@@ -34,6 +34,10 @@ struct ResolvedBoundary {
   bool missed = false;
   core::SampledGraph::RegionBoundary boundary;
 
+  /// The G̃ faces whose union the boundary encloses — kept so a cache hit
+  /// explains (obs/explain.h) identically to a fresh resolution.
+  std::vector<uint32_t> faces;
+
   /// Populated only by health-aware engines: the degraded resolution under
   /// the health generation the entry was built for. Entries never outlive a
   /// generation change — BatchQueryEngine clears the cache on transitions.

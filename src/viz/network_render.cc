@@ -1,5 +1,8 @@
 #include "viz/network_render.h"
 
+#include <cstdio>
+#include <unordered_set>
+
 #include "viz/svg.h"
 
 namespace innet::viz {
@@ -46,6 +49,69 @@ util::Status RenderNetwork(const core::SensorNetwork& network,
   if (options.query_rect.has_value()) {
     canvas.DrawRect(*options.query_rect, "#22aa44", "#22aa44", 2.5, 0.12);
   }
+  return canvas.WriteToFile(path);
+}
+
+util::Status RenderExplainOverlay(
+    const core::SensorNetwork& network, const core::SampledGraph& sampled,
+    const obs::ExplainRecord& explain,
+    const std::optional<geometry::Rect>& query_rect,
+    const std::string& path) {
+  const graph::PlanarGraph& mobility = network.mobility();
+  const graph::DualGraph& dual = network.sensing();
+  geometry::Rect world = network.DomainBounds().Inflated(
+      0.02 * network.DomainBounds().Width());
+  SvgCanvas canvas(world, 1000.0);
+
+  // Base layers, dimmed so the overlay reads on top.
+  for (graph::EdgeId e = 0; e < mobility.NumEdges(); ++e) {
+    canvas.DrawLine(mobility.Position(mobility.Edge(e).u),
+                    mobility.Position(mobility.Edge(e).v), "#cccccc", 0.8,
+                    0.6);
+  }
+  for (graph::EdgeId e : sampled.monitored_edges()) {
+    graph::NodeId a = mobility.Edge(e).left;
+    graph::NodeId b = mobility.Edge(e).right;
+    if (a == dual.ExtNode() || b == dual.ExtNode()) continue;
+    canvas.DrawLine(dual.Position(a), dual.Position(b), "#99b3dd", 1.0, 0.6);
+  }
+  if (query_rect.has_value()) {
+    canvas.DrawRect(*query_rect, "#22aa44", "#22aa44", 2.5, 0.12);
+  }
+
+  // Resolved face union: every junction cell the answer actually covered.
+  std::unordered_set<uint32_t> face_set(explain.faces.begin(),
+                                        explain.faces.end());
+  if (!face_set.empty()) {
+    for (graph::NodeId j = 0; j < mobility.NumNodes(); ++j) {
+      if (face_set.count(sampled.FaceOfJunction(j)) > 0) {
+        canvas.DrawCircle(mobility.Position(j), 2.5, "#ff8800", 0.7);
+      }
+    }
+    // Integrated boundary: the monitored edges the count summed over.
+    core::SampledGraph::RegionBoundary boundary =
+        sampled.BoundaryOfFaces(explain.faces);
+    for (const forms::BoundaryEdge& be : boundary.edges) {
+      if (be.edge >= mobility.NumEdges()) continue;  // virtual ext edges
+      graph::NodeId a = mobility.Edge(be.edge).left;
+      graph::NodeId b = mobility.Edge(be.edge).right;
+      if (a == dual.ExtNode() || b == dual.ExtNode()) continue;
+      canvas.DrawLine(dual.Position(a), dual.Position(b), "#ee5500", 2.5,
+                      0.95);
+    }
+  }
+
+  char caption[256];
+  std::snprintf(caption, sizeof(caption),
+                "%s/%s via %s: answer=%.1f  deadspace=%.3f  faces=%zu  "
+                "boundary=%zu",
+                explain.kind.c_str(), explain.bound.c_str(),
+                explain.path.c_str(), explain.answer,
+                explain.deadspace_fraction, explain.faces.size(),
+                explain.boundary_edges);
+  canvas.DrawText({world.min_x + 0.01 * world.Width(),
+                   world.max_y - 0.03 * world.Height()},
+                  caption, "#222", 16.0);
   return canvas.WriteToFile(path);
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/sampled_graph.h"
 #include "core/sensor_network.h"
+#include "obs/explain.h"
 #include "util/status.h"
 
 namespace innet::viz {
@@ -27,6 +28,17 @@ util::Status RenderNetwork(const core::SensorNetwork& network,
                            const core::SampledGraph* sampled,
                            const RenderOptions& options,
                            const std::string& path);
+
+/// EXPLAIN overlay (docs/OBSERVABILITY.md §"Accuracy & EXPLAIN"): the base
+/// network and monitored edges, the query rectangle, the junction cells of
+/// the resolved face union (orange dots — the visual dead-space gap against
+/// the green region), and the integrated boundary edges (bold orange). A
+/// caption summarizes answer, dead-space fraction, and path.
+util::Status RenderExplainOverlay(const core::SensorNetwork& network,
+                                  const core::SampledGraph& sampled,
+                                  const obs::ExplainRecord& explain,
+                                  const std::optional<geometry::Rect>& query_rect,
+                                  const std::string& path);
 
 }  // namespace innet::viz
 

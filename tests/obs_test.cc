@@ -278,6 +278,65 @@ TEST(ExportTest, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
 }
 
+TEST(ExportTest, PrometheusNameSanitization) {
+  // Valid characters pass through untouched.
+  EXPECT_EQ(PrometheusSanitizeName("innet_queries_answered"),
+            "innet_queries_answered");
+  EXPECT_EQ(PrometheusSanitizeName("a:b_C9"), "a:b_C9");
+  // Reserved / invalid characters collapse to underscores.
+  EXPECT_EQ(PrometheusSanitizeName("innet.queries-answered/total"),
+            "innet_queries_answered_total");
+  EXPECT_EQ(PrometheusSanitizeName("rate (1/s)"), "rate__1_s_");
+  // A leading digit (or empty name) gains an underscore prefix.
+  EXPECT_EQ(PrometheusSanitizeName("5xx_responses"), "_5xx_responses");
+  EXPECT_EQ(PrometheusSanitizeName(""), "_");
+}
+
+TEST(ExportTest, PrometheusLabelAndHelpEscaping) {
+  EXPECT_EQ(PrometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusEscapeLabel("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PrometheusEscapeLabel("two\nlines"), "two\\nlines");
+  // HELP text escapes backslash and newline, but NOT quotes (it is not a
+  // quoted position in the exposition format).
+  EXPECT_EQ(PrometheusEscapeHelp("a\\b\nc\"d"), "a\\\\b\\nc\"d");
+}
+
+TEST(ExportTest, PrometheusCounterWithReservedCharactersExports) {
+  MetricsRegistry registry;
+  registry.GetCounter("innet.queries-answered/total", "Total, with \"stuff\"\nand newline")
+      .Increment(7);
+  std::ostringstream out;
+  WritePrometheus(registry, out);
+  std::string text = out.str();
+  // Name sanitized everywhere it appears; help escaped onto one line.
+  EXPECT_NE(text.find("# TYPE innet_queries_answered_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("innet_queries_answered_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# HELP innet_queries_answered_total Total, with "
+                      "\"stuff\"\\nand newline\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("innet.queries"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEmptyHistogramExposition) {
+  MetricsRegistry registry;
+  registry.GetHistogram("empty_hist", {1.0, 10.0}, "No samples yet");
+  std::ostringstream out;
+  WritePrometheus(registry, out);
+  std::string text = out.str();
+  // An observation-free histogram still exposes the full bucket chain with
+  // zero counts and a zero sum — scrapers must see a consistent series.
+  EXPECT_NE(text.find("# TYPE empty_hist histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("empty_hist_bucket{le=\"1\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("empty_hist_bucket{le=\"10\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("empty_hist_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("empty_hist_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("empty_hist_count 0\n"), std::string::npos);
+}
+
 // Captures emitted log records for assertions.
 struct CapturedLog {
   static std::vector<std::string>& Lines() {

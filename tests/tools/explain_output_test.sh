@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Fixture test: innet_query --explain emits one JSON provenance object per
+# answered configuration with the schema CI validates (faces,
+# boundary_edges, deadspace_fraction, answer, interval), byte-identical
+# across runs; --explain-svg writes a non-empty SVG overlay.
+set -u
+
+dataset_bin=$1
+query_bin=$2
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$dataset_bin" generate --junctions 120 --trips 40 --horizon 600 --seed 3 \
+  --graph-out "$tmp/g.bin" --trips-out "$tmp/t.bin" >/dev/null || {
+  echo "dataset generation failed" >&2
+  exit 1
+}
+
+run_explain() {
+  "$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+    --rect 0,0,12000,12000 --t1 0 --t2 600 --sample-fraction 0.3 \
+    --bound lower --explain --explain-svg "$2" >"$1" 2>"$tmp/err.txt" || {
+    echo "explain run failed:" >&2
+    cat "$tmp/err.txt" >&2
+    exit 1
+  }
+}
+
+run_explain "$tmp/explain1.json" "$tmp/overlay1.svg"
+run_explain "$tmp/explain2.json" "$tmp/overlay2.svg"
+
+# Determinism: two identical invocations produce byte-identical provenance.
+cmp -s "$tmp/explain1.json" "$tmp/explain2.json" || {
+  echo "explain output differs between identical runs:" >&2
+  diff "$tmp/explain1.json" "$tmp/explain2.json" >&2
+  exit 1
+}
+
+# Schema: exactly one JSON object (single bound), required keys present.
+python3 - "$tmp/explain1.json" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 1, f"expected 1 explain object, got {len(lines)}"
+record = json.loads(lines[0])
+for key in ("faces", "boundary_edges", "deadspace_fraction", "answer",
+            "interval"):
+    assert key in record, f"missing key {key}: {record}"
+assert isinstance(record["faces"], list), record["faces"]
+assert record["faces"] == sorted(record["faces"]), "faces not sorted"
+interval = record["interval"]
+assert isinstance(interval, list) and len(interval) == 2, interval
+assert interval[0] <= record["answer"] <= interval[1], record
+assert 0.0 <= record["deadspace_fraction"], record
+assert record["bound"] == "lower" and record["path"] in (
+    "sampled", "degraded"), record
+EOF
+[ $? -eq 0 ] || exit 1
+
+# The SVG overlay exists and is a real SVG document.
+[ -s "$tmp/overlay1.svg" ] || {
+  echo "--explain-svg wrote no overlay" >&2
+  exit 1
+}
+grep -q "<svg" "$tmp/overlay1.svg" || {
+  echo "overlay is not an SVG document" >&2
+  exit 1
+}
+
+# The exact (unsampled) path explains too.
+"$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+  --rect 0,0,12000,12000 --t1 0 --t2 600 --explain \
+  >"$tmp/exact.json" 2>/dev/null || {
+  echo "exact explain run failed" >&2
+  exit 1
+}
+python3 - "$tmp/exact.json" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 1, lines
+record = json.loads(lines[0])
+assert record["path"] == "unsampled" and record["bound"] == "exact", record
+assert record["faces"] == [] and record["deadspace_fraction"] == 0.0, record
+EOF

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Fixture test: innet_query must reject non-positive --trace-sample and
+# --shadow-sample values with a clear error BEFORE touching any input file,
+# and keep accepting positive values.
+set -u
+
+dataset_bin=$1
+query_bin=$2
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Invalid 1-in-N values must fail fast (exit nonzero, diagnostic naming the
+# flag) even with bogus input paths — validation runs before file I/O.
+for flag in trace-sample shadow-sample; do
+  for value in 0 -3; do
+    if "$query_bin" --graph /nonexistent.bin --trips /nonexistent.bin \
+        --batch /nonexistent.txt --sample-fraction 0.3 \
+        --$flag $value >"$tmp/out.txt" 2>"$tmp/err.txt"; then
+      echo "--$flag $value was accepted (expected rejection)" >&2
+      exit 1
+    fi
+    grep -q -- "--$flag must be a positive integer" "$tmp/err.txt" || {
+      echo "--$flag $value: missing/unclear diagnostic:" >&2
+      cat "$tmp/err.txt" >&2
+      exit 1
+    }
+    # Rejection happened during validation, not on the missing files.
+    grep -qi "nonexistent" "$tmp/err.txt" && {
+      echo "--$flag $value: tool touched input files before validating" >&2
+      exit 1
+    }
+  done
+done
+
+# Positive values keep working end to end.
+"$dataset_bin" generate --junctions 120 --trips 40 --horizon 600 --seed 3 \
+  --graph-out "$tmp/g.bin" --trips-out "$tmp/t.bin" >/dev/null || {
+  echo "dataset generation failed" >&2
+  exit 1
+}
+cat >"$tmp/batch.txt" <<'EOF'
+0,0,15000,15000,0,600
+0,0,8000,8000,0,300
+EOF
+"$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+  --batch "$tmp/batch.txt" --sample-fraction 0.3 \
+  --trace-sample 2 --trace-out "$tmp/traces.jsonl" \
+  --shadow-sample 1 >/dev/null 2>"$tmp/err.txt" || {
+  echo "valid --trace-sample/--shadow-sample run failed:" >&2
+  cat "$tmp/err.txt" >&2
+  exit 1
+}
+
+# The shadow report line surfaces the measured error on stderr.
+grep -q "shadow: " "$tmp/err.txt" || {
+  echo "missing shadow accuracy line on stderr:" >&2
+  cat "$tmp/err.txt" >&2
+  exit 1
+}
+# 2 queries x 2 bounds, shadowing 1-in-1 => 4 checks.
+grep -q "shadow: 4 checks (1-in-1)" "$tmp/err.txt" || {
+  echo "unexpected shadow check count (want 4 at 1-in-1):" >&2
+  cat "$tmp/err.txt" >&2
+  exit 1
+}

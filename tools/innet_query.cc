@@ -19,6 +19,16 @@
 // per sampled query with its stage breakdown, --trace-sample N sampling
 // 1-in-N (batch mode); --log-level info|warn|error|off sets diagnostic
 // verbosity.
+//
+// EXPLAIN (docs/OBSERVABILITY.md §"Accuracy & EXPLAIN"): --explain replaces
+// the human-readable answer lines with one deterministic JSON provenance
+// object per answered configuration (resolved faces, dead space, boundary
+// size, store family, cache path, interval). --explain-svg=PATH
+// additionally renders the resolved face union and integrated boundary
+// over the network (sampled runs only). In batch mode, --shadow-sample N
+// re-executes 1-in-N answered queries on the exact unsampled path off the
+// hot path and reports the measured relative error on stderr (metrics:
+// innet_accuracy_rel_error and friends).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -154,14 +164,36 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
   obs::Tracer tracer(tracer_options);
   if (!trace_out.empty()) engine_options.tracer = &tracer;
 
+  // Shadow accuracy checks (destroyed after the engine, which holds a
+  // pointer into it).
+  std::unique_ptr<obs::AccuracyMonitor> accuracy;
+  if (flags.Has("shadow-sample")) {
+    obs::AccuracyMonitorOptions accuracy_options;
+    accuracy_options.shadow_every =
+        static_cast<uint64_t>(flags.GetInt("shadow-sample", 8));
+    accuracy_options.total_cells = network.mobility().NumNodes();
+    accuracy_options.registry = &obs::MetricsRegistry::Global();
+    accuracy = std::make_unique<obs::AccuracyMonitor>(accuracy_options);
+    engine_options.accuracy = accuracy.get();
+  }
+
   runtime::BatchQueryEngine engine(deployment->graph(), deployment->store(),
                                    engine_options);
 
+  bool explain = flags.GetBool("explain");
   std::string bound_name = flags.GetString("bound", "");
   util::Timer timer;
   for (core::BoundMode bound :
        {core::BoundMode::kLower, core::BoundMode::kUpper}) {
     if (!bound_name.empty() && bound_name != core::BoundModeName(bound)) {
+      continue;
+    }
+    if (explain) {
+      std::vector<obs::ExplainRecord> explains;
+      engine.AnswerBatchExplained(queries, kind, bound, &explains);
+      for (const obs::ExplainRecord& record : explains) {
+        std::printf("%s\n", record.ToJson().c_str());
+      }
       continue;
     }
     std::vector<core::QueryAnswer> answers =
@@ -191,6 +223,16 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
                static_cast<unsigned long long>(snap.missed_lower),
                static_cast<unsigned long long>(snap.missed_upper),
                snap.latency_p50_micros, snap.latency_p95_micros);
+  if (accuracy != nullptr) {
+    engine.FlushShadow();
+    std::fprintf(stderr,
+                 "shadow: %llu checks (1-in-%llu) | mean |rel err|=%.4f "
+                 "signed=%.4f\n",
+                 static_cast<unsigned long long>(accuracy->Comparisons()),
+                 static_cast<unsigned long long>(
+                     accuracy->options().shadow_every),
+                 accuracy->MeanAbsRelError(), accuracy->MeanSignedRelError());
+  }
   if (!trace_out.empty() &&
       !obs::ExportTracesToFile(tracer.Drain(), trace_out)) {
     return 1;
@@ -209,6 +251,17 @@ int Main(int argc, char** argv) {
     }
     SetMinLogLevel(level);
   }
+  // 1-in-N sampling knobs must be positive: N == 0 would divide by zero in
+  // the samplers and a negative N is always a typo. Validate before any
+  // file I/O so bad invocations fail fast.
+  if (flags.Has("trace-sample") && flags.GetInt("trace-sample", 1) <= 0) {
+    return Fail("--trace-sample must be a positive integer (trace 1-in-N "
+                "queries); got " + flags.GetString("trace-sample"));
+  }
+  if (flags.Has("shadow-sample") && flags.GetInt("shadow-sample", 8) <= 0) {
+    return Fail("--shadow-sample must be a positive integer (shadow-check "
+                "1-in-N queries); got " + flags.GetString("shadow-sample"));
+  }
   std::string graph_path = flags.GetString("graph");
   std::string trips_path = flags.GetString("trips");
   std::string rect_text = flags.GetString("rect");
@@ -224,7 +277,8 @@ int Main(int argc, char** argv) {
                  "--sample-fraction F [--threads N] [--cache N] [--kind K] "
                  "[--bound B] [--sampler NAME] [--store exact|learned]\n"
                  "observability: [--metrics-out PATH] [--trace-out PATH] "
-                 "[--trace-sample N] [--log-level info|warn|error|off]\n");
+                 "[--trace-sample N] [--shadow-sample N] [--explain] "
+                 "[--explain-svg PATH] [--log-level info|warn|error|off]\n");
     return 2;
   }
 
@@ -261,17 +315,32 @@ int Main(int argc, char** argv) {
   query.t1 = flags.GetDouble("t1", 0.0);
   query.t2 = flags.GetDouble("t2", t_end);
 
-  std::printf("region: %zu sensing cells in [%.0f,%.0f]x[%.0f,%.0f], "
-              "t in [%.0f, %.0f]\n",
-              query.junctions.size(), rect.min_x, rect.max_x, rect.min_y,
-              rect.max_y, query.t1, query.t2);
+  bool explain = flags.GetBool("explain");
+  std::string explain_svg = flags.GetString("explain-svg");
+  if (!explain_svg.empty() && fraction <= 0.0) {
+    return Fail("--explain-svg renders the resolved face union of a sampled "
+                "deployment; it requires --sample-fraction > 0");
+  }
+
+  if (!explain) {
+    std::printf("region: %zu sensing cells in [%.0f,%.0f]x[%.0f,%.0f], "
+                "t in [%.0f, %.0f]\n",
+                query.junctions.size(), rect.min_x, rect.max_x, rect.min_y,
+                rect.max_y, query.t1, query.t2);
+  }
 
   if (fraction <= 0.0) {
     core::UnsampledQueryProcessor processor(network);
-    core::QueryAnswer answer = processor.Answer(query, kind);
-    std::printf("%s count (exact): %.0f  [sensors=%zu edges=%zu %.1fus]\n",
-                kind_name.c_str(), answer.estimate, answer.nodes_accessed,
-                answer.edges_accessed, answer.exec_micros);
+    obs::ExplainRecord record;
+    core::QueryAnswer answer =
+        processor.Answer(query, kind, explain ? &record : nullptr);
+    if (explain) {
+      std::printf("%s\n", record.ToJson().c_str());
+    } else {
+      std::printf("%s count (exact): %.0f  [sensors=%zu edges=%zu %.1fus]\n",
+                  kind_name.c_str(), answer.estimate, answer.nodes_accessed,
+                  answer.edges_accessed, answer.exec_micros);
+    }
     return Finish(flags, flags.GetString("metrics-out"));
   }
 
@@ -284,18 +353,34 @@ int Main(int argc, char** argv) {
   core::SampledQueryProcessor processor = deployment->processor();
 
   std::string bound_name = flags.GetString("bound", "");
+  obs::ExplainRecord last_explain;
+  bool answered_any = false;
   for (core::BoundMode bound :
        {core::BoundMode::kLower, core::BoundMode::kUpper}) {
     if (!bound_name.empty() && bound_name != core::BoundModeName(bound)) {
       continue;
     }
-    core::QueryAnswer answer = processor.Answer(query, kind, bound);
-    std::printf(
-        "%s count (%s, %s @%.1f%%): %.0f%s  [sensors=%zu edges=%zu "
-        "%.1fus]\n",
-        kind_name.c_str(), core::BoundModeName(bound), sampler_name.c_str(),
-        fraction * 100.0, answer.estimate, answer.missed ? " (MISSED)" : "",
-        answer.nodes_accessed, answer.edges_accessed, answer.exec_micros);
+    obs::ExplainRecord record;
+    core::QueryAnswer answer = processor.Answer(
+        query, kind, bound, nullptr,
+        explain || !explain_svg.empty() ? &record : nullptr);
+    last_explain = record;
+    answered_any = true;
+    if (explain) {
+      std::printf("%s\n", record.ToJson().c_str());
+    } else {
+      std::printf(
+          "%s count (%s, %s @%.1f%%): %.0f%s  [sensors=%zu edges=%zu "
+          "%.1fus]\n",
+          kind_name.c_str(), core::BoundModeName(bound), sampler_name.c_str(),
+          fraction * 100.0, answer.estimate, answer.missed ? " (MISSED)" : "",
+          answer.nodes_accessed, answer.edges_accessed, answer.exec_micros);
+    }
+  }
+  if (!explain_svg.empty() && answered_any) {
+    util::Status status = viz::RenderExplainOverlay(
+        network, deployment->graph(), last_explain, rect, explain_svg);
+    if (!status.ok()) return Fail(status.ToString());
   }
   return Finish(flags, flags.GetString("metrics-out"));
 }
