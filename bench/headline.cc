@@ -11,16 +11,19 @@
 //   --json[=PATH]      machine-readable report (default BENCH_headline.json)
 //   --metrics-out=PATH dump the process metrics registry on exit
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "forms/frozen_tracking_form.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "runtime/batch_query_engine.h"
 #include "sampling/samplers.h"
+#include "util/alloc_probe.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -257,6 +260,46 @@ int Main(const util::FlagParser& flags) {
                  shadow_overhead * 100.0);
     return 1;
   }
+
+  // --- Frozen-store warm path: per-query heap allocations must be ZERO
+  // once the workspace has grown to the deployment (docs/PERFORMANCE.md).
+  // CI's bench-smoke job reads warm_query_allocs from the JSON report and
+  // fails on any nonzero value. ---
+  forms::FrozenTrackingForm frozen = dep.tracking_store()->Freeze();
+  core::SampledQueryProcessor frozen_processor(dep.graph(), frozen);
+  core::QueryWorkspace workspace;
+  double frozen_sum = 0.0;
+  for (int round = 0; round < 2; ++round) {  // Warm-up: grow all scratch.
+    for (const core::RangeQuery& q : queries) {
+      frozen_processor.Answer(q, core::CountKind::kStatic,
+                              core::BoundMode::kLower, nullptr, nullptr,
+                              &workspace);
+    }
+  }
+  util::AllocProbe probe;
+  for (const core::RangeQuery& q : queries) {
+    frozen_sum += frozen_processor
+                      .Answer(q, core::CountKind::kStatic,
+                              core::BoundMode::kLower, nullptr, nullptr,
+                              &workspace)
+                      .estimate;
+  }
+  uint64_t warm_allocs = probe.Delta();
+  double tracking_sum = 0.0;
+  for (const core::RangeQuery& q : queries) {
+    tracking_sum += serial
+                        .Answer(q, core::CountKind::kStatic,
+                                core::BoundMode::kLower)
+                        .estimate;
+  }
+  std::printf(
+      "\nwarm resolve-and-integrate path (frozen store, %zu queries): %llu "
+      "heap allocations (want 0) | frozen-vs-tracking estimate drift %.17g\n",
+      queries.size(), static_cast<unsigned long long>(warm_allocs),
+      std::abs(frozen_sum - tracking_sum));
+  report.Metric("warm_query_allocs", static_cast<double>(warm_allocs));
+  report.Metric("frozen_identity_abs_diff",
+                std::abs(frozen_sum - tracking_sum));
 
   if (!report.WriteFlagged(flags)) return 1;
   std::string metrics_out = flags.GetString("metrics-out");

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/query_workspace.h"
 #include "forms/region_count.h"
 #include "util/logging.h"
 
@@ -32,7 +33,8 @@ struct Deformation {
 Deformation Deform(const SampledGraph& sampled, const SensorHealthView& health,
                    const std::vector<uint32_t>& start, bool outward,
                    size_t max_steps,
-                   std::unordered_set<graph::EdgeId>* dead_seen) {
+                   std::unordered_set<graph::EdgeId>* dead_seen,
+                   QueryWorkspace& ws) {
   const SensorNetwork& network = sampled.network();
   Deformation result;
   result.faces = start;
@@ -41,10 +43,12 @@ Deformation Deform(const SampledGraph& sampled, const SensorHealthView& health,
 
   // Each round either terminates or strictly grows/shrinks the face set, so
   // the loop runs at most NumFaces rounds; every round is region-local.
+  // Per-round boundaries live in the workspace buffers; only the final,
+  // fully-healthy boundary is copied into the owned result.
   while (true) {
-    result.boundary = sampled.BoundaryOfFaces(result.faces);
+    sampled.BoundaryOfFaces(result.faces, ws);
     std::vector<uint32_t> flips;
-    for (const forms::BoundaryEdge& be : result.boundary.edges) {
+    for (const forms::BoundaryEdge& be : ws.boundary_edges) {
       if (!EdgeIsDead(network, health, be.edge)) continue;
       dead_seen->insert(be.edge);
       const graph::EdgeRecord& rec = network.mobility().Edge(be.edge);
@@ -82,6 +86,8 @@ Deformation Deform(const SampledGraph& sampled, const SensorHealthView& health,
       }
     }
   }
+  result.boundary.edges = ws.boundary_edges;
+  result.boundary.sensors = ws.boundary_sensors;
   return result;
 }
 
@@ -142,21 +148,24 @@ DegradedBoundary ResolveDegradedBoundary(const SampledGraph& sampled,
     return result;
   }
   const SensorNetwork& network = sampled.network();
-  result.boundary = sampled.BoundaryOfFaces(faces);
+  QueryWorkspace& ws = LocalWorkspace();
+  sampled.BoundaryOfFaces(faces, ws);
 
   std::unordered_set<graph::EdgeId> dead_seen;
-  for (const forms::BoundaryEdge& be : result.boundary.edges) {
+  for (const forms::BoundaryEdge& be : ws.boundary_edges) {
     if (EdgeIsDead(network, health, be.edge)) dead_seen.insert(be.edge);
   }
   result.dead_boundary_edges = dead_seen.size();
+  result.boundary.edges = ws.boundary_edges;
+  result.boundary.sensors = ws.boundary_sensors;
   if (dead_seen.empty()) return result;
   result.degraded = true;
 
   size_t cap = options.max_deformation_faces;
   Deformation outer =
-      Deform(sampled, health, faces, /*outward=*/true, cap, &dead_seen);
+      Deform(sampled, health, faces, /*outward=*/true, cap, &dead_seen, ws);
   Deformation inner =
-      Deform(sampled, health, faces, /*outward=*/false, cap, &dead_seen);
+      Deform(sampled, health, faces, /*outward=*/false, cap, &dead_seen, ws);
 
   result.absorbed_faces = outer.faces_changed;
   result.shed_faces = inner.faces_changed;

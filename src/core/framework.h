@@ -47,6 +47,13 @@ class Deployment {
   const SampledGraph& graph() const { return graph_; }
   const forms::EdgeCountStore& store() const { return *store_view_; }
 
+  /// The underlying exact tracking form, or nullptr for a learned-store
+  /// deployment. Callers freeze it (TrackingForm::Freeze) to build the
+  /// read-optimized query path — see docs/PERFORMANCE.md.
+  const forms::TrackingForm* tracking_store() const {
+    return exact_store_.get();
+  }
+
   /// Processor bound to this deployment (cheap to construct).
   SampledQueryProcessor processor() const {
     return SampledQueryProcessor(graph_, *store_view_);

@@ -92,23 +92,25 @@ void FillExplainAnswer(const QueryAnswer& answer,
 QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
                                           CountKind kind, BoundMode bound,
                                           obs::QueryTrace* trace,
-                                          obs::ExplainRecord* explain) const {
+                                          obs::ExplainRecord* explain,
+                                          QueryWorkspace* workspace) const {
   util::Timer timer;
   QueryAnswer answer;
   ProcessorQueries().Increment();
+  QueryWorkspace& ws = workspace != nullptr ? *workspace : LocalWorkspace();
 
-  SampledGraph::RegionBoundary boundary;
   {
     obs::Span span(trace, "boundary_resolution");
-    std::vector<uint32_t> faces =
-        bound == BoundMode::kLower
-            ? sampled_->LowerBoundFaces(query.junctions)
-            : sampled_->UpperBoundFaces(query.junctions);
+    if (bound == BoundMode::kLower) {
+      sampled_->LowerBoundFaces(query.junctions, ws);
+    } else {
+      sampled_->UpperBoundFaces(query.junctions, ws);
+    }
     if (explain != nullptr) {
-      FillExplainResolution(*sampled_, query, kind, bound, faces, *store_,
+      FillExplainResolution(*sampled_, query, kind, bound, ws.faces, *store_,
                             explain);
     }
-    if (faces.empty()) {
+    if (ws.faces.empty()) {
       answer.missed = true;
       answer.exec_micros = timer.ElapsedMicros();
       ProcessorMissed().Increment();
@@ -116,20 +118,32 @@ QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
       if (explain != nullptr) FillExplainAnswer(answer, explain);
       return answer;
     }
-    boundary = sampled_->BoundaryOfFaces(faces);
+    sampled_->BoundaryOfFaces(ws.faces, ws);
   }
 
   {
     obs::Span span(trace, "form_integration");
-    answer.estimate =
-        kind == CountKind::kStatic
-            ? forms::EvaluateStaticCount(*store_, boundary.edges, query.t2)
-            : forms::EvaluateTransientCount(*store_, boundary.edges,
-                                            query.t1, query.t2);
+    // Devirtualized fused kernels when the store is frozen; the virtual
+    // per-edge path otherwise. Identical arithmetic either way.
+    if (kind == CountKind::kStatic) {
+      answer.estimate =
+          frozen_ != nullptr
+              ? forms::EvaluateStaticCount(*frozen_, ws.boundary_edges,
+                                           query.t2)
+              : forms::EvaluateStaticCount(*store_, ws.boundary_edges,
+                                           query.t2);
+    } else {
+      answer.estimate =
+          frozen_ != nullptr
+              ? forms::EvaluateTransientCount(*frozen_, ws.boundary_edges,
+                                              query.t1, query.t2)
+              : forms::EvaluateTransientCount(*store_, ws.boundary_edges,
+                                              query.t1, query.t2);
+    }
   }
   answer.interval = forms::CountInterval::Point(answer.estimate);
-  answer.nodes_accessed = boundary.sensors.size();
-  answer.edges_accessed = boundary.edges.size();
+  answer.nodes_accessed = ws.boundary_sensors.size();
+  answer.edges_accessed = ws.boundary_edges.size();
   answer.exec_micros = timer.ElapsedMicros();
   if (trace != nullptr) trace->Annotate("estimate", answer.estimate);
   if (explain != nullptr) FillExplainAnswer(answer, explain);
@@ -142,18 +156,20 @@ QueryAnswer SampledQueryProcessor::AnswerDegraded(
     obs::QueryTrace* trace, obs::ExplainRecord* explain) const {
   util::Timer timer;
   ProcessorQueries().Increment();
+  QueryWorkspace& ws = LocalWorkspace();
   DegradedBoundary resolved;
   {
     obs::Span span(trace, "degraded_reroute");
-    std::vector<uint32_t> faces =
-        bound == BoundMode::kLower
-            ? sampled_->LowerBoundFaces(query.junctions)
-            : sampled_->UpperBoundFaces(query.junctions);
+    if (bound == BoundMode::kLower) {
+      sampled_->LowerBoundFaces(query.junctions, ws);
+    } else {
+      sampled_->UpperBoundFaces(query.junctions, ws);
+    }
     if (explain != nullptr) {
-      FillExplainResolution(*sampled_, query, kind, bound, faces, *store_,
+      FillExplainResolution(*sampled_, query, kind, bound, ws.faces, *store_,
                             explain);
     }
-    resolved = ResolveDegradedBoundary(*sampled_, faces, health, options);
+    resolved = ResolveDegradedBoundary(*sampled_, ws.faces, health, options);
   }
   QueryAnswer answer;
   {
@@ -175,70 +191,98 @@ std::vector<double> SampledQueryProcessor::AnswerSeries(
     const RangeQuery& query, BoundMode bound, size_t steps) const {
   INNET_CHECK(query.t2 >= query.t1);
   if (steps == 0) return {};
-  std::vector<uint32_t> faces = bound == BoundMode::kLower
-                                    ? sampled_->LowerBoundFaces(query.junctions)
-                                    : sampled_->UpperBoundFaces(query.junctions);
-  if (faces.empty()) return {};
-  SampledGraph::RegionBoundary boundary = sampled_->BoundaryOfFaces(faces);
-  std::vector<double> series;
-  series.reserve(steps);
-  if (steps == 1) {
-    // A single instant degenerates to the interval start.
-    series.push_back(forms::EvaluateStaticCount(*store_, boundary.edges,
-                                                query.t1));
-    return series;
+  QueryWorkspace& ws = LocalWorkspace();
+  if (bound == BoundMode::kLower) {
+    sampled_->LowerBoundFaces(query.junctions, ws);
+  } else {
+    sampled_->UpperBoundFaces(query.junctions, ws);
   }
-  double span = query.t2 - query.t1;
-  for (size_t i = 0; i < steps; ++i) {
-    double t = query.t1 +
-               span * static_cast<double>(i) / static_cast<double>(steps - 1);
-    series.push_back(
-        forms::EvaluateStaticCount(*store_, boundary.edges, t));
+  if (ws.faces.empty()) return {};
+  sampled_->BoundaryOfFaces(ws.faces, ws);
+
+  // Evaluation instants (ascending): steps == 1 degenerates to the
+  // interval start; otherwise endpoints inclusive.
+  ws.series.resize(steps);
+  if (steps == 1) {
+    ws.series[0] = query.t1;
+  } else {
+    double span = query.t2 - query.t1;
+    for (size_t i = 0; i < steps; ++i) {
+      ws.series[i] = query.t1 + span * static_cast<double>(i) /
+                                    static_cast<double>(steps - 1);
+    }
+  }
+
+  std::vector<double> series(steps, 0.0);
+  if (frozen_ != nullptr) {
+    // One merge pass per boundary edge over the whole instant batch.
+    forms::EvaluateStaticCountBatch(*frozen_, ws.boundary_edges,
+                                    ws.series.data(), steps, series.data());
+  } else {
+    for (size_t i = 0; i < steps; ++i) {
+      series[i] =
+          forms::EvaluateStaticCount(*store_, ws.boundary_edges, ws.series[i]);
+    }
   }
   return series;
 }
 
 QueryAnswer UnsampledQueryProcessor::Answer(const RangeQuery& query,
                                             CountKind kind,
-                                            obs::ExplainRecord* explain) const {
+                                            obs::ExplainRecord* explain,
+                                            QueryWorkspace* workspace) const {
   util::Timer timer;
   QueryAnswer answer;
   UnsampledQueries().Increment();
   const graph::PlanarGraph& mobility = network_->mobility();
+  QueryWorkspace& ws = workspace != nullptr ? *workspace : LocalWorkspace();
+  ws.EnsureDomains(0, mobility.NumNodes(), network_->sensing().NumNodes());
+  uint32_t gen = ws.NextGeneration();
 
   // Region-local boundary extraction: walk the in-region junctions'
   // adjacency only (the work an in-network dispatch actually performs).
   // Every boundary edge is found exactly once, from its inside endpoint.
-  std::vector<bool> mask = network_->JunctionMask(query.junctions);
-  std::vector<forms::BoundaryEdge> boundary;
+  // The membership mask is a generation-stamped scratch array, not a fresh
+  // per-query vector<bool>.
+  std::vector<uint32_t>& junction_stamp = ws.junction_stamp();
+  for (graph::NodeId u : query.junctions) junction_stamp[u] = gen;
+  ws.boundary_edges.clear();
   for (graph::NodeId u : query.junctions) {
     for (const graph::Neighbor& nb : mobility.NeighborsOf(u)) {
-      if (mask[nb.node]) continue;
-      boundary.push_back(
+      if (junction_stamp[nb.node] == gen) continue;
+      ws.boundary_edges.push_back(
           {nb.edge, /*inward_is_forward=*/mobility.Edge(nb.edge).v == u});
     }
     if (network_->gateway_mask()[u]) {
-      boundary.push_back(
+      ws.boundary_edges.push_back(
           {network_->VirtualEdgeOf(u), /*inward_is_forward=*/true});
     }
   }
   answer.estimate =
       kind == CountKind::kStatic
-          ? forms::EvaluateStaticCount(network_->reference_store(), boundary,
-                                       query.t2)
+          ? forms::EvaluateStaticCount(network_->reference_store(),
+                                       ws.boundary_edges, query.t2)
           : forms::EvaluateTransientCount(network_->reference_store(),
-                                          boundary, query.t1, query.t2);
+                                          ws.boundary_edges, query.t1,
+                                          query.t2);
   answer.interval = forms::CountInterval::Point(answer.estimate);
-  answer.edges_accessed = boundary.size();
+  answer.edges_accessed = ws.boundary_edges.size();
 
   // Flooding cost: every sensor whose face touches a junction of the region
-  // participates in the in-network aggregation.
-  std::vector<bool> sensor_seen(network_->sensing().NumNodes(), false);
+  // participates in the in-network aggregation. Stamped dedup — the same
+  // generation works because sensor marks live in their own array.
+  std::vector<uint32_t>& sensor_stamp = ws.sensor_stamp();
   size_t sensors = 0;
   for (graph::NodeId n : query.junctions) {
-    for (graph::FaceId f : mobility.FacesAroundNode(n)) {
-      if (!sensor_seen[f]) {
-        sensor_seen[f] = true;
+    // Inline FacesAroundNode: the face left of each half-edge leaving n
+    // (that call materializes a vector per junction; this walk does not).
+    for (const graph::Neighbor& nb : mobility.NeighborsOf(n)) {
+      uint32_t h = mobility.Edge(nb.edge).u == n
+                       ? (nb.edge << 1)
+                       : ((nb.edge << 1) | 1);
+      graph::FaceId f = mobility.FaceOfHalfEdge(h);
+      if (sensor_stamp[f] != gen) {
+        sensor_stamp[f] = gen;
         ++sensors;
       }
     }

@@ -5,9 +5,11 @@
 
 #include "core/health.h"
 #include "core/query.h"
+#include "core/query_workspace.h"
 #include "core/sampled_graph.h"
 #include "core/sensor_network.h"
 #include "forms/edge_count_store.h"
+#include "forms/frozen_tracking_form.h"
 #include "obs/explain.h"
 #include "obs/trace.h"
 
@@ -16,11 +18,17 @@ namespace innet::core {
 /// Answers queries on a sampled graph against any edge-count store (exact
 /// tracking forms or learned models). Holds references only; the graph and
 /// store must outlive the processor.
+///
+/// When the store is (dynamically) a forms::FrozenTrackingForm the
+/// processor integrates through the devirtualized fused kernels — detected
+/// once at construction, answers stay bit-identical (docs/PERFORMANCE.md).
 class SampledQueryProcessor {
  public:
   SampledQueryProcessor(const SampledGraph& sampled,
                         const forms::EdgeCountStore& store)
-      : sampled_(&sampled), store_(&store) {}
+      : sampled_(&sampled),
+        store_(&store),
+        frozen_(dynamic_cast<const forms::FrozenTrackingForm*>(&store)) {}
 
   /// Approximates the query under the given bound mode. A miss (no face of
   /// G̃ satisfies the bound) reports estimate 0 with missed = true.
@@ -31,9 +39,13 @@ class SampledQueryProcessor {
   /// registry. `explain` (optional) receives the answer's provenance —
   /// resolved faces, dead-space fraction, boundary size, store family —
   /// which is deterministic for a given deployment and query.
+  /// `workspace` (optional) supplies the scratch buffers of the
+  /// resolve-and-integrate path; with it (or the per-thread fallback,
+  /// core::LocalWorkspace) the warm path performs ZERO heap allocations.
   QueryAnswer Answer(const RangeQuery& query, CountKind kind,
                      BoundMode bound, obs::QueryTrace* trace = nullptr,
-                     obs::ExplainRecord* explain = nullptr) const;
+                     obs::ExplainRecord* explain = nullptr,
+                     QueryWorkspace* workspace = nullptr) const;
 
   /// Fault-tolerant answering (docs/FAULTS.md): when the resolved region's
   /// boundary touches edges owned by sensors `health` reports failed, the
@@ -52,15 +64,18 @@ class SampledQueryProcessor {
   /// `steps` evenly spaced instants spanning [query.t1, query.t2]
   /// (inclusive endpoints). Any step count is accepted: `steps == 1`
   /// returns the single instant at t1 and `steps == 0` an empty vector.
-  /// The region is resolved and its boundary dispatched ONCE; each
-  /// instant costs one pass over the boundary edges — the access pattern
-  /// of a monitoring dashboard. Returns an empty vector on a miss.
+  /// The region is resolved and its boundary dispatched ONCE. On a frozen
+  /// store the whole series is evaluated by the batch kernel — one merge
+  /// pass over each boundary edge's event sequence instead of `steps`
+  /// independent searches. Returns an empty vector on a miss.
   std::vector<double> AnswerSeries(const RangeQuery& query, BoundMode bound,
                                    size_t steps) const;
 
  private:
   const SampledGraph* sampled_;
   const forms::EdgeCountStore* store_;
+  // Non-null when store_ is a frozen tracking form (fused-kernel path).
+  const forms::FrozenTrackingForm* frozen_;
 };
 
 /// Fills the resolution-side provenance fields of `explain` (kind, bound,
@@ -90,8 +105,12 @@ class UnsampledQueryProcessor {
 
   /// `explain` (optional) receives provenance; the exact path has no
   /// sampled faces and no dead space, so those fields stay empty/zero.
+  /// `workspace` (optional) replaces the per-query junction mask and
+  /// flooded-sensor set with stamped scratch (zero steady-state
+  /// allocations; defaults to the calling thread's LocalWorkspace).
   QueryAnswer Answer(const RangeQuery& query, CountKind kind,
-                     obs::ExplainRecord* explain = nullptr) const;
+                     obs::ExplainRecord* explain = nullptr,
+                     QueryWorkspace* workspace = nullptr) const;
 
  private:
   const SensorNetwork* network_;

@@ -1,0 +1,10 @@
+#include "core/query_workspace.h"
+
+namespace innet::core {
+
+QueryWorkspace& LocalWorkspace() {
+  static thread_local QueryWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace innet::core

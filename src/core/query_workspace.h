@@ -1,0 +1,94 @@
+// Per-thread scratch space for the resolve-and-integrate query hot path.
+//
+// Answering one range query used to heap-allocate half a dozen transient
+// vectors: the per-face hit counts of Lower/UpperBoundFaces, the boundary
+// edge and sensor lists of BoundaryOfFaces, the junction mask and flooded-
+// sensor set of the unsampled processor. A QueryWorkspace owns all of that
+// scratch once; repeated queries through the same workspace reuse the
+// retained capacity, so the steady-state per-query allocation count is ZERO
+// (pinned by tests/workspace_test.cc via util/alloc_probe.h).
+//
+// Membership marks are GENERATION-STAMPED: instead of clearing an
+// O(domain) array per query, each primitive bumps the workspace generation
+// and treats an entry as "set" only when its stamp equals the current
+// generation. A bump is O(1); the arrays are cleared only on the (once per
+// 2^32 operations) generation wrap.
+//
+// Thread safety: a workspace is mutable scratch — one thread at a time.
+// Use one workspace per worker thread (runtime::BatchQueryEngine does this
+// via LocalWorkspace()); results are independent of workspace history, so
+// any thread-to-workspace assignment yields bit-identical answers.
+#ifndef INNET_CORE_QUERY_WORKSPACE_H_
+#define INNET_CORE_QUERY_WORKSPACE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "forms/region_count.h"
+#include "graph/planar_graph.h"
+
+namespace innet::core {
+
+class QueryWorkspace {
+ public:
+  /// Starts a new stamped operation: bumps and returns the generation every
+  /// mark array compares against. Wraparound resets the arrays.
+  uint32_t NextGeneration() {
+    if (++generation_ == 0) {
+      std::fill(face_stamp_.begin(), face_stamp_.end(), 0u);
+      std::fill(junction_stamp_.begin(), junction_stamp_.end(), 0u);
+      std::fill(sensor_stamp_.begin(), sensor_stamp_.end(), 0u);
+      generation_ = 1;
+    }
+    return generation_;
+  }
+
+  /// Grows the stamped domains to cover `faces` face ids, `junctions`
+  /// mobility nodes, and `sensors` dual nodes. Amortized: reallocates only
+  /// when a larger graph is seen.
+  void EnsureDomains(size_t faces, size_t junctions, size_t sensors) {
+    if (face_stamp_.size() < faces) {
+      face_stamp_.resize(faces, 0);
+      face_count_.resize(faces, 0);
+    }
+    if (junction_stamp_.size() < junctions) junction_stamp_.resize(junctions, 0);
+    if (sensor_stamp_.size() < sensors) sensor_stamp_.resize(sensors, 0);
+  }
+
+  // --- Stamped marks (valid while the stamp equals NextGeneration()'s
+  // return value; callers hold that value for the operation's duration). ---
+  std::vector<uint32_t>& face_stamp() { return face_stamp_; }
+  std::vector<uint32_t>& face_count() { return face_count_; }
+  std::vector<uint32_t>& junction_stamp() { return junction_stamp_; }
+  std::vector<uint32_t>& sensor_stamp() { return sensor_stamp_; }
+
+  // --- Reusable result buffers. Each primitive clears (size, not
+  // capacity) the buffer it fills; contents stay valid until the same
+  // buffer is reused. ---
+
+  /// Resolved face list (Lower/UpperBoundFaces output).
+  std::vector<uint32_t> faces;
+  /// Region boundary (BoundaryOfFaces / unsampled boundary output).
+  std::vector<forms::BoundaryEdge> boundary_edges;
+  std::vector<graph::NodeId> boundary_sensors;
+  /// AnswerSeries output buffer.
+  std::vector<double> series;
+
+ private:
+  uint32_t generation_ = 0;
+  std::vector<uint32_t> face_stamp_;
+  std::vector<uint32_t> face_count_;
+  std::vector<uint32_t> junction_stamp_;
+  std::vector<uint32_t> sensor_stamp_;
+};
+
+/// The calling thread's lazily-constructed workspace. Query paths that are
+/// not handed an explicit workspace fall back to this, so single-threaded
+/// tools and tests get the zero-allocation steady state for free. The
+/// reference is valid for the thread's lifetime.
+QueryWorkspace& LocalWorkspace();
+
+}  // namespace innet::core
+
+#endif  // INNET_CORE_QUERY_WORKSPACE_H_

@@ -161,64 +161,123 @@ void SampledGraph::ComputeStats() {
           : 0;
 }
 
+void SampledGraph::LowerBoundFaces(
+    const std::vector<graph::NodeId>& qr_junctions, QueryWorkspace& ws) const {
+  ws.EnsureDomains(face_sizes_.size(), face_of_junction_.size(),
+                   network_->sensing().NumNodes());
+  uint32_t gen = ws.NextGeneration();
+  std::vector<uint32_t>& junction_stamp = ws.junction_stamp();
+  std::vector<uint32_t>& face_stamp = ws.face_stamp();
+  std::vector<uint32_t>& face_count = ws.face_count();
+  ws.faces.clear();
+  // Count UNIQUE junctions per face: a duplicated junction in the query
+  // must not inflate a face's hit count past its size (which would make the
+  // full-coverage equality below silently reject the face).
+  for (graph::NodeId n : qr_junctions) {
+    if (junction_stamp[n] == gen) continue;
+    junction_stamp[n] = gen;
+    uint32_t f = face_of_junction_[n];
+    if (face_stamp[f] != gen) {
+      face_stamp[f] = gen;
+      face_count[f] = 0;
+      ws.faces.push_back(f);
+    }
+    ++face_count[f];
+  }
+  // Candidate faces in ascending id order (the allocating overload's output
+  // order); the candidate list is at most |Q_R| long.
+  std::sort(ws.faces.begin(), ws.faces.end());
+  size_t kept = 0;
+  for (uint32_t f : ws.faces) {
+    if (face_count[f] == face_sizes_[f]) ws.faces[kept++] = f;
+  }
+  ws.faces.resize(kept);
+}
+
 std::vector<uint32_t> SampledGraph::LowerBoundFaces(
     const std::vector<graph::NodeId>& qr_junctions) const {
-  std::vector<size_t> hits(face_sizes_.size(), 0);
-  for (graph::NodeId n : qr_junctions) ++hits[face_of_junction_[n]];
-  std::vector<uint32_t> faces;
-  for (uint32_t f = 0; f < face_sizes_.size(); ++f) {
-    if (hits[f] > 0 && hits[f] == face_sizes_[f]) faces.push_back(f);
+  QueryWorkspace& ws = LocalWorkspace();
+  LowerBoundFaces(qr_junctions, ws);
+  return ws.faces;
+}
+
+void SampledGraph::UpperBoundFaces(
+    const std::vector<graph::NodeId>& qr_junctions, QueryWorkspace& ws) const {
+  ws.EnsureDomains(face_sizes_.size(), face_of_junction_.size(),
+                   network_->sensing().NumNodes());
+  uint32_t gen = ws.NextGeneration();
+  std::vector<uint32_t>& face_stamp = ws.face_stamp();
+  ws.faces.clear();
+  for (graph::NodeId n : qr_junctions) {
+    uint32_t f = face_of_junction_[n];
+    if (face_stamp[f] != gen) {
+      face_stamp[f] = gen;
+      ws.faces.push_back(f);
+    }
   }
-  return faces;
+  std::sort(ws.faces.begin(), ws.faces.end());
 }
 
 std::vector<uint32_t> SampledGraph::UpperBoundFaces(
     const std::vector<graph::NodeId>& qr_junctions) const {
-  std::vector<bool> hit(face_sizes_.size(), false);
-  for (graph::NodeId n : qr_junctions) hit[face_of_junction_[n]] = true;
-  std::vector<uint32_t> faces;
-  for (uint32_t f = 0; f < face_sizes_.size(); ++f) {
-    if (hit[f]) faces.push_back(f);
-  }
-  return faces;
+  QueryWorkspace& ws = LocalWorkspace();
+  UpperBoundFaces(qr_junctions, ws);
+  return ws.faces;
 }
 
-SampledGraph::RegionBoundary SampledGraph::BoundaryOfFaces(
-    const std::vector<uint32_t>& faces) const {
+void SampledGraph::BoundaryOfFaces(const std::vector<uint32_t>& faces,
+                                   QueryWorkspace& ws) const {
   const graph::PlanarGraph& mobility = network_->mobility();
-  std::vector<bool> in_region(face_sizes_.size(), false);
-  for (uint32_t f : faces) in_region[f] = true;
+  ws.EnsureDomains(face_sizes_.size(), face_of_junction_.size(),
+                   network_->sensing().NumNodes());
+  uint32_t gen = ws.NextGeneration();
+  std::vector<uint32_t>& face_stamp = ws.face_stamp();
+  std::vector<uint32_t>& sensor_stamp = ws.sensor_stamp();
+  for (uint32_t f : faces) face_stamp[f] = gen;
 
-  RegionBoundary boundary;
-  bool ext_included = false;
+  ws.boundary_edges.clear();
+  ws.boundary_sensors.clear();
   for (uint32_t f : faces) {
     // A boundary edge has exactly one side in the region, so it shows up in
     // exactly one in-region face's incident list; interior edges show up
     // twice and are rejected both times.
     for (graph::EdgeId e : face_edges_[f]) {
       const graph::EdgeRecord& rec = mobility.Edge(e);
-      bool u_in = in_region[face_of_junction_[rec.u]];
-      bool v_in = in_region[face_of_junction_[rec.v]];
+      bool u_in = face_stamp[face_of_junction_[rec.u]] == gen;
+      bool v_in = face_stamp[face_of_junction_[rec.v]] == gen;
       if (u_in == v_in) continue;
-      boundary.edges.push_back({e, /*inward_is_forward=*/v_in});
-      // The sensors holding this edge's tracking forms: its dual endpoints.
-      boundary.sensors.push_back(rec.left);
-      boundary.sensors.push_back(rec.right);
+      ws.boundary_edges.push_back({e, /*inward_is_forward=*/v_in});
+      // The sensors holding this edge's tracking forms: its dual endpoints,
+      // deduplicated by stamp in first-encounter order.
+      if (sensor_stamp[rec.left] != gen) {
+        sensor_stamp[rec.left] = gen;
+        ws.boundary_sensors.push_back(rec.left);
+      }
+      if (sensor_stamp[rec.right] != gen) {
+        sensor_stamp[rec.right] = gen;
+        ws.boundary_sensors.push_back(rec.right);
+      }
     }
     // ⋆v_ext virtual edges of every gateway cell inside the region.
     for (graph::NodeId g : face_gateways_[f]) {
-      boundary.edges.push_back(
+      ws.boundary_edges.push_back(
           {network_->VirtualEdgeOf(g), /*inward_is_forward=*/true});
-      if (!ext_included) {
-        ext_included = true;
-        boundary.sensors.push_back(network_->sensing().ExtNode());
+      graph::NodeId ext = network_->sensing().ExtNode();
+      if (sensor_stamp[ext] != gen) {
+        sensor_stamp[ext] = gen;
+        ws.boundary_sensors.push_back(ext);
       }
     }
   }
-  std::sort(boundary.sensors.begin(), boundary.sensors.end());
-  boundary.sensors.erase(
-      std::unique(boundary.sensors.begin(), boundary.sensors.end()),
-      boundary.sensors.end());
+}
+
+SampledGraph::RegionBoundary SampledGraph::BoundaryOfFaces(
+    const std::vector<uint32_t>& faces) const {
+  QueryWorkspace& ws = LocalWorkspace();
+  BoundaryOfFaces(faces, ws);
+  RegionBoundary boundary;
+  boundary.edges = ws.boundary_edges;
+  boundary.sensors = ws.boundary_sensors;
   return boundary;
 }
 

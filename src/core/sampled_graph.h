@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "core/query_workspace.h"
 #include "core/sensor_network.h"
 #include "forms/region_count.h"
 #include "graph/planar_graph.h"
@@ -87,7 +88,8 @@ class SampledGraph {
   size_t FaceSize(uint32_t face) const { return face_sizes_[face]; }
 
   /// Lower-bound region: faces of G̃ whose junctions all lie in Q_R
-  /// (the maximal enclosed region R2 of Fig. 7).
+  /// (the maximal enclosed region R2 of Fig. 7). Duplicate junctions in
+  /// `qr_junctions` are counted once.
   std::vector<uint32_t> LowerBoundFaces(
       const std::vector<graph::NodeId>& qr_junctions) const;
 
@@ -95,6 +97,15 @@ class SampledGraph {
   /// containing region R1 of Fig. 7).
   std::vector<uint32_t> UpperBoundFaces(
       const std::vector<graph::NodeId>& qr_junctions) const;
+
+  /// Allocation-free variants: the resolved faces land in `ws.faces`
+  /// (ascending face ids, identical to the allocating overloads). Scratch
+  /// marks are generation-stamped, so repeated calls through one workspace
+  /// never touch the heap once its buffers have grown to the graph.
+  void LowerBoundFaces(const std::vector<graph::NodeId>& qr_junctions,
+                       QueryWorkspace& ws) const;
+  void UpperBoundFaces(const std::vector<graph::NodeId>& qr_junctions,
+                       QueryWorkspace& ws) const;
 
   /// Boundary of a union of G̃ faces: the monitored edges to integrate over
   /// plus the distinct sensors (dual nodes) that must be contacted. The
@@ -106,6 +117,13 @@ class SampledGraph {
     std::vector<graph::NodeId> sensors;
   };
   RegionBoundary BoundaryOfFaces(const std::vector<uint32_t>& faces) const;
+
+  /// Allocation-free variant: fills `ws.boundary_edges` and
+  /// `ws.boundary_sensors`. Sensors are deduplicated with stamped marks in
+  /// first-encounter order (no per-query sort); edge order matches the
+  /// allocating overload exactly. `faces` may alias `ws.faces`.
+  void BoundaryOfFaces(const std::vector<uint32_t>& faces,
+                       QueryWorkspace& ws) const;
 
   const SampledGraphStats& stats() const { return stats_; }
 

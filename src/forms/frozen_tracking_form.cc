@@ -1,0 +1,151 @@
+#include "forms/frozen_tracking_form.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace innet::forms {
+
+FrozenTrackingForm::FrozenTrackingForm(const TrackingForm& source) {
+  size_t num_slots = 2 * source.num_edges();
+  offsets_.assign(num_slots + 1, 0);
+  times_.reserve(source.TotalEvents());
+  index_.assign(num_slots, {});
+
+  for (graph::EdgeId road = 0; road < source.num_edges(); ++road) {
+    for (bool forward : {true, false}) {
+      size_t slot = Slot(road, forward);
+      const std::vector<double>& seq = source.Sequence(road, forward);
+      offsets_[slot] = times_.size();
+      times_.insert(times_.end(), seq.begin(), seq.end());
+    }
+  }
+  offsets_[num_slots] = times_.size();
+
+  // Bucketed prefix-count index: per slot, cut [first, last] event times
+  // into ceil(n / kEventsPerBucket) uniform buckets and precompute the
+  // cumulative event count at every bucket boundary (the index of the first
+  // event at or past the boundary). bucket_starts_ holds num_buckets + 1
+  // entries per non-empty slot; starts[0] == 0 and starts[num_buckets] == n.
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    size_t n = offsets_[slot + 1] - offsets_[slot];
+    if (n == 0) continue;
+    const double* seq = times_.data() + offsets_[slot];
+    BucketIndex ix;
+    ix.t0 = seq[0];
+    double span = seq[n - 1] - seq[0];
+    size_t nb = (n + kEventsPerBucket - 1) / kEventsPerBucket;
+    if (span <= 0.0) nb = 1;  // All events share one timestamp.
+    ix.num_buckets = static_cast<uint32_t>(nb);
+    ix.inv_width = span > 0.0 ? static_cast<double>(nb) / span : 0.0;
+    ix.first_bucket = static_cast<uint32_t>(bucket_starts_.size());
+    double width = span > 0.0 ? span / static_cast<double>(nb) : 0.0;
+    size_t cursor = 0;
+    bucket_starts_.push_back(0);
+    for (size_t b = 1; b < nb; ++b) {
+      double boundary = ix.t0 + width * static_cast<double>(b);
+      while (cursor < n && seq[cursor] < boundary) ++cursor;
+      bucket_starts_.push_back(static_cast<uint32_t>(cursor));
+    }
+    bucket_starts_.push_back(static_cast<uint32_t>(n));
+    index_[slot] = ix;
+  }
+}
+
+double EvaluateStaticCount(const FrozenTrackingForm& store,
+                           const std::vector<BoundaryEdge>& boundary,
+                           double t) {
+  // Counts are integers well inside double's exact range, so the running
+  // sum is exact and matches the virtual path bit-for-bit.
+  double total = 0.0;
+  for (const BoundaryEdge& b : boundary) {
+    size_t in = store.CountUpToSlot(
+        FrozenTrackingForm::Slot(b.edge, b.inward_is_forward), t);
+    size_t out = store.CountUpToSlot(
+        FrozenTrackingForm::Slot(b.edge, !b.inward_is_forward), t);
+    total += static_cast<double>(in);
+    total -= static_cast<double>(out);
+  }
+  return total;
+}
+
+double EvaluateTransientCount(const FrozenTrackingForm& store,
+                              const std::vector<BoundaryEdge>& boundary,
+                              double t0, double t1) {
+  // Mirrors EdgeCountStore::CountInRange term by term: the virtual path
+  // accumulates (in(t1) - in(t0)) - (out(t1) - out(t0)) per edge.
+  double total = 0.0;
+  for (const BoundaryEdge& b : boundary) {
+    size_t slot_in = FrozenTrackingForm::Slot(b.edge, b.inward_is_forward);
+    size_t slot_out = FrozenTrackingForm::Slot(b.edge, !b.inward_is_forward);
+    total += static_cast<double>(store.CountUpToSlot(slot_in, t1)) -
+             static_cast<double>(store.CountUpToSlot(slot_in, t0));
+    total -= static_cast<double>(store.CountUpToSlot(slot_out, t1)) -
+             static_cast<double>(store.CountUpToSlot(slot_out, t0));
+  }
+  return total;
+}
+
+namespace {
+
+// Adds sign * (events <= times[k]) of one slot into out[0..count): a single
+// merge pass — the cursor only ever advances because `times` is ascending.
+void AccumulateSlotSeries(const FrozenTrackingForm& store, size_t slot,
+                          double sign, const double* times, size_t count,
+                          double* out) {
+  const double* seq = store.SlotBegin(slot);
+  const double* end = store.SlotEnd(slot);
+  const double* cursor = seq;
+  for (size_t k = 0; k < count; ++k) {
+    double t = times[k];
+    while (cursor != end && *cursor <= t) ++cursor;
+    out[k] += sign * static_cast<double>(cursor - seq);
+  }
+}
+
+}  // namespace
+
+void EvaluateStaticCountBatch(const FrozenTrackingForm& store,
+                              const std::vector<BoundaryEdge>& boundary,
+                              const double* times, size_t count,
+                              double* out) {
+  for (size_t k = 0; k + 1 < count; ++k) {
+    INNET_DCHECK(times[k] <= times[k + 1]);
+  }
+  for (size_t k = 0; k < count; ++k) out[k] = 0.0;
+  for (const BoundaryEdge& b : boundary) {
+    AccumulateSlotSeries(store,
+                         FrozenTrackingForm::Slot(b.edge, b.inward_is_forward),
+                         1.0, times, count, out);
+    AccumulateSlotSeries(
+        store, FrozenTrackingForm::Slot(b.edge, !b.inward_is_forward), -1.0,
+        times, count, out);
+  }
+}
+
+void EvaluateTransientCountBatch(const FrozenTrackingForm& store,
+                                 const std::vector<BoundaryEdge>& boundary,
+                                 double t0, const double* times, size_t count,
+                                 double* out) {
+  for (size_t k = 0; k + 1 < count; ++k) {
+    INNET_DCHECK(times[k] <= times[k + 1]);
+  }
+  for (size_t k = 0; k < count; ++k) out[k] = 0.0;
+  for (const BoundaryEdge& b : boundary) {
+    size_t slot_in = FrozenTrackingForm::Slot(b.edge, b.inward_is_forward);
+    size_t slot_out = FrozenTrackingForm::Slot(b.edge, !b.inward_is_forward);
+    double base = static_cast<double>(store.CountUpToSlot(slot_in, t0)) -
+                  static_cast<double>(store.CountUpToSlot(slot_out, t0));
+    AccumulateSlotSeries(store, slot_in, 1.0, times, count, out);
+    AccumulateSlotSeries(store, slot_out, -1.0, times, count, out);
+    for (size_t k = 0; k < count; ++k) out[k] -= base;
+  }
+}
+
+// Defined here (not tracking_form.cc) so TrackingForm's translation unit
+// does not depend on the frozen layout.
+FrozenTrackingForm TrackingForm::Freeze() const {
+  return FrozenTrackingForm(*this);
+}
+
+}  // namespace innet::forms

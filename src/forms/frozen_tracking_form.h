@@ -1,0 +1,179 @@
+// Frozen (read-optimized) tracking forms: the CSR counterpart of
+// TrackingForm for the serving hot path.
+//
+// TrackingForm stores one std::vector<double> per (edge, direction) — ideal
+// for append-order ingestion, hostile to query scans: every CountUpTo pays
+// a virtual call, two pointer dereferences, and a full binary search over a
+// heap block that shares no cache lines with its neighbours. Freezing
+// rewrites the store into
+//
+//   - ONE contiguous timestamp array (`times_`, CSR values) with
+//     per-(edge, direction) offsets (`offsets_`, CSR row pointers), and
+//   - an epoch-bucketed PREFIX-COUNT index: each slot's event span is cut
+//     into fixed-width time buckets (~kEventsPerBucket events each) and the
+//     cumulative event count at every bucket boundary is precomputed, so a
+//     lookup is one O(1) bucket computation plus a short scan inside the
+//     bucket instead of a log2(n) pointer chase.
+//
+// Counts are EXACTLY those of the source TrackingForm — integer-valued
+// doubles, so every evaluation over a frozen store is bit-identical to the
+// virtual path (tests/frozen_form_test.cc pins this). The frozen store is
+// immutable: all reads are pure const and race-free across threads.
+//
+// The free-function kernels at the bottom are the devirtualized fast paths
+// used by the query processors and runtime::BatchQueryEngine whenever the
+// store they were handed is (dynamically) a FrozenTrackingForm; see
+// docs/PERFORMANCE.md for layout diagrams and measured speedups.
+#ifndef INNET_FORMS_FROZEN_TRACKING_FORM_H_
+#define INNET_FORMS_FROZEN_TRACKING_FORM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "forms/edge_count_store.h"
+#include "forms/region_count.h"
+#include "forms/tracking_form.h"
+#include "graph/planar_graph.h"
+
+namespace innet::forms {
+
+/// Immutable CSR tracking store with a bucketed prefix-count time index.
+/// Build with TrackingForm::Freeze() (or the constructor) after ingestion
+/// has stopped.
+class FrozenTrackingForm : public EdgeCountStore {
+ public:
+  /// Target events per time bucket; the per-slot bucket count is
+  /// ceil(n / kEventsPerBucket), so the index costs ~1/8 uint32 per stored
+  /// timestamp.
+  static constexpr size_t kEventsPerBucket = 8;
+
+  explicit FrozenTrackingForm(const TrackingForm& source);
+
+  size_t num_edges() const { return offsets_.size() / 2; }
+  size_t TotalEvents() const { return times_.size(); }
+
+  /// CSR slot of (road, direction). Forward and backward sequences of one
+  /// road are adjacent, so both directions of a boundary edge share cache
+  /// lines.
+  static size_t Slot(graph::EdgeId road, bool forward) {
+    return 2 * static_cast<size_t>(road) + (forward ? 0 : 1);
+  }
+
+  /// Events recorded on `road` in the given direction.
+  size_t EventCount(graph::EdgeId road, bool forward) const {
+    size_t s = Slot(road, forward);
+    return offsets_[s + 1] - offsets_[s];
+  }
+
+  /// Begin/end of one slot's sorted timestamp span.
+  const double* SlotBegin(size_t slot) const {
+    return times_.data() + offsets_[slot];
+  }
+  const double* SlotEnd(size_t slot) const {
+    return times_.data() + offsets_[slot + 1];
+  }
+
+  /// Devirtualized count lookup: events on `slot` with timestamp <= t.
+  /// O(1) bucket lookup plus a bounded scan; exact (bit-identical to the
+  /// source TrackingForm's binary search).
+  size_t CountUpToSlot(size_t slot, double t) const {
+    size_t begin = offsets_[slot];
+    size_t n = offsets_[slot + 1] - begin;
+    if (n == 0) return 0;
+    const double* seq = times_.data() + begin;
+    if (t < seq[0]) return 0;
+    if (t >= seq[n - 1]) return n;
+    // Bucket bracket. The floating-point bucket computation may land one
+    // bucket off at exact boundaries; the two guard loops below restore the
+    // exact bracket in at most one bucket's worth of steps.
+    const BucketIndex& ix = index_[slot];
+    size_t b = static_cast<size_t>((t - ix.t0) * ix.inv_width);
+    if (b >= ix.num_buckets) b = ix.num_buckets - 1;
+    const uint32_t* starts = bucket_starts_.data() + ix.first_bucket;
+    size_t lo = starts[b];
+    size_t hi = starts[b + 1];
+    while (lo > 0 && seq[lo - 1] > t) --lo;
+    while (hi < n && seq[hi] <= t) ++hi;
+    // Within the bracket every index < lo holds a value <= t and every
+    // index >= hi a value > t; resolve the remainder with a short search.
+    const double* it = std::upper_bound(seq + lo, seq + hi, t);
+    return static_cast<size_t>(it - seq);
+  }
+
+  /// Devirtualized per-edge count (the non-virtual twin of
+  /// EdgeCountStore::CountUpTo).
+  double CountUpToFast(graph::EdgeId road, bool forward, double t) const {
+    return static_cast<double>(CountUpToSlot(Slot(road, forward), t));
+  }
+
+  // EdgeCountStore. Provenance and storage report the PERSISTED form — the
+  // timestamp sequences, identical to the source TrackingForm — so frozen
+  // and unfrozen deployments explain and account identically (the bucket
+  // index is derived state; IndexBytes() reports its in-memory overhead).
+  StoreProvenance Provenance() const override {
+    return {"exact", 0, TotalEvents()};
+  }
+  double CountUpTo(graph::EdgeId road, bool forward,
+                   double t) const override {
+    return CountUpToFast(road, forward, t);
+  }
+  size_t StorageBytes() const override {
+    return TotalEvents() * sizeof(double);
+  }
+  size_t StorageBytesForEdge(graph::EdgeId road) const override {
+    return (EventCount(road, true) + EventCount(road, false)) *
+           sizeof(double);
+  }
+
+  /// In-memory footprint of the derived prefix-count index.
+  size_t IndexBytes() const {
+    return bucket_starts_.size() * sizeof(uint32_t) +
+           index_.size() * sizeof(BucketIndex);
+  }
+
+ private:
+  struct BucketIndex {
+    double t0 = 0.0;         // First event time of the slot.
+    double inv_width = 0.0;  // 1 / bucket width (0 for empty slots).
+    uint32_t first_bucket = 0;  // Start into bucket_starts_.
+    uint32_t num_buckets = 0;
+  };
+
+  std::vector<double> times_;     // CSR values: all timestamps, slot-major.
+  std::vector<uint64_t> offsets_; // CSR row pointers, size 2*num_edges + 1.
+  std::vector<BucketIndex> index_;      // Per slot.
+  std::vector<uint32_t> bucket_starts_; // Concatenated per-slot boundaries.
+};
+
+/// Fused static count (Thm 4.2) over a frozen store: one non-virtual,
+/// cache-resident pass over the boundary. Bit-identical to the
+/// EdgeCountStore overload in region_count.h.
+double EvaluateStaticCount(const FrozenTrackingForm& store,
+                           const std::vector<BoundaryEdge>& boundary,
+                           double t);
+
+/// Fused transient count (Thm 4.3) over a frozen store.
+double EvaluateTransientCount(const FrozenTrackingForm& store,
+                              const std::vector<BoundaryEdge>& boundary,
+                              double t0, double t1);
+
+/// Batch static-count kernel: evaluates the boundary at `count` query times
+/// in ASCENDING order, writing out[k] = static count at times[k]. One merge
+/// pass per (edge, direction) — each slot's event array is walked once for
+/// the whole series instead of `count` independent searches. Exactly equals
+/// calling EvaluateStaticCount per time (integer arithmetic, no rounding).
+void EvaluateStaticCountBatch(const FrozenTrackingForm& store,
+                              const std::vector<BoundaryEdge>& boundary,
+                              const double* times, size_t count, double* out);
+
+/// Batch transient-count kernel: out[k] = net change over (t0, times[k]]
+/// for ASCENDING times.
+void EvaluateTransientCountBatch(const FrozenTrackingForm& store,
+                                 const std::vector<BoundaryEdge>& boundary,
+                                 double t0, const double* times, size_t count,
+                                 double* out);
+
+}  // namespace innet::forms
+
+#endif  // INNET_FORMS_FROZEN_TRACKING_FORM_H_

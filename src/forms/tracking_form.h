@@ -10,6 +10,8 @@
 
 namespace innet::forms {
 
+class FrozenTrackingForm;
+
 /// Exact temporal tracking form: sorted timestamp sequences per edge and
 /// direction, with binary-search count lookups. Lookups are pure const
 /// reads (read-safe across threads once ingestion stops); RecordTraversal
@@ -36,6 +38,12 @@ class TrackingForm : public EdgeCountStore {
 
   /// Total number of stored timestamps across all edges.
   size_t TotalEvents() const;
+
+  /// Read-optimized snapshot for the serving hot path: contiguous CSR
+  /// timestamps plus a bucketed prefix-count index, with bit-identical
+  /// counts (forms/frozen_tracking_form.h). Call after ingestion stops;
+  /// later RecordTraversal calls do NOT propagate into the frozen copy.
+  FrozenTrackingForm Freeze() const;
 
   // EdgeCountStore:
   StoreProvenance Provenance() const override {

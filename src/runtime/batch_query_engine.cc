@@ -13,6 +13,7 @@ BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
                                    const BatchEngineOptions& options)
     : sampled_(&sampled),
       store_(&store),
+      frozen_(dynamic_cast<const forms::FrozenTrackingForm*>(&store)),
       health_(options.health),
       degraded_options_(options.degraded),
       tracer_(options.tracer),
@@ -90,24 +91,32 @@ std::shared_ptr<const ResolvedBoundary> BatchQueryEngine::Resolve(
   }
   if (trace != nullptr) trace->Annotate("cache_hit", 0.0);
   obs::Span span(trace, "boundary_resolution");
+  // Cold path: resolve through the calling worker's thread-local workspace,
+  // then copy into an OWNED immutable entry — cached boundaries must not
+  // alias mutable scratch. The copies are the cold path's only allocations;
+  // a warm (cache-hit) query never reaches here.
   auto resolved = std::make_shared<ResolvedBoundary>();
-  std::vector<uint32_t> faces =
-      bound == core::BoundMode::kLower
-          ? sampled_->LowerBoundFaces(query.junctions)
-          : sampled_->UpperBoundFaces(query.junctions);
-  if (faces.empty()) {
+  core::QueryWorkspace& ws = core::LocalWorkspace();
+  if (bound == core::BoundMode::kLower) {
+    sampled_->LowerBoundFaces(query.junctions, ws);
+  } else {
+    sampled_->UpperBoundFaces(query.junctions, ws);
+  }
+  if (ws.faces.empty()) {
     resolved->missed = true;
   } else if (health_ != nullptr) {
     obs::Span reroute(trace, "degraded_reroute");
     auto degraded = std::make_shared<core::DegradedBoundary>(
-        core::ResolveDegradedBoundary(*sampled_, faces, *health_,
+        core::ResolveDegradedBoundary(*sampled_, ws.faces, *health_,
                                       degraded_options_));
     resolved->boundary = degraded->boundary;
     resolved->degraded = std::move(degraded);
   } else {
-    resolved->boundary = sampled_->BoundaryOfFaces(faces);
+    sampled_->BoundaryOfFaces(ws.faces, ws);
+    resolved->boundary.edges = ws.boundary_edges;
+    resolved->boundary.sensors = ws.boundary_sensors;
   }
-  resolved->faces = std::move(faces);
+  resolved->faces = ws.faces;
   cache_.Insert(key, resolved);
   return resolved;
 }
@@ -152,11 +161,21 @@ core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
   } else {
     obs::Span span(trace.get(), "form_integration");
     const core::SampledGraph::RegionBoundary& boundary = resolved->boundary;
-    answer.estimate =
-        kind == core::CountKind::kStatic
-            ? forms::EvaluateStaticCount(*store_, boundary.edges, query.t2)
-            : forms::EvaluateTransientCount(*store_, boundary.edges, query.t1,
-                                            query.t2);
+    // Fused devirtualized kernels on a frozen store; the virtual per-edge
+    // path otherwise. Same arithmetic, bit-identical estimates.
+    if (kind == core::CountKind::kStatic) {
+      answer.estimate =
+          frozen_ != nullptr
+              ? forms::EvaluateStaticCount(*frozen_, boundary.edges, query.t2)
+              : forms::EvaluateStaticCount(*store_, boundary.edges, query.t2);
+    } else {
+      answer.estimate =
+          frozen_ != nullptr
+              ? forms::EvaluateTransientCount(*frozen_, boundary.edges,
+                                              query.t1, query.t2)
+              : forms::EvaluateTransientCount(*store_, boundary.edges,
+                                              query.t1, query.t2);
+    }
     answer.interval = forms::CountInterval::Point(answer.estimate);
     answer.nodes_accessed = boundary.sensors.size();
     answer.edges_accessed = boundary.edges.size();

@@ -216,6 +216,10 @@ class BatchQueryEngine {
 
   const core::SampledGraph* sampled_;
   const forms::EdgeCountStore* store_;
+  // Non-null when store_ is a forms::FrozenTrackingForm: form integration
+  // then runs the devirtualized fused kernels (docs/PERFORMANCE.md) with
+  // bit-identical results.
+  const forms::FrozenTrackingForm* frozen_;
   const core::SensorHealthView* health_;
   core::DegradedOptions degraded_options_;
   obs::Tracer* tracer_;

@@ -1,0 +1,81 @@
+#include "util/alloc_probe.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> g_allocation_count{0};
+
+void* CountedAllocate(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  for (;;) {
+    if (void* p = std::malloc(size)) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* CountedAllocateAligned(std::size_t size, std::size_t alignment) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, alignment, size) == 0) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+
+namespace innet::util {
+
+uint64_t AllocationCount() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace innet::util
+
+// Global replacements (usual-form operator new/delete; [new.delete] allows a
+// program to define these). Every variant funnels into the two counted
+// allocators above so the count covers scalar, array, nothrow, and aligned
+// allocations alike.
+void* operator new(std::size_t size) { return CountedAllocate(size); }
+void* operator new[](std::size_t size) { return CountedAllocate(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return CountedAllocateAligned(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return CountedAllocateAligned(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

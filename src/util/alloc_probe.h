@@ -1,0 +1,47 @@
+// Debug heap-allocation probe.
+//
+// Linking this translation unit REPLACES the global operator new/delete
+// with counting wrappers around malloc/free, so a test or benchmark can
+// assert how many heap allocations a code path performs (the workspace
+// tests pin the warm query path at ZERO; bench/headline reports the count
+// as `warm_query_allocs`).
+//
+// The replacement happens only in binaries that actually reference a
+// symbol from alloc_probe.cc — innet_util is a static library, so the
+// linker pulls the object (and with it the operator new override) solely
+// into executables that call AllocationCount()/use AllocProbe. Production
+// tools that never reference the probe keep the stock allocator.
+//
+// Counting is a single relaxed atomic increment per allocation: cheap,
+// thread-safe, and deterministic for single-threaded measurement windows.
+// Under ASan/TSan the override still counts our operator new calls while
+// the sanitizer keeps interposing malloc underneath, so assertions about
+// "zero allocations" stay valid in sanitizer jobs.
+#ifndef INNET_UTIL_ALLOC_PROBE_H_
+#define INNET_UTIL_ALLOC_PROBE_H_
+
+#include <cstdint>
+
+namespace innet::util {
+
+/// Number of global operator new / new[] calls since process start (in
+/// binaries linking the probe; see file comment).
+uint64_t AllocationCount();
+
+/// Scoped delta counter over AllocationCount().
+class AllocProbe {
+ public:
+  AllocProbe() : start_(AllocationCount()) {}
+
+  /// Allocations since construction (or the last Reset).
+  uint64_t Delta() const { return AllocationCount() - start_; }
+
+  void Reset() { start_ = AllocationCount(); }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace innet::util
+
+#endif  // INNET_UTIL_ALLOC_PROBE_H_

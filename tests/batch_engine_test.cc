@@ -7,6 +7,7 @@
 
 #include "core/framework.h"
 #include "core/workload.h"
+#include "forms/frozen_tracking_form.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/batch_query_engine.h"
@@ -117,6 +118,54 @@ TEST_F(BatchEngineFixture, EightWorkersMatchSerialEngine) {
     std::vector<QueryAnswer> p =
         parallel.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
     ExpectIdentical(s, p);
+  }
+}
+
+TEST_F(BatchEngineFixture, FrozenStoreMatchesTrackingFormUnderEightWorkers) {
+  // The tentpole identity: a frozen (CSR + fused kernel) store must answer
+  // every batch bit-identically to the TrackingForm it snapshots — under 8
+  // workers, cache-cold and cache-warm (the TSan CI job runs this too, so
+  // the frozen read path is also proven race-free).
+  forms::FrozenTrackingForm frozen = deployment_->tracking_store()->Freeze();
+  for (BoundMode bound : {BoundMode::kLower, BoundMode::kUpper}) {
+    for (CountKind kind : {CountKind::kStatic, CountKind::kTransient}) {
+      BatchEngineOptions options;
+      options.num_threads = 8;
+      BatchQueryEngine reference(deployment_->graph(), deployment_->store(),
+                                 options);
+      BatchQueryEngine fast(deployment_->graph(), frozen, options);
+      for (int pass = 0; pass < 2; ++pass) {  // Pass 0 cold, pass 1 warm.
+        std::vector<QueryAnswer> a = reference.AnswerBatch(queries_, kind,
+                                                           bound);
+        std::vector<QueryAnswer> b = fast.AnswerBatch(queries_, kind, bound);
+        ExpectIdentical(a, b);
+      }
+    }
+  }
+}
+
+TEST_F(BatchEngineFixture, FrozenStoreExplainRecordsAreIdentical) {
+  forms::FrozenTrackingForm frozen = deployment_->tracking_store()->Freeze();
+  BatchEngineOptions options;
+  options.num_threads = 4;
+  BatchQueryEngine reference(deployment_->graph(), deployment_->store(),
+                             options);
+  BatchQueryEngine fast(deployment_->graph(), frozen, options);
+  std::vector<obs::ExplainRecord> ra;
+  std::vector<obs::ExplainRecord> rb;
+  std::vector<QueryAnswer> a = reference.AnswerBatchExplained(
+      queries_, CountKind::kStatic, BoundMode::kLower, &ra);
+  std::vector<QueryAnswer> b = fast.AnswerBatchExplained(
+      queries_, CountKind::kStatic, BoundMode::kLower, &rb);
+  ExpectIdentical(a, b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].faces, rb[i].faces) << "query " << i;
+    EXPECT_EQ(ra[i].answer, rb[i].answer) << "query " << i;
+    EXPECT_EQ(ra[i].store, rb[i].store) << "query " << i;
+    EXPECT_EQ(ra[i].store_raw_events, rb[i].store_raw_events) << "query " << i;
+    EXPECT_EQ(ra[i].deadspace_fraction, rb[i].deadspace_fraction)
+        << "query " << i;
   }
 }
 
