@@ -89,11 +89,29 @@ void FillExplainAnswer(const QueryAnswer& answer,
   explain->rerouted_faces = answer.rerouted_faces;
 }
 
+SampledQueryProcessor::SampledQueryProcessor(
+    const SampledGraph& sampled, const forms::FrozenStoreHandle& handle)
+    : sampled_(&sampled), handle_(&handle) {
+  snapshot_ = handle.Acquire();
+  INNET_CHECK(snapshot_.store != nullptr);
+  frozen_ = snapshot_.store.get();
+  store_ = frozen_;
+}
+
+void SampledQueryProcessor::RefreshStore() const {
+  if (handle_ == nullptr) return;
+  if (handle_->Generation() == snapshot_.generation) return;
+  snapshot_ = handle_->Acquire();
+  frozen_ = snapshot_.store.get();
+  store_ = frozen_;
+}
+
 QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
                                           CountKind kind, BoundMode bound,
                                           obs::QueryTrace* trace,
                                           obs::ExplainRecord* explain,
                                           QueryWorkspace* workspace) const {
+  RefreshStore();
   util::Timer timer;
   QueryAnswer answer;
   ProcessorQueries().Increment();
@@ -154,6 +172,7 @@ QueryAnswer SampledQueryProcessor::AnswerDegraded(
     const RangeQuery& query, CountKind kind, BoundMode bound,
     const SensorHealthView& health, const DegradedOptions& options,
     obs::QueryTrace* trace, obs::ExplainRecord* explain) const {
+  RefreshStore();
   util::Timer timer;
   ProcessorQueries().Increment();
   QueryWorkspace& ws = LocalWorkspace();
@@ -189,6 +208,7 @@ QueryAnswer SampledQueryProcessor::AnswerDegraded(
 
 std::vector<double> SampledQueryProcessor::AnswerSeries(
     const RangeQuery& query, BoundMode bound, size_t steps) const {
+  RefreshStore();
   INNET_CHECK(query.t2 >= query.t1);
   if (steps == 0) return {};
   QueryWorkspace& ws = LocalWorkspace();

@@ -10,6 +10,7 @@
 #include "core/sensor_network.h"
 #include "forms/edge_count_store.h"
 #include "forms/frozen_tracking_form.h"
+#include "forms/store_handle.h"
 #include "obs/explain.h"
 #include "obs/trace.h"
 
@@ -29,6 +30,16 @@ class SampledQueryProcessor {
       : sampled_(&sampled),
         store_(&store),
         frozen_(dynamic_cast<const forms::FrozenTrackingForm*>(&store)) {}
+
+  /// Handle mode (live ingestion): the processor follows the store
+  /// published through `handle` — every Answer* call re-checks the
+  /// generation (one atomic load, no heap allocation on the warm path) and
+  /// re-acquires on change, so answers always reflect the latest completed
+  /// epoch instead of the store latched at construction. A handle-mode
+  /// processor is single-threaded; give each reader thread its own (they
+  /// share the handle).
+  SampledQueryProcessor(const SampledGraph& sampled,
+                        const forms::FrozenStoreHandle& handle);
 
   /// Approximates the query under the given bound mode. A miss (no face of
   /// G̃ satisfies the bound) reports estimate 0 with missed = true.
@@ -72,10 +83,19 @@ class SampledQueryProcessor {
                                    size_t steps) const;
 
  private:
+  /// Re-acquires the handle's store when its generation moved (no-op in
+  /// plain store mode). Called at the top of every Answer* entry point;
+  /// `mutable` because following the published store is not an observable
+  /// state change — answers are those of the current store either way.
+  void RefreshStore() const;
+
   const SampledGraph* sampled_;
-  const forms::EdgeCountStore* store_;
+  mutable const forms::EdgeCountStore* store_;
   // Non-null when store_ is a frozen tracking form (fused-kernel path).
-  const forms::FrozenTrackingForm* frozen_;
+  mutable const forms::FrozenTrackingForm* frozen_;
+  // Handle mode only: the followed handle and the pinned snapshot.
+  const forms::FrozenStoreHandle* handle_ = nullptr;
+  mutable forms::FrozenStoreHandle::Snapshot snapshot_;
 };
 
 /// Fills the resolution-side provenance fields of `explain` (kind, bound,

@@ -22,34 +22,102 @@ FrozenTrackingForm::FrozenTrackingForm(const TrackingForm& source) {
   }
   offsets_[num_slots] = times_.size();
 
-  // Bucketed prefix-count index: per slot, cut [first, last] event times
-  // into ceil(n / kEventsPerBucket) uniform buckets and precompute the
-  // cumulative event count at every bucket boundary (the index of the first
-  // event at or past the boundary). bucket_starts_ holds num_buckets + 1
-  // entries per non-empty slot; starts[0] == 0 and starts[num_buckets] == n.
-  for (size_t slot = 0; slot < num_slots; ++slot) {
-    size_t n = offsets_[slot + 1] - offsets_[slot];
-    if (n == 0) continue;
-    const double* seq = times_.data() + offsets_[slot];
-    BucketIndex ix;
-    ix.t0 = seq[0];
-    double span = seq[n - 1] - seq[0];
-    size_t nb = (n + kEventsPerBucket - 1) / kEventsPerBucket;
-    if (span <= 0.0) nb = 1;  // All events share one timestamp.
-    ix.num_buckets = static_cast<uint32_t>(nb);
-    ix.inv_width = span > 0.0 ? static_cast<double>(nb) / span : 0.0;
-    ix.first_bucket = static_cast<uint32_t>(bucket_starts_.size());
-    double width = span > 0.0 ? span / static_cast<double>(nb) : 0.0;
-    size_t cursor = 0;
-    bucket_starts_.push_back(0);
-    for (size_t b = 1; b < nb; ++b) {
-      double boundary = ix.t0 + width * static_cast<double>(b);
-      while (cursor < n && seq[cursor] < boundary) ++cursor;
-      bucket_starts_.push_back(static_cast<uint32_t>(cursor));
+  for (size_t slot = 0; slot < num_slots; ++slot) IndexSlot(slot);
+}
+
+FrozenTrackingForm::FrozenTrackingForm(const FrozenTrackingForm& previous,
+                                       const EpochDelta& delta) {
+  size_t num_slots = previous.offsets_.size() - 1;
+  INNET_CHECK(delta.NumSlots() == num_slots);
+  offsets_.assign(num_slots + 1, 0);
+  times_.reserve(previous.times_.size() + delta.times.size());
+  index_.assign(num_slots, {});
+  bucket_starts_.reserve(previous.bucket_starts_.size() +
+                         delta.times.size() / kEventsPerBucket + num_slots);
+
+  size_t slot = 0;
+  while (slot < num_slots) {
+    size_t d_begin = delta.offsets[slot];
+    size_t d_end = delta.offsets[slot + 1];
+    if (d_begin == d_end) {
+      // Maximal clean run [slot, run_end): previous timestamps of
+      // consecutive slots are contiguous, so the whole run is one bulk copy.
+      // Bucket indexes carry over with only first_bucket rebased.
+      size_t run_end = slot;
+      while (run_end < num_slots &&
+             delta.offsets[run_end] == delta.offsets[run_end + 1]) {
+        ++run_end;
+      }
+      size_t shift = times_.size() - previous.offsets_[slot];
+      times_.insert(times_.end(),
+                    previous.times_.begin() + previous.offsets_[slot],
+                    previous.times_.begin() + previous.offsets_[run_end]);
+      for (size_t s = slot; s < run_end; ++s) {
+        offsets_[s] = previous.offsets_[s] + shift;
+        size_t n = previous.offsets_[s + 1] - previous.offsets_[s];
+        if (n == 0) continue;
+        BucketIndex ix = previous.index_[s];
+        const uint32_t* starts =
+            previous.bucket_starts_.data() + ix.first_bucket;
+        ix.first_bucket = static_cast<uint32_t>(bucket_starts_.size());
+        bucket_starts_.insert(bucket_starts_.end(), starts,
+                              starts + ix.num_buckets + 1);
+        index_[s] = ix;
+      }
+      slot = run_end;
+      continue;
     }
-    bucket_starts_.push_back(static_cast<uint32_t>(n));
-    index_[slot] = ix;
+    // Dirty slot: merge the previous span with the epoch's new events. The
+    // common live-ingest case appends strictly after the stored history; a
+    // true merge keeps multi-source streams with skewed watermarks correct.
+    offsets_[slot] = times_.size();
+    const double* old_begin = previous.SlotBegin(slot);
+    const double* old_end = previous.SlotEnd(slot);
+    const double* new_begin = delta.times.data() + d_begin;
+    const double* new_end = delta.times.data() + d_end;
+    INNET_DCHECK(std::is_sorted(new_begin, new_end));
+    if (old_begin == old_end || *(old_end - 1) <= *new_begin) {
+      times_.insert(times_.end(), old_begin, old_end);
+      times_.insert(times_.end(), new_begin, new_end);
+    } else {
+      size_t at = times_.size();
+      times_.resize(at + (old_end - old_begin) + (new_end - new_begin));
+      std::merge(old_begin, old_end, new_begin, new_end, times_.begin() + at);
+    }
+    offsets_[slot + 1] = times_.size();  // Overwritten unless last slot.
+    IndexSlot(slot);
+    ++slot;
   }
+  offsets_[num_slots] = times_.size();
+}
+
+// Bucketed prefix-count index: per slot, cut [first, last] event times
+// into ceil(n / kEventsPerBucket) uniform buckets and precompute the
+// cumulative event count at every bucket boundary (the index of the first
+// event at or past the boundary). bucket_starts_ holds num_buckets + 1
+// entries per non-empty slot; starts[0] == 0 and starts[num_buckets] == n.
+void FrozenTrackingForm::IndexSlot(size_t slot) {
+  size_t n = offsets_[slot + 1] - offsets_[slot];
+  if (n == 0) return;
+  const double* seq = times_.data() + offsets_[slot];
+  BucketIndex ix;
+  ix.t0 = seq[0];
+  double span = seq[n - 1] - seq[0];
+  size_t nb = (n + kEventsPerBucket - 1) / kEventsPerBucket;
+  if (span <= 0.0) nb = 1;  // All events share one timestamp.
+  ix.num_buckets = static_cast<uint32_t>(nb);
+  ix.inv_width = span > 0.0 ? static_cast<double>(nb) / span : 0.0;
+  ix.first_bucket = static_cast<uint32_t>(bucket_starts_.size());
+  double width = span > 0.0 ? span / static_cast<double>(nb) : 0.0;
+  size_t cursor = 0;
+  bucket_starts_.push_back(0);
+  for (size_t b = 1; b < nb; ++b) {
+    double boundary = ix.t0 + width * static_cast<double>(b);
+    while (cursor < n && seq[cursor] < boundary) ++cursor;
+    bucket_starts_.push_back(static_cast<uint32_t>(cursor));
+  }
+  bucket_starts_.push_back(static_cast<uint32_t>(n));
+  index_[slot] = ix;
 }
 
 double EvaluateStaticCount(const FrozenTrackingForm& store,

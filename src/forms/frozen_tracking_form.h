@@ -41,6 +41,21 @@ namespace innet::forms {
 /// Immutable CSR tracking store with a bucketed prefix-count time index.
 /// Build with TrackingForm::Freeze() (or the constructor) after ingestion
 /// has stopped.
+/// One epoch's worth of new crossing events in slot-major CSR layout:
+/// `times[offsets[s] .. offsets[s+1])` are the sorted-ascending new
+/// timestamps for slot s (see FrozenTrackingForm::Slot). A slot with an
+/// empty span is CLEAN — the incremental constructor reuses its previous
+/// CSR range and bucket index verbatim. Built by runtime::IngestPipeline's
+/// scatter→sort pass; kept per-epoch so the delta stays proportional to
+/// the epoch's event count, not the store size.
+struct EpochDelta {
+  std::vector<double> times;
+  std::vector<uint64_t> offsets;  // num_slots + 1 row pointers.
+
+  size_t NumSlots() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  size_t TotalEvents() const { return times.size(); }
+};
+
 class FrozenTrackingForm : public EdgeCountStore {
  public:
   /// Target events per time bucket; the per-slot bucket count is
@@ -49,6 +64,16 @@ class FrozenTrackingForm : public EdgeCountStore {
   static constexpr size_t kEventsPerBucket = 8;
 
   explicit FrozenTrackingForm(const TrackingForm& source);
+
+  /// Incremental re-freeze: `previous` extended by one epoch of new events.
+  /// Clean slots (no delta events) reuse the previous CSR range and bucket
+  /// index with a bulk copy; dirty slots merge the old span with the delta
+  /// span (a straight append when the epoch starts at or after the slot's
+  /// last stored timestamp) and rebuild only their own index. The result is
+  /// bit-identical to a from-scratch Freeze() of the combined stream
+  /// (tests/ingest_pipeline_test.cc pins this).
+  FrozenTrackingForm(const FrozenTrackingForm& previous,
+                     const EpochDelta& delta);
 
   size_t num_edges() const { return offsets_.size() / 2; }
   size_t TotalEvents() const { return times_.size(); }
@@ -133,6 +158,11 @@ class FrozenTrackingForm : public EdgeCountStore {
   }
 
  private:
+  /// Builds the bucketed prefix-count index for one slot whose timestamp
+  /// span is already in place; appends to bucket_starts_, so callers must
+  /// index slots in ascending order.
+  void IndexSlot(size_t slot);
+
   struct BucketIndex {
     double t0 = 0.0;         // First event time of the slot.
     double inv_width = 0.0;  // 1 / bucket width (0 for empty slots).

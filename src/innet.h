@@ -95,6 +95,7 @@
 // Serving runtime.
 #include "runtime/batch_query_engine.h" // IWYU pragma: export
 #include "runtime/boundary_cache.h"     // IWYU pragma: export
+#include "runtime/ingest_pipeline.h"    // IWYU pragma: export
 
 // Baselines, persistence, rendering.
 #include "baseline/euler_histogram.h" // IWYU pragma: export

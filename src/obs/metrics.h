@@ -125,6 +125,12 @@ class Histogram {
     return ExponentialBounds(1.0, 2.0, 21);
   }
 
+  /// Wider micros buckets for background work (re-freezes, flushes):
+  /// 1us .. ~17min, quadrupling.
+  static std::vector<double> DurationBoundsMicros() {
+    return ExponentialBounds(1.0, 4.0, 16);
+  }
+
  private:
   struct alignas(64) Cell {
     explicit Cell(size_t buckets) : counts(buckets) {}

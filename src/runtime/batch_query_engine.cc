@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "forms/region_count.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace innet::runtime {
@@ -11,9 +12,23 @@ namespace innet::runtime {
 BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
                                    const forms::EdgeCountStore& store,
                                    const BatchEngineOptions& options)
+    : BatchQueryEngine(sampled, &store, nullptr, options) {}
+
+BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
+                                   const forms::FrozenStoreHandle& handle,
+                                   const BatchEngineOptions& options)
+    : BatchQueryEngine(sampled, nullptr, &handle, options) {}
+
+BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
+                                   const forms::EdgeCountStore* store,
+                                   const forms::FrozenStoreHandle* handle,
+                                   const BatchEngineOptions& options)
     : sampled_(&sampled),
-      store_(&store),
-      frozen_(dynamic_cast<const forms::FrozenTrackingForm*>(&store)),
+      store_(store),
+      frozen_(store != nullptr
+                  ? dynamic_cast<const forms::FrozenTrackingForm*>(store)
+                  : nullptr),
+      store_handle_(handle),
       health_(options.health),
       degraded_options_(options.degraded),
       tracer_(options.tracer),
@@ -39,6 +54,9 @@ BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
       health_invalidations_(&registry_->GetCounter(
           "innet_health_invalidations",
           "Boundary-cache flushes triggered by health-generation changes")),
+      store_invalidations_(&registry_->GetCounter(
+          "innet_store_invalidations",
+          "Boundary-cache flushes triggered by store-generation swaps")),
       latency_micros_(&registry_->GetHistogram(
           "innet_query_latency_micros",
           obs::Histogram::LatencyBoundsMicros(),
@@ -49,6 +67,12 @@ BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
              &registry_->GetCounter("innet_cache_misses",
                                     "Boundary-cache lookup misses")),
       pool_(options.num_threads) {
+  if (store_handle_ != nullptr) {
+    store_snapshot_ = store_handle_->Acquire();
+    INNET_CHECK(store_snapshot_.store != nullptr);
+    frozen_ = store_snapshot_.store.get();
+    store_ = frozen_;
+  }
   if (health_ != nullptr) {
     last_health_generation_.store(health_->Generation(),
                                   std::memory_order_relaxed);
@@ -119,6 +143,18 @@ std::shared_ptr<const ResolvedBoundary> BatchQueryEngine::Resolve(
   resolved->faces = ws.faces;
   cache_.Insert(key, resolved);
   return resolved;
+}
+
+void BatchQueryEngine::SyncStoreGeneration() {
+  if (store_handle_ == nullptr) return;
+  if (store_handle_->Generation() == store_snapshot_.generation) return;
+  store_snapshot_ = store_handle_->Acquire();
+  frozen_ = store_snapshot_.store.get();
+  store_ = frozen_;
+  // Conservative flush: no boundary resolved against the previous
+  // generation survives the swap, mirroring the health-generation path.
+  cache_.Clear();
+  store_invalidations_->Increment();
 }
 
 void BatchQueryEngine::SyncHealthGeneration() {
@@ -290,6 +326,7 @@ void BatchQueryEngine::FlushShadow() {
 std::vector<core::QueryAnswer> BatchQueryEngine::AnswerBatch(
     const std::vector<core::RangeQuery>& queries, core::CountKind kind,
     core::BoundMode bound) {
+  SyncStoreGeneration();
   SyncHealthGeneration();
   BeginBatch();
   std::vector<core::QueryAnswer> answers(queries.size());
@@ -303,6 +340,7 @@ std::vector<core::QueryAnswer> BatchQueryEngine::AnswerBatch(
 std::vector<core::QueryAnswer> BatchQueryEngine::AnswerBatchExplained(
     const std::vector<core::RangeQuery>& queries, core::CountKind kind,
     core::BoundMode bound, std::vector<obs::ExplainRecord>* explains) {
+  SyncStoreGeneration();
   SyncHealthGeneration();
   BeginBatch();
   explains->assign(queries.size(), obs::ExplainRecord{});
@@ -318,6 +356,7 @@ core::QueryAnswer BatchQueryEngine::Answer(const core::RangeQuery& query,
                                            core::CountKind kind,
                                            core::BoundMode bound,
                                            obs::ExplainRecord* explain) {
+  SyncStoreGeneration();
   SyncHealthGeneration();
   BeginBatch();
   core::QueryAnswer answer = AnswerOne(query, kind, bound, explain);
@@ -334,6 +373,7 @@ BatchEngineSnapshot BatchQueryEngine::Snapshot() const {
   snap.missed_upper = missed_upper_->Value();
   snap.degraded_answers = degraded_answers_->Value();
   snap.health_invalidations = health_invalidations_->Value();
+  snap.store_invalidations = store_invalidations_->Value();
   if (latency_micros_->Count() > 0) {
     snap.latency_p50_micros = latency_micros_->Percentile(0.50);
     snap.latency_p95_micros = latency_micros_->Percentile(0.95);
@@ -347,6 +387,7 @@ void BatchQueryEngine::ResetStats() {
   missed_upper_->Reset();
   degraded_answers_->Reset();
   health_invalidations_->Reset();
+  store_invalidations_->Reset();
   latency_micros_->Reset();
   cache_.ResetCounters();
 }

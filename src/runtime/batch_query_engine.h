@@ -116,6 +116,8 @@ struct BatchEngineSnapshot {
   uint64_t degraded_answers = 0;
   /// Cache flushes triggered by health-generation changes.
   uint64_t health_invalidations = 0;
+  /// Cache flushes triggered by store-generation swaps (handle mode).
+  uint64_t store_invalidations = 0;
   double latency_p50_micros = 0.0;
   double latency_p95_micros = 0.0;
 };
@@ -128,6 +130,17 @@ class BatchQueryEngine {
   /// Holds references only; `sampled` and `store` must outlive the engine.
   BatchQueryEngine(const core::SampledGraph& sampled,
                    const forms::EdgeCountStore& store,
+                   const BatchEngineOptions& options);
+
+  /// Handle mode (live ingestion, runtime::IngestPipeline): the engine
+  /// follows the frozen store published through `handle`. Each
+  /// AnswerBatch/Answer call checks the handle's generation before fanning
+  /// out — on a swap it re-acquires the store and flushes the boundary
+  /// cache (counted by `innet_store_invalidations`), so no entry resolved
+  /// against generation N is ever served at N+1. A whole batch sees ONE
+  /// generation; stores published mid-batch apply from the next call.
+  BatchQueryEngine(const core::SampledGraph& sampled,
+                   const forms::FrozenStoreHandle& handle,
                    const BatchEngineOptions& options);
   ~BatchQueryEngine();
 
@@ -209,10 +222,23 @@ class BatchQueryEngine {
   void BeginBatch();
   void EndBatch();
 
+  /// Shared delegate of the public constructors: exactly one of `store` /
+  /// `handle` is non-null.
+  BatchQueryEngine(const core::SampledGraph& sampled,
+                   const forms::EdgeCountStore* store,
+                   const forms::FrozenStoreHandle* handle,
+                   const BatchEngineOptions& options);
+
   /// Flushes cached boundaries when the health view's generation moved
   /// since the last call. Invoked once per AnswerBatch/Answer, outside the
   /// worker fan-out.
   void SyncHealthGeneration();
+
+  /// Handle mode: re-acquires the published store and flushes the cache
+  /// when the store generation moved. Same call discipline as
+  /// SyncHealthGeneration — once per entry point, before the fan-out, so
+  /// every worker of a batch reads one consistent store.
+  void SyncStoreGeneration();
 
   const core::SampledGraph* sampled_;
   const forms::EdgeCountStore* store_;
@@ -220,6 +246,10 @@ class BatchQueryEngine {
   // then runs the devirtualized fused kernels (docs/PERFORMANCE.md) with
   // bit-identical results.
   const forms::FrozenTrackingForm* frozen_;
+  // Handle mode only: the followed handle and the pinned snapshot (keeps
+  // the current epoch's store alive while workers read it).
+  const forms::FrozenStoreHandle* store_handle_ = nullptr;
+  forms::FrozenStoreHandle::Snapshot store_snapshot_;
   const core::SensorHealthView* health_;
   core::DegradedOptions degraded_options_;
   obs::Tracer* tracer_;
@@ -238,6 +268,7 @@ class BatchQueryEngine {
   obs::Counter* missed_upper_;
   obs::Counter* degraded_answers_;
   obs::Counter* health_invalidations_;
+  obs::Counter* store_invalidations_;
   obs::Histogram* latency_micros_;
 
   BoundaryCache cache_;

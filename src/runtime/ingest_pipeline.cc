@@ -1,0 +1,174 @@
+#include "runtime/ingest_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "forms/tracking_form.h"
+#include "util/logging.h"
+
+namespace innet::runtime {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+IngestPipeline::IngestPipeline(size_t num_edges, IngestPipelineOptions options)
+    : num_slots_(2 * num_edges),
+      epoch_event_target_(options.epoch_event_target) {
+  size_t shards = RoundUpPow2(std::max<size_t>(1, options.shards));
+  shard_mask_ = shards - 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+
+  obs::MetricsRegistry& registry =
+      options.registry ? *options.registry : obs::MetricsRegistry::Global();
+  events_counter_ = &registry.GetCounter(
+      "innet_ingest_events_total", "Crossing events accepted by Push()");
+  epochs_counter_ = &registry.GetCounter(
+      "innet_ingest_epochs_total", "Epochs that published a new store");
+  refreeze_micros_ = &registry.GetHistogram(
+      "innet_refreeze_duration_micros", obs::Histogram::DurationBoundsMicros(),
+      "Incremental re-freeze wall time per published epoch");
+  generation_gauge_ = &registry.GetGauge(
+      "innet_store_generation", "Generation of the published frozen store");
+
+  // Publish generation 1 (an empty store) so readers never see a null
+  // handle, then start the freezer.
+  forms::TrackingForm empty(num_edges);
+  handle_.Publish(std::make_shared<forms::FrozenTrackingForm>(empty.Freeze()));
+  generation_gauge_->Set(1.0);
+  freezer_ = std::thread([this] { FreezerLoop(); });
+}
+
+IngestPipeline::~IngestPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++requested_;  // Final drain of whatever is still buffered.
+    stopping_ = true;
+  }
+  state_cv_.notify_all();
+  freezer_.join();
+}
+
+void IngestPipeline::Push(const mobility::CrossingEvent& event) {
+  size_t slot = forms::FrozenTrackingForm::Slot(event.edge, event.forward);
+  INNET_DCHECK(slot < num_slots_);
+  Shard& shard = *shards_[static_cast<size_t>(event.edge) & shard_mask_];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.events.push_back({static_cast<uint32_t>(slot), event.time});
+  }
+  events_total_.fetch_add(1, std::memory_order_relaxed);
+  events_counter_->Increment();
+  if (epoch_event_target_ != 0) {
+    uint64_t now =
+        pending_since_close_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (now >= epoch_event_target_) {
+      pending_since_close_.fetch_sub(now, std::memory_order_relaxed);
+      CloseEpoch();
+    }
+  }
+}
+
+uint64_t IngestPipeline::CloseEpoch() {
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ticket = ++requested_;
+  }
+  state_cv_.notify_all();
+  return ticket;
+}
+
+void IngestPipeline::WaitForTicket(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_cv_.wait(lock, [&] { return published_ >= ticket; });
+}
+
+void IngestPipeline::FreezerLoop() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  for (;;) {
+    state_cv_.wait(lock, [&] { return requested_ > published_ || stopping_; });
+    if (requested_ > published_) {
+      // Coalesce: one rebuild covers every request made before the shard
+      // swap below — their events are all in the buffers we snip.
+      uint64_t target = requested_;
+      lock.unlock();
+      RefreezeOnce();
+      lock.lock();
+      published_ = target;
+      state_cv_.notify_all();
+      continue;
+    }
+    if (stopping_) return;
+  }
+}
+
+bool IngestPipeline::RefreezeOnce() {
+  auto start = std::chrono::steady_clock::now();
+
+  // Snip every shard's buffer. Each event lands in exactly one taken batch:
+  // a concurrent Push() either appended before the swap (this epoch) or
+  // appends to the fresh vector (a later epoch).
+  std::vector<std::vector<Pending>> taken;
+  taken.reserve(shards_.size());
+  size_t total = 0;
+  for (auto& shard : shards_) {
+    std::vector<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      batch.swap(shard->events);
+    }
+    total += batch.size();
+    taken.push_back(std::move(batch));
+  }
+  if (total == 0) return false;
+
+  // Scatter: count per slot, prefix-sum into CSR offsets, then place each
+  // event. The per-shard order is preserved, so a single in-order stream
+  // lands already sorted and the std::sort below is a no-op check.
+  forms::EpochDelta delta;
+  delta.offsets.assign(num_slots_ + 1, 0);
+  for (const auto& batch : taken) {
+    for (const Pending& p : batch) ++delta.offsets[p.slot + 1];
+  }
+  for (size_t s = 0; s < num_slots_; ++s) {
+    delta.offsets[s + 1] += delta.offsets[s];
+  }
+  delta.times.resize(total);
+  std::vector<uint64_t> cursor(delta.offsets.begin(), delta.offsets.end() - 1);
+  for (const auto& batch : taken) {
+    for (const Pending& p : batch) delta.times[cursor[p.slot]++] = p.time;
+  }
+  // Sort dirty slots that arrived out of order (multiple sinks with skewed
+  // watermarks interleave arbitrarily within a slot).
+  for (size_t s = 0; s < num_slots_; ++s) {
+    double* begin = delta.times.data() + delta.offsets[s];
+    double* end = delta.times.data() + delta.offsets[s + 1];
+    if (!std::is_sorted(begin, end)) std::sort(begin, end);
+  }
+
+  // Incremental rebuild off the reader path, then one pointer swap.
+  forms::FrozenStoreHandle::Snapshot prev = handle_.Acquire();
+  auto next = std::make_shared<forms::FrozenTrackingForm>(*prev.store, delta);
+  uint64_t generation = handle_.Publish(std::move(next));
+
+  epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  epochs_counter_->Increment();
+  generation_gauge_->Set(static_cast<double>(generation));
+  refreeze_micros_->Observe(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return true;
+}
+
+}  // namespace innet::runtime

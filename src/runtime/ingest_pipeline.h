@@ -1,0 +1,149 @@
+// Live ingestion with incremental background re-freeze.
+//
+// The frozen serving path (forms/frozen_tracking_form.h) is a snapshot;
+// this pipeline keeps it fresh against a never-ending crossing-event
+// stream without ever blocking readers:
+//
+//   EventReorderBuffer sinks → per-shard append buffers → (epoch close)
+//     → freezer thread: scatter→sort into a slot-major EpochDelta,
+//       incremental FrozenTrackingForm rebuild (clean slots reused),
+//       FrozenStoreHandle::Publish()  — readers swap at their next query.
+//
+// Epoch lifecycle: Push() appends under a shard mutex (microseconds);
+// CloseEpoch() snips every shard's buffer and hands the batch to the
+// freezer. An event is owned by exactly one epoch — whichever CloseEpoch
+// first swaps out the shard buffer it sits in — so epoch-aligned
+// timestamps can never be dropped or double-delivered by the pipeline
+// itself (tests/ingest_pipeline_test.cc replays adversarial streams to
+// pin this). Close requests coalesce: a slow freezer drains every
+// outstanding request in one rebuild.
+//
+// Reclamation: superseded stores die when the last reader snapshot
+// referencing them drops (shared_ptr refcount; see forms/store_handle.h).
+#ifndef INNET_RUNTIME_INGEST_PIPELINE_H_
+#define INNET_RUNTIME_INGEST_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/event_buffer.h"
+#include "forms/store_handle.h"
+#include "mobility/trajectory.h"
+#include "obs/metrics.h"
+
+namespace innet::runtime {
+
+/// IngestPipeline construction knobs.
+struct IngestPipelineOptions {
+  /// Append-buffer shards (rounded up to a power of two). More shards =
+  /// less Push() contention; one is fine for a single-writer stream.
+  size_t shards = 4;
+  /// Auto-close an epoch once this many events have been buffered since
+  /// the last close. 0 = epochs close only on explicit CloseEpoch().
+  size_t epoch_event_target = 0;
+  /// Metrics sink; nullptr = the process-global registry.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// Concurrent ingest front-end over a FrozenStoreHandle. Push() is safe
+/// from many threads; one background freezer thread rebuilds and publishes.
+/// The constructor publishes an empty store (generation 1) so handle-mode
+/// readers always have something to serve.
+class IngestPipeline {
+ public:
+  /// `num_edges` must cover every edge the stream can mention (for a
+  /// deployment this is SensorNetwork::TotalEdgeSpace()).
+  explicit IngestPipeline(size_t num_edges,
+                         IngestPipelineOptions options = {});
+
+  /// Drains: closes a final epoch over any buffered events, waits for the
+  /// freezer to publish it, and joins the thread.
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// The published-store handle readers attach to (SampledQueryProcessor /
+  /// BatchQueryEngine handle-mode constructors).
+  const forms::FrozenStoreHandle& handle() const { return handle_; }
+
+  /// Buffers one in-order crossing event. Thread-safe.
+  void Push(const mobility::CrossingEvent& event);
+
+  /// Adapter for EventReorderBuffer: the buffer reorders, the pipeline
+  /// ingests whatever the buffer releases.
+  core::EventReorderBuffer::Sink MakeSink() {
+    return [this](const mobility::CrossingEvent& e) { Push(e); };
+  }
+
+  /// Requests an asynchronous epoch close; returns a ticket for
+  /// WaitForTicket(). Multiple outstanding requests coalesce into one
+  /// rebuild.
+  uint64_t CloseEpoch();
+
+  /// Blocks until the freezer has published (or skipped, when empty) every
+  /// epoch up to `ticket`.
+  void WaitForTicket(uint64_t ticket);
+
+  /// Synchronous close: every event pushed before this call is queryable
+  /// through handle() when it returns.
+  void CloseEpochAndWait() { WaitForTicket(CloseEpoch()); }
+
+  /// Events accepted by Push() so far.
+  uint64_t EventsIngested() const {
+    return events_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Epochs that actually published a new store (empty closes are skipped
+  /// and do not bump the store generation).
+  uint64_t EpochsPublished() const {
+    return epochs_published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    uint32_t slot;
+    double time;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::vector<Pending> events;
+  };
+
+  void FreezerLoop();
+  /// Swaps out every shard buffer, builds the slot-major delta, rebuilds
+  /// incrementally, and publishes. Returns false when the epoch was empty.
+  bool RefreezeOnce();
+
+  size_t num_slots_;
+  size_t shard_mask_;
+  size_t epoch_event_target_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  forms::FrozenStoreHandle handle_;
+
+  std::atomic<uint64_t> events_total_{0};
+  std::atomic<uint64_t> epochs_published_{0};
+  std::atomic<uint64_t> pending_since_close_{0};
+
+  // Freezer coordination: requested_/published_ are close tickets.
+  std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  uint64_t requested_ = 0;
+  uint64_t published_ = 0;
+  bool stopping_ = false;
+  std::thread freezer_;
+
+  obs::Counter* events_counter_;
+  obs::Counter* epochs_counter_;
+  obs::Histogram* refreeze_micros_;
+  obs::Gauge* generation_gauge_;
+};
+
+}  // namespace innet::runtime
+
+#endif  // INNET_RUNTIME_INGEST_PIPELINE_H_

@@ -7,9 +7,18 @@
 namespace {
 
 std::atomic<uint64_t> g_allocation_count{0};
+// Per-thread tally. A plain trivially-constructible thread_local: its
+// initialization allocates nothing, so the counting operator new below can
+// touch it without recursing.
+thread_local uint64_t t_allocation_count = 0;
+
+void CountOne() {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  ++t_allocation_count;
+}
 
 void* CountedAllocate(std::size_t size) {
-  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  CountOne();
   if (size == 0) size = 1;
   for (;;) {
     if (void* p = std::malloc(size)) return p;
@@ -20,7 +29,7 @@ void* CountedAllocate(std::size_t size) {
 }
 
 void* CountedAllocateAligned(std::size_t size, std::size_t alignment) {
-  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  CountOne();
   if (size == 0) size = 1;
   if (alignment < sizeof(void*)) alignment = sizeof(void*);
   for (;;) {
@@ -40,6 +49,8 @@ uint64_t AllocationCount() {
   return g_allocation_count.load(std::memory_order_relaxed);
 }
 
+uint64_t ThreadAllocationCount() { return t_allocation_count; }
+
 }  // namespace innet::util
 
 // Global replacements (usual-form operator new/delete; [new.delete] allows a
@@ -49,11 +60,11 @@ uint64_t AllocationCount() {
 void* operator new(std::size_t size) { return CountedAllocate(size); }
 void* operator new[](std::size_t size) { return CountedAllocate(size); }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  CountOne();
   return std::malloc(size == 0 ? 1 : size);
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  CountOne();
   return std::malloc(size == 0 ? 1 : size);
 }
 void* operator new(std::size_t size, std::align_val_t alignment) {

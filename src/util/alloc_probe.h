@@ -28,6 +28,25 @@ namespace innet::util {
 /// binaries linking the probe; see file comment).
 uint64_t AllocationCount();
 
+/// Allocations made by the CALLING thread since it started. Lets a
+/// measurement window assert zero allocations on a query thread while a
+/// background writer (e.g. the ingest freezer) allocates freely — the
+/// process-wide AllocationCount() cannot separate the two.
+uint64_t ThreadAllocationCount();
+
+/// Scoped per-thread delta counter over ThreadAllocationCount().
+class ThreadAllocProbe {
+ public:
+  ThreadAllocProbe() : start_(ThreadAllocationCount()) {}
+
+  uint64_t Delta() const { return ThreadAllocationCount() - start_; }
+
+  void Reset() { start_ = ThreadAllocationCount(); }
+
+ private:
+  uint64_t start_;
+};
+
 /// Scoped delta counter over AllocationCount().
 class AllocProbe {
  public:

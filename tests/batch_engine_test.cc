@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "runtime/batch_query_engine.h"
 #include "runtime/boundary_cache.h"
+#include "runtime/ingest_pipeline.h"
 #include "sampling/samplers.h"
 #include "util/thread_pool.h"
 
@@ -354,6 +355,68 @@ TEST(ThreadPoolTest, WaitDrainsSubmittedTasks) {
   }
   pool.Wait();
   EXPECT_EQ(done.load(), 50);
+}
+
+// Handle mode (live ingestion): cold/warm identity across a store swap.
+// Boundary-cache entries resolved against generation N must not be served
+// at N+1 — the swap flushes the cache (counted by store_invalidations) and
+// both the cold and the warm pass after the swap answer bit-identically to
+// a fresh engine built from scratch over the full stream.
+TEST_F(BatchEngineFixture, HandleModeColdWarmIdentityAcrossStoreSwap) {
+  std::vector<mobility::CrossingEvent> events;
+  for (const mobility::CrossingEvent& e : framework_.network().events()) {
+    if (deployment_->graph().IsMonitored(e.edge)) events.push_back(e);
+  }
+  ASSERT_GT(events.size(), 10u);
+  size_t half = events.size() / 2;
+
+  IngestPipeline pipeline(framework_.network().TotalEdgeSpace());
+  for (size_t i = 0; i < half; ++i) pipeline.Push(events[i]);
+  pipeline.CloseEpochAndWait();
+
+  BatchEngineOptions options;
+  options.num_threads = 4;
+  BatchQueryEngine live(deployment_->graph(), pipeline.handle(), options);
+
+  // Cold + warm over the half stream; the warm pass must hit the cache.
+  std::vector<QueryAnswer> half_cold =
+      live.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
+  std::vector<QueryAnswer> half_warm =
+      live.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
+  ExpectIdentical(half_cold, half_warm);
+  EXPECT_GT(live.Snapshot().cache_hits, 0u);
+  EXPECT_EQ(live.Snapshot().store_invalidations, 0u);
+
+  // Swap: ingest the second half and publish the next generation while the
+  // engine's cache is warm with generation-N boundaries.
+  for (size_t i = half; i < events.size(); ++i) pipeline.Push(events[i]);
+  pipeline.CloseEpochAndWait();
+
+  std::vector<QueryAnswer> full_cold =
+      live.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
+  std::vector<QueryAnswer> full_warm =
+      live.AnswerBatch(queries_, CountKind::kStatic, BoundMode::kLower);
+  ExpectIdentical(full_cold, full_warm);
+  EXPECT_EQ(live.Snapshot().store_invalidations, 1u);
+
+  // The swap actually changed answers (the regression would otherwise pass
+  // with a stale cache serving half-stream counts).
+  size_t moved = 0;
+  for (size_t i = 0; i < full_cold.size(); ++i) {
+    if (full_cold[i].estimate != half_cold[i].estimate) ++moved;
+  }
+  EXPECT_GT(moved, 0u);
+
+  // Fresh engine over a from-scratch freeze of the full stream: the
+  // post-swap answers are bit-identical, cold and warm alike.
+  const forms::TrackingForm* tracking = deployment_->tracking_store();
+  ASSERT_NE(tracking, nullptr);
+  forms::FrozenTrackingForm scratch = tracking->Freeze();
+  BatchEngineOptions fresh_options;
+  fresh_options.num_threads = 4;
+  BatchQueryEngine fresh(deployment_->graph(), scratch, fresh_options);
+  ExpectIdentical(full_cold, fresh.AnswerBatch(queries_, CountKind::kStatic,
+                                               BoundMode::kLower));
 }
 
 }  // namespace

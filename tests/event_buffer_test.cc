@@ -143,6 +143,56 @@ TEST(EventBufferTest, DuplicateOfReleasedWatermarkEventSuppressed) {
   EXPECT_DOUBLE_EQ(out[1].time, 12.0);
 }
 
+TEST(EventBufferTest, EpochCloseBoundaryDeliversExactlyOnce) {
+  // Audit pin for the ingest-sink interaction (runtime::IngestPipeline
+  // closes epochs with Flush): an event whose timestamp sits EXACTLY on
+  // the epoch-close watermark must land in exactly one epoch — buffered
+  // copies deliver with the closing epoch, redeliveries across the close
+  // are suppressed as duplicates (never dropped as late, never replayed),
+  // and a genuinely new event at the boundary instant joins the next epoch
+  // once.
+  std::vector<CrossingEvent> out;
+  EventReorderBuffer buffer(5.0, [&](const CrossingEvent& e) {
+    out.push_back(e);
+  });
+  // Epoch 1 ends exactly at t=20 with two distinct events at the boundary.
+  EXPECT_TRUE(buffer.Push({0, true, 10.0}));
+  EXPECT_TRUE(buffer.Push({1, true, 20.0}));
+  EXPECT_TRUE(buffer.Push({2, false, 20.0}));
+  buffer.Flush();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(buffer.Watermark(), 20.0);
+
+  // Redelivered boundary events pass the lateness gate (time == watermark)
+  // but must be recognized as already delivered.
+  EXPECT_FALSE(buffer.Push({1, true, 20.0}));
+  EXPECT_FALSE(buffer.Push({2, false, 20.0}));
+  EXPECT_EQ(buffer.Duplicates(), 2u);
+  EXPECT_EQ(buffer.Dropped(), 0u);
+  EXPECT_EQ(out.size(), 3u);
+
+  // A NEW event at exactly the boundary instant belongs to epoch 2.
+  EXPECT_TRUE(buffer.Push({3, true, 20.0}));
+  buffer.Flush();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.back().edge, 3u);
+  // ...and its own redelivery after the second close is a duplicate too.
+  EXPECT_FALSE(buffer.Push({3, true, 20.0}));
+  EXPECT_EQ(buffer.Duplicates(), 3u);
+  EXPECT_EQ(buffer.Dropped(), 0u);
+
+  // Net effect: every admitted key delivered exactly once.
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (size_t j = i + 1; j < out.size(); ++j) {
+      EXPECT_FALSE(out[i].edge == out[j].edge &&
+                   out[i].forward == out[j].forward &&
+                   out[i].time == out[j].time)
+          << "event delivered twice at i=" << i << " j=" << j;
+    }
+  }
+}
+
 TEST(EventBufferTest, ZeroLatenessIsPassThrough) {
   std::vector<CrossingEvent> out;
   EventReorderBuffer buffer(0.0, [&](const CrossingEvent& e) {

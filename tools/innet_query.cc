@@ -12,6 +12,10 @@
 // BatchQueryEngine instead of --rect. Each line of FILE is
 // "x0,y0,x1,y1,t1,t2" (blank lines and #-comments skipped); --threads
 // sets the worker count and --cache the boundary-cache capacity.
+// --ingest-epochs N serves the batch from a live IngestPipeline instead of
+// the batch-built store: the monitored events replay in N epochs of
+// incremental re-freezes and the engine follows the published generations
+// (docs/API.md §"Live ingestion quickstart").
 //
 // Observability (docs/OBSERVABILITY.md): --metrics-out=PATH dumps the
 // process metrics registry on exit (Prometheus text format, or JSON lines
@@ -147,6 +151,41 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
       BuildSampledDeployment(flags, network, fraction, max_t2 + 1.0, &error);
   if (!deployment.has_value()) return Fail(error);
 
+  // Live-replay serving (--ingest-epochs N): instead of the deployment's
+  // batch-built store, stream the monitored crossing events through an
+  // IngestPipeline in N epochs and serve from its published frozen store
+  // via the handle-mode engine. The pipeline's innet_ingest_* metrics land
+  // in the global registry, so --metrics-out exports them alongside the
+  // engine's. Answers are identical to the batch-built store by the
+  // incremental re-freeze identity guarantee (docs/PERFORMANCE.md).
+  std::unique_ptr<runtime::IngestPipeline> pipeline;
+  int ingest_epochs = flags.GetInt("ingest-epochs", 0);
+  if (ingest_epochs > 0) {
+    runtime::IngestPipelineOptions pipeline_options;
+    pipeline_options.registry = &obs::MetricsRegistry::Global();
+    pipeline = std::make_unique<runtime::IngestPipeline>(
+        network.TotalEdgeSpace(), pipeline_options);
+    size_t chunk =
+        network.events().size() / static_cast<size_t>(ingest_epochs) + 1;
+    size_t in_epoch = 0;
+    for (const mobility::CrossingEvent& event : network.events()) {
+      if (!deployment->graph().IsMonitored(event.edge)) continue;
+      pipeline->Push(event);
+      if (++in_epoch >= chunk) {
+        pipeline->CloseEpochAndWait();
+        in_epoch = 0;
+      }
+    }
+    pipeline->CloseEpochAndWait();
+    std::fprintf(stderr,
+                 "ingest: %llu monitored events in %llu epochs, serving "
+                 "store generation %llu\n",
+                 static_cast<unsigned long long>(pipeline->EventsIngested()),
+                 static_cast<unsigned long long>(pipeline->EpochsPublished()),
+                 static_cast<unsigned long long>(
+                     pipeline->handle().Generation()));
+  }
+
   // The serving process exports through the global registry, so the
   // engine's counters and the --metrics-out dump are the same storage.
   runtime::BatchEngineOptions engine_options;
@@ -177,8 +216,15 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
     engine_options.accuracy = accuracy.get();
   }
 
-  runtime::BatchQueryEngine engine(deployment->graph(), deployment->store(),
-                                   engine_options);
+  std::optional<runtime::BatchQueryEngine> engine_storage;
+  if (pipeline != nullptr) {
+    engine_storage.emplace(deployment->graph(), pipeline->handle(),
+                           engine_options);
+  } else {
+    engine_storage.emplace(deployment->graph(), deployment->store(),
+                           engine_options);
+  }
+  runtime::BatchQueryEngine& engine = *engine_storage;
 
   bool explain = flags.GetBool("explain");
   std::string bound_name = flags.GetString("bound", "");
@@ -262,6 +308,11 @@ int Main(int argc, char** argv) {
     return Fail("--shadow-sample must be a positive integer (shadow-check "
                 "1-in-N queries); got " + flags.GetString("shadow-sample"));
   }
+  if (flags.Has("ingest-epochs") && flags.GetInt("ingest-epochs", 0) <= 0) {
+    return Fail("--ingest-epochs must be a positive integer (replay the "
+                "event stream in N live-ingest epochs); got " +
+                flags.GetString("ingest-epochs"));
+  }
   std::string graph_path = flags.GetString("graph");
   std::string trips_path = flags.GetString("trips");
   std::string rect_text = flags.GetString("rect");
@@ -275,7 +326,8 @@ int Main(int argc, char** argv) {
                  "[--bound lower|upper] [--store exact|learned]\n"
                  "   or: innet_query --graph G --trips T --batch FILE "
                  "--sample-fraction F [--threads N] [--cache N] [--kind K] "
-                 "[--bound B] [--sampler NAME] [--store exact|learned]\n"
+                 "[--bound B] [--sampler NAME] [--store exact|learned] "
+                 "[--ingest-epochs N]\n"
                  "observability: [--metrics-out PATH] [--trace-out PATH] "
                  "[--trace-sample N] [--shadow-sample N] [--explain] "
                  "[--explain-svg PATH] [--log-level info|warn|error|off]\n");
