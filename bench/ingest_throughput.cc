@@ -7,15 +7,26 @@
 //   warm_query_allocs == 0   a warm handle-mode reader performs zero heap
 //                            allocations while the freezer publishes
 //                            generations underneath it
+//   recovery_drift == 0      the store recovered from the durable phase's
+//                            WAL (snapshot + tail replay) is bit-identical
+//                            to the scratch store
+//
+// The durable phase re-runs the same stream with a WAL group-commit on
+// every epoch close (docs/PERFORMANCE.md §"Durability"), reporting
+// ingest_events_per_sec_durable, durability_overhead_fraction,
+// wal_fsync_p95_micros, wal_bytes_total, and recovery_replay_events.
 //
 // Flags:
 //   --tiny             small world (~120 junctions) for CI smoke runs
 //   --json[=PATH]      machine-readable report (default BENCH_ingest.json)
 //   --metrics-out=PATH dump the bench's metrics registry on exit
+#include <cstdlib>
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -30,6 +41,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "runtime/ingest_pipeline.h"
+#include "runtime/recovery.h"
 #include "sampling/samplers.h"
 #include "util/alloc_probe.h"
 #include "util/flags.h"
@@ -174,6 +186,56 @@ int Main(const util::FlagParser& flags) {
   report.Metric("refreeze_p50_micros", refreeze.Percentile(0.5));
   report.Metric("refreeze_p95_micros", refreeze.Percentile(0.95));
 
+  // --- Phase 1b: durable ingest. The same front door with a WAL
+  // group-commit on every epoch close and a snapshot every 2 commits. Each
+  // rep starts from a fresh log (a resumed writer would otherwise append a
+  // second copy of the stream); the last rep's directory feeds the
+  // recovery-identity check below. ---
+  char wal_template[] = "/tmp/innet_bench_wal_XXXXXX";
+  const char* wal_root = ::mkdtemp(wal_template);
+  if (wal_root == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot create WAL scratch directory\n");
+    return 1;
+  }
+  std::string wal_dir = std::string(wal_root) + "/wal";
+  runtime::IngestPipelineOptions durable_options = pipeline_options;
+  durable_options.durability.wal_dir = wal_dir;
+  durable_options.durability.snapshot_every_epochs = 2;
+  double durable_seconds = 0.0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    std::filesystem::remove_all(wal_dir);
+    pipeline = std::make_unique<runtime::IngestPipeline>(num_edges,
+                                                         durable_options);
+    util::Timer timer;
+    {
+      core::EventReorderBuffer buffer(5.0, pipeline->MakeSink());
+      for (const CrossingEvent& e : stream) buffer.Push(e);
+      buffer.Flush();
+    }
+    pipeline->CloseEpochAndWait();
+    durable_seconds += timer.ElapsedSeconds();
+  }
+  double events_per_sec_durable =
+      total_events / std::max(durable_seconds, 1e-9);
+  double overhead =
+      events_per_sec > 0.0
+          ? std::max(0.0, 1.0 - events_per_sec_durable / events_per_sec)
+          : 0.0;
+  obs::Histogram& fsync_micros = registry.GetHistogram(
+      "innet_wal_fsync_micros", obs::Histogram::DurationBoundsMicros());
+  uint64_t wal_bytes = registry.GetCounter("innet_wal_bytes_total").Value();
+  std::printf(
+      "durable: %.0f events/s (%.1f%% overhead) | fsync p50=%.1fus "
+      "p95=%.1fus | %llu WAL bytes over %zu reps\n",
+      events_per_sec_durable, overhead * 100.0,
+      fsync_micros.Percentile(0.5), fsync_micros.Percentile(0.95),
+      static_cast<unsigned long long>(wal_bytes), reps);
+  report.Metric("ingest_events_per_sec_durable", events_per_sec_durable);
+  report.Metric("durability_overhead_fraction", overhead);
+  report.Metric("wal_fsync_p50_micros", fsync_micros.Percentile(0.5));
+  report.Metric("wal_fsync_p95_micros", fsync_micros.Percentile(0.95));
+  report.Metric("wal_bytes_total", static_cast<double>(wal_bytes));
+
   // --- Phase 2: identity. The last rep's published store must be
   // bit-identical to a from-scratch Freeze() of the admitted stream, and a
   // handle-mode processor must answer exactly like the scratch one. ---
@@ -200,6 +262,41 @@ int Main(const util::FlagParser& flags) {
               static_cast<unsigned long long>(published.generation));
   report.Metric("refreeze_drift", static_cast<double>(drift));
   report.Metric("store_generation", static_cast<double>(published.generation));
+
+  // --- Phase 2b: recovery identity. Recover from the durable phase's WAL
+  // (newest snapshot + tail replay) and hold the result to the same
+  // exhaustive comparison: recovery_drift must be zero. ---
+  runtime::RecoveryOptions recovery_options;
+  recovery_options.wal_dir = wal_dir;
+  recovery_options.num_edges = num_edges;
+  recovery_options.registry = &registry;
+  util::Timer recovery_timer;
+  util::StatusOr<runtime::RecoveredState> recovered =
+      runtime::RecoveryManager(recovery_options).Recover();
+  double recovery_seconds = recovery_timer.ElapsedSeconds();
+  uint64_t recovery_drift = 1;
+  uint64_t recovery_replay_events = 0;
+  if (recovered.ok()) {
+    recovery_drift = CountDrift(*recovered->store, scratch_tracking);
+    recovery_replay_events = recovered->replayed_events;
+    std::printf(
+        "recovery: epoch %llu generation %llu in %.3fs | %llu events from "
+        "snapshot + %llu replayed | drift %llu probes (want 0)\n",
+        static_cast<unsigned long long>(recovered->durable_epoch),
+        static_cast<unsigned long long>(recovered->generation),
+        recovery_seconds,
+        static_cast<unsigned long long>(recovered->snapshot_events),
+        static_cast<unsigned long long>(recovered->replayed_events),
+        static_cast<unsigned long long>(recovery_drift));
+  } else {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered.status().ToString().c_str());
+  }
+  report.Metric("recovery_seconds", recovery_seconds);
+  report.Metric("recovery_replay_events",
+                static_cast<double>(recovery_replay_events));
+  report.Metric("recovery_drift", static_cast<double>(recovery_drift));
+  std::filesystem::remove_all(wal_root);
 
   // --- Phase 3: zero-allocation warm reads under concurrent ingest. A
   // handle-mode processor with a grown workspace serves queries on this
@@ -272,6 +369,13 @@ int Main(const util::FlagParser& flags) {
                  "FAIL: %llu heap allocations on the warm read path during "
                  "concurrent ingest (budget: 0)\n",
                  static_cast<unsigned long long>(warm_allocs));
+    return 1;
+  }
+  if (recovery_drift != 0) {
+    std::fprintf(stderr,
+                 "FAIL: store recovered from the WAL drifted from the "
+                 "scratch freeze on %llu probes\n",
+                 static_cast<unsigned long long>(recovery_drift));
     return 1;
   }
   return 0;

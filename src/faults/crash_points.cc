@@ -1,0 +1,161 @@
+#include "faults/crash_points.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace innet::faults {
+
+namespace {
+
+// SplitMix64 step, the same mixer util::Rng seeds through — good avalanche
+// so consecutive seeds pick unrelated (point, hits) pairs.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int IndexOfKnown(const std::string& point) {
+  const std::vector<std::string>& known = KnownCrashPoints();
+  for (size_t i = 0; i < known.size(); ++i) {
+    if (known[i] == point) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownCrashPoints() {
+  static const std::vector<std::string>* const kPoints =
+      new std::vector<std::string>{
+          "wal:mid-segment",
+          "wal:pre-fsync",
+          "snapshot:post-header",
+          "publish:pre-publish",
+      };
+  return *kPoints;
+}
+
+CrashPointRegistry::CrashPointRegistry()
+    : known_counts_(new std::atomic<uint64_t>[KnownCrashPoints().size()]) {
+  for (size_t i = 0; i < KnownCrashPoints().size(); ++i) {
+    known_counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+CrashPointRegistry& CrashPointRegistry::Global() {
+  // First access honors INNET_CRASH_POINT, so any binary with probes can
+  // be crash-tested from the outside without code changes.
+  static CrashPointRegistry* const kRegistry = [] {
+    auto* registry = new CrashPointRegistry();
+    registry->ArmFromEnv();
+    return registry;
+  }();
+  return *kRegistry;
+}
+
+void CrashPointRegistry::Arm(const std::string& point, uint64_t hits) {
+  INNET_CHECK(hits >= 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_point_ = point;
+  remaining_.store(static_cast<int64_t>(hits), std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void CrashPointRegistry::ArmFromSeed(uint64_t seed, uint64_t max_hits) {
+  INNET_CHECK(max_hits >= 1);
+  const std::vector<std::string>& known = KnownCrashPoints();
+  uint64_t h = Mix(seed);
+  const std::string& point = known[h % known.size()];
+  uint64_t hits = 1 + Mix(h) % max_hits;
+  Arm(point, hits);
+}
+
+void CrashPointRegistry::ArmFromEnv() {
+  const char* spec = std::getenv("INNET_CRASH_POINT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  std::string text(spec);
+  size_t colon = text.rfind(':');
+  // "seed:N" routes through the deterministic seed map; anything else is a
+  // literal point name with an optional ":hits" suffix.
+  if (text.compare(0, 5, "seed:") == 0) {
+    ArmFromSeed(std::strtoull(text.c_str() + 5, nullptr, 10));
+    return;
+  }
+  uint64_t hits = 1;
+  if (colon != std::string::npos && colon + 1 < text.size()) {
+    char* end = nullptr;
+    uint64_t parsed = std::strtoull(text.c_str() + colon + 1, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 1) {
+      hits = parsed;
+      text = text.substr(0, colon);
+    }
+  }
+  Arm(text, hits);
+}
+
+void CrashPointRegistry::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_release);
+  armed_point_.clear();
+  remaining_.store(0, std::memory_order_relaxed);
+}
+
+std::string CrashPointRegistry::ArmedPoint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return armed_.load(std::memory_order_relaxed) ? armed_point_
+                                                : std::string();
+}
+
+void CrashPointRegistry::ReachArmed(const char* point) {
+  int known = IndexOfKnown(point);
+  if (known >= 0) {
+    known_counts_[known].fetch_add(1, std::memory_order_relaxed);
+  }
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (known < 0) {
+      bool found = false;
+      for (auto& [name, count] : other_counts_) {
+        if (name == point) {
+          ++count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) other_counts_.emplace_back(point, 1);
+    }
+    if (armed_.load(std::memory_order_relaxed) && armed_point_ == point) {
+      fire = remaining_.fetch_sub(1, std::memory_order_relaxed) == 1;
+    }
+  }
+  if (fire) {
+    // Die the way a power cut would: no destructors, no stdio flush beyond
+    // what already hit the kernel. _exit keeps the parent's waitpid status
+    // recognizable; the durable state is whatever fsync'd before this line.
+    std::fprintf(stderr, "[CRASH-POINT] %s firing, _exit(%d)\n", point,
+                 kCrashExitCode);
+    std::fflush(stderr);
+    _exit(kCrashExitCode);
+  }
+}
+
+uint64_t CrashPointRegistry::HitCount(const std::string& point) const {
+  int known = IndexOfKnown(point);
+  if (known >= 0) {
+    return known_counts_[known].load(std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, count] : other_counts_) {
+    if (name == point) return count;
+  }
+  return 0;
+}
+
+}  // namespace innet::faults

@@ -25,6 +25,22 @@ FrozenTrackingForm::FrozenTrackingForm(const TrackingForm& source) {
   for (size_t slot = 0; slot < num_slots; ++slot) IndexSlot(slot);
 }
 
+FrozenTrackingForm::FrozenTrackingForm(std::vector<double> times,
+                                       std::vector<uint64_t> offsets)
+    : times_(std::move(times)), offsets_(std::move(offsets)) {
+  INNET_CHECK(offsets_.size() >= 1 && offsets_.size() % 2 == 1);
+  size_t num_slots = offsets_.size() - 1;
+  INNET_CHECK(offsets_.front() == 0);
+  INNET_CHECK(offsets_.back() == times_.size());
+  for (size_t s = 0; s < num_slots; ++s) {
+    INNET_CHECK(offsets_[s] <= offsets_[s + 1]);
+    INNET_CHECK(std::is_sorted(times_.begin() + offsets_[s],
+                               times_.begin() + offsets_[s + 1]));
+  }
+  index_.assign(num_slots, {});
+  for (size_t slot = 0; slot < num_slots; ++slot) IndexSlot(slot);
+}
+
 FrozenTrackingForm::FrozenTrackingForm(const FrozenTrackingForm& previous,
                                        const EpochDelta& delta) {
   size_t num_slots = previous.offsets_.size() - 1;

@@ -65,6 +65,16 @@ class FrozenTrackingForm : public EdgeCountStore {
 
   explicit FrozenTrackingForm(const TrackingForm& source);
 
+  /// Rehydrates a frozen store from its persisted CSR arrays (snapshot
+  /// load, io::LoadFrozenSnapshot). `offsets` must be monotone row pointers
+  /// over an even slot count with offsets.back() == times.size(), and every
+  /// slot's span must be sorted ascending — CHECK-enforced, so loaders
+  /// validate before constructing. The bucket index is derived state and is
+  /// rebuilt deterministically, making the result bit-identical to the
+  /// store the arrays were copied out of.
+  FrozenTrackingForm(std::vector<double> times,
+                     std::vector<uint64_t> offsets);
+
   /// Incremental re-freeze: `previous` extended by one epoch of new events.
   /// Clean slots (no delta events) reuse the previous CSR range and bucket
   /// index with a bulk copy; dirty slots merge the old span with the delta
@@ -156,6 +166,12 @@ class FrozenTrackingForm : public EdgeCountStore {
     return bucket_starts_.size() * sizeof(uint32_t) +
            index_.size() * sizeof(BucketIndex);
   }
+
+  /// The persisted representation (snapshot save): raw CSR arrays. The
+  /// bucket index is intentionally NOT exposed — it is derived state,
+  /// rebuilt on load.
+  const std::vector<double>& RawTimes() const { return times_; }
+  const std::vector<uint64_t>& RawOffsets() const { return offsets_; }
 
  private:
   /// Builds the bucketed prefix-count index for one slot whose timestamp

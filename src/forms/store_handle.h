@@ -71,6 +71,18 @@ class FrozenStoreHandle {
     return next;
   }
 
+  /// Recovery seeding ONLY (runtime::RecoveryManager): installs `store`
+  /// at an explicit `generation` so a restarted pipeline resumes the
+  /// generation sequence of the run it is restoring. Must not be used while
+  /// readers may hold this handle — it rewinds the monotone generation
+  /// contract that Publish() maintains.
+  void Restore(std::shared_ptr<const FrozenTrackingForm> store,
+               uint64_t generation) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    store_ = std::move(store);
+    generation_.store(generation, std::memory_order_release);
+  }
+
  private:
   mutable std::mutex mutex_;
   std::shared_ptr<const FrozenTrackingForm> store_;

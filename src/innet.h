@@ -89,6 +89,7 @@
 #include "core/workload.h"         // IWYU pragma: export
 
 // Fault injection and health tracking.
+#include "faults/crash_points.h"   // IWYU pragma: export
 #include "faults/fault_model.h"    // IWYU pragma: export
 #include "faults/health_monitor.h" // IWYU pragma: export
 
@@ -96,10 +97,12 @@
 #include "runtime/batch_query_engine.h" // IWYU pragma: export
 #include "runtime/boundary_cache.h"     // IWYU pragma: export
 #include "runtime/ingest_pipeline.h"    // IWYU pragma: export
+#include "runtime/recovery.h"           // IWYU pragma: export
 
 // Baselines, persistence, rendering.
 #include "baseline/euler_histogram.h" // IWYU pragma: export
 #include "baseline/face_sampling.h"   // IWYU pragma: export
+#include "io/event_log.h"             // IWYU pragma: export
 #include "io/serialize.h"             // IWYU pragma: export
 #include "viz/network_render.h"       // IWYU pragma: export
 #include "viz/svg.h"                  // IWYU pragma: export

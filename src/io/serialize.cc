@@ -1,13 +1,19 @@
 #include "io/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <set>
 
+#include "faults/crash_points.h"
 #include "graph/connectivity.h"
 #include "graph/planarize.h"
 #include "graph/weighted_adjacency.h"
+#include "io/event_log.h"
 
 namespace innet::io {
 
@@ -309,6 +315,132 @@ util::Status ExportRoadNetworkCsv(const graph::PlanarGraph& graph,
     std::fprintf(f, "edge,%u,%u\n", graph.Edge(e).u, graph.Edge(e).v);
   }
   return util::Status::Ok();
+}
+
+}  // namespace innet::io
+
+namespace innet::io {
+
+namespace {
+
+constexpr uint64_t kSnapshotMagic = 0x696e6e6574465a1ULL;  // "innetFZ" + v1.
+
+// fsyncs the directory holding `path` so the rename that published a
+// snapshot is itself durable.
+util::Status FsyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return util::InternalError("cannot open directory: " + dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return util::InternalError("fsync failed: " + dir);
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status SaveFrozenSnapshot(const forms::FrozenTrackingForm& store,
+                                const FrozenSnapshotMeta& meta,
+                                const std::string& path) {
+  const std::vector<double>& times = store.RawTimes();
+  const std::vector<uint64_t>& offsets = store.RawOffsets();
+  std::string tmp = path + ".tmp";
+  File file(std::fopen(tmp.c_str(), "wb"));
+  if (file == nullptr) {
+    return util::InvalidArgumentError("cannot open for writing: " + tmp);
+  }
+  std::FILE* f = file.get();
+
+  // Everything after the magic is covered by one streaming CRC so a torn
+  // write anywhere in the body is caught on load.
+  uint32_t crc = kCrc32cInit;
+  auto put = [&](const void* data, size_t bytes) {
+    crc = Crc32cExtend(crc, data, bytes);
+    return WriteBytes(f, data, bytes);
+  };
+  auto put_u64 = [&](uint64_t v) { return put(&v, sizeof(v)); };
+
+  uint64_t num_slots = offsets.size() - 1;
+  bool ok = WriteValue(f, kSnapshotMagic) && put_u64(meta.generation) &&
+            put_u64(meta.covered_epoch) && put_u64(meta.covered_events) &&
+            put_u64(num_slots) && put_u64(times.size());
+  if (!ok) return util::InternalError("short write: " + tmp);
+  INNET_CRASH_POINT("snapshot:post-header");
+  ok = put(offsets.data(), offsets.size() * sizeof(uint64_t)) &&
+       put(times.data(), times.size() * sizeof(double)) &&
+       WriteValue(f, Crc32cFinish(crc));
+  if (!ok || std::fflush(f) != 0) {
+    return util::InternalError("short write: " + tmp);
+  }
+  if (::fsync(::fileno(f)) != 0) {
+    return util::InternalError("fsync failed: " + tmp);
+  }
+  file.reset();  // Close before rename.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return util::InternalError("rename failed: " + tmp + " -> " + path);
+  }
+  return FsyncParentDir(path);
+}
+
+util::StatusOr<LoadedFrozenSnapshot> LoadFrozenSnapshot(
+    const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return util::NotFoundError("cannot open: " + path);
+  }
+  std::FILE* f = file.get();
+
+  uint32_t crc = kCrc32cInit;
+  auto get = [&](void* data, size_t bytes) {
+    if (!ReadBytes(f, data, bytes)) return false;
+    crc = Crc32cExtend(crc, data, bytes);
+    return true;
+  };
+  auto get_u64 = [&](uint64_t* v) { return get(v, sizeof(*v)); };
+
+  uint64_t magic = 0;
+  if (!ReadValue(f, &magic) || magic != kSnapshotMagic) {
+    return util::InvalidArgumentError("not a frozen snapshot: " + path);
+  }
+  FrozenSnapshotMeta meta;
+  uint64_t num_slots = 0;
+  uint64_t total_events = 0;
+  if (!get_u64(&meta.generation) || !get_u64(&meta.covered_epoch) ||
+      !get_u64(&meta.covered_events) || !get_u64(&num_slots) ||
+      !get_u64(&total_events) || num_slots > kMaxReasonableCount ||
+      total_events > kMaxReasonableCount || num_slots % 2 != 0) {
+    return util::InvalidArgumentError("corrupt snapshot header: " + path);
+  }
+  std::vector<uint64_t> offsets(num_slots + 1);
+  std::vector<double> times(total_events);
+  uint32_t stored_crc = 0;
+  if (!get(offsets.data(), offsets.size() * sizeof(uint64_t)) ||
+      !get(times.data(), times.size() * sizeof(double)) ||
+      !ReadValue(f, &stored_crc)) {
+    return util::InvalidArgumentError("truncated snapshot: " + path);
+  }
+  if (Crc32cFinish(crc) != stored_crc) {
+    return util::InvalidArgumentError("snapshot checksum mismatch: " + path);
+  }
+  // Re-validate every invariant the FrozenTrackingForm constructor CHECKs,
+  // as Statuses: a corrupt file must never abort the process.
+  if (offsets.front() != 0 || offsets.back() != total_events) {
+    return util::InvalidArgumentError("corrupt snapshot offsets: " + path);
+  }
+  for (uint64_t s = 0; s < num_slots; ++s) {
+    if (offsets[s] > offsets[s + 1]) {
+      return util::InvalidArgumentError("non-monotone snapshot offsets: " +
+                                        path);
+    }
+    if (!std::is_sorted(times.begin() + offsets[s],
+                        times.begin() + offsets[s + 1])) {
+      return util::InvalidArgumentError("unsorted snapshot slot: " + path);
+    }
+  }
+  return LoadedFrozenSnapshot{
+      forms::FrozenTrackingForm(std::move(times), std::move(offsets)), meta};
 }
 
 }  // namespace innet::io

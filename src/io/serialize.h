@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "forms/frozen_tracking_form.h"
 #include "graph/planar_graph.h"
 #include "mobility/trajectory.h"
 #include "util/status.h"
@@ -55,6 +56,38 @@ util::StatusOr<CsvImportResult> ImportRoadNetworkCsv(const std::string& path);
 /// Text export matching ImportRoadNetworkCsv's format.
 util::Status ExportRoadNetworkCsv(const graph::PlanarGraph& graph,
                                   const std::string& path);
+
+/// Positions a frozen-store snapshot against the write-ahead log it was cut
+/// from (io/event_log.h): recovery loads the snapshot and replays only the
+/// WAL tail past `covered_events` instead of the full stream.
+struct FrozenSnapshotMeta {
+  uint64_t generation = 0;      ///< Store generation the snapshot captured.
+  uint64_t covered_epoch = 0;   ///< Last WAL epoch folded into the store.
+  uint64_t covered_events = 0;  ///< Durable WAL events folded in.
+};
+
+/// Writes `store` (its persisted CSR form — the slot-major timestamp array
+/// and row pointers; the bucket index is derived and rebuilt on load) plus
+/// `meta`, CRC-sealed, to `path` atomically: the bytes land in `path`.tmp,
+/// are fsync'd, and are renamed over `path` only when complete — a crash
+/// mid-snapshot (crash point "snapshot:post-header") leaves at worst a
+/// stale .tmp that loaders never look at.
+util::Status SaveFrozenSnapshot(const forms::FrozenTrackingForm& store,
+                                const FrozenSnapshotMeta& meta,
+                                const std::string& path);
+
+struct LoadedFrozenSnapshot {
+  forms::FrozenTrackingForm store;
+  FrozenSnapshotMeta meta;
+};
+
+/// Reads a snapshot back, validating the CRC, the header counts, and every
+/// CSR invariant (monotone row pointers, per-slot sorted timestamps)
+/// BEFORE constructing, so a corrupt or truncated file fails with
+/// InvalidArgument instead of aborting. The rebuilt store is bit-identical
+/// to the one that was saved.
+util::StatusOr<LoadedFrozenSnapshot> LoadFrozenSnapshot(
+    const std::string& path);
 
 }  // namespace innet::io
 

@@ -18,6 +18,19 @@
 // pin this). Close requests coalesce: a slow freezer drains every
 // outstanding request in one rebuild.
 //
+// Durability (optional, IngestDurability): with a WAL directory set, the
+// freezer appends each epoch's events to a segmented checksummed log
+// (io/event_log.h) and fsyncs a commit record BEFORE publishing, so every
+// generation a reader ever observed is recoverable after a crash
+// (runtime/recovery.h). Periodic snapshots (io/serialize.h) keep recovery
+// to a short tail replay.
+//
+// Backpressure (optional, max_buffered_events): when the in-memory shard
+// buffers hold that many events, Push() applies OverloadPolicy — block
+// until the freezer drains, shed the oldest buffered event, or reject the
+// new one. Lost events are accounted in overload() and can widen query
+// intervals through the degraded-mode machinery (OverloadDegradedOptions).
+//
 // Reclamation: superseded stores die when the last reader snapshot
 // referencing them drops (shared_ptr refcount; see forms/store_handle.h).
 #ifndef INNET_RUNTIME_INGEST_PIPELINE_H_
@@ -26,17 +39,70 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/event_buffer.h"
+#include "core/health.h"
 #include "forms/store_handle.h"
+#include "io/event_log.h"
 #include "mobility/trajectory.h"
 #include "obs/metrics.h"
 
 namespace innet::runtime {
+
+/// What Push() does once the in-memory buffers hold
+/// IngestPipelineOptions::max_buffered_events events.
+enum class OverloadPolicy {
+  /// Request an epoch close and block the pusher until the freezer drains.
+  /// No events are lost; producers feel the backpressure.
+  kBlock,
+  /// Drop the oldest buffered event of the incoming event's shard to make
+  /// room. Bounded memory, freshest data wins; losses are accounted.
+  kShedOldest,
+  /// Refuse the incoming event. Bounded memory, history wins.
+  kReject,
+};
+
+/// Outcome of one Push() under backpressure (always kAccepted when
+/// max_buffered_events is 0).
+enum class PushResult {
+  kAccepted,   ///< Buffered (for kShedOldest: an older event was dropped).
+  kShedOldest, ///< Buffered, and the shard's oldest event was shed for it.
+  kRejected,   ///< Not buffered (kReject policy at capacity).
+};
+
+/// Durability knobs. Active when `wal_dir` is non-empty: the pipeline
+/// opens (or resumes) a WAL there and epochs become durable on publish.
+struct IngestDurability {
+  /// Write-ahead-log directory (created if missing). Empty = durability
+  /// off, the pre-existing in-memory-only behavior.
+  std::string wal_dir;
+  /// Cut a frozen-store snapshot (snap-<epoch>.snap in wal_dir) every N
+  /// published epochs so recovery replays only a short WAL tail. 0 = never
+  /// snapshot; recovery then replays the whole log.
+  size_t snapshot_every_epochs = 0;
+  /// WAL segment rotation threshold (io::EventLogOptions::segment_bytes).
+  size_t segment_bytes = 8u << 20;
+  /// fsync each epoch commit (io::EventLogOptions::fsync_on_commit).
+  bool fsync = true;
+};
+
+/// Overload losses so far (see OverloadPolicy). The lost-time bounds tell
+/// the degraded machinery WHICH part of the timeline is untrustworthy.
+struct IngestOverloadReport {
+  uint64_t shed_events = 0;      ///< Oldest-dropped under kShedOldest.
+  uint64_t rejected_events = 0;  ///< Refused under kReject.
+  /// Timestamp range of lost events (min > max when nothing was lost).
+  double lost_min_time = std::numeric_limits<double>::infinity();
+  double lost_max_time = -std::numeric_limits<double>::infinity();
+
+  uint64_t Lost() const { return shed_events + rejected_events; }
+};
 
 /// IngestPipeline construction knobs.
 struct IngestPipelineOptions {
@@ -46,6 +112,19 @@ struct IngestPipelineOptions {
   /// Auto-close an epoch once this many events have been buffered since
   /// the last close. 0 = epochs close only on explicit CloseEpoch().
   size_t epoch_event_target = 0;
+  /// Bound on events held in shard buffers before OverloadPolicy applies.
+  /// 0 = unbounded (no backpressure).
+  size_t max_buffered_events = 0;
+  /// Behavior at the max_buffered_events bound.
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Durability; see IngestDurability.
+  IngestDurability durability;
+  /// Recovery seeding (runtime::RecoveryManager::Resume): when set, the
+  /// pipeline starts serving `resume_store` at `resume_generation` instead
+  /// of publishing a fresh empty store as generation 1, and a WAL opened in
+  /// durability.wal_dir continues the recovered epoch sequence.
+  std::shared_ptr<const forms::FrozenTrackingForm> resume_store;
+  uint64_t resume_generation = 0;
   /// Metrics sink; nullptr = the process-global registry.
   obs::MetricsRegistry* registry = nullptr;
 };
@@ -62,7 +141,8 @@ class IngestPipeline {
                          IngestPipelineOptions options = {});
 
   /// Drains: closes a final epoch over any buffered events, waits for the
-  /// freezer to publish it, and joins the thread.
+  /// freezer to publish it, and joins the thread. Callers must stop
+  /// pushing first — see MakeSink() for the sink-lifetime contract.
   ~IngestPipeline();
 
   IngestPipeline(const IngestPipeline&) = delete;
@@ -72,11 +152,21 @@ class IngestPipeline {
   /// BatchQueryEngine handle-mode constructors).
   const forms::FrozenStoreHandle& handle() const { return handle_; }
 
-  /// Buffers one in-order crossing event. Thread-safe.
-  void Push(const mobility::CrossingEvent& event);
+  /// Buffers one in-order crossing event. Thread-safe. The return value
+  /// reports the backpressure outcome; without max_buffered_events it is
+  /// always kAccepted and callers may ignore it.
+  PushResult Push(const mobility::CrossingEvent& event);
 
   /// Adapter for EventReorderBuffer: the buffer reorders, the pipeline
   /// ingests whatever the buffer releases.
+  ///
+  /// LIFETIME: the returned sink captures `this` unowned. It must not be
+  /// invoked at or after the start of ~IngestPipeline() — destroy (or stop
+  /// flushing into) every EventReorderBuffer holding the sink BEFORE the
+  /// pipeline, exactly like handing out a raw pointer. The destructor
+  /// cannot detect a concurrent Push(); that race is a use-after-free
+  /// (tests/ingest_pipeline_test.cc pins the correct teardown order under
+  /// TSan).
   core::EventReorderBuffer::Sink MakeSink() {
     return [this](const mobility::CrossingEvent& e) { Push(e); };
   }
@@ -87,14 +177,18 @@ class IngestPipeline {
   uint64_t CloseEpoch();
 
   /// Blocks until the freezer has published (or skipped, when empty) every
-  /// epoch up to `ticket`.
+  /// epoch up to `ticket`. `ticket` must have been returned by CloseEpoch()
+  /// on this pipeline: waiting on a never-issued ticket is a programming
+  /// error and CHECK-fails instead of blocking forever.
   void WaitForTicket(uint64_t ticket);
 
   /// Synchronous close: every event pushed before this call is queryable
-  /// through handle() when it returns.
+  /// through handle() when it returns — and, with durability on, durable
+  /// in the WAL.
   void CloseEpochAndWait() { WaitForTicket(CloseEpoch()); }
 
-  /// Events accepted by Push() so far.
+  /// Events accepted by Push() so far (excludes rejected; includes events
+  /// later shed by kShedOldest).
   uint64_t EventsIngested() const {
     return events_total_.load(std::memory_order_relaxed);
   }
@@ -104,6 +198,18 @@ class IngestPipeline {
   uint64_t EpochsPublished() const {
     return epochs_published_.load(std::memory_order_relaxed);
   }
+
+  /// Overload losses so far. Thread-safe snapshot.
+  IngestOverloadReport overload() const;
+
+  /// Folds overload losses into degraded-mode options: lost events are
+  /// indistinguishable from healthy-sensor message loss, so the loss
+  /// fraction lost/(accepted+lost) raises DegradedOptions::drop_rate_bound
+  /// and every interval served from this store widens accordingly
+  /// (core::AnswerFromDegradedBoundary). Returns `base` unchanged when
+  /// nothing was lost.
+  core::DegradedOptions OverloadDegradedOptions(
+      core::DegradedOptions base = {}) const;
 
  private:
   struct Pending {
@@ -116,19 +222,40 @@ class IngestPipeline {
   };
 
   void FreezerLoop();
-  /// Swaps out every shard buffer, builds the slot-major delta, rebuilds
-  /// incrementally, and publishes. Returns false when the epoch was empty.
+  /// Swaps out every shard buffer, appends + commits the epoch to the WAL
+  /// (when durable), builds the slot-major delta, rebuilds incrementally,
+  /// and publishes. Returns false when the epoch was empty.
   bool RefreezeOnce();
+  /// WAL append + fsync'd commit for one snipped epoch. Publishes
+  /// `generation` in the commit record. On I/O failure logs ERROR and
+  /// disables the WAL (fail-open: serving continues, durability stops).
+  void CommitEpochToWal(const std::vector<std::vector<Pending>>& taken,
+                        uint64_t generation);
+  /// Records one lost event in the overload report.
+  void RecordLost(double time, bool rejected);
 
   size_t num_slots_;
   size_t shard_mask_;
   size_t epoch_event_target_;
+  size_t max_buffered_events_;
+  OverloadPolicy overload_policy_;
+  IngestDurability durability_;
   std::vector<std::unique_ptr<Shard>> shards_;
   forms::FrozenStoreHandle handle_;
 
   std::atomic<uint64_t> events_total_{0};
   std::atomic<uint64_t> epochs_published_{0};
   std::atomic<uint64_t> pending_since_close_{0};
+  std::atomic<uint64_t> buffered_events_{0};
+
+  // Durability (freezer thread only, after construction).
+  std::unique_ptr<io::EventLogWriter> wal_;
+  uint64_t wal_epoch_ = 0;
+  size_t epochs_since_snapshot_ = 0;
+
+  // Overload accounting.
+  mutable std::mutex overload_mutex_;
+  IngestOverloadReport overload_;
 
   // Freezer coordination: requested_/published_ are close tickets.
   std::mutex state_mutex_;
@@ -140,6 +267,9 @@ class IngestPipeline {
 
   obs::Counter* events_counter_;
   obs::Counter* epochs_counter_;
+  obs::Counter* shed_counter_;
+  obs::Counter* rejected_counter_;
+  obs::Counter* wal_errors_counter_;
   obs::Histogram* refreeze_micros_;
   obs::Gauge* generation_gauge_;
 };

@@ -1,0 +1,460 @@
+// WAL + snapshot durability suite (io/event_log.h, io/serialize.h):
+// round-trips, segment rotation, writer resume, and — the heart of it —
+// torn-write tolerance: the log truncated or bit-flipped at EVERY byte
+// offset of its tail must recover to the last whole committed record with
+// a WARN, never crash, and never silently lose a committed event.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "forms/frozen_tracking_form.h"
+#include "forms/tracking_form.h"
+#include "io/event_log.h"
+#include "io/serialize.h"
+#include "mobility/trajectory.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace innet::io {
+namespace {
+
+using mobility::CrossingEvent;
+
+// ---- log capture ----------------------------------------------------------
+
+std::mutex g_log_mutex;
+std::vector<std::string> g_log_lines;
+
+void CaptureSink(LogLevel, const char*, int, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log_lines.push_back(message);
+}
+
+struct ScopedLogCapture {
+  ScopedLogCapture() {
+    {
+      std::lock_guard<std::mutex> lock(g_log_mutex);
+      g_log_lines.clear();
+    }
+    SetLogSink(&CaptureSink);
+  }
+  ~ScopedLogCapture() { SetLogSink(nullptr); }
+
+  bool Contains(const std::string& needle) const {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    for (const std::string& line : g_log_lines) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+// ---- tmp-dir scaffolding --------------------------------------------------
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/innet_wal_test_XXXXXX";
+    path = ::mkdtemp(tmpl);
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+CrossingEvent Event(uint32_t edge, bool forward, double time) {
+  return {static_cast<graph::EdgeId>(edge), forward, time};
+}
+
+// Writes a small deterministic log: epoch 1 = 2 events (generation 2),
+// epoch 2 = 3 events (generation 3). Returns the events in log order.
+std::vector<CrossingEvent> WriteTwoEpochLog(const std::string& dir,
+                                            EventLogOptions options = {}) {
+  std::vector<CrossingEvent> events = {
+      Event(0, true, 1.0),  Event(1, false, 2.0), Event(0, true, 3.0),
+      Event(2, true, 3.5),  Event(1, true, 4.0),
+  };
+  auto writer = EventLogWriter::Open(dir, options);
+  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE((*writer)->Append(events[i]).ok());
+  }
+  EXPECT_TRUE((*writer)->CommitEpoch(1, 2).ok());
+  for (size_t i = 2; i < events.size(); ++i) {
+    EXPECT_TRUE((*writer)->Append(events[i]).ok());
+  }
+  EXPECT_TRUE((*writer)->CommitEpoch(2, 3).ok());
+  return events;
+}
+
+void ExpectSameEvents(const std::vector<CrossingEvent>& got,
+                      const std::vector<CrossingEvent>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].edge, want[i].edge) << i;
+    EXPECT_EQ(got[i].forward, want[i].forward) << i;
+    EXPECT_EQ(got[i].time, want[i].time) << i;
+  }
+}
+
+// ---- CRC ------------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectorAndStreamingEquivalence) {
+  // The canonical CRC-32C check vector.
+  const char* digits = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xe3069283u);
+  // Chunked == one-shot.
+  uint32_t s = kCrc32cInit;
+  s = Crc32cExtend(s, digits, 4);
+  s = Crc32cExtend(s, digits + 4, 5);
+  EXPECT_EQ(Crc32cFinish(s), 0xe3069283u);
+}
+
+// ---- basic log behavior ---------------------------------------------------
+
+TEST(EventLogTest, RoundTripTwoEpochs) {
+  TempDir dir;
+  std::vector<CrossingEvent> events = WriteTwoEpochLog(dir.path);
+
+  auto replay = ReplayEventLog(dir.path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ExpectSameEvents(replay->events, events);
+  ASSERT_EQ(replay->commits.size(), 2u);
+  EXPECT_EQ(replay->commits[0].epoch, 1u);
+  EXPECT_EQ(replay->commits[0].events, 2u);
+  EXPECT_EQ(replay->commits[0].generation, 2u);
+  EXPECT_EQ(replay->commits[1].epoch, 2u);
+  EXPECT_EQ(replay->commits[1].events, 3u);
+  EXPECT_EQ(replay->durable_events, 5u);
+  EXPECT_EQ(replay->durable_epoch, 2u);
+  EXPECT_EQ(replay->generation, 3u);
+  EXPECT_EQ(replay->discarded_events, 0u);
+  EXPECT_EQ(replay->torn_bytes, 0u);
+}
+
+TEST(EventLogTest, SkipEventsDropsTheSnapshotPrefix) {
+  TempDir dir;
+  std::vector<CrossingEvent> events = WriteTwoEpochLog(dir.path);
+
+  auto replay = ReplayEventLog(dir.path, 2);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ExpectSameEvents(replay->events,
+                   {events.begin() + 2, events.end()});
+  EXPECT_EQ(replay->durable_events, 5u);  // Durable counts are unskipped.
+
+  // Skipping more than the log holds is a snapshot/WAL mismatch.
+  EXPECT_FALSE(ReplayEventLog(dir.path, 6).ok());
+}
+
+TEST(EventLogTest, RotatesSegmentsOnCommitBoundaries) {
+  TempDir dir;
+  EventLogOptions options;
+  options.segment_bytes = 64;  // Rotate after every commit.
+  options.fsync_on_commit = false;
+
+  auto writer = EventLogWriter::Open(dir.path, options);
+  ASSERT_TRUE(writer.ok());
+  std::vector<CrossingEvent> events;
+  for (uint64_t epoch = 1; epoch <= 5; ++epoch) {
+    for (int i = 0; i < 3; ++i) {
+      CrossingEvent e = Event(static_cast<uint32_t>(epoch), i % 2 == 0,
+                              static_cast<double>(10 * epoch + i));
+      events.push_back(e);
+      ASSERT_TRUE((*writer)->Append(e).ok());
+    }
+    ASSERT_TRUE((*writer)->CommitEpoch(epoch, epoch + 1).ok());
+  }
+  size_t segments = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    (void)entry;
+    ++segments;
+  }
+  EXPECT_GE(segments, 4u);  // Genuinely multi-segment.
+
+  auto replay = ReplayEventLog(dir.path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ExpectSameEvents(replay->events, events);
+  EXPECT_EQ(replay->durable_epoch, 5u);
+  EXPECT_EQ(replay->generation, 6u);
+}
+
+TEST(EventLogTest, ReopenResumesAfterLastCommit) {
+  TempDir dir;
+  std::vector<CrossingEvent> events = WriteTwoEpochLog(dir.path);
+
+  // Reopen and extend with a third epoch.
+  auto writer = EventLogWriter::Open(dir.path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_EQ((*writer)->DurableEvents(), 5u);
+  EXPECT_EQ((*writer)->DurableEpoch(), 2u);
+  CrossingEvent extra = Event(3, false, 9.0);
+  ASSERT_TRUE((*writer)->Append(extra).ok());
+  ASSERT_TRUE((*writer)->CommitEpoch(3, 4).ok());
+  events.push_back(extra);
+
+  auto replay = ReplayEventLog(dir.path);
+  ASSERT_TRUE(replay.ok());
+  ExpectSameEvents(replay->events, events);
+  EXPECT_EQ(replay->durable_epoch, 3u);
+}
+
+TEST(EventLogTest, ReopenTruncatesUncommittedTail) {
+  TempDir dir;
+  std::vector<CrossingEvent> events = WriteTwoEpochLog(dir.path);
+  {
+    // A writer that dies mid-epoch: whole, CRC-valid event records with no
+    // commit. They must NOT be adopted by the next writer's first commit.
+    auto writer = EventLogWriter::Open(dir.path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Event(7, true, 100.0)).ok());
+    ASSERT_TRUE((*writer)->Append(Event(7, false, 101.0)).ok());
+    // Destroyed without CommitEpoch — simulated crash.
+  }
+  ScopedLogCapture capture;
+  auto writer = EventLogWriter::Open(dir.path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  CrossingEvent extra = Event(4, true, 10.0);
+  ASSERT_TRUE((*writer)->Append(extra).ok());
+  ASSERT_TRUE((*writer)->CommitEpoch(3, 4).ok());
+  events.push_back(extra);
+
+  auto replay = ReplayEventLog(dir.path);
+  ASSERT_TRUE(replay.ok());
+  ExpectSameEvents(replay->events, events);  // Dead events are gone.
+}
+
+TEST(EventLogTest, FreshLogAfterNoCommitStartsOver) {
+  TempDir dir;
+  {
+    auto writer = EventLogWriter::Open(dir.path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Event(1, true, 1.0)).ok());
+    // No commit at all.
+  }
+  auto writer = EventLogWriter::Open(dir.path);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ((*writer)->DurableEvents(), 0u);
+  ASSERT_TRUE((*writer)->Append(Event(2, true, 2.0)).ok());
+  ASSERT_TRUE((*writer)->CommitEpoch(1, 2).ok());
+  auto replay = ReplayEventLog(dir.path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->events.size(), 1u);
+  EXPECT_EQ(replay->events[0].edge, 2u);
+}
+
+// ---- torn-write matrix ----------------------------------------------------
+
+// The satellite requirement, exhaustively: truncate the (single-segment)
+// log at EVERY byte length from "just past epoch 1's commit" to "one byte
+// short of the end", i.e. at every offset inside epoch 2's records. Every
+// truncation must replay cleanly to exactly epoch 1 with a WARN — no
+// crash, no partial epoch, no silent loss of the committed prefix.
+TEST(EventLogTest, TruncationAtEveryTailByteRecoversLastWholeCommit) {
+  TempDir source;
+  std::vector<CrossingEvent> events = WriteTwoEpochLog(source.path);
+  std::string segment = source.path + "/wal-00000001.seg";
+  uintmax_t full_size = std::filesystem::file_size(segment);
+
+  // Find where epoch 1's durable prefix ends: replay a copy truncated at
+  // every length and locate the longest one that still holds only epoch 1.
+  // (The framing is private to event_log.cc; probing keeps the test honest
+  // about the public contract instead of re-deriving the layout.)
+  uintmax_t epoch1_end = 0;
+  for (uintmax_t len = 0; len < full_size; ++len) {
+    TempDir scratch;
+    std::filesystem::copy_file(segment, scratch.path + "/wal-00000001.seg");
+    std::filesystem::resize_file(scratch.path + "/wal-00000001.seg", len);
+    ScopedLogCapture capture;
+    auto replay = ReplayEventLog(scratch.path);
+    ASSERT_TRUE(replay.ok())
+        << "truncation at byte " << len << ": " << replay.status().ToString();
+    EXPECT_LE(replay->durable_epoch, 2u) << "truncation at byte " << len;
+    if (replay->durable_epoch == 0) {
+      EXPECT_TRUE(replay->events.empty());
+    } else if (replay->durable_epoch == 1) {
+      ExpectSameEvents(replay->events, {events.begin(), events.begin() + 2});
+      epoch1_end = len;
+      // A shortened tail always sheds bytes or whole records, warned about.
+      EXPECT_TRUE(capture.Contains("WAL") || replay->torn_bytes == 0)
+          << "truncation at byte " << len;
+    } else {
+      ASSERT_EQ(len, 0u) << "full epoch 2 from a truncated file?";
+    }
+  }
+  // The sweep genuinely exercised the interesting band: some truncations
+  // recover epoch 1 (tail damage), and the shortest ones recover nothing.
+  EXPECT_GT(epoch1_end, 0u);
+
+  // Untruncated control: both epochs.
+  auto replay = ReplayEventLog(source.path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->durable_epoch, 2u);
+}
+
+// Bit-flip every byte of the final (commit) record region: the CRC must
+// catch each one, demoting the log to epoch 1 — never a crash, never a
+// half-applied epoch 2.
+TEST(EventLogTest, BitFlipInTailNeverYieldsPartialEpoch) {
+  TempDir source;
+  std::vector<CrossingEvent> events = WriteTwoEpochLog(source.path);
+  std::string segment = source.path + "/wal-00000001.seg";
+  uintmax_t full_size = std::filesystem::file_size(segment);
+
+  // Locate epoch 1's end once (longest truncation that replays to epoch 1).
+  uintmax_t epoch1_end = 0;
+  for (uintmax_t len = full_size; len-- > 0;) {
+    TempDir scratch;
+    std::filesystem::copy_file(segment, scratch.path + "/wal-00000001.seg");
+    std::filesystem::resize_file(scratch.path + "/wal-00000001.seg", len);
+    auto replay = ReplayEventLog(scratch.path);
+    ASSERT_TRUE(replay.ok());
+    if (replay->durable_epoch == 1) {
+      epoch1_end = len;
+      break;
+    }
+  }
+  ASSERT_GT(epoch1_end, 0u);
+
+  for (uintmax_t at = epoch1_end; at < full_size; ++at) {
+    TempDir scratch;
+    std::string copy = scratch.path + "/wal-00000001.seg";
+    std::filesystem::copy_file(segment, copy);
+    {
+      std::FILE* f = std::fopen(copy.c_str(), "rb+");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(std::fseek(f, static_cast<long>(at), SEEK_SET), 0);
+      int c = std::fgetc(f);
+      ASSERT_NE(c, EOF);
+      ASSERT_EQ(std::fseek(f, static_cast<long>(at), SEEK_SET), 0);
+      std::fputc(c ^ 0x40, f);
+      std::fclose(f);
+    }
+    ScopedLogCapture capture;
+    auto replay = ReplayEventLog(scratch.path);
+    ASSERT_TRUE(replay.ok())
+        << "bit flip at byte " << at << ": " << replay.status().ToString();
+    // The flip is past epoch 1, so epoch 1 must survive untouched; epoch 2
+    // is either fully intact (flip cancelled by nothing — impossible with
+    // CRC-32C on these sizes) or fully discarded.
+    ASSERT_EQ(replay->durable_epoch, 1u) << "bit flip at byte " << at;
+    ExpectSameEvents(replay->events, {events.begin(), events.begin() + 2});
+    EXPECT_TRUE(capture.Contains("WAL")) << "bit flip at byte " << at;
+  }
+}
+
+TEST(EventLogTest, MidLogCorruptionIsAnErrorNotATrim) {
+  TempDir dir;
+  EventLogOptions options;
+  options.segment_bytes = 64;  // Force multiple segments.
+  options.fsync_on_commit = false;
+  {
+    auto writer = EventLogWriter::Open(dir.path, options);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t epoch = 1; epoch <= 4; ++epoch) {
+      ASSERT_TRUE(
+          (*writer)->Append(Event(1, true, static_cast<double>(epoch))).ok());
+      ASSERT_TRUE((*writer)->CommitEpoch(epoch, epoch + 1).ok());
+    }
+  }
+  // Damage the FIRST segment: that is real corruption, not a torn tail.
+  std::string first = dir.path + "/wal-00000001.seg";
+  uintmax_t size = std::filesystem::file_size(first);
+  std::filesystem::resize_file(first, size - 1);
+  auto replay = ReplayEventLog(dir.path);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// ---- frozen snapshots -----------------------------------------------------
+
+forms::FrozenTrackingForm RandomStore(uint64_t seed, size_t num_edges,
+                                      size_t num_events) {
+  util::Rng rng(seed);
+  std::vector<mobility::CrossingEvent> events(num_events);
+  for (auto& e : events) {
+    e.edge = static_cast<graph::EdgeId>(rng.UniformIndex(num_edges));
+    e.forward = rng.Bernoulli(0.5);
+    e.time = rng.Uniform(0.0, 500.0);
+  }
+  // RecordTraversal requires non-decreasing times per slot.
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.time < b.time; });
+  forms::TrackingForm tracking(num_edges);
+  for (const auto& e : events) tracking.RecordTraversal(e.edge, e.forward, e.time);
+  return tracking.Freeze();
+}
+
+TEST(FrozenSnapshotTest, RoundTripIsBitIdentical) {
+  TempDir dir;
+  forms::FrozenTrackingForm store = RandomStore(11, 20, 1500);
+  FrozenSnapshotMeta meta;
+  meta.generation = 7;
+  meta.covered_epoch = 6;
+  meta.covered_events = 1500;
+  std::string path = dir.path + "/snap-0000000000000006.snap";
+  ASSERT_TRUE(SaveFrozenSnapshot(store, meta, path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));  // Atomic publish.
+
+  auto loaded = LoadFrozenSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->meta.generation, 7u);
+  EXPECT_EQ(loaded->meta.covered_epoch, 6u);
+  EXPECT_EQ(loaded->meta.covered_events, 1500u);
+  // Bit-identical persisted arrays — and therefore identical derived
+  // index behavior at every boundary probe.
+  EXPECT_EQ(loaded->store.RawTimes(), store.RawTimes());
+  EXPECT_EQ(loaded->store.RawOffsets(), store.RawOffsets());
+  for (graph::EdgeId e = 0; e < store.num_edges(); ++e) {
+    for (bool forward : {true, false}) {
+      for (double t : {0.0, 100.0, 250.0, 499.5, 600.0}) {
+        EXPECT_EQ(loaded->store.CountUpTo(e, forward, t),
+                  store.CountUpTo(e, forward, t));
+      }
+    }
+  }
+}
+
+TEST(FrozenSnapshotTest, CorruptOrTruncatedFilesFailWithStatus) {
+  TempDir dir;
+  forms::FrozenTrackingForm store = RandomStore(12, 8, 300);
+  std::string path = dir.path + "/snap.snap";
+  ASSERT_TRUE(SaveFrozenSnapshot(store, {}, path).ok());
+  uintmax_t size = std::filesystem::file_size(path);
+
+  // Truncations at a spread of offsets: always a Status, never an abort.
+  for (uintmax_t len : {size - 1, size / 2, uintmax_t{32}, uintmax_t{9},
+                        uintmax_t{1}, uintmax_t{0}}) {
+    std::string copy = dir.path + "/trunc.snap";
+    std::filesystem::copy_file(path, copy,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(copy, len);
+    auto loaded = LoadFrozenSnapshot(copy);
+    EXPECT_FALSE(loaded.ok()) << "truncation at " << len;
+  }
+
+  // A flipped payload byte fails the checksum.
+  std::string flipped = dir.path + "/flip.snap";
+  std::filesystem::copy_file(path, flipped);
+  {
+    std::FILE* f = std::fopen(flipped.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(size / 2), SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, static_cast<long>(size / 2), SEEK_SET);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+  auto loaded = LoadFrozenSnapshot(flipped);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+
+  // Wrong magic is "not a snapshot", missing file is NotFound.
+  EXPECT_FALSE(LoadFrozenSnapshot(path + ".missing").ok());
+}
+
+}  // namespace
+}  // namespace innet::io

@@ -407,5 +407,139 @@ TEST_F(IngestDeploymentFixture, ConcurrentWriterAndEightReaders) {
   }
 }
 
+// Satellite fix: waiting on a ticket CloseEpoch() never issued used to
+// block forever (the freezer can only publish up to `requested_`). It must
+// CHECK-fail instead.
+TEST(IngestPipelineTest, WaitForNeverIssuedTicketDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        IngestPipeline pipeline(4);
+        pipeline.Push({0, true, 1.0});
+        uint64_t ticket = pipeline.CloseEpoch();
+        pipeline.WaitForTicket(ticket + 1);  // Never issued: deadlock bait.
+      },
+      "ticket");
+}
+
+// Satellite regression for the MakeSink() dangling-`this` hazard: the
+// documented contract is "sink dies before pipeline". This test pins the
+// CORRECT ordering under TSan — reorder buffers flushing concurrently from
+// another thread, then joined, then the pipeline destroyed — so any future
+// destructor change that lets the freezer tear down while a sink-held
+// Push() can still run shows up as a TSan race or use-after-free here.
+TEST(IngestPipelineTest, SinkOutlivedByPipelineUnderConcurrentFlush) {
+  const size_t kNumEdges = 8;
+  std::vector<CrossingEvent> stream = RandomStream(51, kNumEdges, 2000);
+  TrackingForm reference(kNumEdges);
+
+  auto pipeline = std::make_unique<IngestPipeline>(kNumEdges);
+  {
+    // Sink scope: strictly inside the pipeline's lifetime.
+    core::EventReorderBuffer buffer(5.0, pipeline->MakeSink());
+    std::thread closer([&] {
+      // Concurrent epoch closes race the pushes — freezer snips while the
+      // sink appends.
+      for (int i = 0; i < 50; ++i) pipeline->CloseEpoch();
+    });
+    // The buffer suppresses exact duplicates (RandomStream manufactures
+    // them), so the reference tracks what it actually admits.
+    for (const CrossingEvent& e : stream) {
+      if (buffer.Push(e)) reference.RecordTraversal(e.edge, e.forward, e.time);
+    }
+    closer.join();
+    buffer.Flush();
+    pipeline->CloseEpochAndWait();
+    EXPECT_EQ(buffer.Dropped(), 0u);  // In-order stream: nothing late.
+  }  // Buffer (and the captured sink) destroyed FIRST...
+  forms::FrozenStoreHandle::Snapshot snap = pipeline->handle().Acquire();
+  ExpectBitIdentical(*snap.store, reference);
+  pipeline.reset();  // ...then the pipeline. The only safe order.
+}
+
+// ---- backpressure ---------------------------------------------------------
+
+TEST(IngestPipelineTest, BlockPolicyLosesNothingAndBoundsTheBuffer) {
+  const size_t kNumEdges = 8;
+  std::vector<CrossingEvent> stream = RandomStream(52, kNumEdges, 3000);
+  TrackingForm reference(kNumEdges);
+  for (const CrossingEvent& e : stream) {
+    reference.RecordTraversal(e.edge, e.forward, e.time);
+  }
+  IngestPipelineOptions options;
+  options.max_buffered_events = 64;
+  options.overload_policy = OverloadPolicy::kBlock;
+  IngestPipeline pipeline(kNumEdges, options);
+  for (const CrossingEvent& e : stream) {
+    EXPECT_EQ(pipeline.Push(e), PushResult::kAccepted);
+  }
+  pipeline.CloseEpochAndWait();
+  EXPECT_EQ(pipeline.overload().Lost(), 0u);
+  EXPECT_EQ(pipeline.EventsIngested(), stream.size());
+  forms::FrozenStoreHandle::Snapshot snap = pipeline.handle().Acquire();
+  ExpectBitIdentical(*snap.store, reference);  // Backpressure, zero loss.
+}
+
+TEST(IngestPipelineTest, RejectPolicyRefusesAtCapacityAndAccounts) {
+  IngestPipelineOptions options;
+  options.shards = 1;
+  options.max_buffered_events = 10;
+  options.overload_policy = OverloadPolicy::kReject;
+  IngestPipeline pipeline(4, options);
+  size_t accepted = 0;
+  size_t rejected = 0;
+  for (int i = 0; i < 25; ++i) {
+    PushResult r = pipeline.Push({0, true, static_cast<double>(i)});
+    (r == PushResult::kAccepted ? accepted : rejected)++;
+  }
+  EXPECT_EQ(accepted, 10u);
+  EXPECT_EQ(rejected, 15u);
+  IngestOverloadReport report = pipeline.overload();
+  EXPECT_EQ(report.rejected_events, 15u);
+  EXPECT_EQ(report.shed_events, 0u);
+  // Rejections start at t=10 (the first refused push) and run to t=24.
+  EXPECT_EQ(report.lost_min_time, 10.0);
+  EXPECT_EQ(report.lost_max_time, 24.0);
+  EXPECT_EQ(pipeline.EventsIngested(), 10u);
+  // After a drain the pipeline accepts again.
+  pipeline.CloseEpochAndWait();
+  EXPECT_EQ(pipeline.Push({0, true, 99.0}), PushResult::kAccepted);
+
+  // Losses surface as a degraded-mode drop-rate bound: 15 lost out of 26
+  // offered (10 + 15 + the post-drain accept).
+  core::DegradedOptions degraded = pipeline.OverloadDegradedOptions();
+  EXPECT_NEAR(degraded.drop_rate_bound, 15.0 / 26.0, 1e-12);
+  // An existing (larger) bound is never weakened.
+  core::DegradedOptions strict;
+  strict.drop_rate_bound = 0.9;
+  EXPECT_EQ(pipeline.OverloadDegradedOptions(strict).drop_rate_bound, 0.9);
+}
+
+TEST(IngestPipelineTest, ShedOldestDropsHistoryKeepsFreshest) {
+  IngestPipelineOptions options;
+  options.shards = 1;
+  options.max_buffered_events = 8;
+  options.overload_policy = OverloadPolicy::kShedOldest;
+  IngestPipeline pipeline(4, options);
+  for (int i = 0; i < 20; ++i) {
+    PushResult r = pipeline.Push({0, true, static_cast<double>(i)});
+    if (i < 8) {
+      EXPECT_EQ(r, PushResult::kAccepted);
+    } else {
+      EXPECT_EQ(r, PushResult::kShedOldest);
+    }
+  }
+  IngestOverloadReport report = pipeline.overload();
+  EXPECT_EQ(report.shed_events, 12u);
+  EXPECT_EQ(report.lost_min_time, 0.0);   // Oldest go first...
+  EXPECT_EQ(report.lost_max_time, 11.0);  // ...newest survive.
+  pipeline.CloseEpochAndWait();
+  forms::FrozenStoreHandle::Snapshot snap = pipeline.handle().Acquire();
+  ASSERT_EQ(snap.store->EventCount(0, true), 8u);
+  // The buffer holds exactly the 8 freshest events: 12..19.
+  EXPECT_EQ(snap.store->CountUpTo(0, true, 11.5), 0u);
+  EXPECT_EQ(snap.store->CountUpTo(0, true, 19.5), 8u);
+}
+
 }  // namespace
 }  // namespace innet::runtime

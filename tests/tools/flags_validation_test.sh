@@ -64,3 +64,77 @@ grep -q "shadow: 4 checks (1-in-1)" "$tmp/err.txt" || {
   cat "$tmp/err.txt" >&2
   exit 1
 }
+
+# Durability flag combinations must also fail during validation, before any
+# file I/O (bogus paths stay untouched).
+check_rejected() {
+  local label=$1 needle=$2
+  shift 2
+  if "$query_bin" "$@" >"$tmp/out.txt" 2>"$tmp/err.txt"; then
+    echo "$label was accepted (expected rejection)" >&2
+    exit 1
+  fi
+  grep -q -- "$needle" "$tmp/err.txt" || {
+    echo "$label: missing/unclear diagnostic:" >&2
+    cat "$tmp/err.txt" >&2
+    exit 1
+  }
+  grep -qi "nonexistent" "$tmp/err.txt" && {
+    echo "$label: tool touched input files before validating" >&2
+    exit 1
+  }
+}
+
+# --ingest-epochs is batch-only.
+check_rejected "--ingest-epochs without --batch" \
+  "requires --batch" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --rect 0,0,100,100 --ingest-epochs 3
+
+# --recover needs a WAL directory to recover from.
+check_rejected "--recover without --wal-dir" \
+  "requires --wal-dir" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 --recover
+
+# --snapshot-every without a WAL has nowhere to put snapshots.
+check_rejected "--snapshot-every without --wal-dir" \
+  "requires --wal-dir" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 \
+  --ingest-epochs 3 --snapshot-every 2
+
+# --recover and --ingest-epochs cannot both drive the serving store.
+check_rejected "--recover with --ingest-epochs" \
+  "mutually exclusive" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 \
+  --wal-dir /nonexistent-wal --recover --ingest-epochs 3
+
+# Durable ingest + recovery serve identical answers over a real dataset:
+# write a WAL while serving, then recover from it and diff.
+"$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+  --batch "$tmp/batch.txt" --sample-fraction 0.3 \
+  --ingest-epochs 4 --wal-dir "$tmp/wal" --snapshot-every 2 \
+  >"$tmp/durable.out" 2>"$tmp/durable.err" || {
+  echo "durable ingest run failed:" >&2
+  cat "$tmp/durable.err" >&2
+  exit 1
+}
+"$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+  --batch "$tmp/batch.txt" --sample-fraction 0.3 \
+  --recover --wal-dir "$tmp/wal" \
+  >"$tmp/recover.out" 2>"$tmp/recover.err" || {
+  echo "recovery run failed:" >&2
+  cat "$tmp/recover.err" >&2
+  exit 1
+}
+grep -q "recover: " "$tmp/recover.err" || {
+  echo "missing recover summary line on stderr:" >&2
+  cat "$tmp/recover.err" >&2
+  exit 1
+}
+diff "$tmp/durable.out" "$tmp/recover.out" || {
+  echo "recovered answers differ from the durable serve" >&2
+  exit 1
+}

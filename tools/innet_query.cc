@@ -17,6 +17,13 @@
 // incremental re-freezes and the engine follows the published generations
 // (docs/API.md §"Live ingestion quickstart").
 //
+// Durability (docs/FAULTS.md §"Process & storage faults"): with
+// --ingest-epochs, --wal-dir DIR group-commits every epoch to a
+// write-ahead log before it becomes visible, and --snapshot-every N
+// bounds recovery replay with periodic frozen-store snapshots. After a
+// crash, --recover --wal-dir DIR rebuilds the last durable store
+// (snapshot + tail replay) and serves the batch from it.
+//
 // Observability (docs/OBSERVABILITY.md): --metrics-out=PATH dumps the
 // process metrics registry on exit (Prometheus text format, or JSON lines
 // when PATH ends in .json/.jsonl); --trace-out=PATH writes one JSON object
@@ -159,10 +166,45 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
   // engine's. Answers are identical to the batch-built store by the
   // incremental re-freeze identity guarantee (docs/PERFORMANCE.md).
   std::unique_ptr<runtime::IngestPipeline> pipeline;
+  std::string wal_dir = flags.GetString("wal-dir");
   int ingest_epochs = flags.GetInt("ingest-epochs", 0);
+
+  // Recovery serving (--recover): rebuild the last durable store from the
+  // WAL directory (newest usable snapshot + tail replay) and serve the
+  // batch from it through a local handle — the same handle-mode read path
+  // live ingest uses (docs/FAULTS.md §"Process & storage faults").
+  std::optional<forms::FrozenStoreHandle> recovered;
+  if (flags.GetBool("recover")) {
+    runtime::RecoveryOptions recovery_options;
+    recovery_options.wal_dir = wal_dir;
+    recovery_options.num_edges = network.TotalEdgeSpace();
+    recovery_options.registry = &obs::MetricsRegistry::Global();
+    runtime::RecoveryManager manager(recovery_options);
+    auto state = manager.Recover();
+    if (!state.ok()) return Fail(state.status().ToString());
+    recovered.emplace();
+    recovered->Restore(state->store, state->generation);
+    std::fprintf(stderr,
+                 "recover: epoch %llu generation %llu | %llu durable events "
+                 "(%llu from snapshot, %llu replayed from WAL tail)\n",
+                 static_cast<unsigned long long>(state->durable_epoch),
+                 static_cast<unsigned long long>(state->generation),
+                 static_cast<unsigned long long>(state->durable_events),
+                 static_cast<unsigned long long>(state->snapshot_events),
+                 static_cast<unsigned long long>(state->replayed_events));
+  }
+
   if (ingest_epochs > 0) {
     runtime::IngestPipelineOptions pipeline_options;
     pipeline_options.registry = &obs::MetricsRegistry::Global();
+    if (!wal_dir.empty()) {
+      // Durable ingest: every epoch close group-commits to the WAL before
+      // it becomes visible to readers; --snapshot-every N additionally
+      // bounds recovery replay with periodic snapshots.
+      pipeline_options.durability.wal_dir = wal_dir;
+      pipeline_options.durability.snapshot_every_epochs =
+          static_cast<size_t>(flags.GetInt("snapshot-every", 0));
+    }
     pipeline = std::make_unique<runtime::IngestPipeline>(
         network.TotalEdgeSpace(), pipeline_options);
     size_t chunk =
@@ -220,6 +262,8 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
   if (pipeline != nullptr) {
     engine_storage.emplace(deployment->graph(), pipeline->handle(),
                            engine_options);
+  } else if (recovered.has_value()) {
+    engine_storage.emplace(deployment->graph(), *recovered, engine_options);
   } else {
     engine_storage.emplace(deployment->graph(), deployment->store(),
                            engine_options);
@@ -317,6 +361,41 @@ int Main(int argc, char** argv) {
   std::string trips_path = flags.GetString("trips");
   std::string rect_text = flags.GetString("rect");
   std::string batch_path = flags.GetString("batch");
+  // Durability flags are batch-mode-only and interdependent; reject bad
+  // combinations before any file I/O.
+  if (flags.Has("ingest-epochs") && batch_path.empty()) {
+    return Fail("--ingest-epochs serves a batch from a live pipeline; it "
+                "requires --batch FILE");
+  }
+  std::string wal_dir = flags.GetString("wal-dir");
+  bool recover = flags.GetBool("recover");
+  if (flags.Has("snapshot-every")) {
+    if (flags.GetInt("snapshot-every", 0) <= 0) {
+      return Fail("--snapshot-every must be a positive integer (snapshot "
+                  "the frozen store every N epochs); got " +
+                  flags.GetString("snapshot-every"));
+    }
+    if (wal_dir.empty()) {
+      return Fail("--snapshot-every requires --wal-dir DIR (snapshots live "
+                  "beside the WAL segments)");
+    }
+  }
+  if (recover && wal_dir.empty()) {
+    return Fail("--recover rebuilds the store from a write-ahead log; it "
+                "requires --wal-dir DIR");
+  }
+  if (recover && flags.Has("ingest-epochs")) {
+    return Fail("--recover and --ingest-epochs are mutually exclusive: "
+                "recovery serves the durable store, ingest re-replays the "
+                "event stream");
+  }
+  if (!wal_dir.empty() && batch_path.empty()) {
+    return Fail("--wal-dir only applies to batch mode; add --batch FILE");
+  }
+  if (!wal_dir.empty() && !recover && !flags.Has("ingest-epochs")) {
+    return Fail("--wal-dir requires --ingest-epochs N (durable ingest) or "
+                "--recover (serve the last durable store)");
+  }
   if (graph_path.empty() || trips_path.empty() ||
       (rect_text.empty() && batch_path.empty())) {
     std::fprintf(stderr,
@@ -328,6 +407,8 @@ int Main(int argc, char** argv) {
                  "--sample-fraction F [--threads N] [--cache N] [--kind K] "
                  "[--bound B] [--sampler NAME] [--store exact|learned] "
                  "[--ingest-epochs N]\n"
+                 "durability: [--wal-dir DIR] [--snapshot-every N] "
+                 "[--recover]\n"
                  "observability: [--metrics-out PATH] [--trace-out PATH] "
                  "[--trace-sample N] [--shadow-sample N] [--explain] "
                  "[--explain-svg PATH] [--log-level info|warn|error|off]\n");
