@@ -142,6 +142,9 @@ void CrashPointRegistry::ReachArmed(const char* point) {
     std::fprintf(stderr, "[CRASH-POINT] %s firing, _exit(%d)\n", point,
                  kCrashExitCode);
     std::fflush(stderr);
+    void (*hook)(const char*) =
+        pre_crash_hook_.load(std::memory_order_acquire);
+    if (hook != nullptr) hook(point);
     _exit(kCrashExitCode);
   }
 }

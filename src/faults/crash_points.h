@@ -88,11 +88,23 @@ class CrashPointRegistry {
   /// these counters afterwards.
   uint64_t HitCount(const std::string& point) const;
 
+  /// Installs a hook that runs right before an armed point _exit()s, with
+  /// the firing point's name — the flight recorder dumps its black box
+  /// here. The hook must be async-termination-safe (the process is about
+  /// to die; no locks it might share with suspended threads). Binaries
+  /// wire this up (e.g. to obs::FlightRecorder::CrashPointHook); the
+  /// faults library itself stays free of an obs dependency. nullptr
+  /// clears.
+  void SetPreCrashHook(void (*hook)(const char* point)) {
+    pre_crash_hook_.store(hook, std::memory_order_release);
+  }
+
  private:
   CrashPointRegistry();
   void ReachArmed(const char* point);
 
   std::atomic<bool> armed_{false};
+  std::atomic<void (*)(const char*)> pre_crash_hook_{nullptr};
   mutable std::mutex mutex_;
   std::string armed_point_;
   std::atomic<int64_t> remaining_{0};

@@ -59,12 +59,19 @@
 #include "learned/rolling_store.h"       // IWYU pragma: export
 #include "privacy/private_store.h"       // IWYU pragma: export
 
-// Observability: metrics, tracing, exporters, accuracy, provenance.
-#include "obs/accuracy.h" // IWYU pragma: export
-#include "obs/explain.h"  // IWYU pragma: export
-#include "obs/export.h"   // IWYU pragma: export
-#include "obs/metrics.h"  // IWYU pragma: export
-#include "obs/trace.h"    // IWYU pragma: export
+// Observability: metrics, tracing, exporters, accuracy, provenance, and
+// the live telemetry plane (HTTP endpoint, rolling windows, SLOs, crash
+// black box).
+#include "obs/accuracy.h"         // IWYU pragma: export
+#include "obs/build_info.h"       // IWYU pragma: export
+#include "obs/explain.h"          // IWYU pragma: export
+#include "obs/export.h"           // IWYU pragma: export
+#include "obs/flight_recorder.h"  // IWYU pragma: export
+#include "obs/metrics.h"          // IWYU pragma: export
+#include "obs/slo.h"              // IWYU pragma: export
+#include "obs/telemetry_server.h" // IWYU pragma: export
+#include "obs/timeseries.h"       // IWYU pragma: export
+#include "obs/trace.h"            // IWYU pragma: export
 
 // Sensor selection.
 #include "placement/query_adaptive.h" // IWYU pragma: export

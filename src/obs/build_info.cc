@@ -1,0 +1,74 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+
+#include "obs/export.h"
+
+#ifndef INNET_VERSION
+#define INNET_VERSION "0.8.0"
+#endif
+
+#ifndef INNET_GIT_SHA
+#define INNET_GIT_SHA "unknown"
+#endif
+
+namespace innet::obs {
+
+namespace {
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return "clang-" + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc-" + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point kStart =
+      std::chrono::steady_clock::now();
+  return kStart;
+}
+
+}  // namespace
+
+const char* BuildVersion() { return INNET_VERSION; }
+
+const char* BuildGitSha() { return INNET_GIT_SHA; }
+
+const char* BuildCompiler() {
+  static const std::string* const kCompiler =
+      new std::string(CompilerString());
+  return kCompiler->c_str();
+}
+
+Gauge& RegisterBuildInfo(MetricsRegistry& registry) {
+  std::string labels = "version=\"";
+  labels += PrometheusEscapeLabel(BuildVersion());
+  labels += "\",git_sha=\"";
+  labels += PrometheusEscapeLabel(BuildGitSha());
+  labels += "\",compiler=\"";
+  labels += PrometheusEscapeLabel(BuildCompiler());
+  labels += "\"";
+  Gauge& info = registry.GetGaugeWithLabels(
+      "innet_build_info", labels,
+      "Constant 1; labels identify the running build");
+  info.Set(1.0);
+  return registry.GetGauge("innet_uptime_seconds",
+                           "Seconds since process start, refreshed on "
+                           "collector ticks and before file export");
+}
+
+double UptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessStart())
+      .count();
+}
+
+}  // namespace innet::obs

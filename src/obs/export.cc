@@ -11,18 +11,6 @@ namespace innet::obs {
 
 namespace {
 
-// JSON has no literal for non-finite numbers; emit null so consumers see
-// an explicit hole instead of a parse error.
-void AppendJsonNumber(std::string* out, double value) {
-  if (!std::isfinite(value)) {
-    out->append("null");
-    return;
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  out->append(buf);
-}
-
 std::string PrometheusNumber(double value) {
   if (std::isnan(value)) return "NaN";
   if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
@@ -49,6 +37,16 @@ bool OpenForWrite(const std::string& path, std::ofstream* out) {
 }
 
 }  // namespace
+
+void JsonAppendNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
 
 std::string JsonEscape(const std::string& text) {
   std::string out;
@@ -142,10 +140,18 @@ void WritePrometheus(const MetricsRegistry& registry, std::ostream& out) {
     WriteHeader(out, name, counter->help(), "counter");
     out << name << " " << counter->Value() << "\n";
   }
+  // Gauges are keyed `name{labels}`, so label variants of one family sort
+  // adjacently; emit the HELP/TYPE header once per family, not per series.
+  std::string previous_gauge;
   for (const Gauge* gauge : registry.Gauges()) {
     std::string name = PrometheusSanitizeName(gauge->name());
-    WriteHeader(out, name, gauge->help(), "gauge");
-    out << name << " " << PrometheusNumber(gauge->Value()) << "\n";
+    if (name != previous_gauge) {
+      WriteHeader(out, name, gauge->help(), "gauge");
+      previous_gauge = name;
+    }
+    out << name;
+    if (!gauge->labels().empty()) out << "{" << gauge->labels() << "}";
+    out << " " << PrometheusNumber(gauge->Value()) << "\n";
   }
   for (const Histogram* histogram : registry.Histograms()) {
     std::string name = PrometheusSanitizeName(histogram->name());
@@ -182,8 +188,14 @@ void WriteMetricsJsonLines(const MetricsRegistry& registry,
     line.clear();
     line += "{\"type\":\"gauge\",\"name\":\"";
     line += JsonEscape(gauge->name());
-    line += "\",\"value\":";
-    AppendJsonNumber(&line, gauge->Value());
+    line += "\"";
+    if (!gauge->labels().empty()) {
+      line += ",\"labels\":\"";
+      line += JsonEscape(gauge->labels());
+      line += "\"";
+    }
+    line += ",\"value\":";
+    JsonAppendNumber(&line, gauge->Value());
     line += "}";
     out << line << "\n";
   }
@@ -196,17 +208,17 @@ void WriteMetricsJsonLines(const MetricsRegistry& registry,
     line += "\",\"count\":";
     line += std::to_string(histogram->Count());
     line += ",\"sum\":";
-    AppendJsonNumber(&line, histogram->Sum());
+    JsonAppendNumber(&line, histogram->Sum());
     line += ",\"p50\":";
-    AppendJsonNumber(&line, histogram->Percentile(0.50));
+    JsonAppendNumber(&line, histogram->Percentile(0.50));
     line += ",\"p95\":";
-    AppendJsonNumber(&line, histogram->Percentile(0.95));
+    JsonAppendNumber(&line, histogram->Percentile(0.95));
     line += ",\"buckets\":[";
     for (size_t i = 0; i < counts.size(); ++i) {
       if (i > 0) line += ",";
       line += "{\"le\":";
       if (i < bounds.size()) {
-        AppendJsonNumber(&line, bounds[i]);
+        JsonAppendNumber(&line, bounds[i]);
       } else {
         line += "null";
       }
@@ -229,7 +241,7 @@ void WriteTracesJsonLines(
     line += "{\"query\":";
     line += std::to_string(trace->id());
     line += ",\"total_micros\":";
-    AppendJsonNumber(&line, trace->TotalMicros());
+    JsonAppendNumber(&line, trace->TotalMicros());
     line += ",\"stages\":[";
     bool first = true;
     for (const TraceStage& stage : trace->stages()) {
@@ -238,9 +250,9 @@ void WriteTracesJsonLines(
       line += "{\"name\":\"";
       line += JsonEscape(stage.name);
       line += "\",\"start_micros\":";
-      AppendJsonNumber(&line, stage.start_micros);
+      JsonAppendNumber(&line, stage.start_micros);
       line += ",\"micros\":";
-      AppendJsonNumber(&line, stage.elapsed_micros);
+      JsonAppendNumber(&line, stage.elapsed_micros);
       line += ",\"depth\":";
       line += std::to_string(stage.depth);
       line += "}";
@@ -250,7 +262,7 @@ void WriteTracesJsonLines(
       line += ",\"";
       line += JsonEscape(key);
       line += "\":";
-      AppendJsonNumber(&line, value);
+      JsonAppendNumber(&line, value);
     }
     line += "}";
     out << line << "\n";

@@ -53,6 +53,11 @@ bool ExportTracesToFile(
 /// Escapes a string for embedding inside a JSON string literal.
 std::string JsonEscape(const std::string& text);
 
+/// Appends `value` as a JSON number; non-finite values become `null`
+/// (JSON has no literal for them), so consumers see an explicit hole
+/// instead of a parse error. Shared with the /varz telemetry endpoint.
+void JsonAppendNumber(std::string* out, double value);
+
 /// Maps an arbitrary metric name onto the Prometheus name charset
 /// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every invalid character becomes `_`, and a
 /// leading digit gains a `_` prefix. The exporters apply this at write

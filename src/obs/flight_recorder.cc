@@ -1,0 +1,248 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/build_info.h"
+
+namespace innet::obs {
+
+namespace {
+
+// Everything below runs inside signal handlers: no malloc, no stdio, no
+// locks — only writes into a caller-provided bounded buffer.
+
+int64_t MonotonicMicros() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+struct Buffer {
+  char* data;
+  size_t capacity;
+  size_t size = 0;
+
+  void Append(const char* text) {
+    while (*text != '\0' && size < capacity) data[size++] = *text++;
+  }
+
+  // JSON string payload: drops quotes/backslashes/control chars instead of
+  // escaping — record fields are pre-sanitized, this guards `reason`.
+  void AppendJsonText(const char* text) {
+    for (; *text != '\0' && size < capacity; ++text) {
+      unsigned char c = static_cast<unsigned char>(*text);
+      if (c < 0x20 || c == '"' || c == '\\') continue;
+      data[size++] = *text;
+    }
+  }
+
+  void AppendU64(uint64_t value) {
+    char digits[24];
+    size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + value % 10);
+      value /= 10;
+    } while (value != 0);
+    while (n > 0 && size < capacity) data[size++] = digits[--n];
+  }
+
+  void AppendI64(int64_t value) {
+    if (value < 0) {
+      Append("-");
+      AppendU64(static_cast<uint64_t>(-value));
+    } else {
+      AppendU64(static_cast<uint64_t>(value));
+    }
+  }
+
+  // Fixed-point with 6 decimals; non-finite renders as null, huge values
+  // clamp so the integer part always fits u64 formatting.
+  void AppendDouble(double value) {
+    if (value != value || value > 1e15 || value < -1e15) {
+      if (value > 1e15) {
+        Append("1e15");
+        return;
+      }
+      if (value < -1e15) {
+        Append("-1e15");
+        return;
+      }
+      Append("null");
+      return;
+    }
+    if (value < 0) {
+      Append("-");
+      value = -value;
+    }
+    uint64_t whole = static_cast<uint64_t>(value);
+    uint64_t frac =
+        static_cast<uint64_t>((value - static_cast<double>(whole)) * 1e6 +
+                              0.5);
+    if (frac >= 1000000) {
+      ++whole;
+      frac = 0;
+    }
+    AppendU64(whole);
+    if (frac != 0) {
+      char digits[8];
+      for (size_t i = 6; i > 0; --i) {
+        digits[i - 1] = static_cast<char>('0' + frac % 10);
+        frac /= 10;
+      }
+      size_t end = 6;
+      while (end > 0 && digits[end - 1] == '0') --end;
+      digits[end] = '\0';
+      Append(".");
+      Append(digits);
+    }
+  }
+};
+
+// One static dump buffer; the guard keeps a second crashing thread from
+// scribbling into a dump already in progress.
+char g_dump_buffer[64 * 1024];
+std::atomic<bool> g_dumping{false};
+
+void CopySanitized(char* dst, size_t dst_size, const char* src) {
+  size_t n = 0;
+  for (; src[n] != '\0' && n + 1 < dst_size; ++n) {
+    char c = src[n];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == ':' ||
+              c == '-';
+    dst[n] = ok ? c : '_';
+  }
+  dst[n] = '\0';
+}
+
+void HandleFatalSignal(int sig) {
+  const char* reason = sig == SIGSEGV   ? "SIGSEGV"
+                       : sig == SIGABRT ? "SIGABRT"
+                       : sig == SIGTERM ? "SIGTERM"
+                                        : "signal";
+  FlightRecorder::Global().DumpNow(reason);
+  if (sig == SIGTERM) _exit(143);
+  // Restore the default action and re-raise so the exit status and core
+  // behavior stay what the operator expects.
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* const kRecorder = new FlightRecorder();
+  return *kRecorder;
+}
+
+void FlightRecorder::Configure(const std::string& dump_dir) {
+  std::snprintf(path_prefix_, sizeof(path_prefix_), "%s/flight-%lld-",
+                dump_dir.empty() ? "." : dump_dir.c_str(),
+                static_cast<long long>(getpid()));
+  epoch_micros_.store(MonotonicMicros(), std::memory_order_relaxed);
+  configured_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::Note(const char* kind, const char* name, double value) {
+  uint64_t claim = next_.fetch_add(1, std::memory_order_relaxed);
+  Record& record = records_[claim % kRecords];
+  // Invalidate the slot while its payload is torn; readers skip slots
+  // whose seq does not match their position.
+  record.seq.store(0, std::memory_order_release);
+  record.micros = MonotonicMicros() -
+                  epoch_micros_.load(std::memory_order_relaxed);
+  CopySanitized(record.kind, sizeof(record.kind), kind);
+  CopySanitized(record.name, sizeof(record.name), name);
+  record.value = value;
+  record.seq.store(claim + 1, std::memory_order_release);
+}
+
+bool FlightRecorder::DumpNow(const char* reason) {
+  if (!configured_.load(std::memory_order_acquire)) return false;
+  bool expected = false;
+  if (!g_dumping.compare_exchange_strong(expected, true)) return false;
+
+  Buffer buffer{g_dump_buffer, sizeof(g_dump_buffer) - 1};
+  buffer.Append("{\"schema\":\"innet-flight-v1\",\"pid\":");
+  buffer.AppendI64(getpid());
+  buffer.Append(",\"reason\":\"");
+  buffer.AppendJsonText(reason);
+  buffer.Append("\",\"build\":{\"version\":\"");
+  buffer.AppendJsonText(BuildVersion());
+  buffer.Append("\",\"git_sha\":\"");
+  buffer.AppendJsonText(BuildGitSha());
+  buffer.Append("\",\"compiler\":\"");
+  buffer.AppendJsonText(BuildCompiler());
+  buffer.Append("\"},\"records\":[");
+
+  uint64_t next = next_.load(std::memory_order_acquire);
+  uint64_t start = next > kRecords ? next - kRecords : 0;
+  bool first = true;
+  for (uint64_t seq = start; seq < next; ++seq) {
+    const Record& record = records_[seq % kRecords];
+    if (record.seq.load(std::memory_order_acquire) != seq + 1) continue;
+    if (!first) buffer.Append(",");
+    first = false;
+    buffer.Append("{\"seq\":");
+    buffer.AppendU64(seq);
+    buffer.Append(",\"micros\":");
+    buffer.AppendI64(record.micros);
+    buffer.Append(",\"kind\":\"");
+    buffer.AppendJsonText(record.kind);
+    buffer.Append("\",\"name\":\"");
+    buffer.AppendJsonText(record.name);
+    buffer.Append("\",\"value\":");
+    buffer.AppendDouble(record.value);
+    buffer.Append("}");
+  }
+  buffer.Append("]}\n");
+
+  char path[256];
+  size_t prefix = std::strlen(path_prefix_);
+  std::memcpy(path, path_prefix_, prefix);
+  Buffer name{path + prefix, sizeof(path) - prefix - 1};
+  name.AppendU64(dump_seq_.fetch_add(1, std::memory_order_relaxed));
+  name.Append(".json");
+  path[prefix + name.size] = '\0';
+
+  int fd = open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  bool ok = fd >= 0;
+  if (ok) {
+    size_t written = 0;
+    while (written < buffer.size) {
+      ssize_t n = write(fd, buffer.data + written, buffer.size - written);
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      written += static_cast<size_t>(n);
+    }
+    close(fd);
+  }
+  g_dumping.store(false, std::memory_order_release);
+  return ok;
+}
+
+void FlightRecorder::InstallSignalHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleFatalSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGSEGV, &action, nullptr);
+  sigaction(SIGABRT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void FlightRecorder::CrashPointHook(const char* point) {
+  FlightRecorder& recorder = Global();
+  if (!recorder.Configured()) return;
+  recorder.DumpNow(point);
+}
+
+}  // namespace innet::obs

@@ -1,0 +1,96 @@
+// Crash-time black box (docs/OBSERVABILITY.md §Live telemetry & SLOs).
+//
+// A preallocated ring of the most recent notable events — store
+// generations published, WAL errors, batch completions, SLO transitions —
+// recorded with a lock-free fetch_add slot claim so Note() is cheap enough
+// for steady-state paths. On SIGSEGV/SIGABRT/SIGTERM (InstallSignalHandlers)
+// or an armed crash point firing (CrashPointHook, wired into
+// faults::CrashPointRegistry by the binary), the ring is dumped as
+// `flight-<pid>-<seq>.json` using ONLY async-signal-safe primitives:
+// open/write/close on pre-rendered or hand-formatted buffers — no malloc,
+// no stdio, no locks.
+//
+// Dump schema (schema id "innet-flight-v1"):
+//   {"schema":"innet-flight-v1","pid":123,"reason":"SIGSEGV",
+//    "build":{"version":"...","git_sha":"...","compiler":"..."},
+//    "records":[{"seq":0,"micros":12345,"kind":"store",
+//                "name":"publish_generation","value":3},...]}
+// Records are oldest-first; `micros` is steady time since recorder
+// configuration.
+#ifndef INNET_OBS_FLIGHT_RECORDER_H_
+#define INNET_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace innet::obs {
+
+/// Process-wide crash-time event ring. All methods are thread-safe;
+/// Note() is lock-free and DumpNow() is async-signal-safe once
+/// Configure() has run.
+class FlightRecorder {
+ public:
+  static constexpr size_t kRecords = 256;
+
+  static FlightRecorder& Global();
+
+  /// Sets the dump directory (default ".") and marks the recorder armed.
+  /// NOT async-signal-safe; call once at startup before installing
+  /// handlers.
+  void Configure(const std::string& dump_dir);
+
+  /// True once Configure() has run.
+  bool Configured() const {
+    return configured_.load(std::memory_order_acquire);
+  }
+
+  /// Records one event. `kind` and `name` are truncated to the record's
+  /// fixed fields and sanitized to [A-Za-z0-9_.:-] so dumping needs no
+  /// escaping. Lock-free; safe from any thread, cheap enough for
+  /// per-epoch/per-batch call sites (one fetch_add + bounded copies).
+  void Note(const char* kind, const char* name, double value);
+
+  /// Writes the ring to `flight-<pid>-<seq>.json` in the configured
+  /// directory using only async-signal-safe calls. `reason` must be a
+  /// static string (signal name or crash-point id). Returns the fd-level
+  /// success; on failure there is nothing safe left to do, so callers
+  /// ignore it outside tests.
+  bool DumpNow(const char* reason);
+
+  /// Installs SIGSEGV/SIGABRT/SIGTERM handlers that DumpNow() and then
+  /// re-raise (SEGV/ABRT) or _exit(143) (TERM). Call after Configure().
+  void InstallSignalHandlers();
+
+  /// Adapter for faults::CrashPointRegistry::SetPreCrashHook — dumps with
+  /// the firing point as the reason. No-op until Configure() has run.
+  static void CrashPointHook(const char* point);
+
+  /// Records written so far (monotonic; may exceed kRecords).
+  uint64_t NotesTaken() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Record {
+    std::atomic<uint64_t> seq{0};  // 1-based claim id; 0 = empty slot
+    int64_t micros = 0;
+    char kind[8] = {0};
+    char name[40] = {0};
+    double value = 0.0;
+  };
+
+  FlightRecorder() = default;
+
+  Record records_[kRecords];
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> dump_seq_{0};
+  std::atomic<bool> configured_{false};
+  std::atomic<int64_t> epoch_micros_{0};
+  // Pre-rendered "<dir>/flight-<pid>-" so the handler only appends digits.
+  char path_prefix_[192] = {0};
+};
+
+}  // namespace innet::obs
+
+#endif  // INNET_OBS_FLIGHT_RECORDER_H_

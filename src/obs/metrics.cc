@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -33,8 +34,9 @@ void Counter::Reset() {
   }
 }
 
-Gauge::Gauge(std::string name, std::string help)
-    : name_(std::move(name)), help_(std::move(help)) {}
+Gauge::Gauge(std::string name, std::string help, std::string labels)
+    : name_(std::move(name)), help_(std::move(help)),
+      labels_(std::move(labels)) {}
 
 void Gauge::Add(double delta) {
   double current = value_.load(std::memory_order_relaxed);
@@ -98,7 +100,14 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
 
 double Histogram::Percentile(double q) const {
   INNET_CHECK(q >= 0.0 && q <= 1.0);
-  std::vector<uint64_t> counts = BucketCounts();
+  return PercentileFromBucketCounts(bounds_, BucketCounts(), q);
+}
+
+double PercentileFromBucketCounts(const std::vector<double>& bounds,
+                                  const std::vector<uint64_t>& counts,
+                                  double q) {
+  INNET_CHECK(q >= 0.0 && q <= 1.0);
+  INNET_CHECK(counts.size() == bounds.size() + 1);
   uint64_t total = 0;
   for (uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
@@ -107,10 +116,14 @@ double Histogram::Percentile(double q) const {
   for (size_t i = 0; i < counts.size(); ++i) {
     if (counts[i] == 0) continue;
     if (static_cast<double>(cumulative + counts[i]) >= rank) {
-      // The +inf bucket has no finite width; report the largest bound.
-      if (i == bounds_.size()) return bounds_.back();
-      double upper = bounds_[i];
-      double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+      // The +inf overflow bucket has no finite width: any quantile landing
+      // in it is only known to be >= the last finite bound. Report +inf
+      // instead of inventing a value inside the final finite bucket.
+      if (i == bounds.size()) {
+        return std::numeric_limits<double>::infinity();
+      }
+      double upper = bounds[i];
+      double lower = i == 0 ? std::min(0.0, upper) : bounds[i - 1];
       double frac = (rank - static_cast<double>(cumulative)) /
                     static_cast<double>(counts[i]);
       frac = std::clamp(frac, 0.0, 1.0);
@@ -118,7 +131,7 @@ double Histogram::Percentile(double q) const {
     }
     cumulative += counts[i];
   }
-  return bounds_.back();
+  return std::numeric_limits<double>::infinity();
 }
 
 void Histogram::Reset() {
@@ -148,6 +161,17 @@ MetricsRegistry& MetricsRegistry::Global() {
   return registry;
 }
 
+void MetricsRegistry::WarnOnHelpConflict(const std::string& name,
+                                         const std::string& existing_help,
+                                         const std::string& new_help) {
+  if (new_help.empty() || new_help == existing_help) return;
+  if (!help_conflicts_warned_.insert(name).second) return;
+  INNET_LOG(WARN) << "metric \"" << name
+                  << "\" re-registered with different help text; keeping "
+                     "the first. first=\""
+                  << existing_help << "\" ignored=\"" << new_help << "\"";
+}
+
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -156,6 +180,8 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::make_unique<Counter>(name, help)).first;
+  } else {
+    WarnOnHelpConflict(name, it->second->help(), help);
   }
   return *it->second;
 }
@@ -168,6 +194,26 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name,
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::make_unique<Gauge>(name, help)).first;
+  } else {
+    WarnOnHelpConflict(name, it->second->help(), help);
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGaugeWithLabels(const std::string& name,
+                                           const std::string& labels,
+                                           const std::string& help) {
+  if (labels.empty()) return GetGauge(name, help);
+  std::string key = name + "{" + labels + "}";
+  std::lock_guard<std::mutex> lock(mutex_);
+  INNET_CHECK(counters_.find(key) == counters_.end());
+  INNET_CHECK(histograms_.find(key) == histograms_.end());
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(key, std::make_unique<Gauge>(name, help, labels))
+             .first;
+  } else {
+    WarnOnHelpConflict(key, it->second->help(), help);
   }
   return *it->second;
 }
@@ -185,6 +231,8 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                                         std::move(bounds),
                                                         help))
              .first;
+  } else {
+    WarnOnHelpConflict(name, it->second->help(), help);
   }
   return *it->second;
 }

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -69,9 +70,15 @@ class Counter {
 };
 
 /// Last-write-wins instantaneous value (e.g. sensors currently dead).
+///
+/// A gauge may carry a fixed Prometheus label set (`labels()`, e.g.
+/// `version="0.8",git_sha="abc"`), attached at registration via
+/// MetricsRegistry::GetGaugeWithLabels. Exporters emit `name{labels} value`;
+/// distinct label sets of one family are distinct registry entries.
 class Gauge {
  public:
-  explicit Gauge(std::string name, std::string help = "");
+  explicit Gauge(std::string name, std::string help = "",
+                 std::string labels = "");
   Gauge(const Gauge&) = delete;
   Gauge& operator=(const Gauge&) = delete;
 
@@ -82,10 +89,13 @@ class Gauge {
 
   const std::string& name() const { return name_; }
   const std::string& help() const { return help_; }
+  /// Pre-escaped `key="value"` pairs, or "" for an unlabeled gauge.
+  const std::string& labels() const { return labels_; }
 
  private:
   std::string name_;
   std::string help_;
+  std::string labels_;
   std::atomic<double> value_{0.0};
 };
 
@@ -108,8 +118,11 @@ class Histogram {
   std::vector<uint64_t> BucketCounts() const;
   const std::vector<double>& UpperBounds() const { return bounds_; }
 
-  /// Bucket-interpolated quantile, q in [0, 1]. Returns 0 when empty;
-  /// observations in the +inf bucket report the largest finite bound.
+  /// Bucket-interpolated quantile, q in [0, 1]. Returns 0 when empty.
+  /// A quantile landing in the +inf overflow bucket reports +infinity —
+  /// "at least the last finite bound" — rather than a fabricated value
+  /// interpolated inside the final bucket (exporters render it as `+Inf`
+  /// in Prometheus text and `null` in JSON).
   double Percentile(double q) const;
 
   void Reset();
@@ -144,11 +157,24 @@ class Histogram {
   std::vector<std::unique_ptr<Cell>> cells_;
 };
 
+/// Interpolated quantile over one set of per-bucket (non-cumulative)
+/// counts — the math behind Histogram::Percentile, exposed so windowed
+/// consumers (obs::TimeSeriesCollector) can run it on bucket DELTAS.
+/// `counts` has bounds.size() + 1 entries (last = overflow). Returns 0 on
+/// an empty window and +infinity when the quantile lands in the overflow
+/// bucket.
+double PercentileFromBucketCounts(const std::vector<double>& bounds,
+                                  const std::vector<uint64_t>& counts,
+                                  double q);
+
 /// Named metric registry. One process-wide instance (Global()) serves the
 /// library; tests construct private registries for isolation. Get* returns
 /// the existing metric when the name is already registered (the kind must
 /// match — a name registered as a counter stays a counter) and never
-/// invalidates previously returned pointers.
+/// invalidates previously returned pointers. Re-registering a name with
+/// DIFFERENT non-empty help text keeps the first string but logs a
+/// one-time WARN naming both, so conflicting help is loud instead of
+/// silently dropped.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -159,6 +185,13 @@ class MetricsRegistry {
 
   Counter& GetCounter(const std::string& name, const std::string& help = "");
   Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  /// Labeled gauge: one series of the family `name` with the fixed,
+  /// pre-escaped label pairs `labels` (e.g. `slo="query_p95"`). The
+  /// registry key is `name{labels}`, so distinct label sets coexist and
+  /// sort adjacently in the export.
+  Gauge& GetGaugeWithLabels(const std::string& name,
+                            const std::string& labels,
+                            const std::string& help = "");
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> bounds,
                           const std::string& help = "");
@@ -172,10 +205,17 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
+  /// Logs the one-time WARN when `name` is re-registered with different
+  /// non-empty help text. Caller holds mutex_.
+  void WarnOnHelpConflict(const std::string& name,
+                          const std::string& existing_help,
+                          const std::string& new_help);
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::set<std::string> help_conflicts_warned_;
 };
 
 }  // namespace innet::obs

@@ -45,6 +45,16 @@ void Tracer::Finish(std::unique_ptr<QueryTrace> trace) {
   while (ring_.size() > options_.ring_capacity) ring_.pop_front();
 }
 
+std::vector<std::unique_ptr<QueryTrace>> Tracer::SnapshotRing() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::unique_ptr<QueryTrace>> out;
+  out.reserve(ring_.size());
+  for (const std::unique_ptr<QueryTrace>& trace : ring_) {
+    out.push_back(std::make_unique<QueryTrace>(*trace));
+  }
+  return out;
+}
+
 std::vector<std::unique_ptr<QueryTrace>> Tracer::Drain() {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::unique_ptr<QueryTrace>> out;

@@ -108,6 +108,11 @@ class Tracer {
   /// Removes and returns every retained trace, oldest first.
   std::vector<std::unique_ptr<QueryTrace>> Drain();
 
+  /// Deep-copies the retained traces, oldest first, without draining — the
+  /// /traces telemetry endpoint reads the ring while queries keep
+  /// finishing into it.
+  std::vector<std::unique_ptr<QueryTrace>> SnapshotRing() const;
+
   uint64_t Started() const {
     return started_.load(std::memory_order_relaxed);
   }
@@ -119,7 +124,7 @@ class Tracer {
   TracerOptions options_;
   std::atomic<uint64_t> started_{0};
   std::atomic<uint64_t> sampled_{0};
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::deque<std::unique_ptr<QueryTrace>> ring_;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "forms/region_count.h"
+#include "obs/flight_recorder.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -155,6 +156,9 @@ void BatchQueryEngine::SyncStoreGeneration() {
   // generation survives the swap, mirroring the health-generation path.
   cache_.Clear();
   store_invalidations_->Increment();
+  obs::FlightRecorder::Global().Note(
+      "engine", "attach_generation",
+      static_cast<double>(store_snapshot_.generation));
 }
 
 void BatchQueryEngine::SyncHealthGeneration() {
@@ -334,6 +338,8 @@ std::vector<core::QueryAnswer> BatchQueryEngine::AnswerBatch(
     answers[i] = AnswerOne(queries[i], kind, bound);
   });
   EndBatch();
+  obs::FlightRecorder::Global().Note("engine", "batch_queries",
+                                     static_cast<double>(queries.size()));
   return answers;
 }
 

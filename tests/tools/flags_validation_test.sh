@@ -111,6 +111,70 @@ check_rejected "--recover with --ingest-epochs" \
   --batch /nonexistent.txt --sample-fraction 0.3 \
   --wal-dir /nonexistent-wal --recover --ingest-epochs 3
 
+# Telemetry flags: the endpoint is batch-only and its dependent knobs need
+# the endpoint; all rejections must fire before any file I/O.
+check_rejected "--serve-telemetry with a bad port" \
+  "--serve-telemetry wants a TCP port in 0..65535" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 --serve-telemetry 70000
+
+check_rejected "--serve-telemetry without --batch" \
+  "requires --batch" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --rect 0,0,100,100 --serve-telemetry 0
+
+check_rejected "--slo-config without --serve-telemetry" \
+  "requires --serve-telemetry" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 \
+  --slo-config /nonexistent-slo.conf
+
+check_rejected "--telemetry-linger without --serve-telemetry" \
+  "requires --serve-telemetry" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 --telemetry-linger 5
+
+check_rejected "negative --telemetry-linger" \
+  "--telemetry-linger must be >= 0" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 \
+  --serve-telemetry 0 --telemetry-linger -1
+
+check_rejected "--flight-dir without --serve-telemetry" \
+  "requires --serve-telemetry" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 --flight-dir "$tmp"
+
+check_rejected "--readyz-staleness without --serve-telemetry" \
+  "requires --serve-telemetry" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 --readyz-staleness 10
+
+# A missing SLO config must fail even with the endpoint requested.
+if "$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+    --batch "$tmp/batch.txt" --sample-fraction 0.3 \
+    --serve-telemetry 0 --slo-config "$tmp/does-not-exist.conf" \
+    >"$tmp/out.txt" 2>"$tmp/err.txt"; then
+  echo "missing --slo-config file was accepted (expected failure)" >&2
+  exit 1
+fi
+
+# Valid telemetry flags serve the batch normally (ephemeral port, no
+# linger) and announce the endpoint on stderr.
+"$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+  --batch "$tmp/batch.txt" --sample-fraction 0.3 \
+  --serve-telemetry 0 --flight-dir "$tmp" \
+  >"$tmp/telemetry.out" 2>"$tmp/telemetry.err" || {
+  echo "valid --serve-telemetry run failed:" >&2
+  cat "$tmp/telemetry.err" >&2
+  exit 1
+}
+grep -q "telemetry: serving on 127.0.0.1:" "$tmp/telemetry.err" || {
+  echo "missing telemetry endpoint announcement on stderr:" >&2
+  cat "$tmp/telemetry.err" >&2
+  exit 1
+}
+
 # Durable ingest + recovery serve identical answers over a real dataset:
 # write a WAL while serving, then recover from it and diff.
 "$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \

@@ -31,6 +31,17 @@
 // 1-in-N (batch mode); --log-level info|warn|error|off sets diagnostic
 // verbosity.
 //
+// Live telemetry (docs/OBSERVABILITY.md §"Live telemetry & SLOs"):
+// --serve-telemetry PORT starts an embedded HTTP endpoint on
+// 127.0.0.1:PORT (0 = ephemeral; the bound port prints on stderr) serving
+// /metrics, /healthz, /readyz, /varz, and /traces while the batch runs,
+// backed by a background time-series collector. --slo-config FILE loads
+// burn-rate objectives evaluated on every collector tick;
+// --telemetry-linger SEC keeps the endpoint up after the batch finishes so
+// scrapers can observe the final state; --flight-dir DIR places the
+// crash-time flight-recorder dumps (default "."); --readyz-staleness SEC
+// adds a /readyz probe failing when no store published for SEC seconds.
+//
 // EXPLAIN (docs/OBSERVABILITY.md §"Accuracy & EXPLAIN"): --explain replaces
 // the human-readable answer lines with one deterministic JSON provenance
 // object per answered configuration (resolved faces, dead space, boundary
@@ -41,11 +52,14 @@
 // hot path and reports the measured relative error on stderr (metrics:
 // innet_accuracy_rel_error and friends).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "innet.h"
@@ -61,10 +75,16 @@ int Fail(const std::string& message) {
 // Shared exit path: dump the process registry when --metrics-out was given
 // and warn about unrecognized flags.
 int Finish(util::FlagParser& flags, const std::string& metrics_out) {
-  if (!metrics_out.empty() &&
-      !obs::ExportMetricsToFile(obs::MetricsRegistry::Global(),
-                                metrics_out)) {
-    return 1;
+  if (!metrics_out.empty()) {
+    // Build identity and uptime ride along on every file export, matching
+    // what a live /metrics scrape reports.
+    obs::Gauge& uptime =
+        obs::RegisterBuildInfo(obs::MetricsRegistry::Global());
+    uptime.Set(obs::UptimeSeconds());
+    if (!obs::ExportMetricsToFile(obs::MetricsRegistry::Global(),
+                                  metrics_out)) {
+      return 1;
+    }
   }
   for (const std::string& unused : flags.UnusedFlags()) {
     INNET_LOG(WARN) << "unused flag --" << unused;
@@ -158,6 +178,29 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
       BuildSampledDeployment(flags, network, fraction, max_t2 + 1.0, &error);
   if (!deployment.has_value()) return Fail(error);
 
+  // The trace ring feeds --trace-out and the /traces telemetry endpoint;
+  // it outlives every telemetry object declared below (the server holds an
+  // unowned pointer into it).
+  std::string trace_out = flags.GetString("trace-out");
+  bool serve_telemetry = flags.Has("serve-telemetry");
+  obs::TracerOptions tracer_options;
+  tracer_options.sample_every =
+      static_cast<uint64_t>(flags.GetInt("trace-sample", 1));
+  tracer_options.ring_capacity = 4096;
+  obs::Tracer tracer(tracer_options);
+
+  // Arm the black box before anything publishes a store so the crash ring
+  // covers the whole serving lifetime, recovery and initial publish
+  // included.
+  if (serve_telemetry) {
+    obs::RegisterBuildInfo(obs::MetricsRegistry::Global());
+    obs::FlightRecorder::Global().Configure(
+        flags.GetString("flight-dir", "."));
+    obs::FlightRecorder::Global().InstallSignalHandlers();
+    faults::CrashPointRegistry::Global().SetPreCrashHook(
+        &obs::FlightRecorder::CrashPointHook);
+  }
+
   // Live-replay serving (--ingest-epochs N): instead of the deployment's
   // batch-built store, stream the monitored crossing events through an
   // IngestPipeline in N epochs and serve from its published frozen store
@@ -207,6 +250,83 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
     }
     pipeline = std::make_unique<runtime::IngestPipeline>(
         network.TotalEdgeSpace(), pipeline_options);
+  }
+
+  // Live telemetry plane (--serve-telemetry PORT): endpoint + collector +
+  // SLO engine + flight recorder, up BEFORE the ingest replay so mid-run
+  // scrapes observe generations advancing. Declared after `pipeline`, so
+  // everything holding a pipeline pointer dies first.
+  std::unique_ptr<obs::TimeSeriesCollector> collector;
+  std::unique_ptr<obs::SloEngine> slo;
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (serve_telemetry) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    collector =
+        std::make_unique<obs::TimeSeriesCollector>(registry,
+                                                   obs::TimeSeriesOptions{});
+    collector->AddDerivedGauge(
+        "innet_uptime_seconds", "",
+        [](double) { return obs::UptimeSeconds(); });
+    runtime::IngestPipeline* live = pipeline.get();
+    if (live != nullptr) {
+      collector->AddDerivedGauge(
+          "innet_refreeze_staleness_seconds",
+          "Seconds since the last frozen-store publish",
+          [live](double) { return live->SecondsSinceLastPublish(); });
+    }
+
+    std::string slo_path = flags.GetString("slo-config");
+    if (!slo_path.empty()) {
+      std::vector<obs::SloObjective> objectives;
+      if (!obs::LoadSloConfigFile(slo_path, &objectives)) {
+        return Fail("cannot load --slo-config " + slo_path);
+      }
+      slo = std::make_unique<obs::SloEngine>(registry, *collector,
+                                             std::move(objectives));
+      obs::SloEngine* slo_ptr = slo.get();
+      collector->AddSampleListener(
+          [slo_ptr](double) { slo_ptr->Evaluate(); });
+    }
+
+    obs::TelemetryServerOptions server_options;
+    server_options.port =
+        static_cast<uint16_t>(flags.GetInt("serve-telemetry", 0));
+    telemetry =
+        std::make_unique<obs::TelemetryServer>(registry, server_options);
+    telemetry->AttachCollector(collector.get());
+    telemetry->AttachSloEngine(slo.get());
+    telemetry->AttachTracer(&tracer);
+    obs::Counter* wal_errors =
+        &registry.GetCounter("innet_wal_errors_total");
+    telemetry->AddReadinessProbe(
+        "wal_healthy", [wal_errors] { return wal_errors->Value() == 0; });
+    if (live != nullptr) {
+      telemetry->AddReadinessProbe("store_published", [live] {
+        return live->handle().Generation() >= 1;
+      });
+      auto last_generation = std::make_shared<std::atomic<uint64_t>>(0);
+      telemetry->AddReadinessProbe(
+          "generation_advancing", [live, last_generation] {
+            uint64_t g = live->handle().Generation();
+            return g >= last_generation->exchange(g);
+          });
+      if (flags.Has("readyz-staleness")) {
+        double limit = flags.GetDouble("readyz-staleness", 30.0);
+        telemetry->AddReadinessProbe(
+            "refreeze_staleness", [live, limit] {
+              return live->SecondsSinceLastPublish() <= limit;
+            });
+      }
+    }
+    if (!telemetry->Start()) {
+      return Fail("cannot start telemetry server");
+    }
+    std::fprintf(stderr, "telemetry: serving on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(telemetry->Port()));
+    collector->Start();
+  }
+
+  if (pipeline != nullptr) {
     size_t chunk =
         network.events().size() / static_cast<size_t>(ingest_epochs) + 1;
     size_t in_epoch = 0;
@@ -237,13 +357,7 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
       static_cast<size_t>(flags.GetInt("cache", 4096));
   engine_options.registry = &obs::MetricsRegistry::Global();
 
-  std::string trace_out = flags.GetString("trace-out");
-  obs::TracerOptions tracer_options;
-  tracer_options.sample_every =
-      static_cast<uint64_t>(flags.GetInt("trace-sample", 1));
-  tracer_options.ring_capacity = 4096;
-  obs::Tracer tracer(tracer_options);
-  if (!trace_out.empty()) engine_options.tracer = &tracer;
+  if (!trace_out.empty() || serve_telemetry) engine_options.tracer = &tracer;
 
   // Shadow accuracy checks (destroyed after the engine, which holds a
   // pointer into it).
@@ -327,6 +441,16 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
       !obs::ExportTracesToFile(tracer.Drain(), trace_out)) {
     return 1;
   }
+  // Keep the telemetry endpoint up so external scrapers (CI smoke jobs,
+  // a curious operator) can observe the finished run before exit.
+  double linger = flags.GetDouble("telemetry-linger", 0.0);
+  if (telemetry != nullptr && linger > 0.0) {
+    std::fprintf(stderr, "telemetry: lingering %.1fs for scrapes\n", linger);
+    util::Timer linger_timer;
+    while (linger_timer.ElapsedSeconds() < linger) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
   return Finish(flags, flags.GetString("metrics-out"));
 }
 
@@ -396,6 +520,42 @@ int Main(int argc, char** argv) {
     return Fail("--wal-dir requires --ingest-epochs N (durable ingest) or "
                 "--recover (serve the last durable store)");
   }
+  // Telemetry flags: the live endpoint serves the batch-mode process, and
+  // the dependent knobs only mean something once it is up.
+  if (flags.Has("serve-telemetry")) {
+    int port = flags.GetInt("serve-telemetry", -1);
+    if (port < 0 || port > 65535) {
+      return Fail("--serve-telemetry wants a TCP port in 0..65535 (0 picks "
+                  "an ephemeral port); got " +
+                  flags.GetString("serve-telemetry"));
+    }
+    if (batch_path.empty()) {
+      return Fail("--serve-telemetry exposes the live batch-serving "
+                  "process; it requires --batch FILE");
+    }
+  }
+  if (flags.Has("slo-config") && !flags.Has("serve-telemetry")) {
+    return Fail("--slo-config evaluates objectives over the live telemetry "
+                "rings; it requires --serve-telemetry PORT");
+  }
+  if (flags.Has("telemetry-linger")) {
+    if (!flags.Has("serve-telemetry")) {
+      return Fail("--telemetry-linger keeps the telemetry endpoint up after "
+                  "the batch; it requires --serve-telemetry PORT");
+    }
+    if (flags.GetDouble("telemetry-linger", 0.0) < 0.0) {
+      return Fail("--telemetry-linger must be >= 0 seconds; got " +
+                  flags.GetString("telemetry-linger"));
+    }
+  }
+  if (flags.Has("flight-dir") && !flags.Has("serve-telemetry")) {
+    return Fail("--flight-dir places the flight-recorder black box; it "
+                "requires --serve-telemetry PORT");
+  }
+  if (flags.Has("readyz-staleness") && !flags.Has("serve-telemetry")) {
+    return Fail("--readyz-staleness adds a /readyz probe; it requires "
+                "--serve-telemetry PORT");
+  }
   if (graph_path.empty() || trips_path.empty() ||
       (rect_text.empty() && batch_path.empty())) {
     std::fprintf(stderr,
@@ -411,7 +571,10 @@ int Main(int argc, char** argv) {
                  "[--recover]\n"
                  "observability: [--metrics-out PATH] [--trace-out PATH] "
                  "[--trace-sample N] [--shadow-sample N] [--explain] "
-                 "[--explain-svg PATH] [--log-level info|warn|error|off]\n");
+                 "[--explain-svg PATH] [--log-level info|warn|error|off]\n"
+                 "telemetry: [--serve-telemetry PORT] [--slo-config FILE] "
+                 "[--telemetry-linger SEC] [--flight-dir DIR] "
+                 "[--readyz-staleness SEC]\n");
     return 2;
   }
 
