@@ -2,16 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "core/degraded.h"
 #include "forms/region_count.h"
 #include "obs/metrics.h"
+#include "obs/query_cost.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace innet::core {
 
 namespace {
+
+// Cost-profile store classification: 0 = exact tracking forms, 1 =
+// anything modeled ("learned", private, ...). Resolved once at
+// construction; the warm path never calls Provenance().
+uint8_t StoreKindOf(const forms::EdgeCountStore& store) {
+  return std::strcmp(store.Provenance().kind, "exact") == 0 ? 0 : 1;
+}
+
+uint64_t Nanos(const util::Timer& timer) {
+  return static_cast<uint64_t>(timer.ElapsedMicros() * 1000.0);
+}
+
+// Stored CSR timestamps under a boundary: both directions of every
+// boundary edge. O(#edges) loads against the frozen form's row pointers.
+uint64_t StoredTimestamps(const forms::FrozenTrackingForm& frozen,
+                          const std::vector<forms::BoundaryEdge>& edges) {
+  uint64_t timestamps = 0;
+  for (const forms::BoundaryEdge& e : edges) {
+    timestamps += frozen.EventCount(e.edge, true);
+    timestamps += frozen.EventCount(e.edge, false);
+  }
+  return timestamps;
+}
 
 // Processor-level metrics live in the global registry; the reference is
 // resolved once (thread-safe local static) and incremented lock-free.
@@ -90,12 +115,23 @@ void FillExplainAnswer(const QueryAnswer& answer,
 }
 
 SampledQueryProcessor::SampledQueryProcessor(
+    const SampledGraph& sampled, const forms::EdgeCountStore& store)
+    : sampled_(&sampled),
+      store_(&store),
+      frozen_(dynamic_cast<const forms::FrozenTrackingForm*>(&store)),
+      store_kind_(StoreKindOf(store)),
+      total_cells_(sampled.network().mobility().NumNodes()) {}
+
+SampledQueryProcessor::SampledQueryProcessor(
     const SampledGraph& sampled, const forms::FrozenStoreHandle& handle)
-    : sampled_(&sampled), handle_(&handle) {
+    : sampled_(&sampled),
+      handle_(&handle),
+      total_cells_(sampled.network().mobility().NumNodes()) {
   snapshot_ = handle.Acquire();
   INNET_CHECK(snapshot_.store != nullptr);
   frozen_ = snapshot_.store.get();
   store_ = frozen_;
+  store_kind_ = StoreKindOf(*store_);
 }
 
 void SampledQueryProcessor::RefreshStore() const {
@@ -116,6 +152,16 @@ QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
   QueryAnswer answer;
   ProcessorQueries().Increment();
   QueryWorkspace& ws = workspace != nullptr ? *workspace : LocalWorkspace();
+  obs::QueryCostProfile& cost = ws.cost;
+  cost = obs::QueryCostProfile{};
+  cost.kind = kind == CountKind::kStatic ? 0 : 1;
+  cost.bound = bound == BoundMode::kLower ? 0 : 1;
+  cost.store_kind = store_kind_;
+  cost.region_junctions = query.junctions.size();
+  cost.region_decile =
+      static_cast<uint8_t>(obs::RegionSizeDecile(query.junctions.size(),
+                                                 total_cells_));
+  cost.store_generation = snapshot_.generation;
 
   {
     obs::Span span(trace, "boundary_resolution");
@@ -131,6 +177,9 @@ QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
     if (ws.faces.empty()) {
       answer.missed = true;
       answer.exec_micros = timer.ElapsedMicros();
+      cost.missed = true;
+      cost.resolve_nanos = Nanos(timer);
+      cost.total_nanos = cost.resolve_nanos;
       ProcessorMissed().Increment();
       if (trace != nullptr) trace->Annotate("missed", 1.0);
       if (explain != nullptr) FillExplainAnswer(answer, explain);
@@ -138,6 +187,7 @@ QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
     }
     sampled_->BoundaryOfFaces(ws.faces, ws);
   }
+  cost.resolve_nanos = Nanos(timer);
 
   {
     obs::Span span(trace, "form_integration");
@@ -163,6 +213,18 @@ QueryAnswer SampledQueryProcessor::Answer(const RangeQuery& query,
   answer.nodes_accessed = ws.boundary_sensors.size();
   answer.edges_accessed = ws.boundary_edges.size();
   answer.exec_micros = timer.ElapsedMicros();
+  cost.faces_resolved = static_cast<uint32_t>(ws.faces.size());
+  cost.boundary_edges = ws.boundary_edges.size();
+  cost.boundary_sensors = ws.boundary_sensors.size();
+  if (frozen_ != nullptr) {
+    cost.csr_timestamps = StoredTimestamps(*frozen_, ws.boundary_edges);
+    // Two directed slots per boundary edge, probed once per evaluation
+    // instant (static: t2; transient: t1 and t2).
+    cost.bucket_probes = ws.boundary_edges.size() * 2 *
+                         (kind == CountKind::kTransient ? 2 : 1);
+  }
+  cost.total_nanos = Nanos(timer);
+  cost.integrate_nanos = cost.total_nanos - cost.resolve_nanos;
   if (trace != nullptr) trace->Annotate("estimate", answer.estimate);
   if (explain != nullptr) FillExplainAnswer(answer, explain);
   return answer;
@@ -176,6 +238,16 @@ QueryAnswer SampledQueryProcessor::AnswerDegraded(
   util::Timer timer;
   ProcessorQueries().Increment();
   QueryWorkspace& ws = LocalWorkspace();
+  obs::QueryCostProfile& cost = ws.cost;
+  cost = obs::QueryCostProfile{};
+  cost.kind = kind == CountKind::kStatic ? 0 : 1;
+  cost.bound = bound == BoundMode::kLower ? 0 : 1;
+  cost.store_kind = store_kind_;
+  cost.region_junctions = query.junctions.size();
+  cost.region_decile =
+      static_cast<uint8_t>(obs::RegionSizeDecile(query.junctions.size(),
+                                                 total_cells_));
+  cost.store_generation = snapshot_.generation;
   DegradedBoundary resolved;
   {
     obs::Span span(trace, "degraded_reroute");
@@ -190,6 +262,7 @@ QueryAnswer SampledQueryProcessor::AnswerDegraded(
     }
     resolved = ResolveDegradedBoundary(*sampled_, ws.faces, health, options);
   }
+  cost.resolve_nanos = Nanos(timer);
   QueryAnswer answer;
   {
     obs::Span span(trace, "degraded_answer");
@@ -199,6 +272,20 @@ QueryAnswer SampledQueryProcessor::AnswerDegraded(
   if (answer.missed) ProcessorMissed().Increment();
   if (answer.degraded) ProcessorDegraded().Increment();
   answer.exec_micros = timer.ElapsedMicros();
+  cost.missed = answer.missed;
+  cost.degraded = answer.degraded;
+  cost.path = answer.degraded ? obs::QueryPathKind::kDegraded
+                              : obs::QueryPathKind::kUncached;
+  cost.faces_resolved = static_cast<uint32_t>(ws.faces.size());
+  cost.boundary_edges = resolved.boundary.edges.size();
+  cost.boundary_sensors = resolved.boundary.sensors.size();
+  if (frozen_ != nullptr) {
+    cost.csr_timestamps = StoredTimestamps(*frozen_, resolved.boundary.edges);
+    cost.bucket_probes = resolved.boundary.edges.size() * 2 *
+                         (kind == CountKind::kTransient ? 2 : 1);
+  }
+  cost.total_nanos = Nanos(timer);
+  cost.integrate_nanos = cost.total_nanos - cost.resolve_nanos;
   if (explain != nullptr) {
     FillExplainAnswer(answer, explain);
     if (answer.degraded) explain->path = "degraded";
@@ -211,14 +298,30 @@ std::vector<double> SampledQueryProcessor::AnswerSeries(
   RefreshStore();
   INNET_CHECK(query.t2 >= query.t1);
   if (steps == 0) return {};
+  util::Timer timer;
   QueryWorkspace& ws = LocalWorkspace();
+  obs::QueryCostProfile& cost = ws.cost;
+  cost = obs::QueryCostProfile{};
+  cost.bound = bound == BoundMode::kLower ? 0 : 1;
+  cost.store_kind = store_kind_;
+  cost.region_junctions = query.junctions.size();
+  cost.region_decile =
+      static_cast<uint8_t>(obs::RegionSizeDecile(query.junctions.size(),
+                                                 total_cells_));
+  cost.store_generation = snapshot_.generation;
   if (bound == BoundMode::kLower) {
     sampled_->LowerBoundFaces(query.junctions, ws);
   } else {
     sampled_->UpperBoundFaces(query.junctions, ws);
   }
-  if (ws.faces.empty()) return {};
+  if (ws.faces.empty()) {
+    cost.missed = true;
+    cost.resolve_nanos = Nanos(timer);
+    cost.total_nanos = cost.resolve_nanos;
+    return {};
+  }
   sampled_->BoundaryOfFaces(ws.faces, ws);
+  cost.resolve_nanos = Nanos(timer);
 
   // Evaluation instants (ascending): steps == 1 degenerates to the
   // interval start; otherwise endpoints inclusive.
@@ -244,6 +347,16 @@ std::vector<double> SampledQueryProcessor::AnswerSeries(
           forms::EvaluateStaticCount(*store_, ws.boundary_edges, ws.series[i]);
     }
   }
+  cost.faces_resolved = static_cast<uint32_t>(ws.faces.size());
+  cost.boundary_edges = ws.boundary_edges.size();
+  cost.boundary_sensors = ws.boundary_sensors.size();
+  if (frozen_ != nullptr) {
+    cost.csr_timestamps = StoredTimestamps(*frozen_, ws.boundary_edges);
+    // The batch kernel probes each boundary slot once per instant.
+    cost.bucket_probes = ws.boundary_edges.size() * 2 * steps;
+  }
+  cost.total_nanos = Nanos(timer);
+  cost.integrate_nanos = cost.total_nanos - cost.resolve_nanos;
   return series;
 }
 
@@ -258,6 +371,14 @@ QueryAnswer UnsampledQueryProcessor::Answer(const RangeQuery& query,
   QueryWorkspace& ws = workspace != nullptr ? *workspace : LocalWorkspace();
   ws.EnsureDomains(0, mobility.NumNodes(), network_->sensing().NumNodes());
   uint32_t gen = ws.NextGeneration();
+  obs::QueryCostProfile& cost = ws.cost;
+  cost = obs::QueryCostProfile{};
+  cost.kind = kind == CountKind::kStatic ? 0 : 1;
+  cost.bound = 2;  // exact
+  cost.store_kind = StoreKindOf(network_->reference_store());
+  cost.region_junctions = query.junctions.size();
+  cost.region_decile = static_cast<uint8_t>(
+      obs::RegionSizeDecile(query.junctions.size(), mobility.NumNodes()));
 
   // Region-local boundary extraction: walk the in-region junctions'
   // adjacency only (the work an in-network dispatch actually performs).
@@ -278,6 +399,7 @@ QueryAnswer UnsampledQueryProcessor::Answer(const RangeQuery& query,
           {network_->VirtualEdgeOf(u), /*inward_is_forward=*/true});
     }
   }
+  cost.resolve_nanos = Nanos(timer);
   answer.estimate =
       kind == CountKind::kStatic
           ? forms::EvaluateStaticCount(network_->reference_store(),
@@ -287,6 +409,7 @@ QueryAnswer UnsampledQueryProcessor::Answer(const RangeQuery& query,
                                           query.t2);
   answer.interval = forms::CountInterval::Point(answer.estimate);
   answer.edges_accessed = ws.boundary_edges.size();
+  cost.integrate_nanos = Nanos(timer) - cost.resolve_nanos;
 
   // Flooding cost: every sensor whose face touches a junction of the region
   // participates in the in-network aggregation. Stamped dedup — the same
@@ -309,6 +432,9 @@ QueryAnswer UnsampledQueryProcessor::Answer(const RangeQuery& query,
   }
   answer.nodes_accessed = sensors;
   answer.exec_micros = timer.ElapsedMicros();
+  cost.boundary_edges = ws.boundary_edges.size();
+  cost.boundary_sensors = sensors;
+  cost.total_nanos = Nanos(timer);
   if (explain != nullptr) {
     explain->kind = CountKindName(kind);
     explain->bound = "exact";

@@ -26,10 +26,7 @@ namespace innet::core {
 class SampledQueryProcessor {
  public:
   SampledQueryProcessor(const SampledGraph& sampled,
-                        const forms::EdgeCountStore& store)
-      : sampled_(&sampled),
-        store_(&store),
-        frozen_(dynamic_cast<const forms::FrozenTrackingForm*>(&store)) {}
+                        const forms::EdgeCountStore& store);
 
   /// Handle mode (live ingestion): the processor follows the store
   /// published through `handle` — every Answer* call re-checks the
@@ -53,6 +50,9 @@ class SampledQueryProcessor {
   /// `workspace` (optional) supplies the scratch buffers of the
   /// resolve-and-integrate path; with it (or the per-thread fallback,
   /// core::LocalWorkspace) the warm path performs ZERO heap allocations.
+  /// Every call also overwrites the workspace's `cost` profile
+  /// (obs/query_cost.h) with this query's cost account — plain stores,
+  /// still zero allocations.
   QueryAnswer Answer(const RangeQuery& query, CountKind kind,
                      BoundMode bound, obs::QueryTrace* trace = nullptr,
                      obs::ExplainRecord* explain = nullptr,
@@ -96,6 +96,11 @@ class SampledQueryProcessor {
   // Handle mode only: the followed handle and the pinned snapshot.
   const forms::FrozenStoreHandle* handle_ = nullptr;
   mutable forms::FrozenStoreHandle::Snapshot snapshot_;
+  // Cost-profile classification, latched at construction: store family
+  // (0 exact / 1 learned) and the deployment's total junction cells for
+  // region-size deciles.
+  uint8_t store_kind_ = 0;
+  size_t total_cells_ = 0;
 };
 
 /// Fills the resolution-side provenance fields of `explain` (kind, bound,

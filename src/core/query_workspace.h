@@ -27,6 +27,7 @@
 
 #include "forms/region_count.h"
 #include "graph/planar_graph.h"
+#include "obs/query_cost.h"
 
 namespace innet::core {
 
@@ -74,6 +75,13 @@ class QueryWorkspace {
   std::vector<graph::NodeId> boundary_sensors;
   /// AnswerSeries output buffer.
   std::vector<double> series;
+
+  /// Cost account of the LAST query answered through this workspace
+  /// (docs/OBSERVABILITY.md §9). The processors overwrite it wholesale per
+  /// Answer* call — plain stores into retained storage, so profiling adds
+  /// zero allocations to the warm path. Valid until the next query reuses
+  /// the workspace.
+  obs::QueryCostProfile cost;
 
  private:
   uint32_t generation_ = 0;

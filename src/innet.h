@@ -68,7 +68,10 @@
 #include "obs/export.h"           // IWYU pragma: export
 #include "obs/flight_recorder.h"  // IWYU pragma: export
 #include "obs/metrics.h"          // IWYU pragma: export
+#include "obs/query_cost.h"       // IWYU pragma: export
+#include "obs/query_digest.h"     // IWYU pragma: export
 #include "obs/slo.h"              // IWYU pragma: export
+#include "obs/slowlog.h"          // IWYU pragma: export
 #include "obs/telemetry_server.h" // IWYU pragma: export
 #include "obs/timeseries.h"       // IWYU pragma: export
 #include "obs/trace.h"            // IWYU pragma: export

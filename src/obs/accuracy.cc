@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "obs/query_cost.h"
 #include "util/logging.h"
 
 namespace innet::obs {
@@ -69,11 +70,9 @@ void AccuracyMonitor::RecordComparison(double approx, double exact,
   double signed_error = SignedRelativeError(exact, approx);
   comparisons_->Increment();
   rel_error_->Observe(signed_error);
-  size_t decile = 0;
-  if (options_.total_cells > 0) {
-    decile = region_cells * kDeciles / options_.total_cells;
-    if (decile >= kDeciles) decile = kDeciles - 1;
-  }
+  // Shared bucketing with the query digest table (obs/query_cost.h), so
+  // `/queryz` deciles and these histograms agree by construction.
+  size_t decile = RegionSizeDecile(region_cells, options_.total_cells);
   rel_error_by_decile_[decile]->Observe(signed_error);
   deadspace_->Observe(deadspace_fraction);
   if (interval_width > 0.0) interval_width_->Observe(interval_width);

@@ -292,4 +292,63 @@ bool ExportTracesToFile(
   return static_cast<bool>(out);
 }
 
+void WriteTracesChromeJson(
+    const std::vector<std::unique_ptr<QueryTrace>>& traces,
+    std::ostream& out) {
+  // Trace-event array format. Every event is "complete" (ph X): ts is the
+  // span's start offset within its query and tid the query id, so the
+  // viewer shows one track per query with stages nested by time. pid 0
+  // groups everything under one process.
+  out << "[";
+  std::string line;
+  bool first = true;
+  for (const std::unique_ptr<QueryTrace>& trace : traces) {
+    if (trace == nullptr) continue;
+    line.clear();
+    if (!first) line += ",";
+    first = false;
+    // Whole-query umbrella event carrying the annotations as args.
+    line += "\n{\"name\":\"query\",\"cat\":\"query\",\"ph\":\"X\",\"ts\":0,"
+            "\"dur\":";
+    JsonAppendNumber(&line, trace->TotalMicros());
+    line += ",\"pid\":0,\"tid\":";
+    line += std::to_string(trace->id());
+    line += ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [key, value] : trace->annotations()) {
+      if (!first_arg) line += ",";
+      first_arg = false;
+      line += "\"";
+      line += JsonEscape(key);
+      line += "\":";
+      JsonAppendNumber(&line, value);
+    }
+    line += "}}";
+    for (const TraceStage& stage : trace->stages()) {
+      line += ",\n{\"name\":\"";
+      line += JsonEscape(stage.name);
+      line += "\",\"cat\":\"query\",\"ph\":\"X\",\"ts\":";
+      JsonAppendNumber(&line, stage.start_micros);
+      line += ",\"dur\":";
+      JsonAppendNumber(&line, stage.elapsed_micros);
+      line += ",\"pid\":0,\"tid\":";
+      line += std::to_string(trace->id());
+      line += ",\"args\":{\"depth\":";
+      line += std::to_string(stage.depth);
+      line += "}}";
+    }
+    out << line;
+  }
+  out << "\n]\n";
+}
+
+bool ExportTracesChromeToFile(
+    const std::vector<std::unique_ptr<QueryTrace>>& traces,
+    const std::string& path) {
+  std::ofstream out;
+  if (!OpenForWrite(path, &out)) return false;
+  WriteTracesChromeJson(traces, out);
+  return static_cast<bool>(out);
+}
+
 }  // namespace innet::obs

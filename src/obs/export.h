@@ -50,6 +50,21 @@ bool ExportTracesToFile(
     const std::vector<std::unique_ptr<QueryTrace>>& traces,
     const std::string& path);
 
+/// Chrome trace-event format (the JSON array variant): one complete
+/// ("ph":"X") event per stage span plus one per whole query, timestamps
+/// and durations in microseconds, the query id as the tid so each query
+/// renders as its own track. Loads directly in chrome://tracing and
+/// Perfetto's legacy importer.
+void WriteTracesChromeJson(
+    const std::vector<std::unique_ptr<QueryTrace>>& traces,
+    std::ostream& out);
+
+/// Writes the Chrome trace-event array to `path`. Returns false (and
+/// logs) on failure.
+bool ExportTracesChromeToFile(
+    const std::vector<std::unique_ptr<QueryTrace>>& traces,
+    const std::string& path);
+
 /// Escapes a string for embedding inside a JSON string literal.
 std::string JsonEscape(const std::string& text);
 

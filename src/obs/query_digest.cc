@@ -1,0 +1,259 @@
+#include "obs/query_digest.h"
+
+#include <algorithm>
+
+#include "obs/export.h"
+
+namespace innet::obs {
+
+namespace {
+
+/// Digest-private thread registration. metrics.h's ThreadCellIndex counts
+/// every thread that ever touched a metric, so a query worker pool spun up
+/// late in a process's life would land entirely in the overflow cell and
+/// contend. Only threads that actually Record() draw from this sequence,
+/// keeping the first kCells-1 RECORDING threads on private cells.
+size_t RecordingThreadIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+/// One accumulate: a plain load+store when the cell has a single writer
+/// (no lock prefix — the warm-path case), a fetch_add on the shared
+/// overflow cell.
+inline void Add(std::atomic<uint64_t>& cell, uint64_t delta,
+                bool exclusive) {
+  if (delta == 0) return;
+  if (exclusive) {
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  } else {
+    cell.fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+size_t DigestIndex(const QueryCostProfile& profile) {
+  size_t kind = profile.kind % kDigestKinds;
+  size_t bound = profile.bound % kDigestBounds;
+  size_t decile = profile.region_decile % kDigestDeciles;
+  size_t store = profile.store_kind % kDigestStores;
+  size_t path = static_cast<size_t>(profile.path) % kQueryPathKinds;
+  return (((kind * kDigestBounds + bound) * kDigestDeciles + decile) *
+              kDigestStores +
+          store) *
+             kQueryPathKinds +
+         path;
+}
+
+DigestKey DecodeDigest(size_t index) {
+  DigestKey key;
+  key.path = static_cast<QueryPathKind>(index % kQueryPathKinds);
+  index /= kQueryPathKinds;
+  key.store_kind = static_cast<uint8_t>(index % kDigestStores);
+  index /= kDigestStores;
+  key.decile = static_cast<uint8_t>(index % kDigestDeciles);
+  index /= kDigestDeciles;
+  key.bound = static_cast<uint8_t>(index % kDigestBounds);
+  index /= kDigestBounds;
+  key.kind = static_cast<uint8_t>(index % kDigestKinds);
+  return key;
+}
+
+const char* DigestKindName(uint8_t kind) {
+  return kind == 0 ? "static" : "transient";
+}
+
+const char* DigestBoundName(uint8_t bound) {
+  switch (bound) {
+    case 0:
+      return "lower";
+    case 1:
+      return "upper";
+    default:
+      return "exact";
+  }
+}
+
+const char* DigestStoreName(uint8_t store) {
+  return store == 0 ? "exact" : "learned";
+}
+
+std::string QueryDigestRow::Label() const {
+  std::string label = DigestKindName(key.kind);
+  label += "/";
+  label += DigestBoundName(key.bound);
+  label += "/d";
+  label += std::to_string(key.decile);
+  label += "/";
+  label += DigestStoreName(key.store_kind);
+  label += "/";
+  label += QueryPathKindName(key.path);
+  return label;
+}
+
+QueryDigestTable::QueryDigestTable()
+    : slots_(new Slot[kDigestSlots]),
+      latency_bounds_(Histogram::LatencyBoundsMicros()) {}
+
+void QueryDigestTable::Record(const QueryCostProfile& profile) {
+  // Threads registered below kCells-1 own their cell outright; everyone
+  // later shares the last cell (see the kCells comment in the header).
+  size_t thread_index = RecordingThreadIndex();
+  bool exclusive = thread_index < kCells - 1;
+  Cell& cell = slots_[DigestIndex(profile)]
+                    .cells[exclusive ? thread_index : kCells - 1];
+  Add(cell.count, 1, exclusive);
+  if (profile.missed) Add(cell.missed, 1, exclusive);
+  Add(cell.faces, profile.faces_resolved, exclusive);
+  Add(cell.boundary_edges, profile.boundary_edges, exclusive);
+  Add(cell.boundary_sensors, profile.boundary_sensors, exclusive);
+  Add(cell.csr_timestamps, profile.csr_timestamps, exclusive);
+  Add(cell.bucket_probes, profile.bucket_probes, exclusive);
+  Add(cell.total_nanos, profile.total_nanos, exclusive);
+  Add(cell.resolve_nanos, profile.resolve_nanos, exclusive);
+  // Latency bucket: first bound >= the observed micros; bounds.size()
+  // (the overflow slot) when none is. Early exit — warm sub-micro queries
+  // match the first bound.
+  double micros = static_cast<double>(profile.total_nanos) / 1000.0;
+  size_t bucket = latency_bounds_.size();
+  for (size_t i = 0; i < latency_bounds_.size(); ++i) {
+    if (micros <= latency_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  Add(cell.latency[bucket], 1, exclusive);
+}
+
+QueryDigestRow QueryDigestTable::MergeSlot(size_t index) const {
+  QueryDigestRow row;
+  row.key = DecodeDigest(index);
+  uint64_t total_nanos = 0;
+  uint64_t resolve_nanos = 0;
+  std::vector<uint64_t> latency(kLatencyBuckets, 0);
+  for (const Cell& cell : slots_[index].cells) {
+    row.count += cell.count.load(std::memory_order_relaxed);
+    row.missed += cell.missed.load(std::memory_order_relaxed);
+    row.faces += cell.faces.load(std::memory_order_relaxed);
+    row.boundary_edges +=
+        cell.boundary_edges.load(std::memory_order_relaxed);
+    row.boundary_sensors +=
+        cell.boundary_sensors.load(std::memory_order_relaxed);
+    row.csr_timestamps +=
+        cell.csr_timestamps.load(std::memory_order_relaxed);
+    row.bucket_probes += cell.bucket_probes.load(std::memory_order_relaxed);
+    total_nanos += cell.total_nanos.load(std::memory_order_relaxed);
+    resolve_nanos += cell.resolve_nanos.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kLatencyBuckets; ++b) {
+      latency[b] += cell.latency[b].load(std::memory_order_relaxed);
+    }
+  }
+  row.total_micros = static_cast<double>(total_nanos) / 1000.0;
+  row.resolve_micros = static_cast<double>(resolve_nanos) / 1000.0;
+  // Derived, not accumulated: integrate = total - resolve by definition
+  // of the stage split.
+  row.integrate_micros =
+      total_nanos > resolve_nanos
+          ? static_cast<double>(total_nanos - resolve_nanos) / 1000.0
+          : 0.0;
+  if (row.count > 0) {
+    row.p50_micros = PercentileFromBucketCounts(latency_bounds_, latency, 0.50);
+    row.p95_micros = PercentileFromBucketCounts(latency_bounds_, latency, 0.95);
+  }
+  return row;
+}
+
+uint64_t QueryDigestTable::TotalRecorded() const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < kDigestSlots; ++s) {
+    for (const Cell& cell : slots_[s].cells) {
+      total += cell.count.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+size_t QueryDigestTable::DistinctDigests() const {
+  size_t distinct = 0;
+  for (size_t s = 0; s < kDigestSlots; ++s) {
+    for (const Cell& cell : slots_[s].cells) {
+      if (cell.count.load(std::memory_order_relaxed) > 0) {
+        ++distinct;
+        break;
+      }
+    }
+  }
+  return distinct;
+}
+
+std::vector<QueryDigestRow> QueryDigestTable::TopK(size_t k) const {
+  std::vector<QueryDigestRow> rows;
+  for (size_t s = 0; s < kDigestSlots; ++s) {
+    QueryDigestRow row = MergeSlot(s);
+    if (row.count > 0) rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const QueryDigestRow& a, const QueryDigestRow& b) {
+                     return a.total_micros > b.total_micros;
+                   });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+std::string QueryDigestTable::ToJson(size_t top_k) const {
+  std::vector<QueryDigestRow> rows = TopK(top_k);
+  std::string out = "{\"recorded\":";
+  out += std::to_string(TotalRecorded());
+  out += ",\"digests\":";
+  out += std::to_string(DistinctDigests());
+  out += ",\"top\":[";
+  bool first = true;
+  for (const QueryDigestRow& row : rows) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"digest\":\"";
+    out += JsonEscape(row.Label());
+    out += "\",\"kind\":\"";
+    out += DigestKindName(row.key.kind);
+    out += "\",\"bound\":\"";
+    out += DigestBoundName(row.key.bound);
+    out += "\",\"decile\":";
+    out += std::to_string(row.key.decile);
+    out += ",\"store\":\"";
+    out += DigestStoreName(row.key.store_kind);
+    out += "\",\"path\":\"";
+    out += QueryPathKindName(row.key.path);
+    out += "\",\"count\":";
+    out += std::to_string(row.count);
+    out += ",\"missed\":";
+    out += std::to_string(row.missed);
+    out += ",\"latency\":{\"total_micros\":";
+    JsonAppendNumber(&out, row.total_micros);
+    out += ",\"resolve_micros\":";
+    JsonAppendNumber(&out, row.resolve_micros);
+    out += ",\"integrate_micros\":";
+    JsonAppendNumber(&out, row.integrate_micros);
+    out += ",\"p50_micros\":";
+    JsonAppendNumber(&out, row.p50_micros);
+    out += ",\"p95_micros\":";
+    JsonAppendNumber(&out, row.p95_micros);
+    out += "},\"cost\":{\"faces\":";
+    out += std::to_string(row.faces);
+    out += ",\"boundary_edges\":";
+    out += std::to_string(row.boundary_edges);
+    out += ",\"boundary_sensors\":";
+    out += std::to_string(row.boundary_sensors);
+    out += ",\"csr_timestamps\":";
+    out += std::to_string(row.csr_timestamps);
+    out += ",\"bucket_probes\":";
+    out += std::to_string(row.bucket_probes);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace innet::obs

@@ -1,0 +1,157 @@
+// Query digest table: per-class workload profiling (docs/OBSERVABILITY.md
+// §9).
+//
+// Every answered query is normalized into a DIGEST KEY — query kind x
+// bound mode x region-size decile x store kind x query path — and its cost
+// profile folds into that digest's rolling stats: count, structural cost
+// counter sums, and a latency histogram for p50/p95. The key space is
+// small and fixed (kDigestSlots = 2*3*10*2*4 = 480), so the table is a
+// flat array allocated once; Record() is lock-free (relaxed fetch_adds on
+// per-thread-sharded cells, the metrics.h idiom) and allocation-free, safe
+// on the zero-allocation warm query path.
+//
+// Reads merge the cells: exact once writers quiesce, slightly racy while
+// they don't — the same contract as every registry metric. TopK() ranks
+// digests by total accumulated query time, which is the "where does the
+// serving time actually go" view /queryz serves.
+#ifndef INNET_OBS_QUERY_DIGEST_H_
+#define INNET_OBS_QUERY_DIGEST_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/query_cost.h"
+
+namespace innet::obs {
+
+/// Digest key axis sizes. The index packs as
+///   ((((kind * kDigestBounds + bound) * 10 + decile) * kDigestStores
+///      + store) * kQueryPathKinds + path)
+inline constexpr size_t kDigestKinds = 2;    // static, transient
+inline constexpr size_t kDigestBounds = 3;   // lower, upper, exact
+inline constexpr size_t kDigestDeciles = 10;
+inline constexpr size_t kDigestStores = 2;   // exact, learned
+inline constexpr size_t kDigestSlots = kDigestKinds * kDigestBounds *
+                                       kDigestDeciles * kDigestStores *
+                                       kQueryPathKinds;
+
+/// Packs a profile's classification axes into its digest slot index.
+size_t DigestIndex(const QueryCostProfile& profile);
+
+/// Decoded digest key (the inverse of DigestIndex).
+struct DigestKey {
+  uint8_t kind = 0;
+  uint8_t bound = 0;
+  uint8_t decile = 0;
+  uint8_t store_kind = 0;
+  QueryPathKind path = QueryPathKind::kUncached;
+};
+DigestKey DecodeDigest(size_t index);
+
+const char* DigestKindName(uint8_t kind);    // "static" / "transient"
+const char* DigestBoundName(uint8_t bound);  // "lower" / "upper" / "exact"
+const char* DigestStoreName(uint8_t store);  // "exact" / "learned"
+
+/// One digest's merged statistics, as returned by TopK().
+struct QueryDigestRow {
+  DigestKey key;
+  uint64_t count = 0;
+  uint64_t missed = 0;
+  // Cost counter SUMS across the digest's queries.
+  uint64_t faces = 0;
+  uint64_t boundary_edges = 0;
+  uint64_t boundary_sensors = 0;
+  uint64_t csr_timestamps = 0;
+  uint64_t bucket_probes = 0;
+  // Stage time sums, microseconds.
+  double total_micros = 0.0;
+  double resolve_micros = 0.0;
+  double integrate_micros = 0.0;
+  // Bucket-interpolated latency quantiles, microseconds.
+  double p50_micros = 0.0;
+  double p95_micros = 0.0;
+
+  /// Human-readable key, e.g. "static/lower/d3/exact/cache_hit".
+  std::string Label() const;
+};
+
+/// Lock-free sharded digest table. One table per serving process (tools
+/// attach it to the engine and the telemetry server); tests build private
+/// ones. ~2 MiB of pre-allocated accumulators, nothing allocated after
+/// construction.
+class QueryDigestTable {
+ public:
+  QueryDigestTable();
+  QueryDigestTable(const QueryDigestTable&) = delete;
+  QueryDigestTable& operator=(const QueryDigestTable&) = delete;
+
+  /// Folds one profile into its digest. Lock-free, allocation-free, and
+  /// single-writer on the calling thread's private cell (plain relaxed
+  /// load+store, ~20ns); threads past the cell count share one overflow
+  /// cell through fetch_adds, so totals stay exact at any thread count.
+  void Record(const QueryCostProfile& profile);
+
+  /// Total profiles recorded (exact once writers quiesce). Sums the
+  /// per-cell counts — a read-side scan, so Record stays a pure
+  /// cell-local write.
+  uint64_t TotalRecorded() const;
+  /// Digests with at least one recorded query.
+  size_t DistinctDigests() const;
+
+  /// The k digests with the largest total accumulated query time,
+  /// descending (ties broken by slot index for determinism).
+  std::vector<QueryDigestRow> TopK(size_t k) const;
+
+  /// Full /queryz JSON document:
+  ///   {"recorded":N,"digests":M,"top":[{...row...},...]}
+  std::string ToJson(size_t top_k) const;
+
+ private:
+  // Per-thread write sharding: each slot holds kCells cache-line-aligned
+  // accumulator cells. Cells 0..kCells-2 are SINGLE-WRITER — owned by the
+  // first kCells-1 threads that ever Record (a digest-private sequential
+  // registration, see query_digest.cc), so their ~11 adds per Record are
+  // plain load+store with no lock prefix and no line sharing. Recording
+  // threads registered later all share the last cell via fetch_adds:
+  // slower, but sums stay exact at any thread count. Hot workloads funnel
+  // into a handful of digests, so any uncoordinated sharing would
+  // ping-pong those lines on every query.
+  static constexpr size_t kCells = internal::kMetricCells;
+  // Latency histogram buckets: Histogram::LatencyBoundsMicros() bounds
+  // (1us..~1s doubling, 21 bounds) + overflow.
+  static constexpr size_t kLatencyBuckets = 22;
+
+  // integrate_nanos is NOT accumulated: it is total - resolve by
+  // construction, so MergeSlot derives it and Record saves an add.
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> missed{0};
+    std::atomic<uint64_t> faces{0};
+    std::atomic<uint64_t> boundary_edges{0};
+    std::atomic<uint64_t> boundary_sensors{0};
+    std::atomic<uint64_t> csr_timestamps{0};
+    std::atomic<uint64_t> bucket_probes{0};
+    std::atomic<uint64_t> total_nanos{0};
+    std::atomic<uint64_t> resolve_nanos{0};
+    std::array<std::atomic<uint64_t>, kLatencyBuckets> latency{};
+  };
+  struct Slot {
+    std::array<Cell, kCells> cells;
+  };
+
+  /// Merges one slot's cells into a row (key left to the caller).
+  QueryDigestRow MergeSlot(size_t index) const;
+
+  std::unique_ptr<Slot[]> slots_;
+  std::vector<double> latency_bounds_;
+};
+
+}  // namespace innet::obs
+
+#endif  // INNET_OBS_QUERY_DIGEST_H_

@@ -11,7 +11,9 @@
 
 #include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/query_digest.h"
 #include "obs/slo.h"
+#include "obs/slowlog.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -38,6 +40,43 @@ std::string HttpResponse(int status, const char* reason,
   out += "\r\nConnection: close\r\n\r\n";
   out += body;
   return out;
+}
+
+/// Splits a raw query string ("limit=5&slow=1") into key/value pairs.
+/// Keys without '=' get an empty value; empty segments are skipped.
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    const std::string& query_string) {
+  std::vector<std::pair<std::string, std::string>> params;
+  size_t pos = 0;
+  while (pos <= query_string.size()) {
+    size_t amp = query_string.find('&', pos);
+    if (amp == std::string::npos) amp = query_string.size();
+    if (amp > pos) {
+      std::string token = query_string.substr(pos, amp - pos);
+      size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        params.emplace_back(std::move(token), "");
+      } else {
+        params.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+      }
+    }
+    pos = amp + 1;
+  }
+  return params;
+}
+
+/// Parses a strictly-decimal non-negative integer ("0", "42"). False on
+/// anything else — empty, signs, hex, trailing junk — which the handlers
+/// turn into a 400.
+bool ParseNonNegativeInt(const std::string& text, uint64_t* value) {
+  if (text.empty() || text.size() > 18) return false;
+  uint64_t parsed = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = parsed;
+  return true;
 }
 
 /// Writes all of `data`, tolerating short writes. MSG_NOSIGNAL keeps a
@@ -185,8 +224,12 @@ std::string TelemetryServer::HandleRequest(const std::string& request) {
   std::string method = line.substr(0, first_space);
   std::string path =
       line.substr(first_space + 1, second_space - first_space - 1);
+  std::string query_string;
   size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
+  if (query != std::string::npos) {
+    query_string = path.substr(query + 1);
+    path.resize(query);
+  }
   if (method != "GET") {
     return HttpResponse(405, "Method Not Allowed", "text/plain",
                         "only GET is supported\n");
@@ -210,7 +253,10 @@ std::string TelemetryServer::HandleRequest(const std::string& request) {
     return HttpResponse(200, "OK", "application/json", VarzBody());
   }
   if (path == "/traces") {
-    return HttpResponse(200, "OK", "application/json", TracesBody());
+    return TracesResponse(query_string);
+  }
+  if (path == "/queryz") {
+    return QueryzResponse(query_string);
   }
   return HttpResponse(404, "Not Found", "text/plain",
                       "unknown path " + path + "\n");
@@ -307,6 +353,20 @@ std::string TelemetryServer::VarzBody() {
     out += "},\"samples_taken\":";
     out += std::to_string(collector_->SamplesTaken());
   }
+  if (digest_ != nullptr) {
+    out += ",\"query_digest\":{\"recorded\":";
+    out += std::to_string(digest_->TotalRecorded());
+    out += ",\"digests\":";
+    out += std::to_string(digest_->DistinctDigests());
+    out += "}";
+  }
+  if (slowlog_ != nullptr) {
+    out += ",\"slowlog\":{\"records\":";
+    out += std::to_string(slowlog_->Records());
+    out += ",\"suppressed\":";
+    out += std::to_string(slowlog_->Suppressed());
+    out += "}";
+  }
   if (slo_ != nullptr) {
     out += ",\"slo_burning\":[";
     first = true;
@@ -323,11 +383,97 @@ std::string TelemetryServer::VarzBody() {
   return out;
 }
 
-std::string TelemetryServer::TracesBody() {
-  if (tracer_ == nullptr) return "";
+std::string TelemetryServer::TracesResponse(
+    const std::string& query_string) {
+  // Reject malformed parameters BEFORE touching the tracer: a bad limit
+  // on an unattached server is still a client error, not an empty 200.
+  bool chrome = false;
+  uint64_t limit = 0;
+  bool has_limit = false;
+  for (const auto& [key, value] : ParseQueryParams(query_string)) {
+    if (key == "limit") {
+      if (!ParseNonNegativeInt(value, &limit)) {
+        return HttpResponse(400, "Bad Request", "text/plain",
+                            "bad limit: expected a non-negative integer\n");
+      }
+      has_limit = true;
+    } else if (key == "format") {
+      if (value == "chrome") {
+        chrome = true;
+      } else if (value == "jsonl") {
+        chrome = false;
+      } else {
+        return HttpResponse(400, "Bad Request", "text/plain",
+                            "bad format: expected chrome or jsonl\n");
+      }
+    }
+    // Unknown parameters are ignored (standard HTTP leniency).
+  }
+
+  std::vector<std::unique_ptr<QueryTrace>> traces;
+  if (tracer_ != nullptr) traces = tracer_->SnapshotRing();
+  if (has_limit && traces.size() > limit) {
+    // SnapshotRing is oldest-first; keep the most recent N.
+    traces.erase(traces.begin(),
+                 traces.end() - static_cast<ptrdiff_t>(limit));
+  }
   std::ostringstream out;
-  WriteTracesJsonLines(tracer_->SnapshotRing(), out);
-  return out.str();
+  if (chrome) {
+    WriteTracesChromeJson(traces, out);
+  } else {
+    WriteTracesJsonLines(traces, out);
+  }
+  return HttpResponse(200, "OK", "application/json", out.str());
+}
+
+std::string TelemetryServer::QueryzResponse(
+    const std::string& query_string) {
+  uint64_t limit = 20;
+  bool slow = false;
+  for (const auto& [key, value] : ParseQueryParams(query_string)) {
+    if (key == "limit") {
+      if (!ParseNonNegativeInt(value, &limit)) {
+        return HttpResponse(400, "Bad Request", "text/plain",
+                            "bad limit: expected a non-negative integer\n");
+      }
+    } else if (key == "slow") {
+      if (value == "1") {
+        slow = true;
+      } else if (value == "0" || value.empty()) {
+        slow = false;
+      } else {
+        return HttpResponse(400, "Bad Request", "text/plain",
+                            "bad slow: expected 0 or 1\n");
+      }
+    }
+  }
+
+  if (slow) {
+    std::string body = "{\"slow\":[";
+    if (slowlog_ != nullptr) {
+      std::vector<std::string> records = slowlog_->RecentRecords();
+      if (records.size() > limit) {
+        records.erase(records.begin(),
+                      records.end() - static_cast<ptrdiff_t>(limit));
+      }
+      bool first = true;
+      for (const std::string& record : records) {
+        if (!first) body += ",";
+        first = false;
+        body += "\n";
+        body += record;
+      }
+    }
+    body += "]}\n";
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+
+  if (digest_ == nullptr) {
+    return HttpResponse(200, "OK", "application/json",
+                        "{\"recorded\":0,\"digests\":0,\"top\":[]}\n");
+  }
+  return HttpResponse(200, "OK", "application/json",
+                      digest_->ToJson(static_cast<size_t>(limit)) + "\n");
 }
 
 }  // namespace innet::obs

@@ -16,8 +16,16 @@
 //   GET /readyz   Readiness: 200 only when every registered probe passes;
 //                 503 lists the failing probes one per line.
 //   GET /varz     JSON snapshot: build info, uptime, counters, gauges,
-//                 histogram summaries, windowed rates, burning SLOs.
+//                 histogram summaries, windowed rates, burning SLOs,
+//                 digest-table and slow-log summaries.
 //   GET /traces   Recent sampled query traces as JSON lines.
+//                 ?limit=N caps the response to the N most recent traces;
+//                 ?format=chrome renders the Chrome trace-event array
+//                 instead. Malformed values get 400.
+//   GET /queryz   Query digest table (docs/OBSERVABILITY.md §9): top-K
+//                 digests by total time with per-digest p50/p95 and cost
+//                 counters. ?limit=N picks K (default 20); ?slow=1
+//                 returns the most recent slow-query records instead.
 #ifndef INNET_OBS_TELEMETRY_SERVER_H_
 #define INNET_OBS_TELEMETRY_SERVER_H_
 
@@ -34,7 +42,9 @@
 
 namespace innet::obs {
 
+class QueryDigestTable;
 class SloEngine;
+class SlowQueryLog;
 class TimeSeriesCollector;
 class Tracer;
 
@@ -63,6 +73,8 @@ class TelemetryServer {
   }
   void AttachSloEngine(SloEngine* slo) { slo_ = slo; }
   void AttachTracer(Tracer* tracer) { tracer_ = tracer; }
+  void AttachDigestTable(QueryDigestTable* digest) { digest_ = digest; }
+  void AttachSlowLog(SlowQueryLog* slowlog) { slowlog_ = slowlog; }
 
   /// Registers a /readyz probe. Probes run on the serving thread per
   /// request; keep them cheap (metric reads, atomic loads).
@@ -92,7 +104,12 @@ class TelemetryServer {
  private:
   std::string MetricsBody();
   std::string VarzBody();
-  std::string TracesBody();
+  /// Full /traces response (status line included): honors ?limit=N and
+  /// ?format=chrome, 400 on malformed values.
+  std::string TracesResponse(const std::string& query_string);
+  /// Full /queryz response: digest-table JSON, or the slow-query ring
+  /// under ?slow=1.
+  std::string QueryzResponse(const std::string& query_string);
   std::string ReadyzResponse();
   void AcceptLoop();
   void ServeConnection(int fd);
@@ -102,6 +119,8 @@ class TelemetryServer {
   TimeSeriesCollector* collector_ = nullptr;
   SloEngine* slo_ = nullptr;
   Tracer* tracer_ = nullptr;
+  QueryDigestTable* digest_ = nullptr;
+  SlowQueryLog* slowlog_ = nullptr;
 
   std::mutex probes_mutex_;
   std::vector<std::pair<std::string, std::function<bool()>>> probes_;

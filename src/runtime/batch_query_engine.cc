@@ -1,6 +1,7 @@
 #include "runtime/batch_query_engine.h"
 
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "forms/region_count.h"
@@ -9,6 +10,16 @@
 #include "util/timer.h"
 
 namespace innet::runtime {
+
+namespace {
+
+// Cost-profile store classification (0 exact / 1 learned), resolved once
+// per construction / store swap so AnswerOne never calls Provenance().
+uint8_t StoreKindOf(const forms::EdgeCountStore& store) {
+  return std::strcmp(store.Provenance().kind, "exact") == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
                                    const forms::EdgeCountStore& store,
@@ -74,6 +85,11 @@ BatchQueryEngine::BatchQueryEngine(const core::SampledGraph& sampled,
     frozen_ = store_snapshot_.store.get();
     store_ = frozen_;
   }
+  digest_ = options.digest;
+  slowlog_ = options.slowlog;
+  store_kind_ = StoreKindOf(*store_);
+  decile_buckets_ =
+      obs::RegionDecileBuckets(sampled_->network().mobility().NumNodes());
   if (health_ != nullptr) {
     last_health_generation_.store(health_->Generation(),
                                   std::memory_order_relaxed);
@@ -142,6 +158,16 @@ std::shared_ptr<const ResolvedBoundary> BatchQueryEngine::Resolve(
     resolved->boundary.sensors = ws.boundary_sensors;
   }
   resolved->faces = ws.faces;
+  if (frozen_ != nullptr) {
+    // Precompute the boundary's stored-timestamp footprint here, on the
+    // cold path, so warm cache hits fill their cost profile for free.
+    uint64_t timestamps = 0;
+    for (const forms::BoundaryEdge& e : resolved->boundary.edges) {
+      timestamps += frozen_->EventCount(e.edge, true);
+      timestamps += frozen_->EventCount(e.edge, false);
+    }
+    resolved->stored_timestamps = timestamps;
+  }
   cache_.Insert(key, resolved);
   return resolved;
 }
@@ -152,6 +178,7 @@ void BatchQueryEngine::SyncStoreGeneration() {
   store_snapshot_ = store_handle_->Acquire();
   frozen_ = store_snapshot_.store.get();
   store_ = frozen_;
+  store_kind_ = StoreKindOf(*store_);
   // Conservative flush: no boundary resolved against the previous
   // generation survives the swap, mirroring the health-generation path.
   cache_.Clear();
@@ -181,8 +208,15 @@ core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
   util::Timer timer;
   core::QueryAnswer answer;
   bool cache_hit = false;
+  const bool profiling = digest_ != nullptr || slowlog_ != nullptr;
   std::shared_ptr<const ResolvedBoundary> resolved =
       Resolve(query, bound, trace.get(), &cache_hit);
+  // Stage checkpoint for the cost profile — one clock read, taken only
+  // when a digest table or slow log is listening AND the resolution did
+  // real work. On a cache hit resolution is a hash probe, so charging it
+  // zero keeps the warmest path free of the extra clock read.
+  double resolve_micros =
+      profiling && !cache_hit ? timer.ElapsedMicros() : 0.0;
   if (explain != nullptr) {
     core::FillExplainResolution(*sampled_, query, kind, bound, resolved->faces,
                                 *store_, explain);
@@ -226,6 +260,59 @@ core::QueryAnswer BatchQueryEngine::AnswerOne(const core::RangeQuery& query,
   if (explain != nullptr) {
     core::FillExplainAnswer(answer, explain);
     if (answer.degraded) explain->path = "degraded";
+  }
+  if (profiling) {
+    // Stack-assembled profile: plain stores plus the precomputed
+    // stored_timestamps of the resolution — no allocation, no extra
+    // passes on a warm cache hit.
+    obs::QueryCostProfile profile;
+    profile.kind = kind == core::CountKind::kStatic ? 0 : 1;
+    profile.bound = bound == core::BoundMode::kLower ? 0 : 1;
+    profile.store_kind = store_kind_;
+    profile.path = answer.degraded ? obs::QueryPathKind::kDegraded
+                   : !cache_enabled_ ? obs::QueryPathKind::kUncached
+                   : cache_hit       ? obs::QueryPathKind::kCacheHit
+                                     : obs::QueryPathKind::kCacheMiss;
+    profile.region_decile =
+        static_cast<uint8_t>(decile_buckets_.Decile(query.junctions.size()));
+    profile.missed = answer.missed;
+    profile.degraded = answer.degraded;
+    profile.faces_resolved = static_cast<uint32_t>(resolved->faces.size());
+    profile.region_junctions = query.junctions.size();
+    profile.boundary_edges = resolved->boundary.edges.size();
+    profile.boundary_sensors = resolved->boundary.sensors.size();
+    profile.csr_timestamps = resolved->stored_timestamps;
+    if (frozen_ != nullptr) {
+      profile.bucket_probes =
+          resolved->boundary.edges.size() * 2 *
+          (kind == core::CountKind::kTransient ? 2 : 1);
+    }
+    profile.store_generation = store_snapshot_.generation;
+    profile.resolve_nanos = static_cast<uint64_t>(resolve_micros * 1000.0);
+    profile.total_nanos =
+        static_cast<uint64_t>(answer.exec_micros * 1000.0);
+    profile.integrate_nanos =
+        profile.total_nanos > profile.resolve_nanos
+            ? profile.total_nanos - profile.resolve_nanos
+            : 0;
+    if (digest_ != nullptr) digest_->Record(profile);
+    if (slowlog_ != nullptr && slowlog_->IsSlow(profile) &&
+        slowlog_->Admit()) {
+      // Slow path: the explain record is assembled lazily, only for the
+      // (rate-limited) queries that actually emit a record.
+      if (explain != nullptr) {
+        slowlog_->Record(profile, *explain);
+      } else {
+        obs::ExplainRecord record;
+        core::FillExplainResolution(*sampled_, query, kind, bound,
+                                    resolved->faces, *store_, &record);
+        record.cache_used = cache_enabled_;
+        record.cache_hit = cache_hit;
+        core::FillExplainAnswer(answer, &record);
+        if (answer.degraded) record.path = "degraded";
+        slowlog_->Record(profile, record);
+      }
+    }
   }
   if (accuracy_ != nullptr) {
     MaybeEnqueueShadow(query, answer, kind, bound, resolved);

@@ -37,6 +37,9 @@
 #include "obs/accuracy.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
+#include "obs/query_cost.h"
+#include "obs/query_digest.h"
+#include "obs/slowlog.h"
 #include "obs/trace.h"
 #include "runtime/boundary_cache.h"
 #include "util/thread_pool.h"
@@ -96,6 +99,18 @@ struct BatchEngineOptions {
   /// (counted by `innet_shadow_dropped`) instead of growing without bound
   /// when queries outpace the off-peak shadow capacity.
   size_t shadow_queue_limit = 4096;
+
+  /// Optional query digest table (docs/OBSERVABILITY.md §9). When set,
+  /// every answered query's cost profile folds into it — lock-free,
+  /// allocation-free, a dozen relaxed adds per query. Must outlive the
+  /// engine.
+  obs::QueryDigestTable* digest = nullptr;
+
+  /// Optional slow-query log. Fast queries pay one inline threshold
+  /// compare; queries crossing it (and admitted by the log's rate limit)
+  /// assemble a full ExplainRecord and emit a structured record. Must
+  /// outlive the engine.
+  obs::SlowQueryLog* slowlog = nullptr;
 };
 
 /// Point-in-time engine counters — a compatibility view over the
@@ -254,6 +269,15 @@ class BatchQueryEngine {
   core::DegradedOptions degraded_options_;
   obs::Tracer* tracer_;
   bool cache_enabled_ = false;
+
+  // Cost accounting (options.digest / options.slowlog). store_kind_ and
+  // the decile thresholds are profile classification latched at
+  // construction (and store swaps) so the warm path never calls
+  // Provenance() or divides.
+  obs::QueryDigestTable* digest_ = nullptr;
+  obs::SlowQueryLog* slowlog_ = nullptr;
+  uint8_t store_kind_ = 0;
+  obs::RegionDecileBuckets decile_buckets_;
 
   // Private registry when the options carried none; registry_ points at
   // whichever backs this engine.

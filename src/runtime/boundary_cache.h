@@ -42,6 +42,14 @@ struct ResolvedBoundary {
   /// the health generation the entry was built for. Entries never outlive a
   /// generation change — BatchQueryEngine clears the cache on transitions.
   std::shared_ptr<const core::DegradedBoundary> degraded;
+
+  /// Stored CSR timestamps under this boundary (both directions of every
+  /// boundary edge), precomputed at resolve time on frozen stores so warm
+  /// cache hits fill their cost profile (obs/query_cost.h) without an
+  /// extra pass. Sound to cache: the engine flushes the cache on every
+  /// store-generation swap, so an entry never outlives the store it was
+  /// counted against. 0 on virtual (non-frozen) stores.
+  uint64_t stored_timestamps = 0;
 };
 
 /// 128-bit signature of a query region under one bound mode. Two

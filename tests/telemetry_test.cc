@@ -17,12 +17,17 @@
 #include <vector>
 
 #include "obs/build_info.h"
+#include "obs/explain.h"
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/query_cost.h"
+#include "obs/query_digest.h"
 #include "obs/slo.h"
+#include "obs/slowlog.h"
 #include "obs/telemetry_server.h"
 #include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace innet::obs {
@@ -507,6 +512,132 @@ TEST(TelemetryServerTest, ConcurrentScrapeUnderIngestIsRaceFree) {
             static_cast<uint64_t>(kScrapers * kRequestsEach));
   EXPECT_GT(events.Value(), 0u);
   EXPECT_GT(collector.SamplesTaken(), 0u);
+}
+
+TEST(TelemetryServerTest, TracesEndpointHonorsLimitAndFormat) {
+  MetricsRegistry registry;
+  TelemetryServer server(registry, TelemetryServerOptions{});
+
+  // No tracer attached: valid requests still answer with an empty
+  // document rather than an error.
+  EXPECT_NE(server.HandleRequest("GET /traces HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 200"),
+            std::string::npos);
+
+  Tracer tracer(TracerOptions{});
+  server.AttachTracer(&tracer);
+  for (int i = 0; i < 5; ++i) {
+    std::unique_ptr<QueryTrace> trace = tracer.StartQuery();
+    { Span span(trace.get(), "resolve_region"); }
+    tracer.Finish(std::move(trace));
+  }
+
+  std::string all = Body(
+      server.HandleRequest("GET /traces HTTP/1.1\r\n\r\n"));
+  size_t lines = 0;
+  for (char c : all) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 5u);
+
+  // ?limit=N keeps the most recent N.
+  std::string limited = Body(
+      server.HandleRequest("GET /traces?limit=2 HTTP/1.1\r\n\r\n"));
+  lines = 0;
+  for (char c : limited) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2u);
+  // The most recent traces survive the trim: query ids 3 and 4.
+  EXPECT_NE(limited.find("\"query\":4"), std::string::npos);
+  EXPECT_EQ(limited.find("\"query\":0"), std::string::npos);
+
+  // ?format=chrome returns one Chrome trace-event JSON array.
+  std::string chrome_response =
+      server.HandleRequest("GET /traces?format=chrome&limit=3 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(chrome_response.find("HTTP/1.1 200"), std::string::npos);
+  std::string chrome = Body(chrome_response);
+  while (!chrome.empty() && chrome.back() == '\n') chrome.pop_back();
+  ASSERT_FALSE(chrome.empty());
+  EXPECT_EQ(chrome.front(), '[');
+  EXPECT_EQ(chrome.back(), ']');
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(chrome.find("\"dur\":"), std::string::npos);
+
+  // Malformed parameters are a client error, not a crash or a fallback.
+  EXPECT_NE(server.HandleRequest("GET /traces?limit=abc HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("GET /traces?limit=-1 HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("GET /traces?format=xml HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  // Unknown parameters are ignored, not rejected.
+  EXPECT_NE(server.HandleRequest("GET /traces?foo=1 HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 200"),
+            std::string::npos);
+}
+
+TEST(TelemetryServerTest, QueryzServesDigestsAndSlowLog) {
+  MetricsRegistry registry;
+  TelemetryServer server(registry, TelemetryServerOptions{});
+
+  // Nothing attached: an empty digest document, not an error.
+  std::string empty = Body(
+      server.HandleRequest("GET /queryz HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(empty.find("\"recorded\":0"), std::string::npos);
+
+  QueryDigestTable digest;
+  SlowQueryLogOptions slow_options;
+  slow_options.threshold_micros = 1.0;
+  slow_options.registry = &registry;
+  SlowQueryLog slowlog(slow_options);
+  server.AttachDigestTable(&digest);
+  server.AttachSlowLog(&slowlog);
+
+  QueryCostProfile profile;
+  profile.kind = 0;
+  profile.region_decile = 4;
+  profile.path = QueryPathKind::kCacheHit;
+  profile.boundary_edges = 9;
+  profile.total_nanos = 50000;
+  for (int i = 0; i < 7; ++i) digest.Record(profile);
+  ASSERT_TRUE(slowlog.Admit());
+  slowlog.Record(profile, ExplainRecord{});
+  ASSERT_TRUE(slowlog.Admit());
+  slowlog.Record(profile, ExplainRecord{});
+
+  std::string body = Body(
+      server.HandleRequest("GET /queryz HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(body.find("\"recorded\":7"), std::string::npos);
+  EXPECT_NE(body.find("\"digests\":1"), std::string::npos);
+  EXPECT_NE(body.find("static/lower/d4/exact/cache_hit"),
+            std::string::npos);
+
+  // ?slow=1 flips to the slow-query ring; ?limit trims it.
+  std::string slow = Body(
+      server.HandleRequest("GET /queryz?slow=1&limit=1 HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(slow.find("\"slow\":["), std::string::npos);
+  size_t records = 0;
+  for (size_t at = slow.find("\"ts_unix\":"); at != std::string::npos;
+       at = slow.find("\"ts_unix\":", at + 1)) {
+    ++records;
+  }
+  EXPECT_EQ(records, 1u);
+
+  EXPECT_NE(server.HandleRequest("GET /queryz?slow=2 HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest("GET /queryz?limit=x HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+
+  // /varz carries the summary counters for both planes.
+  std::string varz = Body(
+      server.HandleRequest("GET /varz HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(varz.find("\"query_digest\":{\"recorded\":7,\"digests\":1}"),
+            std::string::npos);
+  EXPECT_NE(varz.find("\"slowlog\":{\"records\":2,\"suppressed\":0}"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -150,6 +150,68 @@ check_rejected "--readyz-staleness without --serve-telemetry" \
   --graph /nonexistent.bin --trips /nonexistent.bin \
   --batch /nonexistent.txt --sample-fraction 0.3 --readyz-staleness 10
 
+# Cost-accounting flags (docs/OBSERVABILITY.md §9): the slow-query log and
+# the Chrome trace export are batch-only, and their dependent knobs need
+# their parent flag; rejections fire before any file I/O.
+check_rejected "--slowlog-out without --batch" \
+  "requires --batch" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --rect 0,0,100,100 --slowlog-out "$tmp/slow.jsonl"
+
+check_rejected "empty --slowlog-out path" \
+  "--slowlog-out wants a file path" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 --slowlog-out ""
+
+check_rejected "--slowlog-threshold-ms without --slowlog-out" \
+  "requires --slowlog-out" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 \
+  --slowlog-threshold-ms 5
+
+check_rejected "non-positive --slowlog-threshold-ms" \
+  "--slowlog-threshold-ms must be > 0" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 \
+  --slowlog-out "$tmp/slow.jsonl" --slowlog-threshold-ms 0
+
+check_rejected "--trace-chrome without --batch" \
+  "requires --batch" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --rect 0,0,100,100 --trace-chrome "$tmp/trace.json"
+
+check_rejected "empty --trace-chrome path" \
+  "--trace-chrome wants a file path" \
+  --graph /nonexistent.bin --trips /nonexistent.bin \
+  --batch /nonexistent.txt --sample-fraction 0.3 --trace-chrome ""
+
+# Valid cost-accounting flags work end to end: a ~0ms threshold makes every
+# query slow, so the log must fill and the summary line must land on
+# stderr; the Chrome export must produce a JSON array.
+"$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
+  --batch "$tmp/batch.txt" --sample-fraction 0.3 \
+  --slowlog-out "$tmp/slow.jsonl" --slowlog-threshold-ms 0.0001 \
+  --trace-chrome "$tmp/chrome.json" \
+  >/dev/null 2>"$tmp/err.txt" || {
+  echo "valid --slowlog-out/--trace-chrome run failed:" >&2
+  cat "$tmp/err.txt" >&2
+  exit 1
+}
+grep -q "slowlog: " "$tmp/err.txt" || {
+  echo "missing slowlog summary line on stderr:" >&2
+  cat "$tmp/err.txt" >&2
+  exit 1
+}
+[ -s "$tmp/slow.jsonl" ] || {
+  echo "--slowlog-out produced no records at a ~0ms threshold" >&2
+  exit 1
+}
+head -c1 "$tmp/chrome.json" | grep -q '\[' || {
+  echo "--trace-chrome output is not a JSON array:" >&2
+  head -c200 "$tmp/chrome.json" >&2
+  exit 1
+}
+
 # A missing SLO config must fail even with the endpoint requested.
 if "$query_bin" --graph "$tmp/g.bin" --trips "$tmp/t.bin" \
     --batch "$tmp/batch.txt" --sample-fraction 0.3 \

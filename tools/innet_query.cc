@@ -28,8 +28,16 @@
 // process metrics registry on exit (Prometheus text format, or JSON lines
 // when PATH ends in .json/.jsonl); --trace-out=PATH writes one JSON object
 // per sampled query with its stage breakdown, --trace-sample N sampling
-// 1-in-N (batch mode); --log-level info|warn|error|off sets diagnostic
-// verbosity.
+// 1-in-N (batch mode); --trace-chrome=PATH additionally renders the same
+// sampled traces as a Chrome trace-event array for chrome://tracing /
+// Perfetto; --log-level info|warn|error|off sets diagnostic verbosity.
+//
+// Cost accounting (docs/OBSERVABILITY.md §9): batch mode accumulates a
+// per-query cost profile into a lock-free digest table (served at /queryz
+// and summarized in /varz when --serve-telemetry is up).
+// --slowlog-out=FILE emits a rate-limited JSON-lines record for every
+// query crossing --slowlog-threshold-ms (default 10ms), carrying the cost
+// profile and the query's EXPLAIN provenance.
 //
 // Live telemetry (docs/OBSERVABILITY.md §"Live telemetry & SLOs"):
 // --serve-telemetry PORT starts an embedded HTTP endpoint on
@@ -182,12 +190,30 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
   // it outlives every telemetry object declared below (the server holds an
   // unowned pointer into it).
   std::string trace_out = flags.GetString("trace-out");
+  std::string trace_chrome = flags.GetString("trace-chrome");
   bool serve_telemetry = flags.Has("serve-telemetry");
   obs::TracerOptions tracer_options;
   tracer_options.sample_every =
       static_cast<uint64_t>(flags.GetInt("trace-sample", 1));
   tracer_options.ring_capacity = 4096;
   obs::Tracer tracer(tracer_options);
+
+  // Per-query cost accounting (docs/OBSERVABILITY.md §9): the digest
+  // table aggregates every answered query; the slow-query log (when
+  // requested, or memory-only under live telemetry so /queryz?slow=1
+  // works) records outliers. Both outlive the engine and the telemetry
+  // server, which hold unowned pointers into them.
+  obs::QueryDigestTable digest;
+  std::string slowlog_out = flags.GetString("slowlog-out");
+  std::unique_ptr<obs::SlowQueryLog> slowlog;
+  if (!slowlog_out.empty() || serve_telemetry) {
+    obs::SlowQueryLogOptions slowlog_options;
+    slowlog_options.threshold_micros =
+        flags.GetDouble("slowlog-threshold-ms", 10.0) * 1000.0;
+    slowlog_options.path = slowlog_out;
+    slowlog_options.registry = &obs::MetricsRegistry::Global();
+    slowlog = std::make_unique<obs::SlowQueryLog>(slowlog_options);
+  }
 
   // Arm the black box before anything publishes a store so the crash ring
   // covers the whole serving lifetime, recovery and initial publish
@@ -296,6 +322,8 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
     telemetry->AttachCollector(collector.get());
     telemetry->AttachSloEngine(slo.get());
     telemetry->AttachTracer(&tracer);
+    telemetry->AttachDigestTable(&digest);
+    telemetry->AttachSlowLog(slowlog.get());
     obs::Counter* wal_errors =
         &registry.GetCounter("innet_wal_errors_total");
     telemetry->AddReadinessProbe(
@@ -356,8 +384,12 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
   engine_options.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache", 4096));
   engine_options.registry = &obs::MetricsRegistry::Global();
+  engine_options.digest = &digest;
+  engine_options.slowlog = slowlog.get();
 
-  if (!trace_out.empty() || serve_telemetry) engine_options.tracer = &tracer;
+  if (!trace_out.empty() || !trace_chrome.empty() || serve_telemetry) {
+    engine_options.tracer = &tracer;
+  }
 
   // Shadow accuracy checks (destroyed after the engine, which holds a
   // pointer into it).
@@ -437,9 +469,26 @@ int BatchMain(util::FlagParser& flags, const core::SensorNetwork& network,
                      accuracy->options().shadow_every),
                  accuracy->MeanAbsRelError(), accuracy->MeanSignedRelError());
   }
-  if (!trace_out.empty() &&
-      !obs::ExportTracesToFile(tracer.Drain(), trace_out)) {
-    return 1;
+  if (slowlog != nullptr) {
+    std::fprintf(stderr,
+                 "slowlog: %llu records (%llu suppressed by rate limit)\n",
+                 static_cast<unsigned long long>(slowlog->Records()),
+                 static_cast<unsigned long long>(slowlog->Suppressed()));
+  }
+  if (!trace_out.empty() || !trace_chrome.empty()) {
+    // Snapshot (not drain): both exporters render the same view, and the
+    // ring stays populated so GET /traces keeps serving through the
+    // telemetry linger below.
+    std::vector<std::unique_ptr<obs::QueryTrace>> traces =
+        tracer.SnapshotRing();
+    if (!trace_out.empty() &&
+        !obs::ExportTracesToFile(traces, trace_out)) {
+      return 1;
+    }
+    if (!trace_chrome.empty() &&
+        !obs::ExportTracesChromeToFile(traces, trace_chrome)) {
+      return 1;
+    }
   }
   // Keep the telemetry endpoint up so external scrapers (CI smoke jobs,
   // a curious operator) can observe the finished run before exit.
@@ -556,6 +605,38 @@ int Main(int argc, char** argv) {
     return Fail("--readyz-staleness adds a /readyz probe; it requires "
                 "--serve-telemetry PORT");
   }
+  // Cost-accounting flags (docs/OBSERVABILITY.md §9) are batch-mode
+  // observability; reject bad combinations before any file I/O.
+  if (flags.Has("slowlog-out")) {
+    if (flags.GetString("slowlog-out").empty()) {
+      return Fail("--slowlog-out wants a file path for the JSON-lines "
+                  "slow-query log");
+    }
+    if (batch_path.empty()) {
+      return Fail("--slowlog-out records slow queries from the batch "
+                  "engine; it requires --batch FILE");
+    }
+  }
+  if (flags.Has("slowlog-threshold-ms")) {
+    if (!flags.Has("slowlog-out")) {
+      return Fail("--slowlog-threshold-ms tunes the slow-query log; it "
+                  "requires --slowlog-out FILE");
+    }
+    if (flags.GetDouble("slowlog-threshold-ms", 0.0) <= 0.0) {
+      return Fail("--slowlog-threshold-ms must be > 0 milliseconds; got " +
+                  flags.GetString("slowlog-threshold-ms"));
+    }
+  }
+  if (flags.Has("trace-chrome")) {
+    if (flags.GetString("trace-chrome").empty()) {
+      return Fail("--trace-chrome wants a file path for the Chrome "
+                  "trace-event JSON");
+    }
+    if (batch_path.empty()) {
+      return Fail("--trace-chrome exports the batch-mode trace ring; it "
+                  "requires --batch FILE");
+    }
+  }
   if (graph_path.empty() || trips_path.empty() ||
       (rect_text.empty() && batch_path.empty())) {
     std::fprintf(stderr,
@@ -570,7 +651,9 @@ int Main(int argc, char** argv) {
                  "durability: [--wal-dir DIR] [--snapshot-every N] "
                  "[--recover]\n"
                  "observability: [--metrics-out PATH] [--trace-out PATH] "
-                 "[--trace-sample N] [--shadow-sample N] [--explain] "
+                 "[--trace-chrome PATH] [--trace-sample N] "
+                 "[--shadow-sample N] [--slowlog-out FILE] "
+                 "[--slowlog-threshold-ms MS] [--explain] "
                  "[--explain-svg PATH] [--log-level info|warn|error|off]\n"
                  "telemetry: [--serve-telemetry PORT] [--slo-config FILE] "
                  "[--telemetry-linger SEC] [--flight-dir DIR] "
