@@ -32,6 +32,7 @@
 #include "util/alloc_probe.h"
 #include "util/flags.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace innet {
@@ -352,6 +353,7 @@ int KernelReport(const util::FlagParser& flags) {
 
   bench::JsonReport report("kernels");
   report.Note("world", "400j/1200t");
+  report.Note("simd", util::simd::ActiveSimdName());
   report.Metric("queries", static_cast<double>(resolved_queries.size()));
   report.Metric("mean_boundary_edges",
                 boundaries.empty()

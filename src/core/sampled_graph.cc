@@ -269,6 +269,15 @@ void SampledGraph::BoundaryOfFaces(const std::vector<uint32_t>& faces,
       }
     }
   }
+
+  // Edge-id order == CSR slot order in the frozen store, so the batched
+  // boundary kernels walk times_/offsets_ monotonically and their software
+  // prefetches aim at ascending addresses. The flux sum is a total over
+  // integer-valued terms, so reordering cannot change any query result.
+  std::sort(ws.boundary_edges.begin(), ws.boundary_edges.end(),
+            [](const forms::BoundaryEdge& a, const forms::BoundaryEdge& b) {
+              return a.edge < b.edge;
+            });
 }
 
 SampledGraph::RegionBoundary SampledGraph::BoundaryOfFaces(

@@ -120,8 +120,11 @@ class SampledGraph {
 
   /// Allocation-free variant: fills `ws.boundary_edges` and
   /// `ws.boundary_sensors`. Sensors are deduplicated with stamped marks in
-  /// first-encounter order (no per-query sort); edge order matches the
-  /// allocating overload exactly. `faces` may alias `ws.faces`.
+  /// first-encounter order (no per-query sort); edges come back sorted by
+  /// edge id — CSR slot order in the frozen store, so the batched boundary
+  /// kernels stream it monotonically — and the allocating overload shares
+  /// this implementation, hence the same order. `faces` may alias
+  /// `ws.faces`.
   void BoundaryOfFaces(const std::vector<uint32_t>& faces,
                        QueryWorkspace& ws) const;
 

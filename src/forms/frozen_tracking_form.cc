@@ -1,6 +1,8 @@
 #include "forms/frozen_tracking_form.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -10,7 +12,8 @@ FrozenTrackingForm::FrozenTrackingForm(const TrackingForm& source) {
   size_t num_slots = 2 * source.num_edges();
   offsets_.assign(num_slots + 1, 0);
   times_.reserve(source.TotalEvents());
-  index_.assign(num_slots, {});
+  hot_index_.assign(num_slots, {});
+  first_bucket_.assign(num_slots, 0);
 
   for (graph::EdgeId road = 0; road < source.num_edges(); ++road) {
     for (bool forward : {true, false}) {
@@ -37,7 +40,8 @@ FrozenTrackingForm::FrozenTrackingForm(std::vector<double> times,
     INNET_CHECK(std::is_sorted(times_.begin() + offsets_[s],
                                times_.begin() + offsets_[s + 1]));
   }
-  index_.assign(num_slots, {});
+  hot_index_.assign(num_slots, {});
+  first_bucket_.assign(num_slots, 0);
   for (size_t slot = 0; slot < num_slots; ++slot) IndexSlot(slot);
 }
 
@@ -47,7 +51,8 @@ FrozenTrackingForm::FrozenTrackingForm(const FrozenTrackingForm& previous,
   INNET_CHECK(delta.NumSlots() == num_slots);
   offsets_.assign(num_slots + 1, 0);
   times_.reserve(previous.times_.size() + delta.times.size());
-  index_.assign(num_slots, {});
+  hot_index_.assign(num_slots, {});
+  first_bucket_.assign(num_slots, 0);
   bucket_starts_.reserve(previous.bucket_starts_.size() +
                          delta.times.size() / kEventsPerBucket + num_slots);
 
@@ -72,13 +77,15 @@ FrozenTrackingForm::FrozenTrackingForm(const FrozenTrackingForm& previous,
         offsets_[s] = previous.offsets_[s] + shift;
         size_t n = previous.offsets_[s + 1] - previous.offsets_[s];
         if (n == 0) continue;
-        BucketIndex ix = previous.index_[s];
+        const HotIndex hot = previous.hot_index_[s];
         const uint32_t* starts =
-            previous.bucket_starts_.data() + ix.first_bucket;
-        ix.first_bucket = static_cast<uint32_t>(bucket_starts_.size());
+            previous.bucket_starts_.data() + previous.first_bucket_[s];
+        INNET_CHECK(bucket_starts_.size() <=
+                    std::numeric_limits<uint32_t>::max());
+        first_bucket_[s] = static_cast<uint32_t>(bucket_starts_.size());
         bucket_starts_.insert(bucket_starts_.end(), starts,
-                              starts + ix.num_buckets + 1);
-        index_[s] = ix;
+                              starts + NumBuckets(n, hot.inv_width) + 1);
+        hot_index_[s] = hot;
       }
       slot = run_end;
       continue;
@@ -115,26 +122,110 @@ FrozenTrackingForm::FrozenTrackingForm(const FrozenTrackingForm& previous,
 void FrozenTrackingForm::IndexSlot(size_t slot) {
   size_t n = offsets_[slot + 1] - offsets_[slot];
   if (n == 0) return;
+  // bucket_starts_ entries and first_bucket_ offsets are uint32: a slot
+  // whose event count (or whose index position) no longer fits would
+  // silently corrupt every lookup, so freezing refuses it outright.
+  INNET_CHECK(n <= std::numeric_limits<uint32_t>::max());
+  INNET_CHECK(bucket_starts_.size() <= std::numeric_limits<uint32_t>::max());
   const double* seq = times_.data() + offsets_[slot];
-  BucketIndex ix;
-  ix.t0 = seq[0];
+  HotIndex hot;
+  hot.t0 = seq[0];
+  hot.last = seq[n - 1];
   double span = seq[n - 1] - seq[0];
   size_t nb = (n + kEventsPerBucket - 1) / kEventsPerBucket;
   if (span <= 0.0) nb = 1;  // All events share one timestamp.
-  ix.num_buckets = static_cast<uint32_t>(nb);
-  ix.inv_width = span > 0.0 ? static_cast<double>(nb) / span : 0.0;
-  ix.first_bucket = static_cast<uint32_t>(bucket_starts_.size());
+  hot.inv_width = span > 0.0 ? static_cast<double>(nb) / span : 0.0;
+  INNET_DCHECK(NumBuckets(n, hot.inv_width) == nb);
+  first_bucket_[slot] = static_cast<uint32_t>(bucket_starts_.size());
   double width = span > 0.0 ? span / static_cast<double>(nb) : 0.0;
   size_t cursor = 0;
   bucket_starts_.push_back(0);
   for (size_t b = 1; b < nb; ++b) {
-    double boundary = ix.t0 + width * static_cast<double>(b);
+    double boundary = hot.t0 + width * static_cast<double>(b);
     while (cursor < n && seq[cursor] < boundary) ++cursor;
     bucket_starts_.push_back(static_cast<uint32_t>(cursor));
   }
   bucket_starts_.push_back(static_cast<uint32_t>(n));
-  index_[slot] = ix;
+  hot_index_[slot] = hot;
 }
+
+void FrozenTrackingForm::CountUpToSlots(const size_t* slots, size_t count,
+                                        double t, size_t* out) const {
+  if (count == 0) return;
+  // Software pipeline. Stage(slot) does the index half of a lookup — row
+  // pointers, hot entry, bucket estimate, out-of-range early-outs — and
+  // issues prefetches for the lines the resolve half will read (the
+  // bucket_starts_ entry and the estimated in-bucket window). Resolving
+  // slot i one iteration later gives those fetches a full lookup's worth
+  // of work to hide behind, and the staged struct carries the results
+  // forward so nothing is computed twice. Two iterations further out, the
+  // next slots' index lines themselves are hinted.
+  struct Staged {
+    const double* seq;
+    const uint32_t* starts;  // nullptr = resolved at stage time: answer is n.
+    size_t n;
+    size_t b;
+  };
+  auto stage = [&](size_t slot) {
+    size_t begin = offsets_[slot];
+    Staged s{times_.data() + begin, nullptr, offsets_[slot + 1] - begin, 0};
+    if (s.n == 0) return s;
+    const HotIndex& hot = hot_index_[slot];
+    if (t < hot.t0) {
+      s.n = 0;
+      return s;
+    }
+    if (t >= hot.last) return s;  // Whole slot counts; no line touched.
+    s.b = BucketEstimate((t - hot.t0) * hot.inv_width,
+                         NumBuckets(s.n, hot.inv_width));
+    s.starts = bucket_starts_.data() + first_bucket_[slot];
+    __builtin_prefetch(s.starts + s.b);
+    // b * kEventsPerBucket over-approximates starts[b] (buckets average
+    // kEventsPerBucket events) without waiting on the starts load; clamped
+    // by construction: b <= ceil(n/8) - 1, so b * 8 <= n - 1.
+    __builtin_prefetch(s.seq + s.b * kEventsPerBucket);
+    return s;
+  };
+  auto resolve = [&](const Staged& s) -> size_t {
+    if (s.starts == nullptr) return s.n;
+    size_t b = s.b;
+    size_t lo = s.starts[b];
+    while (lo > 0 && s.seq[lo - 1] > t) lo = s.starts[--b];
+    size_t bh = s.b;
+    size_t hi = s.starts[bh + 1];
+    while (hi < s.n && s.seq[hi] <= t) hi = s.starts[++bh + 1];
+    return lo + util::simd::CountLessEqual(s.seq + lo, hi - lo, t);
+  };
+  Staged cur = stage(slots[0]);
+  for (size_t i = 0; i + 1 < count; ++i) {
+    if (i + 2 < count) {
+      size_t s = slots[i + 2];
+      __builtin_prefetch(&hot_index_[s]);
+      __builtin_prefetch(&first_bucket_[s]);
+      __builtin_prefetch(&offsets_[s]);
+    }
+    Staged next = stage(slots[i + 1]);
+    out[i] = resolve(cur);
+    cur = next;
+  }
+  out[count - 1] = resolve(cur);
+}
+
+namespace {
+
+// Shared ascending-instants precondition of the batch kernels.
+void DCheckAscending(const double* times, size_t count) {
+  for (size_t k = 0; k + 1 < count; ++k) {
+    INNET_DCHECK(times[k] <= times[k + 1]);
+  }
+}
+
+// Boundary edges per batched-lookup chunk. 128 edges = 256 slots keeps the
+// scratch on the stack (allocation-free warm path) while giving the
+// prefetch pipeline a long runway.
+constexpr size_t kEdgeChunk = 128;
+
+}  // namespace
 
 double EvaluateStaticCount(const FrozenTrackingForm& store,
                            const std::vector<BoundaryEdge>& boundary,
@@ -142,13 +233,22 @@ double EvaluateStaticCount(const FrozenTrackingForm& store,
   // Counts are integers well inside double's exact range, so the running
   // sum is exact and matches the virtual path bit-for-bit.
   double total = 0.0;
-  for (const BoundaryEdge& b : boundary) {
-    size_t in = store.CountUpToSlot(
-        FrozenTrackingForm::Slot(b.edge, b.inward_is_forward), t);
-    size_t out = store.CountUpToSlot(
-        FrozenTrackingForm::Slot(b.edge, !b.inward_is_forward), t);
-    total += static_cast<double>(in);
-    total -= static_cast<double>(out);
+  size_t slots[2 * kEdgeChunk];
+  size_t counts[2 * kEdgeChunk];
+  size_t num_edges = boundary.size();
+  for (size_t base = 0; base < num_edges; base += kEdgeChunk) {
+    size_t m = std::min(kEdgeChunk, num_edges - base);
+    for (size_t j = 0; j < m; ++j) {
+      const BoundaryEdge& b = boundary[base + j];
+      slots[2 * j] = FrozenTrackingForm::Slot(b.edge, b.inward_is_forward);
+      slots[2 * j + 1] =
+          FrozenTrackingForm::Slot(b.edge, !b.inward_is_forward);
+    }
+    store.CountUpToSlots(slots, 2 * m, t, counts);
+    for (size_t j = 0; j < m; ++j) {
+      total += static_cast<double>(counts[2 * j]);
+      total -= static_cast<double>(counts[2 * j + 1]);
+    }
   }
   return total;
 }
@@ -159,13 +259,26 @@ double EvaluateTransientCount(const FrozenTrackingForm& store,
   // Mirrors EdgeCountStore::CountInRange term by term: the virtual path
   // accumulates (in(t1) - in(t0)) - (out(t1) - out(t0)) per edge.
   double total = 0.0;
-  for (const BoundaryEdge& b : boundary) {
-    size_t slot_in = FrozenTrackingForm::Slot(b.edge, b.inward_is_forward);
-    size_t slot_out = FrozenTrackingForm::Slot(b.edge, !b.inward_is_forward);
-    total += static_cast<double>(store.CountUpToSlot(slot_in, t1)) -
-             static_cast<double>(store.CountUpToSlot(slot_in, t0));
-    total -= static_cast<double>(store.CountUpToSlot(slot_out, t1)) -
-             static_cast<double>(store.CountUpToSlot(slot_out, t0));
+  size_t slots[2 * kEdgeChunk];
+  size_t at_t1[2 * kEdgeChunk];
+  size_t at_t0[2 * kEdgeChunk];
+  size_t num_edges = boundary.size();
+  for (size_t base = 0; base < num_edges; base += kEdgeChunk) {
+    size_t m = std::min(kEdgeChunk, num_edges - base);
+    for (size_t j = 0; j < m; ++j) {
+      const BoundaryEdge& b = boundary[base + j];
+      slots[2 * j] = FrozenTrackingForm::Slot(b.edge, b.inward_is_forward);
+      slots[2 * j + 1] =
+          FrozenTrackingForm::Slot(b.edge, !b.inward_is_forward);
+    }
+    store.CountUpToSlots(slots, 2 * m, t1, at_t1);
+    store.CountUpToSlots(slots, 2 * m, t0, at_t0);
+    for (size_t j = 0; j < m; ++j) {
+      total += static_cast<double>(at_t1[2 * j]) -
+               static_cast<double>(at_t0[2 * j]);
+      total -= static_cast<double>(at_t1[2 * j + 1]) -
+               static_cast<double>(at_t0[2 * j + 1]);
+    }
   }
   return total;
 }
@@ -174,16 +287,19 @@ namespace {
 
 // Adds sign * (events <= times[k]) of one slot into out[0..count): a single
 // merge pass — the cursor only ever advances because `times` is ascending.
+// Each advance is a galloped, vector-counted upper bound (util/simd.h), so
+// dense series steps cost a couple of compares and sparse ones skip whole
+// vector widths at a time.
 void AccumulateSlotSeries(const FrozenTrackingForm& store, size_t slot,
                           double sign, const double* times, size_t count,
                           double* out) {
   const double* seq = store.SlotBegin(slot);
-  const double* end = store.SlotEnd(slot);
-  const double* cursor = seq;
+  size_t n = static_cast<size_t>(store.SlotEnd(slot) - seq);
+  size_t cursor = 0;
   for (size_t k = 0; k < count; ++k) {
-    double t = times[k];
-    while (cursor != end && *cursor <= t) ++cursor;
-    out[k] += sign * static_cast<double>(cursor - seq);
+    cursor += util::simd::CountLeadingLessEqualSorted(seq + cursor,
+                                                      n - cursor, times[k]);
+    out[k] += sign * static_cast<double>(cursor);
   }
 }
 
@@ -193,11 +309,16 @@ void EvaluateStaticCountBatch(const FrozenTrackingForm& store,
                               const std::vector<BoundaryEdge>& boundary,
                               const double* times, size_t count,
                               double* out) {
-  for (size_t k = 0; k + 1 < count; ++k) {
-    INNET_DCHECK(times[k] <= times[k + 1]);
-  }
+  DCheckAscending(times, count);
   for (size_t k = 0; k < count; ++k) out[k] = 0.0;
-  for (const BoundaryEdge& b : boundary) {
+  size_t num_edges = boundary.size();
+  for (size_t i = 0; i < num_edges; ++i) {
+    if (i + 1 < num_edges) {
+      const BoundaryEdge& next = boundary[i + 1];
+      store.PrefetchSlot(FrozenTrackingForm::Slot(next.edge, true));
+      store.PrefetchSlot(FrozenTrackingForm::Slot(next.edge, false));
+    }
+    const BoundaryEdge& b = boundary[i];
     AccumulateSlotSeries(store,
                          FrozenTrackingForm::Slot(b.edge, b.inward_is_forward),
                          1.0, times, count, out);
@@ -211,18 +332,30 @@ void EvaluateTransientCountBatch(const FrozenTrackingForm& store,
                                  const std::vector<BoundaryEdge>& boundary,
                                  double t0, const double* times, size_t count,
                                  double* out) {
-  for (size_t k = 0; k + 1 < count; ++k) {
-    INNET_DCHECK(times[k] <= times[k + 1]);
-  }
+  DCheckAscending(times, count);
   for (size_t k = 0; k < count; ++k) out[k] = 0.0;
-  for (const BoundaryEdge& b : boundary) {
+  // The per-edge t0 bases accumulate into one total subtracted after the
+  // edge loop — a single O(steps) pass instead of O(edges * steps)
+  // redundant writes. Bases and series values are exact integers, so the
+  // regrouped arithmetic is bit-identical to per-edge subtraction.
+  double base_total = 0.0;
+  size_t num_edges = boundary.size();
+  for (size_t i = 0; i < num_edges; ++i) {
+    if (i + 1 < num_edges) {
+      const BoundaryEdge& next = boundary[i + 1];
+      store.PrefetchSlot(FrozenTrackingForm::Slot(next.edge, true));
+      store.PrefetchSlot(FrozenTrackingForm::Slot(next.edge, false));
+    }
+    const BoundaryEdge& b = boundary[i];
     size_t slot_in = FrozenTrackingForm::Slot(b.edge, b.inward_is_forward);
     size_t slot_out = FrozenTrackingForm::Slot(b.edge, !b.inward_is_forward);
-    double base = static_cast<double>(store.CountUpToSlot(slot_in, t0)) -
+    base_total += static_cast<double>(store.CountUpToSlot(slot_in, t0)) -
                   static_cast<double>(store.CountUpToSlot(slot_out, t0));
     AccumulateSlotSeries(store, slot_in, 1.0, times, count, out);
     AccumulateSlotSeries(store, slot_out, -1.0, times, count, out);
-    for (size_t k = 0; k < count; ++k) out[k] -= base;
+  }
+  if (base_total != 0.0) {
+    for (size_t k = 0; k < count; ++k) out[k] -= base_total;
   }
 }
 

@@ -12,8 +12,17 @@
 //   - an epoch-bucketed PREFIX-COUNT index: each slot's event span is cut
 //     into fixed-width time buckets (~kEventsPerBucket events each) and the
 //     cumulative event count at every bucket boundary is precomputed, so a
-//     lookup is one O(1) bucket computation plus a short scan inside the
-//     bucket instead of a log2(n) pointer chase.
+//     lookup is one O(1) bucket computation plus a short vectorized count
+//     inside the bucket instead of a log2(n) pointer chase.
+//
+// The derived index is stored structure-of-arrays: the HOT per-slot pair
+// {t0, inv_width} (everything a probe needs to early-out or aim at its
+// bucket — four slots per cache line) lives apart from the COLD per-slot
+// bucket_starts_ offset, so the common probe touches one index line. The
+// in-bucket resolution is a branchless vector count (util/simd.h: AVX2 /
+// NEON / scalar, runtime-dispatched), and CountUpToSlots pipelines
+// software prefetches across a batch of slots so DRAM latency overlaps
+// across a boundary loop instead of serializing per edge.
 //
 // Counts are EXACTLY those of the source TrackingForm — integer-valued
 // doubles, so every evaluation over a frozen store is bit-identical to the
@@ -35,6 +44,7 @@
 #include "forms/region_count.h"
 #include "forms/tracking_form.h"
 #include "graph/planar_graph.h"
+#include "util/simd.h"
 
 namespace innet::forms {
 
@@ -110,30 +120,48 @@ class FrozenTrackingForm : public EdgeCountStore {
   }
 
   /// Devirtualized count lookup: events on `slot` with timestamp <= t.
-  /// O(1) bucket lookup plus a bounded scan; exact (bit-identical to the
-  /// source TrackingForm's binary search).
+  /// O(1) bucket lookup plus a branchless vectorized count over the bucket
+  /// span (util/simd.h); exact (bit-identical to the source TrackingForm's
+  /// binary search) at every dispatch level.
   size_t CountUpToSlot(size_t slot, double t) const {
     size_t begin = offsets_[slot];
     size_t n = offsets_[slot + 1] - begin;
     if (n == 0) return 0;
+    // Both early-outs resolve on the hot entry alone — no timestamp line.
+    const HotIndex& hot = hot_index_[slot];
+    if (t < hot.t0) return 0;
+    if (t >= hot.last) return n;
     const double* seq = times_.data() + begin;
-    if (t < seq[0]) return 0;
-    if (t >= seq[n - 1]) return n;
-    // Bucket bracket. The floating-point bucket computation may land one
-    // bucket off at exact boundaries; the two guard loops below restore the
-    // exact bracket in at most one bucket's worth of steps.
-    const BucketIndex& ix = index_[slot];
-    size_t b = static_cast<size_t>((t - ix.t0) * ix.inv_width);
-    if (b >= ix.num_buckets) b = ix.num_buckets - 1;
-    const uint32_t* starts = bucket_starts_.data() + ix.first_bucket;
+    // Bucket estimate. The floating-point computation may land a bucket off
+    // at exact boundaries; the bucket-granularity guard loops below restore
+    // the exact bracket, typically in zero iterations.
+    size_t nb = NumBuckets(n, hot.inv_width);
+    size_t b = BucketEstimate((t - hot.t0) * hot.inv_width, nb);
+    const uint32_t* starts = bucket_starts_.data() + first_bucket_[slot];
     size_t lo = starts[b];
-    size_t hi = starts[b + 1];
-    while (lo > 0 && seq[lo - 1] > t) --lo;
-    while (hi < n && seq[hi] <= t) ++hi;
-    // Within the bracket every index < lo holds a value <= t and every
-    // index >= hi a value > t; resolve the remainder with a short search.
-    const double* it = std::upper_bound(seq + lo, seq + hi, t);
-    return static_cast<size_t>(it - seq);
+    size_t bh = b;
+    while (lo > 0 && seq[lo - 1] > t) lo = starts[--b];
+    size_t hi = starts[bh + 1];
+    while (hi < n && seq[hi] <= t) hi = starts[++bh + 1];
+    // Every index < lo holds a value <= t and every index >= hi a value
+    // > t, so the answer is lo plus a vector count over [lo, hi).
+    return lo + util::simd::CountLessEqual(seq + lo, hi - lo, t);
+  }
+
+  /// Batched multi-slot lookup: out[i] = CountUpToSlot(slots[i], t), with
+  /// the next slots' index entries, bucket line, and first timestamp line
+  /// software-prefetched ~2 iterations ahead so their DRAM fetches overlap
+  /// across the batch. Callers get the most out of the pipeline by passing
+  /// slots in ascending id order (SampledGraph emits boundaries that way);
+  /// any order is correct.
+  void CountUpToSlots(const size_t* slots, size_t count, double t,
+                      size_t* out) const;
+
+  /// Hints the lines a CountUpToSlot / series walk of `slot` touches first.
+  void PrefetchSlot(size_t slot) const {
+    __builtin_prefetch(&hot_index_[slot]);
+    __builtin_prefetch(&first_bucket_[slot]);
+    __builtin_prefetch(times_.data() + offsets_[slot]);
   }
 
   /// Devirtualized per-edge count (the non-virtual twin of
@@ -164,7 +192,8 @@ class FrozenTrackingForm : public EdgeCountStore {
   /// In-memory footprint of the derived prefix-count index.
   size_t IndexBytes() const {
     return bucket_starts_.size() * sizeof(uint32_t) +
-           index_.size() * sizeof(BucketIndex);
+           hot_index_.size() * sizeof(HotIndex) +
+           first_bucket_.size() * sizeof(uint32_t);
   }
 
   /// The persisted representation (snapshot save): raw CSR arrays. The
@@ -179,22 +208,47 @@ class FrozenTrackingForm : public EdgeCountStore {
   /// index slots in ascending order.
   void IndexSlot(size_t slot);
 
-  struct BucketIndex {
+  // SoA derived index. The hot entry is everything a probe reads before it
+  // knows which bucket line to touch — including both range bounds, so the
+  // out-of-range early-outs (below the first event, at/after the last)
+  // resolve WITHOUT touching a timestamp cache line. The bucket_starts_
+  // offset is cold (read once per in-range probe), and num_buckets is NOT
+  // stored — it is derivable (see NumBuckets).
+  struct HotIndex {
     double t0 = 0.0;         // First event time of the slot.
-    double inv_width = 0.0;  // 1 / bucket width (0 for empty slots).
-    uint32_t first_bucket = 0;  // Start into bucket_starts_.
-    uint32_t num_buckets = 0;
+    double inv_width = 0.0;  // num_buckets / (t_last - t0); 0 if zero span.
+    double last = 0.0;       // Last event time of the slot.
   };
+
+  /// Bucket count of a slot with `n` events (n > 0): one bucket when all
+  /// events share a timestamp (inv_width == 0), ceil(n / kEventsPerBucket)
+  /// otherwise. Matches what IndexSlot built, so it need not be stored.
+  static size_t NumBuckets(size_t n, double inv_width) {
+    return inv_width == 0.0 ? 1
+                            : (n + kEventsPerBucket - 1) / kEventsPerBucket;
+  }
+
+  /// Clamped bucket estimate from the scaled probe offset `x`; safe for
+  /// negative, oversized, and NaN x (NaN arises from +inf probes against
+  /// zero-span slots, where the single bucket 0 is always correct).
+  static size_t BucketEstimate(double x, size_t nb) {
+    if (!(x > 0.0)) return 0;
+    if (x >= static_cast<double>(nb)) return nb - 1;
+    return static_cast<size_t>(x);
+  }
 
   std::vector<double> times_;     // CSR values: all timestamps, slot-major.
   std::vector<uint64_t> offsets_; // CSR row pointers, size 2*num_edges + 1.
-  std::vector<BucketIndex> index_;      // Per slot.
+  std::vector<HotIndex> hot_index_;     // Per slot (hot probe state).
+  std::vector<uint32_t> first_bucket_;  // Per slot: start into bucket_starts_.
   std::vector<uint32_t> bucket_starts_; // Concatenated per-slot boundaries.
 };
 
 /// Fused static count (Thm 4.2) over a frozen store: one non-virtual,
-/// cache-resident pass over the boundary. Bit-identical to the
-/// EdgeCountStore overload in region_count.h.
+/// cache-resident pass over the boundary, chunked through the prefetch-
+/// pipelined CountUpToSlots. Bit-identical to the EdgeCountStore overload
+/// in region_count.h (counts are integer-valued doubles, so the sum is
+/// order-independent-exact).
 double EvaluateStaticCount(const FrozenTrackingForm& store,
                            const std::vector<BoundaryEdge>& boundary,
                            double t);

@@ -15,6 +15,7 @@
 #include "util/flags.h"       // IWYU pragma: export
 #include "util/logging.h"     // IWYU pragma: export
 #include "util/rng.h"         // IWYU pragma: export
+#include "util/simd.h"        // IWYU pragma: export
 #include "util/stats.h"       // IWYU pragma: export
 #include "util/status.h"      // IWYU pragma: export
 #include "util/table.h"       // IWYU pragma: export

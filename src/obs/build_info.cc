@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/export.h"
+#include "util/simd.h"
 
 #ifndef INNET_VERSION
 #define INNET_VERSION "0.8.0"
@@ -48,6 +49,8 @@ const char* BuildCompiler() {
   return kCompiler->c_str();
 }
 
+const char* BuildSimd() { return util::simd::ActiveSimdName(); }
+
 Gauge& RegisterBuildInfo(MetricsRegistry& registry) {
   std::string labels = "version=\"";
   labels += PrometheusEscapeLabel(BuildVersion());
@@ -55,6 +58,8 @@ Gauge& RegisterBuildInfo(MetricsRegistry& registry) {
   labels += PrometheusEscapeLabel(BuildGitSha());
   labels += "\",compiler=\"";
   labels += PrometheusEscapeLabel(BuildCompiler());
+  labels += "\",simd=\"";
+  labels += PrometheusEscapeLabel(BuildSimd());
   labels += "\"";
   Gauge& info = registry.GetGaugeWithLabels(
       "innet_build_info", labels,

@@ -27,7 +27,13 @@ const char* BuildGitSha();
 /// Compiler id + version string (e.g. "gcc-13.2.0").
 const char* BuildCompiler();
 
-/// Registers `innet_build_info{version=...,git_sha=...,compiler=...} 1`
+/// Active kernel dispatch level ("avx2" / "neon" / "scalar") — the level
+/// the frozen-store read path is actually running at, after the
+/// `INNET_SIMD` override and hardware detection (util/simd.h).
+const char* BuildSimd();
+
+/// Registers
+/// `innet_build_info{version=...,git_sha=...,compiler=...,simd=...} 1`
 /// and `innet_uptime_seconds` in `registry`; idempotent. Returns the
 /// uptime gauge so callers can refresh it.
 Gauge& RegisterBuildInfo(MetricsRegistry& registry);

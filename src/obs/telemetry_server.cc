@@ -295,6 +295,8 @@ std::string TelemetryServer::VarzBody() {
   out += JsonEscape(BuildGitSha());
   out += "\",\"compiler\":\"";
   out += JsonEscape(BuildCompiler());
+  out += "\",\"simd\":\"";
+  out += JsonEscape(BuildSimd());
   out += "\"},\"uptime_seconds\":";
   JsonAppendNumber(&out, UptimeSeconds());
 

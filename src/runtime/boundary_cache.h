@@ -32,6 +32,9 @@ namespace innet::runtime {
 /// of G̃ satisfied the bound). Immutable once published to the cache.
 struct ResolvedBoundary {
   bool missed = false;
+  /// Edges arrive sorted by edge id (BoundaryOfFaces' contract) — frozen
+  /// CSR slot order — so every kernel pass over a cached boundary streams
+  /// the store monotonically.
   core::SampledGraph::RegionBoundary boundary;
 
   /// The G̃ faces whose union the boundary encloses — kept so a cache hit

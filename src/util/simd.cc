@@ -1,0 +1,200 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#endif
+#endif
+
+namespace innet::util::simd {
+
+namespace {
+
+size_t CountLessEqualScalarImpl(const double* p, size_t n, double t) {
+  // Branchless: the comparison lowers to setcc/cset, no data-dependent
+  // branches for the predictor to miss on duplicate-heavy spans.
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += p[i] <= t ? 1 : 0;
+  return count;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2,popcnt"))) size_t CountLessEqualAvx2Impl(
+    const double* p, size_t n, double t) {
+  const __m256d vt = _mm256_set1_pd(t);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    int m0 = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(p + i), vt, _CMP_LE_OQ));
+    int m1 = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(p + i + 4), vt, _CMP_LE_OQ));
+    count += static_cast<unsigned>(__builtin_popcount((m1 << 4) | m0));
+  }
+  if (i + 4 <= n) {
+    count += static_cast<unsigned>(__builtin_popcount(_mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(p + i), vt, _CMP_LE_OQ))));
+    i += 4;
+  }
+  for (; i < n; ++i) count += p[i] <= t ? 1 : 0;
+  return count;
+}
+#endif
+
+#if defined(__aarch64__)
+size_t CountLessEqualNeonImpl(const double* p, size_t n, double t) {
+  const float64x2_t vt = vdupq_n_f64(t);
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Lane mask is all-ones (== uint64 -1) where p[i] <= t; subtracting
+    // accumulates +1 per matching lane.
+    acc = vsubq_u64(acc, vcleq_f64(vld1q_f64(p + i), vt));
+  }
+  size_t count = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; i < n; ++i) count += p[i] <= t ? 1 : 0;
+  return count;
+}
+#endif
+
+CountLessEqualFn KernelFor(SimdLevel level) {
+  switch (level) {
+#if defined(__x86_64__) || defined(__i386__)
+    case SimdLevel::kAvx2:
+      return &CountLessEqualAvx2Impl;
+#endif
+#if defined(__aarch64__)
+    case SimdLevel::kNeon:
+      return &CountLessEqualNeonImpl;
+#endif
+    default:
+      return &CountLessEqualScalarImpl;
+  }
+}
+
+// -1 until the first resolve (env override + detection); >= 0 afterwards.
+std::atomic<int> g_active_level{-1};
+std::once_flag g_resolve_once;
+
+void Install(SimdLevel level) {
+  detail::g_count_less_equal.store(KernelFor(level),
+                                   std::memory_order_relaxed);
+  g_active_level.store(static_cast<int>(level), std::memory_order_release);
+}
+
+void ResolveActiveLevel() {
+  SimdLevel level = DetectedSimdLevel();
+  const char* env = std::getenv("INNET_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    SimdLevel requested;
+    if (!ParseSimdLevel(env, &requested)) {
+      INNET_LOG(WARN) << "INNET_SIMD=" << env
+                      << " is not scalar|avx2|neon|native; using detected "
+                      << SimdLevelName(level);
+    } else if (!SimdLevelSupported(requested)) {
+      INNET_LOG(WARN) << "INNET_SIMD=" << env
+                      << " is not supported on this hardware; using detected "
+                      << SimdLevelName(level);
+    } else {
+      level = requested;
+    }
+  }
+  Install(level);
+}
+
+size_t CountLessEqualResolve(const double* p, size_t n, double t) {
+  ActiveSimdLevel();  // Installs the real kernel pointer as a side effect.
+  return detail::g_count_less_equal.load(std::memory_order_relaxed)(p, n, t);
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<CountLessEqualFn> g_count_less_equal{&CountLessEqualResolve};
+}  // namespace detail
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+    default:
+      return "scalar";
+  }
+}
+
+bool ParseSimdLevel(const char* name, SimdLevel* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+  } else if (std::strcmp(name, "neon") == 0) {
+    *out = SimdLevel::kNeon;
+  } else if (std::strcmp(name, "native") == 0) {
+    *out = DetectedSimdLevel();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel kDetected = [] {
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    return SimdLevel::kScalar;
+#elif defined(__aarch64__) && defined(__linux__)
+    if (getauxval(AT_HWCAP) & HWCAP_ASIMD) return SimdLevel::kNeon;
+    return SimdLevel::kScalar;
+#elif defined(__aarch64__)
+    return SimdLevel::kNeon;  // NEON is architecturally baseline on v8-A.
+#else
+    return SimdLevel::kScalar;
+#endif
+  }();
+  return kDetected;
+}
+
+bool SimdLevelSupported(SimdLevel level) {
+  return level == SimdLevel::kScalar || level == DetectedSimdLevel();
+}
+
+SimdLevel ActiveSimdLevel() {
+  if (g_active_level.load(std::memory_order_acquire) < 0) {
+    std::call_once(g_resolve_once, ResolveActiveLevel);
+  }
+  return static_cast<SimdLevel>(
+      g_active_level.load(std::memory_order_acquire));
+}
+
+const char* ActiveSimdName() { return SimdLevelName(ActiveSimdLevel()); }
+
+bool SetActiveSimdLevel(SimdLevel level) {
+  if (!SimdLevelSupported(level)) return false;
+  Install(level);
+  return true;
+}
+
+size_t CountLessEqualAt(SimdLevel level, const double* p, size_t n,
+                        double t) {
+  INNET_CHECK(SimdLevelSupported(level));
+  return KernelFor(level)(p, n, t);
+}
+
+}  // namespace innet::util::simd

@@ -14,6 +14,7 @@
 #include "forms/tracking_form.h"
 #include "sampling/samplers.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace innet::forms {
 namespace {
@@ -177,6 +178,52 @@ TEST(FrozenTrackingFormTest, BatchKernelsMatchScalarLoops) {
                               static_cast<const EdgeCountStore&>(tracking),
                               boundary, t0, times[k]))
           << "transient k=" << k;
+    }
+  }
+}
+
+// The golden identity must hold at EVERY dispatch level, not just the
+// machine's default: rerun the fused/batch identity checks with the kernel
+// dispatch forced to scalar and to the detected best in turn.
+TEST(FrozenTrackingFormTest, IdentityHoldsAtEveryDispatchLevel) {
+  TrackingForm tracking = RandomForm(23, 30, 150);
+  FrozenTrackingForm frozen = tracking.Freeze();
+  const auto& virtual_store = static_cast<const EdgeCountStore&>(tracking);
+  for (util::simd::SimdLevel level :
+       {util::simd::SimdLevel::kScalar, util::simd::DetectedSimdLevel()}) {
+    util::simd::ScopedSimdLevel scoped(level);
+    ASSERT_TRUE(scoped.ok());
+    util::Rng rng(24);  // Same seed per level: identical trial sequences.
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<BoundaryEdge> boundary =
+          RandomBoundary(rng, tracking.num_edges(), 1 + rng.UniformIndex(20));
+      double t = rng.Uniform(-10.0, 1010.0);
+      double t0 = rng.Uniform(-10.0, 1010.0);
+      double t1 = rng.Uniform(-10.0, 1010.0);
+      if (t0 > t1) std::swap(t0, t1);
+      ASSERT_EQ(EvaluateStaticCount(frozen, boundary, t),
+                EvaluateStaticCount(virtual_store, boundary, t))
+          << "level=" << util::simd::SimdLevelName(level);
+      ASSERT_EQ(EvaluateTransientCount(frozen, boundary, t0, t1),
+                EvaluateTransientCount(virtual_store, boundary, t0, t1))
+          << "level=" << util::simd::SimdLevelName(level);
+
+      std::vector<double> times = {t0, (t0 + t1) / 2, t1};
+      std::vector<double> batch(times.size(), -1.0);
+      EvaluateStaticCountBatch(frozen, boundary, times.data(), times.size(),
+                               batch.data());
+      for (size_t k = 0; k < times.size(); ++k) {
+        ASSERT_EQ(batch[k], EvaluateStaticCount(virtual_store, boundary,
+                                                times[k]))
+            << "level=" << util::simd::SimdLevelName(level) << " k=" << k;
+      }
+      EvaluateTransientCountBatch(frozen, boundary, t0 - 5.0, times.data(),
+                                  times.size(), batch.data());
+      for (size_t k = 0; k < times.size(); ++k) {
+        ASSERT_EQ(batch[k], EvaluateTransientCount(virtual_store, boundary,
+                                                   t0 - 5.0, times[k]))
+            << "level=" << util::simd::SimdLevelName(level) << " k=" << k;
+      }
     }
   }
 }
